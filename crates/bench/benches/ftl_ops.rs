@@ -1,0 +1,79 @@
+//! Criterion benches over the simulated storage stack: how much wall time
+//! the simulator needs per batch of FTL operations (Table 1's substrate),
+//! for both the unified and the split multi-version designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flashsim::{value, Backend, BackendKind, Key, NandConfig};
+use simkit::Sim;
+use timesync::{ClientId, Timestamp, Version};
+
+fn run_ops(kind: BackendKind, gets: u64, puts: u64) {
+    let mut sim = Sim::new(1);
+    let h = sim.handle();
+    let nand = NandConfig {
+        channels: 8,
+        ..NandConfig::default()
+    }
+    .sized_for(2_000, 512, 0.08);
+    let store = Backend::new(kind, &h, nand);
+    let payload = value(vec![0u8; 472]);
+    for i in 0..1_000u64 {
+        store.bulk_load(
+            Key::from(i),
+            payload.clone(),
+            Version::new(Timestamp(1), ClientId(0)),
+        );
+    }
+    store.finish_load();
+    let total = gets + puts;
+    let mut joins = Vec::new();
+    for w in 0..8u64 {
+        let store = store.clone();
+        let payload = payload.clone();
+        let hh = h.clone();
+        joins.push(h.spawn(async move {
+            let mut ts = 1_000 + w;
+            for i in 0..total / 8 {
+                let key = Key::from((w * 7919 + i * 31) % 1_000);
+                if i % (total / (puts.max(1))).max(1) == 0 {
+                    ts += 1_000;
+                    let _ = store
+                        .put(key, payload.clone(), Version::new(Timestamp(ts), ClientId(w as u32)))
+                        .await;
+                } else {
+                    let _ = store.get_at(&key, Timestamp(hh.now().as_nanos() + 1)).await;
+                }
+            }
+        }));
+    }
+    sim.block_on(async move {
+        for j in joins {
+            j.await;
+        }
+    });
+}
+
+fn bench_mftl(c: &mut Criterion) {
+    c.bench_function("mftl_1k_ops_75r25w", |b| {
+        b.iter(|| run_ops(BackendKind::Mftl, 750, 250))
+    });
+}
+
+fn bench_vftl(c: &mut Criterion) {
+    c.bench_function("vftl_1k_ops_75r25w", |b| {
+        b.iter(|| run_ops(BackendKind::Vftl, 750, 250))
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_1k_ops_75r25w", |b| {
+        b.iter(|| run_ops(BackendKind::Dram, 750, 250))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mftl, bench_vftl, bench_dram
+}
+criterion_main!(benches);

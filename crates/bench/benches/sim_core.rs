@@ -1,0 +1,90 @@
+//! Criterion benches for the simulation substrate itself: task scheduling,
+//! timers, and RPC round trips — the per-event costs every experiment pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::net::{Addr, NodeId};
+use simkit::rpc::{recv_request, RpcClient};
+use simkit::Sim;
+use std::time::Duration;
+
+fn bench_spawn_join(c: &mut Criterion) {
+    c.bench_function("spawn_join_1k_tasks", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let h = sim.handle();
+            sim.block_on(async move {
+                let mut joins = Vec::new();
+                for i in 0..1_000u64 {
+                    joins.push(h.spawn(async move { i * 2 }));
+                }
+                let mut sum = 0;
+                for j in joins {
+                    sum += j.await;
+                }
+                sum
+            })
+        })
+    });
+}
+
+fn bench_timer_wheel(c: &mut Criterion) {
+    c.bench_function("sleep_1k_timers", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let h = sim.handle();
+            sim.block_on(async move {
+                let mut joins = Vec::new();
+                for i in 0..1_000u64 {
+                    let hh = h.clone();
+                    joins.push(h.spawn(async move {
+                        hh.sleep(Duration::from_micros(i % 100)).await;
+                    }));
+                }
+                for j in joins {
+                    j.await;
+                }
+            })
+        })
+    });
+}
+
+fn bench_rpc_round_trip(c: &mut Criterion) {
+    #[derive(Debug)]
+    struct Ping(u64);
+    #[derive(Debug)]
+    struct Pong(u64);
+    c.bench_function("rpc_1k_round_trips", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let h = sim.handle();
+            let hh = h.clone();
+            sim.block_on(async move {
+                let mb = hh.bind(Addr::new(NodeId(2), 0));
+                let h2 = hh.clone();
+                hh.spawn_on(NodeId(2), async move {
+                    while let Some((Ping(v), _f, resp)) = recv_request::<Ping>(&h2, &mb).await {
+                        resp.reply(Pong(v + 1));
+                    }
+                });
+                let client = RpcClient::new(&hh, NodeId(1), 0);
+                let mut acc = 0u64;
+                for i in 0..1_000u64 {
+                    if let Ok(Pong(v)) = client
+                        .call::<Ping, Pong>(Addr::new(NodeId(2), 0), Ping(i), Duration::from_millis(10))
+                        .await
+                    {
+                        acc += v;
+                    }
+                }
+                acc
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spawn_join, bench_timer_wheel, bench_rpc_round_trip
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Runs the three design-choice ablations (replication ordering, clock
+//! precision spectrum, mapping residency).
+
+use bench::ablations;
+use bench::common::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running ablations at {scale:?} scale ...\n");
+    ablations::run_replication(scale);
+    println!();
+    ablations::run_clocks(scale);
+    println!();
+    ablations::run_dftl(scale);
+    println!();
+    ablations::run_packing(scale);
+    println!();
+    ablations::run_open_loop(scale);
+}

@@ -1,0 +1,32 @@
+//! Runs every experiment reproduction in sequence.
+
+use bench::common::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running all reproductions at {scale:?} scale ...\n");
+    let t1 = bench::table1::Table1Config::for_scale(scale);
+    bench::table1::print(&bench::table1::run(&t1));
+    println!();
+    let f6 = bench::fig6::Fig6Config::for_scale(scale);
+    bench::fig6::print(&f6, &bench::fig6::run(&f6));
+    println!();
+    let f7 = bench::fig7::Fig7Config::for_scale(scale);
+    bench::fig7::print(&f7, &bench::fig7::run(&f7));
+    println!();
+    let f8 = bench::fig8::Fig8Config::for_scale(scale);
+    bench::fig8::print(&f8, &bench::fig8::run(&f8));
+    println!();
+    let f9 = bench::fig9::Fig9Config::for_scale(scale);
+    bench::fig9::print(&f9, &bench::fig9::run(&f9));
+    println!();
+    bench::ablations::run_replication(scale);
+    println!();
+    bench::ablations::run_clocks(scale);
+    println!();
+    bench::ablations::run_dftl(scale);
+    println!();
+    bench::ablations::run_packing(scale);
+    println!();
+    bench::ablations::run_open_loop(scale);
+}

@@ -1,0 +1,208 @@
+//! Shared plumbing for the experiment reproductions: scale factors,
+//! formatted table output, and MILANA/Retwis run helpers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use milana::cluster::{MilanaCluster, MilanaClusterConfig};
+use retwis::driver::{run_instance, TxnSystem, WorkloadConfig, WorkloadStats};
+use simkit::rng::Zipf;
+use simkit::time::SimTime;
+use simkit::{Sim, SimHandle};
+
+/// Experiment scale, settable via the `REPRO_SCALE` environment variable:
+/// `quick` (CI-sized), `full` (paper-shaped; slower). Defaults to `quick`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small keyspaces / short runs; minutes of wall time for everything.
+    Quick,
+    /// Larger keyspaces / longer runs; closer to the paper's regime.
+    Full,
+}
+
+impl Scale {
+    /// Reads `REPRO_SCALE` from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("REPRO_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Measurement window of virtual time.
+    pub fn measure(&self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_millis(1500),
+            Scale::Full => Duration::from_secs(10),
+        }
+    }
+
+    /// Warm-up window of virtual time before measurement.
+    pub fn warmup(&self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_millis(300),
+            Scale::Full => Duration::from_secs(2),
+        }
+    }
+
+    /// Transactional keyspace size (the paper preloads 2 M keys; we scale
+    /// down and note it in EXPERIMENTS.md).
+    pub fn keyspace(&self) -> u64 {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 200_000,
+        }
+    }
+}
+
+/// Prints a row of fixed-width columns.
+pub fn print_row(cols: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Outcome of one Retwis-over-MILANA run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Aggregated workload counters (measurement window only).
+    pub stats: WorkloadStats,
+    /// Virtual measurement duration.
+    pub elapsed: Duration,
+    /// Fraction of read-only commits decided locally (MILANA clients).
+    pub local_validated: u64,
+}
+
+/// Drives `instances_per_client` Retwis instances on every cluster client
+/// for `warmup + measure` virtual time; only the measurement window counts.
+pub fn run_retwis_on_milana(
+    sim: &mut Sim,
+    cluster: &MilanaCluster,
+    wl: WorkloadConfig,
+    instances_per_client: u32,
+    warmup: Duration,
+    measure: Duration,
+) -> RunOutcome {
+    let h = sim.handle();
+    let zipf = Rc::new(Zipf::new(wl.keyspace as usize, wl.zipf_alpha));
+    let wl = Rc::new(wl);
+    // Warm-up phase uses a throwaway stats sink.
+    let sink = Rc::new(RefCell::new(WorkloadStats::default()));
+    let warm_until = h.now() + warmup;
+    let mut joins = Vec::new();
+    for c in &cluster.clients {
+        for _ in 0..instances_per_client {
+            joins.push(h.spawn(run_instance(
+                h.clone(),
+                c.clone(),
+                wl.clone(),
+                zipf.clone(),
+                sink.clone(),
+                warm_until,
+            )));
+        }
+    }
+    sim.block_on(async move {
+        for j in joins {
+            j.await;
+        }
+    });
+    let stats = Rc::new(RefCell::new(WorkloadStats::default()));
+    let lv_before: u64 = cluster.clients.iter().map(|c| c.stats().local_validations).sum();
+    let until = h.now() + measure;
+    let mut joins = Vec::new();
+    for c in &cluster.clients {
+        for _ in 0..instances_per_client {
+            joins.push(h.spawn(run_instance(
+                h.clone(),
+                c.clone(),
+                wl.clone(),
+                zipf.clone(),
+                stats.clone(),
+                until,
+            )));
+        }
+    }
+    sim.block_on(async move {
+        for j in joins {
+            j.await;
+        }
+    });
+    let lv_after: u64 = cluster.clients.iter().map(|c| c.stats().local_validations).sum();
+    let stats = Rc::try_unwrap(stats).expect("all instances done").into_inner();
+    RunOutcome {
+        stats,
+        elapsed: measure,
+        local_validated: lv_after - lv_before,
+    }
+}
+
+/// Builds a standard MILANA cluster for the figure experiments.
+pub fn build_cluster(handle: &SimHandle, cfg: MilanaClusterConfig) -> MilanaCluster {
+    MilanaCluster::build(handle, cfg)
+}
+
+/// Drives Retwis instances over any [`TxnSystem`] clients (used by the
+/// Centiman comparison, where clients are not MILANA's).
+pub fn run_retwis_generic<S: TxnSystem>(
+    sim: &mut Sim,
+    clients: &[S],
+    wl: WorkloadConfig,
+    instances_per_client: u32,
+    warmup: Duration,
+    measure: Duration,
+) -> (WorkloadStats, Duration) {
+    let h = sim.handle();
+    let zipf = Rc::new(Zipf::new(wl.keyspace as usize, wl.zipf_alpha));
+    let wl = Rc::new(wl);
+    let sink = Rc::new(RefCell::new(WorkloadStats::default()));
+    let warm_until = h.now() + warmup;
+    let mut joins = Vec::new();
+    for c in clients {
+        for _ in 0..instances_per_client {
+            joins.push(h.spawn(run_instance(
+                h.clone(),
+                c.clone(),
+                wl.clone(),
+                zipf.clone(),
+                sink.clone(),
+                warm_until,
+            )));
+        }
+    }
+    sim.block_on(async move {
+        for j in joins {
+            j.await;
+        }
+    });
+    let stats = Rc::new(RefCell::new(WorkloadStats::default()));
+    let until = h.now() + measure;
+    let mut joins = Vec::new();
+    for c in clients {
+        for _ in 0..instances_per_client {
+            joins.push(h.spawn(run_instance(
+                h.clone(),
+                c.clone(),
+                wl.clone(),
+                zipf.clone(),
+                stats.clone(),
+                until,
+            )));
+        }
+    }
+    sim.block_on(async move {
+        for j in joins {
+            j.await;
+        }
+    });
+    let stats = Rc::try_unwrap(stats).expect("all instances done").into_inner();
+    (stats, measure)
+}
+
+/// Virtual-time helper: `now + d` as a [`SimTime`].
+pub fn deadline(h: &SimHandle, d: Duration) -> SimTime {
+    h.now() + d
+}

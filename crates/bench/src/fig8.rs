@@ -1,0 +1,197 @@
+//! Figure 8 — Retwis transaction latency vs throughput, with and without
+//! client-local validation (LV), across storage backends.
+//!
+//! Paper setup (§5.2): 3 shards × 3 replicas, 6 M keys, 75 % read-only
+//! Retwis mix, client count swept to trace each latency/throughput curve.
+//! Headline: local validation yields up to **55 % higher throughput** and
+//! **35 % lower latency**; MFTL beats VFTL by ~15 % / 10 %.
+
+use std::time::Duration;
+
+use flashsim::{BackendKind, NandConfig};
+use milana::client::TxnClientConfig;
+use milana::cluster::MilanaClusterConfig;
+use retwis::driver::WorkloadConfig;
+use retwis::mix::Mix;
+use simkit::Sim;
+use timesync::Discipline;
+
+use crate::common::{run_retwis_on_milana, Scale};
+
+/// One point on a latency/throughput curve.
+#[derive(Debug, Clone)]
+pub struct Fig8Point {
+    /// Backend name.
+    pub backend: &'static str,
+    /// Local validation enabled?
+    pub lv: bool,
+    /// Driving clients.
+    pub clients: u32,
+    /// Committed transactions per virtual second.
+    pub throughput: f64,
+    /// Mean transaction latency (first begin to commit), µs.
+    pub latency_us: f64,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Fig8Config {
+    /// Client counts tracing each curve.
+    pub client_counts: Vec<u32>,
+    /// Backends compared.
+    pub backends: Vec<BackendKind>,
+    /// Contention parameter (moderate; Figure 8 varies load, not skew).
+    pub alpha: f64,
+    /// Keyspace size.
+    pub keyspace: u64,
+    /// Warm-up per run.
+    pub warmup: Duration,
+    /// Measurement window per run.
+    pub measure: Duration,
+}
+
+impl Fig8Config {
+    /// Derives from the global scale knob.
+    pub fn for_scale(scale: Scale) -> Fig8Config {
+        match scale {
+            Scale::Quick => Fig8Config {
+                client_counts: vec![4, 8, 16, 32],
+                backends: vec![BackendKind::Dram, BackendKind::Vftl, BackendKind::Mftl],
+                alpha: 0.5,
+                keyspace: 12_000,
+                warmup: Duration::from_millis(200),
+                measure: Duration::from_millis(800),
+            },
+            Scale::Full => Fig8Config {
+                client_counts: vec![4, 8, 16, 24, 32, 48, 64],
+                backends: vec![BackendKind::Dram, BackendKind::Vftl, BackendKind::Mftl],
+                alpha: 0.5,
+                keyspace: 60_000,
+                warmup: Duration::from_millis(500),
+                measure: Duration::from_secs(3),
+            },
+        }
+    }
+}
+
+fn backend_name(kind: BackendKind) -> &'static str {
+    match kind {
+        BackendKind::Dram => "DRAM",
+        BackendKind::Sftl => "SFTL",
+        BackendKind::Vftl => "VFTL",
+        BackendKind::Mftl => "MFTL",
+    }
+}
+
+fn run_point(
+    kind: BackendKind,
+    lv: bool,
+    clients: u32,
+    cfg: &Fig8Config,
+    seed: u64,
+) -> Fig8Point {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    let nand = NandConfig {
+        channels: 8,
+        queue_depth: 128,
+        ..NandConfig::default()
+    }
+    .sized_for(cfg.keyspace / 3, 512, 0.08); // keys split over 3 shards
+    let cluster = milana::cluster::MilanaCluster::build(
+        &h,
+        MilanaClusterConfig {
+            shards: 3,
+            replicas: 3,
+            clients,
+            backend: kind,
+            nand,
+            discipline: Discipline::PtpSoftware,
+            preload_keys: cfg.keyspace,
+            value_size: 472,
+            client_cfg: TxnClientConfig {
+                local_validation: lv,
+                ..TxnClientConfig::default()
+            },
+            // ExoGENI-style VM networking (~300 us RTT).
+            net: simkit::net::LatencyConfig {
+                one_way: Duration::from_micros(150),
+                jitter_std: Duration::from_micros(30),
+                ..simkit::net::LatencyConfig::default()
+            },
+            ..MilanaClusterConfig::default()
+        },
+    );
+    let outcome = run_retwis_on_milana(
+        &mut sim,
+        &cluster,
+        WorkloadConfig {
+            mix: Mix::retwis_read_heavy(), // 75% read-only (paper)
+            keyspace: cfg.keyspace,
+            zipf_alpha: cfg.alpha,
+            value_size: 472,
+            max_retries: 1000,
+        },
+        1,
+        cfg.warmup,
+        cfg.measure,
+    );
+    Fig8Point {
+        backend: backend_name(kind),
+        lv,
+        clients,
+        throughput: outcome.stats.throughput(outcome.elapsed),
+        latency_us: outcome.stats.latency.mean() / 1e3,
+    }
+}
+
+/// Runs the full sweep.
+pub fn run(cfg: &Fig8Config) -> Vec<Fig8Point> {
+    let mut points = Vec::new();
+    for &kind in &cfg.backends {
+        for lv in [true, false] {
+            for &clients in &cfg.client_counts {
+                let seed = 800 + clients as u64;
+                points.push(run_point(kind, lv, clients, cfg, seed));
+            }
+        }
+    }
+    points
+}
+
+/// Prints every curve and the LV speedup headline.
+pub fn print(cfg: &Fig8Config, points: &[Fig8Point]) {
+    println!("Figure 8: latency vs throughput — 75% read-only Retwis, 3 shards x 3 replicas");
+    println!(
+        "{:>10} {:>4} {:>8} {:>12} {:>12}",
+        "backend", "LV", "clients", "ktxn/s", "lat us"
+    );
+    for p in points {
+        println!(
+            "{:>10} {:>4} {:>8} {:>12.1} {:>12.1}",
+            p.backend,
+            if p.lv { "on" } else { "off" },
+            p.clients,
+            p.throughput / 1e3,
+            p.latency_us
+        );
+    }
+    // Headlines at the largest client count.
+    let max_clients = *cfg.client_counts.last().expect("non-empty");
+    for &kind in &cfg.backends {
+        let name = backend_name(kind);
+        let find = |lv| {
+            points
+                .iter()
+                .find(|p| p.backend == name && p.lv == lv && p.clients == max_clients)
+        };
+        if let (Some(with), Some(without)) = (find(true), find(false)) {
+            println!(
+                "  {name}: LV gives +{:.0}% throughput, {:.0}% lower latency at {max_clients} clients \
+                 (paper: +55% / -35%)",
+                (with.throughput / without.throughput - 1.0) * 100.0,
+                (1.0 - with.latency_us / without.latency_us) * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # bench — experiment reproductions for every table and figure
+//!
+//! One module per evaluation artifact of the paper:
+//!
+//! | Artifact | Module | Binary |
+//! |---|---|---|
+//! | Table 1 (FTL throughput/latency) | [`table1`] | `repro_table1` |
+//! | Figure 6 (aborts vs clients, SFTL/MFTL) | [`fig6`] | `repro_fig6` |
+//! | Figure 7 (aborts vs α, PTP/NTP × backend) | [`fig7`] | `repro_fig7` |
+//! | Figure 8 (latency vs throughput, ±LV) | [`fig8`] | `repro_fig8` |
+//! | Figure 9 (MILANA vs Centiman LV) | [`fig9`] | `repro_fig9` |
+//!
+//! Ablations of the paper's design choices live in [`ablations`]
+//! (`repro_ablations`): relaxed vs ordered replication, the clock-precision
+//! spectrum, and DFTL-style demand-paged mapping.
+//!
+//! `repro_all` runs everything. Set `REPRO_SCALE=full` for larger,
+//! slower, closer-to-paper runs. Criterion benches (`cargo bench`) cover
+//! the per-operation costs underlying each experiment.
+
+pub mod ablations;
+pub mod common;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

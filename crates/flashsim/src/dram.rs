@@ -1,0 +1,278 @@
+//! DRAM (battery-backed / NVM) multi-version backend.
+//!
+//! The paper's fastest backend (§5.2, Figures 7–8): byte-addressable
+//! persistent memory with ~100 ns access latency. Because writes land almost
+//! instantly, this backend is the *most* sensitive to clock skew — under NTP
+//! it shows the highest abort rates, which is exactly Figure 7's point.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use simkit::SimHandle;
+use timesync::{Timestamp, Version};
+
+use crate::types::{visible_at, Key, StoreError, StoreStats, Value, VersionedValue};
+
+/// Tuning for a [`DramStore`].
+#[derive(Debug, Clone)]
+pub struct DramConfig {
+    /// Per-read latency (≤100 ns for NVM per §1).
+    pub read_latency: Duration,
+    /// Per-write latency.
+    pub write_latency: Duration,
+}
+
+impl Default for DramConfig {
+    fn default() -> DramConfig {
+        DramConfig {
+            read_latency: Duration::from_nanos(100),
+            write_latency: Duration::from_nanos(150),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DramInner {
+    /// Per-key version chains, youngest first.
+    map: HashMap<Key, Vec<(Version, Value)>>,
+    watermark: Timestamp,
+    stats: StoreStats,
+}
+
+/// Multi-version in-memory store; cloning shares it.
+#[derive(Debug, Clone)]
+pub struct DramStore {
+    handle: SimHandle,
+    cfg: Rc<DramConfig>,
+    inner: Rc<RefCell<DramInner>>,
+}
+
+impl DramStore {
+    /// Creates an empty store.
+    pub fn new(handle: SimHandle, cfg: DramConfig) -> DramStore {
+        DramStore {
+            handle,
+            cfg: Rc::new(cfg),
+            inner: Rc::new(RefCell::new(DramInner::default())),
+        }
+    }
+
+    /// Store counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.borrow().stats
+    }
+
+    /// Writes a new version of `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::StaleWrite`] if `version` is not newer than the latest.
+    pub async fn put(&self, key: Key, value: Value, version: Version) -> Result<(), StoreError> {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let chain = inner.map.entry(key.clone()).or_default();
+            if let Some(&(head, _)) = chain.first() {
+                if version <= head {
+                    return Err(StoreError::StaleWrite(head));
+                }
+            }
+            chain.insert(0, (version, value));
+            let watermark = inner.watermark;
+            let pruned = prune(inner.map.get_mut(&key).unwrap(), watermark);
+            inner.stats.versions_pruned += pruned;
+            inner.stats.puts += 1;
+        }
+        self.handle.sleep(self.cfg.write_latency).await;
+        Ok(())
+    }
+
+    /// Applies a possibly out-of-order replicated write (idempotent).
+    pub async fn apply_unordered(&self, key: Key, value: Value, version: Version) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let chain = inner.map.entry(key.clone()).or_default();
+            if !chain.iter().any(|&(v, _)| v == version) {
+                let pos = chain
+                    .iter()
+                    .position(|&(v, _)| v < version)
+                    .unwrap_or(chain.len());
+                chain.insert(pos, (version, value));
+            }
+            let watermark = inner.watermark;
+            let pruned = prune(inner.map.get_mut(&key).unwrap(), watermark);
+            inner.stats.versions_pruned += pruned;
+            inner.stats.puts += 1;
+        }
+        self.handle.sleep(self.cfg.write_latency).await;
+    }
+
+    /// Applies a batch of unordered writes atomically (all visible at once),
+    /// then charges one write latency.
+    pub async fn apply_batch_unordered(&self, items: Vec<(Key, Value, Version)>) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            for (key, value, version) in items {
+                let chain = inner.map.entry(key.clone()).or_default();
+                if !chain.iter().any(|&(v, _)| v == version) {
+                    let pos = chain
+                        .iter()
+                        .position(|&(v, _)| v < version)
+                        .unwrap_or(chain.len());
+                    chain.insert(pos, (version, value));
+                }
+                let watermark = inner.watermark;
+                let pruned = prune(inner.map.get_mut(&key).unwrap(), watermark);
+                inner.stats.versions_pruned += pruned;
+                inner.stats.puts += 1;
+            }
+        }
+        self.handle.sleep(self.cfg.write_latency).await;
+    }
+
+    /// Snapshot read at `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if no version is visible.
+    pub async fn get_at(&self, key: &Key, at: Timestamp) -> Result<VersionedValue, StoreError> {
+        let out = {
+            let mut inner = self.inner.borrow_mut();
+            let chain = inner.map.get(key).ok_or(StoreError::NotFound)?;
+            let (version, value) = visible_at(chain, at).ok_or(StoreError::NotFound)?;
+            let out = VersionedValue {
+                version: *version,
+                value: value.clone(),
+            };
+            inner.stats.gets += 1;
+            out
+        };
+        self.handle.sleep(self.cfg.read_latency).await;
+        Ok(out)
+    }
+
+    /// Reads the latest version.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the key does not exist.
+    pub async fn get_latest(&self, key: &Key) -> Result<VersionedValue, StoreError> {
+        self.get_at(key, Timestamp::MAX).await
+    }
+
+    /// Removes all versions of `key`.
+    pub fn delete(&self, key: &Key) {
+        self.inner.borrow_mut().map.remove(key);
+    }
+
+    /// Raises the GC watermark (never moves backwards).
+    pub fn set_watermark(&self, ts: Timestamp) {
+        let mut inner = self.inner.borrow_mut();
+        if ts > inner.watermark {
+            inner.watermark = ts;
+        }
+    }
+
+    /// All versions of `key`, youngest first.
+    pub fn versions(&self, key: &Key) -> Vec<Version> {
+        self.inner
+            .borrow()
+            .map
+            .get(key)
+            .map(|c| c.iter().map(|&(v, _)| v).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.inner.borrow().map.len()
+    }
+
+    /// Zero-time bulk load.
+    pub fn bulk_load(&self, key: Key, value: Value, version: Version) {
+        let mut inner = self.inner.borrow_mut();
+        let chain = inner.map.entry(key).or_default();
+        let pos = chain
+            .iter()
+            .position(|&(v, _)| v < version)
+            .unwrap_or(chain.len());
+        chain.insert(pos, (version, value));
+    }
+}
+
+fn prune(chain: &mut Vec<(Version, Value)>, watermark: Timestamp) -> u64 {
+    let Some(keep) = chain.iter().position(|&(v, _)| v.ts <= watermark) else {
+        return 0;
+    };
+    let n = chain.len() - (keep + 1);
+    chain.truncate(keep + 1);
+    n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::value;
+    use simkit::Sim;
+    use timesync::ClientId;
+
+    fn v(ts: u64) -> Version {
+        Version::new(Timestamp(ts), ClientId(0))
+    }
+
+    #[test]
+    fn multi_version_reads() {
+        let mut sim = Sim::new(1);
+        let s = DramStore::new(sim.handle(), DramConfig::default());
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            s.put(k.clone(), value(&b"a"[..]), v(10)).await.unwrap();
+            s.put(k.clone(), value(&b"b"[..]), v(20)).await.unwrap();
+            assert_eq!(s.get_at(&k, Timestamp(15)).await.unwrap().version, v(10));
+            assert_eq!(s.get_at(&k, Timestamp(20)).await.unwrap().version, v(20));
+        });
+    }
+
+    #[test]
+    fn writes_are_fast() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let s = DramStore::new(h.clone(), DramConfig::default());
+        let hh = h.clone();
+        sim.block_on(async move {
+            let t0 = hh.now();
+            s.put(Key::from(1u64), value(&b"a"[..]), v(1)).await.unwrap();
+            assert_eq!(hh.now() - t0, Duration::from_nanos(150));
+        });
+    }
+
+    #[test]
+    fn watermark_prunes() {
+        let mut sim = Sim::new(1);
+        let s = DramStore::new(sim.handle(), DramConfig::default());
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            for ts in [10, 20, 30] {
+                s.put(k.clone(), value(&b"x"[..]), v(ts)).await.unwrap();
+            }
+            s.set_watermark(Timestamp(25));
+            s.put(k.clone(), value(&b"x"[..]), v(40)).await.unwrap();
+            assert_eq!(s.versions(&k), vec![v(40), v(30), v(20)]);
+        });
+    }
+
+    #[test]
+    fn stale_write_rejected() {
+        let mut sim = Sim::new(1);
+        let s = DramStore::new(sim.handle(), DramConfig::default());
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            s.put(k.clone(), value(&b"a"[..]), v(20)).await.unwrap();
+            assert_eq!(
+                s.put(k.clone(), value(&b"b"[..]), v(10)).await.unwrap_err(),
+                StoreError::StaleWrite(v(20))
+            );
+        });
+    }
+}

@@ -1,0 +1,43 @@
+//! # flashsim — software-defined flash substrate for SEMEL/MILANA
+//!
+//! A functional + timing model of the storage stack the paper builds on
+//! (§2.2, §3.1, §5.1):
+//!
+//! - [`nand`] — an Open-Channel-SSD-style NAND device: page-grain programs,
+//!   block-grain erases, sequential programming, parallel channels, bounded
+//!   queue depth, wear accounting, and the paper's 50 µs / 100 µs / 1 ms
+//!   read/program/erase timings;
+//! - [`pftl`] — a generic page-mapped log-structured FTL (the "standard
+//!   FTL" baseline);
+//! - [`mftl`] — **the paper's contribution**: a unified multi-version FTL
+//!   that maps keys directly to physical tuple locations, packs small
+//!   tuples into pages with a bounded delay, and garbage-collects flash and
+//!   versions in one pass;
+//! - [`vftl`] — the split baseline: a multi-version KV layer stacked on the
+//!   generic FTL (two mapping steps, two GCs, double over-provisioning);
+//! - [`sftl`] — a single-version baseline (no snapshot reads);
+//! - [`dram`] — a battery-backed-DRAM/NVM-speed multi-version store;
+//! - [`dftl`] — the §3.1 future-work extension: demand-paged mapping for
+//!   servers whose DRAM cannot hold the whole table;
+//! - [`backend`] — one enum over all four so servers swap backends freely.
+//!
+//! All stores share the SEMEL semantics: versions are `(timestamp, client)`
+//! stamps, reads are snapshot reads ("youngest version ≤ t"), stale primary
+//! writes are rejected for at-most-once, replicated writes may arrive in any
+//! order, and a watermark bounds version history for GC.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod dftl;
+pub mod dram;
+pub mod mftl;
+pub mod nand;
+pub mod pftl;
+pub mod sftl;
+pub mod types;
+pub mod vftl;
+
+pub use backend::{Backend, BackendKind};
+pub use nand::{NandConfig, NandDevice, PhysLoc};
+pub use types::{value, Key, StoreError, StoreStats, TupleRecord, Value, VersionedValue};

@@ -1,0 +1,1234 @@
+//! MFTL — the unified multi-version flash translation layer (SEMEL SDF, §3.1).
+//!
+//! The paper's third contribution: instead of stacking a KV store on a block
+//! FTL (two mapping steps, two garbage collectors), MFTL maps each **key
+//! directly to the physical flash location of each of its versions**, and
+//! version management rides along with flash management:
+//!
+//! - the mapping table keeps a per-key chain of versions sorted by
+//!   descending version stamp (Figure 3);
+//! - writes are packed into pages by a **packing logic** that waits up to a
+//!   bounded window (1 ms in §5) to fill a 4 KB page with 512 B tuples —
+//!   fresh puts and GC-relocated tuples share the same packer;
+//! - old versions are *free*: flash's remap-on-write leaves them in place;
+//! - one unified garbage collector relocates live tuples and discards
+//!   versions that fell below the watermark (§3.1) in the same pass.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use simkit::sync::{mpsc, oneshot, Semaphore};
+use simkit::SimHandle;
+use timesync::{Timestamp, Version};
+
+use crate::nand::{NandConfig, NandDevice, PhysLoc};
+use crate::types::{Key, StoreError, StoreStats, TupleRecord, Value, VersionedValue};
+
+/// One flash page's payload: the packed tuples.
+pub type Page = Rc<Vec<TupleRecord>>;
+
+/// Tuning for a [`UnifiedStore`].
+#[derive(Debug, Clone)]
+pub struct MftlConfig {
+    /// Per-operation software overhead: one unified mapping-table access
+    /// (§3.1 — SDF collapses the two-step translation into one).
+    pub op_overhead: Duration,
+    /// Maximum time a tuple waits in the packer before a partial page is
+    /// flushed (the paper's 1 ms packing delay).
+    pub packing_window: Duration,
+    /// Background GC starts when free blocks drop to this level.
+    pub gc_low_water: usize,
+    /// Blocks reserved for GC's own relocation writes.
+    pub gc_reserve: usize,
+}
+
+impl Default for MftlConfig {
+    fn default() -> MftlConfig {
+        MftlConfig {
+            op_overhead: Duration::from_micros(1),
+            packing_window: Duration::from_millis(1),
+            gc_low_water: 4,
+            gc_reserve: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Still in the packer (or an in-flight flush): generation + slot.
+    Buffered { gen: u64, idx: usize },
+    /// Persisted at a physical page, at tuple index `slot`.
+    Flash { loc: PhysLoc, slot: u16 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MapEntry {
+    version: Version,
+    loc: Loc,
+}
+
+#[derive(Debug, Clone)]
+enum Origin {
+    /// A fresh put / replicated write.
+    Fresh,
+    /// GC relocation of a tuple previously at this location.
+    Reloc { old: PhysLoc, old_slot: u16 },
+}
+
+#[derive(Debug)]
+struct Pending {
+    rec: TupleRecord,
+    origin: Origin,
+}
+
+struct Batch {
+    gen: u64,
+    /// Which packing stream (append channel) this page belongs to.
+    stream: usize,
+    pendings: Vec<Pending>,
+    waiters: Vec<oneshot::Sender<Result<(), StoreError>>>,
+    page: Page,
+}
+
+/// One packing stream: an open page buffer bound to its own append point.
+/// Real SSDs program pages on many channels in parallel; modeling one
+/// stream per channel reproduces the paper's put-latency behavior (partial
+/// pages usually wait out the packing window; GC traffic fills them early).
+#[derive(Debug)]
+struct Stream {
+    open: Vec<Pending>,
+    open_bytes: usize,
+    gen: u64,
+    waiters: Vec<oneshot::Sender<Result<(), StoreError>>>,
+    append: Option<(u32, u32)>,
+}
+
+struct MftlInner {
+    map: HashMap<Key, Vec<MapEntry>>,
+    streams: Vec<Stream>,
+    next_stream: usize,
+    next_gen: u64,
+    /// Pages taken from the packer whose program is still in flight,
+    /// readable by generation.
+    flushing: HashMap<u64, Page>,
+    /// Append points used only by the zero-time bulk loader (striped across
+    /// channels like the runtime packing streams).
+    load_append: Vec<Option<(u32, u32)>>,
+    next_load_append: usize,
+    live: Vec<u32>,
+    /// Tuples ever written to each block since its last erase (live +
+    /// garbage); the GC victim picker maximizes `written - live`.
+    written: Vec<u32>,
+    watermark: Timestamp,
+    stats: StoreStats,
+    gc_nudge: mpsc::Sender<()>,
+    /// Packer state for zero-time bulk loading.
+    load_buf: Vec<TupleRecord>,
+    load_bytes: usize,
+}
+
+/// The unified multi-version FTL store. Cloning shares the store.
+#[derive(Clone)]
+pub struct UnifiedStore {
+    handle: SimHandle,
+    dev: NandDevice<Page>,
+    cfg: Rc<MftlConfig>,
+    inner: Rc<RefCell<MftlInner>>,
+    gc_lock: Semaphore,
+}
+
+impl std::fmt::Debug for UnifiedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("UnifiedStore")
+            .field("keys", &inner.map.len())
+            .field("free_blocks", &self.dev.free_blocks())
+            .finish()
+    }
+}
+
+impl UnifiedStore {
+    /// Creates an MFTL store over a fresh device and spawns its GC task.
+    pub fn new(handle: SimHandle, nand: NandConfig, cfg: MftlConfig) -> UnifiedStore {
+        let dev = NandDevice::new(handle.clone(), nand);
+        let blocks = dev.config().blocks as usize;
+        let n_streams = (dev.config().channels as usize).min((blocks / 8).max(1));
+        let streams = (0..n_streams)
+            .map(|i| Stream {
+                open: Vec::new(),
+                open_bytes: 0,
+                gen: i as u64,
+                waiters: Vec::new(),
+                append: None,
+            })
+            .collect::<Vec<_>>();
+        let (tx, rx) = mpsc::channel();
+        let store = UnifiedStore {
+            handle: handle.clone(),
+            dev,
+            cfg: Rc::new(cfg),
+            inner: Rc::new(RefCell::new(MftlInner {
+                map: HashMap::new(),
+                next_gen: n_streams as u64,
+                next_stream: 0,
+                streams,
+                flushing: HashMap::new(),
+                load_append: vec![None; n_streams],
+                next_load_append: 0,
+                live: vec![0; blocks],
+                written: vec![0; blocks],
+                watermark: Timestamp::ZERO,
+                stats: StoreStats::default(),
+                gc_nudge: tx,
+                load_buf: Vec::new(),
+                load_bytes: 0,
+            })),
+            gc_lock: Semaphore::new(1),
+        };
+        let gc = store.clone();
+        handle.spawn(async move {
+            while rx.recv().await.is_some() {
+                while gc.dev.free_blocks() <= gc.cfg.gc_low_water {
+                    if !gc.collect_once().await {
+                        break;
+                    }
+                }
+            }
+        });
+        store
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &NandDevice<Page> {
+        &self.dev
+    }
+
+    /// Store-level counters (device counters live on [`UnifiedStore::device`]).
+    pub fn stats(&self) -> StoreStats {
+        let mut s = self.inner.borrow().stats;
+        let d = self.dev.stats();
+        s.pages_written = d.page_writes;
+        s.pages_read = d.page_reads;
+        s
+    }
+
+    /// Writes a new version of `key`. Completes when the tuple is persisted
+    /// (packed page programmed to flash).
+    ///
+    /// # Errors
+    ///
+    /// - [`StoreError::StaleWrite`] if `version` is not newer than the key's
+    ///   latest version (at-most-once, §3.3).
+    /// - [`StoreError::CapacityExhausted`] if the device is full of live data.
+    pub async fn put(&self, key: Key, value: Value, version: Version) -> Result<(), StoreError> {
+        self.handle.sleep(self.cfg.op_overhead).await;
+        {
+            let inner = self.inner.borrow();
+            if let Some(head) = inner.map.get(&key).and_then(|c| c.first()) {
+                if version <= head.version {
+                    return Err(StoreError::StaleWrite(head.version));
+                }
+            }
+        }
+        self.insert_and_wait(key, value, version, true).await
+    }
+
+    /// Applies a replicated write that may arrive out of order (backup path
+    /// of SEMEL's inconsistent replication, §3.2). Duplicate versions are
+    /// acknowledged without rewriting (idempotence).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CapacityExhausted`] if the device is full of live data.
+    pub async fn apply_unordered(
+        &self,
+        key: Key,
+        value: Value,
+        version: Version,
+    ) -> Result<(), StoreError> {
+        {
+            let inner = self.inner.borrow();
+            if let Some(chain) = inner.map.get(&key) {
+                if chain.iter().any(|e| e.version == version) {
+                    return Ok(());
+                }
+            }
+        }
+        self.insert_and_wait(key, value, version, false).await
+    }
+
+    /// Applies a batch of unordered writes with **atomic visibility**: every
+    /// entry is installed in the mapping table before the method first
+    /// yields, so no reader can observe a prefix of a committed
+    /// transaction's writes. Completes when all tuples are persisted.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CapacityExhausted`] if the device fills.
+    pub async fn apply_batch_unordered(
+        &self,
+        items: Vec<(Key, Value, Version)>,
+    ) -> Result<(), StoreError> {
+        let mut waiters = Vec::new();
+        let mut batches = Vec::new();
+        for (key, value, version) in items {
+            {
+                let inner = self.inner.borrow();
+                if let Some(chain) = inner.map.get(&key) {
+                    if chain.iter().any(|e| e.version == version) {
+                        continue; // duplicate
+                    }
+                }
+            }
+            let rec = TupleRecord {
+                key: key.clone(),
+                version,
+                value,
+            };
+            let (gen, idx, rx, to_flush) = self.enqueue(rec, Origin::Fresh);
+            let mut inner = self.inner.borrow_mut();
+            let chain = inner.map.entry(key.clone()).or_default();
+            let pos = chain
+                .iter()
+                .position(|e| e.version < version)
+                .unwrap_or(chain.len());
+            chain.insert(
+                pos,
+                MapEntry {
+                    version,
+                    loc: Loc::Buffered { gen, idx },
+                },
+            );
+            let watermark = inner.watermark;
+            let (pruned_flash, pruned) = prune_chain(inner.map.get_mut(&key).unwrap(), watermark);
+            for loc in pruned_flash {
+                inner.live[loc.block as usize] -= 1;
+            }
+            inner.stats.versions_pruned += pruned;
+            inner.stats.puts += 1;
+            drop(inner);
+            waiters.push(rx);
+            if let Some(b) = to_flush {
+                batches.push(b);
+            }
+        }
+        for b in batches {
+            let me = self.clone();
+            self.handle.spawn(async move { me.flush(b).await });
+        }
+        for rx in waiters {
+            rx.await.unwrap_or(Err(StoreError::CapacityExhausted))?;
+        }
+        Ok(())
+    }
+
+    async fn insert_and_wait(
+        &self,
+        key: Key,
+        value: Value,
+        version: Version,
+        expect_head: bool,
+    ) -> Result<(), StoreError> {
+        let rec = TupleRecord {
+            key: key.clone(),
+            version,
+            value,
+        };
+        let rx = {
+            let (gen, idx, rx, to_flush) = self.enqueue(rec, Origin::Fresh);
+            let mut inner = self.inner.borrow_mut();
+            let chain = inner.map.entry(key.clone()).or_default();
+            let entry = MapEntry {
+                version,
+                loc: Loc::Buffered { gen, idx },
+            };
+            if expect_head {
+                chain.insert(0, entry);
+            } else {
+                let pos = chain
+                    .iter()
+                    .position(|e| e.version < version)
+                    .unwrap_or(chain.len());
+                chain.insert(pos, entry);
+            }
+            let watermark = inner.watermark;
+            let (pruned_flash, pruned) = prune_chain(inner.map.get_mut(&key).unwrap(), watermark);
+            for loc in pruned_flash {
+                inner.live[loc.block as usize] -= 1;
+            }
+            inner.stats.versions_pruned += pruned;
+            inner.stats.puts += 1;
+            drop(inner);
+            if let Some(batch) = to_flush {
+                let me = self.clone();
+                self.handle.spawn(async move { me.flush(batch).await });
+            }
+            rx
+        };
+        rx.await.unwrap_or(Err(StoreError::CapacityExhausted))
+    }
+
+    /// Adds a tuple to the packer. Returns `(gen, idx, waiter, batch)` where
+    /// `batch` is a full page that must be flushed by the caller.
+    fn enqueue(
+        &self,
+        rec: TupleRecord,
+        origin: Origin,
+    ) -> (
+        u64,
+        usize,
+        oneshot::Receiver<Result<(), StoreError>>,
+        Option<Batch>,
+    ) {
+        let page_size = self.dev.config().page_size;
+        let mut inner = self.inner.borrow_mut();
+        let len = rec.rec_len();
+        // Round-robin over the per-channel packing streams.
+        let s = inner.next_stream;
+        inner.next_stream = (s + 1) % inner.streams.len();
+        let mut to_flush = None;
+        if !inner.streams[s].open.is_empty() && inner.streams[s].open_bytes + len > page_size {
+            to_flush = Some(take_open(&mut inner, s));
+        }
+        let gen = inner.streams[s].gen;
+        let idx = inner.streams[s].open.len();
+        let first = idx == 0;
+        inner.streams[s].open.push(Pending { rec, origin });
+        inner.streams[s].open_bytes += len;
+        let (tx, rx) = oneshot::channel();
+        inner.streams[s].waiters.push(tx);
+        let full = inner.streams[s].open_bytes + crate::types::TUPLE_HEADER + 16 > page_size;
+        if full && to_flush.is_none() {
+            to_flush = Some(take_open(&mut inner, s));
+        } else if full {
+            // Rare: the tuple that forced the previous flush itself fills the
+            // fresh page. Flush both: spawn the second here.
+            let second = take_open(&mut inner, s);
+            let me = self.clone();
+            self.handle.spawn(async move { me.flush(second).await });
+        } else if first {
+            // First tuple of a fresh page: arm the packing-window timer.
+            let me = self.clone();
+            let deadline = self.handle.now() + self.cfg.packing_window;
+            self.handle.spawn(async move {
+                me.handle.sleep_until(deadline).await;
+                let batch = {
+                    let mut inner = me.inner.borrow_mut();
+                    if inner.streams[s].gen == gen && !inner.streams[s].open.is_empty() {
+                        Some(take_open(&mut inner, s))
+                    } else {
+                        None
+                    }
+                };
+                if let Some(b) = batch {
+                    me.flush(b).await;
+                }
+            });
+        }
+        (gen, idx, rx, to_flush)
+    }
+
+    /// Allocates the next append slot on stream `s`'s append point; GC
+    /// flushes may use the reserve.
+    fn alloc_slot(&self, s: usize, for_gc: bool) -> Option<PhysLoc> {
+        let mut inner = self.inner.borrow_mut();
+        let pages_per_block = self.dev.config().pages_per_block;
+        if let Some((b, p)) = inner.streams[s].append {
+            if p < pages_per_block {
+                inner.streams[s].append = Some((b, p + 1));
+                return Some(PhysLoc { block: b, page: p });
+            }
+        }
+        let reserve = if for_gc { 0 } else { self.cfg.gc_reserve };
+        if self.dev.free_blocks() <= reserve {
+            return None;
+        }
+        let b = self.dev.alloc_block()?;
+        inner.streams[s].append = Some((b, 1));
+        Some(PhysLoc { block: b, page: 0 })
+    }
+
+    async fn flush(&self, batch: Batch) {
+        let has_reloc = batch
+            .pendings
+            .iter()
+            .any(|p| matches!(p.origin, Origin::Reloc { .. }));
+        let loc = loop {
+            if let Some(l) = self.alloc_slot(batch.stream, has_reloc) {
+                break l;
+            }
+            // A batch carrying GC relocations must NEVER wait on the GC
+            // lock: the collector may be blocked awaiting this very batch.
+            // Fail fast; the collection aborts safely (old locations stay
+            // valid) and retries when space frees up.
+            if has_reloc {
+                self.fail_batch(batch);
+                return;
+            }
+            if !self.collect_once().await {
+                self.fail_batch(batch);
+                return;
+            }
+        };
+        self.dev
+            .program(loc, batch.page.clone())
+            .await
+            .expect("MFTL program invariant");
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.written[loc.block as usize] += batch.page.len() as u32;
+            for (slot, p) in batch.pendings.iter().enumerate() {
+                let Some(chain) = inner.map.get_mut(&p.rec.key) else { continue };
+                let Some(e) = chain.iter_mut().find(|e| e.version == p.rec.version) else {
+                    continue; // pruned or deleted while buffered
+                };
+                match p.origin {
+                    Origin::Fresh => {
+                        if e.loc
+                            == (Loc::Buffered {
+                                gen: batch.gen,
+                                idx: slot,
+                            })
+                        {
+                            e.loc = Loc::Flash {
+                                loc,
+                                slot: slot as u16,
+                            };
+                            inner.live[loc.block as usize] += 1;
+                        }
+                    }
+                    Origin::Reloc { old, old_slot } => {
+                        if e.loc
+                            == (Loc::Flash {
+                                loc: old,
+                                slot: old_slot,
+                            })
+                        {
+                            e.loc = Loc::Flash {
+                                loc,
+                                slot: slot as u16,
+                            };
+                            inner.live[old.block as usize] -= 1;
+                            inner.live[loc.block as usize] += 1;
+                            inner.stats.gc_relocated += 1;
+                        }
+                    }
+                }
+            }
+            inner.flushing.remove(&batch.gen);
+        }
+        for w in batch.waiters {
+            let _ = w.send(Ok(()));
+        }
+        if self.dev.free_blocks() <= self.cfg.gc_low_water {
+            let _ = self.inner.borrow().gc_nudge.send(());
+        }
+    }
+
+    fn fail_batch(&self, batch: Batch) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            for (slot, p) in batch.pendings.iter().enumerate() {
+                if matches!(p.origin, Origin::Fresh) {
+                    if let Some(chain) = inner.map.get_mut(&p.rec.key) {
+                        chain.retain(|e| {
+                            !(e.version == p.rec.version
+                                && e.loc
+                                    == Loc::Buffered {
+                                        gen: batch.gen,
+                                        idx: slot,
+                                    })
+                        });
+                    }
+                }
+                // Relocations keep their old (still valid) location.
+            }
+            inner.flushing.remove(&batch.gen);
+        }
+        for w in batch.waiters {
+            let _ = w.send(Err(StoreError::CapacityExhausted));
+        }
+    }
+
+    /// Reads the youngest version of `key` with timestamp `<= at` —
+    /// MILANA's snapshot read primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the key has no visible version at `at`.
+    pub async fn get_at(&self, key: &Key, at: Timestamp) -> Result<VersionedValue, StoreError> {
+        self.get_where(key, |e| e.version.ts <= at).await
+    }
+
+    /// Reads the latest version of `key` regardless of timestamp.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the key does not exist.
+    pub async fn get_latest(&self, key: &Key) -> Result<VersionedValue, StoreError> {
+        self.get_where(key, |_| true).await
+    }
+
+    async fn get_where(
+        &self,
+        key: &Key,
+        pred: impl Fn(&MapEntry) -> bool,
+    ) -> Result<VersionedValue, StoreError> {
+        self.handle.sleep(self.cfg.op_overhead).await;
+        for _ in 0..8 {
+            let target = {
+                let mut inner = self.inner.borrow_mut();
+                let Some(chain) = inner.map.get(key) else {
+                    return Err(StoreError::NotFound);
+                };
+                let Some(e) = chain.iter().find(|e| pred(e)) else {
+                    return Err(StoreError::NotFound);
+                };
+                let e = *e;
+                match e.loc {
+                    Loc::Buffered { gen, idx } => {
+                        // DRAM hit: serve from a packer stream or an
+                        // in-flight page.
+                        let rec = match inner.streams.iter().find(|st| st.gen == gen) {
+                            Some(st) => st.open.get(idx).map(|p| p.rec.clone()),
+                            None => inner
+                                .flushing
+                                .get(&gen)
+                                .and_then(|pg| pg.get(idx).cloned()),
+                        };
+                        match rec {
+                            Some(rec) => {
+                                debug_assert_eq!(rec.key, *key);
+                                inner.stats.gets += 1;
+                                return Ok(VersionedValue {
+                                    version: e.version,
+                                    value: rec.value,
+                                });
+                            }
+                            None => continue, // committed between checks; retry
+                        }
+                    }
+                    Loc::Flash { loc, slot } => Some((e.version, loc, slot)),
+                }
+            };
+            let Some((version, loc, slot)) = target else { continue };
+            match self.dev.read(loc).await {
+                Ok(page) => match page.get(slot as usize) {
+                    Some(rec) if rec.key == *key && rec.version == version => {
+                        self.inner.borrow_mut().stats.gets += 1;
+                        return Ok(VersionedValue {
+                            version,
+                            value: rec.value.clone(),
+                        });
+                    }
+                    _ => continue, // relocated under us; retry with fresh map
+                },
+                Err(_) => continue, // erased under us; retry
+            }
+        }
+        unreachable!("key {key} kept moving during read; GC livelock")
+    }
+
+    /// Removes all versions of `key` (§3 API). Metadata-only in this model.
+    pub fn delete(&self, key: &Key) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(chain) = inner.map.remove(key) {
+            for e in chain {
+                if let Loc::Flash { loc, .. } = e.loc {
+                    inner.live[loc.block as usize] -= 1;
+                }
+            }
+        }
+    }
+
+    /// Raises the GC watermark: versions superseded at or below `ts` become
+    /// collectible (§3.1). Watermarks never move backwards.
+    pub fn set_watermark(&self, ts: Timestamp) {
+        let mut inner = self.inner.borrow_mut();
+        if ts > inner.watermark {
+            inner.watermark = ts;
+        }
+    }
+
+    /// Current watermark.
+    pub fn watermark(&self) -> Timestamp {
+        self.inner.borrow().watermark
+    }
+
+    /// All versions currently mapped for `key`, youngest first (test /
+    /// recovery instrumentation).
+    pub fn versions(&self, key: &Key) -> Vec<Version> {
+        self.inner
+            .borrow()
+            .map
+            .get(key)
+            .map(|c| c.iter().map(|e| e.version).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.inner.borrow().map.len()
+    }
+
+    /// Zero-time bulk load for experiment setup. Call
+    /// [`UnifiedStore::finish_load`] after the last record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device fills during the load.
+    pub fn bulk_load(&self, key: Key, value: Value, version: Version) {
+        let rec = TupleRecord {
+            key,
+            version,
+            value,
+        };
+        let page_size = self.dev.config().page_size;
+        let mut inner = self.inner.borrow_mut();
+        if !inner.load_buf.is_empty() && inner.load_bytes + rec.rec_len() > page_size {
+            drop(inner);
+            self.install_load_page();
+            inner = self.inner.borrow_mut();
+        }
+        inner.load_bytes += rec.rec_len();
+        inner.load_buf.push(rec);
+    }
+
+    /// Flushes the bulk-load packer.
+    pub fn finish_load(&self) {
+        if !self.inner.borrow().load_buf.is_empty() {
+            self.install_load_page();
+        }
+    }
+
+    fn install_load_page(&self) {
+        let recs = {
+            let mut inner = self.inner.borrow_mut();
+            inner.load_bytes = 0;
+            std::mem::take(&mut inner.load_buf)
+        };
+        let loc = {
+            let mut inner = self.inner.borrow_mut();
+            let pages_per_block = self.dev.config().pages_per_block;
+            let point = inner.next_load_append;
+            inner.next_load_append = (point + 1) % inner.load_append.len();
+            match inner.load_append[point] {
+                Some((b, p)) if p < pages_per_block => {
+                    inner.load_append[point] = Some((b, p + 1));
+                    PhysLoc { block: b, page: p }
+                }
+                _ => {
+                    let b = self.dev.alloc_block().expect("device full during bulk load");
+                    inner.load_append[point] = Some((b, 1));
+                    PhysLoc { block: b, page: 0 }
+                }
+            }
+        };
+        self.dev
+            .install(loc, Rc::new(recs.clone()))
+            .expect("bulk load program order");
+        let mut inner = self.inner.borrow_mut();
+        inner.written[loc.block as usize] += recs.len() as u32;
+        for (slot, rec) in recs.into_iter().enumerate() {
+            let entry = MapEntry {
+                version: rec.version,
+                loc: Loc::Flash {
+                    loc,
+                    slot: slot as u16,
+                },
+            };
+            let chain = inner.map.entry(rec.key).or_default();
+            let pos = chain
+                .iter()
+                .position(|e| e.version < entry.version)
+                .unwrap_or(chain.len());
+            chain.insert(pos, entry);
+            inner.live[loc.block as usize] += 1;
+        }
+    }
+
+    /// One unified GC pass: pick the emptiest full block, prune dead
+    /// versions, relocate live tuples through the packer, erase.
+    async fn collect_once(&self) -> bool {
+        let _gc = self.gc_lock.acquire().await;
+        let pages_per_block = self.dev.config().pages_per_block;
+        let victim = {
+            let inner = self.inner.borrow();
+            let mut append_blocks: Vec<u32> = inner
+                .streams
+                .iter()
+                .filter_map(|st| st.append.map(|(b, _)| b))
+                .collect();
+            append_blocks.extend(inner.load_append.iter().filter_map(|a| a.map(|(b, _)| b)));
+            (0..inner.live.len() as u32)
+                .filter(|&b| !append_blocks.contains(&b))
+                .filter(|&b| inner.written[b as usize] > inner.live[b as usize])
+                .max_by_key(|&b| inner.written[b as usize] - inner.live[b as usize])
+        };
+        // No block holds any garbage tuples: collecting would free nothing.
+        let Some(victim) = victim else { return false };
+        let mut waiters = Vec::new();
+        let mut flush_batches = Vec::new();
+        // Read every victim page concurrently (the device parallelism GC
+        // relies on in practice); then scan tuples.
+        let mut read_jobs = Vec::new();
+        for page_no in 0..pages_per_block {
+            let loc = PhysLoc {
+                block: victim,
+                page: page_no,
+            };
+            if self.dev.peek(loc).is_none() {
+                continue;
+            }
+            let dev = self.dev.clone();
+            read_jobs.push(self.handle.spawn(async move { (loc, dev.read(loc).await.ok()) }));
+        }
+        let mut pages = Vec::new();
+        for j in read_jobs {
+            let (loc, page) = j.await;
+            if let Some(p) = page {
+                pages.push((loc, p));
+            }
+        }
+        for (loc, page) in pages {
+            for (slot, rec) in page.iter().enumerate() {
+                let live = {
+                    let mut inner = self.inner.borrow_mut();
+                    let watermark = inner.watermark;
+                    // Prune this chain first so cold garbage dies here.
+                    if let Some(chain) = inner.map.get_mut(&rec.key) {
+                        let (pruned_flash, pruned) = prune_chain(chain, watermark);
+                        for l in pruned_flash {
+                            inner.live[l.block as usize] -= 1;
+                        }
+                        inner.stats.versions_pruned += pruned;
+                    }
+                    inner.map.get(&rec.key).is_some_and(|chain| {
+                        chain.iter().any(|e| {
+                            e.version == rec.version
+                                && e.loc
+                                    == Loc::Flash {
+                                        loc,
+                                        slot: slot as u16,
+                                    }
+                        })
+                    })
+                };
+                if live {
+                    let (_gen, _idx, rx, to_flush) = self.enqueue(
+                        rec.clone(),
+                        Origin::Reloc {
+                            old: loc,
+                            old_slot: slot as u16,
+                        },
+                    );
+                    waiters.push(rx);
+                    if let Some(b) = to_flush {
+                        flush_batches.push(b);
+                    }
+                }
+            }
+        }
+        // Force out partial pages holding relocation tails so the erase
+        // below cannot outrun persistence.
+        {
+            let mut inner = self.inner.borrow_mut();
+            for s in 0..inner.streams.len() {
+                let has_reloc = inner.streams[s]
+                    .open
+                    .iter()
+                    .any(|p| matches!(p.origin, Origin::Reloc { .. }));
+                if has_reloc {
+                    let b = take_open(&mut inner, s);
+                    flush_batches.push(b);
+                }
+            }
+        }
+        for b in flush_batches {
+            // Boxed to break the flush -> collect_once -> flush async cycle.
+            Box::pin(self.flush(b)).await;
+        }
+        for rx in waiters {
+            match rx.await {
+                Ok(Ok(())) => {}
+                _ => return false, // relocation failed; keep victim intact
+            }
+        }
+        self.dev.erase(victim).await.expect("GC erase");
+        {
+            let mut inner = self.inner.borrow_mut();
+            debug_assert_eq!(inner.live[victim as usize], 0, "live data erased");
+            inner.live[victim as usize] = 0;
+            inner.written[victim as usize] = 0;
+            inner.stats.gc_collections += 1;
+        }
+        true
+    }
+}
+
+fn take_open(inner: &mut MftlInner, s: usize) -> Batch {
+    let gen = inner.streams[s].gen;
+    inner.streams[s].gen = inner.next_gen;
+    inner.next_gen += 1;
+    let pendings = std::mem::take(&mut inner.streams[s].open);
+    let waiters = std::mem::take(&mut inner.streams[s].waiters);
+    inner.streams[s].open_bytes = 0;
+    let page: Page = Rc::new(pendings.iter().map(|p| p.rec.clone()).collect());
+    inner.flushing.insert(gen, page.clone());
+    Batch {
+        gen,
+        stream: s,
+        pendings,
+        waiters,
+        page,
+    }
+}
+
+/// Removes dead versions: everything strictly older than the youngest entry
+/// with `ts <= watermark`. Returns flash locations freed and count pruned.
+fn prune_chain(chain: &mut Vec<MapEntry>, watermark: Timestamp) -> (Vec<PhysLoc>, u64) {
+    let Some(keep) = chain.iter().position(|e| e.version.ts <= watermark) else {
+        return (Vec::new(), 0);
+    };
+    let mut freed = Vec::new();
+    let mut pruned = 0;
+    for e in chain.drain(keep + 1..) {
+        if let Loc::Flash { loc, .. } = e.loc {
+            freed.push(loc);
+        }
+        pruned += 1;
+    }
+    (freed, pruned)
+}
+
+impl TupleRecord {
+    fn rec_len(&self) -> usize {
+        self.accounted_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::value;
+    use simkit::time::SimTime;
+    use simkit::Sim;
+    use timesync::ClientId;
+
+    fn v(ts: u64) -> Version {
+        Version::new(Timestamp(ts), ClientId(0))
+    }
+
+    fn vc(ts: u64, c: u32) -> Version {
+        Version::new(Timestamp(ts), ClientId(c))
+    }
+
+    fn nand(blocks: u32) -> NandConfig {
+        NandConfig {
+            blocks,
+            pages_per_block: 4,
+            channels: 2,
+            queue_depth: 16,
+            ..NandConfig::default()
+        }
+    }
+
+    fn val(n: usize) -> Value {
+        value(vec![0xabu8; n])
+    }
+
+    fn store(sim: &Sim, blocks: u32) -> UnifiedStore {
+        UnifiedStore::new(sim.handle(), nand(blocks), MftlConfig::default())
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut sim = Sim::new(1);
+        let s = store(&sim, 16);
+        sim.block_on(async move {
+            s.put(Key::from(1u64), val(100), v(10)).await.unwrap();
+            let got = s.get_at(&Key::from(1u64), Timestamp(10)).await.unwrap();
+            assert_eq!(got.version, v(10));
+            assert_eq!(got.value, val(100));
+        });
+    }
+
+    #[test]
+    fn snapshot_reads_see_old_versions() {
+        let mut sim = Sim::new(1);
+        let s = store(&sim, 16);
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            s.put(k.clone(), val(1), v(10)).await.unwrap();
+            s.put(k.clone(), val(2), v(20)).await.unwrap();
+            s.put(k.clone(), val(3), v(30)).await.unwrap();
+            assert_eq!(s.get_at(&k, Timestamp(10)).await.unwrap().version, v(10));
+            assert_eq!(s.get_at(&k, Timestamp(25)).await.unwrap().version, v(20));
+            assert_eq!(s.get_at(&k, Timestamp(99)).await.unwrap().version, v(30));
+            assert_eq!(
+                s.get_at(&k, Timestamp(5)).await.unwrap_err(),
+                StoreError::NotFound
+            );
+        });
+    }
+
+    #[test]
+    fn stale_writes_rejected_with_latest() {
+        let mut sim = Sim::new(1);
+        let s = store(&sim, 16);
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            s.put(k.clone(), val(1), v(20)).await.unwrap();
+            let err = s.put(k.clone(), val(2), v(10)).await.unwrap_err();
+            assert_eq!(err, StoreError::StaleWrite(v(20)));
+            // Equal version also rejected (same-client replay handled above).
+            let err = s.put(k.clone(), val(2), v(20)).await.unwrap_err();
+            assert_eq!(err, StoreError::StaleWrite(v(20)));
+        });
+    }
+
+    #[test]
+    fn client_id_breaks_ties() {
+        let mut sim = Sim::new(1);
+        let s = store(&sim, 16);
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            s.put(k.clone(), val(1), vc(10, 1)).await.unwrap();
+            s.put(k.clone(), val(2), vc(10, 2)).await.unwrap(); // later client wins
+            let err = s.put(k.clone(), val(3), vc(10, 0)).await.unwrap_err();
+            assert_eq!(err, StoreError::StaleWrite(vc(10, 2)));
+        });
+    }
+
+    #[test]
+    fn apply_unordered_accepts_any_order_and_dups() {
+        let mut sim = Sim::new(1);
+        let s = store(&sim, 16);
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            s.apply_unordered(k.clone(), val(3), v(30)).await.unwrap();
+            s.apply_unordered(k.clone(), val(1), v(10)).await.unwrap();
+            s.apply_unordered(k.clone(), val(2), v(20)).await.unwrap();
+            s.apply_unordered(k.clone(), val(2), v(20)).await.unwrap(); // dup
+            assert_eq!(s.versions(&k), vec![v(30), v(20), v(10)]);
+            assert_eq!(s.get_at(&k, Timestamp(20)).await.unwrap().version, v(20));
+        });
+    }
+
+    #[test]
+    fn packing_window_bounds_put_latency() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let s = store(&sim, 16);
+        let hh = h.clone();
+        sim.block_on(async move {
+            let t0 = hh.now();
+            // One lonely small tuple: flushed by the 1ms window timer.
+            s.put(Key::from(1u64), val(100), v(10)).await.unwrap();
+            let lat = hh.now() - t0;
+            assert!(
+                lat >= Duration::from_millis(1) && lat < Duration::from_micros(1200),
+                "latency {lat:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn full_page_flushes_immediately() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let s = store(&sim, 16);
+        let hh = h.clone();
+        sim.block_on(async move {
+            // The test device has 2 packing streams (one per channel); 16
+            // tuples of 512 accounted bytes fill one 4 KB page per stream.
+            let t0 = hh.now();
+            let mut joins = Vec::new();
+            for i in 0..16u64 {
+                let s2 = s.clone();
+                joins.push(hh.spawn(async move {
+                    s2.put(Key::from(i), val(472), v(10 + i)).await.unwrap();
+                }));
+            }
+            for j in joins {
+                j.await;
+            }
+            let lat = hh.now() - t0;
+            // No packing wait: just the 100us program (plus epsilon).
+            assert!(lat < Duration::from_micros(300), "latency {lat:?}");
+        });
+    }
+
+    #[test]
+    fn watermark_prunes_old_versions() {
+        let mut sim = Sim::new(1);
+        let s = store(&sim, 16);
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            for ts in [10, 20, 30, 40] {
+                s.put(k.clone(), val(8), v(ts)).await.unwrap();
+            }
+            s.set_watermark(Timestamp(25));
+            // Next write triggers pruning: versions older than the youngest
+            // <= 25 (i.e. v20) die; v10 goes away.
+            s.put(k.clone(), val(8), v(50)).await.unwrap();
+            assert_eq!(s.versions(&k), vec![v(50), v(40), v(30), v(20)]);
+            // Reads at/above the watermark still see a consistent snapshot.
+            assert_eq!(s.get_at(&k, Timestamp(25)).await.unwrap().version, v(20));
+        });
+    }
+
+    #[test]
+    fn gc_reclaims_space_under_overwrites() {
+        let mut sim = Sim::new(2);
+        let h = sim.handle();
+        let s = store(&sim, 12); // 12 blocks * 4 pages * 8 tuples = 384 slots
+        sim.block_on(async move {
+            let keys = 20u64;
+            for round in 0..40u64 {
+                // Concurrent puts within a round so pages pack well.
+                let mut joins = Vec::new();
+                for i in 0..keys {
+                    let ts = round * 100 + i + 1;
+                    let s2 = s.clone();
+                    joins.push(h.spawn(async move {
+                        s2.put(Key::from(i), val(472), v(ts)).await.unwrap();
+                    }));
+                }
+                for j in joins {
+                    j.await;
+                }
+                // Watermark trails by one round, allowing pruning.
+                s.set_watermark(Timestamp(round * 100));
+            }
+            // 800 writes through 384 slots: GC must have collected.
+            assert!(s.stats().gc_collections > 5, "{:?}", s.stats());
+            for i in 0..keys {
+                let got = s.get_latest(&Key::from(i)).await.unwrap();
+                assert_eq!(got.version, v(39 * 100 + i + 1));
+            }
+        });
+    }
+
+    #[test]
+    fn capacity_exhausted_when_everything_live() {
+        let mut sim = Sim::new(1);
+        let s = store(&sim, 4); // 4*4*8 = 128 tuple slots, no watermark
+        sim.block_on(async move {
+            let mut err = None;
+            for i in 0..200u64 {
+                if let Err(e) = s.put(Key::from(i), val(472), v(i + 1)).await {
+                    err = Some(e);
+                    break;
+                }
+            }
+            assert_eq!(err, Some(StoreError::CapacityExhausted));
+        });
+    }
+
+    #[test]
+    fn bulk_load_is_instant_and_readable() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let s = store(&sim, 64);
+        for i in 0..1000u64 {
+            s.bulk_load(Key::from(i), val(472), v(1));
+        }
+        s.finish_load();
+        assert_eq!(h.now(), SimTime::ZERO);
+        assert_eq!(s.key_count(), 1000);
+        sim.block_on(async move {
+            let got = s.get_at(&Key::from(999u64), Timestamp(1)).await.unwrap();
+            assert_eq!(got.version, v(1));
+        });
+    }
+
+    #[test]
+    fn delete_removes_all_versions() {
+        let mut sim = Sim::new(1);
+        let s = store(&sim, 16);
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            s.put(k.clone(), val(8), v(10)).await.unwrap();
+            s.put(k.clone(), val(8), v(20)).await.unwrap();
+            s.delete(&k);
+            assert_eq!(
+                s.get_latest(&k).await.unwrap_err(),
+                StoreError::NotFound
+            );
+            assert!(s.versions(&k).is_empty());
+            // Key can be written again afterwards.
+            s.put(k.clone(), val(8), v(30)).await.unwrap();
+            assert_eq!(s.get_latest(&k).await.unwrap().version, v(30));
+        });
+    }
+
+    #[test]
+    fn buffered_reads_hit_the_packer() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let s = store(&sim, 16);
+        let hh = h.clone();
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            let s2 = s.clone();
+            let k2 = k.clone();
+            let put = hh.spawn(async move { s2.put(k2, val(9), v(10)).await });
+            // Let the put enqueue, then read before the 1ms flush completes.
+            hh.sleep(Duration::from_micros(10)).await;
+            let t0 = hh.now();
+            let got = s.get_at(&k, Timestamp(10)).await.unwrap();
+            assert_eq!(got.version, v(10));
+            // DRAM hit: only the mapping-table overhead, no flash read.
+            assert_eq!(hh.now() - t0, MftlConfig::default().op_overhead);
+            put.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn reads_survive_concurrent_gc() {
+        let mut sim = Sim::new(9);
+        let s = store(&sim, 10);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let keys = 16u64;
+            for i in 0..keys {
+                s.bulk_load(Key::from(i), val(472), v(1));
+            }
+            s.finish_load();
+            // Writer hammers overwrites (GC churn), readers read everything.
+            let s2 = s.clone();
+            let h3 = hh.clone();
+            let writer = hh.spawn(async move {
+                for round in 1..30u64 {
+                    let mut joins = Vec::new();
+                    for i in 0..keys {
+                        let ts = round * 1000 + i;
+                        let s4 = s2.clone();
+                        joins.push(h3.spawn(async move {
+                            s4.put(Key::from(i), val(472), v(ts)).await.unwrap();
+                        }));
+                    }
+                    for j in joins {
+                        j.await;
+                    }
+                    s2.set_watermark(Timestamp((round - 1) * 1000 + keys));
+                }
+            });
+            let s3 = s.clone();
+            let reader = hh.spawn(async move {
+                for _ in 0..200 {
+                    for i in 0..keys {
+                        let got = s3.get_latest(&Key::from(i)).await.unwrap();
+                        assert_eq!(got.value, val(472));
+                    }
+                }
+            });
+            writer.await;
+            reader.await;
+        });
+    }
+}

@@ -1,0 +1,487 @@
+//! A generic single-level, page-mapped, log-structured FTL.
+//!
+//! This is the "standard FTL" of §2.2/Figure 2: it exposes a logical block
+//! address (LBA) space, maps each LBA to a physical page, writes updates
+//! out-of-place in log order, and garbage-collects erase blocks greedily.
+//! 10 % of physical capacity is reserved as over-provisioning by default.
+//!
+//! The split multi-version store ([`crate::vftl`]) stacks its own KV layer on
+//! top of this FTL — the configuration the paper calls **VFTL** — and the
+//! single-version store ([`crate::sftl`]) uses it directly (**SFTL**).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simkit::sync::mpsc;
+use simkit::SimHandle;
+
+use crate::nand::{NandConfig, NandDevice, PhysLoc};
+use crate::types::StoreError;
+
+/// Tuning for a [`PageFtl`].
+#[derive(Debug, Clone)]
+pub struct PageFtlConfig {
+    /// Fraction of physical capacity hidden from the logical space.
+    pub overprovision: f64,
+    /// Background GC starts when free blocks drop to this level.
+    pub gc_low_water: usize,
+    /// Blocks reserved exclusively for GC relocation (never user writes).
+    pub gc_reserve: usize,
+}
+
+impl Default for PageFtlConfig {
+    fn default() -> PageFtlConfig {
+        PageFtlConfig {
+            overprovision: 0.10,
+            gc_low_water: 3,
+            gc_reserve: 1,
+        }
+    }
+}
+
+/// Counters describing FTL-level activity (on top of raw device counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageFtlStats {
+    /// User-visible LBA writes.
+    pub lba_writes: u64,
+    /// User-visible LBA reads.
+    pub lba_reads: u64,
+    /// Pages relocated by garbage collection.
+    pub gc_relocated: u64,
+    /// Blocks erased by garbage collection.
+    pub gc_erases: u64,
+}
+
+#[derive(Debug)]
+struct PftlInner {
+    map: HashMap<u32, PhysLoc>,
+    rmap: HashMap<PhysLoc, u32>,
+    /// Parallel append points (super-page striping): consecutive writes
+    /// rotate across points, whose blocks land on different channels.
+    append: Vec<Option<(u32, u32)>>,
+    next_append: usize,
+    live: Vec<u32>,
+    stats: PageFtlStats,
+    gc_nudge: mpsc::Sender<()>,
+}
+
+/// A shareable page-mapped FTL over a [`NandDevice`].
+#[derive(Debug)]
+pub struct PageFtl<P> {
+    handle: SimHandle,
+    dev: NandDevice<P>,
+    cfg: Rc<PageFtlConfig>,
+    logical_pages: u32,
+    inner: Rc<RefCell<PftlInner>>,
+    gc_lock: simkit::sync::Semaphore,
+}
+
+impl<P> Clone for PageFtl<P> {
+    fn clone(&self) -> Self {
+        PageFtl {
+            handle: self.handle.clone(),
+            dev: self.dev.clone(),
+            cfg: self.cfg.clone(),
+            logical_pages: self.logical_pages,
+            inner: self.inner.clone(),
+            gc_lock: self.gc_lock.clone(),
+        }
+    }
+}
+
+impl<P: Clone + 'static> PageFtl<P> {
+    /// Creates an FTL over a fresh device and spawns its background GC task
+    /// (owned by no node; it dies with the simulation).
+    pub fn new(handle: SimHandle, nand: NandConfig, cfg: PageFtlConfig) -> PageFtl<P> {
+        let dev = NandDevice::new(handle.clone(), nand);
+        Self::over(handle, dev, cfg)
+    }
+
+    /// Creates an FTL over an existing device.
+    pub fn over(handle: SimHandle, dev: NandDevice<P>, cfg: PageFtlConfig) -> PageFtl<P> {
+        let total = dev.config().total_pages();
+        let logical_pages = ((total as f64) * (1.0 - cfg.overprovision)).floor() as u32;
+        let blocks = dev.config().blocks as usize;
+        // One append point per channel where the device is big enough.
+        let points = (dev.config().channels as usize).min((blocks / 8).max(1));
+        let (tx, rx) = mpsc::channel();
+        let ftl = PageFtl {
+            handle: handle.clone(),
+            dev,
+            cfg: Rc::new(cfg),
+            logical_pages,
+            inner: Rc::new(RefCell::new(PftlInner {
+                map: HashMap::new(),
+                rmap: HashMap::new(),
+                append: vec![None; points],
+                next_append: 0,
+                live: vec![0; blocks],
+                stats: PageFtlStats::default(),
+                gc_nudge: tx,
+            })),
+            gc_lock: simkit::sync::Semaphore::new(1),
+        };
+        let gc = ftl.clone();
+        handle.spawn(async move {
+            while rx.recv().await.is_some() {
+                while gc.dev.free_blocks() <= gc.cfg.gc_low_water {
+                    if !gc.collect_once().await {
+                        break;
+                    }
+                }
+            }
+        });
+        ftl
+    }
+
+    /// Number of logical pages exposed (physical minus over-provisioning).
+    pub fn logical_pages(&self) -> u32 {
+        self.logical_pages
+    }
+
+    /// The underlying device (for stats and shared-device setups).
+    pub fn device(&self) -> &NandDevice<P> {
+        &self.dev
+    }
+
+    /// FTL activity counters.
+    pub fn stats(&self) -> PageFtlStats {
+        self.inner.borrow().stats
+    }
+
+    /// Allocates the next append slot, rotating across the parallel append
+    /// points. `for_gc` may dip into the reserve.
+    fn alloc_slot(&self, for_gc: bool) -> Option<PhysLoc> {
+        let mut inner = self.inner.borrow_mut();
+        let pages_per_block = self.dev.config().pages_per_block;
+        let point = inner.next_append;
+        inner.next_append = (point + 1) % inner.append.len();
+        if let Some((b, p)) = inner.append[point] {
+            if p < pages_per_block {
+                inner.append[point] = Some((b, p + 1));
+                return Some(PhysLoc { block: b, page: p });
+            }
+        }
+        let reserve = if for_gc { 0 } else { self.cfg.gc_reserve };
+        if self.dev.free_blocks() <= reserve {
+            return None;
+        }
+        let b = self.dev.alloc_block()?;
+        inner.append[point] = Some((b, 1));
+        Some(PhysLoc { block: b, page: 0 })
+    }
+
+    fn nudge_gc(&self) {
+        if self.dev.free_blocks() <= self.cfg.gc_low_water {
+            let inner = self.inner.borrow();
+            let _ = inner.gc_nudge.send(());
+        }
+    }
+
+    /// Writes `payload` to logical page `lba`, remapping it out-of-place.
+    ///
+    /// # Errors
+    ///
+    /// - [`StoreError::NotFound`] if `lba` is out of the logical range.
+    /// - [`StoreError::CapacityExhausted`] if GC cannot free space.
+    pub async fn write(&self, lba: u32, payload: P) -> Result<(), StoreError> {
+        if lba >= self.logical_pages {
+            return Err(StoreError::NotFound);
+        }
+        let loc = loop {
+            if let Some(loc) = self.alloc_slot(false) {
+                break loc;
+            }
+            if !self.collect_once().await {
+                return Err(StoreError::CapacityExhausted);
+            }
+        };
+        self.dev
+            .program(loc, payload)
+            .await
+            .expect("FTL program invariant violated");
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(old) = inner.map.insert(lba, loc) {
+                inner.rmap.remove(&old);
+                inner.live[old.block as usize] -= 1;
+            }
+            inner.rmap.insert(loc, lba);
+            inner.live[loc.block as usize] += 1;
+            inner.stats.lba_writes += 1;
+        }
+        self.nudge_gc();
+        Ok(())
+    }
+
+    /// Reads logical page `lba`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the LBA is unmapped.
+    pub async fn read(&self, lba: u32) -> Result<P, StoreError> {
+        // GC may remap the LBA between lookup and device read; retry on a
+        // fresh mapping. The device clones the payload synchronously, so a
+        // successful read is never torn.
+        for _ in 0..8 {
+            let loc = {
+                let inner = self.inner.borrow();
+                match inner.map.get(&lba) {
+                    Some(&loc) => loc,
+                    None => return Err(StoreError::NotFound),
+                }
+            };
+            match self.dev.read(loc).await {
+                Ok(p) => {
+                    self.inner.borrow_mut().stats.lba_reads += 1;
+                    return Ok(p);
+                }
+                Err(_) => continue,
+            }
+        }
+        unreachable!("LBA {lba} kept moving during read; GC livelock");
+    }
+
+    /// Unmaps `lba`, making its physical page garbage.
+    pub fn trim(&self, lba: u32) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(old) = inner.map.remove(&lba) {
+            inner.rmap.remove(&old);
+            inner.live[old.block as usize] -= 1;
+        }
+    }
+
+    /// True if `lba` is mapped.
+    pub fn is_mapped(&self, lba: u32) -> bool {
+        self.inner.borrow().map.contains_key(&lba)
+    }
+
+    /// Zero-time write for bulk-loading datasets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device runs out of space during the load.
+    pub fn install(&self, lba: u32, payload: P) {
+        assert!(lba < self.logical_pages, "install outside logical range");
+        let loc = self
+            .alloc_slot(false)
+            .expect("device full during bulk load");
+        self.dev
+            .install(loc, payload)
+            .expect("install program order");
+        let mut inner = self.inner.borrow_mut();
+        if let Some(old) = inner.map.insert(lba, loc) {
+            inner.rmap.remove(&old);
+            inner.live[old.block as usize] -= 1;
+        }
+        inner.rmap.insert(loc, lba);
+        inner.live[loc.block as usize] += 1;
+    }
+
+    /// Collects the fullest-garbage block. Returns false if nothing is
+    /// collectible (every candidate block is fully live). Only one
+    /// collection runs at a time; concurrent callers queue on the GC lock.
+    async fn collect_once(&self) -> bool {
+        let _gc = self.gc_lock.acquire().await;
+        let pages_per_block = self.dev.config().pages_per_block;
+        let victim = {
+            let inner = self.inner.borrow();
+            let append_blocks: Vec<u32> = inner
+                .append
+                .iter()
+                .filter_map(|a| a.map(|(b, _)| b))
+                .collect();
+            (0..inner.live.len() as u32)
+                .filter(|&b| !append_blocks.contains(&b))
+                .filter(|&b| self.dev.pages_programmed(b) > inner.live[b as usize])
+                .max_by_key(|&b| self.dev.pages_programmed(b) - inner.live[b as usize])
+        };
+        // No block holds any garbage: erasing would free nothing.
+        let Some(victim) = victim else { return false };
+        // Relocate every still-mapped page, with reads and programs issued
+        // concurrently across the device's channels.
+        let mut jobs = Vec::new();
+        for page in 0..pages_per_block {
+            let loc = PhysLoc {
+                block: victim,
+                page,
+            };
+            let lba = match self.inner.borrow().rmap.get(&loc) {
+                Some(&lba) => lba,
+                None => continue,
+            };
+            let me = self.clone();
+            jobs.push(self.handle.spawn(async move {
+                let Some(payload) = me.dev.peek(loc) else { return true };
+                // Charge a page read for the relocation.
+                let _ = me.dev.read(loc).await;
+                let new_loc = match me.alloc_slot(true) {
+                    Some(l) => l,
+                    None => return false, // reserve exhausted
+                };
+                me.dev
+                    .program(new_loc, payload)
+                    .await
+                    .expect("GC program invariant");
+                let mut inner = me.inner.borrow_mut();
+                // Commit only if the mapping still points at the old
+                // location (a concurrent user write may have superseded it).
+                if inner.map.get(&lba) == Some(&loc) {
+                    inner.map.insert(lba, new_loc);
+                    inner.rmap.remove(&loc);
+                    inner.rmap.insert(new_loc, lba);
+                    inner.live[victim as usize] -= 1;
+                    inner.live[new_loc.block as usize] += 1;
+                    inner.stats.gc_relocated += 1;
+                }
+                true
+            }));
+        }
+        let mut all_ok = true;
+        for j in jobs {
+            all_ok &= j.await;
+        }
+        if !all_ok {
+            return false; // give up this round; space remains consistent
+        }
+        self.dev.erase(victim).await.expect("GC erase");
+        debug_assert_eq!(self.inner.borrow().live[victim as usize], 0);
+        self.inner.borrow_mut().stats.gc_erases += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Sim;
+
+    fn cfg(blocks: u32) -> NandConfig {
+        NandConfig {
+            blocks,
+            pages_per_block: 4,
+            channels: 2,
+            queue_depth: 8,
+            ..NandConfig::default()
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let ftl: PageFtl<u32> = PageFtl::new(h, cfg(8), PageFtlConfig::default());
+            ftl.write(3, 30).await.unwrap();
+            ftl.write(5, 50).await.unwrap();
+            assert_eq!(ftl.read(3).await.unwrap(), 30);
+            assert_eq!(ftl.read(5).await.unwrap(), 50);
+        });
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let ftl: PageFtl<u32> = PageFtl::new(h, cfg(8), PageFtlConfig::default());
+            for i in 0..10 {
+                ftl.write(1, i).await.unwrap();
+            }
+            assert_eq!(ftl.read(1).await.unwrap(), 9);
+        });
+    }
+
+    #[test]
+    fn unmapped_lba_not_found() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let ftl: PageFtl<u32> = PageFtl::new(h, cfg(8), PageFtlConfig::default());
+            assert_eq!(ftl.read(0).await.unwrap_err(), StoreError::NotFound);
+            ftl.write(0, 1).await.unwrap();
+            ftl.trim(0);
+            assert_eq!(ftl.read(0).await.unwrap_err(), StoreError::NotFound);
+        });
+    }
+
+    #[test]
+    fn gc_reclaims_overwritten_space() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        sim.block_on(async move {
+            // 8 blocks * 4 pages = 32 phys pages, ~28 logical.
+            let ftl: PageFtl<u32> = PageFtl::new(h, cfg(8), PageFtlConfig::default());
+            // Hammer one LBA far beyond raw capacity; GC must keep up.
+            for i in 0..200 {
+                ftl.write(0, i).await.unwrap();
+            }
+            assert_eq!(ftl.read(0).await.unwrap(), 199);
+            assert!(ftl.stats().gc_erases > 10);
+        });
+    }
+
+    #[test]
+    fn capacity_exhausted_when_all_live() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let ftl: PageFtl<u32> = PageFtl::new(
+                h,
+                cfg(4), // 16 phys pages
+                PageFtlConfig {
+                    overprovision: 0.0,
+                    ..PageFtlConfig::default()
+                },
+            );
+            // Fill every logical page with live data.
+            let mut failed = None;
+            for lba in 0..16u32 {
+                if let Err(e) = ftl.write(lba, lba).await {
+                    failed = Some(e);
+                    break;
+                }
+            }
+            // With zero OP and all data live, late writes cannot proceed.
+            assert_eq!(failed, Some(StoreError::CapacityExhausted));
+        });
+    }
+
+    #[test]
+    fn data_survives_heavy_mixed_traffic() {
+        let mut sim = Sim::new(5);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let ftl: PageFtl<(u32, u32)> = PageFtl::new(h.clone(), cfg(16), PageFtlConfig::default());
+            let lbas = 40u32; // of ~57 logical
+            let mut latest = vec![None; lbas as usize];
+            let mut x = 1u64;
+            for round in 0..400u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let lba = (x % lbas as u64) as u32;
+                ftl.write(lba, (lba, round)).await.unwrap();
+                latest[lba as usize] = Some(round);
+            }
+            for lba in 0..lbas {
+                if let Some(round) = latest[lba as usize] {
+                    assert_eq!(ftl.read(lba).await.unwrap(), (lba, round));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn install_bulk_loads_without_time() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let ftl: PageFtl<u32> = PageFtl::new(h.clone(), cfg(8), PageFtlConfig::default());
+        for lba in 0..20 {
+            ftl.install(lba, lba * 10);
+        }
+        assert_eq!(h.now(), simkit::SimTime::ZERO);
+        sim.block_on(async move {
+            assert_eq!(ftl.read(7).await.unwrap(), 70);
+        });
+    }
+}

@@ -1,0 +1,650 @@
+//! The MILANA client library (§4.1): each transaction executes entirely on
+//! one client, which assigns its begin/commit timestamps from the local
+//! precision clock, buffers writes, caches reads, coordinates two-phase
+//! commit — and **commits read-only transactions locally**, with no server
+//! round trips at all (§4.3).
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::time::Duration;
+
+use flashsim::{Key, Value};
+use semel::shard::{ShardId, ShardMap};
+use simkit::net::NodeId;
+use simkit::rpc::{RpcClient, RpcError};
+use simkit::SimHandle;
+use timesync::{ClientId, Discipline, SyncedClock, Timestamp, Version};
+
+use crate::msg::{AbortReason, TxnError, TxnId, TxnRequest, TxnResponse};
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct TxnClientConfig {
+    /// Per-RPC timeout.
+    pub rpc_timeout: Duration,
+    /// Master address for shard-map refresh after repeated failures.
+    /// `None` means the client's map is externally maintained.
+    pub master: Option<simkit::net::Addr>,
+    /// Retries for reads that hit a recovering/leaseless primary.
+    pub read_retries: u32,
+    /// Client-local validation of read-only transactions (§4.3). Disabling
+    /// it forces read-only transactions through 2PC, the "w/o LV"
+    /// configuration of Figure 8.
+    pub local_validation: bool,
+    /// Watermark broadcast period (§4.4).
+    pub watermark_interval: Duration,
+}
+
+impl Default for TxnClientConfig {
+    fn default() -> TxnClientConfig {
+        TxnClientConfig {
+            rpc_timeout: Duration::from_millis(50),
+            master: None,
+            read_retries: 8,
+            local_validation: true,
+            watermark_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Per-client transaction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnClientStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted (any reason).
+    pub aborts: u64,
+    /// Read-only transactions decided locally (no validation round trips).
+    pub local_validations: u64,
+    /// Commit outcomes left unknown (coordinator could not decide).
+    pub unknown: u64,
+}
+
+/// A MILANA client. Cloning shares the client.
+#[derive(Clone)]
+pub struct TxnClient {
+    handle: SimHandle,
+    id: ClientId,
+    clock: Rc<SyncedClock>,
+    map: Rc<RefCell<ShardMap>>,
+    rpc: RpcClient,
+    cfg: Rc<TxnClientConfig>,
+    seq: Rc<Cell<u64>>,
+    last_decided: Rc<Cell<Timestamp>>,
+    /// Begin timestamps of transactions still in flight on this client.
+    /// The watermark report must stay below all of them (§4.4), or garbage
+    /// collection could discard a long-running reader's snapshot.
+    active: Rc<RefCell<BTreeMap<Timestamp, usize>>>,
+    /// Inter-transaction value cache for [`TxnClient::begin_cached`]
+    /// (§4.3 future work). Maps a key to the newest version this client
+    /// has observed.
+    value_cache: Rc<RefCell<HashMap<Key, (Version, Value)>>>,
+    stats: Rc<RefCell<TxnClientStats>>,
+}
+
+impl std::fmt::Debug for TxnClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnClient").field("id", &self.id).finish()
+    }
+}
+
+/// Reply port used by MILANA clients on their node.
+pub const TXN_CLIENT_RPC_PORT: u16 = 40;
+
+impl TxnClient {
+    /// Creates a client on `node` with its own skewed clock and starts its
+    /// watermark broadcast task.
+    pub fn new(
+        handle: &SimHandle,
+        node: NodeId,
+        id: ClientId,
+        discipline: Discipline,
+        map: Rc<RefCell<ShardMap>>,
+        cfg: TxnClientConfig,
+    ) -> TxnClient {
+        let clock_seed = handle.rand_u64();
+        let client = TxnClient {
+            handle: handle.clone(),
+            id,
+            clock: Rc::new(SyncedClock::new(discipline, clock_seed)),
+            map,
+            rpc: RpcClient::new(handle, node, TXN_CLIENT_RPC_PORT),
+            cfg: Rc::new(cfg),
+            seq: Rc::new(Cell::new(0)),
+            last_decided: Rc::new(Cell::new(Timestamp::ZERO)),
+            active: Rc::new(RefCell::new(BTreeMap::new())),
+            value_cache: Rc::new(RefCell::new(HashMap::new())),
+            stats: Rc::new(RefCell::new(TxnClientStats::default())),
+        };
+        let me = client.clone();
+        handle.spawn_on(node, async move {
+            loop {
+                me.handle.sleep(me.cfg.watermark_interval).await;
+                me.broadcast_watermark();
+            }
+        });
+        client
+    }
+
+    /// Sends the watermark report to every replica of every shard (§4.4).
+    ///
+    /// The reported timestamp is the latest decided transaction's stamp,
+    /// capped below every still-active transaction's `ts_begin` so servers
+    /// retain the versions a long-running snapshot reader still needs.
+    pub fn broadcast_watermark(&self) {
+        let ts = self.watermark_report();
+        let map = self.map.borrow();
+        for (_, group) in map.iter() {
+            for addr in group.all() {
+                self.rpc.cast(
+                    addr,
+                    TxnRequest::Watermark {
+                        client: self.id,
+                        ts,
+                    },
+                );
+            }
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Reads the client's local (skewed, monotonic) clock.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now(self.handle.now())
+    }
+
+    /// The client's clock (skew instrumentation).
+    pub fn clock(&self) -> &SyncedClock {
+        &self.clock
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> TxnClientStats {
+        *self.stats.borrow()
+    }
+
+    /// Begins a transaction at the client's current time (`ts_begin`).
+    pub fn begin(&self) -> Txn {
+        self.begin_inner(false)
+    }
+
+    /// Begins a transaction that may satisfy reads from the client's
+    /// **inter-transaction value cache** — the §4.3 future-work mode.
+    ///
+    /// Cached reads skip the server entirely, but the transaction loses the
+    /// prepared-flag information that powers local validation, so it always
+    /// validates remotely at commit (even when read-only), as the paper
+    /// prescribes: "any transaction marked as read-write in advance may
+    /// read from its cache, but then must validate remotely."
+    pub fn begin_cached(&self) -> Txn {
+        self.begin_inner(true)
+    }
+
+    fn begin_inner(&self, use_client_cache: bool) -> Txn {
+        let ts_begin = self.now();
+        self.register_active(ts_begin);
+        Txn {
+            c: self.clone(),
+            ts_begin,
+            read_set: Vec::new(),
+            prepared_seen: false,
+            snapshot_lost: false,
+            writes: Vec::new(),
+            write_idx: HashMap::new(),
+            cache: HashMap::new(),
+            use_client_cache,
+            requires_remote: false,
+            cache_hits: 0,
+            finished: false,
+        }
+    }
+
+    fn note_decided(&self, ts: Timestamp) {
+        if ts > self.last_decided.get() {
+            self.last_decided.set(ts);
+        }
+    }
+
+    /// The timestamp this client may safely report for GC (§4.4): its
+    /// latest decided stamp, but never at/above an active `ts_begin`.
+    pub fn watermark_report(&self) -> Timestamp {
+        let decided = self.last_decided.get();
+        match self.active.borrow().keys().next() {
+            Some(&oldest_active) if oldest_active <= decided => {
+                Timestamp(oldest_active.0.saturating_sub(1))
+            }
+            _ => decided,
+        }
+    }
+
+    /// Fetches a fresh shard map from the master (if configured) and
+    /// installs it when its epoch is newer than the local copy.
+    pub async fn refresh_map(&self) {
+        let Some(master) = self.cfg.master else { return };
+        if let Ok(new_map) =
+            semel::master::fetch_map(&self.rpc, master, self.cfg.rpc_timeout).await
+        {
+            let mut map = self.map.borrow_mut();
+            if new_map.epoch() > map.epoch() {
+                *map = new_map;
+            }
+        }
+    }
+
+    fn register_active(&self, ts: Timestamp) {
+        *self.active.borrow_mut().entry(ts).or_insert(0) += 1;
+    }
+
+    fn deregister_active(&self, ts: Timestamp) {
+        let mut active = self.active.borrow_mut();
+        if let Some(n) = active.get_mut(&ts) {
+            *n -= 1;
+            if *n == 0 {
+                active.remove(&ts);
+            }
+        }
+    }
+}
+
+/// One executing transaction (§4.1's API: `get`, `put`, `commit`, `abort`).
+///
+/// Reads are satisfied at `ts_begin` from a consistent snapshot; writes are
+/// buffered client-side and pushed to the shard primaries only at commit.
+///
+/// # Examples
+///
+/// See the crate root and `examples/quickstart.rs`.
+#[derive(Debug)]
+pub struct Txn {
+    c: TxnClient,
+    ts_begin: Timestamp,
+    read_set: Vec<(Key, Version)>,
+    prepared_seen: bool,
+    snapshot_lost: bool,
+    writes: Vec<(Key, Value)>,
+    write_idx: HashMap<Key, usize>,
+    cache: HashMap<Key, Value>,
+    /// §4.3 cached mode: serve reads from the client-wide value cache and
+    /// validate remotely at commit.
+    use_client_cache: bool,
+    /// Set by reads that carry no local-validation information (cached
+    /// reads, replica reads): the commit must validate remotely even if
+    /// the transaction is read-only.
+    requires_remote: bool,
+    /// Reads served from the client-wide cache (instrumentation).
+    cache_hits: u64,
+    finished: bool,
+}
+
+/// What `commit` reports on success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// The commit timestamp; `None` for read-only transactions (which
+    /// logically commit at `ts_begin`).
+    pub ts_commit: Option<Timestamp>,
+    /// True if the decision was made by client-local validation.
+    pub local: bool,
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        // A transaction abandoned without commit/abort must still release
+        // its hold on the client's watermark report.
+        if !self.finished {
+            self.finished = true;
+            self.c.deregister_active(self.ts_begin);
+        }
+    }
+}
+
+impl Txn {
+    /// The transaction's begin timestamp.
+    pub fn ts_begin(&self) -> Timestamp {
+        self.ts_begin
+    }
+
+    /// True once no writes have been buffered so far.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Reads `key` from the transaction's snapshot. Own writes win, then
+    /// cached reads, then the shard primary at `ts_begin`.
+    ///
+    /// # Errors
+    ///
+    /// - [`TxnError::KeyNotFound`] if the key has no visible version;
+    /// - [`TxnError::Aborted`] with [`AbortReason::SnapshotUnavailable`] on
+    ///   single-version backends that lost the snapshot;
+    /// - [`TxnError::Timeout`] if the primary stays unreachable.
+    pub async fn get(&mut self, key: &Key) -> Result<Value, TxnError> {
+        if self.finished {
+            return Err(TxnError::Finished);
+        }
+        if let Some(&i) = self.write_idx.get(key) {
+            return Ok(self.writes[i].1.clone());
+        }
+        if let Some(v) = self.cache.get(key) {
+            return Ok(v.clone());
+        }
+        if self.use_client_cache {
+            let hit = self.c.value_cache.borrow().get(key).cloned();
+            if let Some((version, value)) = hit {
+                // Cached read: no server contact, no prepared flag — the
+                // commit-time remote validation checks this version.
+                self.read_set.push((key.clone(), version));
+                self.requires_remote = true;
+                self.cache.insert(key.clone(), value.clone());
+                self.cache_hits += 1;
+                return Ok(value);
+            }
+        }
+        for attempt in 0..=self.c.cfg.read_retries {
+            // Re-resolve the primary each attempt: the shard map may have
+            // been updated by a failover while we were retrying.
+            let primary = {
+                let map = self.c.map.borrow();
+                map.group(map.shard_for(key)).primary
+            };
+            let r = self
+                .c
+                .rpc
+                .call::<TxnRequest, TxnResponse>(
+                    primary,
+                    TxnRequest::Get {
+                        key: key.clone(),
+                        at: self.ts_begin,
+                    },
+                    self.c.cfg.rpc_timeout,
+                )
+                .await;
+            match r {
+                Ok(TxnResponse::Value {
+                    version,
+                    value,
+                    prepared,
+                }) => {
+                    self.read_set.push((key.clone(), version));
+                    self.prepared_seen |= prepared;
+                    self.cache.insert(key.clone(), value.clone());
+                    // Feed the inter-transaction cache (newest version wins).
+                    {
+                        let mut vc = self.c.value_cache.borrow_mut();
+                        match vc.get(key) {
+                            Some(&(cur, _)) if cur >= version => {}
+                            _ => {
+                                vc.insert(key.clone(), (version, value.clone()));
+                            }
+                        }
+                    }
+                    return Ok(value);
+                }
+                Ok(TxnResponse::NotFound) => return Err(TxnError::KeyNotFound(key.clone())),
+                Ok(TxnResponse::SnapshotUnavailable(_)) => {
+                    // The version this snapshot needs is gone (single-version
+                    // backend); the transaction cannot serialize at ts_begin.
+                    self.snapshot_lost = true;
+                    return Err(TxnError::Aborted(AbortReason::SnapshotUnavailable));
+                }
+                Ok(TxnResponse::NotReady) | Err(RpcError::Timeout) => {
+                    if attempt < self.c.cfg.read_retries {
+                        // Every few failures, ask the master whether the
+                        // shard map changed underneath us (failover).
+                        if attempt % 3 == 2 {
+                            self.c.refresh_map().await;
+                        }
+                        self.c.handle.sleep(self.c.cfg.rpc_timeout / 8).await;
+                        continue;
+                    }
+                    return Err(TxnError::Timeout);
+                }
+                Ok(_) | Err(RpcError::Closed) => return Err(TxnError::Timeout),
+            }
+        }
+        Err(TxnError::Timeout)
+    }
+
+    /// Snapshot read served by **any replica** of the owning shard —
+    /// §4.6's load-spreading relaxation. Because the reply carries no
+    /// prepared-version information, the transaction loses local-validation
+    /// eligibility and will validate remotely at commit; use this only on
+    /// transactions that write (or validate remotely anyway).
+    ///
+    /// # Errors
+    ///
+    /// As [`Txn::get`].
+    pub async fn get_any(&mut self, key: &Key) -> Result<Value, TxnError> {
+        if self.finished {
+            return Err(TxnError::Finished);
+        }
+        if let Some(&i) = self.write_idx.get(key) {
+            return Ok(self.writes[i].1.clone());
+        }
+        if let Some(v) = self.cache.get(key) {
+            return Ok(v.clone());
+        }
+        for attempt in 0..=self.c.cfg.read_retries {
+            // Pick a random replica of the owning shard each attempt.
+            let replica = {
+                let map = self.c.map.borrow();
+                let group = map.group(map.shard_for(key));
+                let all = group.all();
+                let i = self.c.handle.rand_range(0, all.len() as u64) as usize;
+                all[i]
+            };
+            let r = self
+                .c
+                .rpc
+                .call::<TxnRequest, TxnResponse>(
+                    replica,
+                    TxnRequest::GetAny {
+                        key: key.clone(),
+                        at: self.ts_begin,
+                    },
+                    self.c.cfg.rpc_timeout,
+                )
+                .await;
+            match r {
+                Ok(TxnResponse::Value { version, value, .. }) => {
+                    self.read_set.push((key.clone(), version));
+                    self.requires_remote = true; // no LV info from replicas
+                    self.cache.insert(key.clone(), value.clone());
+                    return Ok(value);
+                }
+                Ok(TxnResponse::NotFound) => return Err(TxnError::KeyNotFound(key.clone())),
+                Ok(TxnResponse::SnapshotUnavailable(_)) => {
+                    self.snapshot_lost = true;
+                    return Err(TxnError::Aborted(AbortReason::SnapshotUnavailable));
+                }
+                Ok(TxnResponse::NotReady) | Err(RpcError::Timeout) => {
+                    if attempt < self.c.cfg.read_retries {
+                        self.c.handle.sleep(self.c.cfg.rpc_timeout / 8).await;
+                        continue;
+                    }
+                    return Err(TxnError::Timeout);
+                }
+                Ok(_) | Err(RpcError::Closed) => return Err(TxnError::Timeout),
+            }
+        }
+        Err(TxnError::Timeout)
+    }
+
+    /// Buffers a write; nothing reaches a server until commit (§4.1).
+    pub fn put(&mut self, key: Key, value: Value) {
+        assert!(!self.finished, "put on a finished transaction");
+        match self.write_idx.get(&key) {
+            Some(&i) => self.writes[i].1 = value,
+            None => {
+                self.write_idx.insert(key.clone(), self.writes.len());
+                self.writes.push((key, value));
+            }
+        }
+    }
+
+    /// Discards the transaction (§4.1 `abortTransaction`).
+    pub fn abort(mut self) {
+        self.finished = true;
+        self.c.deregister_active(self.ts_begin);
+        self.c.note_decided(self.ts_begin);
+        self.c.stats.borrow_mut().aborts += 1;
+    }
+
+    /// Commits (§4.1 `commitTransaction`).
+    ///
+    /// Read-only transactions validate **locally** when enabled: commit iff
+    /// no read returned a prepared-version flag (§4.3) — zero round trips.
+    /// Read-write transactions run client-coordinated 2PC over the shard
+    /// primaries (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// - [`TxnError::Aborted`] if validation failed anywhere;
+    /// - [`TxnError::Timeout`] with [`AbortReason`] semantics preserved: if
+    ///   a participant is unreachable *after* some prepares succeeded the
+    ///   outcome is unknown and is surfaced as `Timeout` (the transaction
+    ///   resolves later via cooperative termination).
+    pub async fn commit(mut self) -> Result<CommitInfo, TxnError> {
+        if self.finished {
+            return Err(TxnError::Finished);
+        }
+        self.finished = true;
+        self.c.deregister_active(self.ts_begin);
+        if self.snapshot_lost {
+            self.c.note_decided(self.ts_begin);
+            self.c.stats.borrow_mut().aborts += 1;
+            return Err(TxnError::Aborted(AbortReason::SnapshotUnavailable));
+        }
+        if self.writes.is_empty()
+            && self.c.cfg.local_validation
+            && !self.use_client_cache
+            && !self.requires_remote
+        {
+            // §4.3: every read already proved it came from a consistent
+            // snapshot unless a prepared version was visible at ts_begin.
+            self.c.note_decided(self.ts_begin);
+            let mut stats = self.c.stats.borrow_mut();
+            stats.local_validations += 1;
+            return if self.prepared_seen {
+                stats.aborts += 1;
+                Err(TxnError::Aborted(AbortReason::PreparedRead))
+            } else {
+                stats.commits += 1;
+                Ok(CommitInfo {
+                    ts_commit: None,
+                    local: true,
+                })
+            };
+        }
+        let ts_commit = self.c.now();
+        let txid = TxnId {
+            client: self.c.id,
+            seq: self.c.seq.replace(self.c.seq.get() + 1),
+        };
+        // Group read and write sets by shard.
+        type ShardSets = HashMap<ShardId, (Vec<(Key, Version)>, Vec<(Key, Value)>)>;
+        let mut by_shard: ShardSets = HashMap::new();
+        {
+            let map = self.c.map.borrow();
+            for (key, version) in &self.read_set {
+                let s = map.shard_for(key);
+                by_shard.entry(s).or_default().0.push((key.clone(), *version));
+            }
+            for (key, value) in &self.writes {
+                let s = map.shard_for(key);
+                by_shard
+                    .entry(s)
+                    .or_default()
+                    .1
+                    .push((key.clone(), value.clone()));
+            }
+        }
+        let mut participants: Vec<ShardId> = by_shard.keys().copied().collect();
+        participants.sort();
+        // Phase 1: prepare in parallel at every participant primary
+        // (iterated in shard order for determinism).
+        let mut votes = Vec::new();
+        let mut shards_sorted: Vec<&ShardId> = by_shard.keys().collect();
+        shards_sorted.sort();
+        let shards_sorted: Vec<ShardId> = shards_sorted.into_iter().copied().collect();
+        for &shard in &shards_sorted {
+            let (reads, writes) = &by_shard[&shard];
+            let primary = self.c.map.borrow().group(shard).primary;
+            let req = TxnRequest::Prepare {
+                txid,
+                ts_commit,
+                reads: reads.clone(),
+                writes: writes.clone(),
+                participants: participants.clone(),
+            };
+            let rpc = self.c.rpc.clone();
+            let timeout = self.c.cfg.rpc_timeout;
+            votes.push(self.c.handle.spawn(async move {
+                rpc.call::<TxnRequest, TxnResponse>(primary, req, timeout).await
+            }));
+        }
+        let mut all_ok = true;
+        let mut any_unreachable = false;
+        for v in votes {
+            match v.await {
+                Ok(TxnResponse::Vote { ok }) => all_ok &= ok,
+                Ok(_) => any_unreachable = true,
+                Err(_) => any_unreachable = true,
+            }
+        }
+        self.c.note_decided(ts_commit);
+        if any_unreachable && all_ok {
+            // Some participant may have prepared but we cannot know the
+            // complete vote: deciding either way here could diverge from
+            // cooperative termination. Leave the outcome to CTP (§4.5).
+            self.c.stats.borrow_mut().unknown += 1;
+            return Err(TxnError::Timeout);
+        }
+        // Phase 2: decision (asynchronous notification, §4.2).
+        let commit = all_ok;
+        for &shard in &participants {
+            let primary = self.c.map.borrow().group(shard).primary;
+            self.c.rpc.cast(primary, TxnRequest::Outcome { txid, commit });
+        }
+        if commit {
+            // Refresh the inter-transaction cache with our own writes.
+            let mut vc = self.c.value_cache.borrow_mut();
+            for (key, value) in &self.writes {
+                let version = Version::new(ts_commit, self.c.id);
+                match vc.get(key) {
+                    Some(&(cur, _)) if cur >= version => {}
+                    _ => {
+                        vc.insert(key.clone(), (version, value.clone()));
+                    }
+                }
+            }
+        } else if self.use_client_cache {
+            // Validation failed: our cached reads may be stale. Drop them so
+            // the next attempt refetches fresh versions.
+            let mut vc = self.c.value_cache.borrow_mut();
+            for (key, _) in &self.read_set {
+                vc.remove(key);
+            }
+        }
+        let mut stats = self.c.stats.borrow_mut();
+        if commit {
+            stats.commits += 1;
+            Ok(CommitInfo {
+                ts_commit: Some(ts_commit),
+                local: false,
+            })
+        } else {
+            stats.aborts += 1;
+            Err(TxnError::Aborted(AbortReason::Validation))
+        }
+    }
+
+    /// Reads served from the client-wide cache so far (cached mode).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+}

@@ -1,0 +1,371 @@
+//! Harness that boots a full MILANA deployment inside a simulation —
+//! sharded, replicated transaction servers plus clients — with fault
+//! injection helpers (primary failover, replica restart) acting as the
+//! paper's "global master".
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use flashsim::{value, Backend, BackendKind, Key, NandConfig};
+use semel::shard::{ReplicaGroup, ShardId, ShardMap};
+use simkit::net::{Addr, NodeId};
+use simkit::rpc::RpcClient;
+use simkit::SimHandle;
+use timesync::{ClientId, Discipline, Timestamp, Version};
+
+use crate::client::{TxnClient, TxnClientConfig};
+use crate::msg::{TxnRequest, TxnResponse};
+use crate::server::{ServerTuning, TxnServer, TxnServerConfig};
+use crate::table::TxnTable;
+
+/// Deployment shape and substrate parameters.
+#[derive(Debug, Clone)]
+pub struct MilanaClusterConfig {
+    /// Number of data shards.
+    pub shards: u32,
+    /// Replicas per shard (odd: 1 primary + 2f backups).
+    pub replicas: u32,
+    /// Number of clients.
+    pub clients: u32,
+    /// Storage backend kind.
+    pub backend: BackendKind,
+    /// Device geometry for flash backends.
+    pub nand: NandConfig,
+    /// Client clock discipline.
+    pub discipline: Discipline,
+    /// Keys preloaded as ids `0..preload_keys`.
+    pub preload_keys: u64,
+    /// Preloaded value size.
+    pub value_size: usize,
+    /// Client tuning.
+    pub client_cfg: TxnClientConfig,
+    /// Server tuning.
+    pub tuning: ServerTuning,
+    /// Network latency model installed at build time.
+    pub net: simkit::net::LatencyConfig,
+    /// When true, a master service runs with heartbeat failure detection
+    /// and **automatic** failover; each client keeps a private shard map
+    /// refreshed from the master. When false, the harness owns failover
+    /// ([`MilanaCluster::promote_backup`]) and all clients share one map.
+    pub auto_failover: bool,
+}
+
+impl Default for MilanaClusterConfig {
+    fn default() -> MilanaClusterConfig {
+        MilanaClusterConfig {
+            shards: 1,
+            replicas: 3,
+            clients: 2,
+            backend: BackendKind::Mftl,
+            nand: NandConfig::default(),
+            discipline: Discipline::PtpSoftware,
+            preload_keys: 0,
+            value_size: 472,
+            client_cfg: TxnClientConfig::default(),
+            tuning: ServerTuning::default(),
+            net: simkit::net::LatencyConfig::default(),
+            auto_failover: false,
+        }
+    }
+}
+
+/// One replica slot: the running server plus the persistent handles needed
+/// to restart it after a crash.
+#[derive(Debug)]
+pub struct ReplicaSlot {
+    /// The running server (handle remains valid even if its node is dead).
+    pub server: TxnServer,
+    /// The replica's service address.
+    pub addr: Addr,
+}
+
+/// A running MILANA deployment.
+#[derive(Debug)]
+pub struct MilanaCluster {
+    /// Shared shard map (the master's view; mutated on failover). With
+    /// `auto_failover`, clients hold *private* copies refreshed from the
+    /// [`MilanaCluster::master`] service instead.
+    pub map: Rc<RefCell<ShardMap>>,
+    /// The master service, when `auto_failover` is enabled.
+    pub master: Option<semel::master::Master>,
+    /// Clients.
+    pub clients: Vec<TxnClient>,
+    /// Replica slots, `[shard][replica]`; index 0 is the initial primary.
+    pub replicas: Vec<Vec<ReplicaSlot>>,
+    /// The harness's own RPC endpoint (the "master").
+    pub master_rpc: RpcClient,
+    /// Build configuration.
+    pub config: MilanaClusterConfig,
+    handle: SimHandle,
+}
+
+/// Service port for MILANA shard servers.
+pub const SERVER_PORT: u16 = 0;
+
+fn server_node(cfg: &MilanaClusterConfig, s: u32, r: u32) -> NodeId {
+    NodeId(s * cfg.replicas + r)
+}
+
+fn client_node(i: u32) -> NodeId {
+    NodeId(10_000 + i)
+}
+
+/// The master/harness node.
+pub const MASTER_NODE: NodeId = NodeId(20_000);
+
+impl MilanaCluster {
+    /// Boots the deployment; zero virtual time elapses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is even or zero.
+    pub fn build(handle: &SimHandle, config: MilanaClusterConfig) -> MilanaCluster {
+        assert!(
+            config.replicas % 2 == 1 && config.replicas >= 1,
+            "replicas must be odd (2f+1)"
+        );
+        handle.set_latency(config.net.clone());
+        let client_ids: Vec<ClientId> = (0..config.clients).map(ClientId).collect();
+        let groups: Vec<ReplicaGroup> = (0..config.shards)
+            .map(|s| ReplicaGroup {
+                primary: Addr::new(server_node(&config, s, 0), SERVER_PORT),
+                backups: (1..config.replicas)
+                    .map(|r| Addr::new(server_node(&config, s, r), SERVER_PORT))
+                    .collect(),
+            })
+            .collect();
+        let map = Rc::new(RefCell::new(ShardMap::new(groups.clone())));
+
+        let mut replicas = Vec::new();
+        for (s, group) in groups.iter().enumerate() {
+            let mut slots = Vec::new();
+            for (r, &addr) in group.all().iter().enumerate() {
+                let backend = Backend::new(config.backend, handle, config.nand.clone());
+                let table = Rc::new(RefCell::new(TxnTable::new()));
+                let mut tuning = config.tuning.clone();
+                if config.auto_failover {
+                    tuning.master = Some(Addr::new(MASTER_NODE, 4));
+                }
+                let server = TxnServer::spawn(
+                    handle,
+                    backend,
+                    table,
+                    map.clone(),
+                    TxnServerConfig {
+                        shard: ShardId(s as u32),
+                        addr,
+                        backups: if r == 0 { group.backups.clone() } else { Vec::new() },
+                        is_primary: r == 0,
+                        clients: client_ids.clone(),
+                        tuning,
+                    },
+                );
+                slots.push(ReplicaSlot { server, addr });
+            }
+            replicas.push(slots);
+        }
+
+        if config.preload_keys > 0 {
+            let v0 = Version::new(Timestamp(1), ClientId(u32::MAX));
+            let payload = value(vec![0u8; config.value_size]);
+            let m = map.borrow();
+            for i in 0..config.preload_keys {
+                let key = Key::from(i);
+                let shard = m.shard_for(&key);
+                for slot in &replicas[shard.0 as usize] {
+                    slot.server
+                        .backend()
+                        .bulk_load(key.clone(), payload.clone(), v0);
+                }
+            }
+            for shard in &replicas {
+                for slot in shard {
+                    slot.server.backend().finish_load();
+                }
+            }
+        }
+
+        // Auto mode: spawn the master with a promoter that drives MILANA's
+        // recovery RPC, and give every client a private map + master addr.
+        let master_addr = Addr::new(MASTER_NODE, 4);
+        let master = if config.auto_failover {
+            let promote_rpc = RpcClient::new(handle, MASTER_NODE, 5);
+            let tuning = config.tuning.clone();
+            let shared_map = map.clone();
+            let promoter: semel::master::Promoter = Rc::new(move |shard, new_primary, peers| {
+                let rpc = promote_rpc.clone();
+                let tuning = tuning.clone();
+                let shared_map = shared_map.clone();
+                Box::pin(async move {
+                    let ok = matches!(
+                        rpc.call::<TxnRequest, TxnResponse>(
+                            new_primary,
+                            TxnRequest::Promote { backups: peers },
+                            tuning.repl_timeout * 80,
+                        )
+                        .await,
+                        Ok(TxnResponse::PromoteOk)
+                    );
+                    if ok {
+                        // Keep the servers' shared directory view in step
+                        // (servers use it for cross-shard recovery queries).
+                        shared_map.borrow_mut().promote(shard, new_primary);
+                    }
+                    ok
+                })
+            });
+            Some(semel::master::Master::spawn(
+                handle,
+                semel::master::MasterConfig {
+                    addr: master_addr,
+                    ..semel::master::MasterConfig::default()
+                },
+                map.borrow().clone(),
+                promoter,
+            ))
+        } else {
+            None
+        };
+
+        let clients = (0..config.clients)
+            .map(|i| {
+                let client_map = if config.auto_failover {
+                    Rc::new(RefCell::new(map.borrow().clone()))
+                } else {
+                    map.clone()
+                };
+                let mut client_cfg = config.client_cfg.clone();
+                if config.auto_failover {
+                    client_cfg.master = Some(master_addr);
+                }
+                TxnClient::new(
+                    handle,
+                    client_node(i),
+                    ClientId(i),
+                    config.discipline.clone(),
+                    client_map,
+                    client_cfg,
+                )
+            })
+            .collect();
+
+        MilanaCluster {
+            map,
+            master,
+            clients,
+            replicas,
+            master_rpc: RpcClient::new(handle, MASTER_NODE, 0),
+            config,
+            handle: handle.clone(),
+        }
+    }
+
+    /// The current primary server handle of `shard`.
+    pub fn primary(&self, shard: ShardId) -> &TxnServer {
+        let addr = self.map.borrow().group(shard).primary;
+        self.replicas[shard.0 as usize]
+            .iter()
+            .find(|s| s.addr == addr)
+            .map(|s| &s.server)
+            .expect("primary address present in slots")
+    }
+
+    /// Kills the node hosting `shard`'s current primary (its storage and
+    /// transaction table survive, as persistent memory would).
+    pub fn fail_primary(&self, shard: ShardId) {
+        let addr = self.map.borrow().group(shard).primary;
+        self.handle.kill_node(addr.node);
+    }
+
+    /// Master failover (§4.5): promotes `shard`'s first *live* backup,
+    /// updates the shard map (bumping its epoch), and waits for the new
+    /// primary to finish recovery (log merge, table push, lease wait).
+    ///
+    /// Returns a `'static` future so callers can drive it with
+    /// `Sim::block_on` without borrowing the cluster.
+    ///
+    /// # Panics
+    ///
+    /// The returned future panics if no live backup exists or recovery does
+    /// not complete.
+    pub fn promote_backup(&self, shard: ShardId) -> impl std::future::Future<Output = ()> {
+        let handle = self.handle.clone();
+        let map = self.map.clone();
+        let master_rpc = self.master_rpc.clone();
+        async move {
+            let (new_primary, rest): (Addr, Vec<Addr>) = {
+                let map = map.borrow();
+                let group = map.group(shard);
+                let live: Vec<Addr> = group
+                    .backups
+                    .iter()
+                    .copied()
+                    .filter(|a| !handle.is_dead(a.node))
+                    .collect();
+                let new_primary = *live.first().expect("a live backup to promote");
+                // The new primary replicates to every *other* replica — dead
+                // ones included; they catch up if they come back.
+                let rest = group
+                    .all()
+                    .into_iter()
+                    .filter(|&a| a != new_primary)
+                    .collect();
+                (new_primary, rest)
+            };
+            // Route clients to the new primary immediately; it answers
+            // NotReady until recovery completes and clients retry.
+            map.borrow_mut().promote(shard, new_primary);
+            let resp = master_rpc
+                .call::<TxnRequest, TxnResponse>(
+                    new_primary,
+                    TxnRequest::Promote { backups: rest },
+                    Duration::from_secs(2),
+                )
+                .await
+                .expect("promotion to complete");
+            assert!(matches!(resp, TxnResponse::PromoteOk));
+        }
+    }
+
+    /// Restarts a previously killed replica as a backup, reusing its
+    /// persistent storage and transaction table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica's node is still alive.
+    pub fn restart_replica(&mut self, shard: ShardId, replica_idx: usize) {
+        let slot_addr = self.replicas[shard.0 as usize][replica_idx].addr;
+        assert!(
+            self.handle.is_dead(slot_addr.node),
+            "restart_replica on a live node"
+        );
+        self.handle.revive_node(slot_addr.node);
+        let old = &self.replicas[shard.0 as usize][replica_idx].server;
+        let backend = old.backend().clone();
+        let table = old.table().clone();
+        let client_ids: Vec<ClientId> = (0..self.config.clients).map(ClientId).collect();
+        let mut tuning = self.config.tuning.clone();
+        if self.config.auto_failover {
+            tuning.master = Some(Addr::new(MASTER_NODE, 4));
+        }
+        let server = TxnServer::spawn(
+            &self.handle,
+            backend,
+            table,
+            self.map.clone(),
+            TxnServerConfig {
+                shard,
+                addr: slot_addr,
+                backups: Vec::new(),
+                is_primary: false,
+                clients: client_ids,
+                tuning,
+            },
+        );
+        self.replicas[shard.0 as usize][replica_idx] = ReplicaSlot {
+            server,
+            addr: slot_addr,
+        };
+    }
+}

@@ -1,0 +1,238 @@
+//! MILANA wire protocol: transactional storage requests, 2PC, replication
+//! records, recovery, and lease management (§4).
+
+use flashsim::{Key, Value};
+use semel::shard::ShardId;
+use simkit::net::Addr;
+use simkit::time::SimTime;
+use timesync::{ClientId, Timestamp, Version};
+
+/// Globally unique transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId {
+    /// The coordinating client.
+    pub client: ClientId,
+    /// Client-local sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}.{}", self.client.0, self.seq)
+    }
+}
+
+/// Lifecycle of a transaction on a server (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Validated and holding its write-set keys; outcome unknown.
+    Prepared,
+    /// Decided commit.
+    Committed,
+    /// Decided abort.
+    Aborted,
+}
+
+/// A transaction-table record: what a primary persists (replicates) about a
+/// prepared transaction so any failover can finish the job (§4.1, §4.5).
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// Transaction id.
+    pub txid: TxnId,
+    /// The client-assigned commit timestamp (its writes' version stamp).
+    pub ts_commit: Timestamp,
+    /// The writes this shard must apply on commit.
+    pub writes: Vec<(Key, Value)>,
+    /// Every shard participating in the transaction (for recovery/CTP).
+    pub participants: Vec<ShardId>,
+    /// Current status.
+    pub status: TxnStatus,
+}
+
+/// Answer to a transaction status query (recovery and CTP, §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnQueryStatus {
+    /// The queried shard saw a commit decision.
+    Committed,
+    /// The queried shard saw an abort decision.
+    Aborted,
+    /// Prepared locally, outcome unknown.
+    Prepared,
+    /// No record of the transaction.
+    Unknown,
+}
+
+/// Requests understood by a MILANA shard server.
+#[derive(Debug, Clone)]
+pub enum TxnRequest {
+    /// Transactional snapshot read at the transaction's begin timestamp;
+    /// the reply carries the prepared-version flag for local validation.
+    Get {
+        /// The key.
+        key: Key,
+        /// The reading transaction's `ts_begin`.
+        at: Timestamp,
+    },
+    /// Snapshot read served by **any** replica (§4.6's relaxation for
+    /// read-write transactions). No prepared flag, no `ts_latestRead`
+    /// tracking: the reader must validate remotely at commit.
+    GetAny {
+        /// The key.
+        key: Key,
+        /// The reading transaction's `ts_begin`.
+        at: Timestamp,
+    },
+    /// 2PC phase 1 (§4.2): validate and prepare.
+    Prepare {
+        /// Transaction id.
+        txid: TxnId,
+        /// Commit timestamp chosen by the client.
+        ts_commit: Timestamp,
+        /// `(key, version read)` pairs owned by this shard.
+        reads: Vec<(Key, Version)>,
+        /// `(key, new value)` pairs owned by this shard.
+        writes: Vec<(Key, Value)>,
+        /// All participant shards (passed for recovery, §4.5).
+        participants: Vec<ShardId>,
+    },
+    /// 2PC phase 2: the coordinator's decision (fire-and-forget).
+    Outcome {
+        /// Transaction id.
+        txid: TxnId,
+        /// True to commit, false to abort.
+        commit: bool,
+    },
+    /// Client watermark broadcast (§4.4): last *decided* transaction stamp.
+    Watermark {
+        /// Reporting client.
+        client: ClientId,
+        /// Its latest decided timestamp.
+        ts: Timestamp,
+    },
+    /// Primary → backup: replicate a prepare record.
+    ReplPrepare(TxnRecord),
+    /// Primary → backup: replicate an outcome.
+    ReplOutcome {
+        /// Transaction id.
+        txid: TxnId,
+        /// Decision.
+        commit: bool,
+    },
+    /// Any participant → any primary: what happened to this transaction?
+    QueryTxn {
+        /// Transaction id.
+        txid: TxnId,
+    },
+    /// New primary → replicas: send me your transaction log (§4.5).
+    RequestLog,
+    /// New primary → backups: install the merged table.
+    InstallLog {
+        /// Merged records.
+        records: Vec<TxnRecord>,
+    },
+    /// Primary → backups: extend my read lease to `until` (§4.5).
+    LeaseGrant {
+        /// Requested lease expiry (true time).
+        until: SimTime,
+    },
+    /// New primary → backups: what is the longest lease you ever granted?
+    LeaseQuery,
+    /// Master/harness → backup: take over as primary of your shard.
+    Promote {
+        /// The shard's remaining backups.
+        backups: Vec<Addr>,
+    },
+}
+
+/// Replies from a MILANA shard server.
+#[derive(Debug, Clone)]
+pub enum TxnResponse {
+    /// Read result: the youngest committed version at the read timestamp,
+    /// plus whether a *prepared* version existed at or below it (§4.3).
+    Value {
+        /// Version stamp of the returned value.
+        version: Version,
+        /// Payload.
+        value: Value,
+        /// True if a prepared version with timestamp `<=` the read
+        /// timestamp existed — poisons client-local validation.
+        prepared: bool,
+    },
+    /// No visible version at the requested timestamp.
+    NotFound,
+    /// Single-version backend lost the snapshot to the carried version.
+    SnapshotUnavailable(Version),
+    /// Prepare vote.
+    Vote {
+        /// True = SUCCESS, false = ABORT.
+        ok: bool,
+    },
+    /// Outcome/watermark/record acknowledged.
+    Ack,
+    /// Status answer for [`TxnRequest::QueryTxn`].
+    Status(TxnQueryStatus),
+    /// This replica's transaction log.
+    Log {
+        /// Records, unordered.
+        records: Vec<TxnRecord>,
+    },
+    /// Lease granted until the carried instant.
+    LeaseGranted {
+        /// Expiry granted.
+        until: SimTime,
+    },
+    /// The longest lease this backup ever granted.
+    LeaseInfo {
+        /// Maximum granted expiry (ZERO if none).
+        max_granted: SimTime,
+    },
+    /// Promotion finished; the server now acts as primary.
+    PromoteOk,
+    /// Server cannot serve yet (mid-recovery or lease not yet valid).
+    NotReady,
+    /// Storage out of space.
+    Capacity,
+}
+
+/// Client-visible transaction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The transaction aborted; retry with fresh reads.
+    Aborted(AbortReason),
+    /// A key had no visible version (application-level condition, not a
+    /// concurrency conflict).
+    KeyNotFound(Key),
+    /// The shard primary could not be reached.
+    Timeout,
+    /// Operation on a transaction that already committed or aborted.
+    Finished,
+}
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A server vote rejected validation (Algorithm 1 conflict).
+    Validation,
+    /// Local validation saw a prepared version in the read set (§4.3).
+    PreparedRead,
+    /// A single-version backend lost the snapshot this transaction needed.
+    SnapshotUnavailable,
+    /// A participant could not be reached during 2PC; the coordinator
+    /// resolved the uncertainty by aborting.
+    ParticipantUnreachable,
+    /// The application called [`crate::client::Txn::abort`].
+    UserRequested,
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::Aborted(r) => write!(f, "transaction aborted ({r:?})"),
+            TxnError::KeyNotFound(k) => write!(f, "key {k} not found"),
+            TxnError::Timeout => write!(f, "shard primary unreachable"),
+            TxnError::Finished => write!(f, "transaction already finished"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}

@@ -1,0 +1,823 @@
+//! The MILANA shard server (§4): SEMEL storage plus the transaction
+//! machinery — Algorithm-1 validation on the primary only, prepared-flag
+//! piggybacking for client-local validation, relaxed replication of prepare
+//! and outcome records, read leases, cooperative termination for dead
+//! coordinators, and full primary failover (Algorithm 2).
+//!
+//! ## Durability model
+//!
+//! The storage [`Backend`] and the transaction table are held behind shared
+//! handles owned by the harness, modeling *persistent memory that survives a
+//! node crash* (§4.1: "updates to this table are logged in persistent memory
+//! as they occur"). Killing a server's node destroys only its volatile
+//! state: per-key `ts_latestRead` metadata, lease state, and in-flight
+//! tasks — exactly the state §4.5's recovery protocol reconstructs or
+//! shields with leases.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use flashsim::{Backend, Key, StoreError, Value};
+use semel::replicate::replicate;
+use semel::shard::{ShardId, ShardMap};
+use simkit::net::Addr;
+use simkit::rpc::{recv_request, Responder, RpcClient};
+use simkit::time::SimTime;
+use simkit::SimHandle;
+use timesync::{ClientId, Timestamp, Version, WatermarkTracker};
+
+use crate::msg::{TxnId, TxnQueryStatus, TxnRecord, TxnRequest, TxnResponse, TxnStatus};
+use crate::table::TxnTable;
+
+/// Lease parameters (§4.5). The lease duration must comfortably exceed the
+/// worst-case client clock skew, since lease expiry (true time) is compared
+/// against client-domain read timestamps.
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// How far each grant extends the primary's read lease.
+    pub duration: Duration,
+    /// Renewal period (should be well under `duration`).
+    pub renew_every: Duration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> LeaseConfig {
+        LeaseConfig {
+            duration: Duration::from_millis(100),
+            renew_every: Duration::from_millis(30),
+        }
+    }
+}
+
+/// Server timing knobs.
+#[derive(Debug, Clone)]
+pub struct ServerTuning {
+    /// Budget for each replication RPC to a backup.
+    pub repl_timeout: Duration,
+    /// Master address; primaries heartbeat it so the master can detect
+    /// failures and drive automatic failover. `None` disables heartbeats
+    /// (harness-driven failover only).
+    pub master: Option<Addr>,
+    /// Heartbeat period when a master is configured.
+    pub heartbeat_every: Duration,
+    /// Read-lease configuration; `None` disables leases (faster, but a
+    /// failover may then violate external consistency for reads — see
+    /// §4.5's `ts_latestRead` discussion).
+    pub lease: Option<LeaseConfig>,
+    /// Keep at least this much version history regardless of watermark
+    /// progress (§3.1: "keep all versions that are less than 5 seconds
+    /// old", for read-only analytics). `None` prunes purely by watermark.
+    pub history_window: Option<Duration>,
+    /// A prepared transaction older than this triggers cooperative
+    /// termination (its coordinator is presumed dead).
+    pub ctp_after: Duration,
+    /// CTP scan period.
+    pub ctp_scan_every: Duration,
+}
+
+impl Default for ServerTuning {
+    fn default() -> ServerTuning {
+        ServerTuning {
+            repl_timeout: Duration::from_millis(25),
+            master: None,
+            heartbeat_every: Duration::from_millis(40),
+            history_window: None,
+            lease: Some(LeaseConfig::default()),
+            ctp_after: Duration::from_millis(500),
+            ctp_scan_every: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Static + initial-role configuration of one MILANA shard replica.
+#[derive(Debug, Clone)]
+pub struct TxnServerConfig {
+    /// Which shard this replica serves.
+    pub shard: ShardId,
+    /// This replica's service address.
+    pub addr: Addr,
+    /// The shard's backups (meaningful when primary).
+    pub backups: Vec<Addr>,
+    /// Initial role.
+    pub is_primary: bool,
+    /// Clients feeding the GC watermark.
+    pub clients: Vec<ClientId>,
+    /// Timing knobs.
+    pub tuning: ServerTuning,
+}
+
+struct ServerState {
+    is_primary: bool,
+    backups: Vec<Addr>,
+    /// False while recovering (requests answered `NotReady`).
+    serving: bool,
+    watermarks: WatermarkTracker,
+    /// As primary: our lease is valid until this true-time instant.
+    lease_until: SimTime,
+    /// As backup: the latest lease expiry we ever granted.
+    max_granted: SimTime,
+    /// As backup: the primary we currently accept lease requests from.
+    known_primary: Option<Addr>,
+    /// Outcomes that arrived before their prepare record (backup side).
+    pending_outcomes: std::collections::HashMap<TxnId, bool>,
+}
+
+/// Counters for observability and the experiment harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnServerStats {
+    /// Gets served.
+    pub gets: u64,
+    /// Prepare requests validated successfully.
+    pub prepares_ok: u64,
+    /// Prepare requests rejected by validation.
+    pub prepares_aborted: u64,
+    /// Commit outcomes applied.
+    pub commits: u64,
+    /// Abort outcomes applied.
+    pub aborts: u64,
+    /// Transactions resolved by cooperative termination.
+    pub ctp_resolutions: u64,
+}
+
+/// One MILANA shard replica. Cloning shares the server.
+#[derive(Clone)]
+pub struct TxnServer {
+    handle: SimHandle,
+    backend: Backend,
+    table: Rc<RefCell<TxnTable>>,
+    state: Rc<RefCell<ServerState>>,
+    stats: Rc<RefCell<TxnServerStats>>,
+    rpc: RpcClient,
+    map: Rc<RefCell<ShardMap>>,
+    cfg: Rc<TxnServerConfig>,
+}
+
+impl std::fmt::Debug for TxnServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnServer")
+            .field("shard", &self.cfg.shard)
+            .field("addr", &self.cfg.addr)
+            .field("primary", &self.state.borrow().is_primary)
+            .finish()
+    }
+}
+
+impl TxnServer {
+    /// Spawns a MILANA server on `cfg.addr.node`.
+    ///
+    /// `backend` and `table` model persistent memory: pass the same handles
+    /// back in when respawning a replica after a crash.
+    pub fn spawn(
+        handle: &SimHandle,
+        backend: Backend,
+        table: Rc<RefCell<TxnTable>>,
+        map: Rc<RefCell<ShardMap>>,
+        cfg: TxnServerConfig,
+    ) -> TxnServer {
+        let state = ServerState {
+            is_primary: cfg.is_primary,
+            backups: cfg.backups.clone(),
+            serving: true,
+            watermarks: WatermarkTracker::new(cfg.clients.iter().copied()),
+            lease_until: SimTime::ZERO,
+            max_granted: SimTime::ZERO,
+            known_primary: None,
+            pending_outcomes: std::collections::HashMap::new(),
+        };
+        let server = TxnServer {
+            handle: handle.clone(),
+            backend,
+            table,
+            state: Rc::new(RefCell::new(state)),
+            stats: Rc::new(RefCell::new(TxnServerStats::default())),
+            rpc: RpcClient::new(handle, cfg.addr.node, cfg.addr.port + 1),
+            map,
+            cfg: Rc::new(cfg),
+        };
+        // A restarted replica must not reuse stale volatile key metadata.
+        server.table.borrow_mut().rebuild_key_meta();
+        server.spawn_loop();
+        if server.state.borrow().is_primary {
+            server.spawn_primary_tasks();
+        }
+        server
+    }
+
+    fn spawn_loop(&self) {
+        let mailbox = self.handle.bind(self.cfg.addr);
+        let me = self.clone();
+        let h = self.handle.clone();
+        let node = self.cfg.addr.node;
+        self.handle.spawn_on(node, async move {
+            while let Some((req, from, resp)) = recv_request::<TxnRequest>(&h, &mailbox).await {
+                let me2 = me.clone();
+                h.spawn_on(node, async move {
+                    me2.handle_request(req, from, resp).await;
+                });
+            }
+        });
+    }
+
+    fn spawn_primary_tasks(&self) {
+        if let Some(master) = self.cfg.tuning.master {
+            let me = self.clone();
+            self.handle.spawn_on(self.cfg.addr.node, async move {
+                loop {
+                    let _ = semel::master::send_heartbeat(
+                        &me.rpc,
+                        master,
+                        me.cfg.shard,
+                        me.cfg.addr,
+                        me.cfg.tuning.repl_timeout,
+                    )
+                    .await;
+                    me.handle.sleep(me.cfg.tuning.heartbeat_every).await;
+                }
+            });
+        }
+        if let Some(lease) = self.cfg.tuning.lease.clone() {
+            let me = self.clone();
+            self.handle.spawn_on(self.cfg.addr.node, async move {
+                loop {
+                    me.renew_lease(&lease).await;
+                    me.handle.sleep(lease.renew_every).await;
+                }
+            });
+        }
+        let me = self.clone();
+        let scan = self.cfg.tuning.ctp_scan_every;
+        self.handle.spawn_on(self.cfg.addr.node, async move {
+            loop {
+                me.handle.sleep(scan).await;
+                me.ctp_scan().await;
+            }
+        });
+    }
+
+    async fn renew_lease(&self, lease: &LeaseConfig) {
+        let until = self.handle.now() + lease.duration;
+        let backups = self.state.borrow().backups.clone();
+        let need = backups.len() / 2;
+        let ok = replicate::<TxnRequest, TxnResponse>(
+            &self.handle,
+            &self.rpc,
+            &backups,
+            TxnRequest::LeaseGrant { until },
+            need,
+            self.cfg.tuning.repl_timeout,
+            |r| matches!(r, TxnResponse::LeaseGranted { .. }),
+        )
+        .await;
+        if ok {
+            let mut st = self.state.borrow_mut();
+            if until > st.lease_until {
+                st.lease_until = until;
+            }
+        }
+    }
+
+    /// The storage backend (persistent handle).
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// The transaction table (persistent handle).
+    pub fn table(&self) -> &Rc<RefCell<TxnTable>> {
+        &self.table
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> TxnServerStats {
+        *self.stats.borrow()
+    }
+
+    /// This replica's configuration.
+    pub fn config(&self) -> &TxnServerConfig {
+        &self.cfg
+    }
+
+    /// True if this replica currently acts as primary.
+    pub fn is_primary(&self) -> bool {
+        self.state.borrow().is_primary
+    }
+
+    fn latest_committed(&self, key: &Key) -> Option<Version> {
+        self.backend.versions(key).first().copied()
+    }
+
+    fn lease_valid_for(&self, at: Timestamp) -> bool {
+        match &self.cfg.tuning.lease {
+            None => true,
+            Some(_) => {
+                let until = self.state.borrow().lease_until;
+                at < Timestamp::from_sim(until)
+            }
+        }
+    }
+
+    async fn handle_request(&self, req: TxnRequest, from: Addr, resp: Responder) {
+        match req {
+            TxnRequest::Get { key, at } => self.handle_get(key, at, resp).await,
+            TxnRequest::GetAny { key, at } => {
+                // Any live replica may serve this (backups too): the reply
+                // carries no local-validation information, so the caller
+                // must validate remotely (§4.6).
+                if !self.state.borrow().serving {
+                    resp.reply(TxnResponse::NotReady);
+                    return;
+                }
+                let r = match self.backend.get_at(&key, at).await {
+                    Ok(vv) => TxnResponse::Value {
+                        version: vv.version,
+                        value: vv.value,
+                        prepared: true, // poison local validation by design
+                    },
+                    Err(StoreError::NotFound) => TxnResponse::NotFound,
+                    Err(StoreError::SnapshotUnavailable(v)) => {
+                        TxnResponse::SnapshotUnavailable(v)
+                    }
+                    Err(_) => TxnResponse::Capacity,
+                };
+                resp.reply(r);
+            }
+            TxnRequest::Prepare {
+                txid,
+                ts_commit,
+                reads,
+                writes,
+                participants,
+            } => {
+                self.handle_prepare(txid, ts_commit, reads, writes, participants, resp)
+                    .await
+            }
+            TxnRequest::Outcome { txid, commit } => {
+                self.apply_outcome(txid, commit).await;
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::Watermark { client, ts } => {
+                let mut wm = {
+                    let mut st = self.state.borrow_mut();
+                    st.watermarks.update(client, ts);
+                    st.watermarks.watermark()
+                };
+                // The tunable GC window (§3.1): retain at least
+                // `history_window` of versions for analytics readers.
+                if let Some(window) = self.cfg.tuning.history_window {
+                    let floor = Timestamp::from_sim(self.handle.now()).before(window);
+                    wm = wm.min(floor);
+                }
+                if wm > Timestamp::ZERO && wm < Timestamp::MAX {
+                    self.backend.set_watermark(wm);
+                }
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::ReplPrepare(record) => {
+                let txid = record.txid;
+                self.table.borrow_mut().install(record);
+                // An outcome may have raced ahead of this prepare.
+                let pending = self.state.borrow_mut().pending_outcomes.remove(&txid);
+                if let Some(commit) = pending {
+                    self.backup_apply_outcome(txid, commit).await;
+                }
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::ReplOutcome { txid, commit } => {
+                self.backup_apply_outcome(txid, commit).await;
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::QueryTxn { txid } => {
+                let status = match self.table.borrow().status(txid) {
+                    Some(TxnStatus::Committed) => TxnQueryStatus::Committed,
+                    Some(TxnStatus::Aborted) => TxnQueryStatus::Aborted,
+                    Some(TxnStatus::Prepared) => TxnQueryStatus::Prepared,
+                    None => TxnQueryStatus::Unknown,
+                };
+                resp.reply(TxnResponse::Status(status));
+            }
+            TxnRequest::RequestLog => {
+                resp.reply(TxnResponse::Log {
+                    records: self.table.borrow().all_records(),
+                });
+            }
+            TxnRequest::InstallLog { records } => {
+                {
+                    let mut table = self.table.borrow_mut();
+                    for r in records.clone() {
+                        table.install(r);
+                    }
+                }
+                // Catch up data for committed transactions.
+                for r in records {
+                    if r.status == TxnStatus::Committed {
+                        let items = r
+                            .writes
+                            .iter()
+                            .map(|(k, v)| {
+                                (k.clone(), v.clone(), Version::new(r.ts_commit, r.txid.client))
+                            })
+                            .collect();
+                        let _ = self.backend.apply_batch_unordered(items).await;
+                    }
+                }
+                self.state.borrow_mut().known_primary = Some(Addr {
+                    node: from.node,
+                    port: self.cfg.addr.port,
+                });
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::LeaseGrant { until } => {
+                let grantor = {
+                    let mut st = self.state.borrow_mut();
+                    let requester = Addr {
+                        node: from.node,
+                        port: self.cfg.addr.port,
+                    };
+                    let accept = match st.known_primary {
+                        Some(p) => p == requester,
+                        None => true,
+                    };
+                    if accept {
+                        st.known_primary = Some(requester);
+                        if until > st.max_granted {
+                            st.max_granted = until;
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if grantor {
+                    resp.reply(TxnResponse::LeaseGranted { until });
+                } else {
+                    resp.reply(TxnResponse::NotReady);
+                }
+            }
+            TxnRequest::LeaseQuery => {
+                resp.reply(TxnResponse::LeaseInfo {
+                    max_granted: self.state.borrow().max_granted,
+                });
+            }
+            TxnRequest::Promote { backups } => {
+                self.recover_as_primary(backups).await;
+                resp.reply(TxnResponse::PromoteOk);
+            }
+        }
+    }
+
+    async fn handle_get(&self, key: Key, at: Timestamp, resp: Responder) {
+        {
+            let st = self.state.borrow();
+            if !st.serving || !st.is_primary {
+                resp.reply(TxnResponse::NotReady);
+                return;
+            }
+        }
+        if !self.lease_valid_for(at) {
+            resp.reply(TxnResponse::NotReady);
+            return;
+        }
+        let prepared = self.table.borrow_mut().note_read(&key, at);
+        let r = match self.backend.get_at(&key, at).await {
+            Ok(vv) => {
+                self.stats.borrow_mut().gets += 1;
+                TxnResponse::Value {
+                    version: vv.version,
+                    value: vv.value,
+                    prepared,
+                }
+            }
+            Err(StoreError::NotFound) => TxnResponse::NotFound,
+            Err(StoreError::SnapshotUnavailable(v)) => TxnResponse::SnapshotUnavailable(v),
+            Err(_) => TxnResponse::Capacity,
+        };
+        resp.reply(r);
+    }
+
+    async fn handle_prepare(
+        &self,
+        txid: TxnId,
+        ts_commit: Timestamp,
+        reads: Vec<(Key, Version)>,
+        writes: Vec<(Key, Value)>,
+        participants: Vec<ShardId>,
+        resp: Responder,
+    ) {
+        {
+            let st = self.state.borrow();
+            if !st.serving || !st.is_primary {
+                resp.reply(TxnResponse::NotReady);
+                return;
+            }
+        }
+        // Retransmitted prepare: answer from the table.
+        if let Some(status) = self.table.borrow().status(txid) {
+            resp.reply(TxnResponse::Vote {
+                ok: status != TxnStatus::Aborted,
+            });
+            return;
+        }
+        let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
+        let verdict = self.table.borrow().validate(&reads, &write_keys, ts_commit, |k| {
+            self.latest_committed(k)
+        });
+        if !verdict.is_success() {
+            self.stats.borrow_mut().prepares_aborted += 1;
+            resp.reply(TxnResponse::Vote { ok: false });
+            return;
+        }
+        let record = TxnRecord {
+            txid,
+            ts_commit,
+            writes,
+            participants,
+            status: TxnStatus::Prepared,
+        };
+        self.table.borrow_mut().prepare(record.clone());
+        // Replicate the prepare record; any f of 2f backups suffice, in any
+        // order relative to other records (§3.2, Figure 5).
+        let (backups, need) = {
+            let st = self.state.borrow();
+            (st.backups.clone(), st.backups.len() / 2)
+        };
+        let ok = replicate::<TxnRequest, TxnResponse>(
+            &self.handle,
+            &self.rpc,
+            &backups,
+            TxnRequest::ReplPrepare(record),
+            need,
+            self.cfg.tuning.repl_timeout,
+            |r| matches!(r, TxnResponse::Ack),
+        )
+        .await;
+        if !ok {
+            // Could not make the prepare durable: release and vote abort.
+            self.table.borrow_mut().decide(txid, false);
+            self.stats.borrow_mut().prepares_aborted += 1;
+            resp.reply(TxnResponse::Vote { ok: false });
+            return;
+        }
+        self.stats.borrow_mut().prepares_ok += 1;
+        resp.reply(TxnResponse::Vote { ok: true });
+    }
+
+    /// Applies a coordinator decision on the primary: finalize the table
+    /// entry, apply writes on commit, and stream the outcome to backups.
+    async fn apply_outcome(&self, txid: TxnId, commit: bool) {
+        let record = {
+            let mut table = self.table.borrow_mut();
+            match table.status(txid) {
+                Some(TxnStatus::Prepared) => table.decide(txid, commit),
+                Some(_) => None, // duplicate decision
+                None => {
+                    // Decision for a transaction we never prepared (e.g. CTP
+                    // abort): remember it as a tombstone for queries.
+                    table.install(TxnRecord {
+                        txid,
+                        ts_commit: Timestamp::ZERO,
+                        writes: Vec::new(),
+                        participants: Vec::new(),
+                        status: if commit {
+                            TxnStatus::Committed
+                        } else {
+                            TxnStatus::Aborted
+                        },
+                    });
+                    None
+                }
+            }
+        };
+        let Some(record) = record else { return };
+        if commit {
+            let items: Vec<(Key, Value, Version)> = record
+                .writes
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone(), Version::new(record.ts_commit, txid.client)))
+                .collect();
+            let _ = self.backend.apply_batch_unordered(items).await;
+            self.stats.borrow_mut().commits += 1;
+        } else {
+            self.stats.borrow_mut().aborts += 1;
+        }
+        let (backups, need) = {
+            let st = self.state.borrow();
+            (st.backups.clone(), st.backups.len() / 2)
+        };
+        let _ = replicate::<TxnRequest, TxnResponse>(
+            &self.handle,
+            &self.rpc,
+            &backups,
+            TxnRequest::ReplOutcome { txid, commit },
+            need,
+            self.cfg.tuning.repl_timeout,
+            |r| matches!(r, TxnResponse::Ack),
+        )
+        .await;
+    }
+
+    /// Applies an outcome on a backup: finalize the record if present
+    /// (applying committed writes to local storage), else hold the decision
+    /// until the prepare record arrives.
+    async fn backup_apply_outcome(&self, txid: TxnId, commit: bool) {
+        let record = {
+            let mut table = self.table.borrow_mut();
+            match table.status(txid) {
+                Some(TxnStatus::Prepared) => table.decide(txid, commit),
+                Some(_) => None,
+                None => {
+                    self.state.borrow_mut().pending_outcomes.insert(txid, commit);
+                    None
+                }
+            }
+        };
+        let Some(record) = record else { return };
+        if commit {
+            let items: Vec<(Key, Value, Version)> = record
+                .writes
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone(), Version::new(record.ts_commit, txid.client)))
+                .collect();
+            let _ = self.backend.apply_batch_unordered(items).await;
+        }
+    }
+
+    /// Cooperative Termination Protocol (§4.5): resolve prepared
+    /// transactions whose coordinator went silent. Runs only on the
+    /// designated backup coordinator — the primary of the transaction's
+    /// first participant shard.
+    async fn ctp_scan(&self) {
+        {
+            let st = self.state.borrow();
+            if !st.is_primary || !st.serving {
+                return;
+            }
+        }
+        let threshold =
+            Timestamp::from_sim(self.handle.now()).before(self.cfg.tuning.ctp_after);
+        let stuck = self.table.borrow().stuck_prepared(threshold);
+        for record in stuck {
+            if record.participants.first() != Some(&self.cfg.shard) {
+                continue; // some other primary is the designated coordinator
+            }
+            let Some(decision) = self.resolve_by_query(&record).await else {
+                continue; // a participant is unreachable; retry next scan
+            };
+            self.stats.borrow_mut().ctp_resolutions += 1;
+            self.apply_outcome(record.txid, decision).await;
+            // Notify the other participants.
+            let map = self.map.borrow().clone();
+            for &shard in &record.participants {
+                if shard == self.cfg.shard {
+                    continue;
+                }
+                let primary = map.group(shard).primary;
+                self.rpc.cast(
+                    primary,
+                    TxnRequest::Outcome {
+                        txid: record.txid,
+                        commit: decision,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Queries the other participants of a prepared transaction and decides
+    /// its fate per the CTP rules (§4.5): any commit → commit; any abort or
+    /// missing prepare → abort; all prepared → commit (unanimous SUCCESS
+    /// means the coordinator's only possible decision was commit). Returns
+    /// `None` when a participant is unreachable and no definite answer was
+    /// seen — the transaction stays blocked, as 2PC requires.
+    async fn resolve_by_query(&self, record: &TxnRecord) -> Option<bool> {
+        for &shard in &record.participants {
+            if shard == self.cfg.shard {
+                continue;
+            }
+            let primary = self.map.borrow().group(shard).primary;
+            let status = self
+                .rpc
+                .call::<TxnRequest, TxnResponse>(
+                    primary,
+                    TxnRequest::QueryTxn { txid: record.txid },
+                    self.cfg.tuning.repl_timeout,
+                )
+                .await;
+            match status {
+                Ok(TxnResponse::Status(TxnQueryStatus::Committed)) => return Some(true),
+                Ok(TxnResponse::Status(TxnQueryStatus::Aborted)) => return Some(false),
+                Ok(TxnResponse::Status(TxnQueryStatus::Prepared)) => {}
+                Ok(TxnResponse::Status(TxnQueryStatus::Unknown)) => return Some(false),
+                _ => return None, // unreachable participant: stay blocked
+            }
+        }
+        Some(true)
+    }
+
+    /// §4.5 failover: called on a backup when the master promotes it.
+    async fn recover_as_primary(&self, backups: Vec<Addr>) {
+        {
+            let mut st = self.state.borrow_mut();
+            st.is_primary = true;
+            st.serving = false;
+            st.backups = backups.clone();
+        }
+        // 1. Merge transaction logs from a majority of replicas (our own
+        //    table already holds everything replicated to us).
+        for &b in &backups {
+            if let Ok(TxnResponse::Log { records }) = self
+                .rpc
+                .call::<TxnRequest, TxnResponse>(
+                    b,
+                    TxnRequest::RequestLog,
+                    self.cfg.tuning.repl_timeout,
+                )
+                .await
+            {
+                let mut table = self.table.borrow_mut();
+                for r in records {
+                    table.install(r);
+                }
+            }
+        }
+        // 2. Resolve prepared transactions (Algorithm 2).
+        let prepared: Vec<TxnRecord> = self
+            .table
+            .borrow()
+            .all_records()
+            .into_iter()
+            .filter(|r| r.status == TxnStatus::Prepared)
+            .collect();
+        for record in prepared {
+            let commit = if record.participants == vec![self.cfg.shard] {
+                // Single-shard: a prepared single-participant transaction
+                // would have been committed by the coordinator.
+                Some(true)
+            } else {
+                self.resolve_by_query(&record).await
+            };
+            // Unresolvable transactions stay prepared (2PC blocking); a
+            // later CTP scan retries them.
+            if let Some(commit) = commit {
+                let mut table = self.table.borrow_mut();
+                table.decide(record.txid, commit);
+            }
+        }
+        // 3. Apply all committed writes to our backend (idempotent).
+        let committed: Vec<TxnRecord> = self
+            .table
+            .borrow()
+            .all_records()
+            .into_iter()
+            .filter(|r| r.status == TxnStatus::Committed)
+            .collect();
+        for r in committed {
+            let items: Vec<(Key, Value, Version)> = r
+                .writes
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone(), Version::new(r.ts_commit, r.txid.client)))
+                .collect();
+            let _ = self.backend.apply_batch_unordered(items).await;
+        }
+        // 4. Rebuild volatile key metadata from the merged table.
+        self.table.borrow_mut().rebuild_key_meta();
+        // 5. Push the merged table to the backups.
+        let records = self.table.borrow().all_records();
+        let need = backups.len() / 2;
+        let _ = replicate::<TxnRequest, TxnResponse>(
+            &self.handle,
+            &self.rpc,
+            &backups,
+            TxnRequest::InstallLog { records },
+            need,
+            self.cfg.tuning.repl_timeout * 4,
+            |r| matches!(r, TxnResponse::Ack),
+        )
+        .await;
+        // 6. Wait out the old primary's read lease: ts_latestRead is gone,
+        //    and serving reads before the old lease expires could break
+        //    serializability for already-committed read-only transactions.
+        if self.cfg.tuning.lease.is_some() {
+            let mut max_granted = self.state.borrow().max_granted;
+            for &b in &backups {
+                if let Ok(TxnResponse::LeaseInfo { max_granted: g }) = self
+                    .rpc
+                    .call::<TxnRequest, TxnResponse>(
+                        b,
+                        TxnRequest::LeaseQuery,
+                        self.cfg.tuning.repl_timeout,
+                    )
+                    .await
+                {
+                    max_granted = max_granted.max(g);
+                }
+            }
+            let wait_until = max_granted + Duration::from_micros(1);
+            if wait_until > self.handle.now() {
+                self.handle.sleep_until(wait_until).await;
+            }
+        }
+        // 7. Open for business.
+        self.state.borrow_mut().serving = true;
+        self.spawn_primary_tasks();
+    }
+}

@@ -1,0 +1,392 @@
+//! The primary's transaction table and per-key concurrency metadata, with
+//! the paper's validation procedure (Algorithm 1).
+//!
+//! Per active key the primary tracks, in DRAM (§4.1):
+//!
+//! - `ts_latestRead` — the largest read timestamp served (protects
+//!   client-local validation of read-only transactions, §4.3);
+//! - `prepared` — the prepared-but-undecided transaction holding the key;
+//! - the latest *committed* version, read directly from the storage
+//!   backend's in-DRAM mapping table.
+//!
+//! None of this is persisted; §4.5 recovers it (or shields it with leases).
+
+use std::collections::HashMap;
+
+use flashsim::Key;
+use timesync::{Timestamp, Version};
+
+use crate::msg::{TxnId, TxnRecord, TxnStatus};
+
+/// Per-key DRAM metadata.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyMeta {
+    /// Largest read timestamp served for this key.
+    pub latest_read: Timestamp,
+    /// The prepared transaction holding this key, if any, with its
+    /// tentative commit timestamp.
+    pub prepared: Option<(TxnId, Timestamp)>,
+}
+
+/// Validation verdict with the conflict that caused an abort, for
+/// observability and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The transaction serializes; prepare it.
+    Success,
+    /// A read-set key is held by a prepared transaction.
+    ReadSawPrepared(Key),
+    /// A read-set key's latest committed version is not the one read.
+    ReadStale(Key),
+    /// A write-set key is held by a prepared transaction.
+    WriteSawPrepared(Key),
+    /// A write-set key was read at a timestamp at/after our commit stamp.
+    WriteAfterRead(Key),
+    /// A write-set key already has a committed version at/after our stamp.
+    WriteStale(Key),
+}
+
+impl Verdict {
+    /// True for [`Verdict::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Verdict::Success)
+    }
+}
+
+/// The transaction table plus key metadata for one shard primary.
+#[derive(Debug, Default)]
+pub struct TxnTable {
+    records: HashMap<TxnId, TxnRecord>,
+    keys: HashMap<Key, KeyMeta>,
+}
+
+impl TxnTable {
+    /// Creates an empty table.
+    pub fn new() -> TxnTable {
+        TxnTable::default()
+    }
+
+    /// Records a read at `ts`, returning whether a prepared version with
+    /// timestamp `<= ts` exists (the flag piggybacked on gets, §4.3).
+    pub fn note_read(&mut self, key: &Key, ts: Timestamp) -> bool {
+        let meta = self.keys.entry(key.clone()).or_default();
+        if ts > meta.latest_read {
+            meta.latest_read = ts;
+        }
+        meta.prepared.is_some_and(|(_, pts)| pts <= ts)
+    }
+
+    /// Algorithm 1: validates `txid` against the table. `latest_committed`
+    /// maps a key to its newest committed version (from the storage
+    /// backend's mapping table).
+    ///
+    /// Does **not** mutate state; call [`TxnTable::prepare`] on success.
+    pub fn validate(
+        &self,
+        reads: &[(Key, Version)],
+        writes: &[Key],
+        ts_commit: Timestamp,
+        latest_committed: impl Fn(&Key) -> Option<Version>,
+    ) -> Verdict {
+        for (key, version) in reads {
+            if let Some(meta) = self.keys.get(key) {
+                if meta.prepared.is_some() {
+                    return Verdict::ReadSawPrepared(key.clone());
+                }
+            }
+            if latest_committed(key) != Some(*version) {
+                return Verdict::ReadStale(key.clone());
+            }
+        }
+        for key in writes {
+            if let Some(meta) = self.keys.get(key) {
+                if meta.prepared.is_some() {
+                    return Verdict::WriteSawPrepared(key.clone());
+                }
+                if meta.latest_read >= ts_commit {
+                    return Verdict::WriteAfterRead(key.clone());
+                }
+            }
+            if let Some(v) = latest_committed(key) {
+                if v.ts >= ts_commit {
+                    return Verdict::WriteStale(key.clone());
+                }
+            }
+        }
+        Verdict::Success
+    }
+
+    /// Installs a prepared record and marks its write keys held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is already in the table.
+    pub fn prepare(&mut self, record: TxnRecord) {
+        assert_eq!(record.status, TxnStatus::Prepared);
+        for (key, _) in &record.writes {
+            let meta = self.keys.entry(key.clone()).or_default();
+            debug_assert!(meta.prepared.is_none(), "double prepare on {key}");
+            meta.prepared = Some((record.txid, record.ts_commit));
+        }
+        let prev = self.records.insert(record.txid, record);
+        assert!(prev.is_none(), "transaction prepared twice");
+    }
+
+    /// Applies a commit/abort decision, releasing the write keys. Returns
+    /// the record (now with final status) if it was prepared here; `None`
+    /// for unknown transactions (e.g. decision arrived before/without a
+    /// prepare — the caller records it for idempotence).
+    pub fn decide(&mut self, txid: TxnId, commit: bool) -> Option<TxnRecord> {
+        let record = self.records.get_mut(&txid)?;
+        if record.status != TxnStatus::Prepared {
+            // Duplicate decision; idempotent.
+            return Some(record.clone());
+        }
+        record.status = if commit {
+            TxnStatus::Committed
+        } else {
+            TxnStatus::Aborted
+        };
+        let record = record.clone();
+        for (key, _) in &record.writes {
+            if let Some(meta) = self.keys.get_mut(key) {
+                if meta.prepared.map(|(t, _)| t) == Some(txid) {
+                    meta.prepared = None;
+                }
+            }
+        }
+        Some(record)
+    }
+
+    /// Status of `txid` for recovery/CTP queries.
+    pub fn status(&self, txid: TxnId) -> Option<TxnStatus> {
+        self.records.get(&txid).map(|r| r.status)
+    }
+
+    /// The record for `txid`, if present.
+    pub fn record(&self, txid: TxnId) -> Option<&TxnRecord> {
+        self.records.get(&txid)
+    }
+
+    /// Inserts or overwrites a record without touching key metadata (used
+    /// by backups, which keep no key metadata, and by log installation).
+    pub fn install(&mut self, record: TxnRecord) {
+        match self.records.get_mut(&record.txid) {
+            // Never regress a decided status back to Prepared.
+            Some(existing) if existing.status != TxnStatus::Prepared => {}
+            _ => {
+                self.records.insert(record.txid, record);
+            }
+        }
+    }
+
+    /// All records (for log transfer), in transaction-id order so message
+    /// schedules stay deterministic.
+    pub fn all_records(&self) -> Vec<TxnRecord> {
+        let mut v: Vec<TxnRecord> = self.records.values().cloned().collect();
+        v.sort_by_key(|r| r.txid);
+        v
+    }
+
+    /// Prepared transactions older than `than` (by commit stamp) — CTP
+    /// candidates whose coordinator may have died (§4.5).
+    pub fn stuck_prepared(&self, than: Timestamp) -> Vec<TxnRecord> {
+        let mut v: Vec<TxnRecord> = self
+            .records
+            .values()
+            .filter(|r| r.status == TxnStatus::Prepared && r.ts_commit < than)
+            .cloned()
+            .collect();
+        v.sort_by_key(|r| r.txid);
+        v
+    }
+
+    /// Rebuilds key `prepared` markers from the (merged) records — the
+    /// final step of recovery before serving (§4.5).
+    pub fn rebuild_key_meta(&mut self) {
+        self.keys.clear();
+        let prepared: Vec<(TxnId, Timestamp, Vec<Key>)> = self
+            .records
+            .values()
+            .filter(|r| r.status == TxnStatus::Prepared)
+            .map(|r| {
+                (
+                    r.txid,
+                    r.ts_commit,
+                    r.writes.iter().map(|(k, _)| k.clone()).collect(),
+                )
+            })
+            .collect();
+        for (txid, ts, keys) in prepared {
+            for key in keys {
+                self.keys.entry(key).or_default().prepared = Some((txid, ts));
+            }
+        }
+    }
+
+    /// Number of records in the table.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no transactions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semel::shard::ShardId;
+    use timesync::ClientId;
+
+    fn k(i: u64) -> Key {
+        Key::from(i)
+    }
+
+    fn v(ts: u64) -> Version {
+        Version::new(Timestamp(ts), ClientId(0))
+    }
+
+    fn txid(seq: u64) -> TxnId {
+        TxnId {
+            client: ClientId(1),
+            seq,
+        }
+    }
+
+    fn record(seq: u64, ts: u64, write_keys: &[u64]) -> TxnRecord {
+        TxnRecord {
+            txid: txid(seq),
+            ts_commit: Timestamp(ts),
+            writes: write_keys
+                .iter()
+                .map(|&i| (k(i), flashsim::value(&b"w"[..])))
+                .collect(),
+            participants: vec![ShardId(0)],
+            status: TxnStatus::Prepared,
+        }
+    }
+
+    /// `latest_committed` stub: every key at version ts=10.
+    fn lc10(_: &Key) -> Option<Version> {
+        Some(v(10))
+    }
+
+    #[test]
+    fn clean_read_write_validates() {
+        let t = TxnTable::new();
+        let verdict = t.validate(&[(k(1), v(10))], &[k(2)], Timestamp(20), lc10);
+        assert_eq!(verdict, Verdict::Success);
+    }
+
+    #[test]
+    fn stale_read_aborts() {
+        let t = TxnTable::new();
+        // The key's latest committed version (ts=10) is newer than what the
+        // transaction read (ts=5): someone committed in between.
+        let verdict = t.validate(&[(k(1), v(5))], &[], Timestamp(20), lc10);
+        assert_eq!(verdict, Verdict::ReadStale(k(1)));
+    }
+
+    #[test]
+    fn prepared_key_blocks_reads_and_writes() {
+        let mut t = TxnTable::new();
+        t.prepare(record(1, 15, &[7]));
+        let verdict = t.validate(&[(k(7), v(10))], &[], Timestamp(20), lc10);
+        assert_eq!(verdict, Verdict::ReadSawPrepared(k(7)));
+        let verdict = t.validate(&[], &[k(7)], Timestamp(20), lc10);
+        assert_eq!(verdict, Verdict::WriteSawPrepared(k(7)));
+    }
+
+    #[test]
+    fn write_after_read_aborts() {
+        let mut t = TxnTable::new();
+        // Someone read key 3 at ts=25 (e.g. a read-only transaction that
+        // will locally validate); a write with ts_commit=20 <= 25 must die.
+        assert!(!t.note_read(&k(3), Timestamp(25)));
+        let verdict = t.validate(&[], &[k(3)], Timestamp(20), lc10);
+        assert_eq!(verdict, Verdict::WriteAfterRead(k(3)));
+        // Equal timestamps also abort (Algorithm 1 line 13 uses >=).
+        let verdict = t.validate(&[], &[k(3)], Timestamp(25), lc10);
+        assert_eq!(verdict, Verdict::WriteAfterRead(k(3)));
+        // A later write is fine.
+        let verdict = t.validate(&[], &[k(3)], Timestamp(26), lc10);
+        assert_eq!(verdict, Verdict::Success);
+    }
+
+    #[test]
+    fn write_stale_aborts() {
+        let t = TxnTable::new();
+        // Key already committed at ts=10; writing at ts_commit=10 or 9 dies.
+        assert_eq!(
+            t.validate(&[], &[k(1)], Timestamp(10), lc10),
+            Verdict::WriteStale(k(1))
+        );
+        assert_eq!(
+            t.validate(&[], &[k(1)], Timestamp(9), lc10),
+            Verdict::WriteStale(k(1))
+        );
+        assert!(t.validate(&[], &[k(1)], Timestamp(11), lc10).is_success());
+    }
+
+    #[test]
+    fn decide_releases_keys() {
+        let mut t = TxnTable::new();
+        t.prepare(record(1, 15, &[7]));
+        let rec = t.decide(txid(1), true).unwrap();
+        assert_eq!(rec.status, TxnStatus::Committed);
+        // Key free again.
+        assert!(t.validate(&[], &[k(7)], Timestamp(20), lc10).is_success());
+        // Duplicate decision is idempotent.
+        let again = t.decide(txid(1), true).unwrap();
+        assert_eq!(again.status, TxnStatus::Committed);
+    }
+
+    #[test]
+    fn note_read_reports_prepared_leq() {
+        let mut t = TxnTable::new();
+        t.prepare(record(1, 15, &[7]));
+        assert!(!t.note_read(&k(7), Timestamp(10))); // prepared at 15 > 10
+        assert!(t.note_read(&k(7), Timestamp(15))); // 15 <= 15
+        assert!(t.note_read(&k(7), Timestamp(30)));
+    }
+
+    #[test]
+    fn stuck_prepared_finds_old_transactions() {
+        let mut t = TxnTable::new();
+        t.prepare(record(1, 15, &[1]));
+        t.prepare(record(2, 50, &[2]));
+        t.decide(txid(1), false);
+        t.prepare(record(3, 10, &[3]));
+        let stuck = t.stuck_prepared(Timestamp(40));
+        let ids: Vec<u64> = stuck.iter().map(|r| r.txid.seq).collect();
+        assert_eq!(ids.len(), 1);
+        assert!(ids.contains(&3));
+    }
+
+    #[test]
+    fn rebuild_key_meta_restores_prepared_markers() {
+        let mut t = TxnTable::new();
+        t.install(record(1, 15, &[7]));
+        let mut decided = record(2, 16, &[8]);
+        decided.status = TxnStatus::Committed;
+        t.install(decided);
+        t.rebuild_key_meta();
+        assert!(!t.validate(&[], &[k(7)], Timestamp(99), lc10).is_success());
+        assert!(t
+            .validate(&[], &[k(8)], Timestamp(99), lc10)
+            .is_success());
+    }
+
+    #[test]
+    fn install_never_regresses_decided_status() {
+        let mut t = TxnTable::new();
+        let mut committed = record(1, 15, &[1]);
+        committed.status = TxnStatus::Committed;
+        t.install(committed);
+        t.install(record(1, 15, &[1])); // late Prepared replica record
+        assert_eq!(t.status(txid(1)), Some(TxnStatus::Committed));
+    }
+}

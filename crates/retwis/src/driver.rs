@@ -1,0 +1,501 @@
+//! Closed-loop benchmark driver.
+//!
+//! Each *instance* executes transactions sequentially with one outstanding
+//! transaction at a time, retrying an aborted transaction **with the same
+//! key set and without any wait** — exactly the client behavior of §5.2.
+//! Instances run until a virtual-time deadline and accumulate shared
+//! [`WorkloadStats`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use flashsim::{value, Key, Value};
+use milana::centiman::{CentTxn, CentimanClient};
+use milana::client::{CommitInfo, Txn, TxnClient};
+use milana::msg::TxnError;
+use rand::rngs::StdRng;
+use rand::Rng;
+use simkit::metrics::Histogram;
+use simkit::rng::Zipf;
+use simkit::time::SimTime;
+use simkit::SimHandle;
+
+use crate::mix::Mix;
+
+/// Abstraction over a transactional client so one driver exercises both
+/// MILANA and the Centiman baseline.
+pub trait TxnSystem: Clone + 'static {
+    /// The in-flight transaction type.
+    type Handle: TxnHandle;
+
+    /// Starts a transaction.
+    fn begin(&self) -> Self::Handle;
+}
+
+/// Operations of an in-flight transaction.
+pub trait TxnHandle {
+    /// Snapshot read.
+    fn get(&mut self, key: &Key) -> impl std::future::Future<Output = Result<Value, TxnError>>;
+
+    /// Buffered write.
+    fn put(&mut self, key: Key, value: Value);
+
+    /// Commit (consumes the transaction).
+    fn commit(self) -> impl std::future::Future<Output = Result<CommitInfo, TxnError>>;
+}
+
+impl TxnSystem for TxnClient {
+    type Handle = Txn;
+
+    fn begin(&self) -> Txn {
+        TxnClient::begin(self)
+    }
+}
+
+impl TxnHandle for Txn {
+    async fn get(&mut self, key: &Key) -> Result<Value, TxnError> {
+        Txn::get(self, key).await
+    }
+
+    fn put(&mut self, key: Key, value: Value) {
+        Txn::put(self, key, value)
+    }
+
+    async fn commit(self) -> Result<CommitInfo, TxnError> {
+        Txn::commit(self).await
+    }
+}
+
+impl TxnSystem for CentimanClient {
+    type Handle = CentTxn;
+
+    fn begin(&self) -> CentTxn {
+        CentimanClient::begin(self)
+    }
+}
+
+impl TxnHandle for CentTxn {
+    async fn get(&mut self, key: &Key) -> Result<Value, TxnError> {
+        CentTxn::get(self, key).await
+    }
+
+    fn put(&mut self, key: Key, value: Value) {
+        CentTxn::put(self, key, value)
+    }
+
+    async fn commit(self) -> Result<CommitInfo, TxnError> {
+        CentTxn::commit(self).await
+    }
+}
+
+/// Workload parameters for one experiment run.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Transaction mix.
+    pub mix: Mix,
+    /// Number of distinct keys (must be preloaded as ids `0..keyspace`).
+    pub keyspace: u64,
+    /// Zipf contention parameter α (0 = uniform).
+    pub zipf_alpha: f64,
+    /// Value size for writes.
+    pub value_size: usize,
+    /// Give up on a transaction after this many aborted attempts (still
+    /// counted individually as aborts).
+    pub max_retries: u32,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig {
+            mix: Mix::retwis(),
+            keyspace: 10_000,
+            zipf_alpha: 0.6,
+            value_size: 64,
+            max_retries: 64,
+        }
+    }
+}
+
+/// Shared counters, filled in by every instance of a run.
+#[derive(Debug, Default)]
+pub struct WorkloadStats {
+    /// Transactions that eventually committed.
+    pub commits: u64,
+    /// Aborted attempts (a transaction retried 3 times counts 3).
+    pub aborts: u64,
+    /// Attempts that ended in transport timeouts / unknown outcomes.
+    pub timeouts: u64,
+    /// Transactions abandoned after `max_retries`.
+    pub abandoned: u64,
+    /// Latency from first begin to successful commit, nanoseconds.
+    pub latency: Histogram,
+}
+
+impl WorkloadStats {
+    /// Abort rate: aborted attempts over all attempts (the paper's Figure 6
+    /// / 7 metric).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Committed transactions per virtual second over `elapsed`.
+    pub fn throughput(&self, elapsed: std::time::Duration) -> f64 {
+        self.commits as f64 / elapsed.as_secs_f64()
+    }
+
+    /// Merges another run's counters into this one.
+    pub fn merge(&mut self, other: &WorkloadStats) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.timeouts += other.timeouts;
+        self.abandoned += other.abandoned;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// The key script of one logical transaction: fixed on first attempt and
+/// reused verbatim on retries (§5.2).
+#[derive(Debug, Clone)]
+struct KeyScript {
+    reads: Vec<Key>,
+    writes: Vec<Key>,
+}
+
+fn plan(mix: &Mix, zipf: &Zipf, rng: &mut StdRng, cfg: &WorkloadConfig) -> KeyScript {
+    let t = mix.sample(rng);
+    let n_gets = t.gets.sample(rng);
+    let mut reads = Vec::with_capacity(n_gets as usize);
+    let mut writes = Vec::with_capacity(t.puts as usize);
+    let mut used = std::collections::HashSet::new();
+    let draw = |rng: &mut StdRng, used: &mut std::collections::HashSet<u64>| {
+        // Reject duplicates so each key appears once per transaction.
+        for _ in 0..16 {
+            let id = zipf.sample(rng) as u64;
+            if used.insert(id) {
+                return id;
+            }
+        }
+        let id = rng.gen_range(0..cfg.keyspace);
+        used.insert(id);
+        id
+    };
+    for _ in 0..n_gets {
+        reads.push(Key::from(draw(rng, &mut used)));
+    }
+    for _ in 0..t.puts {
+        writes.push(Key::from(draw(rng, &mut used)));
+    }
+    KeyScript { reads, writes }
+}
+
+/// Runs one closed-loop instance against `sys` until `until` (virtual
+/// time), accumulating into `stats`.
+pub async fn run_instance<S: TxnSystem>(
+    handle: SimHandle,
+    sys: S,
+    cfg: Rc<WorkloadConfig>,
+    zipf: Rc<Zipf>,
+    stats: Rc<RefCell<WorkloadStats>>,
+    until: SimTime,
+) {
+    let mut rng = handle.fork_rng();
+    let payload = value(vec![0x5au8; cfg.value_size]);
+    while handle.now() < until {
+        let script = plan(&cfg.mix, &zipf, &mut rng, &cfg);
+        let started = handle.now();
+        let mut attempts = 0u32;
+        loop {
+            if handle.now() >= until {
+                return;
+            }
+            attempts += 1;
+            let mut txn = sys.begin();
+            let mut failed: Option<TxnError> = None;
+            for key in &script.reads {
+                match txn.get(key).await {
+                    Ok(_) => {}
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            let outcome = match failed {
+                Some(e) => Err(e),
+                None => {
+                    for key in &script.writes {
+                        txn.put(key.clone(), payload.clone());
+                    }
+                    txn.commit().await
+                }
+            };
+            match outcome {
+                Ok(_) => {
+                    let mut st = stats.borrow_mut();
+                    st.commits += 1;
+                    st.latency.record((handle.now() - started).as_nanos() as u64);
+                    break;
+                }
+                Err(TxnError::Aborted(_)) => {
+                    let mut st = stats.borrow_mut();
+                    st.aborts += 1;
+                    if attempts > cfg.max_retries {
+                        st.abandoned += 1;
+                        break;
+                    }
+                    // Retry immediately with the same key script (§5.2).
+                }
+                Err(_) => {
+                    let mut st = stats.borrow_mut();
+                    st.timeouts += 1;
+                    if attempts > cfg.max_retries {
+                        st.abandoned += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs an **open-loop** load generator against `sys` until `until`:
+/// transactions arrive as a Poisson process at `rate_per_sec`, independent
+/// of completion times, so latency can be measured as a function of offered
+/// load (closed-loop drivers under-report queueing at saturation).
+///
+/// Arrivals beyond `max_outstanding` are dropped and counted (modelling
+/// admission control rather than unbounded queue growth).
+#[allow(clippy::too_many_arguments)] // a load generator is all knobs
+pub async fn run_open_loop<S: TxnSystem>(
+    handle: SimHandle,
+    sys: S,
+    cfg: Rc<WorkloadConfig>,
+    zipf: Rc<Zipf>,
+    stats: Rc<RefCell<WorkloadStats>>,
+    rate_per_sec: f64,
+    max_outstanding: usize,
+    until: SimTime,
+) {
+    assert!(rate_per_sec > 0.0, "open loop needs a positive rate");
+    let mut rng = handle.fork_rng();
+    let outstanding = Rc::new(std::cell::Cell::new(0usize));
+    let mut joins = Vec::new();
+    loop {
+        let gap = simkit::rng::exponential(&mut rng, 1.0 / rate_per_sec);
+        handle
+            .sleep(std::time::Duration::from_nanos((gap * 1e9) as u64))
+            .await;
+        if handle.now() >= until {
+            break;
+        }
+        if outstanding.get() >= max_outstanding {
+            stats.borrow_mut().timeouts += 1; // shed load
+            continue;
+        }
+        outstanding.set(outstanding.get() + 1);
+        let script = plan(&cfg.mix, &zipf, &mut rng, &cfg);
+        let sys = sys.clone();
+        let cfg = cfg.clone();
+        let stats = stats.clone();
+        let outstanding = outstanding.clone();
+        let h2 = handle.clone();
+        joins.push(handle.spawn(async move {
+            let payload = value(vec![0x5au8; cfg.value_size]);
+            let started = h2.now();
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1;
+                let mut txn = sys.begin();
+                let mut failed: Option<TxnError> = None;
+                for key in &script.reads {
+                    if let Err(e) = txn.get(key).await {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                let outcome = match failed {
+                    Some(e) => Err(e),
+                    None => {
+                        for key in &script.writes {
+                            txn.put(key.clone(), payload.clone());
+                        }
+                        txn.commit().await
+                    }
+                };
+                match outcome {
+                    Ok(_) => {
+                        let mut st = stats.borrow_mut();
+                        st.commits += 1;
+                        st.latency.record((h2.now() - started).as_nanos() as u64);
+                        break;
+                    }
+                    Err(TxnError::Aborted(_)) => {
+                        let mut st = stats.borrow_mut();
+                        st.aborts += 1;
+                        if attempts > cfg.max_retries {
+                            st.abandoned += 1;
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        let mut st = stats.borrow_mut();
+                        st.timeouts += 1;
+                        if attempts > cfg.max_retries {
+                            st.abandoned += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            outstanding.set(outstanding.get() - 1);
+        }));
+    }
+    for j in joins {
+        j.await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim::NandConfig;
+    use milana::cluster::{MilanaCluster, MilanaClusterConfig};
+    use simkit::Sim;
+    use timesync::Discipline;
+
+    #[test]
+    fn plans_respect_mix_shape() {
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let cfg = WorkloadConfig::default();
+        let zipf = Zipf::new(cfg.keyspace as usize, cfg.zipf_alpha);
+        let mut saw_read_only = false;
+        let mut saw_writes = false;
+        for _ in 0..200 {
+            let s = plan(&cfg.mix, &zipf, &mut rng, &cfg);
+            assert!(!s.reads.is_empty() || !s.writes.is_empty());
+            // No duplicate keys inside one transaction.
+            let mut all: Vec<&Key> = s.reads.iter().chain(s.writes.iter()).collect();
+            let n = all.len();
+            all.sort();
+            all.dedup();
+            assert_eq!(all.len(), n, "duplicate key in plan");
+            saw_read_only |= s.writes.is_empty();
+            saw_writes |= !s.writes.is_empty();
+        }
+        assert!(saw_read_only && saw_writes);
+    }
+
+    #[test]
+    fn driver_runs_retwis_against_milana() {
+        let mut sim = Sim::new(77);
+        let h = sim.handle();
+        let cluster = MilanaCluster::build(
+            &h,
+            MilanaClusterConfig {
+                shards: 1,
+                replicas: 3,
+                clients: 2,
+                preload_keys: 500,
+                nand: NandConfig {
+                    blocks: 256,
+                    pages_per_block: 8,
+                    ..NandConfig::default()
+                },
+                discipline: Discipline::PtpSoftware,
+                ..MilanaClusterConfig::default()
+            },
+        );
+        let cfg = Rc::new(WorkloadConfig {
+            keyspace: 500,
+            zipf_alpha: 0.5,
+            ..WorkloadConfig::default()
+        });
+        let zipf = Rc::new(Zipf::new(cfg.keyspace as usize, cfg.zipf_alpha));
+        let stats = Rc::new(RefCell::new(WorkloadStats::default()));
+        let until = simkit::SimTime::from_millis(300);
+        let mut joins = Vec::new();
+        for c in &cluster.clients {
+            joins.push(h.spawn(run_instance(
+                h.clone(),
+                c.clone(),
+                cfg.clone(),
+                zipf.clone(),
+                stats.clone(),
+                until,
+            )));
+        }
+        sim.block_on(async move {
+            for j in joins {
+                j.await;
+            }
+        });
+        let st = stats.borrow();
+        assert!(st.commits > 50, "commits {}", st.commits);
+        assert_eq!(st.abandoned, 0);
+        assert!(st.latency.mean() > 0.0);
+        assert!(st.abort_rate() < 0.5, "abort rate {}", st.abort_rate());
+    }
+}
+#[cfg(test)]
+mod open_loop_tests {
+    use super::*;
+    use flashsim::NandConfig;
+    use milana::cluster::{MilanaCluster, MilanaClusterConfig};
+    use simkit::Sim;
+    use timesync::Discipline;
+
+    #[test]
+    fn open_loop_throughput_tracks_offered_rate_below_saturation() {
+        let mut sim = Sim::new(88);
+        let h = sim.handle();
+        let cluster = MilanaCluster::build(
+            &h,
+            MilanaClusterConfig {
+                shards: 1,
+                replicas: 3,
+                clients: 1,
+                preload_keys: 500,
+                nand: NandConfig {
+                    blocks: 256,
+                    pages_per_block: 8,
+                    ..NandConfig::default()
+                },
+                discipline: Discipline::PtpSoftware,
+                ..MilanaClusterConfig::default()
+            },
+        );
+        let cfg = Rc::new(WorkloadConfig {
+            keyspace: 500,
+            zipf_alpha: 0.3,
+            ..WorkloadConfig::default()
+        });
+        let zipf = Rc::new(Zipf::new(cfg.keyspace as usize, cfg.zipf_alpha));
+        let stats = Rc::new(RefCell::new(WorkloadStats::default()));
+        let rate = 500.0; // txn/s, far below capacity
+        let window = std::time::Duration::from_millis(800);
+        let until = h.now() + window;
+        let driver = run_open_loop(
+            h.clone(),
+            cluster.clients[0].clone(),
+            cfg,
+            zipf,
+            stats.clone(),
+            rate,
+            64,
+            until,
+        );
+        sim.block_on(driver);
+        let st = stats.borrow();
+        let achieved = st.commits as f64 / window.as_secs_f64();
+        assert!(
+            (achieved - rate).abs() / rate < 0.25,
+            "offered {rate}/s, achieved {achieved}/s"
+        );
+        assert_eq!(st.abandoned, 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # retwis — the paper's benchmark workload
+//!
+//! The Retwis (Twitter-clone) benchmark drives all of MILANA's evaluation
+//! (§5.2–5.3): a four-type transaction mix (Table 2) over a shared key
+//! space, with a Zipf "contention parameter" α concentrating traffic on hot
+//! keys. This crate provides the mix ([`mix`]), a closed-loop driver that
+//! retries aborted transactions with the same keys and no wait ([`driver`]),
+//! and the metrics the figures report (abort rate, throughput, latency).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod mix;
+
+pub use driver::{run_instance, run_open_loop, TxnHandle, TxnSystem, WorkloadConfig, WorkloadStats};
+pub use mix::{GetCount, Mix, TxnType};

@@ -1,0 +1,203 @@
+//! The Retwis transaction mix (Table 2 of the paper).
+//!
+//! Retwis is a Twitter-clone benchmark; the paper drives MILANA with four
+//! transaction types. Each type performs a number of gets and puts over a
+//! shared key space; the *contention parameter* α skews key choice toward a
+//! hot head via a Zipf distribution.
+
+use rand::Rng;
+
+/// How many gets a transaction type performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetCount {
+    /// Always exactly this many.
+    Fixed(u32),
+    /// Uniform in `[lo, hi]` (Get Timeline's `rand(1,10)`).
+    Uniform(u32, u32),
+}
+
+impl GetCount {
+    /// Draws a concrete count.
+    pub fn sample(self, rng: &mut impl Rng) -> u32 {
+        match self {
+            GetCount::Fixed(n) => n,
+            GetCount::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+        }
+    }
+}
+
+/// One transaction type in the mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnType {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Gets per transaction.
+    pub gets: GetCount,
+    /// Puts per transaction.
+    pub puts: u32,
+    /// Relative weight (percent).
+    pub weight: u32,
+}
+
+/// A weighted set of transaction types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    types: Vec<TxnType>,
+    total_weight: u32,
+}
+
+impl Mix {
+    /// Builds a mix from weighted types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `types` is empty or all weights are zero.
+    pub fn new(types: Vec<TxnType>) -> Mix {
+        assert!(!types.is_empty());
+        let total_weight = types.iter().map(|t| t.weight).sum();
+        assert!(total_weight > 0, "mix needs positive total weight");
+        Mix {
+            types,
+            total_weight,
+        }
+    }
+
+    /// The paper's Table 2 mix: Add User 5 %, Follow User 10 %, Post Tweet
+    /// 35 %, Get Timeline 50 %.
+    pub fn retwis() -> Mix {
+        Mix::new(vec![
+            TxnType {
+                name: "add_user",
+                gets: GetCount::Fixed(1),
+                puts: 2,
+                weight: 5,
+            },
+            TxnType {
+                name: "follow_user",
+                gets: GetCount::Fixed(2),
+                puts: 2,
+                weight: 10,
+            },
+            TxnType {
+                name: "post_tweet",
+                gets: GetCount::Fixed(3),
+                puts: 5,
+                weight: 35,
+            },
+            TxnType {
+                name: "get_timeline",
+                gets: GetCount::Uniform(1, 10),
+                puts: 0,
+                weight: 50,
+            },
+        ])
+    }
+
+    /// The read-heavy variant used for the throughput/latency study (§5.2,
+    /// Figure 8): 5 % / 10 % / 10 % / **75 % read-only**.
+    pub fn retwis_read_heavy() -> Mix {
+        Mix::new(vec![
+            TxnType {
+                name: "add_user",
+                gets: GetCount::Fixed(1),
+                puts: 2,
+                weight: 5,
+            },
+            TxnType {
+                name: "follow_user",
+                gets: GetCount::Fixed(2),
+                puts: 2,
+                weight: 10,
+            },
+            TxnType {
+                name: "post_tweet",
+                gets: GetCount::Fixed(3),
+                puts: 5,
+                weight: 10,
+            },
+            TxnType {
+                name: "get_timeline",
+                gets: GetCount::Uniform(1, 10),
+                puts: 0,
+                weight: 75,
+            },
+        ])
+    }
+
+    /// Draws a transaction type by weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> &TxnType {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for t in &self.types {
+            if pick < t.weight {
+                return t;
+            }
+            pick -= t.weight;
+        }
+        unreachable!("weights sum correctly")
+    }
+
+    /// The configured types.
+    pub fn types(&self) -> &[TxnType] {
+        &self.types
+    }
+
+    /// The fraction of transactions that carry no writes.
+    pub fn read_only_fraction(&self) -> f64 {
+        let ro: u32 = self
+            .types
+            .iter()
+            .filter(|t| t.puts == 0)
+            .map(|t| t.weight)
+            .sum();
+        ro as f64 / self.total_weight as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table2_mix_matches_paper() {
+        let m = Mix::retwis();
+        let t: Vec<_> = m.types().iter().map(|t| (t.name, t.puts, t.weight)).collect();
+        assert_eq!(
+            t,
+            vec![
+                ("add_user", 2, 5),
+                ("follow_user", 2, 10),
+                ("post_tweet", 5, 35),
+                ("get_timeline", 0, 50),
+            ]
+        );
+        assert_eq!(m.read_only_fraction(), 0.5);
+        assert_eq!(Mix::retwis_read_heavy().read_only_fraction(), 0.75);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let m = Mix::retwis();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mut timeline = 0;
+        for _ in 0..n {
+            if m.sample(&mut rng).name == "get_timeline" {
+                timeline += 1;
+            }
+        }
+        let frac = timeline as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "timeline fraction {frac}");
+    }
+
+    #[test]
+    fn get_counts_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let n = GetCount::Uniform(1, 10).sample(&mut rng);
+            assert!((1..=10).contains(&n));
+        }
+        assert_eq!(GetCount::Fixed(3).sample(&mut rng), 3);
+    }
+}

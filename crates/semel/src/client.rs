@@ -1,0 +1,280 @@
+//! The SEMEL client library (§3): assigns precision timestamps to every
+//! operation, routes by shard map, retries timestamp races with fresh
+//! stamps, and broadcasts watermarks for garbage collection.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Duration;
+
+use flashsim::{Key, Value, VersionedValue};
+use simkit::net::NodeId;
+use simkit::rpc::{RpcClient, RpcError};
+use simkit::SimHandle;
+use timesync::{ClientId, Discipline, SyncedClock, Timestamp, Version};
+
+use crate::msg::{SemelError, SemelRequest, SemelResponse};
+use crate::shard::ShardMap;
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-RPC timeout.
+    pub rpc_timeout: Duration,
+    /// How many fresh-timestamp retries a racing put gets before giving up.
+    pub put_retries: u32,
+    /// How often the client broadcasts its watermark (§3.1).
+    pub watermark_interval: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            rpc_timeout: Duration::from_millis(50),
+            put_retries: 8,
+            watermark_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A SEMEL client (an application server). Cloning shares the client.
+#[derive(Clone)]
+pub struct SemelClient {
+    handle: SimHandle,
+    id: ClientId,
+    clock: Rc<SyncedClock>,
+    map: Rc<RefCell<ShardMap>>,
+    rpc: RpcClient,
+    cfg: Rc<ClientConfig>,
+    last_acked: Rc<Cell<Timestamp>>,
+}
+
+impl std::fmt::Debug for SemelClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemelClient").field("id", &self.id).finish()
+    }
+}
+
+/// Reply port used by SEMEL clients on their node.
+pub const CLIENT_RPC_PORT: u16 = 32;
+
+impl SemelClient {
+    /// Creates a client on `node` with its own skewed clock, and starts its
+    /// periodic watermark broadcast task.
+    pub fn new(
+        handle: &SimHandle,
+        node: NodeId,
+        id: ClientId,
+        discipline: Discipline,
+        map: Rc<RefCell<ShardMap>>,
+        cfg: ClientConfig,
+    ) -> SemelClient {
+        let clock_seed = handle.rand_u64();
+        let client = SemelClient {
+            handle: handle.clone(),
+            id,
+            clock: Rc::new(SyncedClock::new(discipline, clock_seed)),
+            map,
+            rpc: RpcClient::new(handle, node, CLIENT_RPC_PORT),
+            cfg: Rc::new(cfg),
+            last_acked: Rc::new(Cell::new(Timestamp::ZERO)),
+        };
+        client.spawn_watermark_task(node);
+        client
+    }
+
+    fn spawn_watermark_task(&self, node: NodeId) {
+        let me = self.clone();
+        self.handle.spawn_on(node, async move {
+            loop {
+                me.handle.sleep(me.cfg.watermark_interval).await;
+                me.broadcast_watermark();
+            }
+        });
+    }
+
+    /// Sends the current watermark report to every replica of every shard.
+    /// Normally driven by the background task; exposed for tests.
+    pub fn broadcast_watermark(&self) {
+        let ts = self.last_acked.get();
+        let map = self.map.borrow();
+        for (_, group) in map.iter() {
+            for addr in group.all() {
+                self.rpc.cast(
+                    addr,
+                    SemelRequest::Watermark {
+                        client: self.id,
+                        ts,
+                    },
+                );
+            }
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Reads the client's (skewed, monotonic) clock: `t_current`.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now(self.handle.now())
+    }
+
+    /// The client's clock (for instrumentation).
+    pub fn clock(&self) -> &SyncedClock {
+        &self.clock
+    }
+
+    /// Timestamp of the client's last acknowledged operation (what the
+    /// watermark broadcast reports).
+    pub fn last_acked(&self) -> Timestamp {
+        self.last_acked.get()
+    }
+
+    fn record_ack(&self, ts: Timestamp) {
+        if ts > self.last_acked.get() {
+            self.last_acked.set(ts);
+        }
+    }
+
+    /// Creates a new version of `key` stamped with the client's current
+    /// time; retries with a *fresh* timestamp if a concurrent writer with a
+    /// later stamp wins the race (§3.3's "lagging clock" retry).
+    ///
+    /// # Errors
+    ///
+    /// [`SemelError::Rejected`] after exhausting retries, or transport /
+    /// capacity errors.
+    pub async fn put(&self, key: Key, value: Value) -> Result<Version, SemelError> {
+        let mut last_rejection = None;
+        for _ in 0..=self.cfg.put_retries {
+            let version = Version::new(self.now(), self.id);
+            match self.put_versioned(key.clone(), value.clone(), version).await {
+                Ok(()) => return Ok(version),
+                Err(SemelError::Rejected(v)) => last_rejection = Some(v),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(SemelError::Rejected(last_rejection.expect("retried")))
+    }
+
+    /// Writes with an explicit version stamp, retransmitting on timeouts
+    /// (idempotent thanks to at-most-once version checks).
+    ///
+    /// # Errors
+    ///
+    /// [`SemelError::Rejected`] if a newer version exists, plus transport /
+    /// capacity errors.
+    pub async fn put_versioned(
+        &self,
+        key: Key,
+        value: Value,
+        version: Version,
+    ) -> Result<(), SemelError> {
+        let primary = {
+            let map = self.map.borrow();
+            map.group(map.shard_for(&key)).primary
+        };
+        let req = SemelRequest::Put {
+            key,
+            value,
+            version,
+        };
+        // Retransmit on timeout: the server deduplicates by version.
+        for _ in 0..3 {
+            match self
+                .rpc
+                .call::<SemelRequest, SemelResponse>(primary, req.clone(), self.cfg.rpc_timeout)
+                .await
+            {
+                Ok(SemelResponse::PutOk) => {
+                    self.record_ack(version.ts);
+                    return Ok(());
+                }
+                Ok(SemelResponse::Rejected(v)) => return Err(SemelError::Rejected(v)),
+                Ok(SemelResponse::NoMajority) => return Err(SemelError::NoMajority),
+                Ok(SemelResponse::Capacity) => return Err(SemelError::Capacity),
+                Ok(_) => return Err(SemelError::Timeout),
+                Err(RpcError::Timeout) => continue,
+                Err(RpcError::Closed) => return Err(SemelError::Timeout),
+            }
+        }
+        Err(SemelError::Timeout)
+    }
+
+    /// Reads the youngest version visible at the client's current time.
+    ///
+    /// # Errors
+    ///
+    /// [`SemelError::NotFound`] and transport errors.
+    pub async fn get(&self, key: Key) -> Result<VersionedValue, SemelError> {
+        let at = self.now();
+        self.get_at(key, at).await
+    }
+
+    /// Snapshot read at an explicit timestamp (used by MILANA transactions
+    /// and read-only analytics).
+    ///
+    /// # Errors
+    ///
+    /// [`SemelError::NotFound`], [`SemelError::SnapshotUnavailable`] on
+    /// single-version backends, and transport errors.
+    pub async fn get_at(&self, key: Key, at: Timestamp) -> Result<VersionedValue, SemelError> {
+        let primary = {
+            let map = self.map.borrow();
+            map.group(map.shard_for(&key)).primary
+        };
+        for _ in 0..3 {
+            match self
+                .rpc
+                .call::<SemelRequest, SemelResponse>(
+                    primary,
+                    SemelRequest::Get {
+                        key: key.clone(),
+                        at,
+                    },
+                    self.cfg.rpc_timeout,
+                )
+                .await
+            {
+                Ok(SemelResponse::Value { version, value, .. }) => {
+                    self.record_ack(at);
+                    return Ok(VersionedValue { version, value });
+                }
+                Ok(SemelResponse::NotFound) => return Err(SemelError::NotFound),
+                Ok(SemelResponse::SnapshotUnavailable(v)) => {
+                    return Err(SemelError::SnapshotUnavailable(v))
+                }
+                Ok(_) => return Err(SemelError::Timeout),
+                Err(RpcError::Timeout) => continue,
+                Err(RpcError::Closed) => return Err(SemelError::Timeout),
+            }
+        }
+        Err(SemelError::Timeout)
+    }
+
+    /// Deletes all versions of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Transport and replication errors.
+    pub async fn delete(&self, key: Key) -> Result<(), SemelError> {
+        let primary = {
+            let map = self.map.borrow();
+            map.group(map.shard_for(&key)).primary
+        };
+        match self
+            .rpc
+            .call::<SemelRequest, SemelResponse>(
+                primary,
+                SemelRequest::Delete { key },
+                self.cfg.rpc_timeout,
+            )
+            .await
+        {
+            Ok(SemelResponse::Deleted) => Ok(()),
+            Ok(SemelResponse::NoMajority) => Err(SemelError::NoMajority),
+            _ => Err(SemelError::Timeout),
+        }
+    }
+}

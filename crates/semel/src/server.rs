@@ -1,0 +1,322 @@
+//! The SEMEL shard server: linearizable single-key RPCs over a storage
+//! backend, with primary/backup inconsistent replication (§3.2, §3.3).
+//!
+//! - A **primary** serializes all reads/writes for its shard. Writes carry
+//!   client-assigned version stamps; stale stamps are rejected (at-most-once)
+//!   and exact duplicates are re-acknowledged idempotently. A write is acked
+//!   after it is locally durable *and* `f` of the `2f` backups acknowledged
+//!   its record — in any order relative to other records.
+//! - A **backup** just applies records; ordering is reconstructed from
+//!   version stamps, never from arrival order.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use flashsim::{Backend, StoreError};
+use simkit::net::Addr;
+use simkit::rpc::{recv_request, Responder, RpcClient};
+use simkit::SimHandle;
+use timesync::{ClientId, Timestamp, WatermarkTracker};
+
+use crate::msg::{ReplicaRecord, SemelRequest, SemelResponse};
+use crate::replicate::replicate;
+use crate::shard::ShardId;
+
+/// How a primary streams records to its backups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicationMode {
+    /// SEMEL's relaxed mode (§3.2): backups apply and acknowledge records
+    /// in arrival order; version stamps carry the real order.
+    #[default]
+    Inconsistent,
+    /// The conventional alternative: records carry sequence numbers and a
+    /// backup holds record *n+1* (neither applying nor acknowledging it)
+    /// until it has applied record *n* — so one delayed message stalls the
+    /// acknowledgement of everything behind it.
+    Ordered,
+}
+
+/// Static configuration of one shard replica.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Which shard this replica serves.
+    pub shard: ShardId,
+    /// This replica's service address (its mailbox).
+    pub addr: Addr,
+    /// The shard's backup addresses (empty on backups themselves).
+    pub backups: Vec<Addr>,
+    /// True for the designated primary.
+    pub is_primary: bool,
+    /// Budget for each backup replication RPC.
+    pub repl_timeout: Duration,
+    /// Clients whose watermark reports gate garbage collection.
+    pub clients: Vec<ClientId>,
+    /// Replication ordering discipline (ablation knob; SEMEL uses
+    /// [`ReplicationMode::Inconsistent`]).
+    pub replication: ReplicationMode,
+    /// Keep at least this much version history regardless of watermark
+    /// progress (§3.1's tunable GC window). `None` prunes purely by
+    /// watermark.
+    pub history_window: Option<std::time::Duration>,
+}
+
+impl ServerConfig {
+    /// Majority parameter: acks needed from backups (`f` of `2f`).
+    pub fn need_acks(&self) -> usize {
+        self.backups.len() / 2
+    }
+}
+
+/// One running shard replica. Cloning shares the server state.
+#[derive(Clone)]
+pub struct ShardServer {
+    handle: SimHandle,
+    backend: Backend,
+    cfg: Rc<ServerConfig>,
+    rpc: RpcClient,
+    watermarks: Rc<std::cell::RefCell<WatermarkTracker>>,
+    /// Primary: next sequence number to assign (ordered mode).
+    next_seq: Rc<std::cell::Cell<u64>>,
+    /// Backup: in-order application state (ordered mode).
+    ordered: Rc<std::cell::RefCell<OrderedBackup>>,
+}
+
+#[derive(Debug, Default)]
+struct OrderedBackup {
+    next_apply: u64,
+    /// Records that arrived ahead of their turn, with their responders.
+    held: std::collections::BTreeMap<u64, (ReplicaRecord, Responder)>,
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardServer")
+            .field("shard", &self.cfg.shard)
+            .field("addr", &self.cfg.addr)
+            .field("primary", &self.cfg.is_primary)
+            .finish()
+    }
+}
+
+impl ShardServer {
+    /// Spawns the server loop on `cfg.addr.node` and returns a handle to it.
+    /// The `backend` outlives node failures, modeling durable storage.
+    pub fn spawn(handle: &SimHandle, backend: Backend, cfg: ServerConfig) -> ShardServer {
+        let server = ShardServer {
+            handle: handle.clone(),
+            backend,
+            rpc: RpcClient::new(&handle.clone(), cfg.addr.node, cfg.addr.port + 1),
+            watermarks: Rc::new(std::cell::RefCell::new(WatermarkTracker::new(
+                cfg.clients.iter().copied(),
+            ))),
+            cfg: Rc::new(cfg),
+            next_seq: Rc::new(std::cell::Cell::new(0)),
+            ordered: Rc::new(std::cell::RefCell::new(OrderedBackup::default())),
+        };
+        server.spawn_loop();
+        server
+    }
+
+    fn spawn_loop(&self) {
+        let mailbox = self.handle.bind(self.cfg.addr);
+        let me = self.clone();
+        let h = self.handle.clone();
+        self.handle.spawn_on(self.cfg.addr.node, async move {
+            while let Some((req, _from, resp)) = recv_request::<SemelRequest>(&h, &mailbox).await {
+                let me2 = me.clone();
+                // Handle each request in its own task so slow device ops
+                // do not serialize the shard.
+                h.spawn_on(me.cfg.addr.node, async move {
+                    me2.handle_request(req, resp).await;
+                });
+            }
+        });
+    }
+
+    /// The storage backend (exposed for preloading and test inspection).
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// This replica's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    async fn handle_request(&self, req: SemelRequest, resp: Responder) {
+        match req {
+            SemelRequest::Get { key, at } => {
+                let r = match self.backend.get_at(&key, at).await {
+                    Ok(vv) => SemelResponse::Value {
+                        version: vv.version,
+                        value: vv.value,
+                        prepared: false,
+                    },
+                    Err(StoreError::NotFound) => SemelResponse::NotFound,
+                    Err(StoreError::SnapshotUnavailable(v)) => {
+                        SemelResponse::SnapshotUnavailable(v)
+                    }
+                    Err(_) => SemelResponse::Capacity,
+                };
+                resp.reply(r);
+            }
+            SemelRequest::Put {
+                key,
+                value,
+                version,
+            } => {
+                let r = self.handle_put(key, value, version).await;
+                resp.reply(r);
+            }
+            SemelRequest::Delete { key } => {
+                self.backend.delete(&key);
+                let rec = ReplicaRecord::Delete { key };
+                let ok = replicate::<SemelRequest, SemelResponse>(
+                    &self.handle,
+                    &self.rpc,
+                    &self.cfg.backups,
+                    SemelRequest::Record {
+                        seq: self.assign_seq(),
+                        rec,
+                    },
+                    self.cfg.need_acks(),
+                    self.cfg.repl_timeout,
+                    |r| matches!(r, SemelResponse::RecordOk),
+                )
+                .await;
+                resp.reply(if ok {
+                    SemelResponse::Deleted
+                } else {
+                    SemelResponse::NoMajority
+                });
+            }
+            SemelRequest::Watermark { client, ts } => {
+                let mut wm = {
+                    let mut w = self.watermarks.borrow_mut();
+                    w.update(client, ts);
+                    w.watermark()
+                };
+                if let Some(window) = self.cfg.history_window {
+                    let floor = Timestamp::from_sim(self.handle.now()).before(window);
+                    wm = wm.min(floor);
+                }
+                if wm > Timestamp::ZERO && wm < Timestamp::MAX {
+                    self.backend.set_watermark(wm);
+                }
+                resp.reply(SemelResponse::RecordOk);
+            }
+            SemelRequest::Record { seq, rec } => match seq {
+                None => {
+                    let r = self.apply_record(rec).await;
+                    resp.reply(r);
+                }
+                Some(seq) => self.handle_ordered_record(seq, rec, resp).await,
+            },
+        }
+    }
+
+    fn assign_seq(&self) -> Option<u64> {
+        match self.cfg.replication {
+            ReplicationMode::Inconsistent => None,
+            ReplicationMode::Ordered => {
+                let s = self.next_seq.get();
+                self.next_seq.set(s + 1);
+                Some(s)
+            }
+        }
+    }
+
+    async fn apply_record(&self, rec: ReplicaRecord) -> SemelResponse {
+        match rec {
+            ReplicaRecord::Write {
+                key,
+                value,
+                version,
+            } => match self.backend.apply_unordered(key, value, version).await {
+                Ok(()) => SemelResponse::RecordOk,
+                Err(_) => SemelResponse::Capacity,
+            },
+            ReplicaRecord::Delete { key } => {
+                self.backend.delete(&key);
+                SemelResponse::RecordOk
+            }
+        }
+    }
+
+    /// Ordered-mode backup path: apply strictly by sequence number, holding
+    /// early arrivals (and their acknowledgements) until the gap fills.
+    async fn handle_ordered_record(&self, seq: u64, rec: ReplicaRecord, resp: Responder) {
+        {
+            let mut ob = self.ordered.borrow_mut();
+            if seq > ob.next_apply {
+                ob.held.insert(seq, (rec, resp));
+                return;
+            }
+            if seq < ob.next_apply {
+                // Duplicate of something already applied.
+                resp.reply(SemelResponse::RecordOk);
+                return;
+            }
+        }
+        // seq == next_apply: apply, then drain any ready successors.
+        let r = self.apply_record(rec).await;
+        resp.reply(r);
+        loop {
+            let next = {
+                let mut ob = self.ordered.borrow_mut();
+                ob.next_apply += 1;
+                let n = ob.next_apply;
+                ob.held.remove(&n)
+            };
+            match next {
+                Some((rec, resp)) => {
+                    let r = self.apply_record(rec).await;
+                    resp.reply(r);
+                }
+                None => break,
+            }
+        }
+    }
+
+    async fn handle_put(
+        &self,
+        key: flashsim::Key,
+        value: flashsim::Value,
+        version: timesync::Version,
+    ) -> SemelResponse {
+        match self.backend.put(key.clone(), value.clone(), version).await {
+            Ok(()) => {}
+            Err(StoreError::StaleWrite(current)) if current == version => {
+                // Retransmission of a completed write: re-replicate (the
+                // original majority may have been partial) and re-ack.
+            }
+            Err(StoreError::StaleWrite(current)) => {
+                return SemelResponse::Rejected(current);
+            }
+            Err(_) => return SemelResponse::Capacity,
+        }
+        let rec = ReplicaRecord::Write {
+            key,
+            value,
+            version,
+        };
+        let ok = replicate::<SemelRequest, SemelResponse>(
+            &self.handle,
+            &self.rpc,
+            &self.cfg.backups,
+            SemelRequest::Record {
+                seq: self.assign_seq(),
+                rec,
+            },
+            self.cfg.need_acks(),
+            self.cfg.repl_timeout,
+            |r| matches!(r, SemelResponse::RecordOk),
+        )
+        .await;
+        if ok {
+            SemelResponse::PutOk
+        } else {
+            SemelResponse::NoMajority
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Key-space sharding: consistent hashing from keys to shards, and the
+//! shard → replica-group map clients coordinate through (§3).
+//!
+//! The paper delegates this to "a global master ... using standard
+//! techniques (e.g., consistent hashing)"; we implement a classic hash ring
+//! with virtual nodes so shard assignment is stable under membership change.
+
+use std::collections::BTreeMap;
+
+use flashsim::Key;
+use simkit::net::Addr;
+
+/// Identifies a data shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// FNV-1a — a small, dependency-free 64-bit hash for ring placement.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One shard's replica set: a designated primary plus `2f` backups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaGroup {
+    /// The primary replica's service address.
+    pub primary: Addr,
+    /// Backup replicas' service addresses.
+    pub backups: Vec<Addr>,
+}
+
+impl ReplicaGroup {
+    /// `f` — the number of simultaneous replica failures tolerated
+    /// (`2f + 1` replicas total). The primary acks a write after `f` backup
+    /// acknowledgements (majority including itself).
+    pub fn f(&self) -> usize {
+        self.backups.len() / 2
+    }
+
+    /// All replica addresses, primary first.
+    pub fn all(&self) -> Vec<Addr> {
+        let mut v = Vec::with_capacity(1 + self.backups.len());
+        v.push(self.primary);
+        v.extend(self.backups.iter().copied());
+        v
+    }
+}
+
+/// The cluster map: a consistent-hash ring over shards, plus each shard's
+/// replica group. Carries an `epoch` so clients can detect staleness after
+/// failover.
+///
+/// # Examples
+///
+/// ```
+/// use semel::shard::{ReplicaGroup, ShardMap};
+/// use simkit::net::{Addr, NodeId};
+/// use flashsim::Key;
+///
+/// let map = ShardMap::new(vec![ReplicaGroup {
+///     primary: Addr::new(NodeId(0), 0),
+///     backups: vec![],
+/// }]);
+/// let shard = map.shard_for(&Key::from(42u64));
+/// assert_eq!(map.group(shard).primary.node, NodeId(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    ring: BTreeMap<u64, ShardId>,
+    groups: Vec<ReplicaGroup>,
+    epoch: u64,
+}
+
+/// Virtual ring points per shard; more points = smoother key spread.
+const VNODES: u32 = 64;
+
+impl ShardMap {
+    /// Builds a map over the given replica groups (index = shard id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn new(groups: Vec<ReplicaGroup>) -> ShardMap {
+        assert!(!groups.is_empty(), "ShardMap needs at least one shard");
+        let mut ring = BTreeMap::new();
+        for (i, _) in groups.iter().enumerate() {
+            for v in 0..VNODES {
+                let point = fnv1a(format!("shard-{i}-vnode-{v}").as_bytes());
+                ring.insert(point, ShardId(i as u32));
+            }
+        }
+        ShardMap {
+            ring,
+            groups,
+            epoch: 0,
+        }
+    }
+
+    /// The shard owning `key` (clockwise successor on the ring).
+    pub fn shard_for(&self, key: &Key) -> ShardId {
+        let point = fnv1a(key.as_bytes());
+        *self
+            .ring
+            .range(point..)
+            .next()
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| self.ring.iter().next().map(|(_, s)| s).expect("ring"))
+    }
+
+    /// The replica group of `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard id is out of range.
+    pub fn group(&self, shard: ShardId) -> &ReplicaGroup {
+        &self.groups[shard.0 as usize]
+    }
+
+    /// Iterator over `(ShardId, &ReplicaGroup)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ShardId, &ReplicaGroup)> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (ShardId(i as u32), g))
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Always false — maps hold at least one shard.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The map's configuration epoch (bumped on failover).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Promotes `new_primary` (one of the shard's backups) to primary and
+    /// demotes the old primary into the backup list (it may be dead right
+    /// now, but rejoins as a backup when restarted), bumping the epoch.
+    /// Used by the master during failover (§4.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_primary` is not a backup of `shard`.
+    pub fn promote(&mut self, shard: ShardId, new_primary: Addr) {
+        let g = &mut self.groups[shard.0 as usize];
+        let pos = g
+            .backups
+            .iter()
+            .position(|&a| a == new_primary)
+            .expect("new primary must be a current backup");
+        g.backups.remove(pos);
+        g.backups.push(g.primary);
+        g.primary = new_primary;
+        self.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::net::NodeId;
+
+    fn group(n: u32) -> ReplicaGroup {
+        ReplicaGroup {
+            primary: Addr::new(NodeId(n * 10), 0),
+            backups: vec![
+                Addr::new(NodeId(n * 10 + 1), 0),
+                Addr::new(NodeId(n * 10 + 2), 0),
+            ],
+        }
+    }
+
+    fn map(n: u32) -> ShardMap {
+        ShardMap::new((0..n).map(group).collect())
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let m = map(3);
+        for i in 0..100u64 {
+            let k = Key::from(i);
+            assert_eq!(m.shard_for(&k), m.shard_for(&k));
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let m = map(3);
+        let mut counts = [0u32; 3];
+        for i in 0..3000u64 {
+            counts[m.shard_for(&Key::from(i)).0 as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 400, "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let m = map(1);
+        for i in 0..50u64 {
+            assert_eq!(m.shard_for(&Key::from(i)), ShardId(0));
+        }
+    }
+
+    #[test]
+    fn f_is_minority_of_backups() {
+        assert_eq!(group(0).f(), 1); // 2 backups -> f=1 (3 replicas)
+        let g = ReplicaGroup {
+            primary: Addr::new(NodeId(0), 0),
+            backups: vec![],
+        };
+        assert_eq!(g.f(), 0);
+    }
+
+    #[test]
+    fn promote_swaps_primary_and_bumps_epoch() {
+        let mut m = map(2);
+        let old_primary = m.group(ShardId(1)).primary;
+        let backup = m.group(ShardId(1)).backups[0];
+        let e0 = m.epoch();
+        m.promote(ShardId(1), backup);
+        assert_eq!(m.group(ShardId(1)).primary, backup);
+        // The old primary is demoted, keeping the group at full strength.
+        assert_eq!(m.group(ShardId(1)).backups.len(), 2);
+        assert!(m.group(ShardId(1)).backups.contains(&old_primary));
+        assert_eq!(m.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn repeated_promotions_never_exhaust_the_group() {
+        let mut m = map(1);
+        for _ in 0..6 {
+            let next = m.group(ShardId(0)).backups[0];
+            m.promote(ShardId(0), next);
+            assert_eq!(m.group(ShardId(0)).backups.len(), 2);
+        }
+    }
+
+    #[test]
+    fn consistent_hashing_is_stable_under_shard_addition() {
+        // Adding a shard must only move a fraction of keys.
+        let m3 = map(3);
+        let m4 = map(4);
+        let total = 5000u64;
+        let moved = (0..total)
+            .filter(|&i| {
+                let k = Key::from(i);
+                m3.shard_for(&k) != m4.shard_for(&k)
+            })
+            .count();
+        // With consistent hashing, expected movement ≈ 1/4 of keys;
+        // naive modulo hashing would move ~3/4.
+        assert!(
+            (moved as f64) < total as f64 * 0.45,
+            "moved {moved}/{total}"
+        );
+    }
+}

@@ -1,0 +1,783 @@
+//! A deterministic, single-threaded, virtual-time async executor.
+//!
+//! The executor drives `!Send` futures over a simulated clock: time advances
+//! only when no task is runnable, jumping straight to the next timer or
+//! message delivery. Runs are exactly reproducible for a given seed because
+//! all scheduling is FIFO and all randomness flows from one seeded RNG.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::{Sim, time::SimTime};
+//! use std::time::Duration;
+//!
+//! let mut sim = Sim::new(42);
+//! let h = sim.handle();
+//! let elapsed = sim.block_on(async move {
+//!     h.sleep(Duration::from_millis(5)).await;
+//!     h.now()
+//! });
+//! assert_eq!(elapsed, SimTime::from_millis(5));
+//! ```
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::net::{Addr, NetState, NodeId, Packet};
+use crate::time::SimTime;
+
+/// Identifies a spawned task. Slot indices are reused; the generation
+/// counter distinguishes incarnations so stale wake-ups are ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TaskId {
+    idx: u32,
+    gen: u32,
+}
+
+type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
+
+struct TaskWaker {
+    id: TaskId,
+    ready: ReadyQueue,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().unwrap().push_back(self.id);
+    }
+}
+
+struct Task {
+    fut: Pin<Box<dyn Future<Output = ()>>>,
+    node: Option<NodeId>,
+}
+
+enum SlotState {
+    Vacant,
+    Idle(Task),
+    /// The task has been taken out of the slab for polling.
+    Polling,
+}
+
+struct Slot {
+    gen: u32,
+    state: SlotState,
+}
+
+#[derive(Default)]
+struct TaskSlab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl TaskSlab {
+    fn insert(&mut self, task: Task) -> TaskId {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            slot.state = SlotState::Idle(task);
+            TaskId { idx, gen: slot.gen }
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                state: SlotState::Idle(task),
+            });
+            TaskId { idx, gen: 0 }
+        }
+    }
+
+    fn take_for_poll(&mut self, id: TaskId) -> Option<Task> {
+        let slot = self.slots.get_mut(id.idx as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        match std::mem::replace(&mut slot.state, SlotState::Polling) {
+            SlotState::Idle(task) => Some(task),
+            other => {
+                slot.state = other;
+                None
+            }
+        }
+    }
+
+    fn put_back(&mut self, id: TaskId, task: Task) {
+        let slot = &mut self.slots[id.idx as usize];
+        debug_assert_eq!(slot.gen, id.gen);
+        debug_assert!(matches!(slot.state, SlotState::Polling));
+        slot.state = SlotState::Idle(task);
+    }
+
+    fn complete(&mut self, id: TaskId) {
+        let slot = &mut self.slots[id.idx as usize];
+        debug_assert_eq!(slot.gen, id.gen);
+        slot.state = SlotState::Vacant;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.idx);
+        self.live -= 1;
+    }
+
+    /// Removes every idle task owned by `node`, returning the futures so the
+    /// caller can drop them outside the scheduler borrow.
+    fn remove_node(&mut self, node: NodeId) -> Vec<Task> {
+        let mut removed = Vec::new();
+        for idx in 0..self.slots.len() {
+            let owned = matches!(&self.slots[idx].state, SlotState::Idle(t) if t.node == Some(node));
+            if owned {
+                let slot = &mut self.slots[idx];
+                if let SlotState::Idle(task) = std::mem::replace(&mut slot.state, SlotState::Vacant)
+                {
+                    slot.gen = slot.gen.wrapping_add(1);
+                    self.free.push(idx as u32);
+                    self.live -= 1;
+                    removed.push(task);
+                }
+            }
+        }
+        removed
+    }
+}
+
+pub(crate) enum TimerFire {
+    Wake(Waker),
+    Deliver { to: Addr, packet: Packet },
+}
+
+pub(crate) struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    fire: TimerFire,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+pub(crate) struct Inner {
+    now: SimTime,
+    seq: u64,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    tasks: TaskSlab,
+    rng: StdRng,
+    pub(crate) net: NetState,
+}
+
+impl Inner {
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn schedule(&mut self, at: SimTime, fire: TimerFire) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.timers.push(Reverse(TimerEntry { at, seq, fire }));
+    }
+
+    pub(crate) fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Removes all idle tasks owned by `node` so the caller can drop their
+    /// futures outside of the scheduler borrow.
+    pub(crate) fn tasks_remove_node(&mut self, node: NodeId) -> Vec<impl Sized> {
+        self.tasks.remove_node(node)
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Owns the run loop; cheap [`SimHandle`]s are passed into tasks for
+/// spawning, sleeping, messaging, and randomness.
+pub struct Sim {
+    handle: SimHandle,
+}
+
+impl Sim {
+    /// Creates a simulation whose randomness derives entirely from `seed`.
+    pub fn new(seed: u64) -> Sim {
+        let inner = Inner {
+            now: SimTime::ZERO,
+            seq: 0,
+            timers: BinaryHeap::new(),
+            tasks: TaskSlab::default(),
+            rng: StdRng::seed_from_u64(seed),
+            net: NetState::new(),
+        };
+        Sim {
+            handle: SimHandle {
+                inner: Rc::new(RefCell::new(inner)),
+                ready: Arc::new(Mutex::new(VecDeque::new())),
+            },
+        }
+    }
+
+    /// Returns a cheap, cloneable handle for use inside tasks.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Runs `fut` to completion, driving all other spawned tasks and virtual
+    /// time along the way, and returns its output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks (no runnable task, no pending
+    /// timer) before `fut` completes.
+    pub fn block_on<F>(&mut self, fut: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let jh = self.handle.spawn(fut);
+        loop {
+            loop {
+                let next = self.handle.ready.lock().unwrap().pop_front();
+                match next {
+                    Some(tid) => self.poll_task(tid),
+                    None => break,
+                }
+                if jh.is_finished() {
+                    return jh.try_take().expect("join handle lost its value");
+                }
+            }
+            if jh.is_finished() {
+                return jh.try_take().expect("join handle lost its value");
+            }
+            if !self.advance(None) {
+                panic!("simulation deadlocked at {} before block_on future completed", self.handle.now());
+            }
+        }
+    }
+
+    /// Runs until there is no runnable task and no pending timer.
+    pub fn run(&mut self) {
+        loop {
+            self.drain_ready();
+            if !self.advance(None) {
+                break;
+            }
+        }
+    }
+
+    /// Runs until virtual time reaches `deadline` (or the simulation goes
+    /// idle, whichever comes first). Leaves later timers pending.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            self.drain_ready();
+            match self.advance(Some(deadline)) {
+                true => continue,
+                false => break,
+            }
+        }
+        let mut inner = self.handle.inner.borrow_mut();
+        if inner.now < deadline {
+            inner.now = deadline;
+        }
+    }
+
+    fn drain_ready(&mut self) {
+        loop {
+            let next = self.handle.ready.lock().unwrap().pop_front();
+            match next {
+                Some(tid) => self.poll_task(tid),
+                None => break,
+            }
+        }
+    }
+
+    /// Fires the next timer, advancing the clock. Returns false if there was
+    /// nothing to fire (or it lies past `deadline`).
+    fn advance(&mut self, deadline: Option<SimTime>) -> bool {
+        let fire = {
+            let mut inner = self.handle.inner.borrow_mut();
+            match inner.timers.peek() {
+                None => return false,
+                Some(Reverse(entry)) => {
+                    if let Some(d) = deadline {
+                        if entry.at > d {
+                            return false;
+                        }
+                    }
+                    let Reverse(entry) = inner.timers.pop().unwrap();
+                    debug_assert!(entry.at >= inner.now, "timer in the past");
+                    inner.now = entry.at;
+                    entry.fire
+                }
+            }
+        };
+        match fire {
+            TimerFire::Wake(waker) => waker.wake(),
+            TimerFire::Deliver { to, packet } => self.handle.deliver_now(to, packet),
+        }
+        true
+    }
+
+    fn poll_task(&mut self, tid: TaskId) {
+        let task = self.handle.inner.borrow_mut().tasks.take_for_poll(tid);
+        let Some(mut task) = task else { return };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id: tid,
+            ready: self.handle.ready.clone(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        let poll = task.fut.as_mut().poll(&mut cx);
+        let mut inner = self.handle.inner.borrow_mut();
+        match poll {
+            Poll::Ready(()) => inner.tasks.complete(tid),
+            Poll::Pending => {
+                let killed = task
+                    .node
+                    .is_some_and(|n| inner.net.is_dead(n));
+                if killed {
+                    inner.tasks.complete(tid);
+                    drop(inner);
+                    drop(task);
+                } else {
+                    inner.tasks.put_back(tid, task);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim").field("now", &self.handle.now()).finish()
+    }
+}
+
+/// Cheap, cloneable handle to a running [`Sim`].
+///
+/// All task-side interaction with the simulation — spawning, sleeping,
+/// messaging, randomness — goes through a handle.
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) inner: Rc<RefCell<Inner>>,
+    ready: ReadyQueue,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// Spawns a task not owned by any simulated node.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.spawn_inner(fut, None)
+    }
+
+    /// Spawns a task owned by `node`; it is aborted if the node is killed.
+    pub fn spawn_on<F>(&self, node: NodeId, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.spawn_inner(fut, Some(node))
+    }
+
+    fn spawn_inner<F>(&self, fut: F, node: Option<NodeId>) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState {
+            value: None,
+            waker: None,
+            finished: false,
+        }));
+        let state2 = state.clone();
+        let wrapped = Box::pin(async move {
+            let out = fut.await;
+            let mut s = state2.borrow_mut();
+            s.value = Some(out);
+            s.finished = true;
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        });
+        let tid = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(n) = node {
+                assert!(
+                    !inner.net.is_dead(n),
+                    "spawn_on a dead node {n:?}; revive it first"
+                );
+            }
+            inner.tasks.insert(Task { fut: wrapped, node })
+        };
+        self.ready.lock().unwrap().push_back(tid);
+        JoinHandle { state }
+    }
+
+    /// Sleeps for `dur` of virtual time.
+    pub fn sleep(&self, dur: Duration) -> Sleep {
+        let deadline = self.now() + dur;
+        self.sleep_until(deadline)
+    }
+
+    /// Sleeps until the given virtual instant (returns immediately if it is
+    /// already past).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline,
+        }
+    }
+
+    /// Yields once, letting other runnable tasks make progress.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { polled: false }
+    }
+
+    /// Runs `fut` with an upper bound of `dur` virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Elapsed`] if the timeout fires first.
+    pub async fn timeout<F: Future>(&self, dur: Duration, fut: F) -> Result<F::Output, Elapsed> {
+        let sleep = self.sleep(dur);
+        let mut fut = std::pin::pin!(fut);
+        let mut sleep = std::pin::pin!(sleep);
+        std::future::poll_fn(|cx| {
+            if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+                return Poll::Ready(Ok(v));
+            }
+            if sleep.as_mut().poll(cx).is_ready() {
+                return Poll::Ready(Err(Elapsed));
+            }
+            Poll::Pending
+        })
+        .await
+    }
+
+    /// Runs a closure against the simulation RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        f(self.inner.borrow_mut().rng())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn rand_f64(&self) -> f64 {
+        self.with_rng(|r| r.gen::<f64>())
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn rand_u64(&self) -> u64 {
+        self.with_rng(|r| r.gen::<u64>())
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn rand_range(&self, lo: u64, hi: u64) -> u64 {
+        self.with_rng(|r| r.gen_range(lo..hi))
+    }
+
+    /// Derives an independent RNG stream from the simulation RNG; useful for
+    /// components that must not perturb global sampling order.
+    pub fn fork_rng(&self) -> StdRng {
+        let seed = self.rand_u64();
+        StdRng::seed_from_u64(seed)
+    }
+
+    pub(crate) fn schedule_wake(&self, at: SimTime, waker: Waker) {
+        self.inner.borrow_mut().schedule(at, TimerFire::Wake(waker));
+    }
+}
+
+impl std::fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHandle").field("now", &self.now()).finish()
+    }
+}
+
+/// Error returned by [`SimHandle::timeout`] when the deadline fires first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "virtual-time deadline elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+struct JoinState<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Handle for awaiting a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// True once the task has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+
+    /// Takes the output if the task has completed and the value was not
+    /// already consumed.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().value.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        if let Some(v) = s.value.take() {
+            return Poll::Ready(v);
+        }
+        assert!(!s.finished, "JoinHandle polled after output was taken");
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`] / [`SimHandle::sleep_until`].
+#[derive(Debug)]
+pub struct Sleep {
+    handle: SimHandle,
+    deadline: SimTime,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.handle.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            self.handle.schedule_wake(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`SimHandle::yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_starts_at_zero() {
+        let sim = Sim::new(1);
+        assert_eq!(sim.handle().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            h.sleep(Duration::from_secs(3600)).await;
+            h.now()
+        });
+        assert_eq!(t, SimTime::from_secs(3600));
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        let h1 = h.clone();
+        let h2 = h.clone();
+        sim.block_on(async move {
+            let a = h.spawn(async move {
+                for i in 0..3 {
+                    h1.sleep(Duration::from_micros(10)).await;
+                    l1.borrow_mut().push(format!("a{i}"));
+                }
+            });
+            let b = h.spawn(async move {
+                for i in 0..3 {
+                    h2.sleep(Duration::from_micros(15)).await;
+                    l2.borrow_mut().push(format!("b{i}"));
+                }
+            });
+            a.await;
+            b.await;
+        });
+        // a fires at 10,20,30; b at 15,30,45. At the t=30 tie, b's timer was
+        // registered earlier (at t=15) so it fires first.
+        assert_eq!(
+            log.borrow().clone(),
+            vec!["a0", "b0", "a1", "b1", "a2", "b2"]
+        );
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let out = sim.block_on(async move {
+            let jh = h.spawn(async { 7u32 });
+            jh.await
+        });
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn timeout_fires_on_slow_future() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        let out = sim.block_on(async move {
+            hh.timeout(Duration::from_millis(1), async {
+                hh.sleep(Duration::from_millis(10)).await;
+                5
+            })
+            .await
+        });
+        assert_eq!(out, Err(Elapsed));
+        // The losing sleep timer still exists but time never ran to it.
+    }
+
+    #[test]
+    fn timeout_passes_fast_future() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        let out = sim.block_on(async move {
+            hh.timeout(Duration::from_millis(10), async {
+                hh.sleep(Duration::from_millis(1)).await;
+                5
+            })
+            .await
+        });
+        assert_eq!(out, Ok(5));
+    }
+
+    #[test]
+    fn rng_is_deterministic_across_runs() {
+        let draw = |seed| {
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            (0..8).map(|_| h.rand_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hits = Rc::new(RefCell::new(0));
+        let hits2 = hits.clone();
+        let hh = h.clone();
+        h.spawn(async move {
+            loop {
+                hh.sleep(Duration::from_millis(10)).await;
+                *hits2.borrow_mut() += 1;
+            }
+        });
+        sim.run_until(SimTime::from_millis(35));
+        assert_eq!(*hits.borrow(), 3);
+        assert_eq!(h.now(), SimTime::from_millis(35));
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(*hits.borrow(), 10);
+    }
+
+    #[test]
+    fn yield_now_round_robins() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        let (h1, h2) = (h.clone(), h.clone());
+        sim.block_on(async move {
+            let a = h.spawn(async move {
+                for i in 0..2 {
+                    l1.borrow_mut().push(("a", i));
+                    h1.yield_now().await;
+                }
+            });
+            let b = h.spawn(async move {
+                for i in 0..2 {
+                    l2.borrow_mut().push(("b", i));
+                    h2.yield_now().await;
+                }
+            });
+            a.await;
+            b.await;
+        });
+        assert_eq!(
+            log.borrow().clone(),
+            vec![("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn block_on_detects_deadlock() {
+        let mut sim = Sim::new(1);
+        sim.block_on(std::future::pending::<()>());
+    }
+}

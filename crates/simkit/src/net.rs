@@ -1,0 +1,495 @@
+//! Simulated message network.
+//!
+//! Nodes are identified by [`NodeId`]; a node can bind any number of
+//! [`Addr`]s (node + port) to receive packets. Delivery is asynchronous with
+//! a configurable latency distribution, and the network supports fault
+//! injection: killing nodes (which also aborts their tasks) and partitioning
+//! node pairs.
+//!
+//! Payloads are type-erased `Box<dyn Any>`; the RPC layer in [`crate::rpc`]
+//! restores typing at the endpoints.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use rand::Rng;
+
+use crate::executor::{SimHandle, TimerFire};
+
+/// Identifies a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A bindable endpoint: a port on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr {
+    /// The machine this endpoint lives on.
+    pub node: NodeId,
+    /// Port within the node (purely a demultiplexing key).
+    pub port: u16,
+}
+
+impl Addr {
+    /// Convenience constructor.
+    pub const fn new(node: NodeId, port: u16) -> Addr {
+        Addr { node, port }
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// A delivered message.
+#[derive(Debug)]
+pub struct Packet {
+    /// Sender endpoint.
+    pub from: Addr,
+    /// Type-erased payload; receivers downcast to the expected type.
+    pub payload: Box<dyn Any>,
+}
+
+/// One-way latency model for message delivery.
+///
+/// Samples `max(floor, Normal(one_way, jitter_std))`; messages a node sends
+/// to itself use the (much smaller) `local` latency instead.
+#[derive(Debug, Clone)]
+pub struct LatencyConfig {
+    /// Mean one-way latency between distinct nodes.
+    pub one_way: Duration,
+    /// Standard deviation of the one-way latency.
+    pub jitter_std: Duration,
+    /// Loopback latency for same-node messages.
+    pub local: Duration,
+    /// Hard lower bound on any sampled latency.
+    pub floor: Duration,
+}
+
+impl Default for LatencyConfig {
+    /// Intra-data-center defaults: 25 µs one-way (≈50 µs RTT), 5 µs jitter,
+    /// 2 µs loopback.
+    fn default() -> LatencyConfig {
+        LatencyConfig {
+            one_way: Duration::from_micros(25),
+            jitter_std: Duration::from_micros(5),
+            local: Duration::from_micros(2),
+            floor: Duration::from_micros(1),
+        }
+    }
+}
+
+impl LatencyConfig {
+    fn sample(&self, rng: &mut impl Rng, local: bool) -> Duration {
+        if local {
+            return self.local;
+        }
+        let mean = self.one_way.as_nanos() as f64;
+        let std = self.jitter_std.as_nanos() as f64;
+        let z = crate::rng::standard_normal(rng);
+        let ns = (mean + std * z).max(self.floor.as_nanos() as f64);
+        Duration::from_nanos(ns as u64)
+    }
+}
+
+/// Counters describing network activity so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages submitted for delivery.
+    pub sent: u64,
+    /// Messages actually handed to a bound mailbox.
+    pub delivered: u64,
+    /// Messages dropped (dead node, partition, or unbound address).
+    pub dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct MailboxInner {
+    queue: VecDeque<Packet>,
+    waker: Option<Waker>,
+    closed: bool,
+}
+
+pub(crate) struct NetState {
+    mailboxes: HashMap<Addr, Rc<RefCell<MailboxInner>>>,
+    dead: HashSet<NodeId>,
+    blocked: HashSet<(NodeId, NodeId)>,
+    latency: LatencyConfig,
+    stats: NetStats,
+}
+
+fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl NetState {
+    pub(crate) fn new() -> NetState {
+        NetState {
+            mailboxes: HashMap::new(),
+            dead: HashSet::new(),
+            blocked: HashSet::new(),
+            latency: LatencyConfig::default(),
+            stats: NetStats::default(),
+        }
+    }
+
+    pub(crate) fn is_dead(&self, n: NodeId) -> bool {
+        self.dead.contains(&n)
+    }
+}
+
+/// Receiving end of a bound [`Addr`].
+///
+/// Dropping the mailbox does *not* unbind the address (an [`Addr`] may be
+/// rebound after [`SimHandle::kill_node`] + [`SimHandle::revive_node`]).
+#[derive(Debug)]
+pub struct Mailbox {
+    addr: Addr,
+    inner: Rc<RefCell<MailboxInner>>,
+}
+
+impl Mailbox {
+    /// The address this mailbox is bound to.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Waits for the next packet. Resolves to `None` if the mailbox was
+    /// closed (its node was killed).
+    pub fn recv(&self) -> Recv<'_> {
+        Recv { mailbox: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Packet> {
+        self.inner.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True when no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Mailbox::recv`].
+#[derive(Debug)]
+pub struct Recv<'a> {
+    mailbox: &'a Mailbox,
+}
+
+impl Future for Recv<'_> {
+    type Output = Option<Packet>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.mailbox.inner.borrow_mut();
+        if let Some(p) = inner.queue.pop_front() {
+            return Poll::Ready(Some(p));
+        }
+        if inner.closed {
+            return Poll::Ready(None);
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl SimHandle {
+    /// Binds `addr`, returning its mailbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already bound or its node is dead.
+    pub fn bind(&self, addr: Addr) -> Mailbox {
+        let mut inner = self.inner.borrow_mut();
+        assert!(!inner.net.is_dead(addr.node), "bind on dead node {addr}");
+        let mb = Rc::new(RefCell::new(MailboxInner::default()));
+        let prev = inner.net.mailboxes.insert(addr, mb.clone());
+        assert!(prev.is_none(), "address {addr} already bound");
+        Mailbox { addr, inner: mb }
+    }
+
+    /// Removes the binding for `addr`, if any. Queued packets are discarded.
+    pub fn unbind(&self, addr: Addr) {
+        self.inner.borrow_mut().net.mailboxes.remove(&addr);
+    }
+
+    /// Sends `msg` from `from` to `to` with simulated latency. Messages to or
+    /// from dead nodes, or across a partition, are silently dropped (like a
+    /// real network).
+    pub fn send<M: Any>(&self, from: Addr, to: Addr, msg: M) {
+        let mut inner = self.inner.borrow_mut();
+        inner.net.stats.sent += 1;
+        if inner.net.is_dead(from.node)
+            || inner.net.is_dead(to.node)
+            || inner.net.blocked.contains(&pair(from.node, to.node))
+        {
+            inner.net.stats.dropped += 1;
+            return;
+        }
+        let local = from.node == to.node;
+        let latency = {
+            let cfg = inner.net.latency.clone();
+            cfg.sample(inner.rng(), local)
+        };
+        let at = inner.now() + latency;
+        inner.schedule(
+            at,
+            TimerFire::Deliver {
+                to,
+                packet: Packet {
+                    from,
+                    payload: Box::new(msg),
+                },
+            },
+        );
+    }
+
+    pub(crate) fn deliver_now(&self, to: Addr, packet: Packet) {
+        let mb = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.net.is_dead(to.node) {
+                inner.net.stats.dropped += 1;
+                return;
+            }
+            match inner.net.mailboxes.get(&to).cloned() {
+                Some(mb) => {
+                    inner.net.stats.delivered += 1;
+                    mb
+                }
+                None => {
+                    inner.net.stats.dropped += 1;
+                    return;
+                }
+            }
+        };
+        let mut mb = mb.borrow_mut();
+        mb.queue.push_back(packet);
+        if let Some(w) = mb.waker.take() {
+            w.wake();
+        }
+    }
+
+    /// Kills a node: aborts all its tasks, closes and unbinds its mailboxes,
+    /// and drops all future traffic to/from it until [`SimHandle::revive_node`].
+    pub fn kill_node(&self, node: NodeId) {
+        let (tasks, boxes) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.net.dead.insert(node);
+            let doomed: Vec<Addr> = inner
+                .net
+                .mailboxes
+                .keys()
+                .filter(|a| a.node == node)
+                .copied()
+                .collect();
+            let mut boxes = Vec::new();
+            for a in doomed {
+                if let Some(mb) = inner.net.mailboxes.remove(&a) {
+                    boxes.push(mb);
+                }
+            }
+            (inner.tasks_remove_node(node), boxes)
+        };
+        for mb in boxes {
+            let mut mb = mb.borrow_mut();
+            mb.closed = true;
+            mb.queue.clear();
+            if let Some(w) = mb.waker.take() {
+                w.wake();
+            }
+        }
+        drop(tasks); // dropped outside the scheduler borrow
+    }
+
+    /// Marks a previously killed node alive again. Its addresses must be
+    /// re-bound and its tasks re-spawned by the caller.
+    pub fn revive_node(&self, node: NodeId) {
+        self.inner.borrow_mut().net.dead.remove(&node);
+    }
+
+    /// True if `node` is currently dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.inner.borrow().net.is_dead(node)
+    }
+
+    /// Partitions every node in `a` from every node in `b` (both directions).
+    pub fn partition(&self, a: &[NodeId], b: &[NodeId]) {
+        let mut inner = self.inner.borrow_mut();
+        for &x in a {
+            for &y in b {
+                inner.net.blocked.insert(pair(x, y));
+            }
+        }
+    }
+
+    /// Heals all partitions.
+    pub fn heal_partitions(&self) {
+        self.inner.borrow_mut().net.blocked.clear();
+    }
+
+    /// Replaces the network latency model.
+    pub fn set_latency(&self, cfg: LatencyConfig) {
+        self.inner.borrow_mut().net.latency = cfg;
+    }
+
+    /// Snapshot of network counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.inner.borrow().net.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+
+    fn a(n: u32, p: u16) -> Addr {
+        Addr::new(NodeId(n), p)
+    }
+
+    #[test]
+    fn message_arrives_with_latency() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        let (t_sent, t_recv) = sim.block_on(async move {
+            let mb = hh.bind(a(2, 0));
+            let t_sent = hh.now();
+            hh.send(a(1, 0), a(2, 0), 42u32);
+            let pkt = mb.recv().await.unwrap();
+            assert_eq!(*pkt.payload.downcast::<u32>().unwrap(), 42);
+            assert_eq!(pkt.from, a(1, 0));
+            (t_sent, hh.now())
+        });
+        let lat = t_recv - t_sent;
+        assert!(lat >= Duration::from_micros(1), "latency {lat:?}");
+        assert!(lat < Duration::from_millis(1), "latency {lat:?}");
+    }
+
+    #[test]
+    fn local_messages_use_loopback_latency() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        let lat = sim.block_on(async move {
+            let mb = hh.bind(a(1, 1));
+            let t0 = hh.now();
+            hh.send(a(1, 0), a(1, 1), ());
+            mb.recv().await.unwrap();
+            hh.now() - t0
+        });
+        assert_eq!(lat, LatencyConfig::default().local);
+    }
+
+    #[test]
+    fn fifo_between_same_pair_is_not_guaranteed_but_all_arrive() {
+        let mut sim = Sim::new(7);
+        let h = sim.handle();
+        let hh = h.clone();
+        let got = sim.block_on(async move {
+            let mb = hh.bind(a(2, 0));
+            for i in 0..20u32 {
+                hh.send(a(1, 0), a(2, 0), i);
+            }
+            let mut got = Vec::new();
+            for _ in 0..20 {
+                let pkt = mb.recv().await.unwrap();
+                got.push(*pkt.payload.downcast::<u32>().unwrap());
+            }
+            got
+        });
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_drops_messages() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let mb = hh.bind(a(2, 0));
+            hh.partition(&[NodeId(1)], &[NodeId(2)]);
+            hh.send(a(1, 0), a(2, 0), 1u32);
+            hh.sleep(Duration::from_millis(1)).await;
+            assert!(mb.is_empty());
+            hh.heal_partitions();
+            hh.send(a(1, 0), a(2, 0), 2u32);
+            let pkt = mb.recv().await.unwrap();
+            assert_eq!(*pkt.payload.downcast::<u32>().unwrap(), 2);
+        });
+        assert_eq!(h.net_stats().dropped, 1);
+        assert_eq!(h.net_stats().delivered, 1);
+    }
+
+    #[test]
+    fn killed_node_drops_traffic_and_closes_mailbox() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let mb = hh.bind(a(2, 0));
+            let recv_task = hh.spawn_on(NodeId(3), {
+                let mb3 = hh.bind(a(3, 0));
+                async move { mb3.recv().await }
+            });
+            hh.kill_node(NodeId(3));
+            // Receiver task aborted; message to node 2 still works.
+            hh.send(a(1, 0), a(2, 0), 9u32);
+            mb.recv().await.unwrap();
+            assert!(!recv_task.is_finished());
+            // Sends to the dead node vanish.
+            hh.send(a(1, 0), a(3, 0), 1u32);
+            hh.sleep(Duration::from_millis(1)).await;
+        });
+        assert!(h.is_dead(NodeId(3)));
+    }
+
+    #[test]
+    fn revive_allows_rebinding() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            hh.bind(a(5, 0));
+            hh.kill_node(NodeId(5));
+            hh.revive_node(NodeId(5));
+            let mb = hh.bind(a(5, 0)); // rebinding succeeds after revive
+            hh.send(a(1, 0), a(5, 0), 3u32);
+            let pkt = mb.recv().await.unwrap();
+            assert_eq!(*pkt.payload.downcast::<u32>().unwrap(), 3);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn double_bind_panics() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let _m1 = h.bind(a(1, 0));
+        let _m2 = h.bind(a(1, 0));
+    }
+}

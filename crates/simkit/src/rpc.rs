@@ -1,0 +1,350 @@
+//! Typed request/response messaging over the simulated network.
+//!
+//! An [`RpcClient`] issues calls and demultiplexes replies by request id; a
+//! server binds a [`Mailbox`] and uses [`recv_request`] to receive typed
+//! requests together with a [`Responder`] for the (optional) reply.
+//!
+//! Calls to dead or partitioned nodes never complete, so every call carries
+//! a timeout — exactly the failure surface distributed protocols must handle.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::executor::SimHandle;
+use crate::net::{Addr, Mailbox, NodeId};
+use crate::sync::oneshot;
+
+/// Wire format for a request.
+struct Request {
+    id: u64,
+    /// Where to send the reply; `None` marks fire-and-forget casts.
+    reply_to: Option<Addr>,
+    body: Box<dyn Any>,
+}
+
+/// Wire format for a reply.
+struct Reply {
+    id: u64,
+    body: Box<dyn Any>,
+}
+
+/// Errors surfaced by [`RpcClient::call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No reply within the timeout (dead peer, partition, or lost message).
+    Timeout,
+    /// The local node died while the call was in flight.
+    Closed,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::Closed => write!(f, "rpc endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Reply-routing table shared between a client and its demux task.
+type PendingReplies = Rc<RefCell<HashMap<u64, oneshot::Sender<Box<dyn Any>>>>>;
+
+/// Client half of the RPC layer; lives on one node and may call any address.
+///
+/// Cloning is cheap and shares the underlying reply route.
+#[derive(Clone)]
+pub struct RpcClient {
+    handle: SimHandle,
+    reply_addr: Addr,
+    pending: PendingReplies,
+    next_id: Rc<Cell<u64>>,
+}
+
+impl RpcClient {
+    /// Creates a client on `node`, binding `reply_port` for replies and
+    /// spawning its demultiplexer task there.
+    pub fn new(handle: &SimHandle, node: NodeId, reply_port: u16) -> RpcClient {
+        let mailbox = handle.bind(Addr::new(node, reply_port));
+        let pending: PendingReplies = Rc::new(RefCell::new(HashMap::new()));
+        let pending2 = pending.clone();
+        handle.spawn_on(node, async move {
+            while let Some(pkt) = mailbox.recv().await {
+                let Ok(reply) = pkt.payload.downcast::<Reply>() else {
+                    continue; // stray packet on the reply port
+                };
+                if let Some(tx) = pending2.borrow_mut().remove(&reply.id) {
+                    let _ = tx.send(reply.body);
+                }
+            }
+        });
+        RpcClient {
+            handle: handle.clone(),
+            reply_addr: Addr::new(node, reply_port),
+            pending,
+            next_id: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// The address replies are routed to.
+    pub fn reply_addr(&self) -> Addr {
+        self.reply_addr
+    }
+
+    /// Issues a request and waits for its typed reply.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] if no reply arrives within `timeout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer replies with a type other than `Resp` — that is a
+    /// protocol-definition bug, not a runtime fault.
+    pub async fn call<Req: Any, Resp: Any>(
+        &self,
+        to: Addr,
+        req: Req,
+        timeout: Duration,
+    ) -> Result<Resp, RpcError> {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        let (tx, rx) = oneshot::channel();
+        self.pending.borrow_mut().insert(id, tx);
+        self.handle.send(
+            self.reply_addr,
+            to,
+            Request {
+                id,
+                reply_to: Some(self.reply_addr),
+                body: Box::new(req),
+            },
+        );
+        match self.handle.timeout(timeout, rx).await {
+            Ok(Ok(body)) => Ok(*body
+                .downcast::<Resp>()
+                .expect("rpc reply type mismatch: protocol bug")),
+            Ok(Err(_)) => {
+                // Demux task died (our node was killed).
+                Err(RpcError::Closed)
+            }
+            Err(_) => {
+                self.pending.borrow_mut().remove(&id);
+                Err(RpcError::Timeout)
+            }
+        }
+    }
+
+    /// Sends a fire-and-forget request; no reply is expected or routed.
+    pub fn cast<Req: Any>(&self, to: Addr, req: Req) {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        self.handle.send(
+            self.reply_addr,
+            to,
+            Request {
+                id,
+                reply_to: None,
+                body: Box::new(req),
+            },
+        );
+    }
+}
+
+impl std::fmt::Debug for RpcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcClient")
+            .field("reply_addr", &self.reply_addr)
+            .field("pending", &self.pending.borrow().len())
+            .finish()
+    }
+}
+
+/// Server-side handle for answering one request.
+#[derive(Debug)]
+pub struct Responder {
+    handle: SimHandle,
+    my_addr: Addr,
+    reply_to: Option<Addr>,
+    id: u64,
+}
+
+impl Responder {
+    /// Sends `resp` back to the caller. A no-op for casts.
+    pub fn reply<Resp: Any>(self, resp: Resp) {
+        if let Some(to) = self.reply_to {
+            self.handle.send(
+                self.my_addr,
+                to,
+                Reply {
+                    id: self.id,
+                    body: Box::new(resp),
+                },
+            );
+        }
+    }
+
+    /// True when the caller expects a reply.
+    pub fn expects_reply(&self) -> bool {
+        self.reply_to.is_some()
+    }
+}
+
+/// Receives the next typed request on `mailbox`.
+///
+/// Returns `None` when the mailbox closes (node killed). Packets whose body
+/// is not a `Req` panic — mixing request types on one port is a wiring bug.
+pub async fn recv_request<Req: Any>(
+    handle: &SimHandle,
+    mailbox: &Mailbox,
+) -> Option<(Req, Addr, Responder)> {
+    let pkt = mailbox.recv().await?;
+    let from = pkt.from;
+    let req = pkt
+        .payload
+        .downcast::<Request>()
+        .expect("non-rpc packet on rpc port");
+    let body = req
+        .body
+        .downcast::<Req>()
+        .expect("rpc request type mismatch: protocol bug");
+    Some((
+        *body,
+        from,
+        Responder {
+            handle: handle.clone(),
+            my_addr: mailbox.addr(),
+            reply_to: req.reply_to,
+            id: req.id,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+
+    const TIMEOUT: Duration = Duration::from_millis(100);
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+    #[derive(Debug, PartialEq)]
+    struct Pong(u32);
+
+    fn spawn_echo(h: &SimHandle, node: NodeId) -> Addr {
+        let mb = h.bind(Addr::new(node, 0));
+        let h2 = h.clone();
+        let addr = mb.addr();
+        h.spawn_on(node, async move {
+            while let Some((Ping(v), _from, resp)) = recv_request::<Ping>(&h2, &mb).await {
+                resp.reply(Pong(v + 1));
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn call_round_trips() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        let out = sim.block_on(async move {
+            let server = spawn_echo(&hh, NodeId(2));
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            client.call::<Ping, Pong>(server, Ping(41), TIMEOUT).await
+        });
+        assert_eq!(out, Ok(Pong(42)));
+    }
+
+    #[test]
+    fn concurrent_calls_demux_correctly() {
+        let mut sim = Sim::new(3);
+        let h = sim.handle();
+        let hh = h.clone();
+        let outs = sim.block_on(async move {
+            let server = spawn_echo(&hh, NodeId(2));
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            let mut joins = Vec::new();
+            for i in 0..10u32 {
+                let c = client.clone();
+                joins.push(hh.spawn(async move {
+                    c.call::<Ping, Pong>(server, Ping(i), TIMEOUT).await
+                }));
+            }
+            let mut outs = Vec::new();
+            for j in joins {
+                outs.push(j.await);
+            }
+            outs
+        });
+        for (i, o) in outs.into_iter().enumerate() {
+            assert_eq!(o, Ok(Pong(i as u32 + 1)));
+        }
+    }
+
+    #[test]
+    fn call_to_dead_node_times_out() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        let out = sim.block_on(async move {
+            let server = spawn_echo(&hh, NodeId(2));
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            hh.kill_node(NodeId(2));
+            client.call::<Ping, Pong>(server, Ping(1), TIMEOUT).await
+        });
+        assert_eq!(out, Err(RpcError::Timeout));
+    }
+
+    #[test]
+    fn cast_is_fire_and_forget() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        let got = sim.block_on(async move {
+            let mb = hh.bind(Addr::new(NodeId(2), 0));
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            client.cast(Addr::new(NodeId(2), 0), Ping(7));
+            let (Ping(v), _from, resp) = recv_request::<Ping>(&hh, &mb).await.unwrap();
+            assert!(!resp.expects_reply());
+            resp.reply(Pong(0)); // must be a harmless no-op
+            v
+        });
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn timeout_then_late_reply_is_discarded() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            // Server that replies after 10ms.
+            let mb = hh.bind(Addr::new(NodeId(2), 0));
+            let h2 = hh.clone();
+            hh.spawn_on(NodeId(2), async move {
+                while let Some((Ping(v), _f, resp)) = recv_request::<Ping>(&h2, &mb).await {
+                    h2.sleep(Duration::from_millis(10)).await;
+                    resp.reply(Pong(v));
+                }
+            });
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            let r = client
+                .call::<Ping, Pong>(Addr::new(NodeId(2), 0), Ping(1), Duration::from_millis(1))
+                .await;
+            assert_eq!(r, Err(RpcError::Timeout));
+            // Wait for the late reply to arrive and be dropped by the demux.
+            hh.sleep(Duration::from_millis(20)).await;
+            // A fresh call still works (ids do not collide).
+            let r2 = client
+                .call::<Ping, Pong>(Addr::new(NodeId(2), 0), Ping(5), TIMEOUT)
+                .await;
+            assert_eq!(r2, Ok(Pong(5)));
+        });
+    }
+}

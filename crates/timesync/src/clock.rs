@@ -1,0 +1,284 @@
+//! Skewed, monotonic, periodically re-synchronized client clocks.
+//!
+//! Each client's clock is modeled as true simulation time plus an offset that
+//! is re-drawn every synchronization interval (PTP and NTP daemons typically
+//! exchange sync messages every couple of seconds, §2.1). The offset
+//! distribution is calibrated so that the *average pairwise skew* across
+//! clients matches the paper's measurements:
+//!
+//! - NTP: mean skew ≈ **1.51 ms** (§5.2)
+//! - PTP software timestamping: mean skew ≈ **53.2 µs** (§5.2)
+//! - PTP hardware timestamping: well under 1 µs (§2.1; ≈150 ns per
+//!   Lee et al. \[37\])
+//!
+//! For offsets drawn i.i.d. `Normal(0, σ)`, the expected absolute difference
+//! between two clients' offsets is `2σ/√π ≈ 1.128σ`; the constructors below
+//! invert that relation.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simkit::rng::normal;
+use simkit::time::SimTime;
+
+use crate::version::Timestamp;
+
+/// A clock-synchronization discipline: how far a client clock strays from
+/// true time and how often it resynchronizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Discipline {
+    /// Zero skew — the client reads true time. Baseline for experiments that
+    /// must isolate non-clock effects (e.g. Figure 6 runs on one machine).
+    Perfect,
+    /// PTP with NIC hardware timestamping: ~150 ns pairwise skew.
+    PtpHardware,
+    /// PTP with software timestamping: ~53 µs mean pairwise skew, matching
+    /// the prototype measurement in §5.2.
+    PtpSoftware,
+    /// NTP: ~1.51 ms mean pairwise skew, matching §5.2.
+    Ntp,
+    /// Custom Gaussian offset model.
+    Custom {
+        /// Standard deviation of the per-sync offset draw.
+        offset_std: Duration,
+        /// How often the offset is re-drawn.
+        sync_interval: Duration,
+    },
+}
+
+impl Discipline {
+    /// Offset standard deviation σ (ns) such that mean pairwise skew matches
+    /// the calibration target (`skew = 1.128 σ`).
+    fn offset_std_ns(&self) -> f64 {
+        const PAIRWISE_FACTOR: f64 = std::f64::consts::FRAC_2_SQRT_PI;
+        match self {
+            Discipline::Perfect => 0.0,
+            Discipline::PtpHardware => 150.0 / PAIRWISE_FACTOR,
+            Discipline::PtpSoftware => 53_200.0 / PAIRWISE_FACTOR,
+            Discipline::Ntp => 1_510_000.0 / PAIRWISE_FACTOR,
+            Discipline::Custom { offset_std, .. } => offset_std.as_nanos() as f64,
+        }
+    }
+
+    /// Interval between offset re-draws.
+    pub fn sync_interval(&self) -> Duration {
+        match self {
+            Discipline::Custom { sync_interval, .. } => *sync_interval,
+            _ => Duration::from_secs(2),
+        }
+    }
+
+    /// Expected mean pairwise skew across clients under this discipline.
+    pub fn expected_skew(&self) -> Duration {
+        Duration::from_nanos((self.offset_std_ns() * std::f64::consts::FRAC_2_SQRT_PI) as u64)
+    }
+}
+
+#[derive(Debug)]
+struct ClockState {
+    offset_ns: i64,
+    next_sync: SimTime,
+    last_issued: Timestamp,
+}
+
+/// A per-client clock: skewed against true time, strictly monotonic in what
+/// it hands out.
+///
+/// `SyncedClock` is driven externally: callers pass the current *true*
+/// simulation time to [`SyncedClock::now`], which applies the discipline's
+/// offset (resampling it when a sync boundary has passed) and clamps the
+/// result so repeated reads never go backwards — mirroring how PTP/NTP slew
+/// rather than step clocks (§3.1 relies on this monotonicity for watermark
+/// safety).
+///
+/// # Examples
+///
+/// ```
+/// use timesync::{Discipline, SyncedClock};
+/// use simkit::time::SimTime;
+///
+/// let clock = SyncedClock::new(Discipline::PtpSoftware, 42);
+/// let t1 = clock.now(SimTime::from_millis(10));
+/// let t2 = clock.now(SimTime::from_millis(10)); // same instant, later read
+/// assert!(t2 > t1); // strictly monotonic
+/// ```
+#[derive(Debug)]
+pub struct SyncedClock {
+    discipline: Discipline,
+    state: RefCell<ClockState>,
+    rng: RefCell<StdRng>,
+}
+
+impl SyncedClock {
+    /// Creates a clock with its own RNG stream derived from `seed`.
+    pub fn new(discipline: Discipline, seed: u64) -> SyncedClock {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let std = discipline.offset_std_ns();
+        let offset_ns = if std == 0.0 {
+            0
+        } else {
+            normal(&mut rng, 0.0, std) as i64
+        };
+        SyncedClock {
+            state: RefCell::new(ClockState {
+                offset_ns,
+                next_sync: SimTime::ZERO + discipline.sync_interval(),
+                last_issued: Timestamp::ZERO,
+            }),
+            discipline,
+            rng: RefCell::new(rng),
+        }
+    }
+
+    /// The discipline this clock follows.
+    pub fn discipline(&self) -> &Discipline {
+        &self.discipline
+    }
+
+    /// Reads the clock at true time `true_now`.
+    ///
+    /// Successive reads return strictly increasing timestamps even if the
+    /// offset resample would move the clock backwards.
+    pub fn now(&self, true_now: SimTime) -> Timestamp {
+        let mut st = self.state.borrow_mut();
+        if true_now >= st.next_sync {
+            let std = self.discipline.offset_std_ns();
+            if std > 0.0 {
+                st.offset_ns = normal(&mut *self.rng.borrow_mut(), 0.0, std) as i64;
+            }
+            let interval = self.discipline.sync_interval();
+            while st.next_sync <= true_now {
+                st.next_sync += interval;
+            }
+        }
+        let raw = Timestamp(true_now.offset_by(st.offset_ns).as_nanos());
+        let issued = if raw <= st.last_issued {
+            Timestamp(st.last_issued.0 + 1)
+        } else {
+            raw
+        };
+        st.last_issued = issued;
+        issued
+    }
+
+    /// The clock's current offset from true time, in nanoseconds (positive
+    /// means the clock runs ahead). Exposed for skew instrumentation.
+    pub fn offset_ns(&self) -> i64 {
+        self.state.borrow().offset_ns
+    }
+}
+
+/// Mean absolute pairwise offset difference across `clocks`, in nanoseconds.
+/// Instrumentation used by experiments to report achieved skew.
+pub fn mean_pairwise_skew_ns(clocks: &[&SyncedClock]) -> f64 {
+    if clocks.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0u64;
+    for i in 0..clocks.len() {
+        for j in (i + 1)..clocks.len() {
+            total += (clocks[i].offset_ns() - clocks[j].offset_ns()).abs() as f64;
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_reads_true_time() {
+        let c = SyncedClock::new(Discipline::Perfect, 1);
+        assert_eq!(c.now(SimTime::from_micros(5)), Timestamp(5_000));
+        assert_eq!(c.now(SimTime::from_micros(6)), Timestamp(6_000));
+    }
+
+    #[test]
+    fn monotonic_even_at_same_instant() {
+        let c = SyncedClock::new(Discipline::Ntp, 7);
+        let t = SimTime::from_millis(1);
+        let a = c.now(t);
+        let b = c.now(t);
+        let d = c.now(t);
+        assert!(a < b && b < d);
+    }
+
+    #[test]
+    fn monotonic_across_resync_that_jumps_backwards() {
+        // Run many clocks over many sync intervals; issued stamps must never
+        // regress even when the freshly sampled offset is far lower.
+        for seed in 0..20 {
+            let c = SyncedClock::new(Discipline::Ntp, seed);
+            let mut last = Timestamp::ZERO;
+            for ms in (0..30_000).step_by(250) {
+                let ts = c.now(SimTime::from_millis(ms));
+                assert!(ts > last, "seed {seed} regressed at {ms}ms");
+                last = ts;
+            }
+        }
+    }
+
+    #[test]
+    fn ntp_skew_magnitude_matches_calibration() {
+        let clocks: Vec<SyncedClock> = (0..400)
+            .map(|i| SyncedClock::new(Discipline::Ntp, 1000 + i))
+            .collect();
+        let refs: Vec<&SyncedClock> = clocks.iter().collect();
+        let skew = mean_pairwise_skew_ns(&refs);
+        let target = 1_510_000.0;
+        assert!(
+            (skew - target).abs() / target < 0.15,
+            "mean skew {skew}ns vs target {target}ns"
+        );
+    }
+
+    #[test]
+    fn ptp_sw_skew_magnitude_matches_calibration() {
+        let clocks: Vec<SyncedClock> = (0..400)
+            .map(|i| SyncedClock::new(Discipline::PtpSoftware, 2000 + i))
+            .collect();
+        let refs: Vec<&SyncedClock> = clocks.iter().collect();
+        let skew = mean_pairwise_skew_ns(&refs);
+        let target = 53_200.0;
+        assert!(
+            (skew - target).abs() / target < 0.15,
+            "mean skew {skew}ns vs target {target}ns"
+        );
+    }
+
+    #[test]
+    fn disciplines_are_ordered_by_precision() {
+        let hw = Discipline::PtpHardware.expected_skew();
+        let sw = Discipline::PtpSoftware.expected_skew();
+        let ntp = Discipline::Ntp.expected_skew();
+        assert!(hw < sw && sw < ntp);
+        assert_eq!(Discipline::Perfect.expected_skew(), Duration::ZERO);
+    }
+
+    #[test]
+    fn offset_resamples_at_sync_interval() {
+        let c = SyncedClock::new(Discipline::Ntp, 3);
+        let before = c.offset_ns();
+        let _ = c.now(SimTime::from_secs(3)); // past the 2s sync boundary
+        let after = c.offset_ns();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn custom_discipline_uses_given_parameters() {
+        let d = Discipline::Custom {
+            offset_std: Duration::from_micros(10),
+            sync_interval: Duration::from_millis(100),
+        };
+        assert_eq!(d.sync_interval(), Duration::from_millis(100));
+        let c = SyncedClock::new(d, 5);
+        let before = c.offset_ns();
+        let _ = c.now(SimTime::from_millis(150));
+        assert_ne!(before, c.offset_ns());
+    }
+}

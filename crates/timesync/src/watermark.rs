@@ -1,0 +1,142 @@
+//! Watermarks: a global lower bound on client clocks.
+//!
+//! Each client periodically broadcasts the timestamp of its last *decided*
+//! operation; the minimum across clients is the watermark (§3.1, §4.4).
+//! Because client clocks are monotonic, no client will ever issue a new
+//! operation with a timestamp below the watermark, so storage servers may
+//! discard every version of a key older than the youngest version at or
+//! below the watermark.
+
+use std::collections::HashMap;
+
+use crate::version::{ClientId, Timestamp};
+
+/// Tracks per-client progress timestamps and derives the watermark.
+///
+/// The watermark is only valid once *every* registered client has reported
+/// at least once; before that it is pinned at [`Timestamp::ZERO`], which is
+/// always safe (it retains everything).
+///
+/// # Examples
+///
+/// ```
+/// use timesync::{ClientId, Timestamp, WatermarkTracker};
+///
+/// let mut w = WatermarkTracker::new([ClientId(0), ClientId(1)]);
+/// w.update(ClientId(0), Timestamp(100));
+/// assert_eq!(w.watermark(), Timestamp::ZERO); // client 1 not heard from
+/// w.update(ClientId(1), Timestamp(70));
+/// assert_eq!(w.watermark(), Timestamp(70));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WatermarkTracker {
+    latest: HashMap<ClientId, Timestamp>,
+}
+
+impl WatermarkTracker {
+    /// Creates a tracker expecting reports from the given clients.
+    pub fn new(clients: impl IntoIterator<Item = ClientId>) -> WatermarkTracker {
+        WatermarkTracker {
+            latest: clients
+                .into_iter()
+                .map(|c| (c, Timestamp::ZERO))
+                .collect(),
+        }
+    }
+
+    /// Registers a client after construction (starts at [`Timestamp::ZERO`],
+    /// holding the watermark down until it reports).
+    pub fn register(&mut self, client: ClientId) {
+        self.latest.entry(client).or_insert(Timestamp::ZERO);
+    }
+
+    /// Removes a departed client so it no longer holds the watermark back.
+    pub fn deregister(&mut self, client: ClientId) {
+        self.latest.remove(&client);
+    }
+
+    /// Records a progress report. Stale (out-of-order) reports are ignored.
+    pub fn update(&mut self, client: ClientId, ts: Timestamp) {
+        let e = self.latest.entry(client).or_insert(Timestamp::ZERO);
+        if ts > *e {
+            *e = ts;
+        }
+    }
+
+    /// The current watermark: the minimum reported timestamp across clients,
+    /// or [`Timestamp::MAX`] when no clients are registered.
+    pub fn watermark(&self) -> Timestamp {
+        self.latest
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(Timestamp::MAX)
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// True when no clients are registered.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_is_minimum() {
+        let mut w = WatermarkTracker::new([ClientId(0), ClientId(1), ClientId(2)]);
+        w.update(ClientId(0), Timestamp(30));
+        w.update(ClientId(1), Timestamp(10));
+        w.update(ClientId(2), Timestamp(20));
+        assert_eq!(w.watermark(), Timestamp(10));
+    }
+
+    #[test]
+    fn stale_updates_ignored() {
+        let mut w = WatermarkTracker::new([ClientId(0)]);
+        w.update(ClientId(0), Timestamp(50));
+        w.update(ClientId(0), Timestamp(40));
+        assert_eq!(w.watermark(), Timestamp(50));
+    }
+
+    #[test]
+    fn unreported_client_pins_watermark_to_zero() {
+        let mut w = WatermarkTracker::new([ClientId(0), ClientId(1)]);
+        w.update(ClientId(0), Timestamp(99));
+        assert_eq!(w.watermark(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn deregister_releases_watermark() {
+        let mut w = WatermarkTracker::new([ClientId(0), ClientId(1)]);
+        w.update(ClientId(0), Timestamp(99));
+        w.deregister(ClientId(1));
+        assert_eq!(w.watermark(), Timestamp(99));
+    }
+
+    #[test]
+    fn empty_tracker_retains_nothing() {
+        let w = WatermarkTracker::new([]);
+        assert_eq!(w.watermark(), Timestamp::MAX);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn watermark_is_monotonic_under_updates() {
+        let mut w = WatermarkTracker::new([ClientId(0), ClientId(1)]);
+        w.update(ClientId(0), Timestamp(5));
+        w.update(ClientId(1), Timestamp(5));
+        let mut last = w.watermark();
+        for i in 0..100u64 {
+            w.update(ClientId((i % 2) as u32), Timestamp(6 + i));
+            assert!(w.watermark() >= last);
+            last = w.watermark();
+        }
+    }
+}

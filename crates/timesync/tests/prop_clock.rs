@@ -1,0 +1,124 @@
+//! Property-based tests for the clock and watermark machinery: the safety
+//! of everything above (at-most-once, GC, local validation) rests on
+//! per-clock monotonicity and the watermark lower bound.
+
+use proptest::prelude::*;
+use simkit::time::SimTime;
+use timesync::{ClientId, Discipline, SyncedClock, Timestamp, Version, WatermarkTracker};
+
+proptest! {
+    /// Issued timestamps are strictly monotonic for ANY pattern of reads —
+    /// including repeated reads at one instant and reads spanning many
+    /// resynchronization boundaries that step the offset backwards.
+    #[test]
+    fn clock_is_strictly_monotonic(
+        seed in 0u64..10_000,
+        steps in proptest::collection::vec(0u64..5_000_000_000, 1..200),
+        discipline_pick in 0u8..4,
+    ) {
+        let discipline = match discipline_pick {
+            0 => Discipline::Perfect,
+            1 => Discipline::PtpHardware,
+            2 => Discipline::PtpSoftware,
+            _ => Discipline::Ntp,
+        };
+        let clock = SyncedClock::new(discipline, seed);
+        let mut now = 0u64;
+        let mut last = Timestamp::ZERO;
+        for step in steps {
+            now = now.saturating_add(step % 100_000_000); // up to 100ms steps
+            let ts = clock.now(SimTime::from_nanos(now));
+            prop_assert!(ts > last, "regressed: {ts:?} after {last:?}");
+            last = ts;
+        }
+    }
+
+    /// The issued timestamp never strays from true time by more than the
+    /// discipline's plausible bound (plus the monotonicity correction).
+    #[test]
+    fn clock_skew_is_bounded(
+        seed in 0u64..10_000,
+        instants in proptest::collection::vec(1u64..60_000, 1..50),
+    ) {
+        let clock = SyncedClock::new(Discipline::Ntp, seed);
+        // NTP is calibrated to ~1.5ms mean pairwise skew => offsets are a
+        // few ms; 50ms is a generous hard bound for a sane model.
+        let bound_ns = 50_000_000i128;
+        let mut ms_sorted = instants;
+        ms_sorted.sort_unstable();
+        for ms in ms_sorted {
+            let true_ns = ms as i128 * 1_000_000;
+            let ts = clock.now(SimTime::from_millis(ms)).as_nanos() as i128;
+            prop_assert!((ts - true_ns).abs() < bound_ns, "skew {}ns", ts - true_ns);
+        }
+    }
+
+    /// Version ordering is a total order consistent with (ts, client).
+    #[test]
+    fn version_order_is_total_and_consistent(
+        a_ts in any::<u64>(), a_c in any::<u32>(),
+        b_ts in any::<u64>(), b_c in any::<u32>(),
+    ) {
+        let a = Version::new(Timestamp(a_ts), ClientId(a_c));
+        let b = Version::new(Timestamp(b_ts), ClientId(b_c));
+        // Antisymmetry + totality.
+        prop_assert_eq!(a < b, b > a);
+        prop_assert!(a < b || b < a || a == b);
+        // Timestamp dominates; client id only breaks ties.
+        if a_ts != b_ts {
+            prop_assert_eq!(a < b, a_ts < b_ts);
+        } else {
+            prop_assert_eq!(a < b, a_c < b_c);
+        }
+    }
+
+    /// The watermark never exceeds any client's reported progress, and is
+    /// monotonically non-decreasing under monotone per-client reports.
+    #[test]
+    fn watermark_is_a_lower_bound(
+        reports in proptest::collection::vec((0u32..5, 0u64..1_000_000), 1..200),
+    ) {
+        let clients: Vec<ClientId> = (0..5).map(ClientId).collect();
+        let mut tracker = WatermarkTracker::new(clients.clone());
+        let mut per_client = vec![Timestamp::ZERO; 5];
+        let mut last_wm = tracker.watermark();
+        for (c, ts) in reports {
+            let ts = Timestamp(ts);
+            tracker.update(ClientId(c), ts);
+            if ts > per_client[c as usize] {
+                per_client[c as usize] = ts;
+            }
+            let wm = tracker.watermark();
+            // Lower bound on every client's progress...
+            for &p in &per_client {
+                prop_assert!(wm <= p);
+            }
+            // ...and equal to the minimum, and monotone.
+            prop_assert_eq!(wm, per_client.iter().copied().min().unwrap());
+            prop_assert!(wm >= last_wm);
+            last_wm = wm;
+        }
+    }
+
+    /// Mean pairwise skew between two independent clocks of one discipline
+    /// stays within an order of magnitude of the calibration target.
+    #[test]
+    fn pairwise_skew_magnitudes_separate_disciplines(seed in 0u64..200) {
+        let ptp_a = SyncedClock::new(Discipline::PtpSoftware, seed * 2 + 1);
+        let ptp_b = SyncedClock::new(Discipline::PtpSoftware, seed * 2 + 2);
+        let ntp_a = SyncedClock::new(Discipline::Ntp, seed * 2 + 1);
+        let ntp_b = SyncedClock::new(Discipline::Ntp, seed * 2 + 2);
+        // Sample offsets over many sync intervals and compare averages.
+        let mut ptp_sum = 0f64;
+        let mut ntp_sum = 0f64;
+        let n = 40;
+        for i in 0..n {
+            let t = SimTime::from_millis(2_100 * (i + 1));
+            let _ = (ptp_a.now(t), ptp_b.now(t), ntp_a.now(t), ntp_b.now(t));
+            ptp_sum += (ptp_a.offset_ns() - ptp_b.offset_ns()).abs() as f64;
+            ntp_sum += (ntp_a.offset_ns() - ntp_b.offset_ns()).abs() as f64;
+        }
+        // NTP skew must dwarf PTP skew — the premise of the whole paper.
+        prop_assert!(ntp_sum > ptp_sum * 3.0, "ntp {ntp_sum} vs ptp {ptp_sum}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Fault tolerance walkthrough: kill a shard primary mid-workload, promote
+//! a backup (Algorithm 2 recovery + lease wait), and keep serving — no
+//! committed data lost, in-doubt transactions resolved.
+//!
+//! ```sh
+//! cargo run --example failover
+//! ```
+
+use std::time::Duration;
+
+use flashsim::{value, Key, NandConfig};
+use milana::cluster::{MilanaCluster, MilanaClusterConfig};
+use milana::msg::TxnError;
+use semel::shard::ShardId;
+use simkit::Sim;
+use timesync::Discipline;
+
+fn main() -> Result<(), TxnError> {
+    let mut sim = Sim::new(99);
+    let handle = sim.handle();
+    let cluster = MilanaCluster::build(
+        &handle,
+        MilanaClusterConfig {
+            shards: 1,
+            replicas: 3,
+            clients: 2,
+            nand: NandConfig {
+                blocks: 512,
+                ..NandConfig::default()
+            },
+            discipline: Discipline::PtpSoftware,
+            preload_keys: 100,
+            ..MilanaClusterConfig::default()
+        },
+    );
+    let hh = handle.clone();
+    sim.block_on(async move {
+        let client = cluster.clients[0].clone();
+
+        // Commit a few transactions against the original primary.
+        for i in 0..5u64 {
+            let mut txn = client.begin();
+            let _ = txn.get(&Key::from(i)).await?;
+            txn.put(Key::from(i), value(format!("v{i}").into_bytes()));
+            txn.commit().await?;
+        }
+        hh.sleep(Duration::from_millis(10)).await; // backups absorb records
+        println!("[{}] 5 transactions committed on the original primary", hh.now());
+
+        // Catastrophe: the primary's node dies. Storage and the replicated
+        // transaction table survive on the backups.
+        let old_primary = cluster.map.borrow().group(ShardId(0)).primary;
+        cluster.fail_primary(ShardId(0));
+        println!("[{}] primary {old_primary} killed", hh.now());
+
+        // The master promotes the first live backup. Recovery merges the
+        // replica logs (Algorithm 2), resolves in-doubt transactions, pushes
+        // the merged table, and waits out the old primary's read lease
+        // before serving (the ts_latestRead guard of §4.5).
+        let t0 = hh.now();
+        cluster.promote_backup(ShardId(0)).await;
+        println!(
+            "[{}] backup promoted; recovery + lease wait took {:?}",
+            hh.now(),
+            hh.now() - t0
+        );
+
+        // All committed data is still there...
+        let mut audit = cluster.clients[1].begin();
+        for i in 0..5u64 {
+            let v = audit.get(&Key::from(i)).await?;
+            assert_eq!(&v[..], format!("v{i}").as_bytes());
+        }
+        audit.commit().await?;
+        println!("[{}] all committed values intact on the new primary", hh.now());
+
+        // ...and the shard accepts new transactions.
+        let mut txn = client.begin();
+        let _ = txn.get(&Key::from(50u64)).await?;
+        txn.put(Key::from(50u64), value(&b"business as usual"[..]));
+        txn.commit().await?;
+        println!("[{}] new transactions commit against the new primary", hh.now());
+        Ok(())
+    })
+}

@@ -1,0 +1,151 @@
+//! Inventory / order processing on MILANA: atomic multi-key updates under
+//! contention, with an invariant check at the end.
+//!
+//! Many warehouse workers concurrently reserve stock and record orders.
+//! Each order decrements one item's stock and appends to an order counter —
+//! atomically across shards. Afterwards we verify conservation: every unit
+//! of stock that disappeared is accounted for by exactly one order.
+//!
+//! ```sh
+//! cargo run --example inventory
+//! ```
+
+use std::time::Duration;
+
+use flashsim::{value, Key, NandConfig, Value};
+use milana::client::TxnClient;
+use milana::cluster::{MilanaCluster, MilanaClusterConfig};
+use milana::msg::TxnError;
+use simkit::Sim;
+use timesync::Discipline;
+
+const ITEMS: u64 = 8;
+const INITIAL_STOCK: u64 = 40;
+const WORKERS: u32 = 6;
+const ORDERS_PER_WORKER: u32 = 30;
+
+fn stock_key(item: u64) -> Key {
+    Key::from(format!("stock:{item}").as_str())
+}
+
+fn orders_key(item: u64) -> Key {
+    Key::from(format!("orders:{item}").as_str())
+}
+
+fn enc(n: u64) -> Value {
+    value(Vec::from(n.to_be_bytes()))
+}
+
+fn dec(v: &Value) -> u64 {
+    u64::from_be_bytes(v[..8].try_into().expect("u64 value"))
+}
+
+/// Tries to order one unit of `item`: decrement stock, increment orders.
+/// Returns `Ok(false)` when sold out. Retries OCC aborts internally.
+async fn order_one(client: &TxnClient, item: u64) -> Result<bool, TxnError> {
+    loop {
+        let mut txn = client.begin();
+        let stock = dec(&txn.get(&stock_key(item)).await?);
+        if stock == 0 {
+            txn.commit().await?; // read-only: local validation
+            return Ok(false);
+        }
+        let orders = dec(&txn.get(&orders_key(item)).await?);
+        txn.put(stock_key(item), enc(stock - 1));
+        txn.put(orders_key(item), enc(orders + 1));
+        match txn.commit().await {
+            Ok(_) => return Ok(true),
+            Err(TxnError::Aborted(_)) => continue, // lost the race; retry
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn main() -> Result<(), TxnError> {
+    let mut sim = Sim::new(7);
+    let handle = sim.handle();
+    let cluster = MilanaCluster::build(
+        &handle,
+        MilanaClusterConfig {
+            shards: 2,
+            replicas: 3,
+            clients: WORKERS,
+            nand: NandConfig {
+                blocks: 512,
+                ..NandConfig::default()
+            },
+            discipline: Discipline::PtpSoftware,
+            ..MilanaClusterConfig::default()
+        },
+    );
+    let hh = handle.clone();
+    sim.block_on(async move {
+        // Seed the stock, then let the asynchronous commit notification land
+        // so the keys leave the prepared state before workers pile in.
+        {
+            let mut txn = cluster.clients[0].begin();
+            for item in 0..ITEMS {
+                txn.put(stock_key(item), enc(INITIAL_STOCK));
+                txn.put(orders_key(item), enc(0));
+            }
+            txn.commit().await?;
+            hh.sleep(Duration::from_millis(5)).await;
+        }
+
+        // Workers hammer orders concurrently over hot items.
+        let mut joins = Vec::new();
+        for w in 0..WORKERS {
+            let client = cluster.clients[w as usize].clone();
+            let hh2 = hh.clone();
+            joins.push(hh.spawn(async move {
+                let mut placed = 0u32;
+                let mut rng = hh2.fork_rng();
+                for _ in 0..ORDERS_PER_WORKER {
+                    let item = rand::Rng::gen_range(&mut rng, 0..ITEMS);
+                    if order_one(&client, item).await? {
+                        placed += 1;
+                    }
+                }
+                Ok::<u32, TxnError>(placed)
+            }));
+        }
+        let mut total_orders = 0u32;
+        for j in joins {
+            total_orders += j.await?;
+        }
+
+        // Let in-flight commit notifications drain, then audit from one
+        // consistent snapshot (retrying if a straggler was still prepared).
+        hh.sleep(Duration::from_millis(5)).await;
+        let (remaining, recorded) = loop {
+            let mut audit = cluster.clients[0].begin();
+            let mut remaining = 0u64;
+            let mut recorded = 0u64;
+            for item in 0..ITEMS {
+                let s = dec(&audit.get(&stock_key(item)).await?);
+                let o = dec(&audit.get(&orders_key(item)).await?);
+                assert_eq!(
+                    s + o,
+                    INITIAL_STOCK,
+                    "item {item} lost or duplicated units (stock={s}, orders={o})"
+                );
+                remaining += s;
+                recorded += o;
+            }
+            match audit.commit().await {
+                Ok(_) => break (remaining, recorded),
+                Err(TxnError::Aborted(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        };
+
+        assert_eq!(recorded, total_orders as u64, "every order recorded once");
+        println!(
+            "placed {total_orders} orders across {ITEMS} items; {remaining} units left; \
+             conservation holds on every item"
+        );
+        let aborts: u64 = cluster.clients.iter().map(|c| c.stats().aborts).sum();
+        println!("OCC conflicts retried transparently: {aborts} aborts");
+        Ok(())
+    })
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the SEMEL/MILANA reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can write
+//! `use milana_repro::milana;`. See the README for a tour and DESIGN.md for
+//! the system inventory.
+
+pub use flashsim;
+pub use milana;
+pub use retwis;
+pub use semel;
+pub use simkit;
+pub use timesync;

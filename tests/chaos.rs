@@ -1,0 +1,163 @@
+//! Chaos test: repeated primary crashes, promotions, and replica restarts
+//! under a continuously running contended workload — the whole §4.5 story
+//! (log merge, in-doubt resolution, lease wait, backup catch-up) exercised
+//! in a loop, with conservation invariants checked at the end.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use milana_repro::flashsim::{value, Key, NandConfig};
+use milana_repro::milana::cluster::{MilanaCluster, MilanaClusterConfig};
+use milana_repro::milana::msg::TxnError;
+use milana_repro::semel::shard::ShardId;
+use milana_repro::simkit::Sim;
+use milana_repro::timesync::Discipline;
+
+fn enc(n: u64) -> milana_repro::flashsim::Value {
+    value(Vec::from(n.to_be_bytes()))
+}
+
+fn dec(v: &[u8]) -> u64 {
+    u64::from_be_bytes(v[..8].try_into().expect("u64"))
+}
+
+/// Three full kill → promote → restart cycles while four clients hammer
+/// counters; every acknowledged commit must survive, and no phantom
+/// increments may appear.
+#[test]
+fn survives_repeated_failover_cycles() {
+    let mut sim = Sim::new(9000);
+    let h = sim.handle();
+    let mut cluster = MilanaCluster::build(
+        &h,
+        MilanaClusterConfig {
+            shards: 1,
+            replicas: 3,
+            clients: 4,
+            nand: NandConfig {
+                blocks: 512,
+                pages_per_block: 8,
+                ..NandConfig::default()
+            },
+            discipline: Discipline::PtpSoftware,
+            preload_keys: 0,
+            ..MilanaClusterConfig::default()
+        },
+    );
+    let keys = 8u64;
+    let acked = Rc::new(Cell::new(0u64));
+    let stop = Rc::new(Cell::new(false));
+    let hh = h.clone();
+    // Seed.
+    {
+        let clients = cluster.clients.clone();
+        let hh2 = hh.clone();
+        sim.block_on(async move {
+            let mut t = clients[0].begin();
+            for k in 0..keys {
+                t.put(Key::from(k), enc(0));
+            }
+            t.commit().await.unwrap();
+            hh2.sleep(Duration::from_millis(5)).await;
+        });
+    }
+    // Workload tasks run across the whole chaos schedule.
+    for c in &cluster.clients {
+        let c = c.clone();
+        let acked = acked.clone();
+        let stop = stop.clone();
+        let hh2 = hh.clone();
+        hh.spawn(async move {
+            let mut rng = hh2.fork_rng();
+            while !stop.get() {
+                let k = Key::from(rand::Rng::gen_range(&mut rng, 0..keys));
+                let mut t = c.begin();
+                let n = match t.get(&k).await {
+                    Ok(v) if v.len() == 8 => dec(&v),
+                    _ => {
+                        // Primary mid-failover; back off briefly.
+                        hh2.sleep(Duration::from_millis(2)).await;
+                        continue;
+                    }
+                };
+                t.put(k.clone(), enc(n + 1));
+                if t.commit().await.is_ok() {
+                    acked.set(acked.get() + 1);
+                }
+            }
+        });
+    }
+    // Chaos schedule: three cycles of crash → promote → heal → restart.
+    for cycle in 0..3 {
+        sim.block_on({
+            let hh2 = hh.clone();
+            async move { hh2.sleep(Duration::from_millis(40)).await }
+        });
+        cluster.fail_primary(ShardId(0));
+        sim.block_on(cluster.promote_backup(ShardId(0)));
+        // Bring the crashed replica back as a backup so the next cycle still
+        // has a quorum to fail over to.
+        let dead_idx = (0..3)
+            .find(|&i| h.is_dead(cluster.replicas[0][i].addr.node))
+            .expect("one dead replica");
+        sim.block_on({
+            let hh2 = hh.clone();
+            async move { hh2.sleep(Duration::from_millis(20)).await }
+        });
+        cluster.restart_replica(ShardId(0), dead_idx);
+        assert!(
+            cluster.primary(ShardId(0)).is_primary(),
+            "cycle {cycle}: promoted replica serves as primary"
+        );
+    }
+    // Let the workload settle, stop it, and audit.
+    sim.block_on({
+        let hh2 = hh.clone();
+        let stop = stop.clone();
+        async move {
+            hh2.sleep(Duration::from_millis(80)).await;
+            stop.set(true);
+            hh2.sleep(Duration::from_millis(60)).await;
+        }
+    });
+    let clients = cluster.clients.clone();
+    let total = sim.block_on(async move {
+        loop {
+            let mut t = clients[0].begin();
+            let mut sum = 0u64;
+            let mut bad = false;
+            for k in 0..keys {
+                match t.get(&Key::from(k)).await {
+                    Ok(v) if v.len() == 8 => sum += dec(&v),
+                    _ => {
+                        bad = true;
+                        break;
+                    }
+                }
+            }
+            if bad {
+                continue;
+            }
+            match t.commit().await {
+                Ok(_) => break sum,
+                Err(TxnError::Aborted(_)) => continue,
+                Err(e) => panic!("audit failed: {e}"),
+            }
+        }
+    });
+    let acked = acked.get();
+    assert!(acked > 20, "workload made progress through 3 failovers: {acked}");
+    assert!(
+        total >= acked,
+        "lost acknowledged commits: counters {total} < acked {acked}"
+    );
+    // Unknown-outcome transactions (client timed out mid-2PC during a crash)
+    // may legitimately commit later via CTP without being counted in
+    // `acked`; bound them by the clients' reported unknowns.
+    let unknowns: u64 = cluster.clients.iter().map(|c| c.stats().unknown).sum();
+    assert!(
+        total <= acked + unknowns + cluster.clients.len() as u64,
+        "phantom increments: counters {total} > acked {acked} + unknowns {unknowns}"
+    );
+}
