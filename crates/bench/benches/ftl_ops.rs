@@ -38,7 +38,11 @@ fn run_ops(kind: BackendKind, gets: u64, puts: u64) {
                 if i % (total / (puts.max(1))).max(1) == 0 {
                     ts += 1_000;
                     let _ = store
-                        .put(key, payload.clone(), Version::new(Timestamp(ts), ClientId(w as u32)))
+                        .put(
+                            key,
+                            payload.clone(),
+                            Version::new(Timestamp(ts), ClientId(w as u32)),
+                        )
                         .await;
                 } else {
                     let _ = store.get_at(&key, Timestamp(hh.now().as_nanos() + 1)).await;

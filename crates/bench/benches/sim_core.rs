@@ -70,7 +70,11 @@ fn bench_rpc_round_trip(c: &mut Criterion) {
                 let mut acc = 0u64;
                 for i in 0..1_000u64 {
                     if let Ok(Pong(v)) = client
-                        .call::<Ping, Pong>(Addr::new(NodeId(2), 0), Ping(i), Duration::from_millis(10))
+                        .call::<Ping, Pong>(
+                            Addr::new(NodeId(2), 0),
+                            Ping(i),
+                            Duration::from_millis(10),
+                        )
                         .await
                     {
                         acc += v;

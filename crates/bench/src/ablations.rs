@@ -16,6 +16,7 @@ use flashsim::dftl::{DemandMappedStore, DftlConfig};
 use flashsim::mftl::{MftlConfig, UnifiedStore};
 use flashsim::{value, BackendKind, Key, NandConfig};
 use milana::cluster::MilanaClusterConfig;
+use obskit::Json;
 use retwis::driver::WorkloadConfig;
 use retwis::mix::Mix;
 use semel::cluster::{ClusterConfig, SemelCluster};
@@ -106,8 +107,9 @@ fn run_repl_point(mode: ReplicationMode, jitter_us: u64, seed: u64, scale: Scale
     }
 }
 
-/// Runs and prints the replication-ordering ablation.
-pub fn run_replication(scale: Scale) {
+/// Runs and prints the replication-ordering ablation; returns its JSON
+/// payload.
+pub fn run_replication(scale: Scale) -> Json {
     println!("Ablation: inconsistent (SEMEL §3.2) vs ordered replication — put latency");
     println!(
         "{:>14} {:>10} {:>12} {:>12}",
@@ -140,14 +142,26 @@ pub fn run_replication(scale: Scale) {
         "(the paper's claim: relaxed ordering keeps one slow record from stalling \
          acknowledgement of everything behind it)"
     );
+    Json::obj().field(
+        "rows",
+        Json::arr(rows.iter().map(|p| {
+            Json::obj()
+                .field("mode", Json::str(p.mode))
+                .field("jitter_us", Json::U64(p.jitter_us))
+                .field("mean_us", Json::F64(p.mean_us))
+                .field("p99_us", Json::F64(p.p99_us))
+        })),
+    )
 }
 
 // ---------------------------------------------------------------------------
 // Ablation 2: clock discipline spectrum
 // ---------------------------------------------------------------------------
 
-/// Runs and prints the clock-spectrum ablation (extends Figure 7).
-pub fn run_clocks(scale: Scale) {
+/// Runs and prints the clock-spectrum ablation (extends Figure 7);
+/// returns its JSON payload with the full abort-reason breakdown per
+/// discipline.
+pub fn run_clocks(scale: Scale) -> Json {
     println!("Ablation: clock-discipline spectrum — MILANA abort rate (%), MFTL backend");
     let alphas: Vec<f64> = match scale {
         Scale::Quick => vec![0.5, 0.7, 0.9],
@@ -159,6 +173,7 @@ pub fn run_clocks(scale: Scale) {
     }
     println!();
     let keyspace = 5_000u64;
+    let mut rows = Vec::new();
     for (discipline, name) in [
         (Discipline::Perfect, "Perfect"),
         (Discipline::PtpHardware, "PTP-HW"),
@@ -206,6 +221,17 @@ pub fn run_clocks(scale: Scale) {
                 scale.measure() / 2,
             );
             print!(" {:>7.2}", outcome.stats.abort_rate() * 100.0);
+            rows.push(
+                Json::obj()
+                    .field("clock", Json::str(name))
+                    .field("alpha", Json::F64(alpha))
+                    .field("abort_rate", Json::F64(outcome.stats.abort_rate()))
+                    .field("abort_reasons", outcome.stats.abort_reasons.to_json())
+                    .field(
+                        "latency_ns",
+                        outcome.stats.latency.snapshot().summary_json(),
+                    ),
+            );
         }
         println!();
     }
@@ -214,14 +240,16 @@ pub fn run_clocks(scale: Scale) {
          further precision stops mattering, exactly §3.3's argument; NTP sits far \
          above the knee)"
     );
+    Json::obj().field("rows", Json::Arr(rows))
 }
 
 // ---------------------------------------------------------------------------
 // Ablation 3: DFTL-style demand-paged mapping
 // ---------------------------------------------------------------------------
 
-/// Runs and prints the mapping-residency ablation.
-pub fn run_dftl(scale: Scale) {
+/// Runs and prints the mapping-residency ablation; returns its JSON
+/// payload.
+pub fn run_dftl(scale: Scale) -> Json {
     println!("Ablation: mapping-table residency (§3.1 future work, DFTL-style paging)");
     println!(
         "{:>12} {:>10} {:>12} {:>14}",
@@ -231,6 +259,7 @@ pub fn run_dftl(scale: Scale) {
         Scale::Quick => 10_000,
         Scale::Full => 50_000,
     };
+    let mut rows = Vec::new();
     for &fraction in &[1.0f64, 0.5, 0.25, 0.05] {
         let mut sim = Sim::new(1_800);
         let h = sim.handle();
@@ -318,8 +347,19 @@ pub fn run_dftl(scale: Scale) {
             hist.mean() / 1e3,
             st.translation_writes as f64 / measure.as_secs_f64(),
         );
+        rows.push(
+            Json::obj()
+                .field("resident_fraction", Json::F64(fraction))
+                .field("hit_rate", Json::F64(st.hit_rate()))
+                .field("get_mean_us", Json::F64(hist.mean() / 1e3))
+                .field(
+                    "translation_writes_per_s",
+                    Json::F64(st.translation_writes as f64 / measure.as_secs_f64()),
+                ),
+        );
     }
     println!("(the paper's all-mapping-in-DRAM assumption is the 100% row)");
+    Json::obj().field("rows", Json::Arr(rows))
 }
 
 // ---------------------------------------------------------------------------
@@ -328,8 +368,8 @@ pub fn run_dftl(scale: Scale) {
 
 /// Runs and prints the packing-window ablation: the paper's 1 ms packer
 /// delay is "tunable" (§5); this sweep shows the latency/efficiency
-/// trade-off it controls.
-pub fn run_packing(scale: Scale) {
+/// trade-off it controls. Returns its JSON payload.
+pub fn run_packing(scale: Scale) -> Json {
     println!("Ablation: packing window sweep — MFTL, 75% get / 25% put");
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>14}",
@@ -339,6 +379,7 @@ pub fn run_packing(scale: Scale) {
         Scale::Quick => 10_000,
         Scale::Full => 50_000,
     };
+    let mut rows = Vec::new();
     for &window_us in &[0u64, 250, 500, 1_000, 2_000] {
         let mut sim = Sim::new(1_900 + window_us);
         let h = sim.handle();
@@ -405,12 +446,16 @@ pub fn run_packing(scale: Scale) {
                             }
                         };
                         if ok {
-                            put_hist.borrow_mut().record((hh.now() - t0).as_nanos() as u64);
+                            put_hist
+                                .borrow_mut()
+                                .record((hh.now() - t0).as_nanos() as u64);
                         }
                     } else {
                         let at = clock.now(hh.now());
                         if store.get_at(&key, at).await.is_ok() {
-                            get_hist.borrow_mut().record((hh.now() - t0).as_nanos() as u64);
+                            get_hist
+                                .borrow_mut()
+                                .record((hh.now() - t0).as_nanos() as u64);
                         }
                     }
                 }
@@ -437,11 +482,23 @@ pub fn run_packing(scale: Scale) {
             puts.mean() / 1e3,
             tuples_per_page,
         );
+        rows.push(
+            Json::obj()
+                .field("window_us", Json::U64(window_us))
+                .field(
+                    "kiops",
+                    Json::F64((gets.count() + puts.count()) as f64 / measure.as_secs_f64() / 1e3),
+                )
+                .field("get_mean_us", Json::F64(gets.mean() / 1e3))
+                .field("put_mean_us", Json::F64(puts.mean() / 1e3))
+                .field("tuples_per_page", Json::F64(tuples_per_page)),
+        );
     }
     println!(
         "(window 0 flushes every tuple as its own page — lowest put latency, worst \
          space efficiency and most GC; larger windows trade put latency for fuller pages)"
     );
+    Json::obj().field("rows", Json::Arr(rows))
 }
 
 // ---------------------------------------------------------------------------
@@ -450,8 +507,9 @@ pub fn run_packing(scale: Scale) {
 
 /// Runs and prints an open-loop (Poisson-arrival) latency curve: unlike the
 /// closed-loop Figure 8, this exposes queueing delay as offered load
-/// approaches saturation, with and without local validation.
-pub fn run_open_loop(scale: Scale) {
+/// approaches saturation, with and without local validation. Returns its
+/// JSON payload.
+pub fn run_open_loop(scale: Scale) -> Json {
     println!("Ablation: open-loop latency vs offered load — MFTL, 75% read-only");
     println!(
         "{:>10} {:>4} {:>12} {:>12} {:>12} {:>10}",
@@ -461,6 +519,7 @@ pub fn run_open_loop(scale: Scale) {
         Scale::Quick => 12_000,
         Scale::Full => 60_000,
     };
+    let mut rows = Vec::new();
     for &rate in &[2_000.0f64, 8_000.0, 16_000.0] {
         for lv in [true, false] {
             let mut sim = Sim::new(2_000 + rate as u64);
@@ -499,7 +558,7 @@ pub fn run_open_loop(scale: Scale) {
                 max_retries: 64,
             });
             let zipf = Rc::new(Zipf::new(keyspace as usize, wl.zipf_alpha));
-            let stats = Rc::new(RefCell::new(retwis::driver::WorkloadStats::default()));
+            let stats = obskit::TxnStats::new();
             let measure = scale.measure() / 2;
             let until = h.now() + measure;
             // Split the offered rate over the client machines.
@@ -522,15 +581,27 @@ pub fn run_open_loop(scale: Scale) {
                     j.await;
                 }
             });
-            let st = stats.borrow();
+            let lat = stats.latency.snapshot();
             println!(
                 "{:>10.0} {:>4} {:>12.1} {:>12.1} {:>12.1} {:>10}",
                 rate,
                 if lv { "on" } else { "off" },
-                st.commits as f64 / measure.as_secs_f64() / 1e3,
-                st.latency.mean() / 1e3,
-                st.latency.quantile(0.99) as f64 / 1e3,
-                st.timeouts,
+                stats.commits.get() as f64 / measure.as_secs_f64() / 1e3,
+                lat.mean() / 1e3,
+                lat.quantile(0.99) as f64 / 1e3,
+                stats.timeouts.get(),
+            );
+            rows.push(
+                Json::obj()
+                    .field("offered_rate", Json::F64(rate))
+                    .field("lv", Json::Bool(lv))
+                    .field(
+                        "throughput",
+                        Json::F64(stats.commits.get() as f64 / measure.as_secs_f64()),
+                    )
+                    .field("shed", Json::U64(stats.timeouts.get()))
+                    .field("abort_reasons", stats.abort_reasons.to_json())
+                    .field("latency_ns", lat.summary_json()),
             );
         }
     }
@@ -538,4 +609,5 @@ pub fn run_open_loop(scale: Scale) {
         "(LV's saved round trips matter more as load rises: without LV the \
          validation traffic saturates the primaries sooner, inflating tails)"
     );
+    Json::obj().field("rows", Json::Arr(rows))
 }

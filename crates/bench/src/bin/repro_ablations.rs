@@ -1,19 +1,30 @@
-//! Runs the three design-choice ablations (replication ordering, clock
-//! precision spectrum, mapping residency).
+//! Runs the design-choice ablations (replication ordering, clock
+//! precision spectrum, mapping residency, packing window, open loop).
 
-use bench::ablations;
+use bench::artifact;
 use bench::common::Scale;
+use obskit::Json;
 
 fn main() {
     let scale = Scale::from_env();
     eprintln!("running ablations at {scale:?} scale ...\n");
-    ablations::run_replication(scale);
+    let replication = bench::ablations::run_replication(scale);
     println!();
-    ablations::run_clocks(scale);
+    let clocks = bench::ablations::run_clocks(scale);
     println!();
-    ablations::run_dftl(scale);
+    let dftl = bench::ablations::run_dftl(scale);
     println!();
-    ablations::run_packing(scale);
+    let packing = bench::ablations::run_packing(scale);
     println!();
-    ablations::run_open_loop(scale);
+    let open_loop = bench::ablations::run_open_loop(scale);
+    artifact::maybe_write(
+        "ablations",
+        scale,
+        Json::obj()
+            .field("replication", replication)
+            .field("clocks", clocks)
+            .field("dftl", dftl)
+            .field("packing", packing)
+            .field("open_loop", open_loop),
+    );
 }

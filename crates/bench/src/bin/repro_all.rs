@@ -1,32 +1,58 @@
 //! Runs every experiment reproduction in sequence.
 
+use bench::artifact;
 use bench::common::Scale;
+use obskit::Json;
 
 fn main() {
     let scale = Scale::from_env();
     eprintln!("running all reproductions at {scale:?} scale ...\n");
     let t1 = bench::table1::Table1Config::for_scale(scale);
-    bench::table1::print(&bench::table1::run(&t1));
+    let t1_rows = bench::table1::run(&t1);
+    bench::table1::print(&t1_rows);
     println!();
     let f6 = bench::fig6::Fig6Config::for_scale(scale);
-    bench::fig6::print(&f6, &bench::fig6::run(&f6));
+    let f6_points = bench::fig6::run(&f6);
+    bench::fig6::print(&f6, &f6_points);
     println!();
     let f7 = bench::fig7::Fig7Config::for_scale(scale);
-    bench::fig7::print(&f7, &bench::fig7::run(&f7));
+    let f7_points = bench::fig7::run(&f7);
+    bench::fig7::print(&f7, &f7_points);
     println!();
     let f8 = bench::fig8::Fig8Config::for_scale(scale);
-    bench::fig8::print(&f8, &bench::fig8::run(&f8));
+    let f8_points = bench::fig8::run(&f8);
+    bench::fig8::print(&f8, &f8_points);
     println!();
     let f9 = bench::fig9::Fig9Config::for_scale(scale);
-    bench::fig9::print(&f9, &bench::fig9::run(&f9));
+    let f9_points = bench::fig9::run(&f9);
+    bench::fig9::print(&f9, &f9_points);
     println!();
-    bench::ablations::run_replication(scale);
+    let replication = bench::ablations::run_replication(scale);
     println!();
-    bench::ablations::run_clocks(scale);
+    let clocks = bench::ablations::run_clocks(scale);
     println!();
-    bench::ablations::run_dftl(scale);
+    let dftl = bench::ablations::run_dftl(scale);
     println!();
-    bench::ablations::run_packing(scale);
+    let packing = bench::ablations::run_packing(scale);
     println!();
-    bench::ablations::run_open_loop(scale);
+    let open_loop = bench::ablations::run_open_loop(scale);
+    artifact::maybe_write(
+        "all",
+        scale,
+        Json::obj()
+            .field("table1", bench::table1::to_json(&t1_rows))
+            .field("fig6", bench::fig6::to_json(&f6, &f6_points))
+            .field("fig7", bench::fig7::to_json(&f7, &f7_points))
+            .field("fig8", bench::fig8::to_json(&f8, &f8_points))
+            .field("fig9", bench::fig9::to_json(&f9, &f9_points))
+            .field(
+                "ablations",
+                Json::obj()
+                    .field("replication", replication)
+                    .field("clocks", clocks)
+                    .field("dftl", dftl)
+                    .field("packing", packing)
+                    .field("open_loop", open_loop),
+            ),
+    );
 }

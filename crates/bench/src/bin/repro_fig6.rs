@@ -9,4 +9,5 @@ fn main() {
     let cfg = fig6::Fig6Config::for_scale(scale);
     let points = fig6::run(&cfg);
     fig6::print(&cfg, &points);
+    bench::artifact::maybe_write("fig6", scale, fig6::to_json(&cfg, &points));
 }

@@ -9,4 +9,5 @@ fn main() {
     let cfg = fig7::Fig7Config::for_scale(scale);
     let points = fig7::run(&cfg);
     fig7::print(&cfg, &points);
+    bench::artifact::maybe_write("fig7", scale, fig7::to_json(&cfg, &points));
 }

@@ -9,4 +9,5 @@ fn main() {
     let cfg = fig8::Fig8Config::for_scale(scale);
     let points = fig8::run(&cfg);
     fig8::print(&cfg, &points);
+    bench::artifact::maybe_write("fig8", scale, fig8::to_json(&cfg, &points));
 }

@@ -9,4 +9,5 @@ fn main() {
     let cfg = fig9::Fig9Config::for_scale(scale);
     let points = fig9::run(&cfg);
     fig9::print(&cfg, &points);
+    bench::artifact::maybe_write("fig9", scale, fig9::to_json(&cfg, &points));
 }

@@ -9,4 +9,5 @@ fn main() {
     let cfg = table1::Table1Config::for_scale(scale);
     let rows = table1::run(&cfg);
     table1::print(&rows);
+    bench::artifact::maybe_write("table1", scale, table1::to_json(&rows));
 }

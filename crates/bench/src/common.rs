@@ -1,12 +1,12 @@
 //! Shared plumbing for the experiment reproductions: scale factors,
 //! formatted table output, and MILANA/Retwis run helpers.
 
-use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
-use retwis::driver::{run_instance, TxnSystem, WorkloadConfig, WorkloadStats};
+use obskit::TxnStats;
+use retwis::driver::{run_instance, TxnSystem, WorkloadConfig};
 use simkit::rng::Zipf;
 use simkit::time::SimTime;
 use simkit::{Sim, SimHandle};
@@ -69,7 +69,7 @@ pub fn print_row(cols: &[String], widths: &[usize]) {
 #[derive(Debug)]
 pub struct RunOutcome {
     /// Aggregated workload counters (measurement window only).
-    pub stats: WorkloadStats,
+    pub stats: TxnStats,
     /// Virtual measurement duration.
     pub elapsed: Duration,
     /// Fraction of read-only commits decided locally (MILANA clients).
@@ -90,7 +90,7 @@ pub fn run_retwis_on_milana(
     let zipf = Rc::new(Zipf::new(wl.keyspace as usize, wl.zipf_alpha));
     let wl = Rc::new(wl);
     // Warm-up phase uses a throwaway stats sink.
-    let sink = Rc::new(RefCell::new(WorkloadStats::default()));
+    let sink = TxnStats::new();
     let warm_until = h.now() + warmup;
     let mut joins = Vec::new();
     for c in &cluster.clients {
@@ -110,8 +110,12 @@ pub fn run_retwis_on_milana(
             j.await;
         }
     });
-    let stats = Rc::new(RefCell::new(WorkloadStats::default()));
-    let lv_before: u64 = cluster.clients.iter().map(|c| c.stats().local_validations).sum();
+    let stats = TxnStats::new();
+    let lv_before: u64 = cluster
+        .clients
+        .iter()
+        .map(|c| c.stats().local_validations)
+        .sum();
     let until = h.now() + measure;
     let mut joins = Vec::new();
     for c in &cluster.clients {
@@ -131,8 +135,11 @@ pub fn run_retwis_on_milana(
             j.await;
         }
     });
-    let lv_after: u64 = cluster.clients.iter().map(|c| c.stats().local_validations).sum();
-    let stats = Rc::try_unwrap(stats).expect("all instances done").into_inner();
+    let lv_after: u64 = cluster
+        .clients
+        .iter()
+        .map(|c| c.stats().local_validations)
+        .sum();
     RunOutcome {
         stats,
         elapsed: measure,
@@ -154,11 +161,11 @@ pub fn run_retwis_generic<S: TxnSystem>(
     instances_per_client: u32,
     warmup: Duration,
     measure: Duration,
-) -> (WorkloadStats, Duration) {
+) -> (TxnStats, Duration) {
     let h = sim.handle();
     let zipf = Rc::new(Zipf::new(wl.keyspace as usize, wl.zipf_alpha));
     let wl = Rc::new(wl);
-    let sink = Rc::new(RefCell::new(WorkloadStats::default()));
+    let sink = TxnStats::new();
     let warm_until = h.now() + warmup;
     let mut joins = Vec::new();
     for c in clients {
@@ -178,7 +185,7 @@ pub fn run_retwis_generic<S: TxnSystem>(
             j.await;
         }
     });
-    let stats = Rc::new(RefCell::new(WorkloadStats::default()));
+    let stats = TxnStats::new();
     let until = h.now() + measure;
     let mut joins = Vec::new();
     for c in clients {
@@ -198,7 +205,6 @@ pub fn run_retwis_generic<S: TxnSystem>(
             j.await;
         }
     });
-    let stats = Rc::try_unwrap(stats).expect("all instances done").into_inner();
     (stats, measure)
 }
 

@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use flashsim::{BackendKind, NandConfig};
 use milana::cluster::MilanaClusterConfig;
+use obskit::Json;
 use retwis::driver::WorkloadConfig;
 use retwis::mix::Mix;
 use simkit::Sim;
@@ -32,6 +33,8 @@ pub struct Fig6Point {
     pub clients: u32,
     /// Abort rate (aborted attempts / all attempts).
     pub abort_rate: f64,
+    /// Workload counters, merged across the averaged seeds.
+    pub stats: obskit::TxnStats,
 }
 
 /// Parameters for the sweep.
@@ -138,6 +141,7 @@ fn run_point(
         alpha,
         clients,
         abort_rate: outcome.stats.abort_rate(),
+        stats: outcome.stats,
     }
 }
 
@@ -149,10 +153,13 @@ pub fn run(cfg: &Fig6Config) -> Vec<Fig6Point> {
         for &alpha in &cfg.alphas {
             for &clients in &cfg.client_counts {
                 let mut acc = 0.0;
+                let merged = obskit::TxnStats::new();
                 const SEEDS: u64 = 3;
                 for r in 0..SEEDS {
                     let seed = 600 + (alpha * 100.0) as u64 + clients as u64 + r * 7919;
-                    acc += run_point(kind, alpha, clients, cfg, seed).abort_rate;
+                    let p = run_point(kind, alpha, clients, cfg, seed);
+                    acc += p.abort_rate;
+                    merged.merge_from(&p.stats);
                 }
                 points.push(Fig6Point {
                     ftl: match kind {
@@ -162,11 +169,38 @@ pub fn run(cfg: &Fig6Config) -> Vec<Fig6Point> {
                     alpha,
                     clients,
                     abort_rate: acc / SEEDS as f64,
+                    stats: merged,
                 });
             }
         }
     }
     points
+}
+
+/// Deterministic JSON payload: one object per (FTL, α, clients) point
+/// with its abort-reason breakdown and latency percentiles.
+pub fn to_json(cfg: &Fig6Config, points: &[Fig6Point]) -> Json {
+    Json::obj()
+        .field(
+            "client_counts",
+            Json::arr(cfg.client_counts.iter().map(|&c| Json::U64(c as u64))),
+        )
+        .field(
+            "alphas",
+            Json::arr(cfg.alphas.iter().map(|&a| Json::F64(a))),
+        )
+        .field(
+            "points",
+            Json::arr(points.iter().map(|p| {
+                Json::obj()
+                    .field("ftl", Json::str(p.ftl))
+                    .field("alpha", Json::F64(p.alpha))
+                    .field("clients", Json::U64(p.clients as u64))
+                    .field("abort_rate", Json::F64(p.abort_rate))
+                    .field("abort_reasons", p.stats.abort_reasons.to_json())
+                    .field("latency_ns", p.stats.latency.snapshot().summary_json())
+            })),
+        )
 }
 
 /// Prints the sweep as series over client counts.
@@ -190,7 +224,5 @@ pub fn print(cfg: &Fig6Config, points: &[Fig6Point]) {
             println!();
         }
     }
-    println!(
-        "(paper: MFTL aborts well below SFTL at every client count; gap widens with α)"
-    );
+    println!("(paper: MFTL aborts well below SFTL at every client count; gap widens with α)");
 }

@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use flashsim::{BackendKind, NandConfig};
 use milana::cluster::MilanaClusterConfig;
+use obskit::Json;
 use retwis::driver::WorkloadConfig;
 use retwis::mix::Mix;
 use simkit::Sim;
@@ -33,6 +34,8 @@ pub struct Fig7Point {
     pub alpha: f64,
     /// Abort rate.
     pub abort_rate: f64,
+    /// Full workload counters for the run (abort reasons, latency).
+    pub stats: obskit::TxnStats,
 }
 
 /// Sweep parameters.
@@ -144,16 +147,14 @@ fn run_point(
         backend: backend_name(kind),
         alpha,
         abort_rate: outcome.stats.abort_rate(),
+        stats: outcome.stats,
     }
 }
 
 /// Runs the full sweep.
 pub fn run(cfg: &Fig7Config) -> Vec<Fig7Point> {
     let mut points = Vec::new();
-    for (discipline, sync) in [
-        (Discipline::PtpSoftware, "PTP"),
-        (Discipline::Ntp, "NTP"),
-    ] {
+    for (discipline, sync) in [(Discipline::PtpSoftware, "PTP"), (Discipline::Ntp, "NTP")] {
         for &kind in &cfg.backends {
             for &alpha in &cfg.alphas {
                 let seed = 700 + (alpha * 100.0) as u64;
@@ -162,6 +163,46 @@ pub fn run(cfg: &Fig7Config) -> Vec<Fig7Point> {
         }
     }
     points
+}
+
+/// Deterministic JSON payload: every point with its abort-reason
+/// breakdown and latency percentiles, plus a per-clock-model rollup
+/// (the artifact the paper's PTP-vs-NTP headline is checked against).
+pub fn to_json(cfg: &Fig7Config, points: &[Fig7Point]) -> Json {
+    let point_docs = points.iter().map(|p| {
+        Json::obj()
+            .field("sync", Json::str(p.sync))
+            .field("backend", Json::str(p.backend))
+            .field("alpha", Json::F64(p.alpha))
+            .field("abort_rate", Json::F64(p.abort_rate))
+            .field("abort_reasons", p.stats.abort_reasons.to_json())
+            .field("latency_ns", p.stats.latency.snapshot().summary_json())
+    });
+    let mut by_clock = Json::obj();
+    for sync in ["PTP", "NTP"] {
+        let merged = obskit::TxnStats::new();
+        for p in points.iter().filter(|p| p.sync == sync) {
+            merged.merge_from(&p.stats);
+        }
+        by_clock = by_clock.field(
+            sync,
+            Json::obj()
+                .field("abort_rate", Json::F64(merged.abort_rate()))
+                .field("abort_reasons", merged.abort_reasons.to_json())
+                .field("latency_ns", merged.latency.snapshot().summary_json()),
+        );
+    }
+    Json::obj()
+        .field(
+            "alphas",
+            Json::arr(cfg.alphas.iter().map(|&a| Json::F64(a))),
+        )
+        .field(
+            "backends",
+            Json::arr(cfg.backends.iter().map(|&k| Json::str(backend_name(k)))),
+        )
+        .field("points", Json::arr(point_docs))
+        .field("by_clock", by_clock)
 }
 
 /// Prints series of abort rates over α, plus the PTP-vs-NTP reduction.
@@ -187,10 +228,7 @@ pub fn print(cfg: &Fig7Config, points: &[Fig7Point]) {
         }
     }
     // Headline: abort-rate reduction of PTP vs NTP at the highest contention.
-    let max_alpha = *cfg
-        .alphas
-        .last()
-        .expect("non-empty alphas");
+    let max_alpha = *cfg.alphas.last().expect("non-empty alphas");
     for &kind in &cfg.backends {
         let name = backend_name(kind);
         let get = |sync: &str| {

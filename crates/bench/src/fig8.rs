@@ -11,6 +11,7 @@ use std::time::Duration;
 use flashsim::{BackendKind, NandConfig};
 use milana::client::TxnClientConfig;
 use milana::cluster::MilanaClusterConfig;
+use obskit::Json;
 use retwis::driver::WorkloadConfig;
 use retwis::mix::Mix;
 use simkit::Sim;
@@ -31,6 +32,8 @@ pub struct Fig8Point {
     pub throughput: f64,
     /// Mean transaction latency (first begin to commit), µs.
     pub latency_us: f64,
+    /// Full workload counters for the run.
+    pub stats: obskit::TxnStats,
 }
 
 /// Sweep parameters.
@@ -83,13 +86,7 @@ fn backend_name(kind: BackendKind) -> &'static str {
     }
 }
 
-fn run_point(
-    kind: BackendKind,
-    lv: bool,
-    clients: u32,
-    cfg: &Fig8Config,
-    seed: u64,
-) -> Fig8Point {
+fn run_point(kind: BackendKind, lv: bool, clients: u32, cfg: &Fig8Config, seed: u64) -> Fig8Point {
     let mut sim = Sim::new(seed);
     let h = sim.handle();
     let nand = NandConfig {
@@ -141,7 +138,8 @@ fn run_point(
         lv,
         clients,
         throughput: outcome.stats.throughput(outcome.elapsed),
-        latency_us: outcome.stats.latency.mean() / 1e3,
+        latency_us: outcome.stats.latency.snapshot().mean() / 1e3,
+        stats: outcome.stats,
     }
 }
 
@@ -157,6 +155,30 @@ pub fn run(cfg: &Fig8Config) -> Vec<Fig8Point> {
         }
     }
     points
+}
+
+/// Deterministic JSON payload: one object per curve point with full
+/// latency percentiles and the abort-reason breakdown.
+pub fn to_json(cfg: &Fig8Config, points: &[Fig8Point]) -> Json {
+    Json::obj()
+        .field(
+            "client_counts",
+            Json::arr(cfg.client_counts.iter().map(|&c| Json::U64(c as u64))),
+        )
+        .field("alpha", Json::F64(cfg.alpha))
+        .field(
+            "points",
+            Json::arr(points.iter().map(|p| {
+                Json::obj()
+                    .field("backend", Json::str(p.backend))
+                    .field("lv", Json::Bool(p.lv))
+                    .field("clients", Json::U64(p.clients as u64))
+                    .field("throughput", Json::F64(p.throughput))
+                    .field("latency_us", Json::F64(p.latency_us))
+                    .field("abort_reasons", p.stats.abort_reasons.to_json())
+                    .field("latency_ns", p.stats.latency.snapshot().summary_json())
+            })),
+        )
 }
 
 /// Prints every curve and the LV speedup headline.

@@ -15,6 +15,7 @@ use std::time::Duration;
 use flashsim::{BackendKind, NandConfig};
 use milana::centiman::{CentimanClient, CentimanConfig, Validator};
 use milana::cluster::MilanaClusterConfig;
+use obskit::Json;
 use retwis::driver::WorkloadConfig;
 use retwis::mix::Mix;
 use semel::cluster::{ClusterConfig, SemelCluster};
@@ -37,6 +38,8 @@ pub struct Fig9Point {
     pub local_fraction: f64,
     /// Abort rate.
     pub abort_rate: f64,
+    /// Full workload counters for the run.
+    pub stats: obskit::TxnStats,
 }
 
 /// Sweep parameters.
@@ -138,6 +141,7 @@ fn run_milana_point(alpha: f64, cfg: &Fig9Config, seed: u64) -> Fig9Point {
         // MILANA validates every read-only transaction locally by design.
         local_fraction: if ro_commits > 0 { 1.0 } else { 0.0 },
         abort_rate: outcome.stats.abort_rate(),
+        stats: outcome.stats,
     }
 }
 
@@ -226,6 +230,7 @@ fn run_centiman_point(alpha: f64, cfg: &Fig9Config, seed: u64) -> Fig9Point {
             local as f64 / (local + remote) as f64
         },
         abort_rate: stats.abort_rate(),
+        stats,
     }
 }
 
@@ -238,6 +243,31 @@ pub fn run(cfg: &Fig9Config) -> Vec<Fig9Point> {
         points.push(run_centiman_point(alpha, cfg, seed));
     }
     points
+}
+
+/// Deterministic JSON payload: one object per (system, α) point with the
+/// shared abort-reason taxonomy, so MILANA and Centiman aborts compare
+/// class-for-class.
+pub fn to_json(cfg: &Fig9Config, points: &[Fig9Point]) -> Json {
+    Json::obj()
+        .field(
+            "alphas",
+            Json::arr(cfg.alphas.iter().map(|&a| Json::F64(a))),
+        )
+        .field("report_every", Json::U64(cfg.report_every))
+        .field(
+            "points",
+            Json::arr(points.iter().map(|p| {
+                Json::obj()
+                    .field("system", Json::str(p.system))
+                    .field("alpha", Json::F64(p.alpha))
+                    .field("throughput", Json::F64(p.throughput))
+                    .field("local_fraction", Json::F64(p.local_fraction))
+                    .field("abort_rate", Json::F64(p.abort_rate))
+                    .field("abort_reasons", p.stats.abort_reasons.to_json())
+                    .field("latency_ns", p.stats.latency.snapshot().summary_json())
+            })),
+        )
 }
 
 /// Prints throughput and local-validation series.

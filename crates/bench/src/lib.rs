@@ -17,8 +17,13 @@
 //! `repro_all` runs everything. Set `REPRO_SCALE=full` for larger,
 //! slower, closer-to-paper runs. Criterion benches (`cargo bench`) cover
 //! the per-operation costs underlying each experiment.
+//!
+//! Every binary also accepts `--json <path>` and then writes its measured
+//! points as a deterministic JSON artifact (see [`artifact`]): same seed,
+//! same scale → byte-identical file.
 
 pub mod ablations;
+pub mod artifact;
 pub mod common;
 pub mod fig6;
 pub mod fig7;

@@ -20,6 +20,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{value, Backend, BackendKind, Key, NandConfig, StoreError};
+use obskit::Json;
 use simkit::metrics::Histogram;
 use simkit::Sim;
 use timesync::{ClientId, Discipline, SyncedClock, Timestamp, Version};
@@ -106,7 +107,11 @@ pub fn run_cell(kind: BackendKind, get_pct: u32, cfg: &Table1Config, seed: u64) 
     // 512-byte tuples: 16 B key + 472 B value + 24 B header.
     let payload = value(vec![0u8; 472]);
     for i in 0..cfg.keys {
-        store.bulk_load(Key::from(i), payload.clone(), Version::new(Timestamp(1), ClientId(0)));
+        store.bulk_load(
+            Key::from(i),
+            payload.clone(),
+            Version::new(Timestamp(1), ClientId(0)),
+        );
     }
     store.finish_load();
 
@@ -230,6 +235,22 @@ pub fn run(cfg: &Table1Config) -> Vec<Table1Row> {
         }
     }
     rows
+}
+
+/// Deterministic JSON payload: one object per measured cell (`put_us` is
+/// `null` for the 100 % get mix — non-finite floats serialize as null).
+pub fn to_json(rows: &[Table1Row]) -> Json {
+    Json::obj().field(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj()
+                .field("get_pct", Json::U64(r.get_pct as u64))
+                .field("ftl", Json::str(r.ftl))
+                .field("kiops", Json::F64(r.kiops))
+                .field("get_us", Json::F64(r.get_us))
+                .field("put_us", Json::F64(r.put_us))
+        })),
+    )
 }
 
 /// Pretty-prints measured rows next to the paper's numbers.

@@ -69,7 +69,9 @@ impl Backend {
     pub fn new(kind: BackendKind, handle: &SimHandle, nand: NandConfig) -> Backend {
         let blocks = nand.blocks as usize;
         match kind {
-            BackendKind::Dram => Backend::Dram(DramStore::new(handle.clone(), DramConfig::default())),
+            BackendKind::Dram => {
+                Backend::Dram(DramStore::new(handle.clone(), DramConfig::default()))
+            }
             BackendKind::Sftl => Backend::Sftl(SingleVersionStore::new(
                 handle.clone(),
                 nand,
@@ -218,6 +220,18 @@ impl Backend {
             Backend::Sftl(s) => s.set_watermark(ts),
             Backend::Vftl(s) => s.set_watermark(ts),
             Backend::Mftl(s) => s.set_watermark(ts),
+        }
+    }
+
+    /// Attaches a trace sink: flash backends emit
+    /// [`obskit::TraceEvent::FlashOp`] / [`obskit::TraceEvent::GcRun`]
+    /// events stamped with `node`. DRAM has no device and stays silent.
+    pub fn attach_tracer(&self, tracer: &obskit::Tracer, node: u64) {
+        match self {
+            Backend::Dram(_) => {}
+            Backend::Sftl(s) => s.attach_tracer(tracer, node),
+            Backend::Vftl(s) => s.attach_tracer(tracer, node),
+            Backend::Mftl(s) => s.attach_tracer(tracer, node),
         }
     }
 

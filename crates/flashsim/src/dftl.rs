@@ -323,7 +323,9 @@ mod tests {
                 // Write 16 distinct keys through a 4-entry cache: 12 dirty
                 // evictions / 4 per translation page = 3 flushes.
                 for i in 0..16u64 {
-                    s.put(Key::from(i), value(vec![2; 16]), v(100 + i)).await.unwrap();
+                    s.put(Key::from(i), value(vec![2; 16]), v(100 + i))
+                        .await
+                        .unwrap();
                 }
             }
         });

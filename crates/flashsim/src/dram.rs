@@ -242,7 +242,9 @@ mod tests {
         let hh = h.clone();
         sim.block_on(async move {
             let t0 = hh.now();
-            s.put(Key::from(1u64), value(&b"a"[..]), v(1)).await.unwrap();
+            s.put(Key::from(1u64), value(&b"a"[..]), v(1))
+                .await
+                .unwrap();
             assert_eq!(hh.now() - t0, Duration::from_nanos(150));
         });
     }

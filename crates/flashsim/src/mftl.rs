@@ -214,6 +214,12 @@ impl UnifiedStore {
         s
     }
 
+    /// Attaches a trace sink to the device (flash-op and GC events stamped
+    /// with `node`).
+    pub fn attach_tracer(&self, tracer: &obskit::Tracer, node: u64) {
+        self.dev.attach_tracer(tracer, node);
+    }
+
     /// Writes a new version of `key`. Completes when the tuple is persisted
     /// (packed page programmed to flash).
     ///
@@ -480,7 +486,9 @@ impl UnifiedStore {
             let mut inner = self.inner.borrow_mut();
             inner.written[loc.block as usize] += batch.page.len() as u32;
             for (slot, p) in batch.pendings.iter().enumerate() {
-                let Some(chain) = inner.map.get_mut(&p.rec.key) else { continue };
+                let Some(chain) = inner.map.get_mut(&p.rec.key) else {
+                    continue;
+                };
                 let Some(e) = chain.iter_mut().find(|e| e.version == p.rec.version) else {
                     continue; // pruned or deleted while buffered
                 };
@@ -593,10 +601,7 @@ impl UnifiedStore {
                         // in-flight page.
                         let rec = match inner.streams.iter().find(|st| st.gen == gen) {
                             Some(st) => st.open.get(idx).map(|p| p.rec.clone()),
-                            None => inner
-                                .flushing
-                                .get(&gen)
-                                .and_then(|pg| pg.get(idx).cloned()),
+                            None => inner.flushing.get(&gen).and_then(|pg| pg.get(idx).cloned()),
                         };
                         match rec {
                             Some(rec) => {
@@ -613,7 +618,9 @@ impl UnifiedStore {
                     Loc::Flash { loc, slot } => Some((e.version, loc, slot)),
                 }
             };
-            let Some((version, loc, slot)) = target else { continue };
+            let Some((version, loc, slot)) = target else {
+                continue;
+            };
             match self.dev.read(loc).await {
                 Ok(page) => match page.get(slot as usize) {
                     Some(rec) if rec.key == *key && rec.version == version => {
@@ -720,7 +727,10 @@ impl UnifiedStore {
                     PhysLoc { block: b, page: p }
                 }
                 _ => {
-                    let b = self.dev.alloc_block().expect("device full during bulk load");
+                    let b = self
+                        .dev
+                        .alloc_block()
+                        .expect("device full during bulk load");
                     inner.load_append[point] = Some((b, 1));
                     PhysLoc { block: b, page: 0 }
                 }
@@ -783,7 +793,10 @@ impl UnifiedStore {
                 continue;
             }
             let dev = self.dev.clone();
-            read_jobs.push(self.handle.spawn(async move { (loc, dev.read(loc).await.ok()) }));
+            read_jobs.push(
+                self.handle
+                    .spawn(async move { (loc, dev.read(loc).await.ok()) }),
+            );
         }
         let mut pages = Vec::new();
         for j in read_jobs {
@@ -850,6 +863,7 @@ impl UnifiedStore {
             // Boxed to break the flush -> collect_once -> flush async cycle.
             Box::pin(self.flush(b)).await;
         }
+        let relocated = waiters.len() as u64;
         for rx in waiters {
             match rx.await {
                 Ok(Ok(())) => {}
@@ -857,13 +871,16 @@ impl UnifiedStore {
             }
         }
         self.dev.erase(victim).await.expect("GC erase");
-        {
+        let reclaimed = {
             let mut inner = self.inner.borrow_mut();
             debug_assert_eq!(inner.live[victim as usize], 0, "live data erased");
             inner.live[victim as usize] = 0;
+            let written = inner.written[victim as usize] as u64;
             inner.written[victim as usize] = 0;
             inner.stats.gc_collections += 1;
-        }
+            written.saturating_sub(relocated)
+        };
+        self.dev.trace_gc(reclaimed);
         true
     }
 }
@@ -1154,10 +1171,7 @@ mod tests {
             s.put(k.clone(), val(8), v(10)).await.unwrap();
             s.put(k.clone(), val(8), v(20)).await.unwrap();
             s.delete(&k);
-            assert_eq!(
-                s.get_latest(&k).await.unwrap_err(),
-                StoreError::NotFound
-            );
+            assert_eq!(s.get_latest(&k).await.unwrap_err(), StoreError::NotFound);
             assert!(s.versions(&k).is_empty());
             // Key can be written again afterwards.
             s.put(k.clone(), val(8), v(30)).await.unwrap();

@@ -166,6 +166,10 @@ struct NandInner<P> {
     free: BTreeSet<(u32, u32)>,
     channel_busy: Vec<SimTime>,
     stats: NandStats,
+    /// Trace sink for `FlashOp`/`GcRun` events; disabled by default.
+    tracer: obskit::Tracer,
+    /// Node id stamped on emitted trace events.
+    node: u64,
 }
 
 /// A simulated NAND device holding typed page payloads.
@@ -209,6 +213,8 @@ impl<P: Clone + 'static> NandDevice<P> {
                 free,
                 channel_busy: vec![SimTime::ZERO; cfg.channels as usize],
                 stats: NandStats::default(),
+                tracer: obskit::Tracer::disabled(),
+                node: 0,
             })),
             cfg: Rc::new(cfg),
             queue,
@@ -246,6 +252,38 @@ impl<P: Clone + 'static> NandDevice<P> {
     /// Activity counters so far.
     pub fn stats(&self) -> NandStats {
         self.inner.borrow().stats
+    }
+
+    /// Attaches a trace sink; subsequent operations emit
+    /// [`obskit::TraceEvent::FlashOp`] events stamped with `node`.
+    pub fn attach_tracer(&self, tracer: &obskit::Tracer, node: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.tracer = tracer.clone();
+        inner.node = node;
+    }
+
+    fn trace_op(&self, op: obskit::FlashOpKind) {
+        let inner = self.inner.borrow();
+        inner.tracer.record(
+            self.handle.now().as_nanos(),
+            obskit::TraceEvent::FlashOp {
+                node: inner.node,
+                op,
+            },
+        );
+    }
+
+    /// Records a [`obskit::TraceEvent::GcRun`] on behalf of the FTL layer
+    /// driving garbage collection over this device.
+    pub fn trace_gc(&self, reclaimed: u64) {
+        let inner = self.inner.borrow();
+        inner.tracer.record(
+            self.handle.now().as_nanos(),
+            obskit::TraceEvent::GcRun {
+                node: inner.node,
+                reclaimed,
+            },
+        );
     }
 
     fn check_range(&self, loc: PhysLoc) -> Result<(), NandError> {
@@ -292,6 +330,7 @@ impl<P: Clone + 'static> NandDevice<P> {
             blk.next_page += 1;
             inner.stats.page_writes += 1;
         }
+        self.trace_op(obskit::FlashOpKind::Write);
         self.timed(loc.block, self.cfg.write_latency).await;
         Ok(())
     }
@@ -311,6 +350,7 @@ impl<P: Clone + 'static> NandDevice<P> {
             inner.stats.page_reads += 1;
             p
         };
+        self.trace_op(obskit::FlashOpKind::Read);
         self.timed(loc.block, self.cfg.read_latency).await;
         Ok(payload)
     }
@@ -340,6 +380,7 @@ impl<P: Clone + 'static> NandDevice<P> {
             inner.free.insert((count, block));
             inner.stats.block_erases += 1;
         }
+        self.trace_op(obskit::FlashOpKind::Erase);
         self.timed(block, self.cfg.erase_latency).await;
         Ok(())
     }
@@ -395,7 +436,9 @@ mod tests {
         sim.block_on(async move {
             let dev: NandDevice<u32> = NandDevice::new(h, small_cfg());
             let b = dev.alloc_block().unwrap();
-            dev.program(PhysLoc { block: b, page: 0 }, 77).await.unwrap();
+            dev.program(PhysLoc { block: b, page: 0 }, 77)
+                .await
+                .unwrap();
             let v = dev.read(PhysLoc { block: b, page: 0 }).await.unwrap();
             assert_eq!(v, 77);
         });
@@ -412,7 +455,13 @@ mod tests {
                 .program(PhysLoc { block: b, page: 2 }, 1)
                 .await
                 .unwrap_err();
-            assert!(matches!(err, NandError::ProgramOrder { expected_page: 0, .. }));
+            assert!(matches!(
+                err,
+                NandError::ProgramOrder {
+                    expected_page: 0,
+                    ..
+                }
+            ));
         });
     }
 
@@ -435,7 +484,9 @@ mod tests {
             dev.erase(b).await.unwrap();
             // After erase, block is in the free pool again and writable.
             let b2 = dev.alloc_block().unwrap();
-            dev.program(PhysLoc { block: b2, page: 0 }, 9).await.unwrap();
+            dev.program(PhysLoc { block: b2, page: 0 }, 9)
+                .await
+                .unwrap();
         });
     }
 
@@ -457,7 +508,9 @@ mod tests {
         sim.block_on(async move {
             let dev: NandDevice<u32> = NandDevice::new(h, small_cfg());
             let b0 = dev.alloc_block().unwrap();
-            dev.program(PhysLoc { block: b0, page: 0 }, 0).await.unwrap();
+            dev.program(PhysLoc { block: b0, page: 0 }, 0)
+                .await
+                .unwrap();
             dev.erase(b0).await.unwrap();
             // b0 now has erase_count 1; allocator must prefer a 0-count block.
             let next = dev.alloc_block().unwrap();

@@ -299,6 +299,10 @@ impl<P: Clone + 'static> PageFtl<P> {
         };
         // No block holds any garbage: erasing would free nothing.
         let Some(victim) = victim else { return false };
+        let reclaimed = {
+            let inner = self.inner.borrow();
+            (self.dev.pages_programmed(victim) - inner.live[victim as usize]) as u64
+        };
         // Relocate every still-mapped page, with reads and programs issued
         // concurrently across the device's channels.
         let mut jobs = Vec::new();
@@ -313,7 +317,9 @@ impl<P: Clone + 'static> PageFtl<P> {
             };
             let me = self.clone();
             jobs.push(self.handle.spawn(async move {
-                let Some(payload) = me.dev.peek(loc) else { return true };
+                let Some(payload) = me.dev.peek(loc) else {
+                    return true;
+                };
                 // Charge a page read for the relocation.
                 let _ = me.dev.read(loc).await;
                 let new_loc = match me.alloc_slot(true) {
@@ -348,6 +354,7 @@ impl<P: Clone + 'static> PageFtl<P> {
         self.dev.erase(victim).await.expect("GC erase");
         debug_assert_eq!(self.inner.borrow().live[victim as usize], 0);
         self.inner.borrow_mut().stats.gc_erases += 1;
+        self.dev.trace_gc(reclaimed);
         true
     }
 }
@@ -453,7 +460,8 @@ mod tests {
         let mut sim = Sim::new(5);
         let h = sim.handle();
         sim.block_on(async move {
-            let ftl: PageFtl<(u32, u32)> = PageFtl::new(h.clone(), cfg(16), PageFtlConfig::default());
+            let ftl: PageFtl<(u32, u32)> =
+                PageFtl::new(h.clone(), cfg(16), PageFtlConfig::default());
             let lbas = 40u32; // of ~57 logical
             let mut latest = vec![None; lbas as usize];
             let mut x = 1u64;

@@ -62,6 +62,12 @@ impl SingleVersionStore {
         s
     }
 
+    /// Attaches a trace sink to the underlying device (flash-op and GC
+    /// events stamped with `node`).
+    pub fn attach_tracer(&self, tracer: &obskit::Tracer, node: u64) {
+        self.ftl.device().attach_tracer(tracer, node);
+    }
+
     fn lba_for(&self, key: &Key) -> Result<(u32, bool), StoreError> {
         let mut inner = self.inner.borrow_mut();
         if let Some(&(lba, _)) = inner.map.get(key) {
@@ -165,7 +171,14 @@ impl SingleVersionStore {
                 }
             };
             if newer {
-                writes.push((lba, Rc::new(TupleRecord { key, version, value })));
+                writes.push((
+                    lba,
+                    Rc::new(TupleRecord {
+                        key,
+                        version,
+                        value,
+                    }),
+                ));
             }
         }
         for (lba, rec) in writes {
@@ -206,7 +219,12 @@ impl SingleVersionStore {
         }
         // Fall back to whatever is on flash (version metadata races are
         // bounded by one page-program latency).
-        let (lba, _) = *self.inner.borrow().map.get(key).ok_or(StoreError::NotFound)?;
+        let (lba, _) = *self
+            .inner
+            .borrow()
+            .map
+            .get(key)
+            .ok_or(StoreError::NotFound)?;
         let rec = self.ftl.read(lba).await?;
         self.inner.borrow_mut().stats.gets += 1;
         Ok(VersionedValue {
@@ -292,7 +310,9 @@ mod tests {
         let mut sim = Sim::new(1);
         let s = store(&sim);
         sim.block_on(async move {
-            s.put(Key::from(1u64), value(&b"x"[..]), v(10)).await.unwrap();
+            s.put(Key::from(1u64), value(&b"x"[..]), v(10))
+                .await
+                .unwrap();
             let got = s.get_at(&Key::from(1u64), Timestamp(10)).await.unwrap();
             assert_eq!(got.version, v(10));
         });
@@ -338,13 +358,17 @@ mod tests {
         let mut sim = Sim::new(1);
         let s = store(&sim);
         sim.block_on(async move {
-            s.put(Key::from(1u64), value(&b"a"[..]), v(1)).await.unwrap();
+            s.put(Key::from(1u64), value(&b"a"[..]), v(1))
+                .await
+                .unwrap();
             s.delete(&Key::from(1u64));
             assert_eq!(
                 s.get_latest(&Key::from(1u64)).await.unwrap_err(),
                 StoreError::NotFound
             );
-            s.put(Key::from(2u64), value(&b"b"[..]), v(2)).await.unwrap();
+            s.put(Key::from(2u64), value(&b"b"[..]), v(2))
+                .await
+                .unwrap();
             assert_eq!(s.key_count(), 1);
         });
     }

@@ -30,6 +30,23 @@ impl Key {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// A stable 64-bit identifier for trace events: keys built by
+    /// `Key::from(u64)` map back to their integer id, anything else to an
+    /// FNV-1a hash of the bytes. Deterministic across runs and platforms.
+    pub fn trace_id(&self) -> u64 {
+        if self.0.len() == 16 && self.0[8..].iter().all(|&b| b == 0) {
+            let mut id = [0u8; 8];
+            id.copy_from_slice(&self.0[..8]);
+            return u64::from_be_bytes(id);
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in self.0.iter() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
 }
 
 impl From<u64> for Key {
@@ -154,10 +171,7 @@ impl TupleRecord {
 
 /// A timestamp visibility query: the youngest version with `ts <= at` wins.
 /// Shared helper for multi-version chains sorted in descending version order.
-pub(crate) fn visible_at<T>(
-    chain: &[(Version, T)],
-    at: Timestamp,
-) -> Option<&(Version, T)> {
+pub(crate) fn visible_at<T>(chain: &[(Version, T)], at: Timestamp) -> Option<&(Version, T)> {
     chain.iter().find(|(v, _)| v.ts <= at)
 }
 

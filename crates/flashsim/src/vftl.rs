@@ -212,6 +212,12 @@ impl SplitStore {
         s
     }
 
+    /// Attaches a trace sink to the underlying device (flash-op and GC
+    /// events stamped with `node`).
+    pub fn attach_tracer(&self, tracer: &obskit::Tracer, node: u64) {
+        self.ftl.device().attach_tracer(tracer, node);
+    }
+
     /// Writes a new version of `key` (see [`crate::mftl::UnifiedStore::put`]).
     ///
     /// # Errors
@@ -455,7 +461,9 @@ impl SplitStore {
             *inner.written.entry(lba).or_insert(0) += batch.seg.len() as u32;
             inner.live.entry(lba).or_insert(0);
             for (slot, p) in batch.pendings.iter().enumerate() {
-                let Some(chain) = inner.map.get_mut(&p.rec.key) else { continue };
+                let Some(chain) = inner.map.get_mut(&p.rec.key) else {
+                    continue;
+                };
                 let Some(e) = chain.iter_mut().find(|e| e.version == p.rec.version) else {
                     continue;
                 };
@@ -568,10 +576,7 @@ impl SplitStore {
                     Loc::Buffered { gen, idx } => {
                         let rec = match inner.streams.iter().find(|st| st.gen == gen) {
                             Some(st) => st.open.get(idx).map(|p| p.rec.clone()),
-                            None => inner
-                                .flushing
-                                .get(&gen)
-                                .and_then(|pg| pg.get(idx).cloned()),
+                            None => inner.flushing.get(&gen).and_then(|pg| pg.get(idx).cloned()),
                         };
                         match rec {
                             Some(rec) => {
@@ -587,7 +592,9 @@ impl SplitStore {
                     Loc::Seg { lba, slot } => Some((e.version, lba, slot)),
                 }
             };
-            let Some((version, lba, slot)) = target else { continue };
+            let Some((version, lba, slot)) = target else {
+                continue;
+            };
             match self.ftl.read(lba).await {
                 Ok(seg) => match seg.get(slot as usize) {
                     Some(rec) if rec.key == *key && rec.version == version => {
@@ -773,6 +780,7 @@ impl SplitStore {
             // Boxed to break the flush -> collect_once -> flush async cycle.
             Box::pin(self.flush(b)).await;
         }
+        let relocated = waiters.len() as u64;
         for rx in waiters {
             match rx.await {
                 Ok(Ok(())) => {}
@@ -780,14 +788,16 @@ impl SplitStore {
             }
         }
         self.ftl.trim(victim);
-        {
+        let reclaimed = {
             let mut inner = self.inner.borrow_mut();
             debug_assert_eq!(inner.live.get(&victim).copied().unwrap_or(0), 0);
             inner.live.remove(&victim);
-            inner.written.remove(&victim);
+            let written = inner.written.remove(&victim).unwrap_or(0) as u64;
             inner.free_lbas.push(victim);
             inner.stats.gc_collections += 1;
-        }
+            written.saturating_sub(relocated)
+        };
+        self.ftl.device().trace_gc(reclaimed);
         true
     }
 }
@@ -977,7 +987,10 @@ mod tests {
         assert_eq!(h.now(), simkit::SimTime::ZERO);
         sim.block_on(async move {
             assert_eq!(
-                s.get_at(&Key::from(123u64), Timestamp(5)).await.unwrap().version,
+                s.get_at(&Key::from(123u64), Timestamp(5))
+                    .await
+                    .unwrap()
+                    .version,
                 v(1)
             );
         });

@@ -42,7 +42,10 @@ struct Model {
 impl Model {
     fn put(&mut self, key: u64, version: Version, tag: u8) {
         let chain = self.chains.entry(key).or_default();
-        let pos = chain.iter().position(|&(v, _)| v < version).unwrap_or(chain.len());
+        let pos = chain
+            .iter()
+            .position(|&(v, _)| v < version)
+            .unwrap_or(chain.len());
         chain.insert(pos, (version, tag));
     }
 

@@ -90,6 +90,11 @@ struct ValidatorInner {
     /// Latest committed (or optimistically applied) write per key.
     writes: HashMap<Key, Timestamp>,
     watermarks: WatermarkTracker,
+    handle: SimHandle,
+    /// Trace sink for validation verdicts; disabled by default.
+    tracer: obskit::Tracer,
+    /// Shard id stamped on emitted trace events.
+    trace_shard: u64,
 }
 
 impl std::fmt::Debug for Validator {
@@ -107,6 +112,9 @@ impl Validator {
             inner: Rc::new(RefCell::new(ValidatorInner {
                 writes: HashMap::new(),
                 watermarks: WatermarkTracker::new(clients),
+                handle: handle.clone(),
+                tracer: obskit::Tracer::disabled(),
+                trace_shard: 0,
             })),
         };
         let mailbox = handle.bind(addr);
@@ -121,6 +129,14 @@ impl Validator {
             }
         });
         v
+    }
+
+    /// Attaches a trace sink; each validation verdict emits a
+    /// [`obskit::TraceEvent::PrepareVote`] stamped with `shard`.
+    pub fn attach_tracer(&self, tracer: &obskit::Tracer, shard: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.tracer = tracer.clone();
+        inner.trace_shard = shard;
     }
 
     fn handle(&self, req: ValidatorRequest) -> ValidatorResponse {
@@ -153,6 +169,13 @@ impl Validator {
                         }
                     }
                 }
+                inner.tracer.record(
+                    inner.handle.now().as_nanos(),
+                    obskit::TraceEvent::PrepareVote {
+                        shard: inner.trace_shard,
+                        ok,
+                    },
+                );
                 ValidatorResponse::Vote {
                     ok,
                     watermark: inner.watermarks.watermark(),
@@ -181,6 +204,8 @@ pub struct CentimanConfig {
     /// Disseminate progress after this many decided transactions (the
     /// paper's experiment uses 1,000).
     pub report_every: u64,
+    /// Observability sinks (txn-lifecycle trace events).
+    pub obs: obskit::Obs,
 }
 
 impl Default for CentimanConfig {
@@ -188,6 +213,7 @@ impl Default for CentimanConfig {
         CentimanConfig {
             rpc_timeout: Duration::from_millis(50),
             report_every: 1000,
+            obs: obskit::Obs::new(),
         }
     }
 }
@@ -263,11 +289,20 @@ impl CentimanClient {
         *self.stats.borrow()
     }
 
+    fn trace(&self, ev: obskit::TraceEvent) {
+        self.cfg.obs.tracer.record(self.handle.now().as_nanos(), ev);
+    }
+
     /// Begins a transaction.
     pub fn begin(&self) -> CentTxn {
+        let ts_begin = self.storage.now();
+        self.trace(obskit::TraceEvent::TxnBegin {
+            client: self.storage.id().0 as u64,
+            ts_begin: ts_begin.0,
+        });
         CentTxn {
             c: self.clone(),
-            ts_begin: self.storage.now(),
+            ts_begin,
             read_set: Vec::new(),
             writes: Vec::new(),
             write_idx: HashMap::new(),
@@ -340,6 +375,11 @@ impl CentTxn {
         }
         match self.c.storage.get_at(key.clone(), self.ts_begin).await {
             Ok(vv) => {
+                self.c.trace(obskit::TraceEvent::TxnRead {
+                    client: self.c.storage.id().0 as u64,
+                    key: key.trace_id(),
+                    prepared: false,
+                });
                 self.read_set.push((key.clone(), vv.version));
                 self.cache.insert(key.clone(), vv.value.clone());
                 Ok(vv.value)
@@ -380,6 +420,11 @@ impl CentTxn {
         if read_only {
             let wm = self.c.watermark.get();
             let all_old = self.read_set.iter().all(|(_, v)| v.ts < wm);
+            let client = self.c.storage.id().0 as u64;
+            self.c.trace(obskit::TraceEvent::ValidateLocal {
+                client,
+                ok: all_old,
+            });
             if all_old {
                 // Reads below the watermark are immutable history: no
                 // in-flight writer can commit under them anymore.
@@ -388,6 +433,11 @@ impl CentTxn {
                     st.local_validated += 1;
                     st.commits += 1;
                 }
+                self.c.trace(obskit::TraceEvent::Commit {
+                    client,
+                    ts_commit: self.ts_begin.0,
+                    local: true,
+                });
                 self.c.note_decided(self.ts_begin).await;
                 return Ok(crate::client::CommitInfo {
                     ts_commit: None,
@@ -409,7 +459,11 @@ impl CentTxn {
             let map = self.c.map.borrow();
             for (key, version) in &self.read_set {
                 let s = map.shard_for(key).0 as usize;
-                by_shard.entry(s).or_default().0.push((key.clone(), *version));
+                by_shard
+                    .entry(s)
+                    .or_default()
+                    .0
+                    .push((key.clone(), *version));
             }
             for (key, _) in &self.writes {
                 let s = map.shard_for(key).0 as usize;
@@ -419,6 +473,10 @@ impl CentTxn {
         let mut ok = true;
         let mut shards_sorted: Vec<usize> = by_shard.keys().copied().collect();
         shards_sorted.sort_unstable();
+        self.c.trace(obskit::TraceEvent::ValidateRemote {
+            client: self.c.storage.id().0 as u64,
+            participants: shards_sorted.len() as u64,
+        });
         // Validate at every involved validator in parallel (one round).
         let mut votes = Vec::new();
         for s in shards_sorted {
@@ -443,7 +501,10 @@ impl CentTxn {
         }
         for v in votes {
             match v.await {
-                Ok(ValidatorResponse::Vote { ok: vote, watermark }) => {
+                Ok(ValidatorResponse::Vote {
+                    ok: vote,
+                    watermark,
+                }) => {
                     if watermark > self.c.watermark.get() {
                         self.c.watermark.set(watermark);
                     }
@@ -454,6 +515,10 @@ impl CentTxn {
         }
         if !ok {
             self.c.stats.borrow_mut().aborts += 1;
+            self.c.trace(obskit::TraceEvent::Abort {
+                client: self.c.storage.id().0 as u64,
+                reason: obskit::AbortClass::Validation,
+            });
             self.c.note_decided(ts_commit).await;
             return Err(TxnError::Aborted(AbortReason::Validation));
         }
@@ -470,6 +535,11 @@ impl CentTxn {
             p.await;
         }
         self.c.stats.borrow_mut().commits += 1;
+        self.c.trace(obskit::TraceEvent::Commit {
+            client: self.c.storage.id().0 as u64,
+            ts_commit: ts_commit.0,
+            local: false,
+        });
         self.c.note_decided(ts_commit).await;
         Ok(crate::client::CommitInfo {
             ts_commit: Some(ts_commit),

@@ -10,6 +10,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{Key, Value};
+use obskit::{Obs, TraceEvent};
 use semel::shard::{ShardId, ShardMap};
 use simkit::net::NodeId;
 use simkit::rpc::{RpcClient, RpcError};
@@ -34,6 +35,9 @@ pub struct TxnClientConfig {
     pub local_validation: bool,
     /// Watermark broadcast period (§4.4).
     pub watermark_interval: Duration,
+    /// Observability: metric registry plus (optionally enabled) structured
+    /// trace sink. Defaults to metrics-only.
+    pub obs: Obs,
 }
 
 impl Default for TxnClientConfig {
@@ -44,6 +48,7 @@ impl Default for TxnClientConfig {
             read_retries: 8,
             local_validation: true,
             watermark_interval: Duration::from_millis(100),
+            obs: Obs::new(),
         }
     }
 }
@@ -117,6 +122,9 @@ impl TxnClient {
             value_cache: Rc::new(RefCell::new(HashMap::new())),
             stats: Rc::new(RefCell::new(TxnClientStats::default())),
         };
+        client
+            .clock
+            .attach_tracer(&client.cfg.obs.tracer, id.0 as u64);
         let me = client.clone();
         handle.spawn_on(node, async move {
             loop {
@@ -188,6 +196,10 @@ impl TxnClient {
     fn begin_inner(&self, use_client_cache: bool) -> Txn {
         let ts_begin = self.now();
         self.register_active(ts_begin);
+        self.trace(TraceEvent::TxnBegin {
+            client: self.id.0 as u64,
+            ts_begin: ts_begin.0,
+        });
         Txn {
             c: self.clone(),
             ts_begin,
@@ -225,15 +237,20 @@ impl TxnClient {
     /// Fetches a fresh shard map from the master (if configured) and
     /// installs it when its epoch is newer than the local copy.
     pub async fn refresh_map(&self) {
-        let Some(master) = self.cfg.master else { return };
-        if let Ok(new_map) =
-            semel::master::fetch_map(&self.rpc, master, self.cfg.rpc_timeout).await
+        let Some(master) = self.cfg.master else {
+            return;
+        };
+        if let Ok(new_map) = semel::master::fetch_map(&self.rpc, master, self.cfg.rpc_timeout).await
         {
             let mut map = self.map.borrow_mut();
             if new_map.epoch() > map.epoch() {
                 *map = new_map;
             }
         }
+    }
+
+    fn trace(&self, ev: TraceEvent) {
+        self.cfg.obs.tracer.record(self.handle.now().as_nanos(), ev);
     }
 
     fn register_active(&self, ts: Timestamp) {
@@ -371,6 +388,11 @@ impl Txn {
                 }) => {
                     self.read_set.push((key.clone(), version));
                     self.prepared_seen |= prepared;
+                    self.c.trace(TraceEvent::TxnRead {
+                        client: self.c.id.0 as u64,
+                        key: key.trace_id(),
+                        prepared,
+                    });
                     self.cache.insert(key.clone(), value.clone());
                     // Feed the inter-transaction cache (newest version wins).
                     {
@@ -453,6 +475,11 @@ impl Txn {
                 Ok(TxnResponse::Value { version, value, .. }) => {
                     self.read_set.push((key.clone(), version));
                     self.requires_remote = true; // no LV info from replicas
+                    self.c.trace(TraceEvent::TxnRead {
+                        client: self.c.id.0 as u64,
+                        key: key.trace_id(),
+                        prepared: false,
+                    });
                     self.cache.insert(key.clone(), value.clone());
                     return Ok(value);
                 }
@@ -492,6 +519,10 @@ impl Txn {
         self.c.deregister_active(self.ts_begin);
         self.c.note_decided(self.ts_begin);
         self.c.stats.borrow_mut().aborts += 1;
+        self.c.trace(TraceEvent::Abort {
+            client: self.c.id.0 as u64,
+            reason: obskit::AbortClass::UserRequested,
+        });
     }
 
     /// Commits (§4.1 `commitTransaction`).
@@ -517,6 +548,10 @@ impl Txn {
         if self.snapshot_lost {
             self.c.note_decided(self.ts_begin);
             self.c.stats.borrow_mut().aborts += 1;
+            self.c.trace(TraceEvent::Abort {
+                client: self.c.id.0 as u64,
+                reason: obskit::AbortClass::SnapshotUnavailable,
+            });
             return Err(TxnError::Aborted(AbortReason::SnapshotUnavailable));
         }
         if self.writes.is_empty()
@@ -527,13 +562,29 @@ impl Txn {
             // §4.3: every read already proved it came from a consistent
             // snapshot unless a prepared version was visible at ts_begin.
             self.c.note_decided(self.ts_begin);
+            let ok = !self.prepared_seen;
+            self.c.trace(TraceEvent::ValidateLocal {
+                client: self.c.id.0 as u64,
+                ok,
+            });
             let mut stats = self.c.stats.borrow_mut();
             stats.local_validations += 1;
             return if self.prepared_seen {
                 stats.aborts += 1;
+                drop(stats);
+                self.c.trace(TraceEvent::Abort {
+                    client: self.c.id.0 as u64,
+                    reason: obskit::AbortClass::PreparedRead,
+                });
                 Err(TxnError::Aborted(AbortReason::PreparedRead))
             } else {
                 stats.commits += 1;
+                drop(stats);
+                self.c.trace(TraceEvent::Commit {
+                    client: self.c.id.0 as u64,
+                    ts_commit: self.ts_begin.0,
+                    local: true,
+                });
                 Ok(CommitInfo {
                     ts_commit: None,
                     local: true,
@@ -552,7 +603,11 @@ impl Txn {
             let map = self.c.map.borrow();
             for (key, version) in &self.read_set {
                 let s = map.shard_for(key);
-                by_shard.entry(s).or_default().0.push((key.clone(), *version));
+                by_shard
+                    .entry(s)
+                    .or_default()
+                    .0
+                    .push((key.clone(), *version));
             }
             for (key, value) in &self.writes {
                 let s = map.shard_for(key);
@@ -565,6 +620,10 @@ impl Txn {
         }
         let mut participants: Vec<ShardId> = by_shard.keys().copied().collect();
         participants.sort();
+        self.c.trace(TraceEvent::ValidateRemote {
+            client: self.c.id.0 as u64,
+            participants: participants.len() as u64,
+        });
         // Phase 1: prepare in parallel at every participant primary
         // (iterated in shard order for determinism).
         let mut votes = Vec::new();
@@ -584,7 +643,8 @@ impl Txn {
             let rpc = self.c.rpc.clone();
             let timeout = self.c.cfg.rpc_timeout;
             votes.push(self.c.handle.spawn(async move {
-                rpc.call::<TxnRequest, TxnResponse>(primary, req, timeout).await
+                rpc.call::<TxnRequest, TxnResponse>(primary, req, timeout)
+                    .await
             }));
         }
         let mut all_ok = true;
@@ -602,13 +662,19 @@ impl Txn {
             // complete vote: deciding either way here could diverge from
             // cooperative termination. Leave the outcome to CTP (§4.5).
             self.c.stats.borrow_mut().unknown += 1;
+            self.c.trace(TraceEvent::Abort {
+                client: self.c.id.0 as u64,
+                reason: obskit::AbortClass::UnknownOutcome,
+            });
             return Err(TxnError::Timeout);
         }
         // Phase 2: decision (asynchronous notification, §4.2).
         let commit = all_ok;
         for &shard in &participants {
             let primary = self.c.map.borrow().group(shard).primary;
-            self.c.rpc.cast(primary, TxnRequest::Outcome { txid, commit });
+            self.c
+                .rpc
+                .cast(primary, TxnRequest::Outcome { txid, commit });
         }
         if commit {
             // Refresh the inter-transaction cache with our own writes.
@@ -633,12 +699,23 @@ impl Txn {
         let mut stats = self.c.stats.borrow_mut();
         if commit {
             stats.commits += 1;
+            drop(stats);
+            self.c.trace(TraceEvent::Commit {
+                client: self.c.id.0 as u64,
+                ts_commit: ts_commit.0,
+                local: false,
+            });
             Ok(CommitInfo {
                 ts_commit: Some(ts_commit),
                 local: false,
             })
         } else {
             stats.aborts += 1;
+            drop(stats);
+            self.c.trace(TraceEvent::Abort {
+                client: self.c.id.0 as u64,
+                reason: obskit::AbortClass::Validation,
+            });
             Err(TxnError::Aborted(AbortReason::Validation))
         }
     }

@@ -142,6 +142,7 @@ impl MilanaCluster {
             let mut slots = Vec::new();
             for (r, &addr) in group.all().iter().enumerate() {
                 let backend = Backend::new(config.backend, handle, config.nand.clone());
+                backend.attach_tracer(&config.tuning.obs.tracer, addr.node.0 as u64);
                 let table = Rc::new(RefCell::new(TxnTable::new()));
                 let mut tuning = config.tuning.clone();
                 if config.auto_failover {
@@ -155,7 +156,11 @@ impl MilanaCluster {
                     TxnServerConfig {
                         shard: ShardId(s as u32),
                         addr,
-                        backups: if r == 0 { group.backups.clone() } else { Vec::new() },
+                        backups: if r == 0 {
+                            group.backups.clone()
+                        } else {
+                            Vec::new()
+                        },
                         is_primary: r == 0,
                         clients: client_ids.clone(),
                         tuning,
@@ -236,6 +241,9 @@ impl MilanaCluster {
                     map.clone()
                 };
                 let mut client_cfg = config.client_cfg.clone();
+                // One obs bundle per cluster: clients share the sinks the
+                // servers trace into.
+                client_cfg.obs = config.tuning.obs.clone();
                 if config.auto_failover {
                     client_cfg.master = Some(master_addr);
                 }

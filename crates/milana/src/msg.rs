@@ -224,6 +224,20 @@ pub enum AbortReason {
     UserRequested,
 }
 
+impl AbortReason {
+    /// The system-neutral observability class for this reason (the shared
+    /// taxonomy exported by every system's stats).
+    pub fn class(self) -> obskit::AbortClass {
+        match self {
+            AbortReason::Validation => obskit::AbortClass::Validation,
+            AbortReason::PreparedRead => obskit::AbortClass::PreparedRead,
+            AbortReason::SnapshotUnavailable => obskit::AbortClass::SnapshotUnavailable,
+            AbortReason::ParticipantUnreachable => obskit::AbortClass::ParticipantUnreachable,
+            AbortReason::UserRequested => obskit::AbortClass::UserRequested,
+        }
+    }
+}
+
 impl std::fmt::Display for TxnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

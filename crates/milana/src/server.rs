@@ -19,7 +19,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{Backend, Key, StoreError, Value};
-use semel::replicate::replicate;
+use semel::replicate::replicate_traced;
 use semel::shard::{ShardId, ShardMap};
 use simkit::net::Addr;
 use simkit::rpc::{recv_request, Responder, RpcClient};
@@ -72,6 +72,9 @@ pub struct ServerTuning {
     /// A prepared transaction older than this triggers cooperative
     /// termination (its coordinator is presumed dead).
     pub ctp_after: Duration,
+    /// Observability: metric registry plus (optionally enabled) structured
+    /// trace sink, shared by every replica built from this tuning.
+    pub obs: obskit::Obs,
     /// CTP scan period.
     pub ctp_scan_every: Duration,
 }
@@ -86,6 +89,7 @@ impl Default for ServerTuning {
             lease: Some(LeaseConfig::default()),
             ctp_after: Duration::from_millis(500),
             ctp_scan_every: Duration::from_millis(200),
+            obs: obskit::Obs::new(),
         }
     }
 }
@@ -150,6 +154,8 @@ pub struct TxnServer {
     stats: Rc<RefCell<TxnServerStats>>,
     rpc: RpcClient,
     map: Rc<RefCell<ShardMap>>,
+    /// Sequence stamp for `ReplicaAck` trace events.
+    repl_seq: Rc<std::cell::Cell<u64>>,
     cfg: Rc<TxnServerConfig>,
 }
 
@@ -193,6 +199,7 @@ impl TxnServer {
             stats: Rc::new(RefCell::new(TxnServerStats::default())),
             rpc: RpcClient::new(handle, cfg.addr.node, cfg.addr.port + 1),
             map,
+            repl_seq: Rc::new(std::cell::Cell::new(0)),
             cfg: Rc::new(cfg),
         };
         // A restarted replica must not reuse stale volatile key metadata.
@@ -255,11 +262,19 @@ impl TxnServer {
         });
     }
 
+    fn trace(&self, ev: obskit::TraceEvent) {
+        self.cfg
+            .tuning
+            .obs
+            .tracer
+            .record(self.handle.now().as_nanos(), ev);
+    }
+
     async fn renew_lease(&self, lease: &LeaseConfig) {
         let until = self.handle.now() + lease.duration;
         let backups = self.state.borrow().backups.clone();
         let need = backups.len() / 2;
-        let ok = replicate::<TxnRequest, TxnResponse>(
+        let ok = replicate_traced::<TxnRequest, TxnResponse>(
             &self.handle,
             &self.rpc,
             &backups,
@@ -267,6 +282,8 @@ impl TxnServer {
             need,
             self.cfg.tuning.repl_timeout,
             |r| matches!(r, TxnResponse::LeaseGranted { .. }),
+            &self.cfg.tuning.obs.tracer,
+            self.repl_seq.replace(self.repl_seq.get() + 1),
         )
         .await;
         if ok {
@@ -334,9 +351,7 @@ impl TxnServer {
                         prepared: true, // poison local validation by design
                     },
                     Err(StoreError::NotFound) => TxnResponse::NotFound,
-                    Err(StoreError::SnapshotUnavailable(v)) => {
-                        TxnResponse::SnapshotUnavailable(v)
-                    }
+                    Err(StoreError::SnapshotUnavailable(v)) => TxnResponse::SnapshotUnavailable(v),
                     Err(_) => TxnResponse::Capacity,
                 };
                 resp.reply(r);
@@ -407,17 +422,23 @@ impl TxnServer {
                         table.install(r);
                     }
                 }
-                // Catch up data for committed transactions.
+                // Catch up data for committed transactions we have not
+                // already applied locally.
                 for r in records {
-                    if r.status == TxnStatus::Committed {
+                    if r.status == TxnStatus::Committed && !self.table.borrow().is_applied(r.txid) {
                         let items = r
                             .writes
                             .iter()
                             .map(|(k, v)| {
-                                (k.clone(), v.clone(), Version::new(r.ts_commit, r.txid.client))
+                                (
+                                    k.clone(),
+                                    v.clone(),
+                                    Version::new(r.ts_commit, r.txid.client),
+                                )
                             })
                             .collect();
                         let _ = self.backend.apply_batch_unordered(items).await;
+                        self.table.borrow_mut().mark_applied(r.txid);
                     }
                 }
                 self.state.borrow_mut().known_primary = Some(Addr {
@@ -518,11 +539,16 @@ impl TxnServer {
             return;
         }
         let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
-        let verdict = self.table.borrow().validate(&reads, &write_keys, ts_commit, |k| {
-            self.latest_committed(k)
-        });
+        let verdict = self
+            .table
+            .borrow()
+            .validate(&reads, &write_keys, ts_commit, |k| self.latest_committed(k));
         if !verdict.is_success() {
             self.stats.borrow_mut().prepares_aborted += 1;
+            self.trace(obskit::TraceEvent::PrepareVote {
+                shard: self.cfg.shard.0 as u64,
+                ok: false,
+            });
             resp.reply(TxnResponse::Vote { ok: false });
             return;
         }
@@ -540,7 +566,7 @@ impl TxnServer {
             let st = self.state.borrow();
             (st.backups.clone(), st.backups.len() / 2)
         };
-        let ok = replicate::<TxnRequest, TxnResponse>(
+        let ok = replicate_traced::<TxnRequest, TxnResponse>(
             &self.handle,
             &self.rpc,
             &backups,
@@ -548,16 +574,26 @@ impl TxnServer {
             need,
             self.cfg.tuning.repl_timeout,
             |r| matches!(r, TxnResponse::Ack),
+            &self.cfg.tuning.obs.tracer,
+            self.repl_seq.replace(self.repl_seq.get() + 1),
         )
         .await;
         if !ok {
             // Could not make the prepare durable: release and vote abort.
             self.table.borrow_mut().decide(txid, false);
             self.stats.borrow_mut().prepares_aborted += 1;
+            self.trace(obskit::TraceEvent::PrepareVote {
+                shard: self.cfg.shard.0 as u64,
+                ok: false,
+            });
             resp.reply(TxnResponse::Vote { ok: false });
             return;
         }
         self.stats.borrow_mut().prepares_ok += 1;
+        self.trace(obskit::TraceEvent::PrepareVote {
+            shard: self.cfg.shard.0 as u64,
+            ok: true,
+        });
         resp.reply(TxnResponse::Vote { ok: true });
     }
 
@@ -592,9 +628,16 @@ impl TxnServer {
             let items: Vec<(Key, Value, Version)> = record
                 .writes
                 .iter()
-                .map(|(k, v)| (k.clone(), v.clone(), Version::new(record.ts_commit, txid.client)))
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        v.clone(),
+                        Version::new(record.ts_commit, txid.client),
+                    )
+                })
                 .collect();
             let _ = self.backend.apply_batch_unordered(items).await;
+            self.table.borrow_mut().mark_applied(txid);
             self.stats.borrow_mut().commits += 1;
         } else {
             self.stats.borrow_mut().aborts += 1;
@@ -603,7 +646,7 @@ impl TxnServer {
             let st = self.state.borrow();
             (st.backups.clone(), st.backups.len() / 2)
         };
-        let _ = replicate::<TxnRequest, TxnResponse>(
+        let _ = replicate_traced::<TxnRequest, TxnResponse>(
             &self.handle,
             &self.rpc,
             &backups,
@@ -611,6 +654,8 @@ impl TxnServer {
             need,
             self.cfg.tuning.repl_timeout,
             |r| matches!(r, TxnResponse::Ack),
+            &self.cfg.tuning.obs.tracer,
+            self.repl_seq.replace(self.repl_seq.get() + 1),
         )
         .await;
     }
@@ -625,7 +670,10 @@ impl TxnServer {
                 Some(TxnStatus::Prepared) => table.decide(txid, commit),
                 Some(_) => None,
                 None => {
-                    self.state.borrow_mut().pending_outcomes.insert(txid, commit);
+                    self.state
+                        .borrow_mut()
+                        .pending_outcomes
+                        .insert(txid, commit);
                     None
                 }
             }
@@ -635,9 +683,16 @@ impl TxnServer {
             let items: Vec<(Key, Value, Version)> = record
                 .writes
                 .iter()
-                .map(|(k, v)| (k.clone(), v.clone(), Version::new(record.ts_commit, txid.client)))
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        v.clone(),
+                        Version::new(record.ts_commit, txid.client),
+                    )
+                })
                 .collect();
             let _ = self.backend.apply_batch_unordered(items).await;
+            self.table.borrow_mut().mark_applied(txid);
         }
     }
 
@@ -652,8 +707,7 @@ impl TxnServer {
                 return;
             }
         }
-        let threshold =
-            Timestamp::from_sim(self.handle.now()).before(self.cfg.tuning.ctp_after);
+        let threshold = Timestamp::from_sim(self.handle.now()).before(self.cfg.tuning.ctp_after);
         let stuck = self.table.borrow().stuck_prepared(threshold);
         for record in stuck {
             if record.participants.first() != Some(&self.cfg.shard) {
@@ -762,28 +816,39 @@ impl TxnServer {
                 table.decide(record.txid, commit);
             }
         }
-        // 3. Apply all committed writes to our backend (idempotent).
-        let committed: Vec<TxnRecord> = self
-            .table
-            .borrow()
-            .all_records()
-            .into_iter()
-            .filter(|r| r.status == TxnStatus::Committed)
-            .collect();
+        // 3. Apply committed writes our backend does not yet hold
+        //    (idempotent). Records applied before the failover are skipped
+        //    via the table's applied set, so this is proportional to the
+        //    merge delta, not to the whole committed history.
+        let committed: Vec<TxnRecord> = {
+            let table = self.table.borrow();
+            table
+                .all_records()
+                .into_iter()
+                .filter(|r| r.status == TxnStatus::Committed && !table.is_applied(r.txid))
+                .collect()
+        };
         for r in committed {
             let items: Vec<(Key, Value, Version)> = r
                 .writes
                 .iter()
-                .map(|(k, v)| (k.clone(), v.clone(), Version::new(r.ts_commit, r.txid.client)))
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        v.clone(),
+                        Version::new(r.ts_commit, r.txid.client),
+                    )
+                })
                 .collect();
             let _ = self.backend.apply_batch_unordered(items).await;
+            self.table.borrow_mut().mark_applied(r.txid);
         }
         // 4. Rebuild volatile key metadata from the merged table.
         self.table.borrow_mut().rebuild_key_meta();
         // 5. Push the merged table to the backups.
         let records = self.table.borrow().all_records();
         let need = backups.len() / 2;
-        let _ = replicate::<TxnRequest, TxnResponse>(
+        let _ = replicate_traced::<TxnRequest, TxnResponse>(
             &self.handle,
             &self.rpc,
             &backups,
@@ -791,6 +856,8 @@ impl TxnServer {
             need,
             self.cfg.tuning.repl_timeout * 4,
             |r| matches!(r, TxnResponse::Ack),
+            &self.cfg.tuning.obs.tracer,
+            self.repl_seq.replace(self.repl_seq.get() + 1),
         )
         .await;
         // 6. Wait out the old primary's read lease: ts_latestRead is gone,

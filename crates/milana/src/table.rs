@@ -11,7 +11,7 @@
 //!
 //! None of this is persisted; §4.5 recovers it (or shields it with leases).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use flashsim::Key;
 use timesync::{Timestamp, Version};
@@ -58,6 +58,12 @@ impl Verdict {
 pub struct TxnTable {
     records: HashMap<TxnId, TxnRecord>,
     keys: HashMap<Key, KeyMeta>,
+    /// Committed transactions whose writes this replica has already made
+    /// durable in its own backend. Lives in persistent memory with the
+    /// records, so recovery and log installation apply only the delta
+    /// instead of replaying the whole committed history (which grows
+    /// without bound and would make failover time scale with table size).
+    applied: HashSet<TxnId>,
 }
 
 impl TxnTable {
@@ -178,6 +184,19 @@ impl TxnTable {
                 self.records.insert(record.txid, record);
             }
         }
+    }
+
+    /// Marks `txid`'s committed writes as durably applied to this
+    /// replica's backend. Call only *after* the backend apply completes —
+    /// a crash in between re-applies the record at recovery, which is
+    /// idempotent.
+    pub fn mark_applied(&mut self, txid: TxnId) {
+        self.applied.insert(txid);
+    }
+
+    /// Whether `txid`'s writes are already in this replica's backend.
+    pub fn is_applied(&self, txid: TxnId) -> bool {
+        self.applied.contains(&txid)
     }
 
     /// All records (for log transfer), in transaction-id order so message
@@ -375,9 +394,7 @@ mod tests {
         t.install(decided);
         t.rebuild_key_meta();
         assert!(!t.validate(&[], &[k(7)], Timestamp(99), lc10).is_success());
-        assert!(t
-            .validate(&[], &[k(8)], Timestamp(99), lc10)
-            .is_success());
+        assert!(t.validate(&[], &[k(8)], Timestamp(99), lc10).is_success());
     }
 
     #[test]

@@ -50,25 +50,23 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
         0u8..3,
         0u64..10_000,
     )
-        .prop_map(
-            |(shards, clients, keys, txns, disc, backend, seed)| Shape {
-                shards,
-                clients,
-                keys,
-                txns_per_client: txns,
-                discipline: match disc {
-                    0 => Discipline::Perfect,
-                    1 => Discipline::PtpSoftware,
-                    _ => Discipline::Ntp,
-                },
-                backend: match backend {
-                    0 => BackendKind::Dram,
-                    1 => BackendKind::Mftl,
-                    _ => BackendKind::Vftl,
-                },
-                seed,
+        .prop_map(|(shards, clients, keys, txns, disc, backend, seed)| Shape {
+            shards,
+            clients,
+            keys,
+            txns_per_client: txns,
+            discipline: match disc {
+                0 => Discipline::Perfect,
+                1 => Discipline::PtpSoftware,
+                _ => Discipline::Ntp,
             },
-        )
+            backend: match backend {
+                0 => BackendKind::Dram,
+                1 => BackendKind::Mftl,
+                _ => BackendKind::Vftl,
+            },
+            seed,
+        })
 }
 
 fn run_counters(shape: Shape) -> Result<(), TestCaseError> {

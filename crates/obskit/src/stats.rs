@@ -1,0 +1,198 @@
+//! [`TxnStats`] — the workload-level stat bundle the Retwis driver and
+//! every experiment harness record into. Supersedes the ad-hoc
+//! `WorkloadStats` structs that used to live in `retwis::driver` and
+//! `bench::common`.
+
+use std::time::Duration;
+
+use crate::abort::{AbortBreakdown, AbortClass};
+use crate::json::Json;
+use crate::registry::{Counter, HistogramHandle, Registry};
+use crate::series::TimeSeries;
+
+/// Default throughput window: 100 ms of virtual time.
+pub const DEFAULT_WINDOW_NS: u64 = 100_000_000;
+
+/// Shared workload counters. Cloning shares every underlying metric, so a
+/// fleet of driver instances can record into one bundle with no wrapper
+/// `Rc<RefCell<..>>` — the handles are already interior-mutable and cheap.
+#[derive(Debug, Clone)]
+pub struct TxnStats {
+    /// Transactions that eventually committed.
+    pub commits: Counter,
+    /// Aborted attempts (a transaction retried 3 times counts 3).
+    pub aborts: Counter,
+    /// Attempts that ended in transport timeouts / unknown outcomes.
+    pub timeouts: Counter,
+    /// Transactions abandoned after `max_retries`.
+    pub abandoned: Counter,
+    /// Latency from first begin to successful commit, nanoseconds.
+    pub latency: HistogramHandle,
+    /// Aborted attempts broken down by normalized reason.
+    pub abort_reasons: AbortBreakdown,
+    /// Commits per virtual-time window (throughput over time).
+    pub commit_series: TimeSeries,
+}
+
+impl Default for TxnStats {
+    fn default() -> TxnStats {
+        TxnStats::new()
+    }
+}
+
+impl TxnStats {
+    /// A detached bundle (not listed in any registry).
+    pub fn new() -> TxnStats {
+        TxnStats {
+            commits: Counter::detached(),
+            aborts: Counter::detached(),
+            timeouts: Counter::detached(),
+            abandoned: Counter::detached(),
+            latency: HistogramHandle::detached(),
+            abort_reasons: AbortBreakdown::new(),
+            commit_series: TimeSeries::new(DEFAULT_WINDOW_NS),
+        }
+    }
+
+    /// A bundle whose counters and latency histogram are registered under
+    /// `prefix` (e.g. `"retwis"` yields `retwis.commits`, ...). The abort
+    /// breakdown and time series are exported via [`TxnStats::to_json`].
+    pub fn registered(registry: &Registry, prefix: &str) -> TxnStats {
+        TxnStats {
+            commits: registry.counter(&format!("{prefix}.commits")),
+            aborts: registry.counter(&format!("{prefix}.aborts")),
+            timeouts: registry.counter(&format!("{prefix}.timeouts")),
+            abandoned: registry.counter(&format!("{prefix}.abandoned")),
+            latency: registry.histogram(&format!("{prefix}.latency_ns")),
+            abort_reasons: AbortBreakdown::new(),
+            commit_series: TimeSeries::new(DEFAULT_WINDOW_NS),
+        }
+    }
+
+    /// Records a committed transaction: latency sample plus throughput
+    /// window bump.
+    pub fn record_commit(&self, at_ns: u64, latency_ns: u64) {
+        self.commits.inc();
+        self.latency.record(latency_ns);
+        self.commit_series.record(at_ns);
+    }
+
+    /// Records an aborted attempt under `reason`.
+    pub fn record_abort(&self, reason: AbortClass) {
+        self.aborts.inc();
+        self.abort_reasons.record(reason);
+    }
+
+    /// Records a timeout / unknown-outcome attempt.
+    pub fn record_timeout(&self) {
+        self.timeouts.inc();
+        self.abort_reasons.record(AbortClass::UnknownOutcome);
+    }
+
+    /// Records a transaction abandoned after exhausting retries.
+    pub fn record_abandoned(&self) {
+        self.abandoned.inc();
+        self.abort_reasons.record(AbortClass::Abandoned);
+    }
+
+    /// Abort rate: aborted attempts over all attempts (the paper's
+    /// Figure 6 / 7 metric).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits.get() + self.aborts.get();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts.get() as f64 / attempts as f64
+        }
+    }
+
+    /// Committed transactions per virtual second over `elapsed`.
+    pub fn throughput(&self, elapsed: Duration) -> f64 {
+        self.commits.get() as f64 / elapsed.as_secs_f64()
+    }
+
+    /// Adds another bundle's counts and samples into this one (used to
+    /// aggregate across independent runs, e.g. per clock model).
+    pub fn merge_from(&self, other: &TxnStats) {
+        self.commits.add(other.commits.get());
+        self.aborts.add(other.aborts.get());
+        self.timeouts.add(other.timeouts.get());
+        self.abandoned.add(other.abandoned.get());
+        self.latency.merge_from(&other.latency.snapshot());
+        self.abort_reasons.merge_from(&other.abort_reasons);
+        // Window counts merge positionally (both series share the default
+        // window width).
+    }
+
+    /// Deterministic JSON summary of the whole bundle.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("commits", Json::U64(self.commits.get()))
+            .field("aborts", Json::U64(self.aborts.get()))
+            .field("timeouts", Json::U64(self.timeouts.get()))
+            .field("abandoned", Json::U64(self.abandoned.get()))
+            .field("abort_rate", Json::F64(self.abort_rate()))
+            .field("abort_reasons", self.abort_reasons.to_json())
+            .field("latency_ns", self.latency.snapshot().summary_json())
+            .field("commit_series", self.commit_series.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_flow_to_every_surface() {
+        let s = TxnStats::new();
+        s.record_commit(50_000_000, 1_000);
+        s.record_commit(150_000_000, 3_000);
+        s.record_abort(AbortClass::Validation);
+        s.record_timeout();
+        s.record_abandoned();
+        assert_eq!(s.commits.get(), 2);
+        assert_eq!(s.aborts.get(), 1);
+        assert_eq!(s.timeouts.get(), 1);
+        assert_eq!(s.abandoned.get(), 1);
+        assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.abort_reasons.get(AbortClass::Validation), 1);
+        assert_eq!(s.abort_reasons.get(AbortClass::UnknownOutcome), 1);
+        assert_eq!(s.abort_reasons.get(AbortClass::Abandoned), 1);
+        assert_eq!(s.commit_series.total(), 2);
+        let rate = s.abort_rate();
+        assert!((rate - 1.0 / 3.0).abs() < 1e-9, "{rate}");
+    }
+
+    #[test]
+    fn clones_share_everything() {
+        let a = TxnStats::new();
+        let b = a.clone();
+        b.record_commit(0, 10);
+        assert_eq!(a.commits.get(), 1);
+        assert_eq!(a.latency.count(), 1);
+    }
+
+    #[test]
+    fn merge_aggregates_runs() {
+        let a = TxnStats::new();
+        let b = TxnStats::new();
+        a.record_commit(0, 100);
+        b.record_commit(0, 300);
+        b.record_abort(AbortClass::PreparedRead);
+        a.merge_from(&b);
+        assert_eq!(a.commits.get(), 2);
+        assert_eq!(a.aborts.get(), 1);
+        assert_eq!(a.latency.count(), 2);
+        assert_eq!(a.abort_reasons.get(AbortClass::PreparedRead), 1);
+    }
+
+    #[test]
+    fn registered_names_land_in_registry() {
+        let reg = Registry::new();
+        let s = TxnStats::registered(&reg, "retwis");
+        s.record_commit(0, 5);
+        let snap = reg.snapshot().to_string();
+        assert!(snap.contains(r#""retwis.commits":1"#), "{snap}");
+        assert!(snap.contains(r#""retwis.latency_ns":{"count":1"#), "{snap}");
+    }
+}

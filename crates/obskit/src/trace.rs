@@ -1,0 +1,442 @@
+//! Structured trace events with virtual timestamps, recorded into a
+//! bounded ring buffer and exported as JSON lines.
+//!
+//! Tracing is **off by default** ([`Tracer::disabled`] is `Default`) so the
+//! hot path pays one branch; harnesses that want event dumps construct the
+//! cluster with an enabled tracer. When the ring fills, the oldest events
+//! are dropped and counted — the export records how many, so a truncated
+//! trace is never mistaken for a complete one.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::abort::AbortClass;
+use crate::json::Json;
+
+/// The kind of flash operation a device performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashOpKind {
+    /// Page read.
+    Read,
+    /// Page program.
+    Write,
+    /// Block erase.
+    Erase,
+}
+
+impl FlashOpKind {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlashOpKind::Read => "read",
+            FlashOpKind::Write => "write",
+            FlashOpKind::Erase => "erase",
+        }
+    }
+}
+
+/// One structured event. Identities are plain integers so `obskit` stays
+/// dependency-free: transaction ids are `(client, seq)` pairs, nodes and
+/// shards are their numeric ids, and keys are reported as their `u64` id
+/// (or a hash where no id exists).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A client began a transaction at `ts_begin`.
+    TxnBegin {
+        /// Coordinating client id.
+        client: u64,
+        /// Transaction begin timestamp (client clock, ns).
+        ts_begin: u64,
+    },
+    /// A transactional read was served.
+    TxnRead {
+        /// Coordinating client id.
+        client: u64,
+        /// The key read.
+        key: u64,
+        /// True when the visible version carried the prepared flag.
+        prepared: bool,
+    },
+    /// A read-only transaction was decided by client-local validation.
+    ValidateLocal {
+        /// Coordinating client id.
+        client: u64,
+        /// True = committed, false = aborted (prepared version seen).
+        ok: bool,
+    },
+    /// A transaction entered remote validation (2PC prepare fan-out).
+    ValidateRemote {
+        /// Coordinating client id.
+        client: u64,
+        /// Number of participant shards.
+        participants: u64,
+    },
+    /// One participant's prepare vote.
+    PrepareVote {
+        /// Shard that voted.
+        shard: u64,
+        /// True = yes vote.
+        ok: bool,
+    },
+    /// A transaction committed.
+    Commit {
+        /// Coordinating client id.
+        client: u64,
+        /// Commit timestamp (ns); begin timestamp for read-only commits.
+        ts_commit: u64,
+        /// True when decided locally (no server round trips).
+        local: bool,
+    },
+    /// A transaction attempt aborted.
+    Abort {
+        /// Coordinating client id.
+        client: u64,
+        /// Normalized abort reason.
+        reason: AbortClass,
+    },
+    /// A replica acknowledged a replicated record.
+    ReplicaAck {
+        /// Acknowledging node id.
+        node: u64,
+        /// Replication sequence number acknowledged.
+        seq: u64,
+    },
+    /// A garbage-collection pass ran.
+    GcRun {
+        /// Node the GC ran on.
+        node: u64,
+        /// Versions reclaimed by this pass.
+        reclaimed: u64,
+    },
+    /// A flash device executed an operation.
+    FlashOp {
+        /// Device node id.
+        node: u64,
+        /// Operation kind.
+        op: FlashOpKind,
+    },
+    /// A client clock resynchronized.
+    ClockSync {
+        /// Clock owner (client id).
+        client: u64,
+        /// New offset from true time, ns.
+        offset_ns: i64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-type name (the `"ev"` JSON field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::TxnBegin { .. } => "txn_begin",
+            TraceEvent::TxnRead { .. } => "txn_read",
+            TraceEvent::ValidateLocal { .. } => "validate_local",
+            TraceEvent::ValidateRemote { .. } => "validate_remote",
+            TraceEvent::PrepareVote { .. } => "prepare_vote",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::Abort { .. } => "abort",
+            TraceEvent::ReplicaAck { .. } => "replica_ack",
+            TraceEvent::GcRun { .. } => "gc_run",
+            TraceEvent::FlashOp { .. } => "flash_op",
+            TraceEvent::ClockSync { .. } => "clock_sync",
+        }
+    }
+
+    fn fields(&self, doc: Json) -> Json {
+        match *self {
+            TraceEvent::TxnBegin { client, ts_begin } => doc
+                .field("client", Json::U64(client))
+                .field("ts_begin", Json::U64(ts_begin)),
+            TraceEvent::TxnRead {
+                client,
+                key,
+                prepared,
+            } => doc
+                .field("client", Json::U64(client))
+                .field("key", Json::U64(key))
+                .field("prepared", Json::Bool(prepared)),
+            TraceEvent::ValidateLocal { client, ok } => doc
+                .field("client", Json::U64(client))
+                .field("ok", Json::Bool(ok)),
+            TraceEvent::ValidateRemote {
+                client,
+                participants,
+            } => doc
+                .field("client", Json::U64(client))
+                .field("participants", Json::U64(participants)),
+            TraceEvent::PrepareVote { shard, ok } => doc
+                .field("shard", Json::U64(shard))
+                .field("ok", Json::Bool(ok)),
+            TraceEvent::Commit {
+                client,
+                ts_commit,
+                local,
+            } => doc
+                .field("client", Json::U64(client))
+                .field("ts_commit", Json::U64(ts_commit))
+                .field("local", Json::Bool(local)),
+            TraceEvent::Abort { client, reason } => doc
+                .field("client", Json::U64(client))
+                .field("reason", Json::str(reason.as_str())),
+            TraceEvent::ReplicaAck { node, seq } => doc
+                .field("node", Json::U64(node))
+                .field("seq", Json::U64(seq)),
+            TraceEvent::GcRun { node, reclaimed } => doc
+                .field("node", Json::U64(node))
+                .field("reclaimed", Json::U64(reclaimed)),
+            TraceEvent::FlashOp { node, op } => doc
+                .field("node", Json::U64(node))
+                .field("op", Json::str(op.as_str())),
+            TraceEvent::ClockSync { client, offset_ns } => doc
+                .field("client", Json::U64(client))
+                .field("offset_ns", Json::I64(offset_ns)),
+        }
+    }
+
+    /// The event as a JSON object with its virtual timestamp.
+    pub fn to_json(&self, at_ns: u64) -> Json {
+        self.fields(
+            Json::obj()
+                .field("at_ns", Json::U64(at_ns))
+                .field("ev", Json::str(self.name())),
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<(u64, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A shared handle to the trace ring buffer. Cloning shares the buffer;
+/// the disabled tracer records nothing at near-zero cost.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    ring: Option<Rc<RefCell<Ring>>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the `Default`).
+    pub fn disabled() -> Tracer {
+        Tracer { ring: None }
+    }
+
+    /// A tracer recording into a ring of at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Tracer {
+        assert!(capacity > 0, "trace ring needs capacity");
+        Tracer {
+            ring: Some(Rc::new(RefCell::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// True when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Records `event` at virtual time `at_ns`. No-op when disabled.
+    pub fn record(&self, at_ns: u64, event: TraceEvent) {
+        let Some(ring) = &self.ring else { return };
+        let mut r = ring.borrow_mut();
+        if r.events.len() == r.capacity {
+            r.events.pop_front();
+            r.dropped += 1;
+        }
+        r.events.push_back((at_ns, event));
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.as_ref().map_or(0, |r| r.borrow().events.len())
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.borrow().dropped)
+    }
+
+    /// Events of a given type currently buffered.
+    pub fn count_of(&self, name: &str) -> usize {
+        self.ring.as_ref().map_or(0, |r| {
+            r.borrow()
+                .events
+                .iter()
+                .filter(|(_, e)| e.name() == name)
+                .count()
+        })
+    }
+
+    /// The buffered events as JSON lines (one compact object per line,
+    /// oldest first), preceded by a header line recording capacity and
+    /// drop count. Byte-stable across same-seed runs.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        let Some(ring) = &self.ring else { return out };
+        let r = ring.borrow();
+        Json::obj()
+            .field("ev", Json::str("trace_header"))
+            .field("capacity", Json::U64(r.capacity as u64))
+            .field("dropped", Json::U64(r.dropped))
+            .field("buffered", Json::U64(r.events.len() as u64))
+            .write(&mut out);
+        out.push('\n');
+        for (at_ns, ev) in &r.events {
+            ev.to_json(*at_ns).write(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let t = Tracer::disabled();
+        t.record(
+            5,
+            TraceEvent::GcRun {
+                node: 1,
+                reclaimed: 2,
+            },
+        );
+        assert!(!t.is_enabled());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dump_jsonl(), "");
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::bounded(2);
+        for i in 0..5u64 {
+            t.record(i, TraceEvent::PrepareVote { shard: i, ok: true });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let dump = t.dump_jsonl();
+        assert!(dump.contains(r#""dropped":3"#));
+        // Only the two newest survive.
+        assert!(dump.contains(r#""shard":3"#) && dump.contains(r#""shard":4"#));
+        assert!(!dump.contains(r#""shard":2"#));
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_objects_in_order() {
+        let t = Tracer::bounded(16);
+        t.record(
+            10,
+            TraceEvent::TxnBegin {
+                client: 1,
+                ts_begin: 10,
+            },
+        );
+        t.record(
+            20,
+            TraceEvent::Abort {
+                client: 1,
+                reason: AbortClass::Validation,
+            },
+        );
+        let dump = t.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[1],
+            r#"{"at_ns":10,"ev":"txn_begin","client":1,"ts_begin":10}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"at_ns":20,"ev":"abort","client":1,"reason":"validation"}"#
+        );
+    }
+
+    #[test]
+    fn every_event_kind_serializes() {
+        let t = Tracer::bounded(32);
+        let evs = [
+            TraceEvent::TxnBegin {
+                client: 1,
+                ts_begin: 2,
+            },
+            TraceEvent::TxnRead {
+                client: 1,
+                key: 3,
+                prepared: false,
+            },
+            TraceEvent::ValidateLocal {
+                client: 1,
+                ok: true,
+            },
+            TraceEvent::ValidateRemote {
+                client: 1,
+                participants: 2,
+            },
+            TraceEvent::PrepareVote {
+                shard: 0,
+                ok: false,
+            },
+            TraceEvent::Commit {
+                client: 1,
+                ts_commit: 9,
+                local: false,
+            },
+            TraceEvent::Abort {
+                client: 1,
+                reason: AbortClass::PreparedRead,
+            },
+            TraceEvent::ReplicaAck { node: 4, seq: 7 },
+            TraceEvent::GcRun {
+                node: 4,
+                reclaimed: 11,
+            },
+            TraceEvent::FlashOp {
+                node: 4,
+                op: FlashOpKind::Erase,
+            },
+            TraceEvent::ClockSync {
+                client: 1,
+                offset_ns: -250,
+            },
+        ];
+        let n = evs.len();
+        for (i, ev) in evs.into_iter().enumerate() {
+            t.record(i as u64, ev);
+        }
+        let dump = t.dump_jsonl();
+        assert_eq!(dump.lines().count(), n + 1);
+        for name in [
+            "txn_begin",
+            "txn_read",
+            "validate_local",
+            "validate_remote",
+            "prepare_vote",
+            "commit",
+            "abort",
+            "replica_ack",
+            "gc_run",
+            "flash_op",
+            "clock_sync",
+        ] {
+            assert!(dump.contains(&format!(r#""ev":"{name}""#)), "{name}");
+            assert_eq!(t.count_of(name), 1, "{name}");
+        }
+    }
+}

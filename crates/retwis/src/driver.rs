@@ -3,19 +3,18 @@
 //! Each *instance* executes transactions sequentially with one outstanding
 //! transaction at a time, retrying an aborted transaction **with the same
 //! key set and without any wait** — exactly the client behavior of §5.2.
-//! Instances run until a virtual-time deadline and accumulate shared
-//! [`WorkloadStats`].
+//! Instances run until a virtual-time deadline and accumulate into a
+//! shared [`TxnStats`] bundle (from `obskit`; clones share the counters).
 
-use std::cell::RefCell;
 use std::rc::Rc;
 
 use flashsim::{value, Key, Value};
 use milana::centiman::{CentTxn, CentimanClient};
 use milana::client::{CommitInfo, Txn, TxnClient};
 use milana::msg::TxnError;
+use obskit::TxnStats;
 use rand::rngs::StdRng;
 use rand::Rng;
-use simkit::metrics::Histogram;
 use simkit::rng::Zipf;
 use simkit::time::SimTime;
 use simkit::SimHandle;
@@ -116,48 +115,6 @@ impl Default for WorkloadConfig {
     }
 }
 
-/// Shared counters, filled in by every instance of a run.
-#[derive(Debug, Default)]
-pub struct WorkloadStats {
-    /// Transactions that eventually committed.
-    pub commits: u64,
-    /// Aborted attempts (a transaction retried 3 times counts 3).
-    pub aborts: u64,
-    /// Attempts that ended in transport timeouts / unknown outcomes.
-    pub timeouts: u64,
-    /// Transactions abandoned after `max_retries`.
-    pub abandoned: u64,
-    /// Latency from first begin to successful commit, nanoseconds.
-    pub latency: Histogram,
-}
-
-impl WorkloadStats {
-    /// Abort rate: aborted attempts over all attempts (the paper's Figure 6
-    /// / 7 metric).
-    pub fn abort_rate(&self) -> f64 {
-        let attempts = self.commits + self.aborts;
-        if attempts == 0 {
-            0.0
-        } else {
-            self.aborts as f64 / attempts as f64
-        }
-    }
-
-    /// Committed transactions per virtual second over `elapsed`.
-    pub fn throughput(&self, elapsed: std::time::Duration) -> f64 {
-        self.commits as f64 / elapsed.as_secs_f64()
-    }
-
-    /// Merges another run's counters into this one.
-    pub fn merge(&mut self, other: &WorkloadStats) {
-        self.commits += other.commits;
-        self.aborts += other.aborts;
-        self.timeouts += other.timeouts;
-        self.abandoned += other.abandoned;
-        self.latency.merge(&other.latency);
-    }
-}
-
 /// The key script of one logical transaction: fixed on first attempt and
 /// reused verbatim on retries (§5.2).
 #[derive(Debug, Clone)]
@@ -200,7 +157,7 @@ pub async fn run_instance<S: TxnSystem>(
     sys: S,
     cfg: Rc<WorkloadConfig>,
     zipf: Rc<Zipf>,
-    stats: Rc<RefCell<WorkloadStats>>,
+    stats: TxnStats,
     until: SimTime,
 ) {
     let mut rng = handle.fork_rng();
@@ -236,25 +193,22 @@ pub async fn run_instance<S: TxnSystem>(
             };
             match outcome {
                 Ok(_) => {
-                    let mut st = stats.borrow_mut();
-                    st.commits += 1;
-                    st.latency.record((handle.now() - started).as_nanos() as u64);
+                    let now = handle.now();
+                    stats.record_commit(now.as_nanos(), (now - started).as_nanos() as u64);
                     break;
                 }
-                Err(TxnError::Aborted(_)) => {
-                    let mut st = stats.borrow_mut();
-                    st.aborts += 1;
+                Err(TxnError::Aborted(reason)) => {
+                    stats.record_abort(reason.class());
                     if attempts > cfg.max_retries {
-                        st.abandoned += 1;
+                        stats.record_abandoned();
                         break;
                     }
                     // Retry immediately with the same key script (§5.2).
                 }
                 Err(_) => {
-                    let mut st = stats.borrow_mut();
-                    st.timeouts += 1;
+                    stats.record_timeout();
                     if attempts > cfg.max_retries {
-                        st.abandoned += 1;
+                        stats.record_abandoned();
                         break;
                     }
                 }
@@ -276,7 +230,7 @@ pub async fn run_open_loop<S: TxnSystem>(
     sys: S,
     cfg: Rc<WorkloadConfig>,
     zipf: Rc<Zipf>,
-    stats: Rc<RefCell<WorkloadStats>>,
+    stats: TxnStats,
     rate_per_sec: f64,
     max_outstanding: usize,
     until: SimTime,
@@ -294,7 +248,7 @@ pub async fn run_open_loop<S: TxnSystem>(
             break;
         }
         if outstanding.get() >= max_outstanding {
-            stats.borrow_mut().timeouts += 1; // shed load
+            stats.timeouts.inc(); // shed load (no attempt was made)
             continue;
         }
         outstanding.set(outstanding.get() + 1);
@@ -329,24 +283,21 @@ pub async fn run_open_loop<S: TxnSystem>(
                 };
                 match outcome {
                     Ok(_) => {
-                        let mut st = stats.borrow_mut();
-                        st.commits += 1;
-                        st.latency.record((h2.now() - started).as_nanos() as u64);
+                        let now = h2.now();
+                        stats.record_commit(now.as_nanos(), (now - started).as_nanos() as u64);
                         break;
                     }
-                    Err(TxnError::Aborted(_)) => {
-                        let mut st = stats.borrow_mut();
-                        st.aborts += 1;
+                    Err(TxnError::Aborted(reason)) => {
+                        stats.record_abort(reason.class());
                         if attempts > cfg.max_retries {
-                            st.abandoned += 1;
+                            stats.record_abandoned();
                             break;
                         }
                     }
                     Err(_) => {
-                        let mut st = stats.borrow_mut();
-                        st.timeouts += 1;
+                        stats.record_timeout();
                         if attempts > cfg.max_retries {
-                            st.abandoned += 1;
+                            stats.record_abandoned();
                             break;
                         }
                     }
@@ -416,7 +367,7 @@ mod tests {
             ..WorkloadConfig::default()
         });
         let zipf = Rc::new(Zipf::new(cfg.keyspace as usize, cfg.zipf_alpha));
-        let stats = Rc::new(RefCell::new(WorkloadStats::default()));
+        let stats = TxnStats::new();
         let until = simkit::SimTime::from_millis(300);
         let mut joins = Vec::new();
         for c in &cluster.clients {
@@ -434,11 +385,19 @@ mod tests {
                 j.await;
             }
         });
-        let st = stats.borrow();
-        assert!(st.commits > 50, "commits {}", st.commits);
-        assert_eq!(st.abandoned, 0);
-        assert!(st.latency.mean() > 0.0);
-        assert!(st.abort_rate() < 0.5, "abort rate {}", st.abort_rate());
+        assert!(stats.commits.get() > 50, "commits {}", stats.commits.get());
+        assert_eq!(stats.abandoned.get(), 0);
+        assert!(stats.latency.snapshot().mean() > 0.0);
+        assert!(
+            stats.abort_rate() < 0.5,
+            "abort rate {}",
+            stats.abort_rate()
+        );
+        // Every abort is classified in the shared taxonomy.
+        assert_eq!(
+            stats.abort_reasons.total(),
+            stats.aborts.get() + stats.timeouts.get() + stats.abandoned.get()
+        );
     }
 }
 #[cfg(test)]
@@ -475,7 +434,7 @@ mod open_loop_tests {
             ..WorkloadConfig::default()
         });
         let zipf = Rc::new(Zipf::new(cfg.keyspace as usize, cfg.zipf_alpha));
-        let stats = Rc::new(RefCell::new(WorkloadStats::default()));
+        let stats = TxnStats::new();
         let rate = 500.0; // txn/s, far below capacity
         let window = std::time::Duration::from_millis(800);
         let until = h.now() + window;
@@ -490,12 +449,11 @@ mod open_loop_tests {
             until,
         );
         sim.block_on(driver);
-        let st = stats.borrow();
-        let achieved = st.commits as f64 / window.as_secs_f64();
+        let achieved = stats.commits.get() as f64 / window.as_secs_f64();
         assert!(
             (achieved - rate).abs() / rate < 0.25,
             "offered {rate}/s, achieved {achieved}/s"
         );
-        assert_eq!(st.abandoned, 0);
+        assert_eq!(stats.abandoned.get(), 0);
     }
 }

@@ -12,5 +12,5 @@
 pub mod driver;
 pub mod mix;
 
-pub use driver::{run_instance, run_open_loop, TxnHandle, TxnSystem, WorkloadConfig, WorkloadStats};
+pub use driver::{run_instance, run_open_loop, TxnHandle, TxnSystem, WorkloadConfig};
 pub use mix::{GetCount, Mix, TxnType};

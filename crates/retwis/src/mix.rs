@@ -162,7 +162,11 @@ mod tests {
     #[test]
     fn table2_mix_matches_paper() {
         let m = Mix::retwis();
-        let t: Vec<_> = m.types().iter().map(|t| (t.name, t.puts, t.weight)).collect();
+        let t: Vec<_> = m
+            .types()
+            .iter()
+            .map(|t| (t.name, t.puts, t.weight))
+            .collect();
         assert_eq!(
             t,
             vec![

@@ -24,6 +24,8 @@ pub struct ClientConfig {
     pub put_retries: u32,
     /// How often the client broadcasts its watermark (§3.1).
     pub watermark_interval: Duration,
+    /// Observability sinks (clock-sync trace events).
+    pub obs: obskit::Obs,
 }
 
 impl Default for ClientConfig {
@@ -32,6 +34,7 @@ impl Default for ClientConfig {
             rpc_timeout: Duration::from_millis(50),
             put_retries: 8,
             watermark_interval: Duration::from_millis(100),
+            obs: obskit::Obs::new(),
         }
     }
 }
@@ -78,6 +81,9 @@ impl SemelClient {
             cfg: Rc::new(cfg),
             last_acked: Rc::new(Cell::new(Timestamp::ZERO)),
         };
+        client
+            .clock
+            .attach_tracer(&client.cfg.obs.tracer, id.0 as u64);
         client.spawn_watermark_task(node);
         client
     }
@@ -149,7 +155,10 @@ impl SemelClient {
         let mut last_rejection = None;
         for _ in 0..=self.cfg.put_retries {
             let version = Version::new(self.now(), self.id);
-            match self.put_versioned(key.clone(), value.clone(), version).await {
+            match self
+                .put_versioned(key.clone(), value.clone(), version)
+                .await
+            {
                 Ok(()) => return Ok(version),
                 Err(SemelError::Rejected(v)) => last_rejection = Some(v),
                 Err(e) => return Err(e),

@@ -39,6 +39,8 @@ pub struct ClusterConfig {
     pub net: simkit::net::LatencyConfig,
     /// Replication ordering discipline (ablation knob).
     pub replication: crate::server::ReplicationMode,
+    /// Observability bundle shared by every server in the cluster.
+    pub obs: obskit::Obs,
 }
 
 impl Default for ClusterConfig {
@@ -55,6 +57,7 @@ impl Default for ClusterConfig {
             client_cfg: ClientConfig::default(),
             net: simkit::net::LatencyConfig::default(),
             replication: crate::server::ReplicationMode::default(),
+            obs: obskit::Obs::new(),
         }
     }
 }
@@ -115,13 +118,18 @@ impl SemelCluster {
             let mut replicas = Vec::new();
             for (r, &addr) in group.all().iter().enumerate() {
                 let backend = Backend::new(config.backend, handle, config.nand.clone());
+                backend.attach_tracer(&config.obs.tracer, addr.node.0 as u64);
                 let server = ShardServer::spawn(
                     handle,
                     backend,
                     ServerConfig {
                         shard: ShardId(s as u32),
                         addr,
-                        backups: if r == 0 { group.backups.clone() } else { Vec::new() },
+                        backups: if r == 0 {
+                            group.backups.clone()
+                        } else {
+                            Vec::new()
+                        },
                         is_primary: r == 0,
                         // Shorter than the client's RPC budget so a primary
                         // can still report NoMajority before the client
@@ -130,6 +138,7 @@ impl SemelCluster {
                         clients: client_ids.clone(),
                         replication: config.replication,
                         history_window: None,
+                        obs: config.obs.clone(),
                     },
                 );
                 replicas.push(server);
@@ -160,13 +169,15 @@ impl SemelCluster {
 
         let clients = (0..config.clients)
             .map(|i| {
+                let mut client_cfg = config.client_cfg.clone();
+                client_cfg.obs = config.obs.clone();
                 SemelClient::new(
                     handle,
                     client_node(i),
                     ClientId(i),
                     config.discipline.clone(),
                     map.clone(),
-                    config.client_cfg.clone(),
+                    client_cfg,
                 )
             })
             .collect();
@@ -344,10 +355,7 @@ mod tests {
             c.put(k.clone(), value(&b"last"[..])).await.unwrap();
             let shard = cluster.map.borrow().shard_for(&k);
             let versions = cluster.primary(shard).backend().versions(&k);
-            assert!(
-                versions.len() <= 3,
-                "old versions not pruned: {versions:?}"
-            );
+            assert!(versions.len() <= 3, "old versions not pruned: {versions:?}");
         });
     }
 }
@@ -409,7 +417,9 @@ mod ordered_mode_tests {
             for key_id in 0..6u64 {
                 let key = Key::from(key_id);
                 let primary_latest = cluster.servers[0][0].backend().versions(&key);
-                let Some(&latest) = primary_latest.first() else { continue };
+                let Some(&latest) = primary_latest.first() else {
+                    continue;
+                };
                 for (r, replica) in cluster.servers[0].iter().enumerate().skip(1) {
                     assert!(
                         replica.backend().versions(&key).contains(&latest),

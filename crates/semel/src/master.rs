@@ -62,8 +62,7 @@ pub enum MasterResponse {
 /// over `shard`, replicating to `peers`. Returns true when recovery
 /// completed. Supplied by the transaction layer (MILANA sends its `Promote`
 /// RPC and waits for `PromoteOk`).
-pub type Promoter =
-    Rc<dyn Fn(ShardId, Addr, Vec<Addr>) -> Pin<Box<dyn Future<Output = bool>>>>;
+pub type Promoter = Rc<dyn Fn(ShardId, Addr, Vec<Addr>) -> Pin<Box<dyn Future<Output = bool>>>>;
 
 /// Master tuning.
 #[derive(Debug, Clone)]
@@ -168,8 +167,7 @@ impl Master {
         let h = self.handle.clone();
         let node = self.cfg.addr.node;
         self.handle.spawn_on(node, async move {
-            while let Some((req, _from, resp)) = recv_request::<MasterRequest>(&h, &mailbox).await
-            {
+            while let Some((req, _from, resp)) = recv_request::<MasterRequest>(&h, &mailbox).await {
                 me.handle_request(req, resp);
             }
         });
@@ -353,7 +351,9 @@ mod tests {
         let addr = master.cfg.addr;
         sim.block_on(async move {
             let rpc = RpcClient::new(&h, NodeId(100), 0);
-            let map = fetch_map(&rpc, addr, Duration::from_millis(10)).await.unwrap();
+            let map = fetch_map(&rpc, addr, Duration::from_millis(10))
+                .await
+                .unwrap();
             assert_eq!(map.epoch(), 0);
             assert_eq!(map.group(ShardId(0)).primary, Addr::new(NodeId(0), 0));
         });

@@ -33,6 +33,39 @@ where
     Req: Clone + 'static,
     Resp: 'static,
 {
+    replicate_traced(
+        handle,
+        rpc,
+        targets,
+        req,
+        need,
+        timeout,
+        accept,
+        &obskit::Tracer::disabled(),
+        0,
+    )
+    .await
+}
+
+/// [`replicate`] with observability: each accepting backup is recorded as a
+/// [`obskit::TraceEvent::ReplicaAck`] carrying the caller-supplied
+/// replication sequence number.
+#[allow(clippy::too_many_arguments)] // the traced superset of replicate()
+pub async fn replicate_traced<Req, Resp>(
+    handle: &SimHandle,
+    rpc: &RpcClient,
+    targets: &[Addr],
+    req: Req,
+    need: usize,
+    timeout: Duration,
+    accept: impl Fn(&Resp) -> bool + Clone + 'static,
+    tracer: &obskit::Tracer,
+    seq: u64,
+) -> bool
+where
+    Req: Clone + 'static,
+    Resp: 'static,
+{
     if need == 0 {
         return true;
     }
@@ -45,11 +78,22 @@ where
         let req = req.clone();
         let tx = tx.clone();
         let accept = accept.clone();
+        let tracer = tracer.clone();
+        let h = handle.clone();
         handle.spawn(async move {
             let ok = match rpc.call::<Req, Resp>(t, req, timeout).await {
                 Ok(resp) => accept(&resp),
                 Err(_) => false,
             };
+            if ok {
+                tracer.record(
+                    h.now().as_nanos(),
+                    obskit::TraceEvent::ReplicaAck {
+                        node: t.node.0 as u64,
+                        seq,
+                    },
+                );
+            }
             let _ = tx.send(ok);
         });
     }

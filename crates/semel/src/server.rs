@@ -19,7 +19,7 @@ use simkit::SimHandle;
 use timesync::{ClientId, Timestamp, WatermarkTracker};
 
 use crate::msg::{ReplicaRecord, SemelRequest, SemelResponse};
-use crate::replicate::replicate;
+use crate::replicate::replicate_traced;
 use crate::shard::ShardId;
 
 /// How a primary streams records to its backups.
@@ -58,6 +58,9 @@ pub struct ServerConfig {
     /// progress (§3.1's tunable GC window). `None` prunes purely by
     /// watermark.
     pub history_window: Option<std::time::Duration>,
+    /// Observability: metric registry plus (optionally enabled) structured
+    /// trace sink.
+    pub obs: obskit::Obs,
 }
 
 impl ServerConfig {
@@ -77,6 +80,9 @@ pub struct ShardServer {
     watermarks: Rc<std::cell::RefCell<WatermarkTracker>>,
     /// Primary: next sequence number to assign (ordered mode).
     next_seq: Rc<std::cell::Cell<u64>>,
+    /// Primary: sequence stamp for [`obskit::TraceEvent::ReplicaAck`]
+    /// events (counts replication rounds in both modes).
+    trace_seq: Rc<std::cell::Cell<u64>>,
     /// Backup: in-order application state (ordered mode).
     ordered: Rc<std::cell::RefCell<OrderedBackup>>,
 }
@@ -111,6 +117,7 @@ impl ShardServer {
             ))),
             cfg: Rc::new(cfg),
             next_seq: Rc::new(std::cell::Cell::new(0)),
+            trace_seq: Rc::new(std::cell::Cell::new(0)),
             ordered: Rc::new(std::cell::RefCell::new(OrderedBackup::default())),
         };
         server.spawn_loop();
@@ -171,7 +178,7 @@ impl ShardServer {
             SemelRequest::Delete { key } => {
                 self.backend.delete(&key);
                 let rec = ReplicaRecord::Delete { key };
-                let ok = replicate::<SemelRequest, SemelResponse>(
+                let ok = replicate_traced::<SemelRequest, SemelResponse>(
                     &self.handle,
                     &self.rpc,
                     &self.cfg.backups,
@@ -182,6 +189,8 @@ impl ShardServer {
                     self.cfg.need_acks(),
                     self.cfg.repl_timeout,
                     |r| matches!(r, SemelResponse::RecordOk),
+                    &self.cfg.obs.tracer,
+                    self.trace_seq.replace(self.trace_seq.get() + 1),
                 )
                 .await;
                 resp.reply(if ok {
@@ -300,7 +309,7 @@ impl ShardServer {
             value,
             version,
         };
-        let ok = replicate::<SemelRequest, SemelResponse>(
+        let ok = replicate_traced::<SemelRequest, SemelResponse>(
             &self.handle,
             &self.rpc,
             &self.cfg.backups,
@@ -311,6 +320,8 @@ impl ShardServer {
             self.cfg.need_acks(),
             self.cfg.repl_timeout,
             |r| matches!(r, SemelResponse::RecordOk),
+            &self.cfg.obs.tracer,
+            self.trace_seq.replace(self.trace_seq.get() + 1),
         )
         .await;
         if ok {

@@ -145,8 +145,14 @@ fn client_id_totally_orders_simultaneous_writes() {
             value: value(&b"high"[..]),
             version: v(1_000, 2),
         };
-        let ra = rpc.call::<SemelRequest, SemelResponse>(primary, a, T).await.unwrap();
-        let rb = rpc.call::<SemelRequest, SemelResponse>(primary, b, T).await.unwrap();
+        let ra = rpc
+            .call::<SemelRequest, SemelResponse>(primary, a, T)
+            .await
+            .unwrap();
+        let rb = rpc
+            .call::<SemelRequest, SemelResponse>(primary, b, T)
+            .await
+            .unwrap();
         assert!(matches!(ra, SemelResponse::PutOk));
         assert!(matches!(rb, SemelResponse::PutOk), "{rb:?}");
         // Reversed arrival: the lower client id must now be rejected.
@@ -240,7 +246,11 @@ fn duplicate_retransmission_rereplicates_to_backups() {
         }
         let holders = cluster.servers[0]
             .iter()
-            .filter(|r| r.backend().versions(&Key::from(5u64)).contains(&v(1_000, 9)))
+            .filter(|r| {
+                r.backend()
+                    .versions(&Key::from(5u64))
+                    .contains(&v(1_000, 9))
+            })
             .count();
         assert!(holders >= 2, "write on {holders} replicas");
     });

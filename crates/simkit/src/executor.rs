@@ -133,7 +133,8 @@ impl TaskSlab {
     fn remove_node(&mut self, node: NodeId) -> Vec<Task> {
         let mut removed = Vec::new();
         for idx in 0..self.slots.len() {
-            let owned = matches!(&self.slots[idx].state, SlotState::Idle(t) if t.node == Some(node));
+            let owned =
+                matches!(&self.slots[idx].state, SlotState::Idle(t) if t.node == Some(node));
             if owned {
                 let slot = &mut self.slots[idx];
                 if let SlotState::Idle(task) = std::mem::replace(&mut slot.state, SlotState::Vacant)
@@ -268,7 +269,10 @@ impl Sim {
                 return jh.try_take().expect("join handle lost its value");
             }
             if !self.advance(None) {
-                panic!("simulation deadlocked at {} before block_on future completed", self.handle.now());
+                panic!(
+                    "simulation deadlocked at {} before block_on future completed",
+                    self.handle.now()
+                );
             }
         }
     }
@@ -349,9 +353,7 @@ impl Sim {
         match poll {
             Poll::Ready(()) => inner.tasks.complete(tid),
             Poll::Pending => {
-                let killed = task
-                    .node
-                    .is_some_and(|n| inner.net.is_dead(n));
+                let killed = task.node.is_some_and(|n| inner.net.is_dead(n));
                 if killed {
                     inner.tasks.complete(tid);
                     drop(inner);
@@ -366,7 +368,9 @@ impl Sim {
 
 impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sim").field("now", &self.handle.now()).finish()
+        f.debug_struct("Sim")
+            .field("now", &self.handle.now())
+            .finish()
     }
 }
 
@@ -517,7 +521,9 @@ impl SimHandle {
 
 impl std::fmt::Debug for SimHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimHandle").field("now", &self.now()).finish()
+        f.debug_struct("SimHandle")
+            .field("now", &self.now())
+            .finish()
     }
 }
 

@@ -272,9 +272,9 @@ mod tests {
             let mut joins = Vec::new();
             for i in 0..10u32 {
                 let c = client.clone();
-                joins.push(hh.spawn(async move {
-                    c.call::<Ping, Pong>(server, Ping(i), TIMEOUT).await
-                }));
+                joins.push(
+                    hh.spawn(async move { c.call::<Ping, Pong>(server, Ping(i), TIMEOUT).await }),
+                );
             }
             let mut outs = Vec::new();
             for j in joins {

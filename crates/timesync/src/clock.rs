@@ -81,6 +81,10 @@ struct ClockState {
     offset_ns: i64,
     next_sync: SimTime,
     last_issued: Timestamp,
+    /// Trace sink for resync events; disabled by default.
+    tracer: obskit::Tracer,
+    /// Client id stamped on emitted trace events.
+    trace_client: u64,
 }
 
 /// A per-client clock: skewed against true time, strictly monotonic in what
@@ -126,6 +130,8 @@ impl SyncedClock {
                 offset_ns,
                 next_sync: SimTime::ZERO + discipline.sync_interval(),
                 last_issued: Timestamp::ZERO,
+                tracer: obskit::Tracer::disabled(),
+                trace_client: 0,
             }),
             discipline,
             rng: RefCell::new(rng),
@@ -135,6 +141,14 @@ impl SyncedClock {
     /// The discipline this clock follows.
     pub fn discipline(&self) -> &Discipline {
         &self.discipline
+    }
+
+    /// Attaches a trace sink; each offset resample emits a
+    /// [`obskit::TraceEvent::ClockSync`] stamped with `client`.
+    pub fn attach_tracer(&self, tracer: &obskit::Tracer, client: u64) {
+        let mut st = self.state.borrow_mut();
+        st.tracer = tracer.clone();
+        st.trace_client = client;
     }
 
     /// Reads the clock at true time `true_now`.
@@ -152,6 +166,13 @@ impl SyncedClock {
             while st.next_sync <= true_now {
                 st.next_sync += interval;
             }
+            st.tracer.record(
+                true_now.as_nanos(),
+                obskit::TraceEvent::ClockSync {
+                    client: st.trace_client,
+                    offset_ns: st.offset_ns,
+                },
+            );
         }
         let raw = Timestamp(true_now.offset_by(st.offset_ns).as_nanos());
         let issued = if raw <= st.last_issued {

@@ -37,10 +37,7 @@ impl WatermarkTracker {
     /// Creates a tracker expecting reports from the given clients.
     pub fn new(clients: impl IntoIterator<Item = ClientId>) -> WatermarkTracker {
         WatermarkTracker {
-            latest: clients
-                .into_iter()
-                .map(|c| (c, Timestamp::ZERO))
-                .collect(),
+            latest: clients.into_iter().map(|c| (c, Timestamp::ZERO)).collect(),
         }
     }
 

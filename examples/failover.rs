@@ -45,7 +45,10 @@ fn main() -> Result<(), TxnError> {
             txn.commit().await?;
         }
         hh.sleep(Duration::from_millis(10)).await; // backups absorb records
-        println!("[{}] 5 transactions committed on the original primary", hh.now());
+        println!(
+            "[{}] 5 transactions committed on the original primary",
+            hh.now()
+        );
 
         // Catastrophe: the primary's node dies. Storage and the replicated
         // transaction table survive on the backups.
@@ -72,14 +75,20 @@ fn main() -> Result<(), TxnError> {
             assert_eq!(&v[..], format!("v{i}").as_bytes());
         }
         audit.commit().await?;
-        println!("[{}] all committed values intact on the new primary", hh.now());
+        println!(
+            "[{}] all committed values intact on the new primary",
+            hh.now()
+        );
 
         // ...and the shard accepts new transactions.
         let mut txn = client.begin();
         let _ = txn.get(&Key::from(50u64)).await?;
         txn.put(Key::from(50u64), value(&b"business as usual"[..]));
         txn.commit().await?;
-        println!("[{}] new transactions commit against the new primary", hh.now());
+        println!(
+            "[{}] new transactions commit against the new primary",
+            hh.now()
+        );
         Ok(())
     })
 }

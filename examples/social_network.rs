@@ -128,7 +128,13 @@ fn main() -> Result<(), TxnError> {
         let poster_a = cluster.clients[1].clone();
         let poster_b = cluster.clients[2].clone();
         let ja = hh.spawn(async move {
-            post(&poster_a, 0, &[1, 2], "precision time is a database primitive").await
+            post(
+                &poster_a,
+                0,
+                &[1, 2],
+                "precision time is a database primitive",
+            )
+            .await
         });
         let jb = hh.spawn(async move {
             post(&poster_b, 0, &[1, 2], "flash never overwrites in place").await

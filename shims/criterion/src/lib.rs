@@ -1,0 +1,144 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the macro/API surface its benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, `Bencher::iter`,
+//! `iter_batched`, `black_box`) on top of a simple wall-clock loop that
+//! reports mean ns/iter. No statistics, plots, or comparisons — just
+//! honest timings so `cargo bench` keeps working offline.
+//!
+//! Under `cargo test` (which runs `harness = false` bench binaries with
+//! `--test`-style smoke expectations) each bench runs a single iteration,
+//! keeping the test suite fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The bench harness: collects named closures and times them.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    /// True when invoked from `cargo test`: run everything once, no timing.
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim has no warm-up phase knob.
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Times `f` and prints `name ... mean ns/iter`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: if self.smoke {
+                1
+            } else {
+                self.sample_size as u64
+            },
+            elapsed: Duration::ZERO,
+            measured: 0,
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("bench {name}: ok (smoke)");
+        } else if b.measured > 0 {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.measured as f64;
+            println!("bench {name}: {per_iter:.0} ns/iter ({} iters)", b.measured);
+        } else {
+            println!("bench {name}: no iterations recorded");
+        }
+        self
+    }
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.measured += self.iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.measured += 1;
+        }
+    }
+}
+
+/// Declares a bench group: either `criterion_group!(name, fn_a, fn_b)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -147,7 +147,10 @@ fn survives_repeated_failover_cycles() {
         }
     });
     let acked = acked.get();
-    assert!(acked > 20, "workload made progress through 3 failovers: {acked}");
+    assert!(
+        acked > 20,
+        "workload made progress through 3 failovers: {acked}"
+    );
     assert!(
         total >= acked,
         "lost acknowledged commits: counters {total} < acked {acked}"

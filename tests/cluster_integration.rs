@@ -60,7 +60,8 @@ fn bank_transfers_conserve_money_across_shards() {
                 let mut rng = hh2.fork_rng();
                 for _ in 0..40 {
                     let from = rand::Rng::gen_range(&mut rng, 0..accounts);
-                    let to = (from + 1 + rand::Rng::gen_range(&mut rng, 0..accounts - 1)) % accounts;
+                    let to =
+                        (from + 1 + rand::Rng::gen_range(&mut rng, 0..accounts - 1)) % accounts;
                     let amt = rand::Rng::gen_range(&mut rng, 1..50u64);
                     loop {
                         let mut t = c.begin();
