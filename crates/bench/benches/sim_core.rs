@@ -49,9 +49,9 @@ fn bench_timer_wheel(c: &mut Criterion) {
 }
 
 fn bench_rpc_round_trip(c: &mut Criterion) {
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Ping(u64);
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Pong(u64);
     c.bench_function("rpc_1k_round_trips", |b| {
         b.iter(|| {

@@ -62,6 +62,7 @@ fn run_repl_point(mode: ReplicationMode, jitter_us: u64, seed: u64, scale: Scale
                 jitter_std: Duration::from_micros(jitter_us),
                 ..simkit::net::LatencyConfig::default()
             },
+            obs: crate::common::run_obs(),
             ..ClusterConfig::default()
         },
     );
@@ -202,6 +203,10 @@ pub fn run_clocks(scale: Scale) -> Json {
                         one_way: Duration::from_micros(150),
                         jitter_std: Duration::from_micros(30),
                         ..simkit::net::LatencyConfig::default()
+                    },
+                    tuning: milana::server::ServerTuning {
+                        obs: crate::common::run_obs(),
+                        ..Default::default()
                     },
                     ..MilanaClusterConfig::default()
                 },
@@ -546,6 +551,10 @@ pub fn run_open_loop(scale: Scale) -> Json {
                         one_way: Duration::from_micros(150),
                         jitter_std: Duration::from_micros(30),
                         ..simkit::net::LatencyConfig::default()
+                    },
+                    tuning: milana::server::ServerTuning {
+                        obs: crate::common::run_obs(),
+                        ..Default::default()
                     },
                     ..MilanaClusterConfig::default()
                 },

@@ -27,4 +27,5 @@ fn main() {
             .field("packing", packing)
             .field("open_loop", open_loop),
     );
+    bench::common::maybe_dump_trace();
 }

@@ -55,4 +55,5 @@ fn main() {
                     .field("open_loop", open_loop),
             ),
     );
+    bench::common::maybe_dump_trace();
 }

@@ -1,0 +1,177 @@
+//! Randomized fault campaigns with serializability checking.
+//!
+//! Runs N seeds × M faults of a contended counter workload under the
+//! faultkit nemesis, audits conservation, and checks the recorded trace
+//! for serializability, snapshot-read, and replication violations. The
+//! same seed always reproduces the same campaign byte for byte.
+//!
+//! ```text
+//! repro_chaos [--seed S]... [--seeds N] [--faults M] [--shards K]
+//!             [--inject validation-skip] [--json PATH] [--trace PATH]
+//! ```
+//!
+//! - `--seed S` runs exactly seed S (repeatable); otherwise seeds `0..N`
+//!   from `--seeds` (default 3, `REPRO_SCALE=full` → 8).
+//! - `--faults M` faults per seed (default 50, full scale 200).
+//! - `--inject validation-skip` disables Algorithm-1 read validation on
+//!   every primary — a seeded bug the checker must catch (exit stays 1).
+//! - `--json PATH` writes the byte-stable campaign artifact.
+//! - `--trace PATH` writes the full obskit trace (JSONL) of the first
+//!   offending seed, or of the last seed when all are clean.
+//!
+//! Exits non-zero when any seed has a violation or a failed audit.
+
+use bench::common::Scale;
+use faultkit::{run_seed_with_trace, CampaignConfig, CampaignReport};
+
+struct Args {
+    seeds: Vec<u64>,
+    faults: usize,
+    shards: u32,
+    inject: bool,
+    trace: Option<std::path::PathBuf>,
+}
+
+fn parse_args(scale: Scale) -> Args {
+    let (mut n_seeds, mut faults) = match scale {
+        Scale::Quick => (3u64, 50usize),
+        Scale::Full => (8, 200),
+    };
+    let mut explicit_seeds = Vec::new();
+    let mut shards = 2u32;
+    let mut inject = false;
+    let mut trace = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
+        match arg.as_str() {
+            "--seed" => explicit_seeds.push(take("--seed").parse().expect("--seed")),
+            "--seeds" => n_seeds = take("--seeds").parse().expect("--seeds"),
+            "--faults" => faults = take("--faults").parse().expect("--faults"),
+            "--shards" => shards = take("--shards").parse().expect("--shards"),
+            "--inject" => {
+                let what = take("--inject");
+                assert_eq!(what, "validation-skip", "unknown --inject {what}");
+                inject = true;
+            }
+            "--json" => {
+                take("--json");
+            }
+            "--trace" => trace = Some(take("--trace").into()),
+            other => {
+                if let Some(rest) = other.strip_prefix("--trace=") {
+                    trace = Some(rest.into());
+                } else if !other.starts_with("--json=") {
+                    eprintln!("unknown argument {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let seeds = if explicit_seeds.is_empty() {
+        (0..n_seeds).collect()
+    } else {
+        explicit_seeds
+    };
+    Args {
+        seeds,
+        faults,
+        shards,
+        inject,
+        trace,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let args = parse_args(scale);
+    let cfg = CampaignConfig {
+        seeds: args.seeds.clone(),
+        faults: args.faults,
+        shards: args.shards,
+        skip_validation: args.inject,
+        ..CampaignConfig::default()
+    };
+    eprintln!(
+        "chaos campaign: {} seed(s) x {} faults, {} shard(s){} ...",
+        cfg.seeds.len(),
+        cfg.faults,
+        cfg.shards,
+        if args.inject {
+            " [validation-skip injected]"
+        } else {
+            ""
+        }
+    );
+
+    let mut outcomes = Vec::new();
+    let mut offender_trace: Option<String> = None;
+    let mut last_trace = String::new();
+    for &seed in &cfg.seeds {
+        let (o, trace) = run_seed_with_trace(&cfg, seed);
+        println!(
+            "seed {:>4}: acked {:>5}  committed {:>5}  aborted {:>5}  unknown {:>3}  \
+             faults {:>3}  conservation {}  violations {}{}",
+            o.seed,
+            o.acked,
+            o.committed,
+            o.aborted,
+            o.unknown,
+            o.fault_counts.values().map(|&(a, _)| a).sum::<u64>(),
+            if o.conservation_ok { "ok" } else { "FAILED" },
+            o.violations.len(),
+            if o.trace_dropped > 0 {
+                format!(
+                    "  [trace ring dropped {} events; provenance checks skipped]",
+                    o.trace_dropped
+                )
+            } else {
+                String::new()
+            },
+        );
+        if args.trace.is_some() {
+            if !o.clean() && offender_trace.is_none() {
+                offender_trace = Some(trace);
+            } else {
+                last_trace = trace;
+            }
+        }
+        outcomes.push(o);
+    }
+    let report = CampaignReport { outcomes };
+
+    for o in report.outcomes.iter().filter(|o| !o.clean()) {
+        println!("\noffending seed {}:", o.seed);
+        if !o.conservation_ok {
+            println!(
+                "  conservation violated: audit total {} vs acked {} (+{} unknown)",
+                o.audit_total, o.acked, o.unknowns
+            );
+        }
+        for v in &o.violations {
+            println!("  {}: {}", v.class, v.description);
+            println!("  minimal trace slice:");
+            for line in v.trace_slice.lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    if report.violation_count() == 0 && report.offending_seeds().is_empty() {
+        println!("all {} seed(s) clean", report.outcomes.len());
+    }
+
+    bench::artifact::maybe_write("chaos", scale, report.to_json());
+    if let Some(path) = &args.trace {
+        match std::fs::write(path, offender_trace.unwrap_or(last_trace)) {
+            Ok(()) => eprintln!("wrote trace to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if !report.offending_seeds().is_empty() {
+        std::process::exit(1);
+    }
+}

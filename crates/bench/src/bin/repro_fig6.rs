@@ -10,4 +10,5 @@ fn main() {
     let points = fig6::run(&cfg);
     fig6::print(&cfg, &points);
     bench::artifact::maybe_write("fig6", scale, fig6::to_json(&cfg, &points));
+    bench::common::maybe_dump_trace();
 }

@@ -10,4 +10,5 @@ fn main() {
     let points = fig7::run(&cfg);
     fig7::print(&cfg, &points);
     bench::artifact::maybe_write("fig7", scale, fig7::to_json(&cfg, &points));
+    bench::common::maybe_dump_trace();
 }

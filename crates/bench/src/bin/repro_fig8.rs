@@ -10,4 +10,5 @@ fn main() {
     let points = fig8::run(&cfg);
     fig8::print(&cfg, &points);
     bench::artifact::maybe_write("fig8", scale, fig8::to_json(&cfg, &points));
+    bench::common::maybe_dump_trace();
 }

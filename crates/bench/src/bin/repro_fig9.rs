@@ -10,4 +10,5 @@ fn main() {
     let points = fig9::run(&cfg);
     fig9::print(&cfg, &points);
     bench::artifact::maybe_write("fig9", scale, fig9::to_json(&cfg, &points));
+    bench::common::maybe_dump_trace();
 }

@@ -10,4 +10,5 @@ fn main() {
     let rows = table1::run(&cfg);
     table1::print(&rows);
     bench::artifact::maybe_write("table1", scale, table1::to_json(&rows));
+    bench::common::maybe_dump_trace();
 }

@@ -1,11 +1,13 @@
 //! Shared plumbing for the experiment reproductions: scale factors,
 //! formatted table output, and MILANA/Retwis run helpers.
 
+use std::cell::RefCell;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::time::Duration;
 
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
-use obskit::TxnStats;
+use obskit::{Obs, TxnStats};
 use retwis::driver::{run_instance, TxnSystem, WorkloadConfig};
 use simkit::rng::Zipf;
 use simkit::time::SimTime;
@@ -52,6 +54,66 @@ impl Scale {
         match self {
             Scale::Quick => 20_000,
             Scale::Full => 200_000,
+        }
+    }
+}
+
+thread_local! {
+    static TRACE_OBS: RefCell<Option<Obs>> = const { RefCell::new(None) };
+}
+
+/// Parses `--trace <path>` / `--trace=<path>` from the process arguments.
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--trace" {
+            return it.next().map(PathBuf::from);
+        }
+        if let Some(rest) = arg.strip_prefix("--trace=") {
+            return Some(PathBuf::from(rest));
+        }
+    }
+    None
+}
+
+/// The process-wide observability bundle the experiment modules attach to
+/// every cluster they build. With `--trace <path>` on the command line it
+/// carries a bounded tracer (most recent 1 M events; older ones counted as
+/// dropped) that [`maybe_dump_trace`] writes out as JSONL. Without the
+/// flag tracing is disabled and recording costs nothing.
+pub fn run_obs() -> Obs {
+    TRACE_OBS.with(|slot| {
+        slot.borrow_mut()
+            .get_or_insert_with(|| {
+                if trace_path_from_args().is_some() {
+                    Obs::with_trace(1 << 20)
+                } else {
+                    Obs::new()
+                }
+            })
+            .clone()
+    })
+}
+
+/// Writes the recorded trace to the `--trace <path>` file as JSONL; no-op
+/// without the flag. Call once at the end of every `repro_*` main. A
+/// failed write aborts the binary so CI never mistakes a missing trace
+/// for success.
+pub fn maybe_dump_trace() {
+    let Some(path) = trace_path_from_args() else {
+        return;
+    };
+    let obs = run_obs();
+    match std::fs::write(&path, obs.tracer.dump_jsonl()) {
+        Ok(()) => eprintln!(
+            "wrote trace ({} events, {} dropped) to {}",
+            obs.tracer.len(),
+            obs.tracer.dropped(),
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("failed to write trace {}: {e}", path.display());
+            std::process::exit(1);
         }
     }
 }

@@ -116,6 +116,10 @@ fn run_point(
                 jitter_std: Duration::from_micros(1),
                 ..simkit::net::LatencyConfig::default()
             },
+            tuning: milana::server::ServerTuning {
+                obs: crate::common::run_obs(),
+                ..Default::default()
+            },
             ..MilanaClusterConfig::default()
         },
     );

@@ -116,6 +116,10 @@ fn run_point(kind: BackendKind, lv: bool, clients: u32, cfg: &Fig8Config, seed: 
                 jitter_std: Duration::from_micros(30),
                 ..simkit::net::LatencyConfig::default()
             },
+            tuning: milana::server::ServerTuning {
+                obs: crate::common::run_obs(),
+                ..Default::default()
+            },
             ..MilanaClusterConfig::default()
         },
     );

@@ -116,6 +116,10 @@ fn run_milana_point(alpha: f64, cfg: &Fig9Config, seed: u64) -> Fig9Point {
                 jitter_std: Duration::from_micros(30),
                 ..simkit::net::LatencyConfig::default()
             },
+            tuning: milana::server::ServerTuning {
+                obs: crate::common::run_obs(),
+                ..Default::default()
+            },
             ..MilanaClusterConfig::default()
         },
     );
@@ -166,6 +170,7 @@ fn run_centiman_point(alpha: f64, cfg: &Fig9Config, seed: u64) -> Fig9Point {
                 jitter_std: Duration::from_micros(30),
                 ..simkit::net::LatencyConfig::default()
             },
+            obs: crate::common::run_obs(),
             ..ClusterConfig::default()
         },
     );
@@ -195,6 +200,7 @@ fn run_centiman_point(alpha: f64, cfg: &Fig9Config, seed: u64) -> Fig9Point {
                 storage.map.clone(),
                 CentimanConfig {
                     report_every: cfg.report_every,
+                    obs: crate::common::run_obs(),
                     ..CentimanConfig::default()
                 },
             )

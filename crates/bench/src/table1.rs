@@ -104,6 +104,7 @@ pub fn run_cell(kind: BackendKind, get_pct: u32, cfg: &Table1Config, seed: u64) 
     }
     .sized_for(cfg.keys, 512, cfg.utilization);
     let store = Backend::new(kind, &h, nand);
+    store.attach_tracer(&crate::common::run_obs().tracer, 0);
     // 512-byte tuples: 16 B key + 472 B value + 24 B header.
     let payload = value(vec![0u8; 472]);
     for i in 0..cfg.keys {

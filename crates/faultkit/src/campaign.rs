@@ -1,0 +1,474 @@
+//! Randomized fault campaigns: N seeds × M faults of a contended counter
+//! workload under the nemesis, audited for conservation and checked for
+//! serializability, with byte-stable JSON summaries.
+//!
+//! Each seed runs in its own simulation: boot a traced MILANA cluster,
+//! seed counters, run read-modify-write clients continuously, walk a
+//! random [`FaultPlan`], force-heal, then audit (every acknowledged
+//! increment survives, no phantom increments) and run the
+//! [`Checker`](crate::history::Checker) over the recorded trace.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use flashsim::{value, Key, NandConfig, Value};
+use milana::cluster::{MilanaCluster, MilanaClusterConfig};
+use milana::TxnError;
+use obskit::{Json, Obs};
+use rand::Rng;
+use simkit::Sim;
+use timesync::Discipline;
+
+use crate::history::{Checker, History};
+use crate::nemesis::run_nemesis;
+use crate::plan::{FaultPlan, PlanShape};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seeds to run, one simulation each.
+    pub seeds: Vec<u64>,
+    /// Faults per seed.
+    pub faults: usize,
+    /// Shards in each cluster.
+    pub shards: u32,
+    /// Replicas per shard (odd).
+    pub replicas: u32,
+    /// Workload clients.
+    pub clients: u32,
+    /// Contended counter keys.
+    pub keys: u64,
+    /// Trace ring capacity (events). `0` auto-sizes from the fault count:
+    /// a 2-shard, 4-client workload produces roughly 3k trace events per
+    /// scheduled fault, and a ring that overflows truncates the history,
+    /// which disables every provenance-based check (see
+    /// [`crate::history`]). Auto-sizing keeps ~2.5x headroom over that.
+    pub trace_capacity: usize,
+    /// Seeded-bug mode: primaries vote yes without validating, so the
+    /// checker has a real serializability bug to catch.
+    pub skip_validation: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seeds: vec![0],
+            faults: 20,
+            shards: 1,
+            replicas: 3,
+            clients: 4,
+            keys: 8,
+            trace_capacity: 0,
+            skip_validation: false,
+        }
+    }
+}
+
+/// One invariant violation, summarized for reporting.
+#[derive(Debug, Clone)]
+pub struct ViolationSummary {
+    /// Violation class name.
+    pub class: &'static str,
+    /// Description (offending transactions inline).
+    pub description: String,
+    /// The minimal trace slice around the involved transactions (JSONL).
+    pub trace_slice: String,
+}
+
+/// Everything one seed produced.
+#[derive(Debug, Clone)]
+pub struct SeedOutcome {
+    /// The seed.
+    pub seed: u64,
+    /// Commits acknowledged to workload clients.
+    pub acked: u64,
+    /// Final counter sum read by the audit transaction.
+    pub audit_total: u64,
+    /// Unknown-outcome attempts reported by clients.
+    pub unknowns: u64,
+    /// Committed / aborted / unknown transactions in the trace history.
+    pub committed: u64,
+    /// Aborted transactions in the trace history.
+    pub aborted: u64,
+    /// Unknown-outcome transactions in the trace history.
+    pub unknown: u64,
+    /// Faults applied per class (class -> (attempted, ok)).
+    pub fault_counts: BTreeMap<&'static str, (u64, u64)>,
+    /// Promotions that failed and were retried by the finale.
+    pub promote_failures: u64,
+    /// Messages dropped / duplicated / delay-spiked by injection.
+    pub net_dropped: u64,
+    /// Messages duplicated by injection.
+    pub net_duplicated: u64,
+    /// Messages delay-spiked by injection.
+    pub net_delay_spiked: u64,
+    /// Trace-ring evictions (non-zero = visibility checks were skipped).
+    pub trace_dropped: u64,
+    /// True when the audit conserved every acknowledged increment.
+    pub conservation_ok: bool,
+    /// Checker violations.
+    pub violations: Vec<ViolationSummary>,
+}
+
+impl SeedOutcome {
+    /// True when the seed finished with no violations and conservation
+    /// intact.
+    pub fn clean(&self) -> bool {
+        self.conservation_ok && self.violations.is_empty()
+    }
+}
+
+/// A whole campaign's outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Per-seed outcomes, in seed order.
+    pub outcomes: Vec<SeedOutcome>,
+}
+
+impl CampaignReport {
+    /// Total violations across seeds.
+    pub fn violation_count(&self) -> usize {
+        self.outcomes.iter().map(|o| o.violations.len()).sum()
+    }
+
+    /// Seeds that were not clean.
+    pub fn offending_seeds(&self) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.clean())
+            .map(|o| o.seed)
+            .collect()
+    }
+
+    /// Deterministic JSON document (stable field order, no floats).
+    pub fn to_json(&self) -> Json {
+        let mut seeds = Vec::new();
+        for o in &self.outcomes {
+            let mut faults = Json::obj();
+            for (class, &(attempted, ok)) in &o.fault_counts {
+                faults = faults.field(
+                    class,
+                    Json::obj()
+                        .field("attempted", Json::U64(attempted))
+                        .field("ok", Json::U64(ok)),
+                );
+            }
+            let violations: Vec<Json> = o
+                .violations
+                .iter()
+                .map(|v| {
+                    Json::obj()
+                        .field("class", Json::str(v.class))
+                        .field("description", Json::str(&v.description))
+                })
+                .collect();
+            seeds.push(
+                Json::obj()
+                    .field("seed", Json::U64(o.seed))
+                    .field("acked", Json::U64(o.acked))
+                    .field("audit_total", Json::U64(o.audit_total))
+                    .field("unknowns", Json::U64(o.unknowns))
+                    .field("committed", Json::U64(o.committed))
+                    .field("aborted", Json::U64(o.aborted))
+                    .field("unknown", Json::U64(o.unknown))
+                    .field("faults", faults)
+                    .field("promote_failures", Json::U64(o.promote_failures))
+                    .field("net_dropped", Json::U64(o.net_dropped))
+                    .field("net_duplicated", Json::U64(o.net_duplicated))
+                    .field("net_delay_spiked", Json::U64(o.net_delay_spiked))
+                    .field("trace_dropped", Json::U64(o.trace_dropped))
+                    .field("conservation_ok", Json::Bool(o.conservation_ok))
+                    .field("violations", Json::arr(violations)),
+            );
+        }
+        Json::obj()
+            .field("seeds", Json::arr(seeds))
+            .field("violations_total", Json::U64(self.violation_count() as u64))
+    }
+}
+
+fn enc(n: u64) -> Value {
+    value(Vec::from(n.to_be_bytes()))
+}
+
+fn dec(v: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&v[..8]);
+    u64::from_be_bytes(b)
+}
+
+/// Runs one seed to completion and returns its outcome.
+pub fn run_seed(cfg: &CampaignConfig, seed: u64) -> SeedOutcome {
+    run_seed_with_trace(cfg, seed).0
+}
+
+/// Like [`run_seed`], but also returns the seed's full trace as JSONL
+/// (for `repro_chaos --trace`).
+pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, String) {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    let capacity = if cfg.trace_capacity == 0 {
+        cfg.faults.saturating_mul(8192).max(1 << 18)
+    } else {
+        cfg.trace_capacity
+    };
+    let obs = Obs::with_trace(capacity);
+    let mut cluster_cfg = MilanaClusterConfig {
+        shards: cfg.shards,
+        replicas: cfg.replicas,
+        clients: cfg.clients,
+        nand: NandConfig {
+            blocks: 512,
+            pages_per_block: 8,
+            ..NandConfig::default()
+        },
+        discipline: Discipline::PtpSoftware,
+        preload_keys: 0,
+        ..MilanaClusterConfig::default()
+    };
+    cluster_cfg.tuning.obs = obs.clone();
+    cluster_cfg.tuning.skip_validation.set(cfg.skip_validation);
+    cluster_cfg.client_cfg.obs = obs.clone();
+    let cluster = Rc::new(RefCell::new(MilanaCluster::build(&h, cluster_cfg)));
+
+    // Seed the counters.
+    let keys = cfg.keys;
+    {
+        let clients = cluster.borrow().clients.clone();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let mut t = clients[0].begin();
+            for k in 0..keys {
+                t.put(Key::from(k), enc(0));
+            }
+            t.commit().await.expect("seeding commit");
+            hh.sleep(Duration::from_millis(5)).await;
+        });
+    }
+
+    // Continuous contended workload: read-modify-write increments with an
+    // occasional read-only sum, one transaction at a time per client.
+    let acked = Rc::new(Cell::new(0u64));
+    let stop = Rc::new(Cell::new(false));
+    for c in &cluster.borrow().clients {
+        let c = c.clone();
+        let acked = acked.clone();
+        let stop = stop.clone();
+        let hh = h.clone();
+        h.spawn(async move {
+            let mut rng = hh.fork_rng();
+            while !stop.get() {
+                let read_only = rng.gen::<f64>() < 0.2;
+                let mut t = c.begin();
+                if read_only {
+                    let mut ok = true;
+                    for k in 0..keys {
+                        if t.get(&Key::from(k)).await.is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let _ = t.commit().await;
+                    } else {
+                        hh.sleep(Duration::from_millis(2)).await;
+                    }
+                    continue;
+                }
+                let k = Key::from(rng.gen_range(0..keys));
+                let n = match t.get(&k).await {
+                    Ok(v) if v.len() >= 8 => dec(&v),
+                    _ => {
+                        // Primary mid-failover; back off briefly.
+                        hh.sleep(Duration::from_millis(2)).await;
+                        continue;
+                    }
+                };
+                t.put(k.clone(), enc(n + 1));
+                if t.commit().await.is_ok() {
+                    acked.set(acked.get() + 1);
+                }
+            }
+        });
+    }
+
+    // The nemesis walks the plan, then force-heals.
+    let plan = FaultPlan::random(
+        seed,
+        cfg.faults,
+        PlanShape {
+            shards: cfg.shards,
+            replicas: cfg.replicas,
+            clients: cfg.clients,
+        },
+    );
+    let report = {
+        let hh = h.clone();
+        let cluster = cluster.clone();
+        let plan = plan.clone();
+        sim.block_on(async move { run_nemesis(&hh, &cluster, &plan).await })
+    };
+
+    // Settle, stop the workload, drain in-flight transactions.
+    {
+        let hh = h.clone();
+        let stop = stop.clone();
+        sim.block_on(async move {
+            hh.sleep(Duration::from_millis(80)).await;
+            stop.set(true);
+            hh.sleep(Duration::from_millis(60)).await;
+        });
+    }
+
+    // Audit: one transaction reading every counter, retried until it
+    // commits (the finale guarantees a serving primary per shard).
+    let clients = cluster.borrow().clients.clone();
+    let hh = h.clone();
+    let audit_total = sim.block_on(async move {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > 500 {
+                return None;
+            }
+            let mut t = clients[0].begin();
+            let mut sum = 0u64;
+            let mut bad = false;
+            for k in 0..keys {
+                match t.get(&Key::from(k)).await {
+                    Ok(v) if v.len() >= 8 => sum += dec(&v),
+                    _ => {
+                        bad = true;
+                        break;
+                    }
+                }
+            }
+            if bad {
+                hh.sleep(Duration::from_millis(2)).await;
+                continue;
+            }
+            match t.commit().await {
+                Ok(_) => return Some(sum),
+                Err(TxnError::Aborted(_)) => continue,
+                Err(_) => continue,
+            }
+        }
+    });
+
+    let cluster = cluster.borrow();
+    let unknowns: u64 = cluster.clients.iter().map(|c| c.stats().unknown).sum();
+    let acked = acked.get();
+    // Conservation: every acknowledged increment survived, and nothing
+    // appeared out of thin air (unknown-outcome attempts may legitimately
+    // commit via CTP; in-flight transactions at stop add at most one per
+    // client). With validation disabled the workload genuinely loses
+    // updates, so conservation is only meaningful in correct mode.
+    let conservation_ok = match audit_total {
+        None => false,
+        Some(total) => {
+            cfg.skip_validation
+                || (total >= acked && total <= acked + unknowns + cluster.clients.len() as u64)
+        }
+    };
+
+    let mut fault_counts: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for f in &report.applied {
+        let e = fault_counts.entry(f.class).or_insert((0, 0));
+        e.0 += 1;
+        if f.ok {
+            e.1 += 1;
+        }
+    }
+    let net = h.net_stats();
+
+    let history = History::from_events(obs.tracer.events(), obs.tracer.dropped());
+    let violations = Checker::new(&history)
+        .check()
+        .into_iter()
+        .map(|v| ViolationSummary {
+            class: v.class.as_str(),
+            description: v.description,
+            trace_slice: history.trace_slice(&v.txns),
+        })
+        .collect();
+
+    let outcome = SeedOutcome {
+        seed,
+        acked,
+        audit_total: audit_total.unwrap_or(0),
+        unknowns,
+        committed: history.committed() as u64,
+        aborted: history.aborted() as u64,
+        unknown: history.unknown() as u64,
+        fault_counts,
+        promote_failures: report.promote_failures,
+        net_dropped: net.dropped,
+        net_duplicated: net.duplicated,
+        net_delay_spiked: net.delay_spiked,
+        trace_dropped: obs.tracer.dropped(),
+        conservation_ok,
+        violations,
+    };
+    (outcome, obs.tracer.dump_jsonl())
+}
+
+/// Runs every seed in `cfg` and collects the outcomes.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let outcomes = cfg.seeds.iter().map(|&s| run_seed(cfg, s)).collect();
+    CampaignReport { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let cfg = CampaignConfig {
+            seeds: vec![7],
+            faults: 8,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        assert_eq!(a.violation_count(), 0, "{:?}", a.outcomes[0].violations);
+        let o = &a.outcomes[0];
+        assert!(o.conservation_ok, "audit failed: {o:?}");
+        assert!(o.acked > 0, "workload made no progress");
+        assert!(o.committed > 0, "trace recorded no commits");
+    }
+
+    #[test]
+    fn seeded_validation_bug_is_caught_by_the_checker() {
+        // Disable Algorithm-1 validation on every primary and hammer one
+        // key: lost updates become inevitable, and the checker must flag
+        // a serializability cycle.
+        let cfg = CampaignConfig {
+            seeds: vec![3],
+            faults: 0,
+            clients: 4,
+            keys: 1,
+            skip_validation: true,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg);
+        let o = &report.outcomes[0];
+        assert!(
+            o.violations
+                .iter()
+                .any(|v| v.class == "serializability_cycle"),
+            "checker missed the seeded bug: {:?}",
+            o.violations
+        );
+        // The offending slice names the transactions involved.
+        let v = o
+            .violations
+            .iter()
+            .find(|v| v.class == "serializability_cycle")
+            .expect("cycle violation");
+        assert!(!v.trace_slice.is_empty());
+    }
+}

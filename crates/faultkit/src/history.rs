@@ -1,0 +1,792 @@
+//! Committed-history reconstruction and invariant checking.
+//!
+//! [`History::from_events`] rebuilds per-transaction views from an
+//! [`obskit::Tracer`] event stream: each client runs one transaction at a
+//! time, so its `TxnBegin` / `TxnRead` / `TxnWrite` / `Commit` / `Abort`
+//! events partition cleanly into transactions. [`Checker`] then verifies:
+//!
+//! - **Serializability**: the conflict graph over committed transactions
+//!   (WW edges between writers of a key in commit-timestamp order, WR
+//!   edges from a version's writer to its readers, RW anti-dependency
+//!   edges from a reader to the version's next overwriter) is acyclic.
+//! - **Snapshot reads**: every read observed a version with
+//!   `ver_ts <= ts_begin` (no reads from the future), and never an *older*
+//!   version of a key whose newer write was already acknowledged to its
+//!   writer before the reader began — the no-lost-ack replication
+//!   invariant, violated exactly when a failover drops an acked commit.
+//! - **Phantoms**: every observed version was produced by some traced
+//!   transaction (committed, or unknown-outcome and later decided commit
+//!   by cooperative termination).
+//!
+//! Unknown-outcome transactions (`Abort` with class `unknown_outcome`)
+//! declared their write sets via `TxnWrite` before the prepare fan-out; if
+//! any of their versions is observed by a later read, the transaction is
+//! treated as CTP-committed and joins the conflict graph. When the trace
+//! ring dropped events, every check that reasons about version provenance
+//! is skipped — phantoms, missed writes, *and* cycle detection: on a
+//! truncated history a read of a pre-truncation version has no traced
+//! writer, so it would be mis-attributed to a much later unknown-outcome
+//! transaction of the same client, fabricating backward conflict edges
+//! (and with them arbitrarily long false cycles). Only the per-reader
+//! snapshot bound (`ver_ts <= ts_begin`) survives truncation, because it
+//! uses nothing but the reader's own events. Campaigns therefore size the
+//! trace ring to the fault schedule so real runs never drop.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+
+use obskit::{AbortClass, TraceEvent};
+
+/// The preload version stamp installed by cluster bulk-loading.
+const PRELOAD_TS: u64 = 1;
+const PRELOAD_CLIENT: u64 = u32::MAX as u64;
+
+/// One observed read: which version of which key a transaction saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadObs {
+    /// Key id (`Key::trace_id`).
+    pub key: u64,
+    /// Commit timestamp of the observed version.
+    pub ver_ts: u64,
+    /// Writer client of the observed version.
+    pub ver_client: u64,
+}
+
+/// How a transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Committed at `ts_commit` (acknowledged to the client at `at` ns).
+    Committed {
+        /// Commit timestamp (serialization point for read-write txns).
+        ts_commit: u64,
+        /// True for client-local read-only commits.
+        local: bool,
+        /// Virtual time of the commit acknowledgement.
+        at: u64,
+    },
+    /// Aborted (any class except `unknown_outcome`).
+    Aborted,
+    /// The coordinator timed out mid-2PC; cooperative termination decides
+    /// later. Writes may or may not be installed.
+    Unknown,
+}
+
+/// One reconstructed transaction.
+#[derive(Debug, Clone)]
+pub struct TxnView {
+    /// Coordinating client.
+    pub client: u64,
+    /// Begin timestamp (serialization point for read-only commits).
+    pub ts_begin: u64,
+    /// Virtual time of `TxnBegin`.
+    pub begin_at: u64,
+    /// Virtual time of the last event attributed to this transaction.
+    pub end_at: u64,
+    /// Reads in order.
+    pub reads: Vec<ReadObs>,
+    /// Keys written (declared before the prepare fan-out).
+    pub writes: Vec<u64>,
+    /// Final outcome.
+    pub outcome: Outcome,
+}
+
+/// The reconstructed history plus the raw events it came from.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Transactions in trace order.
+    pub txns: Vec<TxnView>,
+    /// Ring evictions reported by the tracer; non-zero means the history
+    /// is a suffix and visibility checks are skipped.
+    pub dropped: u64,
+    events: Vec<(u64, TraceEvent)>,
+}
+
+impl History {
+    /// Rebuilds transactions from a tracer event dump (see
+    /// [`obskit::Tracer::events`]) and its drop count.
+    pub fn from_events(events: Vec<(u64, TraceEvent)>, dropped: u64) -> History {
+        // Per-client open transaction; clients run one txn at a time.
+        let mut open: HashMap<u64, TxnView> = HashMap::new();
+        let mut txns = Vec::new();
+        let close = |open: &mut HashMap<u64, TxnView>,
+                     txns: &mut Vec<TxnView>,
+                     client: u64,
+                     outcome: Outcome,
+                     at: u64| {
+            if let Some(mut t) = open.remove(&client) {
+                t.outcome = outcome;
+                t.end_at = at;
+                txns.push(t);
+            }
+        };
+        for &(at, ref ev) in &events {
+            match *ev {
+                TraceEvent::TxnBegin { client, ts_begin } => {
+                    // A begin with a still-open txn means the previous one
+                    // never finished (interrupted mid-flight). If it had
+                    // declared writes it reached 2PC: outcome unknown.
+                    if let Some(prev) = open.remove(&client) {
+                        if !prev.writes.is_empty() {
+                            let mut prev = prev;
+                            prev.outcome = Outcome::Unknown;
+                            txns.push(prev);
+                        }
+                    }
+                    open.insert(
+                        client,
+                        TxnView {
+                            client,
+                            ts_begin,
+                            begin_at: at,
+                            end_at: at,
+                            reads: Vec::new(),
+                            writes: Vec::new(),
+                            outcome: Outcome::Aborted,
+                        },
+                    );
+                }
+                TraceEvent::TxnRead {
+                    client,
+                    key,
+                    ver_ts,
+                    ver_client,
+                    ..
+                } => {
+                    if let Some(t) = open.get_mut(&client) {
+                        t.end_at = at;
+                        t.reads.push(ReadObs {
+                            key,
+                            ver_ts,
+                            ver_client,
+                        });
+                    }
+                }
+                TraceEvent::TxnWrite { client, key } => {
+                    if let Some(t) = open.get_mut(&client) {
+                        t.end_at = at;
+                        t.writes.push(key);
+                    }
+                }
+                TraceEvent::Commit {
+                    client,
+                    ts_commit,
+                    local,
+                } => close(
+                    &mut open,
+                    &mut txns,
+                    client,
+                    Outcome::Committed {
+                        ts_commit,
+                        local,
+                        at,
+                    },
+                    at,
+                ),
+                TraceEvent::Abort { client, reason } => {
+                    let outcome = if reason == AbortClass::UnknownOutcome {
+                        Outcome::Unknown
+                    } else {
+                        Outcome::Aborted
+                    };
+                    close(&mut open, &mut txns, client, outcome, at);
+                }
+                _ => {}
+            }
+        }
+        // Transactions still open at the end of the trace: only those that
+        // reached the prepare fan-out matter (their writes may land).
+        for (_, mut t) in open.drain() {
+            if !t.writes.is_empty() {
+                t.outcome = Outcome::Unknown;
+                txns.push(t);
+            }
+        }
+        txns.sort_by_key(|t| (t.begin_at, t.client));
+        History {
+            txns,
+            dropped,
+            events,
+        }
+    }
+
+    /// Number of committed transactions.
+    pub fn committed(&self) -> usize {
+        self.txns
+            .iter()
+            .filter(|t| matches!(t.outcome, Outcome::Committed { .. }))
+            .count()
+    }
+
+    /// Number of aborted transactions.
+    pub fn aborted(&self) -> usize {
+        self.txns
+            .iter()
+            .filter(|t| t.outcome == Outcome::Aborted)
+            .count()
+    }
+
+    /// Number of unknown-outcome transactions.
+    pub fn unknown(&self) -> usize {
+        self.txns
+            .iter()
+            .filter(|t| t.outcome == Outcome::Unknown)
+            .count()
+    }
+
+    /// The minimal trace slice for a violation: every event attributable
+    /// to the involved transactions' clients within their combined time
+    /// window, as JSON lines. This is what a campaign prints next to the
+    /// offending seed.
+    pub fn trace_slice(&self, txn_indices: &[usize]) -> String {
+        let mut clients: Vec<u64> = Vec::new();
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for &i in txn_indices {
+            let t = &self.txns[i];
+            clients.push(t.client);
+            lo = lo.min(t.begin_at);
+            hi = hi.max(t.end_at);
+        }
+        let mut out = String::new();
+        for &(at, ref ev) in &self.events {
+            if at < lo || at > hi {
+                continue;
+            }
+            let client = match *ev {
+                TraceEvent::TxnBegin { client, .. }
+                | TraceEvent::TxnRead { client, .. }
+                | TraceEvent::TxnWrite { client, .. }
+                | TraceEvent::ValidateLocal { client, .. }
+                | TraceEvent::ValidateRemote { client, .. }
+                | TraceEvent::Commit { client, .. }
+                | TraceEvent::Abort { client, .. } => Some(client),
+                _ => None,
+            };
+            if client.is_some_and(|c| clients.contains(&c)) {
+                ev.to_json(at).write(&mut out);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// What kind of invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationClass {
+    /// The conflict graph has a cycle: the committed history admits no
+    /// serial order.
+    Serializability,
+    /// A read observed a version with `ver_ts > ts_begin`.
+    FutureRead,
+    /// A read missed a newer committed version that was acknowledged to
+    /// its writer before the reader began — an acked commit was lost.
+    ReplicationLostAck,
+    /// A read observed a version no traced transaction produced.
+    PhantomVersion,
+}
+
+impl ViolationClass {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ViolationClass::Serializability => "serializability_cycle",
+            ViolationClass::FutureRead => "future_read",
+            ViolationClass::ReplicationLostAck => "replication_lost_ack",
+            ViolationClass::PhantomVersion => "phantom_version",
+        }
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Violation class.
+    pub class: ViolationClass,
+    /// Human-readable account of what went wrong.
+    pub description: String,
+    /// Indices into [`History::txns`] of the transactions involved.
+    pub txns: Vec<usize>,
+}
+
+/// Identity of a committed write: `(ts_commit, writer client)` uniquely
+/// names a version in MILANA.
+type VersionId = (u64, u64);
+
+/// Checks a [`History`] for serializability and replication invariants.
+#[derive(Debug)]
+pub struct Checker<'a> {
+    history: &'a History,
+}
+
+impl<'a> Checker<'a> {
+    /// A checker over `history`.
+    pub fn new(history: &'a History) -> Checker<'a> {
+        Checker { history }
+    }
+
+    /// Runs every check and returns the violations found (empty = clean).
+    pub fn check(&self) -> Vec<Violation> {
+        let h = self.history;
+        let mut violations = Vec::new();
+
+        // -- Resolve the committed set ---------------------------------
+        // Committed txns keep their traced ts_commit. Unknown-outcome
+        // txns whose version some read observed were CTP-committed: adopt
+        // the observed timestamp.
+        let mut ts_of: HashMap<usize, u64> = HashMap::new();
+        let mut by_version: HashMap<VersionId, usize> = HashMap::new();
+        for (i, t) in h.txns.iter().enumerate() {
+            if let Outcome::Committed { ts_commit, .. } = t.outcome {
+                ts_of.insert(i, ts_commit);
+                if !t.writes.is_empty() {
+                    by_version.insert((ts_commit, t.client), i);
+                }
+            }
+        }
+        // Promotion is only sound on a complete trace: with events dropped,
+        // a read of a pre-truncation version also has no traced writer and
+        // would be pinned on an unrelated unknown txn.
+        if h.dropped == 0 {
+            // Observed versions no committed txn produced.
+            let mut orphans: Vec<(u64, VersionId)> = Vec::new();
+            for t in &h.txns {
+                for r in &t.reads {
+                    let vid = (r.ver_ts, r.ver_client);
+                    if !by_version.contains_key(&vid)
+                        && vid != (PRELOAD_TS, PRELOAD_CLIENT)
+                        && !orphans.contains(&(r.key, vid))
+                    {
+                        orphans.push((r.key, vid));
+                    }
+                }
+            }
+            // Each orphan was CTP-committed by some unknown-outcome txn of
+            // its writer client. Client clocks are strictly monotonic and a
+            // commit timestamp is minted after the begin timestamp of the
+            // same txn but before the begin of the client's next one, so
+            // the producer is the client's unknown txn (writing that key)
+            // with the largest `ts_begin <= ver_ts`.
+            for (key, (ver_ts, ver_client)) in orphans {
+                let producer = h
+                    .txns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| {
+                        t.outcome == Outcome::Unknown
+                            && t.client == ver_client
+                            && t.writes.contains(&key)
+                            && t.ts_begin <= ver_ts
+                    })
+                    .max_by_key(|(_, t)| t.ts_begin);
+                if let Some((i, _)) = producer {
+                    if let Entry::Vacant(slot) = ts_of.entry(i) {
+                        slot.insert(ver_ts);
+                        by_version.insert((ver_ts, ver_client), i);
+                    }
+                }
+            }
+        }
+
+        // -- Phantom versions ------------------------------------------
+        if h.dropped == 0 {
+            for (ri, reader) in h.txns.iter().enumerate() {
+                if !matches!(reader.outcome, Outcome::Committed { .. }) {
+                    continue;
+                }
+                for r in &reader.reads {
+                    if r.ver_ts == PRELOAD_TS && r.ver_client == PRELOAD_CLIENT {
+                        continue;
+                    }
+                    if !by_version.contains_key(&(r.ver_ts, r.ver_client)) {
+                        violations.push(Violation {
+                            class: ViolationClass::PhantomVersion,
+                            description: format!(
+                                "txn #{ri} (client {}) read key {} at version \
+                                 (ts {}, client {}) which no traced transaction wrote",
+                                reader.client, r.key, r.ver_ts, r.ver_client
+                            ),
+                            txns: vec![ri],
+                        });
+                    }
+                }
+            }
+        }
+
+        // -- Per-key writer timelines ----------------------------------
+        // writers[key] = [(ts_commit, writer client, txn idx)] sorted.
+        let mut writers: BTreeMap<u64, Vec<(u64, u64, usize)>> = BTreeMap::new();
+        for (&i, &ts) in &ts_of {
+            for &k in &h.txns[i].writes {
+                writers
+                    .entry(k)
+                    .or_default()
+                    .push((ts, h.txns[i].client, i));
+            }
+        }
+        for list in writers.values_mut() {
+            list.sort_unstable();
+        }
+
+        // -- Snapshot-read checks --------------------------------------
+        for (ri, reader) in h.txns.iter().enumerate() {
+            if !matches!(reader.outcome, Outcome::Committed { .. }) {
+                continue;
+            }
+            for r in &reader.reads {
+                if r.ver_ts > reader.ts_begin {
+                    violations.push(Violation {
+                        class: ViolationClass::FutureRead,
+                        description: format!(
+                            "txn #{ri} (client {}) began at ts {} but read key {} \
+                             at future version ts {}",
+                            reader.client, reader.ts_begin, r.key, r.ver_ts
+                        ),
+                        txns: vec![ri],
+                    });
+                    continue;
+                }
+                if h.dropped > 0 {
+                    continue;
+                }
+                // The newest committed version at ts_begin that was already
+                // acknowledged before this reader began. Anything the
+                // reader observes older than that is a lost acked write.
+                let Some(list) = writers.get(&r.key) else {
+                    continue;
+                };
+                let newest_acked = list
+                    .iter()
+                    .take_while(|&&(ts, _, _)| ts <= reader.ts_begin)
+                    .filter(|&&(_, _, wi)| match h.txns[wi].outcome {
+                        Outcome::Committed { at, .. } => at < reader.begin_at,
+                        // CTP-committed writes were never acked to their
+                        // client; the reader owes them nothing.
+                        _ => false,
+                    })
+                    .last();
+                if let Some(&(wts, wclient, wi)) = newest_acked {
+                    if wts > r.ver_ts {
+                        violations.push(Violation {
+                            class: ViolationClass::ReplicationLostAck,
+                            description: format!(
+                                "txn #{ri} (client {}) read key {} at version ts {} \
+                                 although txn #{wi} (client {wclient}) had its write \
+                                 at ts {wts} acknowledged before the reader began",
+                                reader.client, r.key, r.ver_ts
+                            ),
+                            txns: vec![ri, wi],
+                        });
+                    }
+                }
+            }
+        }
+
+        // -- Conflict-graph cycle detection ----------------------------
+        // Nodes: committed (incl. CTP-committed) txns. Edges:
+        //   WW: consecutive writers of a key in version order.
+        //   WR: version writer -> its readers.
+        //   RW: reader -> the version's next overwriter.
+        // Unsound on a truncated history (see module docs): bail out and
+        // let the campaign surface the drop count instead.
+        if h.dropped > 0 {
+            return violations;
+        }
+        let mut edges: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut add_edge = |from: usize, to: usize| {
+            if from != to {
+                let list = edges.entry(from).or_default();
+                if !list.contains(&to) {
+                    list.push(to);
+                }
+            }
+        };
+        for list in writers.values() {
+            for pair in list.windows(2) {
+                add_edge(pair[0].2, pair[1].2);
+            }
+        }
+        for (ri, reader) in h.txns.iter().enumerate() {
+            if !ts_of.contains_key(&ri) {
+                continue;
+            }
+            for r in &reader.reads {
+                let vid: VersionId = (r.ver_ts, r.ver_client);
+                if let Some(&wi) = by_version.get(&vid) {
+                    add_edge(wi, ri);
+                }
+                if let Some(list) = writers.get(&r.key) {
+                    if let Some(&(_, _, ni)) = list
+                        .iter()
+                        .find(|&&(ts, c, _)| (ts, c) > (r.ver_ts, r.ver_client))
+                    {
+                        add_edge(ri, ni);
+                    }
+                }
+            }
+        }
+        if let Some(cycle) = find_cycle(&edges) {
+            let path = cycle
+                .iter()
+                .map(|&i| format!("#{i}(client {})", h.txns[i].client))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            violations.push(Violation {
+                class: ViolationClass::Serializability,
+                description: format!("conflict cycle: {path}"),
+                txns: cycle,
+            });
+        }
+
+        violations
+    }
+}
+
+/// Iterative DFS over `edges`; returns the first cycle found (as the list
+/// of nodes on it), or `None` when the graph is acyclic.
+fn find_cycle(edges: &HashMap<usize, Vec<usize>>) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<usize, Color> = HashMap::new();
+    let mut roots: Vec<usize> = edges.keys().copied().collect();
+    roots.sort_unstable();
+    for &root in &roots {
+        if *color.get(&root).unwrap_or(&Color::White) != Color::White {
+            continue;
+        }
+        // Stack of (node, next-edge-index); path = gray nodes on stack.
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color.insert(root, Color::Gray);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succ = edges.get(&node).map(|l| l.as_slice()).unwrap_or(&[]);
+            if *next < succ.len() {
+                let target = succ[*next];
+                *next += 1;
+                match *color.get(&target).unwrap_or(&Color::White) {
+                    Color::White => {
+                        color.insert(target, Color::Gray);
+                        stack.push((target, 0));
+                    }
+                    Color::Gray => {
+                        // Found a back edge: the cycle is the stack suffix
+                        // from `target` onward.
+                        let start = stack
+                            .iter()
+                            .position(|&(n, _)| n == target)
+                            .expect("gray node on stack");
+                        return Some(stack[start..].iter().map(|&(n, _)| n).collect());
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(client: u64, ts: u64) -> TraceEvent {
+        TraceEvent::TxnBegin {
+            client,
+            ts_begin: ts,
+        }
+    }
+
+    fn read(client: u64, key: u64, ver_ts: u64, ver_client: u64) -> TraceEvent {
+        TraceEvent::TxnRead {
+            client,
+            key,
+            prepared: false,
+            ver_ts,
+            ver_client,
+        }
+    }
+
+    fn write(client: u64, key: u64) -> TraceEvent {
+        TraceEvent::TxnWrite { client, key }
+    }
+
+    fn commit(client: u64, ts: u64) -> TraceEvent {
+        TraceEvent::Commit {
+            client,
+            ts_commit: ts,
+            local: false,
+        }
+    }
+
+    fn check(events: Vec<(u64, TraceEvent)>) -> Vec<Violation> {
+        let h = History::from_events(events, 0);
+        Checker::new(&h).check()
+    }
+
+    #[test]
+    fn clean_serial_history_passes() {
+        // c1 writes k1@20; c2 reads it at ts_begin 30 and writes k1@40.
+        let violations = check(vec![
+            (1, begin(1, 10)),
+            (2, read(1, 1, PRELOAD_TS, PRELOAD_CLIENT)),
+            (3, write(1, 1)),
+            (4, commit(1, 20)),
+            (10, begin(2, 30)),
+            (11, read(2, 1, 20, 1)),
+            (12, write(2, 1)),
+            (13, commit(2, 40)),
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn lost_update_cycle_is_detected() {
+        // Both txns read the preload version of k1, then both write it:
+        // WW orders t1 -> t2, but t2's read of the old version adds the
+        // anti-dependency t2 -> t1. Classic lost update, a 2-cycle.
+        let violations = check(vec![
+            (1, begin(1, 10)),
+            (2, read(1, 1, PRELOAD_TS, PRELOAD_CLIENT)),
+            (3, begin(2, 11)),
+            (4, read(2, 1, PRELOAD_TS, PRELOAD_CLIENT)),
+            (5, write(1, 1)),
+            (6, commit(1, 20)),
+            (7, write(2, 1)),
+            (8, commit(2, 21)),
+        ]);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.class == ViolationClass::Serializability),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn future_read_is_detected() {
+        let violations = check(vec![
+            (1, begin(1, 10)),
+            (2, write(1, 1)),
+            (3, commit(1, 50)),
+            (4, begin(2, 30)),
+            (5, read(2, 1, 50, 1)), // 50 > ts_begin 30
+            (6, commit(2, 31)),
+        ]);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.class == ViolationClass::FutureRead),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn lost_acked_commit_is_detected() {
+        // c1's write of k1@20 is acked at virtual time 4; c2 begins at
+        // time 10 with ts_begin 30 yet reads the preload version.
+        let violations = check(vec![
+            (1, begin(1, 10)),
+            (2, write(1, 1)),
+            (4, commit(1, 20)),
+            (10, begin(2, 30)),
+            (11, read(2, 1, PRELOAD_TS, PRELOAD_CLIENT)),
+            (12, commit(2, 30)),
+        ]);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.class == ViolationClass::ReplicationLostAck),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn phantom_version_is_detected_only_on_complete_traces() {
+        let events = vec![
+            (1, begin(2, 30)),
+            (2, read(2, 1, 99, 7)), // nobody wrote (99, 7)
+            (3, commit(2, 31)),
+        ];
+        let complete = History::from_events(events.clone(), 0);
+        assert!(Checker::new(&complete)
+            .check()
+            .iter()
+            .any(|v| v.class == ViolationClass::PhantomVersion));
+        let truncated = History::from_events(events, 5);
+        assert!(Checker::new(&truncated)
+            .check()
+            .iter()
+            .all(|v| v.class != ViolationClass::PhantomVersion));
+    }
+
+    #[test]
+    fn unknown_outcome_write_observed_by_reader_joins_history() {
+        // c1 reaches 2PC (declares writes) then times out; c2 later reads
+        // c1's version: CTP must have committed it. No violations.
+        let violations = check(vec![
+            (1, begin(1, 10)),
+            (2, write(1, 1)),
+            (
+                3,
+                TraceEvent::Abort {
+                    client: 1,
+                    reason: AbortClass::UnknownOutcome,
+                },
+            ),
+            (10, begin(2, 30)),
+            (11, read(2, 1, 20, 1)),
+            (12, commit(2, 31)),
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn aborted_writes_never_enter_the_graph() {
+        let events = vec![
+            (1, begin(1, 10)),
+            (2, write(1, 1)),
+            (
+                3,
+                TraceEvent::Abort {
+                    client: 1,
+                    reason: AbortClass::Validation,
+                },
+            ),
+        ];
+        let h = History::from_events(events, 0);
+        assert_eq!(h.committed(), 0);
+        assert_eq!(h.aborted(), 1);
+        assert!(Checker::new(&h).check().is_empty());
+    }
+
+    #[test]
+    fn trace_slice_covers_involved_clients_only() {
+        let events = vec![
+            (1, begin(1, 10)),
+            (2, begin(2, 11)),
+            (3, commit(1, 20)),
+            (4, commit(2, 21)),
+        ];
+        let h = History::from_events(events, 0);
+        let idx = h
+            .txns
+            .iter()
+            .position(|t| t.client == 1)
+            .expect("client 1 txn");
+        let slice = h.trace_slice(&[idx]);
+        assert!(slice.contains(r#""client":1"#));
+        assert!(!slice.contains(r#""client":2"#));
+    }
+
+    #[test]
+    fn interrupted_txn_with_writes_is_unknown() {
+        let events = vec![(1, begin(1, 10)), (2, write(1, 1)), (5, begin(1, 30))];
+        let h = History::from_events(events, 0);
+        assert_eq!(h.unknown(), 1);
+    }
+}

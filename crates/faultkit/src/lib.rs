@@ -1,0 +1,37 @@
+//! Deterministic fault-injection campaigns and a serializability history
+//! checker for the MILANA stack.
+//!
+//! The crate has four layers:
+//!
+//! - [`plan`]: a seeded, declarative schedule of faults ([`FaultPlan`]) —
+//!   crashes, partitions, network degradation (drop / duplicate / delay
+//!   spikes), clock steps, and flash media faults — with a generator that
+//!   only produces *survivable* schedules (every partition heals, every
+//!   crash leaves a quorum).
+//! - [`nemesis`]: a task on the simulation executor that walks a plan
+//!   against a running [`milana::MilanaCluster`], driving failover and
+//!   restarts, and records what it actually did.
+//! - [`history`]: rebuilds the committed transaction history from an
+//!   [`obskit::Tracer`] dump and checks serializability (conflict-graph
+//!   cycle detection), snapshot-read consistency, and the no-lost-ack
+//!   replication invariant.
+//! - [`campaign`]: runs N seeds × M faults of a counter workload under the
+//!   nemesis, audits conservation invariants, runs the checker, and emits
+//!   byte-stable JSON summaries (the `repro_chaos` binary's engine).
+//!
+//! Everything is deterministic: the same seed replays the same fault
+//! schedule, the same message drops, and the same checker verdicts.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod history;
+pub mod nemesis;
+pub mod plan;
+
+pub use campaign::{
+    run_campaign, run_seed, run_seed_with_trace, CampaignConfig, CampaignReport, SeedOutcome,
+};
+pub use history::{Checker, History, Violation, ViolationClass};
+pub use nemesis::{run_nemesis, NemesisReport};
+pub use plan::{Fault, FaultPlan, PlanShape, TimedFault};

@@ -1,0 +1,238 @@
+//! The nemesis: a simulation task that walks a [`FaultPlan`] against a
+//! running [`MilanaCluster`], injecting each fault at its scheduled time
+//! and undoing it after its embedded hold period.
+//!
+//! The nemesis is strictly sequential — one fault is fully applied and
+//! recovered before the next fires — which keeps randomly generated plans
+//! survivable (a crash cycle always restores 2f+1 replicas before the next
+//! crash can target the same shard) and keeps runs deterministic. After
+//! the last fault, [`finale`] force-heals everything so the caller's audit
+//! transaction can always complete.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use milana::cluster::{MilanaCluster, MASTER_NODE};
+use milana::PromoteError;
+use semel::shard::ShardId;
+use simkit::net::NodeId;
+use simkit::{SimHandle, SimTime};
+
+use crate::plan::{Fault, FaultPlan};
+
+/// Clients occupy nodes `10_000 + i` (mirrors the cluster harness's
+/// layout, which is not exported).
+fn client_node(i: u32) -> NodeId {
+    NodeId(10_000 + i)
+}
+
+/// One fault as actually applied.
+#[derive(Debug, Clone)]
+pub struct AppliedFault {
+    /// Virtual time the fault fired.
+    pub at: SimTime,
+    /// Fault class (see [`Fault::class`]).
+    pub class: &'static str,
+    /// False when the injection itself failed (e.g. the promotion after a
+    /// crash found no live backup); the campaign records these per class.
+    pub ok: bool,
+}
+
+/// What the nemesis did.
+#[derive(Debug, Clone, Default)]
+pub struct NemesisReport {
+    /// Every fault in application order.
+    pub applied: Vec<AppliedFault>,
+    /// Promotions that returned an error (recorded, then retried by the
+    /// finale).
+    pub promote_failures: u64,
+}
+
+impl NemesisReport {
+    /// Number of faults that applied cleanly.
+    pub fn ok_count(&self) -> usize {
+        self.applied.iter().filter(|f| f.ok).count()
+    }
+}
+
+fn all_nodes(cluster: &MilanaCluster) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = cluster
+        .replicas
+        .iter()
+        .flatten()
+        .map(|slot| slot.addr.node)
+        .collect();
+    nodes.extend((0..cluster.config.clients).map(client_node));
+    nodes.push(MASTER_NODE);
+    nodes
+}
+
+fn isolate(h: &SimHandle, cluster: &MilanaCluster, node: NodeId) {
+    let others: Vec<NodeId> = all_nodes(cluster)
+        .into_iter()
+        .filter(|&n| n != node)
+        .collect();
+    h.partition(&[node], &others);
+}
+
+async fn restart_dead_replicas(
+    h: &SimHandle,
+    cluster: &Rc<RefCell<MilanaCluster>>,
+    shard: ShardId,
+) {
+    let replicas = cluster.borrow().config.replicas as usize;
+    for idx in 0..replicas {
+        let dead = {
+            let c = cluster.borrow();
+            h.is_dead(c.replicas[shard.0 as usize][idx].addr.node)
+        };
+        if dead {
+            cluster.borrow_mut().restart_replica(shard, idx);
+        }
+    }
+}
+
+async fn apply_one(
+    h: &SimHandle,
+    cluster: &Rc<RefCell<MilanaCluster>>,
+    fault: &Fault,
+    report: &mut NemesisReport,
+) -> bool {
+    match fault {
+        Fault::CrashPrimary {
+            shard,
+            restart_after,
+        } => {
+            let shard = ShardId(*shard);
+            let promote = {
+                let c = cluster.borrow();
+                c.fail_primary(shard);
+                c.promote_backup(shard)
+            };
+            let ok = match promote.await {
+                Ok(()) => true,
+                Err(PromoteError::NoLiveBackup)
+                | Err(PromoteError::Unreachable)
+                | Err(PromoteError::NotABackup) => {
+                    report.promote_failures += 1;
+                    false
+                }
+            };
+            h.sleep(*restart_after).await;
+            restart_dead_replicas(h, cluster, shard).await;
+            ok
+        }
+        Fault::PartitionPrimary { shard, heal_after } => {
+            {
+                let c = cluster.borrow();
+                let primary = c.map.borrow().group(ShardId(*shard)).primary;
+                isolate(h, &c, primary.node);
+            }
+            h.sleep(*heal_after).await;
+            h.heal_partitions();
+            true
+        }
+        Fault::PartitionClient { client, heal_after } => {
+            {
+                let c = cluster.borrow();
+                isolate(h, &c, client_node(*client));
+            }
+            h.sleep(*heal_after).await;
+            h.heal_partitions();
+            true
+        }
+        Fault::NetDegrade { cfg, restore_after } => {
+            h.set_net_faults(cfg.clone());
+            h.sleep(*restore_after).await;
+            h.clear_net_faults();
+            true
+        }
+        Fault::ClockStep { client, delta_ns } => {
+            let c = cluster.borrow();
+            c.clients[*client as usize].clock().inject_step(*delta_ns);
+            true
+        }
+        Fault::FlashDegrade {
+            shard,
+            replica,
+            cfg,
+            restore_after,
+        } => {
+            {
+                let c = cluster.borrow();
+                c.replicas[*shard as usize][*replica as usize]
+                    .server
+                    .backend()
+                    .inject_media_faults(cfg.clone());
+            }
+            h.sleep(*restore_after).await;
+            let c = cluster.borrow();
+            c.replicas[*shard as usize][*replica as usize]
+                .server
+                .backend()
+                .inject_media_faults(Default::default());
+            true
+        }
+    }
+}
+
+/// Applies `plan` to `cluster` in order, then runs [`finale`]. Returns a
+/// report of what was injected; injection failures (e.g. a promotion that
+/// raced another fault) are recorded, not panicked.
+pub async fn run_nemesis(
+    h: &SimHandle,
+    cluster: &Rc<RefCell<MilanaCluster>>,
+    plan: &FaultPlan,
+) -> NemesisReport {
+    let mut report = NemesisReport::default();
+    for timed in &plan.faults {
+        h.sleep(timed.after).await;
+        let at = h.now();
+        let class = timed.fault.class();
+        let ok = apply_one(h, cluster, &timed.fault, &mut report).await;
+        report.applied.push(AppliedFault { at, class, ok });
+    }
+    finale(h, cluster).await;
+    report
+}
+
+/// Force-recovers the cluster: heals partitions, clears network and media
+/// faults, restarts every dead replica, and retries promotion until every
+/// shard has a live serving primary. Guarantees a subsequent audit
+/// transaction can complete.
+pub async fn finale(h: &SimHandle, cluster: &Rc<RefCell<MilanaCluster>>) {
+    h.heal_partitions();
+    h.clear_net_faults();
+    {
+        let c = cluster.borrow();
+        for slot in c.replicas.iter().flatten() {
+            slot.server
+                .backend()
+                .inject_media_faults(Default::default());
+        }
+    }
+    let shards = cluster.borrow().config.shards;
+    for s in 0..shards {
+        restart_dead_replicas(h, cluster, ShardId(s)).await;
+    }
+    // Every replica is alive now; make sure each shard's mapped primary
+    // actually serves (a crash may have been followed by a failed
+    // promotion, or the mapped primary may have died while partitioned).
+    for s in 0..shards {
+        let shard = ShardId(s);
+        for _attempt in 0..10 {
+            let serving = {
+                let c = cluster.borrow();
+                let primary = c.map.borrow().group(shard).primary;
+                !h.is_dead(primary.node) && c.primary(shard).is_primary()
+            };
+            if serving {
+                break;
+            }
+            let promote = cluster.borrow().promote_backup(shard);
+            let _ = promote.await;
+            h.sleep(Duration::from_millis(20)).await;
+        }
+    }
+}

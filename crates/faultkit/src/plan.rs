@@ -1,0 +1,250 @@
+//! Declarative, seeded fault schedules.
+//!
+//! A [`FaultPlan`] is a sequence of [`TimedFault`]s the nemesis applies
+//! strictly in order: wait `after`, inject, hold for the fault's embedded
+//! duration, undo. Embedding the undo in the fault itself (every partition
+//! carries its heal delay, every degradation its restore delay) means a
+//! randomly generated plan is survivable by construction — the cluster is
+//! never left permanently partitioned or degraded, and every crash cycle
+//! restores full replication before the next fault fires.
+
+use std::time::Duration;
+
+use flashsim::nand::MediaFaultConfig;
+use rand::{Rng, SeedableRng};
+use simkit::net::NetFaultConfig;
+
+/// One injectable fault, with its recovery baked in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Kill the shard's current primary mid-flight, promote a live backup
+    /// (the §4.5 failover: log merge, in-doubt resolution, lease wait),
+    /// then revive the crashed replica as a backup after `restart_after`.
+    CrashPrimary {
+        /// Target shard.
+        shard: u32,
+        /// Delay before the killed replica restarts.
+        restart_after: Duration,
+    },
+    /// Isolate the shard's current primary from every other node (clients,
+    /// replicas, master), heal after `heal_after`. In-flight messages
+    /// already scheduled still deliver; everything submitted during the
+    /// partition is dropped.
+    PartitionPrimary {
+        /// Target shard.
+        shard: u32,
+        /// Partition duration.
+        heal_after: Duration,
+    },
+    /// Isolate one client from the whole cluster, heal after `heal_after`.
+    PartitionClient {
+        /// Target client index.
+        client: u32,
+        /// Partition duration.
+        heal_after: Duration,
+    },
+    /// Degrade the network fabric — probabilistic message drop,
+    /// duplication, and latency spikes — then restore after
+    /// `restore_after`. Loopback traffic is exempt.
+    NetDegrade {
+        /// Fault probabilities and spike size.
+        cfg: NetFaultConfig,
+        /// Degradation duration.
+        restore_after: Duration,
+    },
+    /// Step one client's synchronized clock by `delta_ns`. Positive steps
+    /// jump reads forward; negative steps slew (the monotonic clamp keeps
+    /// issued timestamps from going backwards). Persists until the next
+    /// resync.
+    ClockStep {
+        /// Target client index.
+        client: u32,
+        /// Offset applied to the clock's correction, ns.
+        delta_ns: i64,
+    },
+    /// Degrade one replica's flash device — ECC-recovery retries on
+    /// read/program and worn-block retirement on erase — then restore
+    /// after `restore_after`.
+    FlashDegrade {
+        /// Target shard.
+        shard: u32,
+        /// Replica index within the shard.
+        replica: u32,
+        /// Media-fault probabilities and recovery latency.
+        cfg: MediaFaultConfig,
+        /// Degradation duration.
+        restore_after: Duration,
+    },
+}
+
+impl Fault {
+    /// Stable class name for per-class outcome accounting.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Fault::CrashPrimary { .. } => "crash",
+            Fault::PartitionPrimary { .. } => "partition_primary",
+            Fault::PartitionClient { .. } => "partition_client",
+            Fault::NetDegrade { .. } => "net_degrade",
+            Fault::ClockStep { .. } => "clock_step",
+            Fault::FlashDegrade { .. } => "flash_degrade",
+        }
+    }
+}
+
+/// A fault plus the delay before it fires (relative to the previous fault
+/// completing — the nemesis is strictly sequential).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedFault {
+    /// Wait this long after the previous fault finished.
+    pub after: Duration,
+    /// What to inject.
+    pub fault: Fault,
+}
+
+/// Cluster shape the generator needs to pick valid targets.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanShape {
+    /// Number of shards.
+    pub shards: u32,
+    /// Replicas per shard (crashes are only generated when `>= 3`).
+    pub replicas: u32,
+    /// Number of clients.
+    pub clients: u32,
+}
+
+/// An ordered fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The schedule, applied front to back.
+    pub faults: Vec<TimedFault>,
+}
+
+impl FaultPlan {
+    /// Generates a survivable random schedule of `n` faults from `seed`.
+    /// The same `(seed, n, shape)` always yields the same plan.
+    pub fn random(seed: u64, n: usize, shape: PlanShape) -> FaultPlan {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xfa_17_5c_4e_d0_1e_55_ed);
+        let mut faults = Vec::with_capacity(n);
+        for _ in 0..n {
+            let after = Duration::from_millis(rng.gen_range(4..24));
+            let shard = rng.gen_range(0..shape.shards as u64) as u32;
+            let client = rng.gen_range(0..shape.clients as u64) as u32;
+            // Weighted mix; crashes need a quorum of backups to fail onto.
+            let mut roll = rng.gen_range(0..100u64);
+            if shape.replicas < 3 && roll < 25 {
+                roll = 25; // no survivable crash: fall through to partition
+            }
+            let fault = match roll {
+                0..=24 => Fault::CrashPrimary {
+                    shard,
+                    restart_after: Duration::from_millis(rng.gen_range(8..30)),
+                },
+                25..=39 => Fault::PartitionPrimary {
+                    shard,
+                    heal_after: Duration::from_millis(rng.gen_range(5..25)),
+                },
+                40..=49 => Fault::PartitionClient {
+                    client,
+                    heal_after: Duration::from_millis(rng.gen_range(5..25)),
+                },
+                50..=69 => Fault::NetDegrade {
+                    cfg: NetFaultConfig {
+                        drop_prob: rng.gen_range(0..30) as f64 / 100.0,
+                        dup_prob: rng.gen_range(0..50) as f64 / 100.0,
+                        delay_spike_prob: rng.gen_range(0..40) as f64 / 100.0,
+                        delay_spike: Duration::from_micros(rng.gen_range(200..5_000)),
+                    },
+                    restore_after: Duration::from_millis(rng.gen_range(5..30)),
+                },
+                70..=84 => Fault::ClockStep {
+                    client,
+                    delta_ns: rng.gen_range(-5_000_000i64..5_000_000),
+                },
+                _ => Fault::FlashDegrade {
+                    shard,
+                    replica: rng.gen_range(0..shape.replicas as u64) as u32,
+                    cfg: MediaFaultConfig {
+                        read_error_prob: rng.gen_range(0..50) as f64 / 100.0,
+                        program_error_prob: rng.gen_range(0..50) as f64 / 100.0,
+                        recovery_latency: Duration::from_micros(rng.gen_range(100..1_000)),
+                        retire_next_erases: rng.gen_range(0..3u32),
+                    },
+                    restore_after: Duration::from_millis(rng.gen_range(10..40)),
+                },
+            };
+            faults.push(TimedFault { after, fault });
+        }
+        FaultPlan { faults }
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: PlanShape = PlanShape {
+        shards: 2,
+        replicas: 3,
+        clients: 4,
+    };
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::random(42, 50, SHAPE);
+        let b = FaultPlan::random(42, 50, SHAPE);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::random(1, 50, SHAPE);
+        let b = FaultPlan::random(2, 50, SHAPE);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_replica_shape_generates_no_crashes() {
+        let plan = FaultPlan::random(
+            7,
+            100,
+            PlanShape {
+                shards: 1,
+                replicas: 1,
+                clients: 2,
+            },
+        );
+        assert!(plan
+            .faults
+            .iter()
+            .all(|f| !matches!(f.fault, Fault::CrashPrimary { .. })));
+    }
+
+    #[test]
+    fn mixed_plans_cover_every_class() {
+        let plan = FaultPlan::random(3, 200, SHAPE);
+        for class in [
+            "crash",
+            "partition_primary",
+            "partition_client",
+            "net_degrade",
+            "clock_step",
+            "flash_degrade",
+        ] {
+            assert!(
+                plan.faults.iter().any(|f| f.fault.class() == class),
+                "missing {class}"
+            );
+        }
+    }
+}

@@ -235,6 +235,17 @@ impl Backend {
         }
     }
 
+    /// Injects media faults (ECC-recovery retries, worn-block retirement)
+    /// into the underlying flash device. DRAM has no media to degrade.
+    pub fn inject_media_faults(&self, cfg: crate::nand::MediaFaultConfig) {
+        match self {
+            Backend::Dram(_) => {}
+            Backend::Sftl(s) => s.inject_media_faults(cfg),
+            Backend::Vftl(s) => s.inject_media_faults(cfg),
+            Backend::Mftl(s) => s.inject_media_faults(cfg),
+        }
+    }
+
     /// Store counters.
     pub fn stats(&self) -> StoreStats {
         match self {

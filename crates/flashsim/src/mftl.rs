@@ -220,6 +220,11 @@ impl UnifiedStore {
         self.dev.attach_tracer(tracer, node);
     }
 
+    /// Injects media faults into the underlying device (fault campaigns).
+    pub fn inject_media_faults(&self, cfg: crate::nand::MediaFaultConfig) {
+        self.dev.inject_media_faults(cfg);
+    }
+
     /// Writes a new version of `key`. Completes when the tuple is persisted
     /// (packed page programmed to flash).
     ///

@@ -150,6 +150,38 @@ pub struct NandStats {
     pub page_writes: u64,
     /// Blocks erased.
     pub block_erases: u64,
+    /// Operations that needed an injected media-error recovery retry.
+    pub media_retries: u64,
+    /// Blocks retired as worn out instead of returning to the free pool.
+    pub retired_blocks: u64,
+}
+
+/// Injectable flash media faults (see [`NandDevice::inject_media_faults`]).
+///
+/// Media errors model ECC-recoverable bit errors: the operation still
+/// succeeds but pays `recovery_latency` extra device time (real controllers
+/// retry with tuned read-reference voltages). Worn-block retirement models
+/// end-of-life blocks: the next `retire_next_erases` erases complete but
+/// permanently remove their block from the free pool, shrinking usable
+/// capacity the way bad-block management does.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MediaFaultConfig {
+    /// Probability a page read needs error recovery.
+    pub read_error_prob: f64,
+    /// Probability a page program needs error recovery.
+    pub program_error_prob: f64,
+    /// Extra device occupancy per recovery.
+    pub recovery_latency: Duration,
+    /// How many upcoming erases retire their block as worn out.
+    pub retire_next_erases: u32,
+}
+
+impl MediaFaultConfig {
+    fn is_noop(&self) -> bool {
+        self.read_error_prob <= 0.0
+            && self.program_error_prob <= 0.0
+            && self.retire_next_erases == 0
+    }
 }
 
 #[derive(Debug)]
@@ -166,6 +198,8 @@ struct NandInner<P> {
     free: BTreeSet<(u32, u32)>,
     channel_busy: Vec<SimTime>,
     stats: NandStats,
+    /// Injected media faults; `None` = healthy device.
+    faults: Option<MediaFaultConfig>,
     /// Trace sink for `FlashOp`/`GcRun` events; disabled by default.
     tracer: obskit::Tracer,
     /// Node id stamped on emitted trace events.
@@ -213,6 +247,7 @@ impl<P: Clone + 'static> NandDevice<P> {
                 free,
                 channel_busy: vec![SimTime::ZERO; cfg.channels as usize],
                 stats: NandStats::default(),
+                faults: None,
                 tracer: obskit::Tracer::disabled(),
                 node: 0,
             })),
@@ -252,6 +287,34 @@ impl<P: Clone + 'static> NandDevice<P> {
     /// Activity counters so far.
     pub fn stats(&self) -> NandStats {
         self.inner.borrow().stats
+    }
+
+    /// Installs media faults applied to subsequent operations. A no-op
+    /// config uninstalls, same as [`NandDevice::clear_media_faults`]. All
+    /// randomness comes from the simulation RNG, so faulty runs stay
+    /// deterministic.
+    pub fn inject_media_faults(&self, cfg: MediaFaultConfig) {
+        self.inner.borrow_mut().faults = if cfg.is_noop() { None } else { Some(cfg) };
+    }
+
+    /// Removes any injected media faults.
+    pub fn clear_media_faults(&self) {
+        self.inner.borrow_mut().faults = None;
+    }
+
+    /// Extra device occupancy if a media-error recovery fires for an
+    /// operation whose error probability is `prob_of`.
+    fn media_recovery(&self, prob_of: impl Fn(&MediaFaultConfig) -> f64) -> Duration {
+        let (prob, latency) = match &self.inner.borrow().faults {
+            Some(f) => (prob_of(f), f.recovery_latency),
+            None => return Duration::ZERO,
+        };
+        if prob > 0.0 && self.handle.rand_f64() < prob {
+            self.inner.borrow_mut().stats.media_retries += 1;
+            latency
+        } else {
+            Duration::ZERO
+        }
     }
 
     /// Attaches a trace sink; subsequent operations emit
@@ -331,7 +394,9 @@ impl<P: Clone + 'static> NandDevice<P> {
             inner.stats.page_writes += 1;
         }
         self.trace_op(obskit::FlashOpKind::Write);
-        self.timed(loc.block, self.cfg.write_latency).await;
+        let recovery = self.media_recovery(|f| f.program_error_prob);
+        self.timed(loc.block, self.cfg.write_latency + recovery)
+            .await;
         Ok(())
     }
 
@@ -351,7 +416,9 @@ impl<P: Clone + 'static> NandDevice<P> {
             p
         };
         self.trace_op(obskit::FlashOpKind::Read);
-        self.timed(loc.block, self.cfg.read_latency).await;
+        let recovery = self.media_recovery(|f| f.read_error_prob);
+        self.timed(loc.block, self.cfg.read_latency + recovery)
+            .await;
         Ok(payload)
     }
 
@@ -377,7 +444,20 @@ impl<P: Clone + 'static> NandDevice<P> {
             blk.next_page = 0;
             blk.erase_count += 1;
             let count = blk.erase_count;
-            inner.free.insert((count, block));
+            // Worn-block retirement: the erase completes, but the block is
+            // permanently withheld from the free pool (bad-block list).
+            let retire = match &mut inner.faults {
+                Some(f) if f.retire_next_erases > 0 => {
+                    f.retire_next_erases -= 1;
+                    true
+                }
+                _ => false,
+            };
+            if retire {
+                inner.stats.retired_blocks += 1;
+            } else {
+                inner.free.insert((count, block));
+            }
             inner.stats.block_erases += 1;
         }
         self.trace_op(obskit::FlashOpKind::Erase);
@@ -604,6 +684,61 @@ mod tests {
         // -> ceil(2500/32) = 79 blocks.
         assert_eq!(cfg.blocks, 79);
         assert!(cfg.total_pages() >= 2500);
+    }
+
+    #[test]
+    fn media_retry_adds_recovery_latency() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let dev: NandDevice<u32> = NandDevice::new(hh.clone(), small_cfg());
+            dev.inject_media_faults(MediaFaultConfig {
+                read_error_prob: 1.0,
+                recovery_latency: Duration::from_micros(400),
+                ..MediaFaultConfig::default()
+            });
+            let b = dev.alloc_block().unwrap();
+            // Writes are unaffected (program_error_prob = 0).
+            let t0 = hh.now();
+            dev.program(PhysLoc { block: b, page: 0 }, 1).await.unwrap();
+            assert_eq!(hh.now() - t0, Duration::from_micros(100));
+            // Every read hits ECC recovery: 50us + 400us.
+            let t1 = hh.now();
+            dev.read(PhysLoc { block: b, page: 0 }).await.unwrap();
+            assert_eq!(hh.now() - t1, Duration::from_micros(450));
+            assert_eq!(dev.stats().media_retries, 1);
+            // Clearing faults restores nominal latency.
+            dev.clear_media_faults();
+            let t2 = hh.now();
+            dev.read(PhysLoc { block: b, page: 0 }).await.unwrap();
+            assert_eq!(hh.now() - t2, Duration::from_micros(50));
+            assert_eq!(dev.stats().media_retries, 1);
+        });
+    }
+
+    #[test]
+    fn worn_block_retirement_shrinks_free_pool() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let dev: NandDevice<u32> = NandDevice::new(h, small_cfg());
+            let free0 = dev.free_blocks();
+            dev.inject_media_faults(MediaFaultConfig {
+                retire_next_erases: 1,
+                ..MediaFaultConfig::default()
+            });
+            let b0 = dev.alloc_block().unwrap();
+            let b1 = dev.alloc_block().unwrap();
+            // First erase retires the block instead of returning it.
+            dev.erase(b0).await.unwrap();
+            assert_eq!(dev.free_blocks(), free0 - 2);
+            assert_eq!(dev.stats().retired_blocks, 1);
+            // Budget exhausted: the next erase recycles normally.
+            dev.erase(b1).await.unwrap();
+            assert_eq!(dev.free_blocks(), free0 - 1);
+            assert_eq!(dev.stats().retired_blocks, 1);
+        });
     }
 
     #[test]

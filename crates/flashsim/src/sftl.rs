@@ -68,6 +68,11 @@ impl SingleVersionStore {
         self.ftl.device().attach_tracer(tracer, node);
     }
 
+    /// Injects media faults into the underlying device (fault campaigns).
+    pub fn inject_media_faults(&self, cfg: crate::nand::MediaFaultConfig) {
+        self.ftl.device().inject_media_faults(cfg);
+    }
+
     fn lba_for(&self, key: &Key) -> Result<(u32, bool), StoreError> {
         let mut inner = self.inner.borrow_mut();
         if let Some(&(lba, _)) = inner.map.get(key) {

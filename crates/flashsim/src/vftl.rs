@@ -218,6 +218,11 @@ impl SplitStore {
         self.ftl.device().attach_tracer(tracer, node);
     }
 
+    /// Injects media faults into the underlying device (fault campaigns).
+    pub fn inject_media_faults(&self, cfg: crate::nand::MediaFaultConfig) {
+        self.ftl.device().inject_media_faults(cfg);
+    }
+
     /// Writes a new version of `key` (see [`crate::mftl::UnifiedStore::put`]).
     ///
     /// # Errors

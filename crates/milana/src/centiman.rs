@@ -379,6 +379,8 @@ impl CentTxn {
                     client: self.c.storage.id().0 as u64,
                     key: key.trace_id(),
                     prepared: false,
+                    ver_ts: vv.version.ts.0,
+                    ver_client: vv.version.client.0 as u64,
                 });
                 self.read_set.push((key.clone(), vv.version));
                 self.cache.insert(key.clone(), vv.value.clone());

@@ -392,6 +392,8 @@ impl Txn {
                         client: self.c.id.0 as u64,
                         key: key.trace_id(),
                         prepared,
+                        ver_ts: version.ts.0,
+                        ver_client: version.client.0 as u64,
                     });
                     self.cache.insert(key.clone(), value.clone());
                     // Feed the inter-transaction cache (newest version wins).
@@ -479,6 +481,8 @@ impl Txn {
                         client: self.c.id.0 as u64,
                         key: key.trace_id(),
                         prepared: false,
+                        ver_ts: version.ts.0,
+                        ver_client: version.client.0 as u64,
                     });
                     self.cache.insert(key.clone(), value.clone());
                     return Ok(value);
@@ -624,6 +628,14 @@ impl Txn {
             client: self.c.id.0 as u64,
             participants: participants.len() as u64,
         });
+        // Declare the write set before the prepare fan-out so a history
+        // checker can recover it even when the outcome ends up unknown.
+        for (key, _) in &self.writes {
+            self.c.trace(TraceEvent::TxnWrite {
+                client: self.c.id.0 as u64,
+                key: key.trace_id(),
+            });
+        }
         // Phase 1: prepare in parallel at every participant primary
         // (iterated in shard order for determinism).
         let mut votes = Vec::new();

@@ -15,7 +15,7 @@ use simkit::SimHandle;
 use timesync::{ClientId, Discipline, Timestamp, Version};
 
 use crate::client::{TxnClient, TxnClientConfig};
-use crate::msg::{TxnRequest, TxnResponse};
+use crate::msg::{PromoteError, TxnRequest, TxnResponse};
 use crate::server::{ServerTuning, TxnServer, TxnServerConfig};
 use crate::table::TxnTable;
 
@@ -215,7 +215,10 @@ impl MilanaCluster {
                     if ok {
                         // Keep the servers' shared directory view in step
                         // (servers use it for cross-shard recovery queries).
-                        shared_map.borrow_mut().promote(shard, new_primary);
+                        // A false return means this view already moved on
+                        // (harness-driven promotion raced us); the RPC
+                        // target is primary either way.
+                        let _ = shared_map.borrow_mut().promote(shard, new_primary);
                     }
                     ok
                 })
@@ -293,11 +296,16 @@ impl MilanaCluster {
     /// Returns a `'static` future so callers can drive it with
     /// `Sim::block_on` without borrowing the cluster.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// The returned future panics if no live backup exists or recovery does
-    /// not complete.
-    pub fn promote_backup(&self, shard: ShardId) -> impl std::future::Future<Output = ()> {
+    /// [`PromoteError`] when no live backup exists, the candidate raced out
+    /// of the group, or the promotion RPC got no answer (the candidate may
+    /// have crashed mid-recovery). Fault-injection harnesses record these
+    /// and retry; steady-state failovers never hit them.
+    pub fn promote_backup(
+        &self,
+        shard: ShardId,
+    ) -> impl std::future::Future<Output = Result<(), PromoteError>> {
         let handle = self.handle.clone();
         let map = self.map.clone();
         let master_rpc = self.master_rpc.clone();
@@ -311,7 +319,9 @@ impl MilanaCluster {
                     .copied()
                     .filter(|a| !handle.is_dead(a.node))
                     .collect();
-                let new_primary = *live.first().expect("a live backup to promote");
+                let Some(&new_primary) = live.first() else {
+                    return Err(PromoteError::NoLiveBackup);
+                };
                 // The new primary replicates to every *other* replica — dead
                 // ones included; they catch up if they come back.
                 let rest = group
@@ -323,16 +333,20 @@ impl MilanaCluster {
             };
             // Route clients to the new primary immediately; it answers
             // NotReady until recovery completes and clients retry.
-            map.borrow_mut().promote(shard, new_primary);
-            let resp = master_rpc
+            if !map.borrow_mut().promote(shard, new_primary) {
+                return Err(PromoteError::NotABackup);
+            }
+            match master_rpc
                 .call::<TxnRequest, TxnResponse>(
                     new_primary,
                     TxnRequest::Promote { backups: rest },
                     Duration::from_secs(2),
                 )
                 .await
-                .expect("promotion to complete");
-            assert!(matches!(resp, TxnResponse::PromoteOk));
+            {
+                Ok(TxnResponse::PromoteOk) => Ok(()),
+                Ok(_) | Err(_) => Err(PromoteError::Unreachable),
+            }
         }
     }
 

@@ -58,5 +58,5 @@ mod tests;
 
 pub use client::{CommitInfo, Txn, TxnClient, TxnClientConfig};
 pub use cluster::{MilanaCluster, MilanaClusterConfig};
-pub use msg::{AbortReason, TxnError, TxnId, TxnRequest, TxnResponse};
+pub use msg::{AbortReason, PromoteError, TxnError, TxnId, TxnRequest, TxnResponse};
 pub use server::{LeaseConfig, ServerTuning, TxnServer, TxnServerConfig};

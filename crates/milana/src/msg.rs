@@ -238,6 +238,41 @@ impl AbortReason {
     }
 }
 
+/// Why a failover promotion could not complete. Under fault injection a
+/// promotion races crashes and partitions, so these are expected outcomes a
+/// nemesis records and retries — not panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromoteError {
+    /// Every backup of the shard is dead; nothing can be promoted.
+    NoLiveBackup,
+    /// The chosen backup never answered the `Promote` RPC (it may have
+    /// crashed mid-recovery or been partitioned from the master).
+    Unreachable,
+    /// The chosen address is not a current backup in the shard map (it
+    /// raced a concurrent promotion).
+    NotABackup,
+}
+
+impl PromoteError {
+    /// The observability class a failed promotion maps onto: the
+    /// coordinator-side effect is an unreachable participant.
+    pub fn class(self) -> obskit::AbortClass {
+        obskit::AbortClass::ParticipantUnreachable
+    }
+}
+
+impl std::fmt::Display for PromoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PromoteError::NoLiveBackup => write!(f, "no live backup to promote"),
+            PromoteError::Unreachable => write!(f, "promotion RPC got no answer"),
+            PromoteError::NotABackup => write!(f, "address is not a current backup"),
+        }
+    }
+}
+
+impl std::error::Error for PromoteError {}
+
 impl std::fmt::Display for TxnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

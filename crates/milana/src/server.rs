@@ -77,6 +77,12 @@ pub struct ServerTuning {
     pub obs: obskit::Obs,
     /// CTP scan period.
     pub ctp_scan_every: Duration,
+    /// Fault-injection hook: when set, primaries vote yes on every prepare
+    /// without running Algorithm-1 validation. Exists solely so chaos
+    /// harnesses can seed a serializability bug and prove the history
+    /// checker catches it. Shared (`Rc`) so one toggle reaches every
+    /// replica built from this tuning.
+    pub skip_validation: std::rc::Rc<std::cell::Cell<bool>>,
 }
 
 impl Default for ServerTuning {
@@ -90,6 +96,7 @@ impl Default for ServerTuning {
             ctp_after: Duration::from_millis(500),
             ctp_scan_every: Duration::from_millis(200),
             obs: obskit::Obs::new(),
+            skip_validation: std::rc::Rc::new(std::cell::Cell::new(false)),
         }
     }
 }
@@ -125,6 +132,13 @@ struct ServerState {
     known_primary: Option<Addr>,
     /// Outcomes that arrived before their prepare record (backup side).
     pending_outcomes: std::collections::HashMap<TxnId, bool>,
+    /// Prepares whose replication is still in flight. A retransmitted
+    /// Prepare for one of these must NOT be answered from the table: the
+    /// record is installed before replication completes, and an early
+    /// `Vote{ok}` would acknowledge a prepare that may yet fail
+    /// replication and abort — the coordinator could then commit a
+    /// transaction recorded on no backup, which a primary crash erases.
+    replicating: std::collections::HashSet<TxnId>,
 }
 
 /// Counters for observability and the experiment harnesses.
@@ -190,6 +204,7 @@ impl TxnServer {
             max_granted: SimTime::ZERO,
             known_primary: None,
             pending_outcomes: std::collections::HashMap::new(),
+            replicating: std::collections::HashSet::new(),
         };
         let server = TxnServer {
             handle: handle.clone(),
@@ -531,6 +546,13 @@ impl TxnServer {
                 return;
             }
         }
+        // Duplicate of a prepare whose replication is still in flight
+        // (at-least-once delivery): stay silent. The original handler
+        // replies once the quorum settles; answering early from the table
+        // would leak a vote for an un-durable prepare.
+        if self.state.borrow().replicating.contains(&txid) {
+            return;
+        }
         // Retransmitted prepare: answer from the table.
         if let Some(status) = self.table.borrow().status(txid) {
             resp.reply(TxnResponse::Vote {
@@ -539,10 +561,20 @@ impl TxnServer {
             return;
         }
         let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
+        // The chaos harness can disable read validation to seed a known
+        // serializability bug (lost updates slip through); write-conflict
+        // checks stay on so the table's exclusivity invariants hold.
+        let checked_reads: &[(Key, Version)] = if self.cfg.tuning.skip_validation.get() {
+            &[]
+        } else {
+            &reads
+        };
         let verdict = self
             .table
             .borrow()
-            .validate(&reads, &write_keys, ts_commit, |k| self.latest_committed(k));
+            .validate(checked_reads, &write_keys, ts_commit, |k| {
+                self.latest_committed(k)
+            });
         if !verdict.is_success() {
             self.stats.borrow_mut().prepares_aborted += 1;
             self.trace(obskit::TraceEvent::PrepareVote {
@@ -560,6 +592,7 @@ impl TxnServer {
             status: TxnStatus::Prepared,
         };
         self.table.borrow_mut().prepare(record.clone());
+        self.state.borrow_mut().replicating.insert(txid);
         // Replicate the prepare record; any f of 2f backups suffice, in any
         // order relative to other records (§3.2, Figure 5).
         let (backups, need) = {
@@ -578,6 +611,7 @@ impl TxnServer {
             self.repl_seq.replace(self.repl_seq.get() + 1),
         )
         .await;
+        self.state.borrow_mut().replicating.remove(&txid);
         if !ok {
             // Could not make the prepare durable: release and vote abort.
             self.table.borrow_mut().decide(txid, false);

@@ -285,7 +285,7 @@ fn primary_failover_preserves_committed_data() {
         t.commit().await.unwrap();
         hh.sleep(Duration::from_millis(10)).await; // let backups apply
         cluster.fail_primary(ShardId(0));
-        cluster.promote_backup(ShardId(0)).await;
+        cluster.promote_backup(ShardId(0)).await.expect("promotion");
         // New primary serves the committed value.
         let mut t2 = c.begin();
         assert_eq!(&t2.get(&k(1)).await.unwrap()[..], b"survives");
@@ -332,7 +332,7 @@ fn failover_commits_prepared_single_shard_transaction() {
         assert!(matches!(vote, crate::msg::TxnResponse::Vote { ok: true }));
         hh.sleep(Duration::from_millis(2)).await; // replication settles
         cluster.fail_primary(ShardId(0));
-        cluster.promote_backup(ShardId(0)).await;
+        cluster.promote_backup(ShardId(0)).await.expect("promotion");
         // Algorithm 2: a prepared single-shard transaction is committed by
         // the new primary (the coordinator could only have decided commit).
         let c = cluster.clients[0].clone();
@@ -874,7 +874,8 @@ fn install_log_catches_up_a_stale_backup() {
     // primary's InstallLog must bring the stale backup's data forward.
     cluster.restart_replica(ShardId(0), 2);
     cluster.fail_primary(ShardId(0));
-    sim.block_on(cluster.promote_backup(ShardId(0)));
+    sim.block_on(cluster.promote_backup(ShardId(0)))
+        .expect("promotion");
     sim.block_on({
         let hh2 = hh.clone();
         async move { hh2.sleep(Duration::from_millis(20)).await }

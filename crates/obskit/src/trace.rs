@@ -57,6 +57,19 @@ pub enum TraceEvent {
         key: u64,
         /// True when the visible version carried the prepared flag.
         prepared: bool,
+        /// Commit timestamp of the version observed (ns).
+        ver_ts: u64,
+        /// Client id of the writer that installed the observed version.
+        ver_client: u64,
+    },
+    /// A buffered write declared just before 2PC prepare fan-out, so the
+    /// write set of an unknown-outcome transaction is still recoverable
+    /// from the trace.
+    TxnWrite {
+        /// Coordinating client id.
+        client: u64,
+        /// The key written.
+        key: u64,
     },
     /// A read-only transaction was decided by client-local validation.
     ValidateLocal {
@@ -131,6 +144,7 @@ impl TraceEvent {
         match self {
             TraceEvent::TxnBegin { .. } => "txn_begin",
             TraceEvent::TxnRead { .. } => "txn_read",
+            TraceEvent::TxnWrite { .. } => "txn_write",
             TraceEvent::ValidateLocal { .. } => "validate_local",
             TraceEvent::ValidateRemote { .. } => "validate_remote",
             TraceEvent::PrepareVote { .. } => "prepare_vote",
@@ -152,10 +166,17 @@ impl TraceEvent {
                 client,
                 key,
                 prepared,
+                ver_ts,
+                ver_client,
             } => doc
                 .field("client", Json::U64(client))
                 .field("key", Json::U64(key))
-                .field("prepared", Json::Bool(prepared)),
+                .field("prepared", Json::Bool(prepared))
+                .field("ver_ts", Json::U64(ver_ts))
+                .field("ver_client", Json::U64(ver_client)),
+            TraceEvent::TxnWrite { client, key } => doc
+                .field("client", Json::U64(client))
+                .field("key", Json::U64(key)),
             TraceEvent::ValidateLocal { client, ok } => doc
                 .field("client", Json::U64(client))
                 .field("ok", Json::Bool(ok)),
@@ -282,6 +303,15 @@ impl Tracer {
         })
     }
 
+    /// A snapshot of the buffered events, oldest first, each paired with
+    /// its virtual timestamp. Used by history checkers that consume the
+    /// trace structurally instead of via JSONL.
+    pub fn events(&self) -> Vec<(u64, TraceEvent)> {
+        self.ring
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.borrow().events.iter().cloned().collect())
+    }
+
     /// The buffered events as JSON lines (one compact object per line,
     /// oldest first), preceded by a header line recording capacity and
     /// drop count. Byte-stable across same-seed runs.
@@ -380,7 +410,10 @@ mod tests {
                 client: 1,
                 key: 3,
                 prepared: false,
+                ver_ts: 5,
+                ver_client: 2,
             },
+            TraceEvent::TxnWrite { client: 1, key: 3 },
             TraceEvent::ValidateLocal {
                 client: 1,
                 ok: true,
@@ -425,6 +458,7 @@ mod tests {
         for name in [
             "txn_begin",
             "txn_read",
+            "txn_write",
             "validate_local",
             "validate_remote",
             "prepare_vote",

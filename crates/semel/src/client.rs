@@ -164,7 +164,11 @@ impl SemelClient {
                 Err(e) => return Err(e),
             }
         }
-        Err(SemelError::Rejected(last_rejection.expect("retried")))
+        // `0..=put_retries` runs at least once, so a rejection was recorded;
+        // fall back to the attempted version rather than panicking on a
+        // protocol path.
+        let v = last_rejection.unwrap_or_else(|| Version::new(self.now(), self.id));
+        Err(SemelError::Rejected(v))
     }
 
     /// Writes with an explicit version stamp, retransmitting on timeouts

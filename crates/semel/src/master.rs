@@ -246,7 +246,9 @@ impl Master {
             };
             // Publish the new configuration first: clients immediately
             // retarget and retry against the recovering primary.
-            self.state.borrow_mut().map.promote(shard, candidate);
+            if !self.state.borrow_mut().map.promote(shard, candidate) {
+                continue; // candidate raced out of the group; try the next
+            }
             if (self.promoter)(shard, candidate, peers).await {
                 let mut st = self.state.borrow_mut();
                 let now = self.handle.now();

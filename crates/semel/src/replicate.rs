@@ -31,7 +31,7 @@ pub async fn replicate<Req, Resp>(
 ) -> bool
 where
     Req: Clone + 'static,
-    Resp: 'static,
+    Resp: Clone + 'static,
 {
     replicate_traced(
         handle,
@@ -64,7 +64,7 @@ pub async fn replicate_traced<Req, Resp>(
 ) -> bool
 where
     Req: Clone + 'static,
-    Resp: 'static,
+    Resp: Clone + 'static,
 {
     if need == 0 {
         return true;
@@ -125,7 +125,7 @@ mod tests {
 
     #[derive(Debug, Clone)]
     struct Rec(#[allow(dead_code)] u32);
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Ack;
 
     fn spawn_backup(h: &SimHandle, node: NodeId) -> Addr {

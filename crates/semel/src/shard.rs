@@ -154,20 +154,25 @@ impl ShardMap {
     /// now, but rejoins as a backup when restarted), bumping the epoch.
     /// Used by the master during failover (§4.5).
     ///
-    /// # Panics
-    ///
-    /// Panics if `new_primary` is not a backup of `shard`.
-    pub fn promote(&mut self, shard: ShardId, new_primary: Addr) {
+    /// Returns `true` on success (including the no-op case where
+    /// `new_primary` already leads the shard) and `false` if `new_primary`
+    /// is not a current replica — a request that raced a concurrent
+    /// promotion; the map is left unchanged so the caller can re-read it
+    /// and retry.
+    #[must_use = "a false return means the shard map was not changed"]
+    pub fn promote(&mut self, shard: ShardId, new_primary: Addr) -> bool {
         let g = &mut self.groups[shard.0 as usize];
-        let pos = g
-            .backups
-            .iter()
-            .position(|&a| a == new_primary)
-            .expect("new primary must be a current backup");
+        if g.primary == new_primary {
+            return true;
+        }
+        let Some(pos) = g.backups.iter().position(|&a| a == new_primary) else {
+            return false;
+        };
         g.backups.remove(pos);
         g.backups.push(g.primary);
         g.primary = new_primary;
         self.epoch += 1;
+        true
     }
 }
 
@@ -235,7 +240,7 @@ mod tests {
         let old_primary = m.group(ShardId(1)).primary;
         let backup = m.group(ShardId(1)).backups[0];
         let e0 = m.epoch();
-        m.promote(ShardId(1), backup);
+        assert!(m.promote(ShardId(1), backup));
         assert_eq!(m.group(ShardId(1)).primary, backup);
         // The old primary is demoted, keeping the group at full strength.
         assert_eq!(m.group(ShardId(1)).backups.len(), 2);
@@ -248,9 +253,17 @@ mod tests {
         let mut m = map(1);
         for _ in 0..6 {
             let next = m.group(ShardId(0)).backups[0];
-            m.promote(ShardId(0), next);
+            assert!(m.promote(ShardId(0), next));
             assert_eq!(m.group(ShardId(0)).backups.len(), 2);
         }
+        // Promoting the sitting primary is a no-op success; a stranger is
+        // rejected without touching the map.
+        let sitting = m.group(ShardId(0)).primary;
+        let e = m.epoch();
+        assert!(m.promote(ShardId(0), sitting));
+        assert_eq!(m.epoch(), e);
+        assert!(!m.promote(ShardId(0), Addr::new(NodeId(999), 0)));
+        assert_eq!(m.group(ShardId(0)).primary, sitting);
     }
 
     #[test]

@@ -112,8 +112,39 @@ pub struct NetStats {
     pub sent: u64,
     /// Messages actually handed to a bound mailbox.
     pub delivered: u64,
-    /// Messages dropped (dead node, partition, or unbound address).
+    /// Messages dropped (dead node, partition, unbound address, or an
+    /// injected drop fault).
     pub dropped: u64,
+    /// Extra deliveries scheduled by injected duplication faults.
+    pub duplicated: u64,
+    /// Deliveries that took an injected delay spike.
+    pub delay_spiked: u64,
+}
+
+/// Probabilistic message faults applied to every non-loopback send while
+/// installed (see [`SimHandle::set_net_faults`]). All randomness comes from
+/// the simulation RNG, so a faulty run is exactly as reproducible as a
+/// clean one.
+///
+/// Loopback (same-node) messages are exempt: a machine's internal queues do
+/// not traverse the network.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetFaultConfig {
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice (independent latencies —
+    /// the duplicate may arrive first, which also exercises reordering).
+    pub dup_prob: f64,
+    /// Probability a message's latency is inflated by `delay_spike`.
+    pub delay_spike_prob: f64,
+    /// The extra latency added when a delay spike fires.
+    pub delay_spike: Duration,
+}
+
+impl NetFaultConfig {
+    fn is_noop(&self) -> bool {
+        self.drop_prob <= 0.0 && self.dup_prob <= 0.0 && self.delay_spike_prob <= 0.0
+    }
 }
 
 #[derive(Debug, Default)]
@@ -128,6 +159,7 @@ pub(crate) struct NetState {
     dead: HashSet<NodeId>,
     blocked: HashSet<(NodeId, NodeId)>,
     latency: LatencyConfig,
+    faults: Option<NetFaultConfig>,
     stats: NetStats,
 }
 
@@ -146,6 +178,7 @@ impl NetState {
             dead: HashSet::new(),
             blocked: HashSet::new(),
             latency: LatencyConfig::default(),
+            faults: None,
             stats: NetStats::default(),
         }
     }
@@ -237,8 +270,10 @@ impl SimHandle {
 
     /// Sends `msg` from `from` to `to` with simulated latency. Messages to or
     /// from dead nodes, or across a partition, are silently dropped (like a
-    /// real network).
-    pub fn send<M: Any>(&self, from: Addr, to: Addr, msg: M) {
+    /// real network). While a [`NetFaultConfig`] is installed, non-loopback
+    /// messages may additionally be dropped, duplicated, or delay-spiked
+    /// (hence the `Clone` bound: duplication needs a second copy).
+    pub fn send<M: Any + Clone>(&self, from: Addr, to: Addr, msg: M) {
         let mut inner = self.inner.borrow_mut();
         inner.net.stats.sent += 1;
         if inner.net.is_dead(from.node)
@@ -249,10 +284,41 @@ impl SimHandle {
             return;
         }
         let local = from.node == to.node;
-        let latency = {
-            let cfg = inner.net.latency.clone();
-            cfg.sample(inner.rng(), local)
+        let cfg = inner.net.latency.clone();
+        let faults = if local {
+            None
+        } else {
+            inner.net.faults.clone()
         };
+        let mut duplicate = false;
+        let mut spike = Duration::ZERO;
+        if let Some(f) = &faults {
+            if f.drop_prob > 0.0 && inner.rng().gen::<f64>() < f.drop_prob {
+                inner.net.stats.dropped += 1;
+                return;
+            }
+            duplicate = f.dup_prob > 0.0 && inner.rng().gen::<f64>() < f.dup_prob;
+            if f.delay_spike_prob > 0.0 && inner.rng().gen::<f64>() < f.delay_spike_prob {
+                spike = f.delay_spike;
+                inner.net.stats.delay_spiked += 1;
+            }
+        }
+        if duplicate {
+            inner.net.stats.duplicated += 1;
+            let latency = cfg.sample(inner.rng(), local);
+            let at = inner.now() + latency;
+            inner.schedule(
+                at,
+                TimerFire::Deliver {
+                    to,
+                    packet: Packet {
+                        from,
+                        payload: Box::new(msg.clone()),
+                    },
+                },
+            );
+        }
+        let latency = cfg.sample(inner.rng(), local) + spike;
         let at = inner.now() + latency;
         inner.schedule(
             at,
@@ -352,6 +418,23 @@ impl SimHandle {
     /// Replaces the network latency model.
     pub fn set_latency(&self, cfg: LatencyConfig) {
         self.inner.borrow_mut().net.latency = cfg;
+    }
+
+    /// Installs probabilistic message faults (drop / duplicate / delay
+    /// spike) applied to every subsequent non-loopback [`SimHandle::send`].
+    /// A no-op config uninstalls, same as [`SimHandle::clear_net_faults`].
+    pub fn set_net_faults(&self, cfg: NetFaultConfig) {
+        self.inner.borrow_mut().net.faults = if cfg.is_noop() { None } else { Some(cfg) };
+    }
+
+    /// Removes any installed message faults.
+    pub fn clear_net_faults(&self) {
+        self.inner.borrow_mut().net.faults = None;
+    }
+
+    /// The currently installed message faults, if any.
+    pub fn net_faults(&self) -> Option<NetFaultConfig> {
+        self.inner.borrow().net.faults.clone()
     }
 
     /// Snapshot of network counters.
@@ -491,5 +574,77 @@ mod tests {
         let h = sim.handle();
         let _m1 = h.bind(a(1, 0));
         let _m2 = h.bind(a(1, 0));
+    }
+
+    #[test]
+    fn injected_drops_lose_messages_deterministically() {
+        let run = |seed| {
+            let mut sim = Sim::new(seed);
+            let h = sim.handle();
+            let hh = h.clone();
+            sim.block_on(async move {
+                let mb = hh.bind(a(2, 0));
+                hh.set_net_faults(NetFaultConfig {
+                    drop_prob: 0.5,
+                    ..NetFaultConfig::default()
+                });
+                for i in 0..100u32 {
+                    hh.send(a(1, 0), a(2, 0), i);
+                }
+                hh.sleep(Duration::from_millis(5)).await;
+                mb.len()
+            })
+        };
+        let got = run(11);
+        assert!(got > 20 && got < 80, "half-ish survive: {got}");
+        assert_eq!(got, run(11), "same seed, same drops");
+    }
+
+    #[test]
+    fn injected_duplicates_deliver_twice() {
+        let mut sim = Sim::new(5);
+        let h = sim.handle();
+        let hh = h.clone();
+        let got = sim.block_on(async move {
+            let mb = hh.bind(a(2, 0));
+            hh.set_net_faults(NetFaultConfig {
+                dup_prob: 1.0,
+                ..NetFaultConfig::default()
+            });
+            hh.send(a(1, 0), a(2, 0), 7u32);
+            hh.sleep(Duration::from_millis(5)).await;
+            mb.len()
+        });
+        assert_eq!(got, 2);
+        assert_eq!(h.net_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn delay_spike_inflates_latency_and_loopback_is_exempt() {
+        let mut sim = Sim::new(9);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let mb = hh.bind(a(2, 0));
+            let lo = hh.bind(a(1, 1));
+            hh.set_net_faults(NetFaultConfig {
+                delay_spike_prob: 1.0,
+                delay_spike: Duration::from_millis(10),
+                ..NetFaultConfig::default()
+            });
+            let t0 = hh.now();
+            hh.send(a(1, 0), a(2, 0), 1u32);
+            mb.recv().await.unwrap();
+            assert!(hh.now() - t0 >= Duration::from_millis(10));
+            // Same-node messages bypass injected faults entirely.
+            let t1 = hh.now();
+            hh.send(a(1, 0), a(1, 1), 2u32);
+            lo.recv().await.unwrap();
+            assert_eq!(hh.now() - t1, LatencyConfig::default().local);
+        });
+        assert_eq!(h.net_stats().delay_spiked, 1);
+        // clear_net_faults uninstalls.
+        h.clear_net_faults();
+        assert_eq!(h.net_faults(), None);
     }
 }

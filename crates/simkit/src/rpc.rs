@@ -17,18 +17,27 @@ use crate::executor::SimHandle;
 use crate::net::{Addr, Mailbox, NodeId};
 use crate::sync::oneshot;
 
-/// Wire format for a request.
+/// Wire format for a request. Bodies are `Rc`-shared so the network layer
+/// can duplicate packets under fault injection without re-serializing.
+#[derive(Clone)]
 struct Request {
     id: u64,
     /// Where to send the reply; `None` marks fire-and-forget casts.
     reply_to: Option<Addr>,
-    body: Box<dyn Any>,
+    body: Rc<dyn Any>,
 }
 
 /// Wire format for a reply.
+#[derive(Clone)]
 struct Reply {
     id: u64,
-    body: Box<dyn Any>,
+    body: Rc<dyn Any>,
+}
+
+/// Extracts an owned `T` from a shared body (cloning only when a duplicated
+/// packet still holds the other reference).
+fn unwrap_body<T: Any + Clone>(body: Rc<T>) -> T {
+    Rc::try_unwrap(body).unwrap_or_else(|rc| (*rc).clone())
 }
 
 /// Errors surfaced by [`RpcClient::call`].
@@ -52,7 +61,7 @@ impl std::fmt::Display for RpcError {
 impl std::error::Error for RpcError {}
 
 /// Reply-routing table shared between a client and its demux task.
-type PendingReplies = Rc<RefCell<HashMap<u64, oneshot::Sender<Box<dyn Any>>>>>;
+type PendingReplies = Rc<RefCell<HashMap<u64, oneshot::Sender<Rc<dyn Any>>>>>;
 
 /// Client half of the RPC layer; lives on one node and may call any address.
 ///
@@ -105,7 +114,7 @@ impl RpcClient {
     ///
     /// Panics if the peer replies with a type other than `Resp` — that is a
     /// protocol-definition bug, not a runtime fault.
-    pub async fn call<Req: Any, Resp: Any>(
+    pub async fn call<Req: Any + Clone, Resp: Any + Clone>(
         &self,
         to: Addr,
         req: Req,
@@ -121,13 +130,14 @@ impl RpcClient {
             Request {
                 id,
                 reply_to: Some(self.reply_addr),
-                body: Box::new(req),
+                body: Rc::new(req),
             },
         );
         match self.handle.timeout(timeout, rx).await {
-            Ok(Ok(body)) => Ok(*body
-                .downcast::<Resp>()
-                .expect("rpc reply type mismatch: protocol bug")),
+            Ok(Ok(body)) => Ok(unwrap_body(
+                body.downcast::<Resp>()
+                    .expect("rpc reply type mismatch: protocol bug"),
+            )),
             Ok(Err(_)) => {
                 // Demux task died (our node was killed).
                 Err(RpcError::Closed)
@@ -140,7 +150,7 @@ impl RpcClient {
     }
 
     /// Sends a fire-and-forget request; no reply is expected or routed.
-    pub fn cast<Req: Any>(&self, to: Addr, req: Req) {
+    pub fn cast<Req: Any + Clone>(&self, to: Addr, req: Req) {
         let id = self.next_id.get();
         self.next_id.set(id + 1);
         self.handle.send(
@@ -149,7 +159,7 @@ impl RpcClient {
             Request {
                 id,
                 reply_to: None,
-                body: Box::new(req),
+                body: Rc::new(req),
             },
         );
     }
@@ -175,14 +185,14 @@ pub struct Responder {
 
 impl Responder {
     /// Sends `resp` back to the caller. A no-op for casts.
-    pub fn reply<Resp: Any>(self, resp: Resp) {
+    pub fn reply<Resp: Any + Clone>(self, resp: Resp) {
         if let Some(to) = self.reply_to {
             self.handle.send(
                 self.my_addr,
                 to,
                 Reply {
                     id: self.id,
-                    body: Box::new(resp),
+                    body: Rc::new(resp),
                 },
             );
         }
@@ -198,28 +208,28 @@ impl Responder {
 ///
 /// Returns `None` when the mailbox closes (node killed). Packets whose body
 /// is not a `Req` panic — mixing request types on one port is a wiring bug.
-pub async fn recv_request<Req: Any>(
+pub async fn recv_request<Req: Any + Clone>(
     handle: &SimHandle,
     mailbox: &Mailbox,
 ) -> Option<(Req, Addr, Responder)> {
     let pkt = mailbox.recv().await?;
     let from = pkt.from;
-    let req = pkt
+    let req = *pkt
         .payload
         .downcast::<Request>()
         .expect("non-rpc packet on rpc port");
-    let body = req
-        .body
+    let Request { id, reply_to, body } = req;
+    let body = body
         .downcast::<Req>()
         .expect("rpc request type mismatch: protocol bug");
     Some((
-        *body,
+        unwrap_body(body),
         from,
         Responder {
             handle: handle.clone(),
             my_addr: mailbox.addr(),
-            reply_to: req.reply_to,
-            id: req.id,
+            reply_to,
+            id,
         },
     ))
 }
@@ -231,9 +241,9 @@ mod tests {
 
     const TIMEOUT: Duration = Duration::from_millis(100);
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     struct Ping(u32);
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     struct Pong(u32);
 
     fn spawn_echo(h: &SimHandle, node: NodeId) -> Addr {
@@ -316,6 +326,32 @@ mod tests {
             v
         });
         assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn duplicated_requests_and_replies_round_trip() {
+        // With 100% duplication every request and reply is delivered twice;
+        // the server simply answers twice and the demux drops the second
+        // reply (its pending entry is gone). Calls still succeed.
+        let mut sim = Sim::new(21);
+        let h = sim.handle();
+        let hh = h.clone();
+        let outs = sim.block_on(async move {
+            let server = spawn_echo(&hh, NodeId(2));
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            hh.set_net_faults(crate::net::NetFaultConfig {
+                dup_prob: 1.0,
+                ..crate::net::NetFaultConfig::default()
+            });
+            let mut outs = Vec::new();
+            for i in 0..5u32 {
+                outs.push(client.call::<Ping, Pong>(server, Ping(i), TIMEOUT).await);
+            }
+            outs
+        });
+        for (i, o) in outs.into_iter().enumerate() {
+            assert_eq!(o, Ok(Pong(i as u32 + 1)));
+        }
     }
 
     #[test]

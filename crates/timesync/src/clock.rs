@@ -189,6 +189,28 @@ impl SyncedClock {
     pub fn offset_ns(&self) -> i64 {
         self.state.borrow().offset_ns
     }
+
+    /// Fault injection: steps the clock's offset by `delta_ns`, as a broken
+    /// sync daemon or a leap-second mishap would. The anomaly persists until
+    /// the next scheduled resync redraws the offset. Issued timestamps are
+    /// still clamped monotonic, so a large negative step manifests as the
+    /// clock slewing (standing still) rather than running backwards —
+    /// exactly the behavior §3.1's watermark safety argument relies on.
+    ///
+    /// Emits a [`obskit::TraceEvent::ClockSync`] recording the new offset
+    /// when a tracer is attached (`at_ns` = 0 is used when the step happens
+    /// before any read; steps are virtual-time-free events).
+    pub fn inject_step(&self, delta_ns: i64) {
+        let mut st = self.state.borrow_mut();
+        st.offset_ns = st.offset_ns.saturating_add(delta_ns);
+        st.tracer.record(
+            st.last_issued.0,
+            obskit::TraceEvent::ClockSync {
+                client: st.trace_client,
+                offset_ns: st.offset_ns,
+            },
+        );
+    }
 }
 
 /// Mean absolute pairwise offset difference across `clocks`, in nanoseconds.
@@ -288,6 +310,18 @@ mod tests {
         let _ = c.now(SimTime::from_secs(3)); // past the 2s sync boundary
         let after = c.offset_ns();
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn injected_step_shifts_reads_but_stays_monotonic() {
+        let c = SyncedClock::new(Discipline::Perfect, 1);
+        let t1 = c.now(SimTime::from_millis(1));
+        c.inject_step(5_000_000); // +5ms
+        let t2 = c.now(SimTime::from_millis(1));
+        assert!(t2.0 >= t1.0 + 5_000_000, "step visible: {t2:?} vs {t1:?}");
+        c.inject_step(-50_000_000); // far backwards
+        let t3 = c.now(SimTime::from_millis(2));
+        assert!(t3 > t2, "monotonic clamp holds across negative step");
     }
 
     #[test]

@@ -61,7 +61,7 @@ fn main() -> Result<(), TxnError> {
         // the merged table, and waits out the old primary's read lease
         // before serving (the ts_latestRead guard of §4.5).
         let t0 = hh.now();
-        cluster.promote_backup(ShardId(0)).await;
+        cluster.promote_backup(ShardId(0)).await.expect("promotion");
         println!(
             "[{}] backup promoted; recovery + lease wait took {:?}",
             hh.now(),

@@ -4,8 +4,10 @@
 //! `use milana_repro::milana;`. See the README for a tour and DESIGN.md for
 //! the system inventory.
 
+pub use faultkit;
 pub use flashsim;
 pub use milana;
+pub use obskit;
 pub use retwis;
 pub use semel;
 pub use simkit;

@@ -1,15 +1,18 @@
 //! Chaos test: repeated primary crashes, promotions, and replica restarts
 //! under a continuously running contended workload — the whole §4.5 story
-//! (log merge, in-doubt resolution, lease wait, backup catch-up) exercised
-//! in a loop, with conservation invariants checked at the end.
+//! (log merge, in-doubt resolution, lease wait, backup catch-up) driven by
+//! a faultkit [`FaultPlan`], with conservation invariants audited at the
+//! end and the recorded trace checked for serializability.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Duration;
 
+use milana_repro::faultkit::{run_nemesis, Checker, Fault, FaultPlan, History, TimedFault};
 use milana_repro::flashsim::{value, Key, NandConfig};
 use milana_repro::milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana_repro::milana::msg::TxnError;
+use milana_repro::obskit::Obs;
 use milana_repro::semel::shard::ShardId;
 use milana_repro::simkit::Sim;
 use milana_repro::timesync::Discipline;
@@ -23,35 +26,36 @@ fn dec(v: &[u8]) -> u64 {
 }
 
 /// Three full kill → promote → restart cycles while four clients hammer
-/// counters; every acknowledged commit must survive, and no phantom
-/// increments may appear.
+/// counters; every acknowledged commit must survive, no phantom increments
+/// may appear, and the traced history must stay serializable.
 #[test]
 fn survives_repeated_failover_cycles() {
     let mut sim = Sim::new(9000);
     let h = sim.handle();
-    let mut cluster = MilanaCluster::build(
-        &h,
-        MilanaClusterConfig {
-            shards: 1,
-            replicas: 3,
-            clients: 4,
-            nand: NandConfig {
-                blocks: 512,
-                pages_per_block: 8,
-                ..NandConfig::default()
-            },
-            discipline: Discipline::PtpSoftware,
-            preload_keys: 0,
-            ..MilanaClusterConfig::default()
+    let obs = Obs::with_trace(1 << 18);
+    let mut cluster_cfg = MilanaClusterConfig {
+        shards: 1,
+        replicas: 3,
+        clients: 4,
+        nand: NandConfig {
+            blocks: 512,
+            pages_per_block: 8,
+            ..NandConfig::default()
         },
-    );
+        discipline: Discipline::PtpSoftware,
+        preload_keys: 0,
+        ..MilanaClusterConfig::default()
+    };
+    cluster_cfg.tuning.obs = obs.clone();
+    cluster_cfg.client_cfg.obs = obs.clone();
+    let cluster = Rc::new(RefCell::new(MilanaCluster::build(&h, cluster_cfg)));
     let keys = 8u64;
     let acked = Rc::new(Cell::new(0u64));
     let stop = Rc::new(Cell::new(false));
     let hh = h.clone();
     // Seed.
     {
-        let clients = cluster.clients.clone();
+        let clients = cluster.borrow().clients.clone();
         let hh2 = hh.clone();
         sim.block_on(async move {
             let mut t = clients[0].begin();
@@ -63,7 +67,7 @@ fn survives_repeated_failover_cycles() {
         });
     }
     // Workload tasks run across the whole chaos schedule.
-    for c in &cluster.clients {
+    for c in &cluster.borrow().clients {
         let c = c.clone();
         let acked = acked.clone();
         let stop = stop.clone();
@@ -88,29 +92,30 @@ fn survives_repeated_failover_cycles() {
             }
         });
     }
-    // Chaos schedule: three cycles of crash → promote → heal → restart.
-    for cycle in 0..3 {
-        sim.block_on({
-            let hh2 = hh.clone();
-            async move { hh2.sleep(Duration::from_millis(40)).await }
-        });
-        cluster.fail_primary(ShardId(0));
-        sim.block_on(cluster.promote_backup(ShardId(0)));
-        // Bring the crashed replica back as a backup so the next cycle still
-        // has a quorum to fail over to.
-        let dead_idx = (0..3)
-            .find(|&i| h.is_dead(cluster.replicas[0][i].addr.node))
-            .expect("one dead replica");
-        sim.block_on({
-            let hh2 = hh.clone();
-            async move { hh2.sleep(Duration::from_millis(20)).await }
-        });
-        cluster.restart_replica(ShardId(0), dead_idx);
-        assert!(
-            cluster.primary(ShardId(0)).is_primary(),
-            "cycle {cycle}: promoted replica serves as primary"
-        );
-    }
+    // Chaos schedule: three crash cycles, each a kill → promote → restart
+    // (the nemesis promotes a backup and revives the crashed replica after
+    // `restart_after`, so the next cycle always has a quorum).
+    let plan = FaultPlan {
+        faults: (0..3)
+            .map(|_| TimedFault {
+                after: Duration::from_millis(40),
+                fault: Fault::CrashPrimary {
+                    shard: 0,
+                    restart_after: Duration::from_millis(20),
+                },
+            })
+            .collect(),
+    };
+    let report = {
+        let hh2 = hh.clone();
+        let cluster = cluster.clone();
+        sim.block_on(async move { run_nemesis(&hh2, &cluster, &plan).await })
+    };
+    assert_eq!(report.ok_count(), 3, "all three crash cycles applied");
+    assert!(
+        cluster.borrow().primary(ShardId(0)).is_primary(),
+        "finale leaves a serving primary"
+    );
     // Let the workload settle, stop it, and audit.
     sim.block_on({
         let hh2 = hh.clone();
@@ -121,7 +126,7 @@ fn survives_repeated_failover_cycles() {
             hh2.sleep(Duration::from_millis(60)).await;
         }
     });
-    let clients = cluster.clients.clone();
+    let clients = cluster.borrow().clients.clone();
     let total = sim.block_on(async move {
         loop {
             let mut t = clients[0].begin();
@@ -158,9 +163,22 @@ fn survives_repeated_failover_cycles() {
     // Unknown-outcome transactions (client timed out mid-2PC during a crash)
     // may legitimately commit later via CTP without being counted in
     // `acked`; bound them by the clients' reported unknowns.
-    let unknowns: u64 = cluster.clients.iter().map(|c| c.stats().unknown).sum();
+    let unknowns: u64 = cluster
+        .borrow()
+        .clients
+        .iter()
+        .map(|c| c.stats().unknown)
+        .sum();
     assert!(
-        total <= acked + unknowns + cluster.clients.len() as u64,
+        total <= acked + unknowns + cluster.borrow().clients.len() as u64,
         "phantom increments: counters {total} > acked {acked} + unknowns {unknowns}"
+    );
+    // The recorded history must be serializable with intact snapshots.
+    assert_eq!(obs.tracer.dropped(), 0, "trace ring held the whole run");
+    let history = History::from_events(obs.tracer.events(), obs.tracer.dropped());
+    let violations = Checker::new(&history).check();
+    assert!(
+        violations.is_empty(),
+        "checker found violations: {violations:#?}"
     );
 }

@@ -158,7 +158,7 @@ fn failover_during_contended_workload_preserves_invariants() {
         // Let them run, then kill and fail over the primary mid-flight.
         hh.sleep(Duration::from_millis(50)).await;
         cluster.fail_primary(ShardId(0));
-        cluster.promote_backup(ShardId(0)).await;
+        cluster.promote_backup(ShardId(0)).await.expect("promotion");
         hh.sleep(Duration::from_millis(120)).await;
         stop.set(true);
         for j in joins {
