@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! repro_chaos [--seed S]... [--seeds N] [--faults M] [--shards K]
-//!             [--inject validation-skip] [--json PATH] [--trace PATH]
+//!             [--inject validation-skip|overload] [--json PATH] [--trace PATH]
 //! ```
 //!
 //! - `--seed S` runs exactly seed S (repeatable); otherwise seeds `0..N`
@@ -15,6 +15,8 @@
 //! - `--faults M` faults per seed (default 50, full scale 200).
 //! - `--inject validation-skip` disables Algorithm-1 read validation on
 //!   every primary — a seeded bug the checker must catch (exit stays 1).
+//! - `--inject overload` schedules only overload bursts, exercising the
+//!   admission/retry plane (the run must still be clean).
 //! - `--json PATH` writes the byte-stable campaign artifact.
 //! - `--trace PATH` writes the full obskit trace (JSONL) of the first
 //!   offending seed, or of the last seed when all are clean.
@@ -29,6 +31,7 @@ struct Args {
     faults: usize,
     shards: u32,
     inject: bool,
+    overload: bool,
     trace: Option<std::path::PathBuf>,
 }
 
@@ -40,6 +43,7 @@ fn parse_args(scale: Scale) -> Args {
     let mut explicit_seeds = Vec::new();
     let mut shards = 2u32;
     let mut inject = false;
+    let mut overload = false;
     let mut trace = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -50,11 +54,11 @@ fn parse_args(scale: Scale) -> Args {
             "--seeds" => n_seeds = take("--seeds").parse().expect("--seeds"),
             "--faults" => faults = take("--faults").parse().expect("--faults"),
             "--shards" => shards = take("--shards").parse().expect("--shards"),
-            "--inject" => {
-                let what = take("--inject");
-                assert_eq!(what, "validation-skip", "unknown --inject {what}");
-                inject = true;
-            }
+            "--inject" => match take("--inject").as_str() {
+                "validation-skip" => inject = true,
+                "overload" => overload = true,
+                what => panic!("unknown --inject {what}"),
+            },
             "--json" => {
                 take("--json");
             }
@@ -79,6 +83,7 @@ fn parse_args(scale: Scale) -> Args {
         faults,
         shards,
         inject,
+        overload,
         trace,
     }
 }
@@ -91,15 +96,21 @@ fn main() {
         faults: args.faults,
         shards: args.shards,
         skip_validation: args.inject,
+        overload_only: args.overload,
         ..CampaignConfig::default()
     };
     eprintln!(
-        "chaos campaign: {} seed(s) x {} faults, {} shard(s){} ...",
+        "chaos campaign: {} seed(s) x {} faults, {} shard(s){}{} ...",
         cfg.seeds.len(),
         cfg.faults,
         cfg.shards,
         if args.inject {
             " [validation-skip injected]"
+        } else {
+            ""
+        },
+        if args.overload {
+            " [overload bursts only]"
         } else {
             ""
         }

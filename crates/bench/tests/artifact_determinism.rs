@@ -10,6 +10,7 @@ use std::time::Duration;
 use bench::artifact;
 use bench::common::Scale;
 use bench::fig7::{self, Fig7Config};
+use faultkit::{run_campaign, CampaignConfig};
 use flashsim::BackendKind;
 
 fn tiny_cfg() -> Fig7Config {
@@ -62,4 +63,37 @@ fn fig7_artifact_reports_reasons_and_percentiles_per_clock() {
             p.backend
         );
     }
+}
+
+#[test]
+fn overload_campaign_artifacts_are_byte_identical_and_report_sheds() {
+    let cfg = CampaignConfig {
+        seeds: vec![5],
+        faults: 10,
+        shards: 1,
+        overload_only: true,
+        ..CampaignConfig::default()
+    };
+    let render = || {
+        let report = run_campaign(&cfg);
+        assert!(report.offending_seeds().is_empty(), "{report:?}");
+        artifact::envelope("chaos", Scale::Quick, report.to_json()).to_pretty_string()
+    };
+    let a = render();
+    let b = render();
+    assert_eq!(
+        a, b,
+        "same-seed campaign artifacts must match byte for byte"
+    );
+    // The admission plane is visible in the artifact, and the overload
+    // bursts actually drove it into shedding.
+    for key in [r#""server_sheds""#, r#""client_retries""#, r#""overload""#] {
+        assert!(a.contains(key), "artifact is missing {key}: {a}");
+    }
+    let report = run_campaign(&cfg);
+    assert!(
+        report.outcomes[0].server_sheds > 0,
+        "overload bursts never hit the admission gate: {:?}",
+        report.outcomes[0]
+    );
 }

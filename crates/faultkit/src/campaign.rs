@@ -49,6 +49,13 @@ pub struct CampaignConfig {
     /// Seeded-bug mode: primaries vote yes without validating, so the
     /// checker has a real serializability bug to catch.
     pub skip_validation: bool,
+    /// Targeted overload mode: the plan contains only
+    /// [`crate::plan::Fault::Overload`] bursts, exercising the admission
+    /// and retry plane specifically.
+    pub overload_only: bool,
+    /// Admission capacity (cost units) per server. Sized so the steady
+    /// counter workload never sheds but nemesis overload bursts do.
+    pub admission_capacity: u64,
 }
 
 impl Default for CampaignConfig {
@@ -62,6 +69,8 @@ impl Default for CampaignConfig {
             keys: 8,
             trace_capacity: 0,
             skip_validation: false,
+            overload_only: false,
+            admission_capacity: 32,
         }
     }
 }
@@ -104,6 +113,11 @@ pub struct SeedOutcome {
     pub net_duplicated: u64,
     /// Messages delay-spiked by injection.
     pub net_delay_spiked: u64,
+    /// Requests refused by server admission gates (overload + deadline),
+    /// summed over every replica.
+    pub server_sheds: u64,
+    /// Retry tokens spent by workload clients.
+    pub client_retries: u64,
     /// Trace-ring evictions (non-zero = visibility checks were skipped).
     pub trace_dropped: u64,
     /// True when the audit conserved every acknowledged increment.
@@ -178,6 +192,8 @@ impl CampaignReport {
                     .field("net_dropped", Json::U64(o.net_dropped))
                     .field("net_duplicated", Json::U64(o.net_duplicated))
                     .field("net_delay_spiked", Json::U64(o.net_delay_spiked))
+                    .field("server_sheds", Json::U64(o.server_sheds))
+                    .field("client_retries", Json::U64(o.client_retries))
                     .field("trace_dropped", Json::U64(o.trace_dropped))
                     .field("conservation_ok", Json::Bool(o.conservation_ok))
                     .field("violations", Json::arr(violations)),
@@ -230,6 +246,7 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     };
     cluster_cfg.tuning.obs = obs.clone();
     cluster_cfg.tuning.skip_validation.set(cfg.skip_validation);
+    cluster_cfg.tuning.admission.capacity = cfg.admission_capacity;
     cluster_cfg.client_cfg.obs = obs.clone();
     let cluster = Rc::new(RefCell::new(MilanaCluster::build(&h, cluster_cfg)));
 
@@ -295,15 +312,16 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     }
 
     // The nemesis walks the plan, then force-heals.
-    let plan = FaultPlan::random(
-        seed,
-        cfg.faults,
-        PlanShape {
-            shards: cfg.shards,
-            replicas: cfg.replicas,
-            clients: cfg.clients,
-        },
-    );
+    let shape = PlanShape {
+        shards: cfg.shards,
+        replicas: cfg.replicas,
+        clients: cfg.clients,
+    };
+    let plan = if cfg.overload_only {
+        FaultPlan::random_overload(seed, cfg.faults, shape)
+    } else {
+        FaultPlan::random(seed, cfg.faults, shape)
+    };
     let report = {
         let hh = h.clone();
         let cluster = cluster.clone();
@@ -383,6 +401,26 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     }
     let net = h.net_stats();
 
+    let mut server_sheds = 0;
+    for slot in cluster.replicas.iter().flatten() {
+        let node = slot.addr.node.0;
+        server_sheds += obs
+            .registry
+            .counter(&format!("loadkit.node{node}.sheds_overload"))
+            .get()
+            + obs
+                .registry
+                .counter(&format!("loadkit.node{node}.sheds_deadline"))
+                .get();
+    }
+    let mut client_retries = 0;
+    for c in &cluster.clients {
+        client_retries += obs
+            .registry
+            .counter(&format!("loadkit.client{}.retries", c.id().0))
+            .get();
+    }
+
     let history = History::from_events(obs.tracer.events(), obs.tracer.dropped());
     let violations = Checker::new(&history)
         .check()
@@ -407,6 +445,8 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
         net_dropped: net.dropped,
         net_duplicated: net.duplicated,
         net_delay_spiked: net.delay_spiked,
+        server_sheds,
+        client_retries,
         trace_dropped: obs.tracer.dropped(),
         conservation_ok,
         violations,

@@ -13,11 +13,15 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
+use flashsim::Key;
 use milana::cluster::{MilanaCluster, MASTER_NODE};
+use milana::msg::TxnRequest;
 use milana::PromoteError;
 use semel::shard::ShardId;
 use simkit::net::NodeId;
+use simkit::rpc::RpcClient;
 use simkit::{SimHandle, SimTime};
+use timesync::Timestamp;
 
 use crate::plan::{Fault, FaultPlan};
 
@@ -26,6 +30,10 @@ use crate::plan::{Fault, FaultPlan};
 fn client_node(i: u32) -> NodeId {
     NodeId(10_000 + i)
 }
+
+/// The overload flooder sends from its own node so partitions targeting
+/// cluster nodes never silence it by accident.
+const FLOOD_NODE: NodeId = NodeId(20_000);
 
 /// One fault as actually applied.
 #[derive(Debug, Clone)]
@@ -97,6 +105,7 @@ async fn apply_one(
     h: &SimHandle,
     cluster: &Rc<RefCell<MilanaCluster>>,
     fault: &Fault,
+    flood_rpc: &RpcClient,
     report: &mut NemesisReport,
 ) -> bool {
     match fault {
@@ -153,6 +162,37 @@ async fn apply_one(
             c.clients[*client as usize].clock().inject_step(*delta_ns);
             true
         }
+        Fault::Overload {
+            shard,
+            burst_rps,
+            restore_after,
+        } => {
+            // Fire-and-forget GetAny casts: real admission cost and backend
+            // reads on the primary, but no replies to wait for and no
+            // transaction-metadata side effects (GetAny never notes reads).
+            // Sent as back-to-back per-millisecond bursts so the casts
+            // arrive clustered and actually spike the in-flight cost past
+            // the admission gate, instead of trickling through one at a
+            // time.
+            let primary = cluster.borrow().map.borrow().group(ShardId(*shard)).primary;
+            let per_tick = (*burst_rps / 1_000).max(1);
+            let until = h.now() + *restore_after;
+            let mut i = 0u64;
+            while h.now() < until {
+                for _ in 0..per_tick {
+                    flood_rpc.cast(
+                        primary,
+                        TxnRequest::GetAny {
+                            key: Key::from(i % 8),
+                            at: Timestamp::from_sim(h.now()),
+                        },
+                    );
+                    i += 1;
+                }
+                h.sleep(Duration::from_millis(1)).await;
+            }
+            true
+        }
         Fault::FlashDegrade {
             shard,
             replica,
@@ -186,11 +226,12 @@ pub async fn run_nemesis(
     plan: &FaultPlan,
 ) -> NemesisReport {
     let mut report = NemesisReport::default();
+    let flood_rpc = RpcClient::new(h, FLOOD_NODE, 7);
     for timed in &plan.faults {
         h.sleep(timed.after).await;
         let at = h.now();
         let class = timed.fault.class();
-        let ok = apply_one(h, cluster, &timed.fault, &mut report).await;
+        let ok = apply_one(h, cluster, &timed.fault, &flood_rpc, &mut report).await;
         report.applied.push(AppliedFault { at, class, ok });
     }
     finale(h, cluster).await;

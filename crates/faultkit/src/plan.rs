@@ -62,6 +62,19 @@ pub enum Fault {
         /// Offset applied to the clock's correction, ns.
         delta_ns: i64,
     },
+    /// Flood one shard's primary with synthetic no-op read load at
+    /// `burst_rps` until `restore_after` elapses, driving its admission
+    /// gate into shedding. The flood is fire-and-forget (`GetAny` casts),
+    /// so it consumes admission capacity and backend reads without
+    /// touching any transaction metadata.
+    Overload {
+        /// Target shard.
+        shard: u32,
+        /// Flood rate, requests per second.
+        burst_rps: u64,
+        /// How long the flood lasts.
+        restore_after: Duration,
+    },
     /// Degrade one replica's flash device — ECC-recovery retries on
     /// read/program and worn-block retirement on erase — then restore
     /// after `restore_after`.
@@ -86,6 +99,7 @@ impl Fault {
             Fault::PartitionClient { .. } => "partition_client",
             Fault::NetDegrade { .. } => "net_degrade",
             Fault::ClockStep { .. } => "clock_step",
+            Fault::Overload { .. } => "overload",
             Fault::FlashDegrade { .. } => "flash_degrade",
         }
     }
@@ -147,7 +161,7 @@ impl FaultPlan {
                     client,
                     heal_after: Duration::from_millis(rng.gen_range(5..25)),
                 },
-                50..=69 => Fault::NetDegrade {
+                50..=64 => Fault::NetDegrade {
                     cfg: NetFaultConfig {
                         drop_prob: rng.gen_range(0..30) as f64 / 100.0,
                         dup_prob: rng.gen_range(0..50) as f64 / 100.0,
@@ -156,9 +170,14 @@ impl FaultPlan {
                     },
                     restore_after: Duration::from_millis(rng.gen_range(5..30)),
                 },
-                70..=84 => Fault::ClockStep {
+                65..=76 => Fault::ClockStep {
                     client,
                     delta_ns: rng.gen_range(-5_000_000i64..5_000_000),
+                },
+                77..=88 => Fault::Overload {
+                    shard,
+                    burst_rps: rng.gen_range(20_000..80_000),
+                    restore_after: Duration::from_millis(rng.gen_range(5..20)),
                 },
                 _ => Fault::FlashDegrade {
                     shard,
@@ -174,6 +193,23 @@ impl FaultPlan {
             };
             faults.push(TimedFault { after, fault });
         }
+        FaultPlan { faults }
+    }
+
+    /// Generates a schedule of `n` pure [`Fault::Overload`] bursts from
+    /// `seed` — the targeted campaign `repro_chaos --inject overload` runs.
+    pub fn random_overload(seed: u64, n: usize, shape: PlanShape) -> FaultPlan {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0f_f1_0a_d5_0f_f1_0a_d5);
+        let faults = (0..n)
+            .map(|_| TimedFault {
+                after: Duration::from_millis(rng.gen_range(4..24)),
+                fault: Fault::Overload {
+                    shard: rng.gen_range(0..shape.shards as u64) as u32,
+                    burst_rps: rng.gen_range(20_000..80_000),
+                    restore_after: Duration::from_millis(rng.gen_range(5..20)),
+                },
+            })
+            .collect();
         FaultPlan { faults }
     }
 
@@ -231,6 +267,25 @@ mod tests {
     }
 
     #[test]
+    fn overload_plans_are_pure_and_deterministic() {
+        let a = FaultPlan::random_overload(11, 20, SHAPE);
+        let b = FaultPlan::random_overload(11, 20, SHAPE);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        assert!(a.faults.iter().all(|f| f.fault.class() == "overload"));
+        for f in &a.faults {
+            let Fault::Overload {
+                shard, burst_rps, ..
+            } = f.fault
+            else {
+                unreachable!()
+            };
+            assert!(shard < SHAPE.shards);
+            assert!((20_000..80_000).contains(&burst_rps));
+        }
+    }
+
+    #[test]
     fn mixed_plans_cover_every_class() {
         let plan = FaultPlan::random(3, 200, SHAPE);
         for class in [
@@ -239,6 +294,7 @@ mod tests {
             "partition_client",
             "net_degrade",
             "clock_step",
+            "overload",
             "flash_degrade",
         ] {
             assert!(

@@ -1,0 +1,443 @@
+//! Client-side retry discipline: decorrelated-jitter backoff, a retry
+//! budget, and per-shard circuit breakers.
+//!
+//! Overload is a closed loop: aborted or shed attempts come straight back
+//! as retries, so past the saturation knee an unbudgeted client *amplifies*
+//! load exactly when the servers can least afford it. [`RetryPolicy`]
+//! breaks the loop three ways:
+//!
+//! 1. **Decorrelated jitter** — each backoff is drawn uniformly from
+//!    `[base, 3 × previous]`, capped; retries de-synchronize instead of
+//!    arriving in waves. All draws come from an explicitly seeded RNG, so
+//!    runs are deterministic per seed.
+//! 2. **Retry budget** — a token bucket: every *first* attempt deposits
+//!    `budget_ratio` tokens, every retry spends one. Retry traffic is
+//!    asymptotically capped at `budget_ratio` of first-attempt traffic
+//!    (plus a small startup burst), no matter how many attempts fail.
+//! 3. **Circuit breaker** — per shard: `breaker_threshold` consecutive
+//!    sheds trip it open and requests fail fast without touching the
+//!    network; after `breaker_cooldown` one probe is let through
+//!    (half-open) and its outcome closes or re-opens the circuit.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::time::Duration;
+
+use obskit::{Counter, Obs, TraceEvent, Tracer};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tuning for one client's retry discipline.
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Minimum backoff (the jitter draw's lower bound).
+    pub backoff_base: Duration,
+    /// Maximum backoff (the jitter draw's cap).
+    pub backoff_cap: Duration,
+    /// Retry tokens deposited per first attempt; retries spend one each.
+    pub budget_ratio: f64,
+    /// Token-bucket ceiling (also the startup allowance).
+    pub budget_burst: f64,
+    /// Consecutive sheds from one shard that trip its breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-opening.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            backoff_base: Duration::from_micros(500),
+            backoff_cap: Duration::from_millis(25),
+            budget_ratio: 0.2,
+            budget_burst: 10.0,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Observable state of one shard's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests fail fast without touching the network.
+    Open,
+    /// One probe is in flight; its outcome decides open vs. closed.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Breaker {
+    Closed { consecutive: u32 },
+    Open { until_ns: u64 },
+    HalfOpen { since_ns: u64 },
+}
+
+/// One client's retry discipline. Cloning is not provided — each logical
+/// client owns exactly one policy so the budget actually binds.
+#[derive(Debug)]
+pub struct RetryPolicy {
+    cfg: RetryConfig,
+    rng: RefCell<StdRng>,
+    /// Previous jitter draw, nanoseconds (decorrelated-jitter state).
+    prev_ns: Cell<u64>,
+    tokens: Cell<f64>,
+    breakers: RefCell<HashMap<u64, Breaker>>,
+    client: u64,
+    retries: Counter,
+    budget_exhausted: Counter,
+    breaker_trips: Counter,
+    tracer: Tracer,
+}
+
+impl RetryPolicy {
+    /// A policy with detached (unregistered) metrics and no tracing.
+    pub fn new(cfg: RetryConfig, rng: StdRng) -> RetryPolicy {
+        RetryPolicy::build(cfg, rng, &Obs::default(), u64::MAX, false)
+    }
+
+    /// A policy reporting into `obs` under `loadkit.client<client>.*`.
+    pub fn observed(cfg: RetryConfig, rng: StdRng, obs: &Obs, client: u64) -> RetryPolicy {
+        RetryPolicy::build(cfg, rng, obs, client, true)
+    }
+
+    fn build(cfg: RetryConfig, rng: StdRng, obs: &Obs, client: u64, register: bool) -> RetryPolicy {
+        let (retries, budget_exhausted, breaker_trips) = if register {
+            let p = format!("loadkit.client{client}");
+            (
+                obs.registry.counter(&format!("{p}.retries")),
+                obs.registry.counter(&format!("{p}.budget_exhausted")),
+                obs.registry.counter(&format!("{p}.breaker_trips")),
+            )
+        } else {
+            (
+                Counter::detached(),
+                Counter::detached(),
+                Counter::detached(),
+            )
+        };
+        let burst = cfg.budget_burst.max(0.0);
+        RetryPolicy {
+            prev_ns: Cell::new(cfg.backoff_base.as_nanos() as u64),
+            tokens: Cell::new(burst),
+            cfg,
+            rng: RefCell::new(rng),
+            breakers: RefCell::new(HashMap::new()),
+            client,
+            retries,
+            budget_exhausted,
+            breaker_trips,
+            tracer: obs.tracer.clone(),
+        }
+    }
+
+    /// The configuration this policy runs under.
+    pub fn config(&self) -> &RetryConfig {
+        &self.cfg
+    }
+
+    /// Records one first attempt, depositing `budget_ratio` retry tokens
+    /// (capped at `budget_burst`).
+    pub fn on_attempt(&self) {
+        let t = (self.tokens.get() + self.cfg.budget_ratio).min(self.cfg.budget_burst);
+        self.tokens.set(t);
+    }
+
+    /// Asks permission to retry at virtual time `now_ns`. Returns the
+    /// backoff to sleep before the retry, or `None` when the retry budget
+    /// is exhausted — the caller must then give up (surface the failure),
+    /// not spin. `hint` is the server's `retry_after`, respected as a
+    /// floor on the returned delay.
+    pub fn try_retry(&self, now_ns: u64, hint: Option<Duration>) -> Option<Duration> {
+        let t = self.tokens.get();
+        if t < 1.0 {
+            self.budget_exhausted.inc();
+            self.tracer.record(
+                now_ns,
+                TraceEvent::RetryBudgetExhausted {
+                    client: self.client,
+                },
+            );
+            return None;
+        }
+        self.tokens.set(t - 1.0);
+        self.retries.inc();
+        let base = self.cfg.backoff_base.as_nanos() as u64;
+        let cap = self.cfg.backoff_cap.as_nanos() as u64;
+        let hi = self
+            .prev_ns
+            .get()
+            .saturating_mul(3)
+            .clamp(base, cap.max(base));
+        let jitter = self.rng.borrow_mut().gen_range(base..=hi.max(base));
+        self.prev_ns.set(jitter);
+        let delay = Duration::from_nanos(jitter).max(hint.unwrap_or(Duration::ZERO));
+        Some(delay)
+    }
+
+    /// Retry tokens currently available (observability / tests).
+    pub fn budget_tokens(&self) -> f64 {
+        self.tokens.get()
+    }
+
+    /// True when requests to `shard` may be sent at `now_ns`. An open
+    /// breaker fails fast; the transition to half-open admits exactly one
+    /// probe per cooldown window.
+    pub fn shard_allows(&self, shard: u64, now_ns: u64) -> bool {
+        let mut breakers = self.breakers.borrow_mut();
+        let b = breakers
+            .entry(shard)
+            .or_insert(Breaker::Closed { consecutive: 0 });
+        match *b {
+            Breaker::Closed { .. } => true,
+            Breaker::Open { until_ns } => {
+                if now_ns >= until_ns {
+                    *b = Breaker::HalfOpen { since_ns: now_ns };
+                    true
+                } else {
+                    false
+                }
+            }
+            Breaker::HalfOpen { since_ns } => {
+                // A probe whose outcome was never recorded (e.g. it timed
+                // out) must not wedge the breaker: re-probe each cooldown.
+                let cooldown = self.cfg.breaker_cooldown.as_nanos() as u64;
+                if now_ns >= since_ns.saturating_add(cooldown) {
+                    *b = Breaker::HalfOpen { since_ns: now_ns };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a shed from `shard`, tripping its breaker after
+    /// `breaker_threshold` consecutive sheds (a half-open probe's shed
+    /// re-opens immediately).
+    pub fn record_shed(&self, shard: u64, now_ns: u64) {
+        let cooldown = self.cfg.breaker_cooldown;
+        let mut breakers = self.breakers.borrow_mut();
+        let b = breakers
+            .entry(shard)
+            .or_insert(Breaker::Closed { consecutive: 0 });
+        match *b {
+            Breaker::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.cfg.breaker_threshold {
+                    *b = Breaker::Open {
+                        until_ns: now_ns.saturating_add(cooldown.as_nanos() as u64),
+                    };
+                    self.breaker_trips.inc();
+                } else {
+                    *b = Breaker::Closed { consecutive };
+                }
+            }
+            Breaker::HalfOpen { .. } => {
+                *b = Breaker::Open {
+                    until_ns: now_ns.saturating_add(cooldown.as_nanos() as u64),
+                };
+                self.breaker_trips.inc();
+            }
+            Breaker::Open { .. } => {}
+        }
+    }
+
+    /// Records a successful response from `shard`, closing its breaker.
+    pub fn record_ok(&self, shard: u64) {
+        self.breakers
+            .borrow_mut()
+            .insert(shard, Breaker::Closed { consecutive: 0 });
+    }
+
+    /// The observable state of `shard`'s breaker at `now_ns`.
+    pub fn breaker_state(&self, shard: u64, now_ns: u64) -> BreakerState {
+        match self.breakers.borrow().get(&shard) {
+            None | Some(Breaker::Closed { .. }) => BreakerState::Closed,
+            Some(Breaker::Open { until_ns }) => {
+                if now_ns >= *until_ns {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+            Some(Breaker::HalfOpen { .. }) => BreakerState::HalfOpen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn policy(cfg: RetryConfig) -> RetryPolicy {
+        RetryPolicy::new(cfg, StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn same_seed_same_backoff_sequence() {
+        let a = policy(RetryConfig::default());
+        let b = policy(RetryConfig::default());
+        for _ in 0..8 {
+            a.on_attempt();
+            b.on_attempt();
+            assert_eq!(a.try_retry(0, None), b.try_retry(0, None));
+        }
+    }
+
+    #[test]
+    fn backoff_stays_within_base_and_cap() {
+        let cfg = RetryConfig {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(10),
+            budget_burst: 1000.0,
+            ..RetryConfig::default()
+        };
+        let p = policy(cfg.clone());
+        for _ in 0..200 {
+            p.on_attempt();
+            let d = p.try_retry(0, None).unwrap();
+            assert!(d >= cfg.backoff_base, "{d:?}");
+            assert!(d <= cfg.backoff_cap, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn server_hint_floors_the_delay() {
+        let p = policy(RetryConfig {
+            backoff_cap: Duration::from_millis(2),
+            ..RetryConfig::default()
+        });
+        p.on_attempt();
+        let hint = Duration::from_millis(50);
+        assert_eq!(p.try_retry(0, Some(hint)).unwrap(), hint);
+    }
+
+    #[test]
+    fn budget_caps_retries_at_ratio_of_attempts() {
+        let p = policy(RetryConfig {
+            budget_ratio: 0.5,
+            budget_burst: 2.0,
+            ..RetryConfig::default()
+        });
+        // Startup burst: 2 tokens.
+        assert!(p.try_retry(0, None).is_some());
+        assert!(p.try_retry(0, None).is_some());
+        assert!(p.try_retry(0, None).is_none());
+        // Two first attempts deposit 0.5 each -> one more retry allowed.
+        p.on_attempt();
+        assert!(p.try_retry(0, None).is_none());
+        p.on_attempt();
+        assert!(p.try_retry(0, None).is_some());
+        assert!(p.try_retry(0, None).is_none());
+    }
+
+    #[test]
+    fn deposits_cap_at_burst() {
+        let p = policy(RetryConfig {
+            budget_ratio: 1.0,
+            budget_burst: 3.0,
+            ..RetryConfig::default()
+        });
+        for _ in 0..100 {
+            p.on_attempt();
+        }
+        assert_eq!(p.budget_tokens(), 3.0);
+    }
+
+    #[test]
+    fn breaker_trips_half_opens_and_recovers() {
+        let cfg = RetryConfig {
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(10),
+            ..RetryConfig::default()
+        };
+        let p = policy(cfg);
+        let cd = Duration::from_millis(10).as_nanos() as u64;
+        assert!(p.shard_allows(0, 0));
+        p.record_shed(0, 0);
+        p.record_shed(0, 0);
+        assert!(p.shard_allows(0, 0), "below threshold stays closed");
+        p.record_shed(0, 0);
+        assert_eq!(p.breaker_state(0, 0), BreakerState::Open);
+        assert!(!p.shard_allows(0, cd - 1));
+        // Cooldown elapsed: exactly one probe allowed.
+        assert!(p.shard_allows(0, cd));
+        assert!(!p.shard_allows(0, cd + 1));
+        // Probe succeeded -> closed again.
+        p.record_ok(0);
+        assert_eq!(p.breaker_state(0, cd + 2), BreakerState::Closed);
+        assert!(p.shard_allows(0, cd + 2));
+    }
+
+    #[test]
+    fn half_open_probe_shed_reopens() {
+        let p = policy(RetryConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(1),
+            ..RetryConfig::default()
+        });
+        p.record_shed(5, 0);
+        let cd = 1_000_000u64;
+        assert!(p.shard_allows(5, cd));
+        p.record_shed(5, cd);
+        assert_eq!(p.breaker_state(5, cd), BreakerState::Open);
+    }
+
+    #[test]
+    fn lost_probe_does_not_wedge_the_breaker() {
+        let p = policy(RetryConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(1),
+            ..RetryConfig::default()
+        });
+        p.record_shed(5, 0);
+        let cd = 1_000_000u64;
+        assert!(p.shard_allows(5, cd)); // probe sent, outcome lost
+        assert!(!p.shard_allows(5, cd + 1));
+        assert!(p.shard_allows(5, 2 * cd), "re-probes after a cooldown");
+    }
+
+    #[test]
+    fn breakers_are_per_shard() {
+        let p = policy(RetryConfig {
+            breaker_threshold: 1,
+            ..RetryConfig::default()
+        });
+        p.record_shed(0, 0);
+        assert!(!p.shard_allows(0, 0));
+        assert!(p.shard_allows(1, 0));
+    }
+
+    #[test]
+    fn observed_policy_reports_metrics_and_traces() {
+        let obs = Obs::with_trace(16);
+        let p = RetryPolicy::observed(
+            RetryConfig {
+                budget_burst: 1.0,
+                breaker_threshold: 1,
+                ..RetryConfig::default()
+            },
+            StdRng::seed_from_u64(1),
+            &obs,
+            3,
+        );
+        assert!(p.try_retry(0, None).is_some());
+        assert!(p.try_retry(5, None).is_none());
+        p.record_shed(2, 5);
+        let snap = obs.registry.snapshot().to_string();
+        assert!(snap.contains(r#""loadkit.client3.retries":1"#), "{snap}");
+        assert!(
+            snap.contains(r#""loadkit.client3.budget_exhausted":1"#),
+            "{snap}"
+        );
+        assert!(
+            snap.contains(r#""loadkit.client3.breaker_trips":1"#),
+            "{snap}"
+        );
+        assert_eq!(obs.tracer.count_of("retry_budget_exhausted"), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! The refusal a server sends instead of doing work it cannot finish.
+
+use std::time::Duration;
+
+use obskit::ShedReason;
+
+/// Why a server refused a request. Embedded in each protocol's response
+/// enum (`SemelResponse::Shed`, `TxnResponse::Shed`) so refusals are an
+/// explicit, typed outcome — never a silent queue or a timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The admission queue was at capacity; retry no sooner than the hint.
+    Overloaded {
+        /// Server's backoff hint for the retrying client.
+        retry_after: Duration,
+    },
+    /// The request's deadline had already expired when the server looked
+    /// at it — doing the work could only waste capacity on a reply the
+    /// caller has stopped waiting for.
+    DeadlineExceeded,
+}
+
+impl Shed {
+    /// The normalized reason (obskit's trace taxonomy).
+    pub fn reason(self) -> ShedReason {
+        match self {
+            Shed::Overloaded { .. } => ShedReason::Overloaded,
+            Shed::DeadlineExceeded => ShedReason::DeadlineExceeded,
+        }
+    }
+
+    /// The server's backoff hint, when it gave one.
+    pub fn retry_after(self) -> Option<Duration> {
+        match self {
+            Shed::Overloaded { retry_after } => Some(retry_after),
+            Shed::DeadlineExceeded => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Shed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Shed::Overloaded { retry_after } => {
+                write!(f, "overloaded (retry after {retry_after:?})")
+            }
+            Shed::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_maps_to_obskit_taxonomy() {
+        let s = Shed::Overloaded {
+            retry_after: Duration::from_millis(2),
+        };
+        assert_eq!(s.reason().as_str(), "overloaded");
+        assert_eq!(s.retry_after(), Some(Duration::from_millis(2)));
+        assert_eq!(
+            Shed::DeadlineExceeded.reason().as_str(),
+            "deadline_exceeded"
+        );
+        assert_eq!(Shed::DeadlineExceeded.retry_after(), None);
+    }
+}

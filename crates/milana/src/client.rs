@@ -10,7 +10,9 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{Key, Value};
+use loadkit::{RetryConfig, RetryPolicy};
 use obskit::{Obs, TraceEvent};
+use rand::{rngs::StdRng, SeedableRng};
 use semel::shard::{ShardId, ShardMap};
 use simkit::net::NodeId;
 use simkit::rpc::{RpcClient, RpcError};
@@ -38,6 +40,9 @@ pub struct TxnClientConfig {
     /// Observability: metric registry plus (optionally enabled) structured
     /// trace sink. Defaults to metrics-only.
     pub obs: Obs,
+    /// Client-side overload behavior: backoff jitter, the retry budget,
+    /// and the per-shard circuit breaker.
+    pub retry: RetryConfig,
 }
 
 impl Default for TxnClientConfig {
@@ -49,6 +54,7 @@ impl Default for TxnClientConfig {
             local_validation: true,
             watermark_interval: Duration::from_millis(100),
             obs: Obs::new(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -86,6 +92,8 @@ pub struct TxnClient {
     /// has observed.
     value_cache: Rc<RefCell<HashMap<Key, (Version, Value)>>>,
     stats: Rc<RefCell<TxnClientStats>>,
+    /// Retry budget, backoff jitter, and per-shard circuit breakers.
+    policy: Rc<RetryPolicy>,
 }
 
 impl std::fmt::Debug for TxnClient {
@@ -109,6 +117,14 @@ impl TxnClient {
         cfg: TxnClientConfig,
     ) -> TxnClient {
         let clock_seed = handle.rand_u64();
+        // Derive the jitter seed from the clock seed rather than drawing
+        // again: the draw sequence other components see stays unchanged.
+        let policy = Rc::new(RetryPolicy::observed(
+            cfg.retry.clone(),
+            StdRng::seed_from_u64(clock_seed ^ 0x9E37_79B9_7F4A_7C15),
+            &cfg.obs,
+            id.0 as u64,
+        ));
         let client = TxnClient {
             handle: handle.clone(),
             id,
@@ -121,6 +137,7 @@ impl TxnClient {
             active: Rc::new(RefCell::new(BTreeMap::new())),
             value_cache: Rc::new(RefCell::new(HashMap::new())),
             stats: Rc::new(RefCell::new(TxnClientStats::default())),
+            policy,
         };
         client
             .clock
@@ -253,6 +270,30 @@ impl TxnClient {
         self.cfg.obs.tracer.record(self.handle.now().as_nanos(), ev);
     }
 
+    /// The client's retry policy (overload instrumentation).
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn sim_ns(&self) -> u64 {
+        self.handle.now().as_nanos()
+    }
+
+    /// Waits (within the retry budget) for `shard`'s circuit breaker to
+    /// allow an attempt. Returns false when the budget runs out first.
+    async fn wait_for_breaker(&self, shard: ShardId) -> bool {
+        loop {
+            if self.policy.shard_allows(shard.0 as u64, self.sim_ns()) {
+                return true;
+            }
+            let cooldown = self.policy.config().breaker_cooldown;
+            match self.policy.try_retry(self.sim_ns(), Some(cooldown)) {
+                Some(delay) => self.handle.sleep(delay).await,
+                None => return false,
+            }
+        }
+    }
+
     fn register_active(&self, ts: Timestamp) {
         *self.active.borrow_mut().entry(ts).or_insert(0) += 1;
     }
@@ -361,13 +402,20 @@ impl Txn {
                 return Ok(value);
             }
         }
+        self.c.policy.on_attempt();
         for attempt in 0..=self.c.cfg.read_retries {
             // Re-resolve the primary each attempt: the shard map may have
             // been updated by a failover while we were retrying.
-            let primary = {
+            let (shard, primary) = {
                 let map = self.c.map.borrow();
-                map.group(map.shard_for(key)).primary
+                let shard = map.shard_for(key);
+                (shard, map.group(shard).primary)
             };
+            // A tripped breaker means the shard is actively shedding; wait
+            // out the cooldown (within budget) instead of piling on.
+            if !self.c.wait_for_breaker(shard).await {
+                return Err(TxnError::Aborted(AbortReason::Overloaded));
+            }
             let r = self
                 .c
                 .rpc
@@ -386,6 +434,7 @@ impl Txn {
                     value,
                     prepared,
                 }) => {
+                    self.c.policy.record_ok(shard.0 as u64);
                     self.read_set.push((key.clone(), version));
                     self.prepared_seen |= prepared;
                     self.c.trace(TraceEvent::TxnRead {
@@ -415,6 +464,18 @@ impl Txn {
                     self.snapshot_lost = true;
                     return Err(TxnError::Aborted(AbortReason::SnapshotUnavailable));
                 }
+                Ok(TxnResponse::Shed(shed)) => {
+                    self.c.policy.record_shed(shard.0 as u64, self.c.sim_ns());
+                    if attempt < self.c.cfg.read_retries {
+                        if let Some(delay) =
+                            self.c.policy.try_retry(self.c.sim_ns(), shed.retry_after())
+                        {
+                            self.c.handle.sleep(delay).await;
+                            continue;
+                        }
+                    }
+                    return Err(TxnError::Aborted(AbortReason::Overloaded));
+                }
                 Ok(TxnResponse::NotReady) | Err(RpcError::Timeout) => {
                     if attempt < self.c.cfg.read_retries {
                         // Every few failures, ask the master whether the
@@ -422,8 +483,10 @@ impl Txn {
                         if attempt % 3 == 2 {
                             self.c.refresh_map().await;
                         }
-                        self.c.handle.sleep(self.c.cfg.rpc_timeout / 8).await;
-                        continue;
+                        if let Some(delay) = self.c.policy.try_retry(self.c.sim_ns(), None) {
+                            self.c.handle.sleep(delay).await;
+                            continue;
+                        }
                     }
                     return Err(TxnError::Timeout);
                 }
@@ -452,15 +515,20 @@ impl Txn {
         if let Some(v) = self.cache.get(key) {
             return Ok(v.clone());
         }
+        self.c.policy.on_attempt();
         for attempt in 0..=self.c.cfg.read_retries {
             // Pick a random replica of the owning shard each attempt.
-            let replica = {
+            let (shard, replica) = {
                 let map = self.c.map.borrow();
-                let group = map.group(map.shard_for(key));
+                let shard = map.shard_for(key);
+                let group = map.group(shard);
                 let all = group.all();
                 let i = self.c.handle.rand_range(0, all.len() as u64) as usize;
-                all[i]
+                (shard, all[i])
             };
+            if !self.c.wait_for_breaker(shard).await {
+                return Err(TxnError::Aborted(AbortReason::Overloaded));
+            }
             let r = self
                 .c
                 .rpc
@@ -475,6 +543,7 @@ impl Txn {
                 .await;
             match r {
                 Ok(TxnResponse::Value { version, value, .. }) => {
+                    self.c.policy.record_ok(shard.0 as u64);
                     self.read_set.push((key.clone(), version));
                     self.requires_remote = true; // no LV info from replicas
                     self.c.trace(TraceEvent::TxnRead {
@@ -492,10 +561,24 @@ impl Txn {
                     self.snapshot_lost = true;
                     return Err(TxnError::Aborted(AbortReason::SnapshotUnavailable));
                 }
+                Ok(TxnResponse::Shed(shed)) => {
+                    self.c.policy.record_shed(shard.0 as u64, self.c.sim_ns());
+                    if attempt < self.c.cfg.read_retries {
+                        if let Some(delay) =
+                            self.c.policy.try_retry(self.c.sim_ns(), shed.retry_after())
+                        {
+                            self.c.handle.sleep(delay).await;
+                            continue;
+                        }
+                    }
+                    return Err(TxnError::Aborted(AbortReason::Overloaded));
+                }
                 Ok(TxnResponse::NotReady) | Err(RpcError::Timeout) => {
                     if attempt < self.c.cfg.read_retries {
-                        self.c.handle.sleep(self.c.cfg.rpc_timeout / 8).await;
-                        continue;
+                        if let Some(delay) = self.c.policy.try_retry(self.c.sim_ns(), None) {
+                            self.c.handle.sleep(delay).await;
+                            continue;
+                        }
                     }
                     return Err(TxnError::Timeout);
                 }
@@ -661,9 +744,23 @@ impl Txn {
         }
         let mut all_ok = true;
         let mut any_unreachable = false;
-        for v in votes {
+        let mut any_vote_no = false;
+        let mut any_shed = false;
+        for (v, &shard) in votes.into_iter().zip(&shards_sorted) {
             match v.await {
-                Ok(TxnResponse::Vote { ok }) => all_ok &= ok,
+                Ok(TxnResponse::Vote { ok }) => {
+                    self.c.policy.record_ok(shard.0 as u64);
+                    all_ok &= ok;
+                    any_vote_no |= !ok;
+                }
+                // A shed prepare is a *definite* no-vote: the participant
+                // refused before validating or installing anything, so the
+                // coordinator may abort safely — no outcome uncertainty.
+                Ok(TxnResponse::Shed(_)) => {
+                    self.c.policy.record_shed(shard.0 as u64, self.c.sim_ns());
+                    all_ok = false;
+                    any_shed = true;
+                }
                 Ok(_) => any_unreachable = true,
                 Err(_) => any_unreachable = true,
             }
@@ -724,11 +821,18 @@ impl Txn {
         } else {
             stats.aborts += 1;
             drop(stats);
+            // A shed with no explicit no-vote aborted purely on overload;
+            // any real validation rejection takes precedence as the reason.
+            let reason = if any_shed && !any_vote_no {
+                AbortReason::Overloaded
+            } else {
+                AbortReason::Validation
+            };
             self.c.trace(TraceEvent::Abort {
                 client: self.c.id.0 as u64,
-                reason: obskit::AbortClass::Validation,
+                reason: reason.class(),
             });
-            Err(TxnError::Aborted(AbortReason::Validation))
+            Err(TxnError::Aborted(reason))
         }
     }
 

@@ -192,6 +192,11 @@ pub enum TxnResponse {
     NotReady,
     /// Storage out of space.
     Capacity,
+    /// The server refused the request instead of doing the work (admission
+    /// queue full or request deadline already expired). For a `Prepare`
+    /// this is a definite no-vote: nothing was validated or installed, so
+    /// the coordinator may abort safely.
+    Shed(loadkit::Shed),
 }
 
 /// Client-visible transaction errors.
@@ -222,6 +227,10 @@ pub enum AbortReason {
     ParticipantUnreachable,
     /// The application called [`crate::client::Txn::abort`].
     UserRequested,
+    /// A participant shed the prepare under overload (or the client's retry
+    /// budget / circuit breaker refused to keep trying). A shed prepare is
+    /// a definite no-vote, so this abort is safe — no outcome uncertainty.
+    Overloaded,
 }
 
 impl AbortReason {
@@ -234,6 +243,7 @@ impl AbortReason {
             AbortReason::SnapshotUnavailable => obskit::AbortClass::SnapshotUnavailable,
             AbortReason::ParticipantUnreachable => obskit::AbortClass::ParticipantUnreachable,
             AbortReason::UserRequested => obskit::AbortClass::UserRequested,
+            AbortReason::Overloaded => obskit::AbortClass::Shed,
         }
     }
 }

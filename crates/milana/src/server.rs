@@ -83,6 +83,10 @@ pub struct ServerTuning {
     /// checker catches it. Shared (`Rc`) so one toggle reaches every
     /// replica built from this tuning.
     pub skip_validation: std::rc::Rc<std::cell::Cell<bool>>,
+    /// Admission-control limits for client-facing work (gets and prepares).
+    /// Internal traffic — replication, outcomes, leases, recovery — is
+    /// never shed: dropping it amplifies the very overload being shed.
+    pub admission: loadkit::AdmissionConfig,
 }
 
 impl Default for ServerTuning {
@@ -97,9 +101,16 @@ impl Default for ServerTuning {
             ctp_scan_every: Duration::from_millis(200),
             obs: obskit::Obs::new(),
             skip_validation: std::rc::Rc::new(std::cell::Cell::new(false)),
+            admission: loadkit::AdmissionConfig::default(),
         }
     }
 }
+
+/// Admission cost of a snapshot read (`Get`/`GetAny`).
+pub const COST_GET: u64 = 1;
+/// Admission cost of a 2PC prepare: validation plus synchronous
+/// replication to a backup quorum, far heavier than a read.
+pub const COST_PREPARE: u64 = 4;
 
 /// Static + initial-role configuration of one MILANA shard replica.
 #[derive(Debug, Clone)]
@@ -170,6 +181,8 @@ pub struct TxnServer {
     map: Rc<RefCell<ShardMap>>,
     /// Sequence stamp for `ReplicaAck` trace events.
     repl_seq: Rc<std::cell::Cell<u64>>,
+    /// Overload gate for client-facing work (gets and prepares).
+    admission: Rc<loadkit::Admission>,
     cfg: Rc<TxnServerConfig>,
 }
 
@@ -206,6 +219,11 @@ impl TxnServer {
             pending_outcomes: std::collections::HashMap::new(),
             replicating: std::collections::HashSet::new(),
         };
+        let admission = Rc::new(loadkit::Admission::observed(
+            cfg.tuning.admission.clone(),
+            &cfg.tuning.obs,
+            cfg.addr.node.0 as u64,
+        ));
         let server = TxnServer {
             handle: handle.clone(),
             backend,
@@ -215,6 +233,7 @@ impl TxnServer {
             rpc: RpcClient::new(handle, cfg.addr.node, cfg.addr.port + 1),
             map,
             repl_seq: Rc::new(std::cell::Cell::new(0)),
+            admission,
             cfg: Rc::new(cfg),
         };
         // A restarted replica must not reuse stale volatile key metadata.
@@ -348,10 +367,38 @@ impl TxnServer {
         }
     }
 
+    /// Overload gate for client-facing work. Refuses (and replies `Shed`)
+    /// when the request's deadline already expired or the cost-weighted
+    /// admission queue is full; otherwise returns a permit that must be
+    /// held for the duration of the handler, plus the responder back.
+    fn admit(&self, cost: u64, resp: Responder) -> Result<(loadkit::Permit, Responder), ()> {
+        let now = self.handle.now();
+        if resp.deadline().expired(now) {
+            let shed = self.admission.shed_deadline(now.as_nanos());
+            resp.reply(TxnResponse::Shed(shed));
+            return Err(());
+        }
+        match self.admission.try_admit(now.as_nanos(), cost) {
+            Ok(permit) => Ok((permit, resp)),
+            Err(shed) => {
+                resp.reply(TxnResponse::Shed(shed));
+                Err(())
+            }
+        }
+    }
+
     async fn handle_request(&self, req: TxnRequest, from: Addr, resp: Responder) {
         match req {
-            TxnRequest::Get { key, at } => self.handle_get(key, at, resp).await,
+            TxnRequest::Get { key, at } => {
+                let Ok((_permit, resp)) = self.admit(COST_GET, resp) else {
+                    return;
+                };
+                self.handle_get(key, at, resp).await
+            }
             TxnRequest::GetAny { key, at } => {
+                let Ok((_permit, resp)) = self.admit(COST_GET, resp) else {
+                    return;
+                };
                 // Any live replica may serve this (backups too): the reply
                 // carries no local-validation information, so the caller
                 // must validate remotely (§4.6).
@@ -378,6 +425,11 @@ impl TxnServer {
                 writes,
                 participants,
             } => {
+                // A shed prepare is a definite no-vote: nothing validated,
+                // nothing installed — the coordinator can abort safely.
+                let Ok((_permit, resp)) = self.admit(COST_PREPARE, resp) else {
+                    return;
+                };
                 self.handle_prepare(txid, ts_commit, reads, writes, participants, resp)
                     .await
             }

@@ -31,11 +31,14 @@ pub enum AbortClass {
     UnknownOutcome,
     /// The driver gave up after `max_retries` attempts.
     Abandoned,
+    /// A server shed the request under overload (loadkit admission control
+    /// or deadline expiry) and the client exhausted its retry allowance.
+    Shed,
 }
 
 impl AbortClass {
     /// Every class, in the canonical (serialization) order.
-    pub const ALL: [AbortClass; 8] = [
+    pub const ALL: [AbortClass; 9] = [
         AbortClass::Validation,
         AbortClass::PreparedRead,
         AbortClass::SnapshotUnavailable,
@@ -44,6 +47,7 @@ impl AbortClass {
         AbortClass::UserRequested,
         AbortClass::UnknownOutcome,
         AbortClass::Abandoned,
+        AbortClass::Shed,
     ];
 
     /// Stable machine-readable name (used as JSON keys).
@@ -57,6 +61,7 @@ impl AbortClass {
             AbortClass::UserRequested => "user_requested",
             AbortClass::UnknownOutcome => "unknown_outcome",
             AbortClass::Abandoned => "abandoned",
+            AbortClass::Shed => "shed",
         }
     }
 
@@ -156,7 +161,7 @@ mod tests {
         let s = b.to_json().to_string();
         assert_eq!(
             s,
-            r#"{"validation":0,"prepared_read":0,"snapshot_unavailable":0,"participant_unreachable":0,"watermark_stale":1,"user_requested":0,"unknown_outcome":0,"abandoned":0}"#
+            r#"{"validation":0,"prepared_read":0,"snapshot_unavailable":0,"participant_unreachable":0,"watermark_stale":1,"user_requested":0,"unknown_outcome":0,"abandoned":0,"shed":0}"#
         );
     }
 

@@ -26,6 +26,12 @@ pub struct TxnStats {
     pub timeouts: Counter,
     /// Transactions abandoned after `max_retries`.
     pub abandoned: Counter,
+    /// Transactions the workload *offered* (open-loop arrivals); zero for
+    /// closed-loop drivers that don't track arrivals.
+    pub arrivals: Counter,
+    /// Transactions terminated by load shedding (admission refusal or
+    /// deadline expiry) without ever reaching commit/abort accounting.
+    pub sheds: Counter,
     /// Latency from first begin to successful commit, nanoseconds.
     pub latency: HistogramHandle,
     /// Aborted attempts broken down by normalized reason.
@@ -48,6 +54,8 @@ impl TxnStats {
             aborts: Counter::detached(),
             timeouts: Counter::detached(),
             abandoned: Counter::detached(),
+            arrivals: Counter::detached(),
+            sheds: Counter::detached(),
             latency: HistogramHandle::detached(),
             abort_reasons: AbortBreakdown::new(),
             commit_series: TimeSeries::new(DEFAULT_WINDOW_NS),
@@ -63,6 +71,8 @@ impl TxnStats {
             aborts: registry.counter(&format!("{prefix}.aborts")),
             timeouts: registry.counter(&format!("{prefix}.timeouts")),
             abandoned: registry.counter(&format!("{prefix}.abandoned")),
+            arrivals: registry.counter(&format!("{prefix}.arrivals")),
+            sheds: registry.counter(&format!("{prefix}.sheds")),
             latency: registry.histogram(&format!("{prefix}.latency_ns")),
             abort_reasons: AbortBreakdown::new(),
             commit_series: TimeSeries::new(DEFAULT_WINDOW_NS),
@@ -95,6 +105,18 @@ impl TxnStats {
         self.abort_reasons.record(AbortClass::Abandoned);
     }
 
+    /// Records one offered transaction (open-loop arrival).
+    pub fn record_arrival(&self) {
+        self.arrivals.inc();
+    }
+
+    /// Records a transaction terminated by load shedding. Kept outside
+    /// `abort_reasons` so `abort_reasons.total()` still equals
+    /// `aborts + timeouts + abandoned` (sheds are refusals, not attempts).
+    pub fn record_shed(&self) {
+        self.sheds.inc();
+    }
+
     /// Abort rate: aborted attempts over all attempts (the paper's
     /// Figure 6 / 7 metric).
     pub fn abort_rate(&self) -> f64 {
@@ -118,6 +140,8 @@ impl TxnStats {
         self.aborts.add(other.aborts.get());
         self.timeouts.add(other.timeouts.get());
         self.abandoned.add(other.abandoned.get());
+        self.arrivals.add(other.arrivals.get());
+        self.sheds.add(other.sheds.get());
         self.latency.merge_from(&other.latency.snapshot());
         self.abort_reasons.merge_from(&other.abort_reasons);
         // Window counts merge positionally (both series share the default
@@ -131,6 +155,8 @@ impl TxnStats {
             .field("aborts", Json::U64(self.aborts.get()))
             .field("timeouts", Json::U64(self.timeouts.get()))
             .field("abandoned", Json::U64(self.abandoned.get()))
+            .field("arrivals", Json::U64(self.arrivals.get()))
+            .field("sheds", Json::U64(self.sheds.get()))
             .field("abort_rate", Json::F64(self.abort_rate()))
             .field("abort_reasons", self.abort_reasons.to_json())
             .field("latency_ns", self.latency.snapshot().summary_json())
@@ -150,6 +176,16 @@ mod tests {
         s.record_abort(AbortClass::Validation);
         s.record_timeout();
         s.record_abandoned();
+        s.record_arrival();
+        s.record_shed();
+        assert_eq!(s.arrivals.get(), 1);
+        assert_eq!(s.sheds.get(), 1);
+        // Sheds are refusals, not attempts: they stay out of the abort
+        // breakdown so total() keeps matching aborts + timeouts + abandoned.
+        assert_eq!(
+            s.abort_reasons.total(),
+            s.aborts.get() + s.timeouts.get() + s.abandoned.get()
+        );
         assert_eq!(s.commits.get(), 2);
         assert_eq!(s.aborts.get(), 1);
         assert_eq!(s.timeouts.get(), 1);

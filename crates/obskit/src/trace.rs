@@ -36,6 +36,26 @@ impl FlashOpKind {
     }
 }
 
+/// Why a server refused to do work (the loadkit shed taxonomy, mirrored
+/// here so the trace schema stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission queue was at capacity.
+    Overloaded,
+    /// The request's deadline had already expired on arrival.
+    DeadlineExceeded,
+}
+
+impl ShedReason {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::Overloaded => "overloaded",
+            ShedReason::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+}
+
 /// One structured event. Identities are plain integers so `obskit` stays
 /// dependency-free: transaction ids are `(client, seq)` pairs, nodes and
 /// shards are their numeric ids, and keys are reported as their `u64` id
@@ -136,6 +156,28 @@ pub enum TraceEvent {
         /// New offset from true time, ns.
         offset_ns: i64,
     },
+    /// A server refused a request instead of doing the work.
+    Shed {
+        /// Shedding node id.
+        node: u64,
+        /// Why the request was refused.
+        reason: ShedReason,
+    },
+    /// An admission queue's in-flight cost reached a new high-water mark
+    /// (emitted on advance and on shed, not per admit, to bound volume).
+    QueueDepth {
+        /// Owning node id.
+        node: u64,
+        /// In-flight admitted cost at the sample point.
+        cost: u64,
+        /// Configured cost capacity.
+        capacity: u64,
+    },
+    /// A client wanted to retry but its retry budget was empty.
+    RetryBudgetExhausted {
+        /// Coordinating client id.
+        client: u64,
+    },
 }
 
 impl TraceEvent {
@@ -154,6 +196,9 @@ impl TraceEvent {
             TraceEvent::GcRun { .. } => "gc_run",
             TraceEvent::FlashOp { .. } => "flash_op",
             TraceEvent::ClockSync { .. } => "clock_sync",
+            TraceEvent::Shed { .. } => "shed",
+            TraceEvent::QueueDepth { .. } => "queue_depth",
+            TraceEvent::RetryBudgetExhausted { .. } => "retry_budget_exhausted",
         }
     }
 
@@ -212,6 +257,18 @@ impl TraceEvent {
             TraceEvent::ClockSync { client, offset_ns } => doc
                 .field("client", Json::U64(client))
                 .field("offset_ns", Json::I64(offset_ns)),
+            TraceEvent::Shed { node, reason } => doc
+                .field("node", Json::U64(node))
+                .field("reason", Json::str(reason.as_str())),
+            TraceEvent::QueueDepth {
+                node,
+                cost,
+                capacity,
+            } => doc
+                .field("node", Json::U64(node))
+                .field("cost", Json::U64(cost))
+                .field("capacity", Json::U64(capacity)),
+            TraceEvent::RetryBudgetExhausted { client } => doc.field("client", Json::U64(client)),
         }
     }
 
@@ -448,6 +505,16 @@ mod tests {
                 client: 1,
                 offset_ns: -250,
             },
+            TraceEvent::Shed {
+                node: 4,
+                reason: ShedReason::Overloaded,
+            },
+            TraceEvent::QueueDepth {
+                node: 4,
+                cost: 12,
+                capacity: 16,
+            },
+            TraceEvent::RetryBudgetExhausted { client: 1 },
         ];
         let n = evs.len();
         for (i, ev) in evs.into_iter().enumerate() {
@@ -468,6 +535,9 @@ mod tests {
             "gc_run",
             "flash_op",
             "clock_sync",
+            "shed",
+            "queue_depth",
+            "retry_budget_exhausted",
         ] {
             assert!(dump.contains(&format!(r#""ev":"{name}""#)), "{name}");
             assert_eq!(t.count_of(name), 1, "{name}");

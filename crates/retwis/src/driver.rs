@@ -164,6 +164,7 @@ pub async fn run_instance<S: TxnSystem>(
     let payload = value(vec![0x5au8; cfg.value_size]);
     while handle.now() < until {
         let script = plan(&cfg.mix, &zipf, &mut rng, &cfg);
+        stats.record_arrival();
         let started = handle.now();
         let mut attempts = 0u32;
         loop {
@@ -224,6 +225,11 @@ pub async fn run_instance<S: TxnSystem>(
 ///
 /// Arrivals beyond `max_outstanding` are dropped and counted (modelling
 /// admission control rather than unbounded queue growth).
+///
+/// Every arrival is accounted: once the driver returns,
+/// `arrivals == commits + abandoned + sheds` — admitted transactions retry
+/// (each failed attempt individually counted as an abort or timeout) until
+/// they commit or exhaust `max_retries` and are abandoned.
 #[allow(clippy::too_many_arguments)] // a load generator is all knobs
 pub async fn run_open_loop<S: TxnSystem>(
     handle: SimHandle,
@@ -247,8 +253,11 @@ pub async fn run_open_loop<S: TxnSystem>(
         if handle.now() >= until {
             break;
         }
+        stats.record_arrival();
         if outstanding.get() >= max_outstanding {
-            stats.timeouts.inc(); // shed load (no attempt was made)
+            // Driver-side admission control: the arrival is refused before
+            // any attempt is made, so it is a shed, not a timeout.
+            stats.record_shed();
             continue;
         }
         outstanding.set(outstanding.get() + 1);

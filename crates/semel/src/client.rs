@@ -7,13 +7,16 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{Key, Value, VersionedValue};
+use loadkit::{RetryConfig, RetryPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use simkit::net::NodeId;
 use simkit::rpc::{RpcClient, RpcError};
 use simkit::SimHandle;
 use timesync::{ClientId, Discipline, SyncedClock, Timestamp, Version};
 
 use crate::msg::{SemelError, SemelRequest, SemelResponse};
-use crate::shard::ShardMap;
+use crate::shard::{ShardId, ShardMap};
 
 /// Client tuning.
 #[derive(Debug, Clone)]
@@ -24,6 +27,9 @@ pub struct ClientConfig {
     pub put_retries: u32,
     /// How often the client broadcasts its watermark (§3.1).
     pub watermark_interval: Duration,
+    /// Retry discipline: jittered backoff, retry budget, per-shard
+    /// circuit breaker.
+    pub retry: RetryConfig,
     /// Observability sinks (clock-sync trace events).
     pub obs: obskit::Obs,
 }
@@ -34,6 +40,7 @@ impl Default for ClientConfig {
             rpc_timeout: Duration::from_millis(50),
             put_retries: 8,
             watermark_interval: Duration::from_millis(100),
+            retry: RetryConfig::default(),
             obs: obskit::Obs::new(),
         }
     }
@@ -48,6 +55,7 @@ pub struct SemelClient {
     map: Rc<RefCell<ShardMap>>,
     rpc: RpcClient,
     cfg: Rc<ClientConfig>,
+    policy: Rc<RetryPolicy>,
     last_acked: Rc<Cell<Timestamp>>,
 }
 
@@ -72,6 +80,12 @@ impl SemelClient {
         cfg: ClientConfig,
     ) -> SemelClient {
         let clock_seed = handle.rand_u64();
+        let policy = Rc::new(RetryPolicy::observed(
+            cfg.retry.clone(),
+            StdRng::seed_from_u64(handle.rand_u64()),
+            &cfg.obs,
+            id.0 as u64,
+        ));
         let client = SemelClient {
             handle: handle.clone(),
             id,
@@ -79,6 +93,7 @@ impl SemelClient {
             map,
             rpc: RpcClient::new(handle, node, CLIENT_RPC_PORT),
             cfg: Rc::new(cfg),
+            policy,
             last_acked: Rc::new(Cell::new(Timestamp::ZERO)),
         };
         client
@@ -143,6 +158,31 @@ impl SemelClient {
         }
     }
 
+    /// The client's retry policy (budget / breaker instrumentation).
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn sim_ns(&self) -> u64 {
+        self.handle.now().as_nanos()
+    }
+
+    /// Breaker check for `shard`: when the circuit is open, burn a retry
+    /// token waiting out the cooldown instead of touching the network.
+    /// Returns `false` when the caller must give up ([`SemelError::Overloaded`]).
+    async fn wait_for_breaker(&self, shard: ShardId) -> bool {
+        loop {
+            if self.policy.shard_allows(shard.0 as u64, self.sim_ns()) {
+                return true;
+            }
+            let cooldown = self.policy.config().breaker_cooldown;
+            match self.policy.try_retry(self.sim_ns(), Some(cooldown)) {
+                Some(delay) => self.handle.sleep(delay).await,
+                None => return false,
+            }
+        }
+    }
+
     /// Creates a new version of `key` stamped with the client's current
     /// time; retries with a *fresh* timestamp if a concurrent writer with a
     /// later stamp wins the race (§3.3's "lagging clock" retry).
@@ -184,35 +224,54 @@ impl SemelClient {
         value: Value,
         version: Version,
     ) -> Result<(), SemelError> {
-        let primary = {
+        let (shard, primary) = {
             let map = self.map.borrow();
-            map.group(map.shard_for(&key)).primary
+            let shard = map.shard_for(&key);
+            (shard, map.group(shard).primary)
         };
         let req = SemelRequest::Put {
             key,
             value,
             version,
         };
-        // Retransmit on timeout: the server deduplicates by version.
-        for _ in 0..3 {
+        self.policy.on_attempt();
+        // Retransmission on timeout is idempotent (the server deduplicates
+        // by version); every retry is paid for from the retry budget.
+        loop {
+            if !self.wait_for_breaker(shard).await {
+                return Err(SemelError::Overloaded);
+            }
             match self
                 .rpc
                 .call::<SemelRequest, SemelResponse>(primary, req.clone(), self.cfg.rpc_timeout)
                 .await
             {
                 Ok(SemelResponse::PutOk) => {
+                    self.policy.record_ok(shard.0 as u64);
                     self.record_ack(version.ts);
                     return Ok(());
                 }
-                Ok(SemelResponse::Rejected(v)) => return Err(SemelError::Rejected(v)),
+                Ok(SemelResponse::Rejected(v)) => {
+                    self.policy.record_ok(shard.0 as u64);
+                    return Err(SemelError::Rejected(v));
+                }
                 Ok(SemelResponse::NoMajority) => return Err(SemelError::NoMajority),
                 Ok(SemelResponse::Capacity) => return Err(SemelError::Capacity),
+                Ok(SemelResponse::Shed(shed)) => {
+                    self.policy.record_shed(shard.0 as u64, self.sim_ns());
+                    match self.policy.try_retry(self.sim_ns(), shed.retry_after()) {
+                        Some(delay) => self.handle.sleep(delay).await,
+                        None => return Err(SemelError::Overloaded),
+                    }
+                }
                 Ok(_) => return Err(SemelError::Timeout),
-                Err(RpcError::Timeout) => continue,
+                Err(RpcError::Timeout) => match self.policy.try_retry(self.sim_ns(), None) {
+                    Some(delay) => self.handle.sleep(delay).await,
+                    None => return Err(SemelError::Timeout),
+                },
                 Err(RpcError::Closed) => return Err(SemelError::Timeout),
             }
         }
-        Err(SemelError::Timeout)
     }
 
     /// Reads the youngest version visible at the client's current time.
@@ -233,11 +292,16 @@ impl SemelClient {
     /// [`SemelError::NotFound`], [`SemelError::SnapshotUnavailable`] on
     /// single-version backends, and transport errors.
     pub async fn get_at(&self, key: Key, at: Timestamp) -> Result<VersionedValue, SemelError> {
-        let primary = {
+        let (shard, primary) = {
             let map = self.map.borrow();
-            map.group(map.shard_for(&key)).primary
+            let shard = map.shard_for(&key);
+            (shard, map.group(shard).primary)
         };
-        for _ in 0..3 {
+        self.policy.on_attempt();
+        loop {
+            if !self.wait_for_breaker(shard).await {
+                return Err(SemelError::Overloaded);
+            }
             match self
                 .rpc
                 .call::<SemelRequest, SemelResponse>(
@@ -251,19 +315,33 @@ impl SemelClient {
                 .await
             {
                 Ok(SemelResponse::Value { version, value, .. }) => {
+                    self.policy.record_ok(shard.0 as u64);
                     self.record_ack(at);
                     return Ok(VersionedValue { version, value });
                 }
-                Ok(SemelResponse::NotFound) => return Err(SemelError::NotFound),
+                Ok(SemelResponse::NotFound) => {
+                    self.policy.record_ok(shard.0 as u64);
+                    return Err(SemelError::NotFound);
+                }
                 Ok(SemelResponse::SnapshotUnavailable(v)) => {
-                    return Err(SemelError::SnapshotUnavailable(v))
+                    self.policy.record_ok(shard.0 as u64);
+                    return Err(SemelError::SnapshotUnavailable(v));
+                }
+                Ok(SemelResponse::Shed(shed)) => {
+                    self.policy.record_shed(shard.0 as u64, self.sim_ns());
+                    match self.policy.try_retry(self.sim_ns(), shed.retry_after()) {
+                        Some(delay) => self.handle.sleep(delay).await,
+                        None => return Err(SemelError::Overloaded),
+                    }
                 }
                 Ok(_) => return Err(SemelError::Timeout),
-                Err(RpcError::Timeout) => continue,
+                Err(RpcError::Timeout) => match self.policy.try_retry(self.sim_ns(), None) {
+                    Some(delay) => self.handle.sleep(delay).await,
+                    None => return Err(SemelError::Timeout),
+                },
                 Err(RpcError::Closed) => return Err(SemelError::Timeout),
             }
         }
-        Err(SemelError::Timeout)
     }
 
     /// Deletes all versions of `key`.
@@ -287,6 +365,7 @@ impl SemelClient {
         {
             Ok(SemelResponse::Deleted) => Ok(()),
             Ok(SemelResponse::NoMajority) => Err(SemelError::NoMajority),
+            Ok(SemelResponse::Shed(_)) => Err(SemelError::Overloaded),
             _ => Err(SemelError::Timeout),
         }
     }

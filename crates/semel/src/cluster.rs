@@ -39,6 +39,8 @@ pub struct ClusterConfig {
     pub net: simkit::net::LatencyConfig,
     /// Replication ordering discipline (ablation knob).
     pub replication: crate::server::ReplicationMode,
+    /// Per-server admission control (overload protection).
+    pub admission: loadkit::AdmissionConfig,
     /// Observability bundle shared by every server in the cluster.
     pub obs: obskit::Obs,
 }
@@ -57,6 +59,7 @@ impl Default for ClusterConfig {
             client_cfg: ClientConfig::default(),
             net: simkit::net::LatencyConfig::default(),
             replication: crate::server::ReplicationMode::default(),
+            admission: loadkit::AdmissionConfig::default(),
             obs: obskit::Obs::new(),
         }
     }
@@ -138,6 +141,7 @@ impl SemelCluster {
                         clients: client_ids.clone(),
                         replication: config.replication,
                         history_window: None,
+                        admission: config.admission.clone(),
                         obs: config.obs.clone(),
                     },
                 );

@@ -99,6 +99,10 @@ pub enum SemelResponse {
     NoMajority,
     /// Storage out of space.
     Capacity,
+    /// The server refused the request instead of doing the work (admission
+    /// queue full or request deadline already expired). Nothing was read
+    /// or written; the client may retry within its budget.
+    Shed(loadkit::Shed),
 }
 
 /// Errors surfaced by the SEMEL client library.
@@ -117,6 +121,9 @@ pub enum SemelError {
     Capacity,
     /// The primary could not replicate to a majority.
     NoMajority,
+    /// The server shed the request (overload or expired deadline) and the
+    /// client's retry budget or circuit breaker refused further attempts.
+    Overloaded,
 }
 
 impl std::fmt::Display for SemelError {
@@ -130,6 +137,7 @@ impl std::fmt::Display for SemelError {
             }
             SemelError::Capacity => write!(f, "storage capacity exhausted"),
             SemelError::NoMajority => write!(f, "replication majority unavailable"),
+            SemelError::Overloaded => write!(f, "request shed under overload"),
         }
     }
 }

@@ -13,6 +13,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{Backend, StoreError};
+use loadkit::{Admission, AdmissionConfig};
 use simkit::net::Addr;
 use simkit::rpc::{recv_request, Responder, RpcClient};
 use simkit::SimHandle;
@@ -58,10 +59,20 @@ pub struct ServerConfig {
     /// progress (§3.1's tunable GC window). `None` prunes purely by
     /// watermark.
     pub history_window: Option<std::time::Duration>,
+    /// Overload control: bounded cost-aware admission for client-facing
+    /// operations (replication and watermark traffic is exempt — refusing
+    /// it would only amplify recovery work).
+    pub admission: AdmissionConfig,
     /// Observability: metric registry plus (optionally enabled) structured
     /// trace sink.
     pub obs: obskit::Obs,
 }
+
+/// Admission cost of a point read.
+pub const COST_GET: u64 = 1;
+/// Admission cost of a replicated write or delete (backend write + backup
+/// fan-out holds capacity longer than a read).
+pub const COST_PUT: u64 = 2;
 
 impl ServerConfig {
     /// Majority parameter: acks needed from backups (`f` of `2f`).
@@ -76,6 +87,7 @@ pub struct ShardServer {
     handle: SimHandle,
     backend: Backend,
     cfg: Rc<ServerConfig>,
+    admission: Admission,
     rpc: RpcClient,
     watermarks: Rc<std::cell::RefCell<WatermarkTracker>>,
     /// Primary: next sequence number to assign (ordered mode).
@@ -108,9 +120,12 @@ impl ShardServer {
     /// Spawns the server loop on `cfg.addr.node` and returns a handle to it.
     /// The `backend` outlives node failures, modeling durable storage.
     pub fn spawn(handle: &SimHandle, backend: Backend, cfg: ServerConfig) -> ShardServer {
+        let admission =
+            Admission::observed(cfg.admission.clone(), &cfg.obs, cfg.addr.node.0 as u64);
         let server = ShardServer {
             handle: handle.clone(),
             backend,
+            admission,
             rpc: RpcClient::new(&handle.clone(), cfg.addr.node, cfg.addr.port + 1),
             watermarks: Rc::new(std::cell::RefCell::new(WatermarkTracker::new(
                 cfg.clients.iter().copied(),
@@ -150,7 +165,41 @@ impl ShardServer {
         &self.cfg
     }
 
+    /// Overload gate for client-facing work: refuse already-expired
+    /// requests, then claim admission capacity for `cost`. On refusal the
+    /// responder is consumed replying with the [`SemelResponse::Shed`].
+    fn admit(&self, cost: u64, resp: Responder) -> Result<(loadkit::Permit, Responder), ()> {
+        let now = self.handle.now();
+        if resp.deadline().expired(now) {
+            let shed = self.admission.shed_deadline(now.as_nanos());
+            resp.reply(SemelResponse::Shed(shed));
+            return Err(());
+        }
+        match self.admission.try_admit(now.as_nanos(), cost) {
+            Ok(permit) => Ok((permit, resp)),
+            Err(shed) => {
+                resp.reply(SemelResponse::Shed(shed));
+                Err(())
+            }
+        }
+    }
+
     async fn handle_request(&self, req: SemelRequest, resp: Responder) {
+        let (_permit, resp) = match &req {
+            SemelRequest::Get { .. } => match self.admit(COST_GET, resp) {
+                Ok((p, r)) => (Some(p), r),
+                Err(()) => return,
+            },
+            SemelRequest::Put { .. } | SemelRequest::Delete { .. } => {
+                match self.admit(COST_PUT, resp) {
+                    Ok((p, r)) => (Some(p), r),
+                    Err(()) => return,
+                }
+            }
+            // Replication and watermark control traffic must always land:
+            // shedding it amplifies recovery work instead of reducing load.
+            SemelRequest::Record { .. } | SemelRequest::Watermark { .. } => (None, resp),
+        };
         match req {
             SemelRequest::Get { key, at } => {
                 let r = match self.backend.get_at(&key, at).await {

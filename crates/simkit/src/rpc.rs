@@ -16,6 +16,52 @@ use std::time::Duration;
 use crate::executor::SimHandle;
 use crate::net::{Addr, Mailbox, NodeId};
 use crate::sync::oneshot;
+use crate::time::SimTime;
+
+/// Absolute virtual-time expiry carried in every request envelope.
+///
+/// The caller stamps the latest instant at which the reply is still
+/// useful; each downstream hop can check [`Deadline::expired`] and refuse
+/// already-dead work instead of doing it. Casts (and control traffic that
+/// must always apply, like 2PC outcomes) carry [`Deadline::NONE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline(SimTime);
+
+impl Deadline {
+    /// The never-expires sentinel.
+    pub const NONE: Deadline = Deadline(SimTime::MAX);
+
+    /// A deadline `budget` after `now`.
+    pub fn after(now: SimTime, budget: Duration) -> Deadline {
+        Deadline(now.saturating_add(budget))
+    }
+
+    /// The absolute expiry instant.
+    pub fn at(self) -> SimTime {
+        self.0
+    }
+
+    /// True when the deadline has passed at `now`.
+    pub fn expired(self, now: SimTime) -> bool {
+        self != Deadline::NONE && now >= self.0
+    }
+
+    /// Budget left at `now`; `None` once expired. [`Deadline::NONE`]
+    /// always reports the maximum budget.
+    pub fn remaining(self, now: SimTime) -> Option<Duration> {
+        if self.expired(now) {
+            None
+        } else {
+            Some(self.0.saturating_since(now))
+        }
+    }
+
+    /// The tighter of this deadline and `now + budget` — how a hop derives
+    /// the deadline for its own downstream calls.
+    pub fn tighten(self, now: SimTime, budget: Duration) -> Deadline {
+        Deadline(self.0.min(now.saturating_add(budget)))
+    }
+}
 
 /// Wire format for a request. Bodies are `Rc`-shared so the network layer
 /// can duplicate packets under fault injection without re-serializing.
@@ -24,6 +70,8 @@ struct Request {
     id: u64,
     /// Where to send the reply; `None` marks fire-and-forget casts.
     reply_to: Option<Addr>,
+    /// Latest useful completion instant (propagated hop to hop).
+    deadline: Deadline,
     body: Rc<dyn Any>,
 }
 
@@ -120,6 +168,31 @@ impl RpcClient {
         req: Req,
         timeout: Duration,
     ) -> Result<Resp, RpcError> {
+        let deadline = Deadline::after(self.handle.now(), timeout);
+        self.call_with_deadline(to, req, timeout, deadline).await
+    }
+
+    /// Like [`RpcClient::call`], but carrying an explicit `deadline` in the
+    /// envelope — the way multi-hop paths propagate the *original* caller's
+    /// budget instead of resetting it at each hop. The effective wait is
+    /// the tighter of `timeout` and the deadline's remaining budget; an
+    /// already-expired deadline fails immediately without sending.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] if no reply arrives in time (or the deadline
+    /// was already expired).
+    pub async fn call_with_deadline<Req: Any + Clone, Resp: Any + Clone>(
+        &self,
+        to: Addr,
+        req: Req,
+        timeout: Duration,
+        deadline: Deadline,
+    ) -> Result<Resp, RpcError> {
+        let Some(remaining) = deadline.remaining(self.handle.now()) else {
+            return Err(RpcError::Timeout);
+        };
+        let wait = timeout.min(remaining);
         let id = self.next_id.get();
         self.next_id.set(id + 1);
         let (tx, rx) = oneshot::channel();
@@ -130,10 +203,11 @@ impl RpcClient {
             Request {
                 id,
                 reply_to: Some(self.reply_addr),
+                deadline,
                 body: Rc::new(req),
             },
         );
-        match self.handle.timeout(timeout, rx).await {
+        match self.handle.timeout(wait, rx).await {
             Ok(Ok(body)) => Ok(unwrap_body(
                 body.downcast::<Resp>()
                     .expect("rpc reply type mismatch: protocol bug"),
@@ -159,6 +233,7 @@ impl RpcClient {
             Request {
                 id,
                 reply_to: None,
+                deadline: Deadline::NONE,
                 body: Rc::new(req),
             },
         );
@@ -180,6 +255,7 @@ pub struct Responder {
     handle: SimHandle,
     my_addr: Addr,
     reply_to: Option<Addr>,
+    deadline: Deadline,
     id: u64,
 }
 
@@ -202,6 +278,12 @@ impl Responder {
     pub fn expects_reply(&self) -> bool {
         self.reply_to.is_some()
     }
+
+    /// The deadline the caller stamped on this request
+    /// ([`Deadline::NONE`] for casts).
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
+    }
 }
 
 /// Receives the next typed request on `mailbox`.
@@ -218,7 +300,12 @@ pub async fn recv_request<Req: Any + Clone>(
         .payload
         .downcast::<Request>()
         .expect("non-rpc packet on rpc port");
-    let Request { id, reply_to, body } = req;
+    let Request {
+        id,
+        reply_to,
+        deadline,
+        body,
+    } = req;
     let body = body
         .downcast::<Req>()
         .expect("rpc request type mismatch: protocol bug");
@@ -229,6 +316,7 @@ pub async fn recv_request<Req: Any + Clone>(
             handle: handle.clone(),
             my_addr: mailbox.addr(),
             reply_to,
+            deadline,
             id,
         },
     ))
@@ -352,6 +440,82 @@ mod tests {
         for (i, o) in outs.into_iter().enumerate() {
             assert_eq!(o, Ok(Pong(i as u32 + 1)));
         }
+    }
+
+    #[test]
+    fn call_stamps_deadline_and_server_sees_it() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let mb = hh.bind(Addr::new(NodeId(2), 0));
+            let h2 = hh.clone();
+            hh.spawn_on(NodeId(2), async move {
+                while let Some((Ping(v), _f, resp)) = recv_request::<Ping>(&h2, &mb).await {
+                    let dl = resp.deadline();
+                    assert_ne!(dl, Deadline::NONE);
+                    assert!(!dl.expired(h2.now()));
+                    // The caller's budget was TIMEOUT; at most that remains.
+                    assert!(dl.remaining(h2.now()).unwrap() <= TIMEOUT);
+                    resp.reply(Pong(v));
+                }
+            });
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            let r = client
+                .call::<Ping, Pong>(Addr::new(NodeId(2), 0), Ping(9), TIMEOUT)
+                .await;
+            assert_eq!(r, Ok(Pong(9)));
+        });
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_sending() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let server = spawn_echo(&hh, NodeId(2));
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            let dead = Deadline::after(hh.now(), Duration::ZERO);
+            hh.sleep(Duration::from_millis(1)).await;
+            let before = hh.now();
+            let r = client
+                .call_with_deadline::<Ping, Pong>(server, Ping(1), TIMEOUT, dead)
+                .await;
+            assert_eq!(r, Err(RpcError::Timeout));
+            // Failed immediately — no virtual time elapsed waiting.
+            assert_eq!(hh.now(), before);
+        });
+    }
+
+    #[test]
+    fn cast_carries_no_deadline() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let mb = hh.bind(Addr::new(NodeId(2), 0));
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            client.cast(Addr::new(NodeId(2), 0), Ping(7));
+            let (_, _, resp) = recv_request::<Ping>(&hh, &mb).await.unwrap();
+            assert_eq!(resp.deadline(), Deadline::NONE);
+            assert!(!resp.deadline().expired(SimTime::MAX));
+        });
+    }
+
+    #[test]
+    fn tighten_takes_the_smaller_budget() {
+        let now = SimTime::from_millis(10);
+        let wide = Deadline::after(now, Duration::from_secs(5));
+        let tight = wide.tighten(now, Duration::from_millis(3));
+        assert_eq!(tight.at(), SimTime::from_millis(13));
+        // Tightening with a larger budget keeps the original expiry.
+        let same = wide.tighten(now, Duration::from_secs(50));
+        assert_eq!(same, wide);
+        assert_eq!(
+            Deadline::NONE.tighten(now, Duration::from_millis(1)).at(),
+            SimTime::from_millis(11)
+        );
     }
 
     #[test]

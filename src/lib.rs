@@ -6,6 +6,7 @@
 
 pub use faultkit;
 pub use flashsim;
+pub use loadkit;
 pub use milana;
 pub use obskit;
 pub use retwis;
