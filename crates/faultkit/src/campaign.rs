@@ -15,7 +15,6 @@ use std::time::Duration;
 
 use flashsim::{value, Key, NandConfig, Value};
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
-use milana::TxnError;
 use obskit::{Json, Obs};
 use rand::Rng;
 use simkit::Sim;
@@ -369,8 +368,13 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
             }
             match t.commit().await {
                 Ok(_) => return Some(sum),
-                Err(TxnError::Aborted(_)) => continue,
-                Err(_) => continue,
+                // A `PreparedRead` abort only clears once CTP resolves the
+                // stuck prepare (up to `ctp_after` + a scan period away), so
+                // back off instead of burning attempts in a tight loop.
+                Err(_) => {
+                    hh.sleep(Duration::from_millis(2)).await;
+                    continue;
+                }
             }
         }
     });

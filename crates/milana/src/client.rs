@@ -9,6 +9,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
+use batchkit::{BatchConfig, Batcher};
 use flashsim::{Key, Value};
 use loadkit::{RetryConfig, RetryPolicy};
 use obskit::{Obs, TraceEvent};
@@ -16,7 +17,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use semel::shard::{ShardId, ShardMap};
 use simkit::net::NodeId;
 use simkit::rpc::{RpcClient, RpcError};
-use simkit::SimHandle;
+use simkit::{SimHandle, SimTime};
 use timesync::{ClientId, Discipline, SyncedClock, Timestamp, Version};
 
 use crate::msg::{AbortReason, TxnError, TxnId, TxnRequest, TxnResponse};
@@ -43,6 +44,11 @@ pub struct TxnClientConfig {
     /// Client-side overload behavior: backoff jitter, the retry budget,
     /// and the per-shard circuit breaker.
     pub retry: RetryConfig,
+    /// Coordinator-plane coalescing: Prepares/Outcomes bound for the same
+    /// shard primary ride one envelope per flush window, with the client's
+    /// watermark piggybacked on envelopes instead of its own RPC tick.
+    /// `BatchConfig::unbatched()` reproduces the one-RPC-per-message plane.
+    pub batch: BatchConfig,
 }
 
 impl Default for TxnClientConfig {
@@ -55,6 +61,7 @@ impl Default for TxnClientConfig {
             watermark_interval: Duration::from_millis(100),
             obs: Obs::new(),
             retry: RetryConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -94,6 +101,16 @@ pub struct TxnClient {
     stats: Rc<RefCell<TxnClientStats>>,
     /// Retry budget, backoff jitter, and per-shard circuit breakers.
     policy: Rc<RetryPolicy>,
+    /// The client's node (coordinator-plane batchers are spawned on it).
+    node: NodeId,
+    /// Per-shard coordinator planes: Prepares and Outcomes bound for the
+    /// same shard primary coalesce into one envelope per flush window.
+    planes: Rc<RefCell<HashMap<ShardId, Batcher<TxnRequest, TxnResponse>>>>,
+    /// Last watermark piggybacked per shard, to skip redundant items.
+    wm_sent: Rc<RefCell<HashMap<ShardId, Timestamp>>>,
+    /// When any plane last flushed. The periodic watermark broadcast stands
+    /// down while envelopes are flowing (piggybacking covers it).
+    last_flush: Rc<Cell<SimTime>>,
 }
 
 impl std::fmt::Debug for TxnClient {
@@ -105,10 +122,133 @@ impl std::fmt::Debug for TxnClient {
 /// Reply port used by MILANA clients on their node.
 pub const TXN_CLIENT_RPC_PORT: u16 = 40;
 
+/// The MILANA client under its public name. [`TxnClient`] remains as the
+/// historical spelling; both are the same type.
+pub type MilanaClient = TxnClient;
+
+/// Builder for [`TxnClient`]: the four identity parameters are mandatory,
+/// every knob defaults (perfect clock, [`TxnClientConfig`] defaults) and
+/// can be overridden individually. Terminal call is
+/// [`TxnClientBuilder::build`].
+#[derive(Clone)]
+pub struct TxnClientBuilder {
+    handle: SimHandle,
+    node: NodeId,
+    id: ClientId,
+    map: Rc<RefCell<ShardMap>>,
+    discipline: Discipline,
+    cfg: TxnClientConfig,
+}
+
+impl TxnClientBuilder {
+    /// Clock skew model (default: [`Discipline::Perfect`]).
+    pub fn discipline(mut self, discipline: Discipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Replaces the whole config in one call (escape hatch for callers
+    /// that already hold a [`TxnClientConfig`]).
+    pub fn config(mut self, cfg: TxnClientConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Per-RPC timeout.
+    pub fn rpc_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.rpc_timeout = timeout;
+        self
+    }
+
+    /// Master address for shard-map refresh after repeated failures.
+    pub fn master(mut self, master: simkit::net::Addr) -> Self {
+        self.cfg.master = Some(master);
+        self
+    }
+
+    /// Retries for reads that hit a recovering/leaseless primary.
+    pub fn read_retries(mut self, retries: u32) -> Self {
+        self.cfg.read_retries = retries;
+        self
+    }
+
+    /// Client-local validation of read-only transactions (§4.3).
+    pub fn local_validation(mut self, on: bool) -> Self {
+        self.cfg.local_validation = on;
+        self
+    }
+
+    /// Watermark broadcast period (§4.4).
+    pub fn watermark_interval(mut self, interval: Duration) -> Self {
+        self.cfg.watermark_interval = interval;
+        self
+    }
+
+    /// Observability sinks.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Retry discipline: jittered backoff, budget, circuit breaker.
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Coordinator-plane flush window (see [`TxnClientConfig::batch`]).
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        self.cfg.batch = batch;
+        self
+    }
+
+    /// Creates the client and starts its watermark task.
+    pub fn build(self) -> TxnClient {
+        TxnClient::build_inner(
+            &self.handle,
+            self.node,
+            self.id,
+            self.discipline,
+            self.map,
+            self.cfg,
+        )
+    }
+}
+
 impl TxnClient {
+    /// Starts a [`TxnClientBuilder`] from the mandatory identity
+    /// parameters; every knob is defaulted and individually overridable.
+    pub fn builder(
+        handle: &SimHandle,
+        node: NodeId,
+        id: ClientId,
+        map: Rc<RefCell<ShardMap>>,
+    ) -> TxnClientBuilder {
+        TxnClientBuilder {
+            handle: handle.clone(),
+            node,
+            id,
+            map,
+            discipline: Discipline::Perfect,
+            cfg: TxnClientConfig::default(),
+        }
+    }
+
     /// Creates a client on `node` with its own skewed clock and starts its
     /// watermark broadcast task.
+    #[deprecated(note = "use TxnClient::builder(handle, node, id, map) instead")]
     pub fn new(
+        handle: &SimHandle,
+        node: NodeId,
+        id: ClientId,
+        discipline: Discipline,
+        map: Rc<RefCell<ShardMap>>,
+        cfg: TxnClientConfig,
+    ) -> TxnClient {
+        TxnClient::build_inner(handle, node, id, discipline, map, cfg)
+    }
+
+    fn build_inner(
         handle: &SimHandle,
         node: NodeId,
         id: ClientId,
@@ -138,6 +278,10 @@ impl TxnClient {
             value_cache: Rc::new(RefCell::new(HashMap::new())),
             stats: Rc::new(RefCell::new(TxnClientStats::default())),
             policy,
+            node,
+            planes: Rc::new(RefCell::new(HashMap::new())),
+            wm_sent: Rc::new(RefCell::new(HashMap::new())),
+            last_flush: Rc::new(Cell::new(SimTime::ZERO)),
         };
         client
             .clock
@@ -146,10 +290,99 @@ impl TxnClient {
         handle.spawn_on(node, async move {
             loop {
                 me.handle.sleep(me.cfg.watermark_interval).await;
-                me.broadcast_watermark();
+                // Steady state: coordinator-plane envelopes piggyback the
+                // watermark (primaries relay it to their backups), so the
+                // standalone tick only covers idle periods.
+                if me.last_flush.get() + me.cfg.watermark_interval <= me.handle.now() {
+                    me.broadcast_watermark();
+                }
             }
         });
         client
+    }
+
+    /// The coordinator plane for `shard`: a batcher coalescing this
+    /// client's Prepares/Outcomes bound for that shard's primary into one
+    /// envelope per flush window. Created lazily; the primary address is
+    /// resolved from the shard map at *flush* time so failover between
+    /// submit and flush lands on the new primary.
+    fn plane(&self, shard: ShardId) -> Batcher<TxnRequest, TxnResponse> {
+        if let Some(b) = self.planes.borrow().get(&shard) {
+            return b.clone();
+        }
+        let me = self.clone();
+        let envelopes = self
+            .cfg
+            .obs
+            .registry
+            .counter(&format!("milana.client{}.coord_envelopes", self.id.0));
+        let items = self
+            .cfg
+            .obs
+            .registry
+            .counter(&format!("milana.client{}.coord_items", self.id.0));
+        let batcher = Batcher::new(
+            &self.handle,
+            self.node,
+            &format!("milana.coord.c{}.s{}", self.id.0, shard.0),
+            self.cfg.batch,
+            self.cfg.obs.clone(),
+            move |batch: Vec<TxnRequest>| {
+                let me = me.clone();
+                let envelopes = envelopes.clone();
+                let items = items.clone();
+                async move {
+                    let n = batch.len();
+                    // Piggyback the watermark when it moved since the last
+                    // envelope to this shard; its Ack is stripped below so
+                    // the reply arity matches the submitted items.
+                    let ts = me.watermark_report();
+                    let piggyback = {
+                        let mut sent = me.wm_sent.borrow_mut();
+                        if sent.get(&shard) != Some(&ts) {
+                            sent.insert(shard, ts);
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    let mut wire = Vec::with_capacity(n + 1);
+                    if piggyback {
+                        wire.push(TxnRequest::Watermark { client: me.id, ts });
+                    }
+                    wire.extend(batch);
+                    me.last_flush.set(me.handle.now());
+                    envelopes.inc();
+                    items.add(n as u64);
+                    let primary = me.map.borrow().group(shard).primary;
+                    match me
+                        .rpc
+                        .call_batch::<TxnRequest, TxnResponse>(primary, wire, me.cfg.rpc_timeout)
+                        .await
+                    {
+                        Ok(mut resps) => {
+                            if piggyback {
+                                resps.remove(0);
+                            }
+                            resps
+                        }
+                        // Envelope lost or timed out: every waiter resolves
+                        // to None, which the coordinator classifies exactly
+                        // like a single-RPC timeout (unreachable).
+                        Err(_) => {
+                            if piggyback {
+                                // The watermark never landed; let the next
+                                // envelope (or the idle tick) resend it.
+                                me.wm_sent.borrow_mut().remove(&shard);
+                            }
+                            Vec::new()
+                        }
+                    }
+                }
+            },
+        );
+        self.planes.borrow_mut().insert(shard, batcher.clone());
+        batcher
     }
 
     /// Sends the watermark report to every replica of every shard (§4.4).
@@ -727,7 +960,6 @@ impl Txn {
         let shards_sorted: Vec<ShardId> = shards_sorted.into_iter().copied().collect();
         for &shard in &shards_sorted {
             let (reads, writes) = &by_shard[&shard];
-            let primary = self.c.map.borrow().group(shard).primary;
             let req = TxnRequest::Prepare {
                 txid,
                 ts_commit,
@@ -735,12 +967,11 @@ impl Txn {
                 writes: writes.clone(),
                 participants: participants.clone(),
             };
-            let rpc = self.c.rpc.clone();
-            let timeout = self.c.cfg.rpc_timeout;
-            votes.push(self.c.handle.spawn(async move {
-                rpc.call::<TxnRequest, TxnResponse>(primary, req, timeout)
-                    .await
-            }));
+            // Submit through the shard's coordinator plane: the Prepare is
+            // enqueued synchronously here (so all participants coalesce in
+            // the same flush window) and the future resolves with that
+            // item's slot from the batched reply.
+            votes.push(self.c.plane(shard).submit(req));
         }
         let mut all_ok = true;
         let mut any_unreachable = false;
@@ -748,7 +979,7 @@ impl Txn {
         let mut any_shed = false;
         for (v, &shard) in votes.into_iter().zip(&shards_sorted) {
             match v.await {
-                Ok(TxnResponse::Vote { ok }) => {
+                Some(TxnResponse::Vote { ok }) => {
                     self.c.policy.record_ok(shard.0 as u64);
                     all_ok &= ok;
                     any_vote_no |= !ok;
@@ -756,13 +987,14 @@ impl Txn {
                 // A shed prepare is a *definite* no-vote: the participant
                 // refused before validating or installing anything, so the
                 // coordinator may abort safely — no outcome uncertainty.
-                Ok(TxnResponse::Shed(_)) => {
+                Some(TxnResponse::Shed(_)) => {
                     self.c.policy.record_shed(shard.0 as u64, self.c.sim_ns());
                     all_ok = false;
                     any_shed = true;
                 }
-                Ok(_) => any_unreachable = true,
-                Err(_) => any_unreachable = true,
+                // NotReady (recovering primary / duplicate in flight) or a
+                // lost envelope: same classification as a timed-out RPC.
+                Some(_) | None => any_unreachable = true,
             }
         }
         self.c.note_decided(ts_commit);
@@ -777,14 +1009,18 @@ impl Txn {
             });
             return Err(TxnError::Timeout);
         }
-        // Phase 2: decision (asynchronous notification, §4.2).
+        // Phase 2: decision (asynchronous notification, §4.2). Outcomes
+        // ride the coordinator plane so a decision shares its envelope with
+        // whatever else is pending for the shard, but the plane is flushed
+        // before returning: a read this client issues right after commit()
+        // must not overtake the decision on the wire.
         let commit = all_ok;
         for &shard in &participants {
-            let primary = self.c.map.borrow().group(shard).primary;
-            self.c
-                .rpc
-                .cast(primary, TxnRequest::Outcome { txid, commit });
+            let plane = self.c.plane(shard);
+            plane.submit_nowait(TxnRequest::Outcome { txid, commit });
+            plane.flush_now();
         }
+        self.c.handle.yield_now().await;
         if commit {
             // Refresh the inter-transaction cache with our own writes.
             let mut vc = self.c.value_cache.borrow_mut();

@@ -51,6 +51,29 @@ pub struct MilanaClusterConfig {
     pub auto_failover: bool,
 }
 
+impl From<semel::ClusterSpec> for MilanaClusterConfig {
+    fn from(spec: semel::ClusterSpec) -> MilanaClusterConfig {
+        let mut cfg = MilanaClusterConfig {
+            shards: spec.shards,
+            replicas: spec.replicas,
+            clients: spec.clients,
+            backend: spec.backend,
+            nand: spec.nand,
+            discipline: spec.discipline,
+            preload_keys: spec.preload_keys,
+            value_size: spec.value_size,
+            net: spec.net,
+            ..MilanaClusterConfig::default()
+        };
+        cfg.tuning.admission = spec.admission;
+        cfg.tuning.batch = spec.batch;
+        cfg.tuning.obs = spec.obs;
+        cfg.client_cfg.batch = spec.batch;
+        cfg.client_cfg.obs = cfg.tuning.obs.clone();
+        cfg
+    }
+}
+
 impl Default for MilanaClusterConfig {
     fn default() -> MilanaClusterConfig {
         MilanaClusterConfig {
@@ -250,14 +273,10 @@ impl MilanaCluster {
                 if config.auto_failover {
                     client_cfg.master = Some(master_addr);
                 }
-                TxnClient::new(
-                    handle,
-                    client_node(i),
-                    ClientId(i),
-                    config.discipline.clone(),
-                    client_map,
-                    client_cfg,
-                )
+                TxnClient::builder(handle, client_node(i), ClientId(i), client_map)
+                    .discipline(config.discipline.clone())
+                    .config(client_cfg)
+                    .build()
             })
             .collect();
 

@@ -56,7 +56,7 @@ pub mod table;
 #[cfg(test)]
 mod tests;
 
-pub use client::{CommitInfo, Txn, TxnClient, TxnClientConfig};
+pub use client::{CommitInfo, MilanaClient, Txn, TxnClient, TxnClientBuilder, TxnClientConfig};
 pub use cluster::{MilanaCluster, MilanaClusterConfig};
 pub use msg::{AbortReason, PromoteError, TxnError, TxnId, TxnRequest, TxnResponse};
 pub use server::{LeaseConfig, ServerTuning, TxnServer, TxnServerConfig};

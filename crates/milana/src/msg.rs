@@ -283,10 +283,18 @@ impl std::fmt::Display for PromoteError {
 
 impl std::error::Error for PromoteError {}
 
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Render through the shared observability taxonomy so logs, traces,
+        // and error strings all agree on the abort vocabulary.
+        f.write_str(self.class().as_str())
+    }
+}
+
 impl std::fmt::Display for TxnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TxnError::Aborted(r) => write!(f, "transaction aborted ({r:?})"),
+            TxnError::Aborted(r) => write!(f, "transaction aborted ({r})"),
             TxnError::KeyNotFound(k) => write!(f, "key {k} not found"),
             TxnError::Timeout => write!(f, "shard primary unreachable"),
             TxnError::Finished => write!(f, "transaction already finished"),

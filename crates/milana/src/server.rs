@@ -18,11 +18,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
+use batchkit::{BatchConfig, Batcher};
 use flashsim::{Backend, Key, StoreError, Value};
 use semel::replicate::replicate_traced;
 use semel::shard::{ShardId, ShardMap};
 use simkit::net::Addr;
-use simkit::rpc::{recv_request, Responder, RpcClient};
+use simkit::rpc::{recv_incoming, Batch, BatchReply, Incoming, Responder, RpcClient};
 use simkit::time::SimTime;
 use simkit::SimHandle;
 use timesync::{ClientId, Timestamp, Version, WatermarkTracker};
@@ -87,6 +88,10 @@ pub struct ServerTuning {
     /// Internal traffic — replication, outcomes, leases, recovery — is
     /// never shed: dropping it amplifies the very overload being shed.
     pub admission: loadkit::AdmissionConfig,
+    /// Group-commit replication: primaries coalesce prepare/outcome
+    /// records (plus pending watermark relays) into one backup envelope
+    /// per flush. `batch_max = 1` reproduces the per-record fan-out.
+    pub batch: BatchConfig,
 }
 
 impl Default for ServerTuning {
@@ -102,6 +107,7 @@ impl Default for ServerTuning {
             obs: obskit::Obs::new(),
             skip_validation: std::rc::Rc::new(std::cell::Cell::new(false)),
             admission: loadkit::AdmissionConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -150,6 +156,11 @@ struct ServerState {
     /// replication and abort — the coordinator could then commit a
     /// transaction recorded on no backup, which a primary crash erases.
     replicating: std::collections::HashSet<TxnId>,
+    /// Primary: per-client watermark reports received since the last
+    /// replication flush, relayed to backups by piggybacking on the next
+    /// batched envelope (a `BTreeMap` so the piggyback order — and hence
+    /// the run — is deterministic).
+    wm_relay: std::collections::BTreeMap<ClientId, Timestamp>,
 }
 
 /// Counters for observability and the experiment harnesses.
@@ -184,6 +195,12 @@ pub struct TxnServer {
     /// Overload gate for client-facing work (gets and prepares).
     admission: Rc<loadkit::Admission>,
     cfg: Rc<TxnServerConfig>,
+    /// Group-commit replication batcher: coalesces `ReplPrepare` /
+    /// `ReplOutcome` records (plus pending watermark relays) into one
+    /// envelope per backup. Inert on backups — only primary code paths
+    /// submit to it; the target backup set is read from the live state at
+    /// flush time so promotion keeps working.
+    repl_batch: Batcher<TxnRequest, bool>,
 }
 
 impl std::fmt::Debug for TxnServer {
@@ -218,23 +235,30 @@ impl TxnServer {
             known_primary: None,
             pending_outcomes: std::collections::HashMap::new(),
             replicating: std::collections::HashSet::new(),
+            wm_relay: std::collections::BTreeMap::new(),
         };
         let admission = Rc::new(loadkit::Admission::observed(
             cfg.tuning.admission.clone(),
             &cfg.tuning.obs,
             cfg.addr.node.0 as u64,
         ));
+        let state = Rc::new(RefCell::new(state));
+        let rpc = RpcClient::new(handle, cfg.addr.node, cfg.addr.port + 1);
+        let cfg = Rc::new(cfg);
+        let repl_seq = Rc::new(std::cell::Cell::new(0));
+        let repl_batch = Self::spawn_repl_batcher(handle, &rpc, &state, &cfg, &repl_seq);
         let server = TxnServer {
             handle: handle.clone(),
             backend,
             table,
-            state: Rc::new(RefCell::new(state)),
+            state,
             stats: Rc::new(RefCell::new(TxnServerStats::default())),
-            rpc: RpcClient::new(handle, cfg.addr.node, cfg.addr.port + 1),
+            rpc,
             map,
-            repl_seq: Rc::new(std::cell::Cell::new(0)),
+            repl_seq,
             admission,
-            cfg: Rc::new(cfg),
+            cfg,
+            repl_batch,
         };
         // A restarted replica must not reuse stale volatile key metadata.
         server.table.borrow_mut().rebuild_key_meta();
@@ -245,16 +269,83 @@ impl TxnServer {
         server
     }
 
+    /// Builds the group-commit batcher. A flush drains pending watermark
+    /// relays, prepends them to the drained records, and replicates the
+    /// whole envelope to the *current* backup set; every drained record
+    /// succeeds (true) only when `f` backups acknowledged the whole batch.
+    fn spawn_repl_batcher(
+        handle: &SimHandle,
+        rpc: &RpcClient,
+        state: &Rc<RefCell<ServerState>>,
+        cfg: &Rc<TxnServerConfig>,
+        repl_seq: &Rc<std::cell::Cell<u64>>,
+    ) -> Batcher<TxnRequest, bool> {
+        let reg = &cfg.tuning.obs.registry;
+        let envelopes = reg.counter(&format!("milana.node{}.repl_envelopes", cfg.addr.node.0));
+        let records = reg.counter(&format!("milana.node{}.repl_records", cfg.addr.node.0));
+        let h = handle.clone();
+        let rpc = rpc.clone();
+        let state2 = Rc::clone(state);
+        let cfg2 = Rc::clone(cfg);
+        let repl_seq = Rc::clone(repl_seq);
+        Batcher::new(
+            handle,
+            cfg.addr.node,
+            &format!("milana.repl.node{}", cfg.addr.node.0),
+            cfg.tuning.batch,
+            cfg.tuning.obs.clone(),
+            move |items: Vec<TxnRequest>| {
+                let h = h.clone();
+                let rpc = rpc.clone();
+                let cfg = Rc::clone(&cfg2);
+                let n = items.len();
+                let (backups, need, wire) = {
+                    let mut st = state2.borrow_mut();
+                    let mut wire: Vec<TxnRequest> = std::mem::take(&mut st.wm_relay)
+                        .into_iter()
+                        .map(|(client, ts)| TxnRequest::Watermark { client, ts })
+                        .collect();
+                    wire.extend(items);
+                    (st.backups.clone(), st.backups.len() / 2, wire)
+                };
+                if !backups.is_empty() {
+                    envelopes.add(backups.len() as u64);
+                    records.add(n as u64);
+                }
+                let seq = repl_seq.replace(repl_seq.get() + 1);
+                async move {
+                    let ok = replicate_traced::<Batch<TxnRequest>, BatchReply<TxnResponse>>(
+                        &h,
+                        &rpc,
+                        &backups,
+                        Batch { items: wire },
+                        need,
+                        cfg.tuning.repl_timeout,
+                        |r| r.items.iter().all(|i| matches!(i, TxnResponse::Ack)),
+                        &cfg.tuning.obs.tracer,
+                        seq,
+                    )
+                    .await;
+                    vec![ok; n]
+                }
+            },
+        )
+    }
+
     fn spawn_loop(&self) {
         let mailbox = self.handle.bind(self.cfg.addr);
         let me = self.clone();
         let h = self.handle.clone();
         let node = self.cfg.addr.node;
         self.handle.spawn_on(node, async move {
-            while let Some((req, from, resp)) = recv_request::<TxnRequest>(&h, &mailbox).await {
+            while let Some((incoming, from, resp)) = recv_incoming::<TxnRequest>(&h, &mailbox).await
+            {
                 let me2 = me.clone();
                 h.spawn_on(node, async move {
-                    me2.handle_request(req, from, resp).await;
+                    match incoming {
+                        Incoming::One(req) => me2.handle_request(req, from, resp).await,
+                        Incoming::Batch(items) => me2.handle_batch(items, resp).await,
+                    }
                 });
             }
         });
@@ -430,38 +521,25 @@ impl TxnServer {
                 let Ok((_permit, resp)) = self.admit(COST_PREPARE, resp) else {
                     return;
                 };
-                self.handle_prepare(txid, ts_commit, reads, writes, participants, resp)
+                // `None` = duplicate of an in-flight prepare: stay silent
+                // (the original handler answers once replication settles).
+                if let Some(r) = self
+                    .do_prepare(txid, ts_commit, reads, writes, participants)
                     .await
+                {
+                    resp.reply(r);
+                }
             }
             TxnRequest::Outcome { txid, commit } => {
                 self.apply_outcome(txid, commit).await;
                 resp.reply(TxnResponse::Ack);
             }
             TxnRequest::Watermark { client, ts } => {
-                let mut wm = {
-                    let mut st = self.state.borrow_mut();
-                    st.watermarks.update(client, ts);
-                    st.watermarks.watermark()
-                };
-                // The tunable GC window (§3.1): retain at least
-                // `history_window` of versions for analytics readers.
-                if let Some(window) = self.cfg.tuning.history_window {
-                    let floor = Timestamp::from_sim(self.handle.now()).before(window);
-                    wm = wm.min(floor);
-                }
-                if wm > Timestamp::ZERO && wm < Timestamp::MAX {
-                    self.backend.set_watermark(wm);
-                }
+                self.merge_watermark(client, ts);
                 resp.reply(TxnResponse::Ack);
             }
             TxnRequest::ReplPrepare(record) => {
-                let txid = record.txid;
-                self.table.borrow_mut().install(record);
-                // An outcome may have raced ahead of this prepare.
-                let pending = self.state.borrow_mut().pending_outcomes.remove(&txid);
-                if let Some(commit) = pending {
-                    self.backup_apply_outcome(txid, commit).await;
-                }
+                self.backup_install_prepare(record).await;
                 resp.reply(TxnResponse::Ack);
             }
             TxnRequest::ReplOutcome { txid, commit } => {
@@ -553,6 +631,132 @@ impl TxnServer {
         }
     }
 
+    /// Merges one client watermark report, advances the backend GC floor,
+    /// and (on primaries) queues the report for relay to the backups on the
+    /// next replication flush — the piggyback that replaces the standalone
+    /// per-replica watermark tick in the steady state.
+    fn merge_watermark(&self, client: ClientId, ts: Timestamp) {
+        let mut wm = {
+            let mut st = self.state.borrow_mut();
+            st.watermarks.update(client, ts);
+            if st.is_primary && !st.backups.is_empty() {
+                st.wm_relay.insert(client, ts);
+            }
+            st.watermarks.watermark()
+        };
+        // The tunable GC window (§3.1): retain at least `history_window`
+        // of versions for analytics readers.
+        if let Some(window) = self.cfg.tuning.history_window {
+            let floor = Timestamp::from_sim(self.handle.now()).before(window);
+            wm = wm.min(floor);
+        }
+        if wm > Timestamp::ZERO && wm < Timestamp::MAX {
+            self.backend.set_watermark(wm);
+        }
+    }
+
+    /// One coalesced envelope: client coordination traffic (prepares,
+    /// outcomes, watermarks) or a primary's replication batch. The
+    /// envelope's deadline is checked once; each costed item (prepares)
+    /// then admits individually, so an over-full envelope sheds only the
+    /// items that do not fit — its permit lives exactly as long as the
+    /// item's processing, like the unbatched path. Control items (outcomes,
+    /// watermarks, replication records) bypass admission entirely: refusing
+    /// them only amplifies recovery. Items run concurrently; replies keep
+    /// item order.
+    async fn handle_batch(&self, items: Vec<TxnRequest>, resp: Responder) {
+        let now = self.handle.now();
+        let deadline_shed = (items
+            .iter()
+            .any(|i| matches!(i, TxnRequest::Prepare { .. }))
+            && resp.deadline().expired(now))
+        .then(|| self.admission.shed_deadline(now.as_nanos()));
+        let mut joins = Vec::with_capacity(items.len());
+        for item in items {
+            let me = self.clone();
+            // Admit in the dispatch loop (deterministic item order), move
+            // the permit into the item's task so it releases on completion.
+            let admit: Result<Option<loadkit::Permit>, loadkit::Shed> = match &item {
+                TxnRequest::Prepare { .. } => match &deadline_shed {
+                    Some(s) => Err(*s),
+                    None => self
+                        .admission
+                        .try_admit(now.as_nanos(), COST_PREPARE)
+                        .map(Some),
+                },
+                _ => Ok(None),
+            };
+            joins.push(self.handle.spawn_on(self.cfg.addr.node, async move {
+                match item {
+                    TxnRequest::Prepare {
+                        txid,
+                        ts_commit,
+                        reads,
+                        writes,
+                        participants,
+                    } => match admit {
+                        Err(s) => TxnResponse::Shed(s),
+                        // A silent duplicate-in-flight prepare has no
+                        // responder to drop here; NotReady classifies the
+                        // item as unreachable at the coordinator, exactly
+                        // like the single-RPC path's silence-then-timeout.
+                        Ok(_permit) => me
+                            .do_prepare(txid, ts_commit, reads, writes, participants)
+                            .await
+                            .unwrap_or(TxnResponse::NotReady),
+                    },
+                    // Outcome delivery is fire-and-forget on the wire (the
+                    // decision is already safe at the coordinator; CTP and
+                    // recovery cover a lost apply), so ack immediately and
+                    // run the apply in its own task: a decision's flash
+                    // write must not hold every vote in this envelope
+                    // hostage. Visibility order is preserved — the apply
+                    // installs its versions before first yielding, and its
+                    // task is queued ahead of any later-arriving read.
+                    TxnRequest::Outcome { txid, commit } => {
+                        let me2 = me.clone();
+                        me.handle.spawn_on(me.cfg.addr.node, async move {
+                            me2.apply_outcome(txid, commit).await;
+                        });
+                        TxnResponse::Ack
+                    }
+                    TxnRequest::Watermark { client, ts } => {
+                        me.merge_watermark(client, ts);
+                        TxnResponse::Ack
+                    }
+                    TxnRequest::ReplPrepare(record) => {
+                        me.backup_install_prepare(record).await;
+                        TxnResponse::Ack
+                    }
+                    TxnRequest::ReplOutcome { txid, commit } => {
+                        let me2 = me.clone();
+                        me.handle.spawn_on(me.cfg.addr.node, async move {
+                            me2.backup_apply_outcome(txid, commit).await;
+                        });
+                        TxnResponse::Ack
+                    }
+                    other => panic!("unbatchable milana request in batch envelope: {other:?}"),
+                }
+            }));
+        }
+        let mut out = Vec::with_capacity(joins.len());
+        for j in joins {
+            out.push(j.await);
+        }
+        resp.reply_batch(out);
+    }
+
+    /// Backup side of a replicated prepare record: install it and settle
+    /// any outcome that raced ahead of it.
+    async fn backup_install_prepare(&self, record: TxnRecord) {
+        let txid = record.txid;
+        self.table.borrow_mut().install(record);
+        let pending = self.state.borrow_mut().pending_outcomes.remove(&txid);
+        if let Some(commit) = pending {
+            self.backup_apply_outcome(txid, commit).await;
+        }
+    }
+
     async fn handle_get(&self, key: Key, at: Timestamp, resp: Responder) {
         {
             let st = self.state.borrow();
@@ -582,35 +786,33 @@ impl TxnServer {
         resp.reply(r);
     }
 
-    async fn handle_prepare(
+    /// Validates and durably prepares one transaction, returning the vote.
+    /// `None` means *stay silent* — a duplicate of a prepare whose
+    /// replication is still in flight (at-least-once delivery): the
+    /// original handler answers once the quorum settles, and answering
+    /// early from the table would leak a vote for an un-durable prepare.
+    async fn do_prepare(
         &self,
         txid: TxnId,
         ts_commit: Timestamp,
         reads: Vec<(Key, Version)>,
         writes: Vec<(Key, Value)>,
         participants: Vec<ShardId>,
-        resp: Responder,
-    ) {
+    ) -> Option<TxnResponse> {
         {
             let st = self.state.borrow();
             if !st.serving || !st.is_primary {
-                resp.reply(TxnResponse::NotReady);
-                return;
+                return Some(TxnResponse::NotReady);
             }
         }
-        // Duplicate of a prepare whose replication is still in flight
-        // (at-least-once delivery): stay silent. The original handler
-        // replies once the quorum settles; answering early from the table
-        // would leak a vote for an un-durable prepare.
         if self.state.borrow().replicating.contains(&txid) {
-            return;
+            return None;
         }
         // Retransmitted prepare: answer from the table.
         if let Some(status) = self.table.borrow().status(txid) {
-            resp.reply(TxnResponse::Vote {
+            return Some(TxnResponse::Vote {
                 ok: status != TxnStatus::Aborted,
             });
-            return;
         }
         let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
         // The chaos harness can disable read validation to seed a known
@@ -633,8 +835,7 @@ impl TxnServer {
                 shard: self.cfg.shard.0 as u64,
                 ok: false,
             });
-            resp.reply(TxnResponse::Vote { ok: false });
-            return;
+            return Some(TxnResponse::Vote { ok: false });
         }
         let record = TxnRecord {
             txid,
@@ -645,24 +846,15 @@ impl TxnServer {
         };
         self.table.borrow_mut().prepare(record.clone());
         self.state.borrow_mut().replicating.insert(txid);
-        // Replicate the prepare record; any f of 2f backups suffice, in any
-        // order relative to other records (§3.2, Figure 5).
-        let (backups, need) = {
-            let st = self.state.borrow();
-            (st.backups.clone(), st.backups.len() / 2)
-        };
-        let ok = replicate_traced::<TxnRequest, TxnResponse>(
-            &self.handle,
-            &self.rpc,
-            &backups,
-            TxnRequest::ReplPrepare(record),
-            need,
-            self.cfg.tuning.repl_timeout,
-            |r| matches!(r, TxnResponse::Ack),
-            &self.cfg.tuning.obs.tracer,
-            self.repl_seq.replace(self.repl_seq.get() + 1),
-        )
-        .await;
+        // Replicate the prepare record through the group-commit batcher;
+        // any f of 2f backups suffice, in any order relative to other
+        // records (§3.2, Figure 5). The whole batch acks together, so the
+        // record's coverage is at least the batch quorum.
+        let ok = self
+            .repl_batch
+            .submit(TxnRequest::ReplPrepare(record))
+            .await
+            .unwrap_or(false);
         self.state.borrow_mut().replicating.remove(&txid);
         if !ok {
             // Could not make the prepare durable: release and vote abort.
@@ -672,15 +864,14 @@ impl TxnServer {
                 shard: self.cfg.shard.0 as u64,
                 ok: false,
             });
-            resp.reply(TxnResponse::Vote { ok: false });
-            return;
+            return Some(TxnResponse::Vote { ok: false });
         }
         self.stats.borrow_mut().prepares_ok += 1;
         self.trace(obskit::TraceEvent::PrepareVote {
             shard: self.cfg.shard.0 as u64,
             ok: true,
         });
-        resp.reply(TxnResponse::Vote { ok: true });
+        Some(TxnResponse::Vote { ok: true })
     }
 
     /// Applies a coordinator decision on the primary: finalize the table
@@ -728,22 +919,11 @@ impl TxnServer {
         } else {
             self.stats.borrow_mut().aborts += 1;
         }
-        let (backups, need) = {
-            let st = self.state.borrow();
-            (st.backups.clone(), st.backups.len() / 2)
-        };
-        let _ = replicate_traced::<TxnRequest, TxnResponse>(
-            &self.handle,
-            &self.rpc,
-            &backups,
-            TxnRequest::ReplOutcome { txid, commit },
-            need,
-            self.cfg.tuning.repl_timeout,
-            |r| matches!(r, TxnResponse::Ack),
-            &self.cfg.tuning.obs.tracer,
-            self.repl_seq.replace(self.repl_seq.get() + 1),
-        )
-        .await;
+        // Outcome records ride the same group-commit envelope as prepares;
+        // best-effort like the unbatched fan-out was (CTP and recovery
+        // handle any backup that misses it), so nothing waits on the ack.
+        self.repl_batch
+            .submit_nowait(TxnRequest::ReplOutcome { txid, commit });
     }
 
     /// Applies an outcome on a backup: finalize the record if present

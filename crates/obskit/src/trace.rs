@@ -56,6 +56,29 @@ impl ShedReason {
     }
 }
 
+/// Why a batcher flushed its pending items (the batchkit flush taxonomy,
+/// mirrored here so the trace schema stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The batch reached its size cap (`batch_max`).
+    Size,
+    /// The flush deadline expired first (`batch_deadline`).
+    Deadline,
+    /// An explicit kick (shutdown, test harness).
+    Manual,
+}
+
+impl FlushReason {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlushReason::Size => "size",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Manual => "manual",
+        }
+    }
+}
+
 /// One structured event. Identities are plain integers so `obskit` stays
 /// dependency-free: transaction ids are `(client, seq)` pairs, nodes and
 /// shards are their numeric ids, and keys are reported as their `u64` id
@@ -178,6 +201,15 @@ pub enum TraceEvent {
         /// Coordinating client id.
         client: u64,
     },
+    /// A batcher flushed its accumulated items in one envelope.
+    BatchFlush {
+        /// Node the batcher runs on.
+        node: u64,
+        /// Items coalesced into the envelope.
+        size: u64,
+        /// What triggered the flush.
+        reason: FlushReason,
+    },
 }
 
 impl TraceEvent {
@@ -199,6 +231,7 @@ impl TraceEvent {
             TraceEvent::Shed { .. } => "shed",
             TraceEvent::QueueDepth { .. } => "queue_depth",
             TraceEvent::RetryBudgetExhausted { .. } => "retry_budget_exhausted",
+            TraceEvent::BatchFlush { .. } => "batch_flush",
         }
     }
 
@@ -269,6 +302,10 @@ impl TraceEvent {
                 .field("cost", Json::U64(cost))
                 .field("capacity", Json::U64(capacity)),
             TraceEvent::RetryBudgetExhausted { client } => doc.field("client", Json::U64(client)),
+            TraceEvent::BatchFlush { node, size, reason } => doc
+                .field("node", Json::U64(node))
+                .field("size", Json::U64(size))
+                .field("reason", Json::str(reason.as_str())),
         }
     }
 
@@ -515,6 +552,11 @@ mod tests {
                 capacity: 16,
             },
             TraceEvent::RetryBudgetExhausted { client: 1 },
+            TraceEvent::BatchFlush {
+                node: 4,
+                size: 8,
+                reason: FlushReason::Deadline,
+            },
         ];
         let n = evs.len();
         for (i, ev) in evs.into_iter().enumerate() {
@@ -538,6 +580,7 @@ mod tests {
             "shed",
             "queue_depth",
             "retry_budget_exhausted",
+            "batch_flush",
         ] {
             assert!(dump.contains(&format!(r#""ev":"{name}""#)), "{name}");
             assert_eq!(t.count_of(name), 1, "{name}");

@@ -68,10 +68,111 @@ impl std::fmt::Debug for SemelClient {
 /// Reply port used by SEMEL clients on their node.
 pub const CLIENT_RPC_PORT: u16 = 32;
 
+/// Builder for [`SemelClient`]: the four identity parameters are
+/// mandatory, every knob defaults (perfect clock, [`ClientConfig`]
+/// defaults) and can be overridden individually. Terminal call is
+/// [`SemelClientBuilder::build`].
+#[derive(Clone)]
+pub struct SemelClientBuilder {
+    handle: SimHandle,
+    node: NodeId,
+    id: ClientId,
+    map: Rc<RefCell<ShardMap>>,
+    discipline: Discipline,
+    cfg: ClientConfig,
+}
+
+impl SemelClientBuilder {
+    /// Clock skew model (default: [`Discipline::Perfect`]).
+    pub fn discipline(mut self, discipline: Discipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Replaces the whole config in one call (escape hatch for callers
+    /// that already hold a [`ClientConfig`]).
+    pub fn config(mut self, cfg: ClientConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Per-RPC timeout.
+    pub fn rpc_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.rpc_timeout = timeout;
+        self
+    }
+
+    /// Fresh-timestamp retries for a racing put.
+    pub fn put_retries(mut self, retries: u32) -> Self {
+        self.cfg.put_retries = retries;
+        self
+    }
+
+    /// Watermark broadcast period (§3.1).
+    pub fn watermark_interval(mut self, interval: Duration) -> Self {
+        self.cfg.watermark_interval = interval;
+        self
+    }
+
+    /// Retry discipline: jittered backoff, budget, circuit breaker.
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Observability sinks.
+    pub fn obs(mut self, obs: obskit::Obs) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Creates the client and starts its watermark broadcast task.
+    pub fn build(self) -> SemelClient {
+        SemelClient::build_inner(
+            &self.handle,
+            self.node,
+            self.id,
+            self.discipline,
+            self.map,
+            self.cfg,
+        )
+    }
+}
+
 impl SemelClient {
+    /// Starts a [`SemelClientBuilder`] from the mandatory identity
+    /// parameters; every knob is defaulted and individually overridable.
+    pub fn builder(
+        handle: &SimHandle,
+        node: NodeId,
+        id: ClientId,
+        map: Rc<RefCell<ShardMap>>,
+    ) -> SemelClientBuilder {
+        SemelClientBuilder {
+            handle: handle.clone(),
+            node,
+            id,
+            map,
+            discipline: Discipline::Perfect,
+            cfg: ClientConfig::default(),
+        }
+    }
+
     /// Creates a client on `node` with its own skewed clock, and starts its
     /// periodic watermark broadcast task.
+    #[deprecated(note = "use SemelClient::builder(handle, node, id, map) instead")]
     pub fn new(
+        handle: &SimHandle,
+        node: NodeId,
+        id: ClientId,
+        discipline: Discipline,
+        map: Rc<RefCell<ShardMap>>,
+        cfg: ClientConfig,
+    ) -> SemelClient {
+        SemelClient::build_inner(handle, node, id, discipline, map, cfg)
+    }
+
+    fn build_inner(
         handle: &SimHandle,
         node: NodeId,
         id: ClientId,

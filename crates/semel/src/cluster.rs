@@ -41,6 +41,9 @@ pub struct ClusterConfig {
     pub replication: crate::server::ReplicationMode,
     /// Per-server admission control (overload protection).
     pub admission: loadkit::AdmissionConfig,
+    /// Group-commit replication knobs applied to every primary (see
+    /// [`crate::server::ServerConfig::batch`]).
+    pub batch: batchkit::BatchConfig,
     /// Observability bundle shared by every server in the cluster.
     pub obs: obskit::Obs,
 }
@@ -60,6 +63,7 @@ impl Default for ClusterConfig {
             net: simkit::net::LatencyConfig::default(),
             replication: crate::server::ReplicationMode::default(),
             admission: loadkit::AdmissionConfig::default(),
+            batch: batchkit::BatchConfig::default(),
             obs: obskit::Obs::new(),
         }
     }
@@ -142,6 +146,7 @@ impl SemelCluster {
                         replication: config.replication,
                         history_window: None,
                         admission: config.admission.clone(),
+                        batch: config.batch,
                         obs: config.obs.clone(),
                     },
                 );
@@ -175,14 +180,10 @@ impl SemelCluster {
             .map(|i| {
                 let mut client_cfg = config.client_cfg.clone();
                 client_cfg.obs = config.obs.clone();
-                SemelClient::new(
-                    handle,
-                    client_node(i),
-                    ClientId(i),
-                    config.discipline.clone(),
-                    map.clone(),
-                    client_cfg,
-                )
+                SemelClient::builder(handle, client_node(i), ClientId(i), map.clone())
+                    .discipline(config.discipline.clone())
+                    .config(client_cfg)
+                    .build()
             })
             .collect();
 

@@ -32,9 +32,11 @@ pub mod msg;
 pub mod replicate;
 pub mod server;
 pub mod shard;
+pub mod spec;
 
-pub use client::{ClientConfig, SemelClient};
+pub use client::{ClientConfig, SemelClient, SemelClientBuilder};
 pub use cluster::{ClusterConfig, SemelCluster};
 pub use msg::{SemelError, SemelRequest, SemelResponse};
 pub use server::{ServerConfig, ShardServer};
 pub use shard::{ReplicaGroup, ShardId, ShardMap};
+pub use spec::ClusterSpec;

@@ -12,10 +12,11 @@
 use std::rc::Rc;
 use std::time::Duration;
 
+use batchkit::{BatchConfig, Batcher};
 use flashsim::{Backend, StoreError};
 use loadkit::{Admission, AdmissionConfig};
 use simkit::net::Addr;
-use simkit::rpc::{recv_request, Responder, RpcClient};
+use simkit::rpc::{recv_incoming, Batch, BatchReply, Incoming, Responder, RpcClient};
 use simkit::SimHandle;
 use timesync::{ClientId, Timestamp, WatermarkTracker};
 
@@ -63,6 +64,12 @@ pub struct ServerConfig {
     /// operations (replication and watermark traffic is exempt — refusing
     /// it would only amplify recovery work).
     pub admission: AdmissionConfig,
+    /// Group-commit replication: the primary coalesces up to `batch_max`
+    /// records (or `batch_deadline` worth) into one backup envelope. Only
+    /// effective in [`ReplicationMode::Inconsistent`] — ordered mode's
+    /// gap-filling holds per-record responders and bypasses the batcher.
+    /// `batch_max = 1` reproduces the unbatched per-record fan-out.
+    pub batch: BatchConfig,
     /// Observability: metric registry plus (optionally enabled) structured
     /// trace sink.
     pub obs: obskit::Obs,
@@ -97,6 +104,10 @@ pub struct ShardServer {
     trace_seq: Rc<std::cell::Cell<u64>>,
     /// Backup: in-order application state (ordered mode).
     ordered: Rc<std::cell::RefCell<OrderedBackup>>,
+    /// Primary, inconsistent mode: the group-commit batcher. Each flushed
+    /// batch goes to every backup as one envelope; an item's submit future
+    /// resolves true once `f` backups acknowledged its whole batch.
+    repl_batch: Option<Batcher<ReplicaRecord, bool>>,
 }
 
 #[derive(Debug, Default)]
@@ -122,21 +133,88 @@ impl ShardServer {
     pub fn spawn(handle: &SimHandle, backend: Backend, cfg: ServerConfig) -> ShardServer {
         let admission =
             Admission::observed(cfg.admission.clone(), &cfg.obs, cfg.addr.node.0 as u64);
+        let rpc = RpcClient::new(&handle.clone(), cfg.addr.node, cfg.addr.port + 1);
+        let cfg = Rc::new(cfg);
+        let trace_seq = Rc::new(std::cell::Cell::new(0));
+        let repl_batch = (cfg.is_primary
+            && cfg.replication == ReplicationMode::Inconsistent
+            && !cfg.backups.is_empty())
+        .then(|| Self::spawn_repl_batcher(handle, &rpc, &cfg, &trace_seq));
         let server = ShardServer {
             handle: handle.clone(),
             backend,
             admission,
-            rpc: RpcClient::new(&handle.clone(), cfg.addr.node, cfg.addr.port + 1),
+            rpc,
             watermarks: Rc::new(std::cell::RefCell::new(WatermarkTracker::new(
                 cfg.clients.iter().copied(),
             ))),
-            cfg: Rc::new(cfg),
+            cfg,
             next_seq: Rc::new(std::cell::Cell::new(0)),
-            trace_seq: Rc::new(std::cell::Cell::new(0)),
+            trace_seq,
             ordered: Rc::new(std::cell::RefCell::new(OrderedBackup::default())),
+            repl_batch,
         };
         server.spawn_loop();
         server
+    }
+
+    /// Builds the primary's group-commit batcher: a flush turns the drained
+    /// records into one `Batch<Record>` envelope per backup and succeeds
+    /// (for every item at once) when `f` backups acknowledge the whole
+    /// batch — so no record is ever acked with less than `f` coverage.
+    fn spawn_repl_batcher(
+        handle: &SimHandle,
+        rpc: &RpcClient,
+        cfg: &Rc<ServerConfig>,
+        trace_seq: &Rc<std::cell::Cell<u64>>,
+    ) -> Batcher<ReplicaRecord, bool> {
+        let envelopes = cfg
+            .obs
+            .registry
+            .counter(&format!("semel.node{}.repl_envelopes", cfg.addr.node.0));
+        let records = cfg
+            .obs
+            .registry
+            .counter(&format!("semel.node{}.repl_records", cfg.addr.node.0));
+        let h = handle.clone();
+        let rpc = rpc.clone();
+        let cfg2 = Rc::clone(cfg);
+        let trace_seq = Rc::clone(trace_seq);
+        Batcher::new(
+            handle,
+            cfg.addr.node,
+            &format!("semel.repl.node{}", cfg.addr.node.0),
+            cfg.batch,
+            cfg.obs.clone(),
+            move |recs: Vec<ReplicaRecord>| {
+                let h = h.clone();
+                let rpc = rpc.clone();
+                let cfg = Rc::clone(&cfg2);
+                let n = recs.len();
+                envelopes.add(cfg.backups.len() as u64);
+                records.add(n as u64);
+                let seq = trace_seq.replace(trace_seq.get() + 1);
+                async move {
+                    let items: Vec<SemelRequest> = recs
+                        .into_iter()
+                        .map(|rec| SemelRequest::Record { seq: None, rec })
+                        .collect();
+                    let ok = replicate_traced::<Batch<SemelRequest>, BatchReply<SemelResponse>>(
+                        &h,
+                        &rpc,
+                        &cfg.backups,
+                        Batch { items },
+                        cfg.need_acks(),
+                        cfg.repl_timeout,
+                        |r| r.items.iter().all(|i| matches!(i, SemelResponse::RecordOk)),
+                        &cfg.obs.tracer,
+                        seq,
+                    )
+                    .await;
+                    vec![ok; n]
+                }
+            },
+        )
     }
 
     fn spawn_loop(&self) {
@@ -144,12 +222,17 @@ impl ShardServer {
         let me = self.clone();
         let h = self.handle.clone();
         self.handle.spawn_on(self.cfg.addr.node, async move {
-            while let Some((req, _from, resp)) = recv_request::<SemelRequest>(&h, &mailbox).await {
+            while let Some((incoming, _from, resp)) =
+                recv_incoming::<SemelRequest>(&h, &mailbox).await
+            {
                 let me2 = me.clone();
-                // Handle each request in its own task so slow device ops
+                // Handle each envelope in its own task so slow device ops
                 // do not serialize the shard.
                 h.spawn_on(me.cfg.addr.node, async move {
-                    me2.handle_request(req, resp).await;
+                    match incoming {
+                        Incoming::One(req) => me2.handle_request(req, resp).await,
+                        Incoming::Batch(items) => me2.handle_batch(items, resp).await,
+                    }
                 });
             }
         });
@@ -227,21 +310,7 @@ impl ShardServer {
             SemelRequest::Delete { key } => {
                 self.backend.delete(&key);
                 let rec = ReplicaRecord::Delete { key };
-                let ok = replicate_traced::<SemelRequest, SemelResponse>(
-                    &self.handle,
-                    &self.rpc,
-                    &self.cfg.backups,
-                    SemelRequest::Record {
-                        seq: self.assign_seq(),
-                        rec,
-                    },
-                    self.cfg.need_acks(),
-                    self.cfg.repl_timeout,
-                    |r| matches!(r, SemelResponse::RecordOk),
-                    &self.cfg.obs.tracer,
-                    self.trace_seq.replace(self.trace_seq.get() + 1),
-                )
-                .await;
+                let ok = self.replicate_record(rec).await;
                 resp.reply(if ok {
                     SemelResponse::Deleted
                 } else {
@@ -249,18 +318,7 @@ impl ShardServer {
                 });
             }
             SemelRequest::Watermark { client, ts } => {
-                let mut wm = {
-                    let mut w = self.watermarks.borrow_mut();
-                    w.update(client, ts);
-                    w.watermark()
-                };
-                if let Some(window) = self.cfg.history_window {
-                    let floor = Timestamp::from_sim(self.handle.now()).before(window);
-                    wm = wm.min(floor);
-                }
-                if wm > Timestamp::ZERO && wm < Timestamp::MAX {
-                    self.backend.set_watermark(wm);
-                }
+                self.merge_watermark(client, ts);
                 resp.reply(SemelResponse::RecordOk);
             }
             SemelRequest::Record { seq, rec } => match seq {
@@ -271,6 +329,68 @@ impl ShardServer {
                 Some(seq) => self.handle_ordered_record(seq, rec, resp).await,
             },
         }
+    }
+
+    /// Backup path for a coalesced replication envelope: apply every item
+    /// in order and answer them all in one [`BatchReply`]. Only replication
+    /// records and watermark reports travel in batches; client-facing
+    /// operations arriving batched is a wiring bug.
+    async fn handle_batch(&self, items: Vec<SemelRequest>, resp: Responder) {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let r = match item {
+                SemelRequest::Record { seq: None, rec } => self.apply_record(rec).await,
+                SemelRequest::Watermark { client, ts } => {
+                    self.merge_watermark(client, ts);
+                    SemelResponse::RecordOk
+                }
+                other => panic!("unbatchable semel request in batch envelope: {other:?}"),
+            };
+            out.push(r);
+        }
+        resp.reply_batch(out);
+    }
+
+    /// Merges one client's watermark report and advances the backend's GC
+    /// floor (bounded below by the configured history window).
+    fn merge_watermark(&self, client: ClientId, ts: Timestamp) {
+        let mut wm = {
+            let mut w = self.watermarks.borrow_mut();
+            w.update(client, ts);
+            w.watermark()
+        };
+        if let Some(window) = self.cfg.history_window {
+            let floor = Timestamp::from_sim(self.handle.now()).before(window);
+            wm = wm.min(floor);
+        }
+        if wm > Timestamp::ZERO && wm < Timestamp::MAX {
+            self.backend.set_watermark(wm);
+        }
+    }
+
+    /// Replicates one record to the backups, through the group-commit
+    /// batcher when one is running (primary, inconsistent mode) and as a
+    /// standalone fan-out otherwise. Returns true once `f` backups cover
+    /// the record.
+    async fn replicate_record(&self, rec: ReplicaRecord) -> bool {
+        if let Some(batcher) = &self.repl_batch {
+            return batcher.submit(rec).await.unwrap_or(false);
+        }
+        replicate_traced::<SemelRequest, SemelResponse>(
+            &self.handle,
+            &self.rpc,
+            &self.cfg.backups,
+            SemelRequest::Record {
+                seq: self.assign_seq(),
+                rec,
+            },
+            self.cfg.need_acks(),
+            self.cfg.repl_timeout,
+            |r| matches!(r, SemelResponse::RecordOk),
+            &self.cfg.obs.tracer,
+            self.trace_seq.replace(self.trace_seq.get() + 1),
+        )
+        .await
     }
 
     fn assign_seq(&self) -> Option<u64> {
@@ -358,21 +478,7 @@ impl ShardServer {
             value,
             version,
         };
-        let ok = replicate_traced::<SemelRequest, SemelResponse>(
-            &self.handle,
-            &self.rpc,
-            &self.cfg.backups,
-            SemelRequest::Record {
-                seq: self.assign_seq(),
-                rec,
-            },
-            self.cfg.need_acks(),
-            self.cfg.repl_timeout,
-            |r| matches!(r, SemelResponse::RecordOk),
-            &self.cfg.obs.tracer,
-            self.trace_seq.replace(self.trace_seq.get() + 1),
-        )
-        .await;
+        let ok = self.replicate_record(rec).await;
         if ok {
             SemelResponse::PutOk
         } else {

@@ -1,0 +1,173 @@
+//! A cluster *specification* shared by every harness in the workspace.
+//!
+//! [`ClusterSpec`] captures the shape and substrate knobs that SEMEL and
+//! MILANA bring-up have in common — shard/replica/client counts, the
+//! clock profile, the storage geometry, and the fault/overload hooks
+//! (admission gate, group-commit window, observability sinks). Tests and
+//! the `repro_*` bins describe a cluster once and convert it into the
+//! protocol-specific config with `From`/`Into`:
+//!
+//! ```ignore
+//! let spec = ClusterSpec::new(2, 3, 4).preloaded(1_000);
+//! let semel = SemelCluster::build(&h, spec.clone().into());
+//! let milana = MilanaCluster::build(&h, spec.into());
+//! ```
+
+use flashsim::{BackendKind, NandConfig};
+use timesync::Discipline;
+
+use crate::cluster::ClusterConfig;
+
+/// Protocol-agnostic cluster description: one struct that converts into
+/// [`ClusterConfig`] (SEMEL) or `MilanaClusterConfig` (MILANA), keeping
+/// every harness in the workspace agreeing on what a "3-replica cluster
+/// with PTP clocks and a 16-unit admission gate" means.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of data shards.
+    pub shards: u32,
+    /// Replicas per shard (odd: 1 primary + 2f backups).
+    pub replicas: u32,
+    /// Number of clients (application servers).
+    pub clients: u32,
+    /// Storage backend per replica.
+    pub backend: BackendKind,
+    /// Device geometry for flash backends.
+    pub nand: NandConfig,
+    /// Clock synchronization discipline for client clocks.
+    pub discipline: Discipline,
+    /// Keys preloaded before the run (ids `0..preload_keys`).
+    pub preload_keys: u64,
+    /// Value size for preloaded keys.
+    pub value_size: usize,
+    /// Network latency model installed at build time.
+    pub net: simkit::net::LatencyConfig,
+    /// Overload hook: per-server admission gate.
+    pub admission: loadkit::AdmissionConfig,
+    /// Group-commit hook: flush window for replication and (in MILANA)
+    /// the client coordinator plane.
+    pub batch: batchkit::BatchConfig,
+    /// Observability bundle shared by every node in the cluster.
+    pub obs: obskit::Obs,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> ClusterSpec {
+        ClusterSpec::new(1, 3, 2)
+    }
+}
+
+impl ClusterSpec {
+    /// A spec with the given shape and defaulted substrate knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is even or zero — replication needs a strict
+    /// majority (2f+1).
+    pub fn new(shards: u32, replicas: u32, clients: u32) -> ClusterSpec {
+        assert!(
+            replicas % 2 == 1 && replicas >= 1,
+            "replicas must be odd (2f+1)"
+        );
+        ClusterSpec {
+            shards,
+            replicas,
+            clients,
+            backend: BackendKind::Mftl,
+            nand: NandConfig::default(),
+            discipline: Discipline::PtpSoftware,
+            preload_keys: 0,
+            value_size: 472,
+            net: simkit::net::LatencyConfig::default(),
+            admission: loadkit::AdmissionConfig::default(),
+            batch: batchkit::BatchConfig::default(),
+            obs: obskit::Obs::new(),
+        }
+    }
+
+    /// The number of backup failures each shard tolerates (`f` of the
+    /// paper's 2f+1 replicas).
+    pub fn f(&self) -> u32 {
+        self.replicas / 2
+    }
+
+    /// Sets the clock discipline.
+    pub fn clocks(mut self, discipline: Discipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Preloads `keys` values before traffic starts.
+    pub fn preloaded(mut self, keys: u64) -> Self {
+        self.preload_keys = keys;
+        self
+    }
+
+    /// Sets the flash geometry.
+    pub fn nand(mut self, nand: NandConfig) -> Self {
+        self.nand = nand;
+        self
+    }
+
+    /// Sets the group-commit flush window.
+    pub fn batching(mut self, batch: batchkit::BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the per-server admission gate.
+    pub fn admission(mut self, admission: loadkit::AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Shares the given observability bundle with every node.
+    pub fn observed(mut self, obs: obskit::Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+}
+
+impl From<ClusterSpec> for ClusterConfig {
+    fn from(spec: ClusterSpec) -> ClusterConfig {
+        let mut cfg = ClusterConfig {
+            shards: spec.shards,
+            replicas: spec.replicas,
+            clients: spec.clients,
+            backend: spec.backend,
+            nand: spec.nand,
+            discipline: spec.discipline,
+            preload_keys: spec.preload_keys,
+            value_size: spec.value_size,
+            net: spec.net,
+            admission: spec.admission,
+            batch: spec.batch,
+            obs: spec.obs,
+            ..ClusterConfig::default()
+        };
+        cfg.client_cfg.obs = cfg.obs.clone();
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_converts_to_semel_config() {
+        let spec = ClusterSpec::new(2, 5, 4).preloaded(100);
+        assert_eq!(spec.f(), 2);
+        let cfg: ClusterConfig = spec.into();
+        assert_eq!(cfg.shards, 2);
+        assert_eq!(cfg.replicas, 5);
+        assert_eq!(cfg.clients, 4);
+        assert_eq!(cfg.preload_keys, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "replicas must be odd")]
+    fn even_replica_count_is_rejected() {
+        let _ = ClusterSpec::new(1, 2, 1);
+    }
+}

@@ -88,6 +88,23 @@ fn unwrap_body<T: Any + Clone>(body: Rc<T>) -> T {
     Rc::try_unwrap(body).unwrap_or_else(|rc| (*rc).clone())
 }
 
+/// Wire wrapper for a coalesced batch of same-type requests sharing one
+/// envelope (and one [`Deadline`]). Servers that understand batches receive
+/// it through [`recv_incoming`] as [`Incoming::Batch`] and answer every item
+/// in order with [`Responder::reply_batch`].
+#[derive(Debug, Clone)]
+pub struct Batch<Req> {
+    /// The coalesced requests, in submission order.
+    pub items: Vec<Req>,
+}
+
+/// Wire wrapper for the per-item replies to a [`Batch`], in item order.
+#[derive(Debug, Clone)]
+pub struct BatchReply<Resp> {
+    /// One reply per batched request, in the batch's item order.
+    pub items: Vec<Resp>,
+}
+
 /// Errors surfaced by [`RpcClient::call`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RpcError {
@@ -223,6 +240,41 @@ impl RpcClient {
         }
     }
 
+    /// Coalesces `items` into one [`Batch`] envelope, sends it as a single
+    /// request, and waits for the per-item replies. The whole batch shares
+    /// one deadline (`timeout` from now): per-item admission on the server
+    /// charges each item's cost against that single envelope budget.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] if the batched reply does not arrive in time —
+    /// the envelope is one packet, so items fail or survive together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer answers with a reply count different from the
+    /// item count — a protocol-definition bug, like a reply type mismatch.
+    pub async fn call_batch<Req: Any + Clone, Resp: Any + Clone>(
+        &self,
+        to: Addr,
+        items: Vec<Req>,
+        timeout: Duration,
+    ) -> Result<Vec<Resp>, RpcError> {
+        let n = items.len();
+        let reply: BatchReply<Resp> = self.call(to, Batch { items }, timeout).await?;
+        assert_eq!(
+            reply.items.len(),
+            n,
+            "batch reply arity mismatch: protocol bug"
+        );
+        Ok(reply.items)
+    }
+
+    /// Sends a fire-and-forget [`Batch`] envelope; no replies are expected.
+    pub fn cast_batch<Req: Any + Clone>(&self, to: Addr, items: Vec<Req>) {
+        self.cast(to, Batch { items });
+    }
+
     /// Sends a fire-and-forget request; no reply is expected or routed.
     pub fn cast<Req: Any + Clone>(&self, to: Addr, req: Req) {
         let id = self.next_id.get();
@@ -274,6 +326,14 @@ impl Responder {
         }
     }
 
+    /// Sends the per-item replies for a batched request back to the caller
+    /// in one [`BatchReply`] envelope. A no-op for casts. The item count
+    /// must equal the received batch's — [`RpcClient::call_batch`] panics
+    /// on arity mismatch at the caller.
+    pub fn reply_batch<Resp: Any + Clone>(self, items: Vec<Resp>) {
+        self.reply(BatchReply { items });
+    }
+
     /// True when the caller expects a reply.
     pub fn expects_reply(&self) -> bool {
         self.reply_to.is_some()
@@ -311,6 +371,61 @@ pub async fn recv_request<Req: Any + Clone>(
         .expect("rpc request type mismatch: protocol bug");
     Some((
         unwrap_body(body),
+        from,
+        Responder {
+            handle: handle.clone(),
+            my_addr: mailbox.addr(),
+            reply_to,
+            deadline,
+            id,
+        },
+    ))
+}
+
+/// A request as seen by a batch-aware server: either a plain request or a
+/// coalesced [`Batch`] of them sharing one envelope.
+#[derive(Debug)]
+pub enum Incoming<Req> {
+    /// A single request.
+    One(Req),
+    /// A coalesced batch; answer every item in order with
+    /// [`Responder::reply_batch`].
+    Batch(Vec<Req>),
+}
+
+/// Receives the next request on `mailbox`, accepting both plain `Req`
+/// bodies and [`Batch<Req>`] envelopes.
+///
+/// Returns `None` when the mailbox closes (node killed). Packets whose body
+/// is neither panic — mixing request types on one port is a wiring bug.
+pub async fn recv_incoming<Req: Any + Clone>(
+    handle: &SimHandle,
+    mailbox: &Mailbox,
+) -> Option<(Incoming<Req>, Addr, Responder)> {
+    let pkt = mailbox.recv().await?;
+    let from = pkt.from;
+    let req = *pkt
+        .payload
+        .downcast::<Request>()
+        .expect("non-rpc packet on rpc port");
+    let Request {
+        id,
+        reply_to,
+        deadline,
+        body,
+    } = req;
+    let incoming = match body.downcast::<Req>() {
+        Ok(one) => Incoming::One(unwrap_body(one)),
+        Err(body) => Incoming::Batch(
+            unwrap_body(
+                body.downcast::<Batch<Req>>()
+                    .expect("rpc request type mismatch: protocol bug"),
+            )
+            .items,
+        ),
+    };
+    Some((
+        incoming,
         from,
         Responder {
             handle: handle.clone(),
@@ -383,6 +498,82 @@ mod tests {
         for (i, o) in outs.into_iter().enumerate() {
             assert_eq!(o, Ok(Pong(i as u32 + 1)));
         }
+    }
+
+    /// Batch-aware echo: answers plain Pings and Batch<Ping> envelopes.
+    fn spawn_batch_echo(h: &SimHandle, node: NodeId) -> Addr {
+        let mb = h.bind(Addr::new(node, 0));
+        let h2 = h.clone();
+        let addr = mb.addr();
+        h.spawn_on(node, async move {
+            while let Some((incoming, _from, resp)) = recv_incoming::<Ping>(&h2, &mb).await {
+                match incoming {
+                    Incoming::One(Ping(v)) => resp.reply(Pong(v + 1)),
+                    Incoming::Batch(items) => resp.reply_batch(
+                        items
+                            .into_iter()
+                            .map(|Ping(v)| Pong(v + 1))
+                            .collect::<Vec<_>>(),
+                    ),
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn call_batch_round_trips_in_item_order() {
+        let mut sim = Sim::new(5);
+        let h = sim.handle();
+        let hh = h.clone();
+        let out = sim.block_on(async move {
+            let server = spawn_batch_echo(&hh, NodeId(2));
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            client
+                .call_batch::<Ping, Pong>(server, vec![Ping(1), Ping(2), Ping(3)], TIMEOUT)
+                .await
+        });
+        assert_eq!(out, Ok(vec![Pong(2), Pong(3), Pong(4)]));
+    }
+
+    #[test]
+    fn batch_server_still_answers_plain_calls() {
+        let mut sim = Sim::new(5);
+        let h = sim.handle();
+        let hh = h.clone();
+        let out = sim.block_on(async move {
+            let server = spawn_batch_echo(&hh, NodeId(2));
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            client.call::<Ping, Pong>(server, Ping(7), TIMEOUT).await
+        });
+        assert_eq!(out, Ok(Pong(8)));
+    }
+
+    #[test]
+    fn cast_batch_is_fire_and_forget() {
+        let mut sim = Sim::new(6);
+        let h = sim.handle();
+        let hh = h.clone();
+        let got = sim.block_on(async move {
+            let mb = hh.bind(Addr::new(NodeId(2), 0));
+            let h2 = hh.clone();
+            let jh = hh.spawn_on(NodeId(2), async move {
+                let (incoming, _, resp) = recv_incoming::<Ping>(&h2, &mb)
+                    .await
+                    .expect("mailbox closed");
+                match incoming {
+                    Incoming::Batch(items) => {
+                        assert!(!resp.expects_reply());
+                        items.len()
+                    }
+                    Incoming::One(_) => panic!("expected batch"),
+                }
+            });
+            let client = RpcClient::new(&hh, NodeId(1), 0);
+            client.cast_batch(Addr::new(NodeId(2), 0), vec![Ping(1), Ping(2)]);
+            jh.await
+        });
+        assert_eq!(got, 2);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! `use milana_repro::milana;`. See the README for a tour and DESIGN.md for
 //! the system inventory.
 
+pub use batchkit;
 pub use faultkit;
 pub use flashsim;
 pub use loadkit;

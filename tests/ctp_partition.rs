@@ -204,9 +204,11 @@ fn lost_votes_commit_consistently_after_heal() {
         });
     }
 
-    // Launch the commit, then isolate the client while the prepares are
-    // still in flight (submitted messages deliver; the votes sent back
-    // ~3 network hops later are dropped at submission).
+    // Launch the commit, then isolate the client after the prepare
+    // envelopes flush (the coordinator plane holds them for up to
+    // `batch_deadline` = 100µs) but before the votes come back — the
+    // vote waits out the primary's own replication flush window, so it
+    // is sent no earlier than ~225µs in (dropped at submission).
     let outcome = Rc::new(Cell::new(None));
     {
         let client = client.clone();
@@ -226,7 +228,7 @@ fn lost_votes_commit_consistently_after_heal() {
             outcome.set(Some(t.commit().await.is_ok()));
         });
         sim.block_on(async move {
-            hh.sleep(Duration::from_micros(30)).await;
+            hh.sleep(Duration::from_micros(160)).await;
             hh.partition(&[CLIENT0], &all_nodes);
             // Let the client time out and both shards settle.
             hh.sleep(Duration::from_millis(100)).await;
