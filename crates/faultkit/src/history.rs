@@ -90,11 +90,30 @@ pub struct TxnView {
     pub outcome: Outcome,
 }
 
+/// One shard-ownership claim or release, as traced by the servers during
+/// a live migration (`ShardOwned` / `ShardReleased` events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnershipEvent {
+    /// Trace time (ns).
+    pub at: u64,
+    /// The shard the claim is about.
+    pub shard: u64,
+    /// Map epoch carried by the claim.
+    pub epoch: u64,
+    /// Claiming / releasing node id.
+    pub owner: u64,
+    /// `true` for a claim, `false` for a release.
+    pub owned: bool,
+}
+
 /// The reconstructed history plus the raw events it came from.
 #[derive(Debug, Clone, Default)]
 pub struct History {
     /// Transactions in trace order.
     pub txns: Vec<TxnView>,
+    /// Shard-ownership claims in trace order (migrations only; empty for
+    /// histories without resharding).
+    pub ownership: Vec<OwnershipEvent>,
     /// Ring evictions reported by the tracer; non-zero means the history
     /// is a suffix and visibility checks are skipped.
     pub dropped: u64,
@@ -108,6 +127,7 @@ impl History {
         // Per-client open transaction; clients run one txn at a time.
         let mut open: HashMap<u64, TxnView> = HashMap::new();
         let mut txns = Vec::new();
+        let mut ownership = Vec::new();
         let close = |open: &mut HashMap<u64, TxnView>,
                      txns: &mut Vec<TxnView>,
                      client: u64,
@@ -190,6 +210,28 @@ impl History {
                     };
                     close(&mut open, &mut txns, client, outcome, at);
                 }
+                TraceEvent::ShardOwned {
+                    shard,
+                    epoch,
+                    owner,
+                } => ownership.push(OwnershipEvent {
+                    at,
+                    shard,
+                    epoch,
+                    owner,
+                    owned: true,
+                }),
+                TraceEvent::ShardReleased {
+                    shard,
+                    epoch,
+                    owner,
+                } => ownership.push(OwnershipEvent {
+                    at,
+                    shard,
+                    epoch,
+                    owner,
+                    owned: false,
+                }),
                 _ => {}
             }
         }
@@ -204,6 +246,7 @@ impl History {
         txns.sort_by_key(|t| (t.begin_at, t.client));
         History {
             txns,
+            ownership,
             dropped,
             events,
         }
@@ -283,6 +326,9 @@ pub enum ViolationClass {
     ReplicationLostAck,
     /// A read observed a version no traced transaction produced.
     PhantomVersion,
+    /// Two nodes claimed ownership of the same shard at overlapping times
+    /// — the epoch fence failed during a live migration.
+    DualOwnership,
 }
 
 impl ViolationClass {
@@ -293,6 +339,7 @@ impl ViolationClass {
             ViolationClass::FutureRead => "future_read",
             ViolationClass::ReplicationLostAck => "replication_lost_ack",
             ViolationClass::PhantomVersion => "phantom_version",
+            ViolationClass::DualOwnership => "dual_ownership",
         }
     }
 }
@@ -481,6 +528,46 @@ impl<'a> Checker<'a> {
             }
         }
 
+        // -- Single owner per shard ------------------------------------
+        // Migration servers assert ShardOwned / ShardReleased around the
+        // fence and cutover. Per shard, replaying claims in time order
+        // must never find a second node claiming while another still
+        // holds: that would mean the epoch fence let two primaries accept
+        // prepares for the same keys. Unsound on a truncated history (a
+        // dropped release fabricates overlap), so gated like provenance.
+        if h.dropped == 0 {
+            let mut by_shard: BTreeMap<u64, Vec<&OwnershipEvent>> = BTreeMap::new();
+            for ev in &h.ownership {
+                by_shard.entry(ev.shard).or_default().push(ev);
+            }
+            for (shard, mut evs) in by_shard {
+                // A release at the same instant as a claim is ordered
+                // first: cutover hands off release-then-own.
+                evs.sort_by_key(|e| (e.at, e.owned));
+                let mut holder: Option<(u64, u64)> = None;
+                for ev in evs {
+                    if ev.owned {
+                        if let Some((owner, epoch)) = holder {
+                            if owner != ev.owner {
+                                violations.push(Violation {
+                                    class: ViolationClass::DualOwnership,
+                                    description: format!(
+                                        "shard {shard}: node {} claimed ownership at epoch {} \
+                                         while node {owner} still held it from epoch {epoch}",
+                                        ev.owner, ev.epoch
+                                    ),
+                                    txns: Vec::new(),
+                                });
+                            }
+                        }
+                        holder = Some((ev.owner, ev.epoch));
+                    } else if holder.map(|(o, _)| o) == Some(ev.owner) {
+                        holder = None;
+                    }
+                }
+            }
+        }
+
         // -- Conflict-graph cycle detection ----------------------------
         // Nodes: committed (incl. CTP-committed) txns. Edges:
         //   WW: consecutive writers of a key in version order.
@@ -626,6 +713,59 @@ mod tests {
     fn check(events: Vec<(u64, TraceEvent)>) -> Vec<Violation> {
         let h = History::from_events(events, 0);
         Checker::new(&h).check()
+    }
+
+    fn owned(shard: u64, epoch: u64, owner: u64) -> TraceEvent {
+        TraceEvent::ShardOwned {
+            shard,
+            epoch,
+            owner,
+        }
+    }
+
+    fn released(shard: u64, epoch: u64, owner: u64) -> TraceEvent {
+        TraceEvent::ShardReleased {
+            shard,
+            epoch,
+            owner,
+        }
+    }
+
+    #[test]
+    fn clean_ownership_handoff_passes() {
+        // Source owns shard 2, releases at the fence, dest claims after
+        // cutover — and the release/claim may share an instant.
+        let violations = check(vec![
+            (1, owned(2, 1, 10)),
+            (5, released(2, 1, 10)),
+            (5, owned(2, 2, 30)),
+        ]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn overlapping_ownership_is_detected() {
+        // Dest claims before the source released: fence failure.
+        let violations = check(vec![
+            (1, owned(2, 1, 10)),
+            (4, owned(2, 2, 30)),
+            (6, released(2, 1, 10)),
+        ]);
+        assert_eq!(
+            violations
+                .iter()
+                .filter(|v| v.class == ViolationClass::DualOwnership)
+                .count(),
+            1,
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn reclaim_by_same_owner_is_not_dual() {
+        // Retransmitted MigrationStart re-claims idempotently.
+        let violations = check(vec![(1, owned(2, 1, 10)), (3, owned(2, 1, 10))]);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! - [`campaign`]: runs N seeds × M faults of a counter workload under the
 //!   nemesis, audits conservation invariants, runs the checker, and emits
 //!   byte-stable JSON summaries (the `repro_chaos` binary's engine).
+//! - [`rebalance`]: phase-targeted campaigns against live shard migration
+//!   (crash/partition in every `shardkit` phase), audited for conservation
+//!   and single-owner-per-epoch via the history checker.
 //!
 //! Everything is deterministic: the same seed replays the same fault
 //! schedule, the same message drops, and the same checker verdicts.
@@ -28,10 +31,15 @@ pub mod campaign;
 pub mod history;
 pub mod nemesis;
 pub mod plan;
+pub mod rebalance;
 
 pub use campaign::{
     run_campaign, run_seed, run_seed_with_trace, CampaignConfig, CampaignReport, SeedOutcome,
 };
-pub use history::{Checker, History, Violation, ViolationClass};
+pub use history::{Checker, History, OwnershipEvent, Violation, ViolationClass};
 pub use nemesis::{run_nemesis, NemesisReport};
 pub use plan::{Fault, FaultPlan, PlanShape, TimedFault};
+pub use rebalance::{
+    run_rebalance_campaign, run_rebalance_seed, RebalanceCampaignConfig, RebalanceCampaignReport,
+    RebalanceSeedOutcome,
+};

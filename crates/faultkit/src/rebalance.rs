@@ -1,0 +1,463 @@
+//! Fault campaigns aimed at live shard migration.
+//!
+//! One seed boots a traced 2-shard MILANA cluster, runs a contended
+//! counter workload, and executes a hot-shard split through
+//! [`shardkit::RebalanceEngine`] while a phase-triggered nemesis injects
+//! faults: every protocol phase (Prepare, Copy, CatchUp, Cutover) gets a
+//! crash of a destination replica or a partition between the engine and
+//! one side of the migration, healed a few milliseconds later. The engine
+//! must retry through all of it; afterwards the audit proves every
+//! acknowledged increment survived the move and the
+//! [`Checker`](crate::history::Checker) proves the committed history is
+//! serializable and — via the `ShardOwned` / `ShardReleased` claims — that
+//! no two nodes ever owned the moving keys at once
+//! ([`ViolationClass::DualOwnership`](crate::history::ViolationClass)).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Duration;
+
+use flashsim::{value, Key, NandConfig, Value};
+use milana::cluster::{MilanaCluster, MilanaClusterConfig, MASTER_NODE};
+use obskit::{Json, MigrationPhase, Obs};
+use rand::Rng;
+use semel::shard::ShardId;
+use shardkit::{RebalanceEngine, RebalancePlan};
+use simkit::Sim;
+use timesync::Discipline;
+
+use crate::campaign::ViolationSummary;
+use crate::history::{Checker, History};
+
+/// Parameters for a migration fault campaign.
+#[derive(Debug, Clone)]
+pub struct RebalanceCampaignConfig {
+    /// Seeds to run, one simulation each.
+    pub seeds: Vec<u64>,
+    /// Replicas per shard (odd).
+    pub replicas: u32,
+    /// Workload clients.
+    pub clients: u32,
+    /// Contended counter keys (spread over both shards).
+    pub keys: u64,
+    /// Inject phase-targeted faults (`false` = clean control run).
+    pub inject: bool,
+    /// Trace ring capacity (events); `0` picks a migration-sized default.
+    pub trace_capacity: usize,
+}
+
+impl Default for RebalanceCampaignConfig {
+    fn default() -> RebalanceCampaignConfig {
+        RebalanceCampaignConfig {
+            seeds: vec![0],
+            replicas: 3,
+            clients: 4,
+            keys: 16,
+            inject: true,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Everything one migration seed produced.
+#[derive(Debug, Clone)]
+pub struct RebalanceSeedOutcome {
+    /// The seed.
+    pub seed: u64,
+    /// Commits acknowledged to workload clients.
+    pub acked: u64,
+    /// Final counter sum read by the audit transaction.
+    pub audit_total: u64,
+    /// Unknown-outcome attempts reported by clients.
+    pub unknowns: u64,
+    /// Records the engine shipped over the copy plane.
+    pub records_copied: u64,
+    /// Bytes the engine shipped over the copy plane.
+    pub bytes_copied: u64,
+    /// Catch-up sweeps the engine ran.
+    pub catchup_rounds: u32,
+    /// Map epoch after cutover.
+    pub final_epoch: u64,
+    /// Prepares fenced with `StaleEpoch` across all servers.
+    pub stale_epoch_prepares: u64,
+    /// Faults the phase nemesis injected.
+    pub faults_injected: u64,
+    /// Ownership claims/releases in the trace.
+    pub ownership_events: u64,
+    /// True when the audit conserved every acknowledged increment.
+    pub conservation_ok: bool,
+    /// Checker violations (serializability, snapshot, dual ownership...).
+    pub violations: Vec<ViolationSummary>,
+}
+
+impl RebalanceSeedOutcome {
+    /// True when the seed conserved every acked write and the checker
+    /// found nothing.
+    pub fn clean(&self) -> bool {
+        self.conservation_ok && self.violations.is_empty()
+    }
+}
+
+/// A whole migration campaign's outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct RebalanceCampaignReport {
+    /// Per-seed outcomes, in seed order.
+    pub outcomes: Vec<RebalanceSeedOutcome>,
+}
+
+impl RebalanceCampaignReport {
+    /// Total violations across seeds.
+    pub fn violation_count(&self) -> usize {
+        self.outcomes.iter().map(|o| o.violations.len()).sum()
+    }
+
+    /// Seeds that were not clean.
+    pub fn offending_seeds(&self) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.clean())
+            .map(|o| o.seed)
+            .collect()
+    }
+
+    /// Deterministic JSON document (stable field order, no floats).
+    pub fn to_json(&self) -> Json {
+        let mut seeds = Vec::new();
+        for o in &self.outcomes {
+            let violations: Vec<Json> = o
+                .violations
+                .iter()
+                .map(|v| {
+                    Json::obj()
+                        .field("class", Json::str(v.class))
+                        .field("description", Json::str(&v.description))
+                })
+                .collect();
+            seeds.push(
+                Json::obj()
+                    .field("seed", Json::U64(o.seed))
+                    .field("acked", Json::U64(o.acked))
+                    .field("audit_total", Json::U64(o.audit_total))
+                    .field("unknowns", Json::U64(o.unknowns))
+                    .field("records_copied", Json::U64(o.records_copied))
+                    .field("bytes_copied", Json::U64(o.bytes_copied))
+                    .field("catchup_rounds", Json::U64(o.catchup_rounds as u64))
+                    .field("final_epoch", Json::U64(o.final_epoch))
+                    .field("stale_epoch_prepares", Json::U64(o.stale_epoch_prepares))
+                    .field("faults_injected", Json::U64(o.faults_injected))
+                    .field("ownership_events", Json::U64(o.ownership_events))
+                    .field("conservation_ok", Json::Bool(o.conservation_ok))
+                    .field("violations", Json::arr(violations)),
+            );
+        }
+        Json::obj()
+            .field("seeds", Json::arr(seeds))
+            .field("violations_total", Json::U64(self.violation_count() as u64))
+    }
+}
+
+fn enc(n: u64) -> Value {
+    value(Vec::from(n.to_be_bytes()))
+}
+
+fn dec(v: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&v[..8]);
+    u64::from_be_bytes(b)
+}
+
+/// Runs one migration seed to completion and returns its outcome.
+pub fn run_rebalance_seed(cfg: &RebalanceCampaignConfig, seed: u64) -> RebalanceSeedOutcome {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    let capacity = if cfg.trace_capacity == 0 {
+        1 << 19
+    } else {
+        cfg.trace_capacity
+    };
+    let obs = Obs::with_trace(capacity);
+    let mut cluster_cfg = MilanaClusterConfig {
+        shards: 2,
+        replicas: cfg.replicas,
+        clients: cfg.clients,
+        nand: NandConfig {
+            blocks: 512,
+            pages_per_block: 8,
+            ..NandConfig::default()
+        },
+        discipline: Discipline::PtpSoftware,
+        preload_keys: 0,
+        ..MilanaClusterConfig::default()
+    };
+    cluster_cfg.tuning.obs = obs.clone();
+    cluster_cfg.client_cfg.obs = obs.clone();
+    let cluster = Rc::new(RefCell::new(MilanaCluster::build(&h, cluster_cfg)));
+
+    // Seed the counters.
+    let keys = cfg.keys;
+    {
+        let clients = cluster.borrow().clients.clone();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let mut t = clients[0].begin();
+            for k in 0..keys {
+                t.put(Key::from(k), enc(0));
+            }
+            t.commit().await.expect("seeding commit");
+            hh.sleep(Duration::from_millis(5)).await;
+        });
+    }
+
+    // Continuous contended increments; StaleEpoch / fence aborts are just
+    // unacked attempts the workload retries like any other conflict.
+    let acked = Rc::new(Cell::new(0u64));
+    let stop = Rc::new(Cell::new(false));
+    for c in &cluster.borrow().clients {
+        let c = c.clone();
+        let acked = acked.clone();
+        let stop = stop.clone();
+        let hh = h.clone();
+        h.spawn(async move {
+            let mut rng = hh.fork_rng();
+            while !stop.get() {
+                let k = Key::from(rng.gen_range(0..keys));
+                let mut t = c.begin();
+                let n = match t.get(&k).await {
+                    Ok(v) if v.len() >= 8 => dec(&v),
+                    _ => {
+                        hh.sleep(Duration::from_millis(2)).await;
+                        continue;
+                    }
+                };
+                t.put(k.clone(), enc(n + 1));
+                if t.commit().await.is_ok() {
+                    acked.set(acked.get() + 1);
+                }
+            }
+        });
+    }
+
+    // Provision the split destination and build the engine.
+    let from = ShardId(0);
+    let to = ShardId(2);
+    let dest = cluster.borrow_mut().provision_group(to);
+    let sources: Vec<shardkit::SourceReplica> = cluster.borrow().replicas[from.0 as usize]
+        .iter()
+        .map(|s| (s.addr, s.server.backend().clone()))
+        .collect();
+    let engine = RebalanceEngine::new(
+        &h,
+        MASTER_NODE,
+        cluster.borrow().map.clone(),
+        cluster.borrow().master.clone(),
+        shardkit::RebalanceSpec::default(),
+        obs.clone(),
+    );
+
+    // Phase nemesis: every phase gets a crash or partition, healed a few
+    // milliseconds later. The engine's acked retries must ride it out.
+    let injected = Rc::new(Cell::new(0u64));
+    if cfg.inject {
+        let hh = h.clone();
+        let cl = cluster.clone();
+        let dest_hook = dest.clone();
+        let map = cluster.borrow().map.clone();
+        let inj = injected.clone();
+        engine.set_phase_hook(Rc::new(move |phase| {
+            let heal = Duration::from_millis(12);
+            match phase {
+                MigrationPhase::Prepare | MigrationPhase::CatchUp => {
+                    // Crash a destination backup; the copy plane stalls on
+                    // it until the restart brings it back.
+                    let idx = if phase == MigrationPhase::Prepare {
+                        1
+                    } else {
+                        2
+                    };
+                    let node = dest_hook.all()[idx].node;
+                    if hh.is_dead(node) {
+                        return;
+                    }
+                    inj.set(inj.get() + 1);
+                    hh.kill_node(node);
+                    let hh2 = hh.clone();
+                    let cl2 = cl.clone();
+                    hh.spawn(async move {
+                        hh2.sleep(heal).await;
+                        // The destination row is the last one; for a split
+                        // of a 2-shard cluster its index equals the new
+                        // shard id, which is what restart_replica keys on.
+                        cl2.borrow_mut().restart_replica(ShardId(2), idx);
+                    });
+                }
+                MigrationPhase::Copy => {
+                    // Cut the engine off from the destination primary.
+                    inj.set(inj.get() + 1);
+                    hh.partition(&[MASTER_NODE], &[dest_hook.primary.node]);
+                    let hh2 = hh.clone();
+                    hh.spawn(async move {
+                        hh2.sleep(heal).await;
+                        hh2.heal_partitions();
+                    });
+                }
+                MigrationPhase::Cutover => {
+                    // Cut the engine off from the source primary right
+                    // before the fence goes out.
+                    inj.set(inj.get() + 1);
+                    let src = map.borrow().group(ShardId(0)).primary.node;
+                    hh.partition(&[MASTER_NODE], &[src]);
+                    let hh2 = hh.clone();
+                    hh.spawn(async move {
+                        hh2.sleep(heal).await;
+                        hh2.heal_partitions();
+                    });
+                }
+                MigrationPhase::Done => {}
+            }
+        }));
+    }
+
+    // Run the split under fire.
+    let report = {
+        let hh = h.clone();
+        sim.block_on(async move {
+            hh.sleep(Duration::from_millis(20)).await;
+            engine
+                .run(RebalancePlan::Split { from }, dest, sources)
+                .await
+        })
+    };
+
+    // Settle, stop the workload, drain in-flight transactions.
+    {
+        let hh = h.clone();
+        let stop = stop.clone();
+        sim.block_on(async move {
+            hh.sleep(Duration::from_millis(40)).await;
+            stop.set(true);
+            hh.sleep(Duration::from_millis(60)).await;
+        });
+    }
+
+    // Audit: one transaction reading every counter, retried until it
+    // commits.
+    let clients = cluster.borrow().clients.clone();
+    let hh = h.clone();
+    let audit_total = sim.block_on(async move {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > 500 {
+                return None;
+            }
+            let mut t = clients[0].begin();
+            let mut sum = 0u64;
+            let mut bad = false;
+            for k in 0..keys {
+                match t.get(&Key::from(k)).await {
+                    Ok(v) if v.len() >= 8 => sum += dec(&v),
+                    _ => {
+                        bad = true;
+                        break;
+                    }
+                }
+            }
+            if bad {
+                hh.sleep(Duration::from_millis(2)).await;
+                continue;
+            }
+            match t.commit().await {
+                Ok(_) => return Some(sum),
+                Err(_) => {
+                    hh.sleep(Duration::from_millis(2)).await;
+                    continue;
+                }
+            }
+        }
+    });
+
+    let cluster = cluster.borrow();
+    let unknowns: u64 = cluster.clients.iter().map(|c| c.stats().unknown).sum();
+    let acked = acked.get();
+    // Every acknowledged increment must survive the migration; CTP may
+    // commit a few unknown-outcome attempts on top, and each client can
+    // have at most one transaction in flight at stop.
+    let conservation_ok = match audit_total {
+        None => false,
+        Some(total) => total >= acked && total <= acked + unknowns + cluster.clients.len() as u64,
+    };
+
+    let history = History::from_events(obs.tracer.events(), obs.tracer.dropped());
+    let violations: Vec<ViolationSummary> = Checker::new(&history)
+        .check()
+        .into_iter()
+        .map(|v| ViolationSummary {
+            class: v.class.as_str(),
+            description: v.description,
+            trace_slice: history.trace_slice(&v.txns),
+        })
+        .collect();
+
+    RebalanceSeedOutcome {
+        seed,
+        acked,
+        audit_total: audit_total.unwrap_or(0),
+        unknowns,
+        records_copied: report.records_copied,
+        bytes_copied: report.bytes_copied,
+        catchup_rounds: report.catchup_rounds,
+        final_epoch: report.final_epoch,
+        stale_epoch_prepares: obs.registry.counter("stale_epoch_prepares").get(),
+        faults_injected: injected.get(),
+        ownership_events: history.ownership.len() as u64,
+        conservation_ok,
+        violations,
+    }
+}
+
+/// Runs every seed in `cfg` and collects the outcomes.
+pub fn run_rebalance_campaign(cfg: &RebalanceCampaignConfig) -> RebalanceCampaignReport {
+    let outcomes = cfg
+        .seeds
+        .iter()
+        .map(|&s| run_rebalance_seed(cfg, s))
+        .collect();
+    RebalanceCampaignReport { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_control_seed_conserves() {
+        let cfg = RebalanceCampaignConfig {
+            inject: false,
+            ..RebalanceCampaignConfig::default()
+        };
+        let o = run_rebalance_seed(&cfg, 7);
+        assert!(o.clean(), "control run dirty: {o:?}");
+        assert!(o.records_copied > 0);
+        assert!(o.ownership_events >= 3, "missing ownership claims");
+    }
+
+    #[test]
+    fn faulted_seed_conserves_and_stays_single_owner() {
+        let cfg = RebalanceCampaignConfig::default();
+        let o = run_rebalance_seed(&cfg, 11);
+        assert!(o.faults_injected >= 4, "nemesis injected too little");
+        assert!(o.clean(), "faulted run dirty: {o:?}");
+        assert!(o.records_copied > 0);
+    }
+
+    #[test]
+    fn campaign_json_is_deterministic() {
+        let cfg = RebalanceCampaignConfig {
+            seeds: vec![3],
+            ..RebalanceCampaignConfig::default()
+        };
+        let a = run_rebalance_campaign(&cfg).to_json().to_pretty_string();
+        let b = run_rebalance_campaign(&cfg).to_json().to_pretty_string();
+        assert_eq!(a, b, "same seed must produce identical bytes");
+    }
+}

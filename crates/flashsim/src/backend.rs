@@ -276,6 +276,17 @@ impl Backend {
         }
     }
 
+    /// All distinct keys currently stored, sorted by byte order — the
+    /// deterministic iteration order migration sweeps rely on.
+    pub fn keys(&self) -> Vec<Key> {
+        match self {
+            Backend::Dram(s) => s.keys(),
+            Backend::Sftl(s) => s.keys(),
+            Backend::Vftl(s) => s.keys(),
+            Backend::Mftl(s) => s.keys(),
+        }
+    }
+
     /// All versions of `key` currently visible, youngest first (SFTL reports
     /// at most one).
     pub fn versions(&self, key: &Key) -> Vec<Version> {

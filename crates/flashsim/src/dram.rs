@@ -189,6 +189,14 @@ impl DramStore {
         self.inner.borrow().map.len()
     }
 
+    /// All distinct keys, sorted by byte order (deterministic iteration
+    /// for bulk copy / migration sweeps).
+    pub fn keys(&self) -> Vec<Key> {
+        let mut ks: Vec<Key> = self.inner.borrow().map.keys().cloned().collect();
+        ks.sort();
+        ks
+    }
+
     /// Zero-time bulk load.
     pub fn bulk_load(&self, key: Key, value: Value, version: Version) {
         let mut inner = self.inner.borrow_mut();

@@ -685,6 +685,14 @@ impl UnifiedStore {
         self.inner.borrow().map.len()
     }
 
+    /// All distinct keys, sorted by byte order (deterministic iteration
+    /// for bulk copy / migration sweeps).
+    pub fn keys(&self) -> Vec<Key> {
+        let mut ks: Vec<Key> = self.inner.borrow().map.keys().cloned().collect();
+        ks.sort();
+        ks
+    }
+
     /// Zero-time bulk load for experiment setup. Call
     /// [`UnifiedStore::finish_load`] after the last record.
     ///

@@ -285,6 +285,14 @@ impl SingleVersionStore {
     pub fn key_count(&self) -> usize {
         self.inner.borrow().map.len()
     }
+
+    /// All distinct keys, sorted by byte order (deterministic iteration
+    /// for bulk copy / migration sweeps).
+    pub fn keys(&self) -> Vec<Key> {
+        let mut ks: Vec<Key> = self.inner.borrow().map.keys().cloned().collect();
+        ks.sort();
+        ks
+    }
 }
 
 #[cfg(test)]

@@ -652,6 +652,14 @@ impl SplitStore {
         self.inner.borrow().map.len()
     }
 
+    /// All distinct keys, sorted by byte order (deterministic iteration
+    /// for bulk copy / migration sweeps).
+    pub fn keys(&self) -> Vec<Key> {
+        let mut ks: Vec<Key> = self.inner.borrow().map.keys().cloned().collect();
+        ks.sort();
+        ks
+    }
+
     /// Zero-time bulk load; call [`SplitStore::finish_load`] afterwards.
     ///
     /// # Panics

@@ -234,20 +234,6 @@ impl TxnClient {
         }
     }
 
-    /// Creates a client on `node` with its own skewed clock and starts its
-    /// watermark broadcast task.
-    #[deprecated(note = "use TxnClient::builder(handle, node, id, map) instead")]
-    pub fn new(
-        handle: &SimHandle,
-        node: NodeId,
-        id: ClientId,
-        discipline: Discipline,
-        map: Rc<RefCell<ShardMap>>,
-        cfg: TxnClientConfig,
-    ) -> TxnClient {
-        TxnClient::build_inner(handle, node, id, discipline, map, cfg)
-    }
-
     fn build_inner(
         handle: &SimHandle,
         node: NodeId,
@@ -709,6 +695,18 @@ impl Txn {
                     }
                     return Err(TxnError::Aborted(AbortReason::Overloaded));
                 }
+                // The key was cut over to another shard: refetch the map
+                // immediately (no point retrying the old owner) and re-route.
+                Ok(TxnResponse::Moved { .. }) => {
+                    if attempt < self.c.cfg.read_retries {
+                        self.c.refresh_map().await;
+                        if let Some(delay) = self.c.policy.try_retry(self.c.sim_ns(), None) {
+                            self.c.handle.sleep(delay).await;
+                            continue;
+                        }
+                    }
+                    return Err(TxnError::Timeout);
+                }
                 Ok(TxnResponse::NotReady) | Err(RpcError::Timeout) => {
                     if attempt < self.c.cfg.read_retries {
                         // Every few failures, ask the master whether the
@@ -805,6 +803,16 @@ impl Txn {
                         }
                     }
                     return Err(TxnError::Aborted(AbortReason::Overloaded));
+                }
+                Ok(TxnResponse::Moved { .. }) => {
+                    if attempt < self.c.cfg.read_retries {
+                        self.c.refresh_map().await;
+                        if let Some(delay) = self.c.policy.try_retry(self.c.sim_ns(), None) {
+                            self.c.handle.sleep(delay).await;
+                            continue;
+                        }
+                    }
+                    return Err(TxnError::Timeout);
                 }
                 Ok(TxnResponse::NotReady) | Err(RpcError::Timeout) => {
                     if attempt < self.c.cfg.read_retries {
@@ -916,10 +924,12 @@ impl Txn {
             client: self.c.id,
             seq: self.c.seq.replace(self.c.seq.get() + 1),
         };
-        // Group read and write sets by shard.
+        // Group read and write sets by shard, remembering which map epoch
+        // the routing came from — servers fence prepares routed under an
+        // epoch older than a migration cutover.
         type ShardSets = HashMap<ShardId, (Vec<(Key, Version)>, Vec<(Key, Value)>)>;
         let mut by_shard: ShardSets = HashMap::new();
-        {
+        let epoch = {
             let map = self.c.map.borrow();
             for (key, version) in &self.read_set {
                 let s = map.shard_for(key);
@@ -937,7 +947,8 @@ impl Txn {
                     .1
                     .push((key.clone(), value.clone()));
             }
-        }
+            map.epoch()
+        };
         let mut participants: Vec<ShardId> = by_shard.keys().copied().collect();
         participants.sort();
         self.c.trace(TraceEvent::ValidateRemote {
@@ -966,6 +977,7 @@ impl Txn {
                 reads: reads.clone(),
                 writes: writes.clone(),
                 participants: participants.clone(),
+                epoch,
             };
             // Submit through the shard's coordinator plane: the Prepare is
             // enqueued synchronously here (so all participants coalesce in
@@ -977,12 +989,22 @@ impl Txn {
         let mut any_unreachable = false;
         let mut any_vote_no = false;
         let mut any_shed = false;
+        let mut any_stale = false;
         for (v, &shard) in votes.into_iter().zip(&shards_sorted) {
             match v.await {
                 Some(TxnResponse::Vote { ok }) => {
                     self.c.policy.record_ok(shard.0 as u64);
                     all_ok &= ok;
                     any_vote_no |= !ok;
+                }
+                // A fenced prepare is a definite no-vote: the participant
+                // installed nothing. The routing map is stale (a rebalance
+                // moved one of our keys), so refetch it before the caller's
+                // next attempt.
+                Some(TxnResponse::StaleEpoch { .. }) => {
+                    self.c.policy.record_ok(shard.0 as u64);
+                    all_ok = false;
+                    any_stale = true;
                 }
                 // A shed prepare is a *definite* no-vote: the participant
                 // refused before validating or installing anything, so the
@@ -1021,6 +1043,11 @@ impl Txn {
             plane.flush_now();
         }
         self.c.handle.yield_now().await;
+        if any_stale {
+            // Install the post-rebalance map now so the application-level
+            // retry routes (and re-reads) under the new epoch.
+            self.c.refresh_map().await;
+        }
         if commit {
             // Refresh the inter-transaction cache with our own writes.
             let mut vc = self.c.value_cache.borrow_mut();
@@ -1057,9 +1084,14 @@ impl Txn {
         } else {
             stats.aborts += 1;
             drop(stats);
-            // A shed with no explicit no-vote aborted purely on overload;
-            // any real validation rejection takes precedence as the reason.
-            let reason = if any_shed && !any_vote_no {
+            // Any real validation rejection takes precedence as the reason;
+            // then epoch fencing (retry after the map refresh above), then
+            // pure overload shedding.
+            let reason = if any_vote_no {
+                AbortReason::Validation
+            } else if any_stale {
+                AbortReason::StaleEpoch
+            } else if any_shed {
                 AbortReason::Overloaded
             } else {
                 AbortReason::Validation

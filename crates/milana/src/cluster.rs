@@ -250,6 +250,10 @@ impl MilanaCluster {
                 handle,
                 semel::master::MasterConfig {
                     addr: master_addr,
+                    // Share the cluster's obs bundle so the master's
+                    // `map_fetches` / `master_failovers` counters land in
+                    // the same registry the harness and benches read.
+                    obs: config.tuning.obs.clone(),
                     ..semel::master::MasterConfig::default()
                 },
                 map.borrow().clone(),
@@ -291,14 +295,72 @@ impl MilanaCluster {
         }
     }
 
-    /// The current primary server handle of `shard`.
+    /// The current primary server handle of `shard`. Searches every slot
+    /// row, not just `replicas[shard]` — after a whole-shard move the
+    /// serving group lives in a provisioned row appended at the end.
     pub fn primary(&self, shard: ShardId) -> &TxnServer {
         let addr = self.map.borrow().group(shard).primary;
-        self.replicas[shard.0 as usize]
+        self.replicas
             .iter()
+            .flatten()
             .find(|s| s.addr == addr)
             .map(|s| &s.server)
             .expect("primary address present in slots")
+    }
+
+    /// Provisions a fresh, empty replica group to act as the destination
+    /// of a live migration: spawns `config.replicas` servers for `shard`
+    /// on brand-new nodes (primary first), appends their slot row, and
+    /// returns the group. The shard id may be one the map does not know
+    /// yet (a split's new shard) — routing reaches the group only when
+    /// the rebalance engine installs the cutover.
+    pub fn provision_group(&mut self, shard: ShardId) -> ReplicaGroup {
+        let extra = self
+            .replicas
+            .iter()
+            .flatten()
+            .filter(|s| s.addr.node.0 >= 30_000)
+            .count() as u32;
+        let base = 30_000 + extra;
+        let addrs: Vec<Addr> = (0..self.config.replicas)
+            .map(|r| Addr::new(NodeId(base + r), SERVER_PORT))
+            .collect();
+        let group = ReplicaGroup {
+            primary: addrs[0],
+            backups: addrs[1..].to_vec(),
+        };
+        let client_ids: Vec<ClientId> = (0..self.config.clients).map(ClientId).collect();
+        let mut slots = Vec::new();
+        for (r, &addr) in addrs.iter().enumerate() {
+            let backend = Backend::new(self.config.backend, &self.handle, self.config.nand.clone());
+            backend.attach_tracer(&self.config.tuning.obs.tracer, addr.node.0 as u64);
+            let table = Rc::new(RefCell::new(TxnTable::new()));
+            let mut tuning = self.config.tuning.clone();
+            if self.config.auto_failover {
+                tuning.master = Some(Addr::new(MASTER_NODE, 4));
+            }
+            let server = TxnServer::spawn(
+                &self.handle,
+                backend,
+                table,
+                self.map.clone(),
+                TxnServerConfig {
+                    shard,
+                    addr,
+                    backups: if r == 0 {
+                        group.backups.clone()
+                    } else {
+                        Vec::new()
+                    },
+                    is_primary: r == 0,
+                    clients: client_ids.clone(),
+                    tuning,
+                },
+            );
+            slots.push(ReplicaSlot { server, addr });
+        }
+        self.replicas.push(slots);
+        group
     }
 
     /// Kills the node hosting `shard`'s current primary (its storage and

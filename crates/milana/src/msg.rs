@@ -94,6 +94,11 @@ pub enum TxnRequest {
         writes: Vec<(Key, Value)>,
         /// All participant shards (passed for recovery, §4.5).
         participants: Vec<ShardId>,
+        /// The shard-map epoch the client routed with. During a rebalance
+        /// the server fences prepares carried under an older epoch
+        /// ([`AbortReason::StaleEpoch`]) so no two owners ever accept
+        /// writes for the same key.
+        epoch: u64,
     },
     /// 2PC phase 2: the coordinator's decision (fire-and-forget).
     Outcome {
@@ -142,6 +147,45 @@ pub enum TxnRequest {
         /// The shard's remaining backups.
         backups: Vec<Addr>,
     },
+    /// Rebalance engine → source/destination primary: a migration of the
+    /// carried key range is underway. The source starts dual-applying
+    /// committed writes on moving keys to the destination group; the
+    /// destination starts accepting bulk-copy records.
+    MigrationStart {
+        /// Shard losing the keys.
+        from: ShardId,
+        /// Shard gaining the keys.
+        to: ShardId,
+        /// Map epoch of the migration (the epoch after the `Migrating`
+        /// marker was installed).
+        epoch: u64,
+        /// Destination replica addresses (primary first) for dual-apply.
+        dest: Vec<Addr>,
+    },
+    /// Bulk-copy plane: version-stamped records streamed to a destination
+    /// replica. Stamps carry the order, so records may arrive in any order
+    /// and be retransmitted freely (the backend rejects duplicates).
+    MigrateRecords {
+        /// `(key, value, version)` triples below the copy watermark.
+        records: Vec<(Key, Value, Version)>,
+    },
+    /// Rebalance engine → source primary: stop voting SUCCESS on prepares
+    /// that touch moving keys (fence them with `StaleEpoch`). Copy and
+    /// dual-apply continue; this only freezes the *set* of undecided
+    /// moving transactions so cutover can drain it.
+    MigrationFence,
+    /// Rebalance engine → source primary: how many prepared-but-undecided
+    /// transactions still touch moving keys? Cutover waits for zero.
+    MigrationDrain,
+    /// Rebalance engine → source primary: the map has flipped; moved keys
+    /// now answer `Moved{epoch}` (reads included) for one forwarding term.
+    MigrationCutover {
+        /// Epoch after the flip.
+        epoch: u64,
+    },
+    /// Rebalance engine → source primary: forwarding term is over; delete
+    /// moved keys from local storage.
+    MigrationGc,
 }
 
 /// Replies from a MILANA shard server.
@@ -190,6 +234,26 @@ pub enum TxnResponse {
     PromoteOk,
     /// Server cannot serve yet (mid-recovery or lease not yet valid).
     NotReady,
+    /// The key is no longer served here: a rebalance cut it over to
+    /// another shard at the carried map epoch. The client refetches the
+    /// map and re-routes.
+    Moved {
+        /// Map epoch at which the key left this shard.
+        epoch: u64,
+    },
+    /// Answer to [`TxnRequest::MigrationDrain`]: how many prepared
+    /// transactions touching moving keys are still undecided.
+    Drained {
+        /// Undecided moving-key transactions still in the table.
+        pending: u64,
+    },
+    /// Definite no-vote on a prepare fenced by a rebalance: the client's
+    /// map epoch is behind the server's. Nothing was validated or
+    /// installed; the client refetches the map and retries.
+    StaleEpoch {
+        /// The server's current map epoch.
+        epoch: u64,
+    },
     /// Storage out of space.
     Capacity,
     /// The server refused the request instead of doing the work (admission
@@ -231,6 +295,11 @@ pub enum AbortReason {
     /// budget / circuit breaker refused to keep trying). A shed prepare is
     /// a definite no-vote, so this abort is safe — no outcome uncertainty.
     Overloaded,
+    /// The prepare routed with a shard map older than the server's: a
+    /// rebalance moved (or is moving) one of the touched keys. A fenced
+    /// prepare is a definite no-vote; the client refetches the map and
+    /// retries under the new epoch.
+    StaleEpoch,
 }
 
 impl AbortReason {
@@ -244,6 +313,7 @@ impl AbortReason {
             AbortReason::ParticipantUnreachable => obskit::AbortClass::ParticipantUnreachable,
             AbortReason::UserRequested => obskit::AbortClass::UserRequested,
             AbortReason::Overloaded => obskit::AbortClass::Shed,
+            AbortReason::StaleEpoch => obskit::AbortClass::StaleEpoch,
         }
     }
 }

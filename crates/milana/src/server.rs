@@ -135,6 +135,24 @@ pub struct TxnServerConfig {
     pub tuning: ServerTuning,
 }
 
+/// Live-migration state held by a source primary between `MigrationStart`
+/// and `MigrationCutover` (§ rebalance). Idempotent: the engine may resend
+/// any control message after a fault.
+#[derive(Debug, Clone)]
+struct MigrationState {
+    /// Shard gaining the moving keys (equals the source shard on a
+    /// whole-shard move to a new replica group).
+    to: ShardId,
+    /// Map epoch at which the migration began.
+    epoch: u64,
+    /// Destination replica addresses (primary first) for dual-apply.
+    dest: Vec<Addr>,
+    /// True once `MigrationFence` arrived: new prepares touching moving
+    /// keys get a definite `StaleEpoch` no-vote so the undecided set can
+    /// drain for cutover.
+    fenced: bool,
+}
+
 struct ServerState {
     is_primary: bool,
     backups: Vec<Addr>,
@@ -161,6 +179,9 @@ struct ServerState {
     /// batched envelope (a `BTreeMap` so the piggyback order — and hence
     /// the run — is deterministic).
     wm_relay: std::collections::BTreeMap<ClientId, Timestamp>,
+    /// Source-primary migration state (None when no rebalance touches
+    /// this shard).
+    migration: Option<MigrationState>,
 }
 
 /// Counters for observability and the experiment harnesses.
@@ -194,6 +215,9 @@ pub struct TxnServer {
     repl_seq: Rc<std::cell::Cell<u64>>,
     /// Overload gate for client-facing work (gets and prepares).
     admission: Rc<loadkit::Admission>,
+    /// Latched by the first `MigrationCutover` this replica processes, so
+    /// engine retries cannot re-emit ownership trace events.
+    cutover_seen: Rc<std::cell::Cell<bool>>,
     cfg: Rc<TxnServerConfig>,
     /// Group-commit replication batcher: coalesces `ReplPrepare` /
     /// `ReplOutcome` records (plus pending watermark relays) into one
@@ -236,6 +260,7 @@ impl TxnServer {
             pending_outcomes: std::collections::HashMap::new(),
             replicating: std::collections::HashSet::new(),
             wm_relay: std::collections::BTreeMap::new(),
+            migration: None,
         };
         let admission = Rc::new(loadkit::Admission::observed(
             cfg.tuning.admission.clone(),
@@ -257,6 +282,7 @@ impl TxnServer {
             map,
             repl_seq,
             admission,
+            cutover_seen: Rc::new(std::cell::Cell::new(false)),
             cfg,
             repl_batch,
         };
@@ -448,6 +474,26 @@ impl TxnServer {
         self.backend.versions(key).first().copied()
     }
 
+    /// True while this replica is still a member of its shard's replica
+    /// group in `map`. A completed whole-shard move removes the old group
+    /// from the map, so a stale client reaching the old primary is told
+    /// the key moved. (A mid-failover promotion keeps the promoted backup
+    /// in the group, so failover never trips this.)
+    fn in_group(&self, map: &ShardMap) -> bool {
+        match map.group_opt(self.cfg.shard) {
+            Some(g) => g.primary == self.cfg.addr || g.backups.contains(&self.cfg.addr),
+            // Migration destination before cutover: its shard id enters
+            // the map only when the cutover installs it.
+            None => true,
+        }
+    }
+
+    /// Rebalance routing check for a primary-path request: `true` if any
+    /// of `keys` is no longer owned here per the (shared, newest) map.
+    fn moved_away<'a>(&self, map: &ShardMap, mut keys: impl Iterator<Item = &'a Key>) -> bool {
+        !self.in_group(map) || keys.any(|k| map.shard_for(k) != self.cfg.shard)
+    }
+
     fn lease_valid_for(&self, at: Timestamp) -> bool {
         match &self.cfg.tuning.lease {
             None => true,
@@ -497,6 +543,16 @@ impl TxnServer {
                     resp.reply(TxnResponse::NotReady);
                     return;
                 }
+                {
+                    // Replica reads also forward after a cutover: serving a
+                    // frozen (soon to be GC'd) copy would surface spurious
+                    // NotFound once GC runs.
+                    let map = self.map.borrow();
+                    if self.moved_away(&map, std::iter::once(&key)) {
+                        resp.reply(TxnResponse::Moved { epoch: map.epoch() });
+                        return;
+                    }
+                }
                 let r = match self.backend.get_at(&key, at).await {
                     Ok(vv) => TxnResponse::Value {
                         version: vv.version,
@@ -515,6 +571,7 @@ impl TxnServer {
                 reads,
                 writes,
                 participants,
+                epoch,
             } => {
                 // A shed prepare is a definite no-vote: nothing validated,
                 // nothing installed — the coordinator can abort safely.
@@ -524,7 +581,7 @@ impl TxnServer {
                 // `None` = duplicate of an in-flight prepare: stay silent
                 // (the original handler answers once replication settles).
                 if let Some(r) = self
-                    .do_prepare(txid, ts_commit, reads, writes, participants)
+                    .do_prepare(txid, ts_commit, reads, writes, participants, epoch)
                     .await
                 {
                     resp.reply(r);
@@ -628,6 +685,118 @@ impl TxnServer {
                 self.recover_as_primary(backups).await;
                 resp.reply(TxnResponse::PromoteOk);
             }
+            TxnRequest::MigrationStart {
+                from,
+                to,
+                epoch,
+                dest,
+            } => {
+                // Source primary: remember the destination for dual-apply
+                // and announce ownership of the moving range so the
+                // single-owner checker sees who holds it. Destination
+                // replicas just ack — bulk-copy records carry their own
+                // versions. Idempotent: a retried start only overwrites.
+                if from == self.cfg.shard && self.state.borrow().is_primary {
+                    let first = self.state.borrow().migration.is_none();
+                    self.state.borrow_mut().migration = Some(MigrationState {
+                        to,
+                        epoch,
+                        dest,
+                        fenced: false,
+                    });
+                    if first {
+                        self.trace(obskit::TraceEvent::ShardOwned {
+                            shard: to.0 as u64,
+                            epoch,
+                            owner: self.cfg.addr.node.0 as u64,
+                        });
+                    }
+                }
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::MigrateRecords { records } => {
+                let _ = self.backend.apply_batch_unordered(records).await;
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::MigrationFence => {
+                let released = {
+                    let mut st = self.state.borrow_mut();
+                    match st.migration.as_mut() {
+                        Some(m) if !m.fenced => {
+                            m.fenced = true;
+                            Some((m.to, m.epoch))
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some((to, epoch)) = released {
+                    // Fenced = this primary no longer accepts new prepares
+                    // for the moving range: ownership is released (the
+                    // undecided set is frozen and only drains from here).
+                    self.trace(obskit::TraceEvent::ShardReleased {
+                        shard: to.0 as u64,
+                        epoch,
+                        owner: self.cfg.addr.node.0 as u64,
+                    });
+                }
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::MigrationDrain => {
+                let map = self.map.borrow();
+                let pending = self
+                    .table
+                    .borrow()
+                    .all_records()
+                    .iter()
+                    .filter(|r| {
+                        r.status == TxnStatus::Prepared
+                            && r.writes.iter().any(|(k, _)| map.key_is_moving(k))
+                    })
+                    .count() as u64;
+                resp.reply(TxnResponse::Drained { pending });
+            }
+            TxnRequest::MigrationCutover { epoch } => {
+                // Source side: the map has flipped; moved keys now answer
+                // `Moved` until GC. Destination side: announce ownership of
+                // the range. Both latch `cutover_seen` so engine retries
+                // cannot re-emit transitions the single-owner checker reads.
+                let was_source = {
+                    let mut st = self.state.borrow_mut();
+                    let was = st.migration.take().is_some();
+                    was || !st.is_primary
+                };
+                let first = !self.cutover_seen.replace(true);
+                if !was_source && first {
+                    self.trace(obskit::TraceEvent::ShardOwned {
+                        shard: self.cfg.shard.0 as u64,
+                        epoch,
+                        owner: self.cfg.addr.node.0 as u64,
+                    });
+                }
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::MigrationGc => {
+                // Forwarding term over: drop every key the flipped map no
+                // longer routes here. After a whole-shard move the shard id
+                // still matches but this replica left the serving group, so
+                // everything goes.
+                let map = self.map.borrow().clone();
+                let evicted = !self.in_group(&map);
+                let mut dropped = 0u64;
+                for key in self.backend.keys() {
+                    if evicted || map.shard_for(&key) != self.cfg.shard {
+                        self.backend.delete(&key);
+                        dropped += 1;
+                    }
+                }
+                self.cfg
+                    .tuning
+                    .obs
+                    .registry
+                    .counter("migration_gc_records")
+                    .add(dropped);
+                resp.reply(TxnResponse::Ack);
+            }
         }
     }
 
@@ -694,6 +863,7 @@ impl TxnServer {
                         reads,
                         writes,
                         participants,
+                        epoch,
                     } => match admit {
                         Err(s) => TxnResponse::Shed(s),
                         // A silent duplicate-in-flight prepare has no
@@ -701,7 +871,7 @@ impl TxnServer {
                         // item as unreachable at the coordinator, exactly
                         // like the single-RPC path's silence-then-timeout.
                         Ok(_permit) => me
-                            .do_prepare(txid, ts_commit, reads, writes, participants)
+                            .do_prepare(txid, ts_commit, reads, writes, participants, epoch)
                             .await
                             .unwrap_or(TxnResponse::NotReady),
                     },
@@ -735,6 +905,12 @@ impl TxnServer {
                         });
                         TxnResponse::Ack
                     }
+                    // Bulk-copy envelopes from the rebalance engine ride
+                    // the batch plane; stamps make application order-free.
+                    TxnRequest::MigrateRecords { records } => {
+                        let _ = me.backend.apply_batch_unordered(records).await;
+                        TxnResponse::Ack
+                    }
                     other => panic!("unbatchable milana request in batch envelope: {other:?}"),
                 }
             }));
@@ -762,6 +938,16 @@ impl TxnServer {
             let st = self.state.borrow();
             if !st.serving || !st.is_primary {
                 resp.reply(TxnResponse::NotReady);
+                return;
+            }
+        }
+        {
+            // Forwarding stub after a cutover: the flipped map routes this
+            // key elsewhere, so send the client back to the master instead
+            // of serving a frozen (soon to be GC'd) copy.
+            let map = self.map.borrow();
+            if self.moved_away(&map, std::iter::once(&key)) {
+                resp.reply(TxnResponse::Moved { epoch: map.epoch() });
                 return;
             }
         }
@@ -798,6 +984,7 @@ impl TxnServer {
         reads: Vec<(Key, Version)>,
         writes: Vec<(Key, Value)>,
         participants: Vec<ShardId>,
+        epoch: u64,
     ) -> Option<TxnResponse> {
         {
             let st = self.state.borrow();
@@ -813,6 +1000,33 @@ impl TxnServer {
             return Some(TxnResponse::Vote {
                 ok: status != TxnStatus::Aborted,
             });
+        }
+        // Rebalance epoch fence (definite no-vote, nothing installed):
+        // refuse prepares touching keys this primary no longer owns
+        // (post-cutover, stale client map) or — once fenced — keys that
+        // are mid-migration, so the undecided moving set can drain. The
+        // client refetches the map and retries under the new epoch.
+        {
+            let st = self.state.borrow();
+            let map = self.map.borrow();
+            let keys = || {
+                reads
+                    .iter()
+                    .map(|(k, _)| k)
+                    .chain(writes.iter().map(|(k, _)| k))
+            };
+            let fenced_moving = matches!(&st.migration, Some(m) if m.fenced)
+                && keys().any(|k| map.key_is_moving(k));
+            if fenced_moving || self.moved_away(&map, keys()) {
+                debug_assert!(epoch <= map.epoch());
+                self.cfg
+                    .tuning
+                    .obs
+                    .registry
+                    .counter("stale_epoch_prepares")
+                    .inc();
+                return Some(TxnResponse::StaleEpoch { epoch: map.epoch() });
+            }
         }
         let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
         // The chaos harness can disable read validation to seed a known
@@ -913,6 +1127,41 @@ impl TxnServer {
                     )
                 })
                 .collect();
+            // Dual-apply during a migration: committed writes on moving
+            // keys are forwarded to every destination replica as
+            // version-stamped records. Casts may be lost under faults —
+            // the engine's final acked catch-up sweep re-copies anything
+            // missing, so this only keeps the cutover delta small.
+            let dual = {
+                let st = self.state.borrow();
+                st.migration.as_ref().map(|m| m.dest.clone())
+            };
+            if let Some(dest) = dual {
+                let moving: Vec<(Key, Value, Version)> = {
+                    let map = self.map.borrow();
+                    items
+                        .iter()
+                        .filter(|(k, _, _)| map.key_is_moving(k))
+                        .cloned()
+                        .collect()
+                };
+                if !moving.is_empty() {
+                    self.cfg
+                        .tuning
+                        .obs
+                        .registry
+                        .counter("migration_dual_applies")
+                        .add(moving.len() as u64);
+                    for &d in &dest {
+                        self.rpc.cast(
+                            d,
+                            TxnRequest::MigrateRecords {
+                                records: moving.clone(),
+                            },
+                        );
+                    }
+                }
+            }
             let _ = self.backend.apply_batch_unordered(items).await;
             self.table.borrow_mut().mark_applied(txid);
             self.stats.borrow_mut().commits += 1;

@@ -324,6 +324,7 @@ fn failover_commits_prepared_single_shard_transaction() {
                     reads: Vec::new(),
                     writes: vec![(k(1), value(&b"limbo"[..]))],
                     participants: vec![ShardId(0)],
+                    epoch: 0,
                 },
                 Duration::from_millis(50),
             )
@@ -389,6 +390,7 @@ fn ctp_resolves_transaction_after_client_crash() {
                         reads: Vec::new(),
                         writes: vec![(key, value(&b"ctp"[..]))],
                         participants: participants.clone(),
+                        epoch: 0,
                     },
                     Duration::from_millis(50),
                 )

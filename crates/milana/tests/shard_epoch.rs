@@ -1,0 +1,192 @@
+//! Epoch-fenced routing across a map change: a client holding a stale
+//! private map must be fenced with `StaleEpoch` / `Moved`, refetch the map
+//! from the master, and retry — without ever duplicating a committed
+//! write.
+
+use std::time::Duration;
+
+use flashsim::{value, Key, NandConfig, Value};
+use milana::cluster::{MilanaCluster, MilanaClusterConfig};
+use milana::{AbortReason, TxnError};
+use semel::shard::ShardId;
+use simkit::Sim;
+use timesync::Discipline;
+
+fn k(i: u64) -> Key {
+    Key::from(i)
+}
+
+fn cfg() -> MilanaClusterConfig {
+    MilanaClusterConfig {
+        shards: 2,
+        replicas: 3,
+        clients: 2,
+        auto_failover: true,
+        nand: NandConfig {
+            blocks: 128,
+            pages_per_block: 8,
+            ..NandConfig::default()
+        },
+        preload_keys: 64,
+        discipline: Discipline::Perfect,
+        ..MilanaClusterConfig::default()
+    }
+}
+
+/// Installs a split of shard 0 directly (the shardkit engine's map edits,
+/// without the copy plane): marks the map Migrating, hand-copies every
+/// source record to the destination replicas, and flips the cutover in
+/// both the master's authoritative map and the servers' shared view.
+/// Clients keep their stale private maps — that is the point.
+async fn split_behind_clients_backs(cluster: &mut MilanaCluster) -> ShardId {
+    let from = ShardId(0);
+    let to = ShardId(cluster.map.borrow().len() as u32);
+    let dest = cluster.provision_group(to);
+
+    let master = cluster.master.clone().expect("auto_failover master");
+    let d = dest.clone();
+    cluster.map.borrow_mut().begin_split(from, d.clone());
+    master.install_map(move |m| {
+        m.begin_split(from, d.clone());
+    });
+
+    // Hand-copy the whole source shard to the destination replicas (a
+    // superset of the moving keys; the extras are never routed there).
+    let src = cluster.primary(from).backend().clone();
+    let mut records: Vec<(Key, Value, timesync::Version)> = Vec::new();
+    for key in src.keys() {
+        for v in src.versions(&key) {
+            if let Ok(vv) = src.get_at(&key, v.ts).await {
+                if vv.version == v {
+                    records.push((key.clone(), vv.value, v));
+                }
+            }
+        }
+    }
+    for slot in cluster.replicas.last().unwrap() {
+        slot.server
+            .backend()
+            .apply_batch_unordered(records.clone())
+            .await
+            .expect("dest copy");
+    }
+
+    cluster.map.borrow_mut().cutover();
+    master.install_map(|m| m.cutover());
+    to
+}
+
+#[test]
+fn stale_client_refetches_and_commits_exactly_once() {
+    let mut sim = Sim::new(77);
+    let h = sim.handle();
+    let mut cluster = MilanaCluster::build(&h, cfg());
+    sim.block_on(async move {
+        let c = cluster.clients[0].clone();
+        // Baseline commit so the moved key has a pre-split version.
+        let mut t = c.begin();
+        let _ = t.get(&k(3)).await.unwrap();
+        t.put(k(3), value(&b"pre-split"[..]));
+        t.commit().await.unwrap();
+        h.sleep(Duration::from_millis(5)).await;
+
+        let to = split_behind_clients_backs(&mut cluster).await;
+        let map = cluster.map.borrow().clone();
+        let moved_key = (0..64u64)
+            .map(k)
+            .find(|key| map.shard_for(key) == to)
+            .expect("split moved at least one preloaded key");
+        let dest_backend = cluster.primary(to).backend().clone();
+        let src_backend = {
+            // The *old* group of shard 0 still answers at its address.
+            let addr = map.group(ShardId(0)).primary;
+            cluster
+                .replicas
+                .iter()
+                .flatten()
+                .find(|s| s.addr == addr)
+                .unwrap()
+                .server
+                .backend()
+                .clone()
+        };
+        let dest_before = dest_backend.versions(&moved_key).len();
+        let src_before = src_backend.versions(&moved_key).len();
+
+        // Blind write with the stale map: the prepare lands on the old
+        // primary, which fences it with a definite StaleEpoch no-vote.
+        let mut t = c.begin();
+        t.put(moved_key.clone(), value(&b"post-split"[..]));
+        let first = t.commit().await;
+        assert_eq!(
+            first,
+            Err(TxnError::Aborted(AbortReason::StaleEpoch)),
+            "stale-map prepare must be fenced"
+        );
+
+        // The stale abort triggered a map refetch; the retry must land on
+        // the new owner and commit exactly once.
+        let mut t = c.begin();
+        t.put(moved_key.clone(), value(&b"post-split"[..]));
+        t.commit().await.expect("retry after refetch");
+        h.sleep(Duration::from_millis(10)).await;
+
+        let dest_after = dest_backend.versions(&moved_key).len();
+        let src_after = src_backend.versions(&moved_key).len();
+        assert_eq!(
+            dest_after,
+            dest_before + 1,
+            "committed write must appear exactly once at the destination"
+        );
+        assert_eq!(
+            src_after, src_before,
+            "fenced source must not apply the retried write"
+        );
+
+        // Reads through the refreshed map see the new value.
+        let mut t = c.begin();
+        let got = t.get(&moved_key).await.unwrap();
+        assert_eq!(got, value(&b"post-split"[..]));
+    });
+}
+
+#[test]
+fn stale_reader_is_redirected_by_moved() {
+    let mut sim = Sim::new(78);
+    let h = sim.handle();
+    let mut cluster = MilanaCluster::build(&h, cfg());
+    sim.block_on(async move {
+        let to = split_behind_clients_backs(&mut cluster).await;
+        let map = cluster.map.borrow().clone();
+        let moved_key = (0..64u64)
+            .map(k)
+            .find(|key| map.shard_for(key) == to)
+            .expect("split moved at least one preloaded key");
+
+        // Client 1 never saw the split; its read hits the old primary,
+        // draws Moved{epoch}, refetches, and retries transparently.
+        let c = cluster.clients[1].clone();
+        let fetches_before = cluster
+            .config
+            .tuning
+            .obs
+            .registry
+            .counter("map_fetches")
+            .get();
+        let mut t = c.begin();
+        let got = t.get(&moved_key).await.expect("redirected read");
+        assert!(!got.is_empty());
+        let fetches_after = cluster
+            .config
+            .tuning
+            .obs
+            .registry
+            .counter("map_fetches")
+            .get();
+        assert!(
+            fetches_after > fetches_before,
+            "Moved redirect must refetch the map from the master"
+        );
+        h.sleep(Duration::from_millis(1)).await;
+    });
+}

@@ -34,11 +34,15 @@ pub enum AbortClass {
     /// A server shed the request under overload (loadkit admission control
     /// or deadline expiry) and the client exhausted its retry allowance.
     Shed,
+    /// The client routed a request using a shard map older than the
+    /// server's — the key moved to another owner in a newer epoch. The
+    /// client must refetch the map and retry against the new owner.
+    StaleEpoch,
 }
 
 impl AbortClass {
     /// Every class, in the canonical (serialization) order.
-    pub const ALL: [AbortClass; 9] = [
+    pub const ALL: [AbortClass; 10] = [
         AbortClass::Validation,
         AbortClass::PreparedRead,
         AbortClass::SnapshotUnavailable,
@@ -48,6 +52,7 @@ impl AbortClass {
         AbortClass::UnknownOutcome,
         AbortClass::Abandoned,
         AbortClass::Shed,
+        AbortClass::StaleEpoch,
     ];
 
     /// Stable machine-readable name (used as JSON keys).
@@ -62,6 +67,7 @@ impl AbortClass {
             AbortClass::UnknownOutcome => "unknown_outcome",
             AbortClass::Abandoned => "abandoned",
             AbortClass::Shed => "shed",
+            AbortClass::StaleEpoch => "stale_epoch",
         }
     }
 
@@ -161,7 +167,7 @@ mod tests {
         let s = b.to_json().to_string();
         assert_eq!(
             s,
-            r#"{"validation":0,"prepared_read":0,"snapshot_unavailable":0,"participant_unreachable":0,"watermark_stale":1,"user_requested":0,"unknown_outcome":0,"abandoned":0,"shed":0}"#
+            r#"{"validation":0,"prepared_read":0,"snapshot_unavailable":0,"participant_unreachable":0,"watermark_stale":1,"user_requested":0,"unknown_outcome":0,"abandoned":0,"shed":0,"stale_epoch":0}"#
         );
     }
 

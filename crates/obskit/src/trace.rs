@@ -79,6 +79,35 @@ impl FlushReason {
     }
 }
 
+/// A shard-migration phase (the shardkit state machine, mirrored here so
+/// the trace schema stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// Destination group provisioned, epoch bumped, map marked migrating.
+    Prepare,
+    /// Bulk copy of version-stamped records below the frozen watermark.
+    Copy,
+    /// Writes at or above the watermark dual-applied at source and dest.
+    CatchUp,
+    /// Map flipped; source fences moved keys and serves forwarding stubs.
+    Cutover,
+    /// Source garbage-collected the moved keys.
+    Done,
+}
+
+impl MigrationPhase {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MigrationPhase::Prepare => "prepare",
+            MigrationPhase::Copy => "copy",
+            MigrationPhase::CatchUp => "catch_up",
+            MigrationPhase::Cutover => "cutover",
+            MigrationPhase::Done => "done",
+        }
+    }
+}
+
 /// One structured event. Identities are plain integers so `obskit` stays
 /// dependency-free: transaction ids are `(client, seq)` pairs, nodes and
 /// shards are their numeric ids, and keys are reported as their `u64` id
@@ -210,6 +239,62 @@ pub enum TraceEvent {
         /// What triggered the flush.
         reason: FlushReason,
     },
+    /// The master promoted a backup to primary after a missed heartbeat.
+    MasterFailover {
+        /// The shard that failed over.
+        shard: u64,
+        /// Node id of the newly promoted primary.
+        new_primary: u64,
+        /// Map epoch after the promotion.
+        epoch: u64,
+    },
+    /// The master installed a new shard map (rebalance, not failover).
+    MapInstall {
+        /// Map epoch after the install.
+        epoch: u64,
+        /// Number of shards in the installed map.
+        shards: u64,
+    },
+    /// A shard migration entered a new phase.
+    MigrationStep {
+        /// Rebalance plan id.
+        plan: u64,
+        /// The phase entered.
+        phase: MigrationPhase,
+        /// Source shard id.
+        from: u64,
+        /// Destination shard id.
+        to: u64,
+        /// Map epoch when the phase was entered.
+        epoch: u64,
+    },
+    /// A batch of version-stamped records was copied to the destination.
+    MigrationCopy {
+        /// Rebalance plan id.
+        plan: u64,
+        /// Records in the batch.
+        records: u64,
+        /// Payload bytes in the batch (keys + values).
+        bytes: u64,
+    },
+    /// A node asserted ownership of a shard at an epoch (primary serving).
+    ShardOwned {
+        /// The shard.
+        shard: u64,
+        /// Map epoch of the claim.
+        epoch: u64,
+        /// Claiming node id.
+        owner: u64,
+    },
+    /// A node released ownership of a shard (fenced / cut over).
+    ShardReleased {
+        /// The shard.
+        shard: u64,
+        /// Map epoch at release time.
+        epoch: u64,
+        /// Releasing node id.
+        owner: u64,
+    },
 }
 
 impl TraceEvent {
@@ -232,6 +317,12 @@ impl TraceEvent {
             TraceEvent::QueueDepth { .. } => "queue_depth",
             TraceEvent::RetryBudgetExhausted { .. } => "retry_budget_exhausted",
             TraceEvent::BatchFlush { .. } => "batch_flush",
+            TraceEvent::MasterFailover { .. } => "master_failover",
+            TraceEvent::MapInstall { .. } => "map_install",
+            TraceEvent::MigrationStep { .. } => "migration_step",
+            TraceEvent::MigrationCopy { .. } => "migration_copy",
+            TraceEvent::ShardOwned { .. } => "shard_owned",
+            TraceEvent::ShardReleased { .. } => "shard_released",
         }
     }
 
@@ -306,6 +397,53 @@ impl TraceEvent {
                 .field("node", Json::U64(node))
                 .field("size", Json::U64(size))
                 .field("reason", Json::str(reason.as_str())),
+            TraceEvent::MasterFailover {
+                shard,
+                new_primary,
+                epoch,
+            } => doc
+                .field("shard", Json::U64(shard))
+                .field("new_primary", Json::U64(new_primary))
+                .field("epoch", Json::U64(epoch)),
+            TraceEvent::MapInstall { epoch, shards } => doc
+                .field("epoch", Json::U64(epoch))
+                .field("shards", Json::U64(shards)),
+            TraceEvent::MigrationStep {
+                plan,
+                phase,
+                from,
+                to,
+                epoch,
+            } => doc
+                .field("plan", Json::U64(plan))
+                .field("phase", Json::str(phase.as_str()))
+                .field("from", Json::U64(from))
+                .field("to", Json::U64(to))
+                .field("epoch", Json::U64(epoch)),
+            TraceEvent::MigrationCopy {
+                plan,
+                records,
+                bytes,
+            } => doc
+                .field("plan", Json::U64(plan))
+                .field("records", Json::U64(records))
+                .field("bytes", Json::U64(bytes)),
+            TraceEvent::ShardOwned {
+                shard,
+                epoch,
+                owner,
+            } => doc
+                .field("shard", Json::U64(shard))
+                .field("epoch", Json::U64(epoch))
+                .field("owner", Json::U64(owner)),
+            TraceEvent::ShardReleased {
+                shard,
+                epoch,
+                owner,
+            } => doc
+                .field("shard", Json::U64(shard))
+                .field("epoch", Json::U64(epoch))
+                .field("owner", Json::U64(owner)),
         }
     }
 
@@ -557,6 +695,37 @@ mod tests {
                 size: 8,
                 reason: FlushReason::Deadline,
             },
+            TraceEvent::MasterFailover {
+                shard: 0,
+                new_primary: 2,
+                epoch: 1,
+            },
+            TraceEvent::MapInstall {
+                epoch: 2,
+                shards: 3,
+            },
+            TraceEvent::MigrationStep {
+                plan: 1,
+                phase: MigrationPhase::Copy,
+                from: 0,
+                to: 2,
+                epoch: 2,
+            },
+            TraceEvent::MigrationCopy {
+                plan: 1,
+                records: 64,
+                bytes: 4096,
+            },
+            TraceEvent::ShardOwned {
+                shard: 2,
+                epoch: 3,
+                owner: 9,
+            },
+            TraceEvent::ShardReleased {
+                shard: 0,
+                epoch: 3,
+                owner: 0,
+            },
         ];
         let n = evs.len();
         for (i, ev) in evs.into_iter().enumerate() {
@@ -581,6 +750,12 @@ mod tests {
             "queue_depth",
             "retry_budget_exhausted",
             "batch_flush",
+            "master_failover",
+            "map_install",
+            "migration_step",
+            "migration_copy",
+            "shard_owned",
+            "shard_released",
         ] {
             assert!(dump.contains(&format!(r#""ev":"{name}""#)), "{name}");
             assert_eq!(t.count_of(name), 1, "{name}");

@@ -158,20 +158,6 @@ impl SemelClient {
         }
     }
 
-    /// Creates a client on `node` with its own skewed clock, and starts its
-    /// periodic watermark broadcast task.
-    #[deprecated(note = "use SemelClient::builder(handle, node, id, map) instead")]
-    pub fn new(
-        handle: &SimHandle,
-        node: NodeId,
-        id: ClientId,
-        discipline: Discipline,
-        map: Rc<RefCell<ShardMap>>,
-        cfg: ClientConfig,
-    ) -> SemelClient {
-        SemelClient::build_inner(handle, node, id, discipline, map, cfg)
-    }
-
     fn build_inner(
         handle: &SimHandle,
         node: NodeId,
@@ -325,26 +311,29 @@ impl SemelClient {
         value: Value,
         version: Version,
     ) -> Result<(), SemelError> {
-        let (shard, primary) = {
-            let map = self.map.borrow();
-            let shard = map.shard_for(&key);
-            (shard, map.group(shard).primary)
-        };
-        let req = SemelRequest::Put {
-            key,
-            value,
-            version,
-        };
         self.policy.on_attempt();
         // Retransmission on timeout is idempotent (the server deduplicates
-        // by version); every retry is paid for from the retry budget.
+        // by version); every retry is paid for from the retry budget. The
+        // route is re-resolved each attempt so a rebalance cutover (the
+        // server answers `Moved`) lands on the new owner after the shared
+        // map flips.
         loop {
+            let (shard, primary) = {
+                let map = self.map.borrow();
+                let shard = map.shard_for(&key);
+                (shard, map.group(shard).primary)
+            };
             if !self.wait_for_breaker(shard).await {
                 return Err(SemelError::Overloaded);
             }
+            let req = SemelRequest::Put {
+                key: key.clone(),
+                value: value.clone(),
+                version,
+            };
             match self
                 .rpc
-                .call::<SemelRequest, SemelResponse>(primary, req.clone(), self.cfg.rpc_timeout)
+                .call::<SemelRequest, SemelResponse>(primary, req, self.cfg.rpc_timeout)
                 .await
             {
                 Ok(SemelResponse::PutOk) => {
@@ -363,6 +352,14 @@ impl SemelClient {
                     match self.policy.try_retry(self.sim_ns(), shed.retry_after()) {
                         Some(delay) => self.handle.sleep(delay).await,
                         None => return Err(SemelError::Overloaded),
+                    }
+                }
+                Ok(SemelResponse::Moved { .. }) => {
+                    // The key cut over to another shard; re-route from the
+                    // (shared, already flipped) map on the next attempt.
+                    match self.policy.try_retry(self.sim_ns(), None) {
+                        Some(delay) => self.handle.sleep(delay).await,
+                        None => return Err(SemelError::Timeout),
                     }
                 }
                 Ok(_) => return Err(SemelError::Timeout),
@@ -393,13 +390,13 @@ impl SemelClient {
     /// [`SemelError::NotFound`], [`SemelError::SnapshotUnavailable`] on
     /// single-version backends, and transport errors.
     pub async fn get_at(&self, key: Key, at: Timestamp) -> Result<VersionedValue, SemelError> {
-        let (shard, primary) = {
-            let map = self.map.borrow();
-            let shard = map.shard_for(&key);
-            (shard, map.group(shard).primary)
-        };
         self.policy.on_attempt();
         loop {
+            let (shard, primary) = {
+                let map = self.map.borrow();
+                let shard = map.shard_for(&key);
+                (shard, map.group(shard).primary)
+            };
             if !self.wait_for_breaker(shard).await {
                 return Err(SemelError::Overloaded);
             }
@@ -433,6 +430,13 @@ impl SemelClient {
                     match self.policy.try_retry(self.sim_ns(), shed.retry_after()) {
                         Some(delay) => self.handle.sleep(delay).await,
                         None => return Err(SemelError::Overloaded),
+                    }
+                }
+                Ok(SemelResponse::Moved { .. }) => {
+                    // Rebalance cutover: re-route from the shared map.
+                    match self.policy.try_retry(self.sim_ns(), None) {
+                        Some(delay) => self.handle.sleep(delay).await,
+                        None => return Err(SemelError::Timeout),
                     }
                 }
                 Ok(_) => return Err(SemelError::Timeout),

@@ -148,6 +148,7 @@ impl SemelCluster {
                         admission: config.admission.clone(),
                         batch: config.batch,
                         obs: config.obs.clone(),
+                        map: Some(map.clone()),
                     },
                 );
                 replicas.push(server);

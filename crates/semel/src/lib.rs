@@ -39,4 +39,4 @@ pub use cluster::{ClusterConfig, SemelCluster};
 pub use msg::{SemelError, SemelRequest, SemelResponse};
 pub use server::{ServerConfig, ShardServer};
 pub use shard::{ReplicaGroup, ShardId, ShardMap};
-pub use spec::ClusterSpec;
+pub use spec::{ClusterSpec, RebalanceSpec};

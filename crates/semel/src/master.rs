@@ -73,6 +73,9 @@ pub struct MasterConfig {
     pub heartbeat_timeout: Duration,
     /// Liveness scan period.
     pub check_every: Duration,
+    /// Observability sinks: `map_fetches` / `master_failovers` /
+    /// `map_installs` counters and failover/install trace events.
+    pub obs: obskit::Obs,
 }
 
 impl Default for MasterConfig {
@@ -81,6 +84,7 @@ impl Default for MasterConfig {
             addr: Addr::new(simkit::net::NodeId(20_000), 0),
             heartbeat_timeout: Duration::from_millis(150),
             check_every: Duration::from_millis(50),
+            obs: obskit::Obs::new(),
         }
     }
 }
@@ -161,6 +165,35 @@ impl Master {
         self.state.borrow().stats
     }
 
+    /// The master's service address.
+    pub fn addr(&self) -> Addr {
+        self.cfg.addr
+    }
+
+    /// Atomically edits the authoritative map through `f` (the rebalance
+    /// engine's prepare/cutover epoch bumps flow through here) and returns
+    /// `f`'s result plus the new epoch. Heartbeat leases are armed for any
+    /// shard the edit introduced, and a [`obskit::TraceEvent::MapInstall`]
+    /// event plus the `map_installs` counter record the change — keeping
+    /// rebalance distinguishable from failover in artifacts.
+    pub fn install_map<R>(&self, f: impl FnOnce(&mut ShardMap) -> R) -> (R, u64) {
+        let mut st = self.state.borrow_mut();
+        let out = f(&mut st.map);
+        let now = self.handle.now();
+        let shards: Vec<ShardId> = st.map.iter().map(|(s, _)| s).collect();
+        for s in shards {
+            st.last_beat.entry(s).or_insert(now);
+        }
+        let epoch = st.map.epoch();
+        let shards = st.map.len() as u64;
+        self.cfg.obs.registry.counter("map_installs").inc();
+        self.cfg.obs.tracer.record(
+            now.as_nanos(),
+            obskit::TraceEvent::MapInstall { epoch, shards },
+        );
+        (out, epoch)
+    }
+
     fn spawn_service(&self) {
         let mailbox = self.handle.bind(self.cfg.addr);
         let me = self.clone();
@@ -178,13 +211,17 @@ impl Master {
         match req {
             MasterRequest::FetchMap => {
                 st.stats.fetches += 1;
+                self.cfg.obs.registry.counter("map_fetches").inc();
                 resp.reply(MasterResponse::MapIs(st.map.clone()));
             }
             MasterRequest::Heartbeat { shard, addr } => {
                 st.stats.heartbeats += 1;
                 // Only the primary of record refreshes the lease; a deposed
-                // primary learns the new epoch from the ack.
-                if st.map.group(shard).primary == addr {
+                // primary learns the new epoch from the ack. A heartbeat
+                // for a shard the map does not know yet (migration
+                // destination before cutover) is acknowledged but not
+                // leased.
+                if st.map.group_opt(shard).map(|g| g.primary) == Some(addr) {
                     let now = self.handle.now();
                     st.last_beat.insert(shard, now);
                 }
@@ -255,6 +292,15 @@ impl Master {
                 st.last_beat.insert(shard, now);
                 st.failing_over.insert(shard, false);
                 st.stats.failovers += 1;
+                self.cfg.obs.registry.counter("master_failovers").inc();
+                self.cfg.obs.tracer.record(
+                    now.as_nanos(),
+                    obskit::TraceEvent::MasterFailover {
+                        shard: shard.0 as u64,
+                        new_primary: candidate.node.0 as u64,
+                        epoch: st.map.epoch(),
+                    },
+                );
                 return;
             }
             // Candidate failed to recover; the loop promotes the next one

@@ -103,6 +103,13 @@ pub enum SemelResponse {
     /// queue full or request deadline already expired). Nothing was read
     /// or written; the client may retry within its budget.
     Shed(loadkit::Shed),
+    /// The key is no longer served here: a rebalance cut it over to
+    /// another shard at the carried map epoch. The client re-reads the
+    /// map and re-routes.
+    Moved {
+        /// Map epoch at which the key left this shard.
+        epoch: u64,
+    },
 }
 
 /// Errors surfaced by the SEMEL client library.

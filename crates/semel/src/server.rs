@@ -73,6 +73,12 @@ pub struct ServerConfig {
     /// Observability: metric registry plus (optionally enabled) structured
     /// trace sink.
     pub obs: obskit::Obs,
+    /// The cluster map, when shared with the server: client-facing
+    /// requests for keys the map no longer assigns to this shard are
+    /// fenced with [`SemelResponse::Moved`] instead of being served —
+    /// the source side of a rebalance cutover. `None` disables the check
+    /// (single-shard deployments and unit harnesses).
+    pub map: Option<Rc<std::cell::RefCell<crate::shard::ShardMap>>>,
 }
 
 /// Admission cost of a point read.
@@ -283,6 +289,26 @@ impl ShardServer {
             // shedding it amplifies recovery work instead of reducing load.
             SemelRequest::Record { .. } | SemelRequest::Watermark { .. } => (None, resp),
         };
+        // Cutover fence: keys the shared map no longer assigns here are
+        // answered with a forwarding stub, never served from local state.
+        if let Some(map) = &self.cfg.map {
+            let moved_key = match &req {
+                SemelRequest::Get { key, .. }
+                | SemelRequest::Put { key, .. }
+                | SemelRequest::Delete { key } => Some(key),
+                _ => None,
+            };
+            if let Some(key) = moved_key {
+                let (owner, epoch) = {
+                    let m = map.borrow();
+                    (m.shard_for(key), m.epoch())
+                };
+                if owner != self.cfg.shard {
+                    resp.reply(SemelResponse::Moved { epoch });
+                    return;
+                }
+            }
+        }
         match req {
             SemelRequest::Get { key, at } => {
                 let r = match self.backend.get_at(&key, at).await {

@@ -56,6 +56,43 @@ impl ReplicaGroup {
     }
 }
 
+/// A key-range split applied after ring lookup: keys the ring assigns to
+/// `from` whose hash has bit `bit` set belong to `to` instead. Splitting
+/// by a hash bit (rather than moving virtual ring points) divides the
+/// source shard's *key mass* roughly in half — FNV ring points for one
+/// shard cluster tightly, so vnode reassignment would move almost nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SplitRule {
+    from: ShardId,
+    to: ShardId,
+    bit: u8,
+}
+
+impl SplitRule {
+    fn applies(&self, point: u64) -> bool {
+        (point >> self.bit) & 1 == 1
+    }
+}
+
+/// A pending shard migration carried by the map between `Prepare` and
+/// `Cutover`: routing still targets the source shard, but the map already
+/// records where the keys are headed so servers and the rebalance engine
+/// can compute the moving-key predicate without a second map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Migrating {
+    /// Source shard (current owner of the moving keys).
+    pub from: ShardId,
+    /// Destination shard (owner after cutover). Equal to `from` for a
+    /// whole-shard move to a new replica group.
+    pub to: ShardId,
+    /// The split rule installed at cutover (`None` for a whole-shard move).
+    rule: Option<SplitRule>,
+    /// The destination's replica group (appended for a split, substituted
+    /// for a move). Kept separate from the live groups so failover
+    /// promotions that land mid-migration are not clobbered at cutover.
+    dest_group: ReplicaGroup,
+}
+
 /// The cluster map: a consistent-hash ring over shards, plus each shard's
 /// replica group. Carries an `epoch` so clients can detect staleness after
 /// failover.
@@ -79,6 +116,9 @@ pub struct ShardMap {
     ring: BTreeMap<u64, ShardId>,
     groups: Vec<ReplicaGroup>,
     epoch: u64,
+    /// Post-ring split rules from completed splits, applied in order.
+    splits: Vec<SplitRule>,
+    migrating: Option<Migrating>,
 }
 
 /// Virtual ring points per shard; more points = smoother key spread.
@@ -103,18 +143,27 @@ impl ShardMap {
             ring,
             groups,
             epoch: 0,
+            splits: Vec::new(),
+            migrating: None,
         }
     }
 
-    /// The shard owning `key` (clockwise successor on the ring).
+    /// The shard owning `key`: clockwise successor on the ring, then any
+    /// split rules from completed shard splits, in install order.
     pub fn shard_for(&self, key: &Key) -> ShardId {
         let point = fnv1a(key.as_bytes());
-        *self
+        let mut shard = *self
             .ring
             .range(point..)
             .next()
             .map(|(_, s)| s)
-            .unwrap_or_else(|| self.ring.iter().next().map(|(_, s)| s).expect("ring"))
+            .unwrap_or_else(|| self.ring.iter().next().map(|(_, s)| s).expect("ring"));
+        for rule in &self.splits {
+            if shard == rule.from && rule.applies(point) {
+                shard = rule.to;
+            }
+        }
+        shard
     }
 
     /// The replica group of `shard`.
@@ -124,6 +173,13 @@ impl ShardMap {
     /// Panics if the shard id is out of range.
     pub fn group(&self, shard: ShardId) -> &ReplicaGroup {
         &self.groups[shard.0 as usize]
+    }
+
+    /// The replica group of `shard`, or `None` for an id this map does not
+    /// (yet) know — e.g. a heartbeat from a migration destination whose
+    /// shard is installed only at cutover.
+    pub fn group_opt(&self, shard: ShardId) -> Option<&ReplicaGroup> {
+        self.groups.get(shard.0 as usize)
     }
 
     /// Iterator over `(ShardId, &ReplicaGroup)`.
@@ -173,6 +229,109 @@ impl ShardMap {
         g.primary = new_primary;
         self.epoch += 1;
         true
+    }
+
+    /// The pending migration, if one is in flight.
+    pub fn migrating(&self) -> Option<(ShardId, ShardId)> {
+        self.migrating.as_ref().map(|m| (m.from, m.to))
+    }
+
+    /// The destination replica group of the pending migration.
+    pub fn migration_dest_group(&self) -> Option<&ReplicaGroup> {
+        self.migrating.as_ref().map(|m| &m.dest_group)
+    }
+
+    /// Begins splitting `from`: keys of `from` whose hash has a fresh bit
+    /// set (roughly half the shard's key mass) are earmarked for a
+    /// brand-new shard served by `dest`, and the epoch is bumped so
+    /// clients refetch. Routing is unchanged until [`ShardMap::cutover`] —
+    /// the marker only records where the keys are headed. Returns the new
+    /// shard's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a migration is already pending or `from` is out of range.
+    pub fn begin_split(&mut self, from: ShardId, dest: ReplicaGroup) -> ShardId {
+        assert!(self.migrating.is_none(), "migration already pending");
+        assert!((from.0 as usize) < self.groups.len(), "unknown shard");
+        let to = ShardId(self.groups.len() as u32);
+        // A bit no earlier split used keeps successive splits independent.
+        let bit = self.splits.len() as u8;
+        assert!(bit < 64, "too many splits");
+        self.migrating = Some(Migrating {
+            from,
+            to,
+            rule: Some(SplitRule { from, to, bit }),
+            dest_group: dest,
+        });
+        self.epoch += 1;
+        to
+    }
+
+    /// Begins moving all of `shard`'s keys to a new replica group `dest`.
+    /// Routing (and the shard id) are unchanged until cutover; only the
+    /// owning group flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a migration is already pending or `shard` is out of range.
+    pub fn begin_move(&mut self, shard: ShardId, dest: ReplicaGroup) {
+        assert!(self.migrating.is_none(), "migration already pending");
+        assert!((shard.0 as usize) < self.groups.len(), "unknown shard");
+        self.migrating = Some(Migrating {
+            from: shard,
+            to: shard,
+            rule: None,
+            dest_group: dest,
+        });
+        self.epoch += 1;
+    }
+
+    /// True if `key` belongs to the moving set of the pending migration:
+    /// after cutover it will be served by the destination. False when no
+    /// migration is pending.
+    pub fn key_is_moving(&self, key: &Key) -> bool {
+        let Some(m) = &self.migrating else {
+            return false;
+        };
+        if self.shard_for(key) != m.from {
+            return false;
+        }
+        match &m.rule {
+            // Whole-shard move: every key of the shard moves.
+            None => true,
+            Some(rule) => rule.applies(fnv1a(key.as_bytes())),
+        }
+    }
+
+    /// Completes the pending migration: the split rule (if any) becomes
+    /// part of routing, the destination group is installed (appended for a
+    /// split, substituted for a move), and the epoch is bumped. Promotions
+    /// that landed on other shards mid-migration are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no migration is pending.
+    pub fn cutover(&mut self) {
+        let m = self.migrating.take().expect("no migration pending");
+        if m.from == m.to {
+            self.groups[m.from.0 as usize] = m.dest_group;
+        } else {
+            debug_assert_eq!(m.to.0 as usize, self.groups.len());
+            self.groups.push(m.dest_group);
+        }
+        if let Some(rule) = m.rule {
+            self.splits.push(rule);
+        }
+        self.epoch += 1;
+    }
+
+    /// Abandons the pending migration (fault recovery before cutover),
+    /// bumping the epoch so clients that saw the marker refetch.
+    pub fn abort_migration(&mut self) {
+        if self.migrating.take().is_some() {
+            self.epoch += 1;
+        }
     }
 }
 
@@ -264,6 +423,89 @@ mod tests {
         assert_eq!(m.epoch(), e);
         assert!(!m.promote(ShardId(0), Addr::new(NodeId(999), 0)));
         assert_eq!(m.group(ShardId(0)).primary, sitting);
+    }
+
+    #[test]
+    fn split_moves_roughly_half_and_only_moving_keys_change_owner() {
+        let mut m = map(2);
+        let e0 = m.epoch();
+        let pre: Vec<ShardId> = (0..2000u64).map(|i| m.shard_for(&Key::from(i))).collect();
+        let to = m.begin_split(ShardId(0), group(9));
+        assert_eq!(to, ShardId(2));
+        assert_eq!(m.epoch(), e0 + 1, "prepare bumps the epoch");
+        assert_eq!(m.migrating(), Some((ShardId(0), ShardId(2))));
+        // Routing unchanged until cutover.
+        for (i, &s) in pre.iter().enumerate() {
+            assert_eq!(m.shard_for(&Key::from(i as u64)), s);
+        }
+        let moving: Vec<bool> = (0..2000u64)
+            .map(|i| m.key_is_moving(&Key::from(i)))
+            .collect();
+        // Only keys of the split shard can move, and a decent fraction do.
+        let mut moved = 0;
+        for i in 0..2000usize {
+            if moving[i] {
+                assert_eq!(pre[i], ShardId(0), "only source keys move");
+                moved += 1;
+            }
+        }
+        let src_total = pre.iter().filter(|&&s| s == ShardId(0)).count();
+        assert!(
+            moved * 4 > src_total && moved < src_total,
+            "split is a real partition: {moved}/{src_total}"
+        );
+        m.cutover();
+        assert_eq!(m.epoch(), e0 + 2, "cutover bumps the epoch again");
+        assert_eq!(m.migrating(), None);
+        assert_eq!(m.len(), 3);
+        for i in 0..2000usize {
+            let now = m.shard_for(&Key::from(i as u64));
+            if moving[i] {
+                assert_eq!(now, ShardId(2));
+            } else {
+                assert_eq!(now, pre[i], "non-moving keys keep their owner");
+            }
+        }
+    }
+
+    #[test]
+    fn move_marks_every_source_key_and_swaps_the_group() {
+        let mut m = map(2);
+        let dest = group(7);
+        m.begin_move(ShardId(1), dest.clone());
+        for i in 0..500u64 {
+            let k = Key::from(i);
+            assert_eq!(m.key_is_moving(&k), m.shard_for(&k) == ShardId(1));
+        }
+        let pre: Vec<ShardId> = (0..500u64).map(|i| m.shard_for(&Key::from(i))).collect();
+        m.cutover();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.group(ShardId(1)), &dest);
+        for (i, &s) in pre.iter().enumerate() {
+            assert_eq!(m.shard_for(&Key::from(i as u64)), s, "routing unchanged");
+        }
+    }
+
+    #[test]
+    fn promotion_during_migration_survives_cutover() {
+        let mut m = map(2);
+        m.begin_split(ShardId(0), group(9));
+        let backup = m.group(ShardId(1)).backups[0];
+        assert!(m.promote(ShardId(1), backup));
+        m.cutover();
+        assert_eq!(m.group(ShardId(1)).primary, backup);
+    }
+
+    #[test]
+    fn abort_migration_restores_a_clean_map() {
+        let mut m = map(2);
+        let e0 = m.epoch();
+        m.begin_split(ShardId(0), group(9));
+        m.abort_migration();
+        assert_eq!(m.migrating(), None);
+        assert_eq!(m.len(), 2);
+        assert!(m.epoch() > e0);
+        assert!(!m.key_is_moving(&Key::from(1u64)));
     }
 
     #[test]

@@ -13,10 +13,54 @@
 //! let milana = MilanaCluster::build(&h, spec.into());
 //! ```
 
+use std::time::Duration;
+
 use flashsim::{BackendKind, NandConfig};
 use timesync::Discipline;
 
 use crate::cluster::ClusterConfig;
+
+/// Live-migration (`rebalance.*`) knobs, consumed by the shardkit engine.
+/// Kept on the shared spec so every harness that can trigger a rebalance
+/// agrees on pacing and cutover behavior.
+#[derive(Debug, Clone)]
+pub struct RebalanceSpec {
+    /// `rebalance.copy_batch` — records per bulk-copy envelope streamed to
+    /// the destination replicas.
+    pub copy_batch: usize,
+    /// `rebalance.copy_interval` — pause between copy envelopes, pacing
+    /// the bulk plane so it does not starve foreground traffic.
+    pub copy_interval: Duration,
+    /// `rebalance.catchup_threshold` — catch-up sweeps repeat until one
+    /// moves at most this many records (then cutover begins).
+    pub catchup_threshold: usize,
+    /// `rebalance.max_catchup_rounds` — hard cap on catch-up sweeps before
+    /// cutover is forced regardless of the threshold.
+    pub max_catchup_rounds: u32,
+    /// `rebalance.rpc_timeout` — per-envelope timeout on the copy plane.
+    pub rpc_timeout: Duration,
+    /// `rebalance.forward_term` — how long the source keeps answering
+    /// moved-key requests with forwarding stubs after cutover (one lease
+    /// term by default, so every client lease observes the flip).
+    pub forward_term: Duration,
+    /// `rebalance.drain_poll` — poll period while waiting for in-flight
+    /// prepares on moving keys to drain at cutover.
+    pub drain_poll: Duration,
+}
+
+impl Default for RebalanceSpec {
+    fn default() -> RebalanceSpec {
+        RebalanceSpec {
+            copy_batch: 64,
+            copy_interval: Duration::from_micros(500),
+            catchup_threshold: 16,
+            max_catchup_rounds: 8,
+            rpc_timeout: Duration::from_millis(50),
+            forward_term: Duration::from_millis(100),
+            drain_poll: Duration::from_millis(5),
+        }
+    }
+}
 
 /// Protocol-agnostic cluster description: one struct that converts into
 /// [`ClusterConfig`] (SEMEL) or `MilanaClusterConfig` (MILANA), keeping
@@ -49,6 +93,8 @@ pub struct ClusterSpec {
     pub batch: batchkit::BatchConfig,
     /// Observability bundle shared by every node in the cluster.
     pub obs: obskit::Obs,
+    /// Live-migration knobs (used when a harness triggers a rebalance).
+    pub rebalance: RebalanceSpec,
 }
 
 impl Default for ClusterSpec {
@@ -82,6 +128,7 @@ impl ClusterSpec {
             admission: loadkit::AdmissionConfig::default(),
             batch: batchkit::BatchConfig::default(),
             obs: obskit::Obs::new(),
+            rebalance: RebalanceSpec::default(),
         }
     }
 
@@ -124,6 +171,12 @@ impl ClusterSpec {
     /// Shares the given observability bundle with every node.
     pub fn observed(mut self, obs: obskit::Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Sets the live-migration knobs.
+    pub fn rebalance(mut self, rebalance: RebalanceSpec) -> Self {
+        self.rebalance = rebalance;
         self
     }
 }

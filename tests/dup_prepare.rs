@@ -55,12 +55,14 @@ fn duplicate_prepare_mid_replication_gets_no_early_vote() {
         client: ClientId(99),
         seq: 1,
     };
+    let epoch = cluster.map.borrow().epoch();
     let prepare = move |ts_commit: Timestamp| TxnRequest::Prepare {
         txid,
         ts_commit,
         reads: Vec::new(),
         writes: vec![(Key::from(0u64), value(b"v".to_vec()))],
         participants: vec![ShardId(0)],
+        epoch,
     };
 
     // Stall replication: the primary cannot reach its backups, so the
