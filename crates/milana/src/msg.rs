@@ -94,10 +94,15 @@ pub enum TxnRequest {
         writes: Vec<(Key, Value)>,
         /// All participant shards (passed for recovery, §4.5).
         participants: Vec<ShardId>,
-        /// The shard-map epoch the client routed with. During a rebalance
-        /// the server fences prepares carried under an older epoch
-        /// ([`AbortReason::StaleEpoch`]) so no two owners ever accept
-        /// writes for the same key.
+        /// The shard-map epoch the client routed with. A prepare touching
+        /// mid-migration keys while carrying an epoch older than the
+        /// server's shared map — i.e. routed from a view that predates the
+        /// `Migrating` marker — is fenced with
+        /// ([`AbortReason::StaleEpoch`]); fences for moved-away and
+        /// post-`MigrationFence` keys are decided from the shared map
+        /// alone (reads carry no epoch and are redirected the same way,
+        /// via `Moved`). No two owners ever accept writes for the same
+        /// key.
         epoch: u64,
     },
     /// 2PC phase 2: the coordinator's decision (fire-and-forget).
@@ -177,9 +182,14 @@ pub enum TxnRequest {
     /// Rebalance engine → source primary: how many prepared-but-undecided
     /// transactions still touch moving keys? Cutover waits for zero.
     MigrationDrain,
-    /// Rebalance engine → source primary: the map has flipped; moved keys
-    /// now answer `Moved{epoch}` (reads included) for one forwarding term.
+    /// Rebalance engine → source and destination primaries: the map has
+    /// flipped. The source answers `Moved{epoch}` for moved keys (reads
+    /// included) for one forwarding term; the destination — identified by
+    /// `to` plus membership in its flipped map group — announces ownership
+    /// of the range.
     MigrationCutover {
+        /// Shard that now owns the moved keys.
+        to: ShardId,
         /// Epoch after the flip.
         epoch: u64,
     },

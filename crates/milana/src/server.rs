@@ -742,33 +742,47 @@ impl TxnServer {
                 resp.reply(TxnResponse::Ack);
             }
             TxnRequest::MigrationDrain => {
+                // A moving-key transaction stays pending until it is both
+                // decided *and* (for commits) applied to the backend:
+                // `apply_outcome` flips the table status before awaiting the
+                // backend apply, and the engine's final cutover sweep reads
+                // the backend — a decided-but-unapplied write reported as
+                // drained could be missed by that sweep and lost to GC if
+                // its fire-and-forget dual-apply cast was also dropped.
                 let map = self.map.borrow();
-                let pending = self
-                    .table
-                    .borrow()
+                let table = self.table.borrow();
+                let pending = table
                     .all_records()
                     .iter()
                     .filter(|r| {
-                        r.status == TxnStatus::Prepared
+                        let undecided = r.status == TxnStatus::Prepared;
+                        let unapplied =
+                            r.status == TxnStatus::Committed && !table.is_applied(r.txid);
+                        (undecided || unapplied)
                             && r.writes.iter().any(|(k, _)| map.key_is_moving(k))
                     })
                     .count() as u64;
                 resp.reply(TxnResponse::Drained { pending });
             }
-            TxnRequest::MigrationCutover { epoch } => {
+            TxnRequest::MigrationCutover { to, epoch } => {
                 // Source side: the map has flipped; moved keys now answer
                 // `Moved` until GC. Destination side: announce ownership of
-                // the range. Both latch `cutover_seen` so engine retries
-                // cannot re-emit transitions the single-owner checker reads.
-                let was_source = {
+                // the range. The destination is identified positively — the
+                // carried `to` shard id plus membership in its (flipped) map
+                // group — never by the absence of local migration state,
+                // which a source primary promoted mid-migration (the
+                // promoted backup saw no `MigrationStart`) also exhibits.
+                // Latched (`cutover_seen`) so engine retries cannot re-emit
+                // transitions the single-owner checker reads.
+                let is_dest = {
                     let mut st = self.state.borrow_mut();
-                    let was = st.migration.take().is_some();
-                    was || !st.is_primary
+                    st.migration = None;
+                    st.is_primary && self.cfg.shard == to && self.in_group(&self.map.borrow())
                 };
                 let first = !self.cutover_seen.replace(true);
-                if !was_source && first {
+                if is_dest && first {
                     self.trace(obskit::TraceEvent::ShardOwned {
-                        shard: self.cfg.shard.0 as u64,
+                        shard: to.0 as u64,
                         epoch,
                         owner: self.cfg.addr.node.0 as u64,
                     });
@@ -1003,9 +1017,13 @@ impl TxnServer {
         }
         // Rebalance epoch fence (definite no-vote, nothing installed):
         // refuse prepares touching keys this primary no longer owns
-        // (post-cutover, stale client map) or — once fenced — keys that
-        // are mid-migration, so the undecided moving set can drain. The
-        // client refetches the map and retries under the new epoch.
+        // (post-cutover, stale client map), keys that are mid-migration
+        // once fenced (so the undecided moving set can drain), or
+        // mid-migration keys routed under a map epoch older than ours —
+        // the client's view predates the `Migrating` marker. The client
+        // refetches the map and retries under the new epoch. (The carried
+        // epoch may legitimately be *newer* than the shared map during a
+        // failover's master/shared-map install skew; that is not fenced.)
         {
             let st = self.state.borrow();
             let map = self.map.borrow();
@@ -1017,8 +1035,8 @@ impl TxnServer {
             };
             let fenced_moving = matches!(&st.migration, Some(m) if m.fenced)
                 && keys().any(|k| map.key_is_moving(k));
-            if fenced_moving || self.moved_away(&map, keys()) {
-                debug_assert!(epoch <= map.epoch());
+            let stale_routed = epoch < map.epoch() && keys().any(|k| map.key_is_moving(k));
+            if fenced_moving || stale_routed || self.moved_away(&map, keys()) {
                 self.cfg
                     .tuning
                     .obs

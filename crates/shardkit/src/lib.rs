@@ -256,15 +256,20 @@ impl RebalanceEngine {
         // regardless of what the cursored sweeps saw.
         self.sweep(from, &dest, &sources, Timestamp::ZERO, plan_id, &mut report)
             .await;
+        // Capture the source primary *before* the flip: a whole-shard move
+        // replaces `group(from)` with the destination group, so resolving
+        // through the flipped map would deliver the source's cutover to
+        // the destination and never clear the source's migration state.
+        let src_primary = self.map.borrow().group(from).primary;
         let ((), epoch) = self.install(|m| m.cutover());
         self.step(plan_id, MigrationPhase::Cutover, from, to, epoch);
         report.final_epoch = epoch;
         // Source first: it must start answering Moved before the
         // destination claims ownership, so the fault checker's
         // released-before-owned ordering holds even under retries.
-        self.acked_source(from, TxnRequest::MigrationCutover { epoch })
+        self.acked(src_primary, TxnRequest::MigrationCutover { to, epoch })
             .await;
-        self.acked(dest.primary, TxnRequest::MigrationCutover { epoch })
+        self.acked(dest.primary, TxnRequest::MigrationCutover { to, epoch })
             .await;
 
         // Phase 5: Done — forwarding term, then GC at the source replicas.
