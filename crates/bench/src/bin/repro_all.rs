@@ -36,6 +36,18 @@ fn main() {
     let packing = bench::ablations::run_packing(scale);
     println!();
     let open_loop = bench::ablations::run_open_loop(scale);
+    println!();
+    let batch_cfg = bench::batch::BatchSweepConfig::for_scale(scale);
+    let batch_points = bench::batch::run(&batch_cfg, 1);
+    bench::batch::print(&batch_points);
+    println!();
+    let rb_run = bench::rebalance::run_once(scale, 1);
+    let rb_campaign = bench::rebalance::run_fault_campaign(scale, 1);
+    bench::rebalance::print(&rb_run, &rb_campaign);
+    println!();
+    let rs_cfg = bench::readscale::ReadScaleConfig::for_scale(scale);
+    let rs_out = bench::readscale::run(&rs_cfg, 1);
+    bench::readscale::print(&rs_out);
     artifact::maybe_write(
         "all",
         scale,
@@ -53,7 +65,13 @@ fn main() {
                     .field("dftl", dftl)
                     .field("packing", packing)
                     .field("open_loop", open_loop),
-            ),
+            )
+            .field("batch", bench::batch::to_json(&batch_points, 1))
+            .field(
+                "rebalance",
+                bench::rebalance::to_json(&rb_run, &rb_campaign, 1),
+            )
+            .field("readscale", bench::readscale::to_json(&rs_out)),
     );
     bench::common::maybe_dump_trace();
 }

@@ -1,18 +1,17 @@
-//! Group-commit & RPC-coalescing sweep. See [`bench::batch`] for the
-//! experiment design and acceptance checks.
+//! Read-scaling reproduction: backup snapshot reads vs primary-only
+//! routing. See [`bench::readscale`] for the experiment design and
+//! acceptance checks.
 //!
 //! ```text
-//! repro_batch [--seed S] [--json PATH]
+//! repro_readscale [--seed S] [--json PATH]
 //! ```
 //!
 //! Exits non-zero on a failed check. With `--json PATH` the sweep is
 //! exported as a byte-stable artifact: same seed, same scale →
 //! identical file.
 
-use std::time::Duration;
-
 use bench::common::Scale;
-use bench::{artifact, batch};
+use bench::{artifact, readscale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -38,16 +37,12 @@ fn main() {
         }
     }
 
-    let cfg = batch::BatchSweepConfig::for_scale(scale);
-    eprintln!(
-        "batch sweep: seed {seed}, 4 clients x {}/s, deadline {} us ...",
-        Duration::from_secs(1).as_nanos() / batch::INTERARRIVAL.as_nanos(),
-        batch::DEADLINE.as_micros()
-    );
-    let points = batch::run(&cfg, seed);
-    batch::print(&points);
-    artifact::maybe_write("batch", scale, batch::to_json(&points, seed));
-    if !batch::ok(&points) {
+    let cfg = readscale::ReadScaleConfig::for_scale(scale);
+    eprintln!("read scaling: seed {seed}, routes + backup-reads chaos campaign ...");
+    let out = readscale::run(&cfg, seed);
+    readscale::print(&out);
+    artifact::maybe_write("readscale", scale, readscale::to_json(&out));
+    if !readscale::ok(&out) {
         std::process::exit(1);
     }
 }

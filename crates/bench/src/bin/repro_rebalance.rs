@@ -1,274 +1,16 @@
-//! Elastic-resharding reproduction: a mid-run hot-shard split recovers
-//! the throughput a Zipf skew took away.
-//!
-//! One simulated MILANA cluster runs an open-loop retwis-style load
-//! (75% read-only, 25% read-modify-write) through three measurement
-//! windows on the same seed and arrival schedule:
-//!
-//! 1. **pre-skew** — keys drawn uniformly; both shards share the load;
-//! 2. **skew** — 90% of traffic turns Zipf-concentrated onto the keys of
-//!    shard 0, whose single flash device and admission gate saturate;
-//! 3. **post-split** — the `shardkit` engine splits shard 0 live (Prepare
-//!    → Copy → CatchUp → Cutover → Done) onto a freshly provisioned
-//!    group while the skewed load keeps running, and the same skewed
-//!    traffic is measured again.
+//! Elastic-resharding reproduction. See [`bench::rebalance`] for the
+//! experiment design and acceptance checks.
 //!
 //! ```text
 //! repro_rebalance [--seed S] [--json PATH]
 //! ```
 //!
-//! Acceptance checks (exit non-zero on violation):
-//! - post-split committed throughput recovers to at least 80% of the
-//!   pre-skew (uniform) committed throughput;
-//! - a `faultkit` rebalance campaign — crash/partition injected in every
-//!   migration phase — loses no acked write, duplicates none, and keeps
-//!   exactly one owner per shard per epoch (checker-verified).
-//!
-//! With `--json PATH` the run is exported as a byte-stable artifact:
-//! same seed, same scale → identical file.
+//! Exits non-zero on a failed check. With `--json PATH` the run is
+//! exported as a byte-stable artifact: same seed, same scale →
+//! identical file.
 
-use std::cell::Cell;
-use std::rc::Rc;
-use std::time::Duration;
-
-use bench::artifact;
 use bench::common::Scale;
-use faultkit::{run_rebalance_campaign, RebalanceCampaignConfig};
-use flashsim::{value, Key, NandConfig};
-use milana::cluster::{MilanaCluster, MilanaClusterConfig, MASTER_NODE};
-use obskit::{Json, Obs};
-use rand::Rng;
-use semel::shard::ShardId;
-use shardkit::{RebalanceEngine, RebalancePlan, RebalanceSpec};
-use simkit::rng::Zipf;
-use simkit::Sim;
-use timesync::Discipline;
-
-const SHARDS: u32 = 2;
-const REPLICAS: u32 = 3;
-const CLIENTS: u32 = 4;
-/// Share of skewed traffic aimed at the hot shard's keys.
-const HOT_PCT: u64 = 90;
-/// Zipf exponent (x100) over the hot shard's key ranks.
-const ZIPF_S_X100: u64 = 80;
-/// Read-only fraction of the mix (x100); the rest are read-modify-writes.
-const READ_ONLY_PCT: u64 = 75;
-
-struct Windows {
-    warmup: Duration,
-    settle: Duration,
-    measure: Duration,
-}
-
-struct Run {
-    pre_commits: u64,
-    skew_commits: u64,
-    post_commits: u64,
-    pre_aborts: u64,
-    skew_aborts: u64,
-    post_aborts: u64,
-    records_copied: u64,
-    bytes_copied: u64,
-    catchup_rounds: u32,
-    final_epoch: u64,
-    map_installs: u64,
-    records_moved: u64,
-    stale_epoch_prepares: u64,
-}
-
-fn nand() -> NandConfig {
-    // A deliberately narrow device: one channel makes a single shard's
-    // flash the bottleneck under skew, which is the phenomenon the split
-    // is supposed to fix.
-    NandConfig {
-        blocks: 2048,
-        pages_per_block: 32,
-        channels: 1,
-        queue_depth: 16,
-        ..NandConfig::default()
-    }
-}
-
-#[allow(clippy::too_many_lines)]
-fn run_once(scale: Scale, seed: u64) -> Run {
-    let keyspace: u64 = match scale {
-        Scale::Quick => 2_048,
-        Scale::Full => 4_096,
-    };
-    let w = match scale {
-        Scale::Quick => Windows {
-            warmup: Duration::from_millis(100),
-            settle: Duration::from_millis(80),
-            measure: Duration::from_millis(200),
-        },
-        Scale::Full => Windows {
-            warmup: Duration::from_millis(200),
-            settle: Duration::from_millis(120),
-            measure: Duration::from_millis(500),
-        },
-    };
-    let interarrival = Duration::from_micros(150);
-
-    let mut sim = Sim::new(seed);
-    let h = sim.handle();
-    let obs = Obs::new();
-    let mut cfg = MilanaClusterConfig {
-        shards: SHARDS,
-        replicas: REPLICAS,
-        clients: CLIENTS,
-        nand: nand(),
-        preload_keys: keyspace,
-        discipline: Discipline::Perfect,
-        ..MilanaClusterConfig::default()
-    };
-    cfg.tuning.obs = obs.clone();
-    cfg.client_cfg.obs = obs.clone();
-    let mut cluster = MilanaCluster::build(&h, cfg);
-
-    // Rank the hot shard's keys once, against the pre-split map: the skewed
-    // phase keeps drawing from this set even after the split rehomes half
-    // of it — that is exactly how the load spreads back out.
-    let hot: Rc<Vec<Key>> = Rc::new(
-        (0..keyspace)
-            .map(Key::from)
-            .filter(|k| cluster.map.borrow().shard_for(k) == ShardId(0))
-            .collect(),
-    );
-    let zipf = Rc::new(Zipf::new(hot.len(), ZIPF_S_X100 as f64 / 100.0));
-
-    let commits = Rc::new(Cell::new(0u64));
-    let aborts = Rc::new(Cell::new(0u64));
-    let skewed = Rc::new(Cell::new(false));
-    let stop = Rc::new(Cell::new(false));
-
-    let hh = h.clone();
-    let commits2 = commits.clone();
-    let aborts2 = aborts.clone();
-    let skewed2 = skewed.clone();
-    let stop2 = stop.clone();
-    let out = Rc::new(Cell::new(None::<(u64, u64, u32, u64)>));
-    let out2 = out.clone();
-    let counts = Rc::new(Cell::new((0u64, 0u64, 0u64, 0u64, 0u64, 0u64)));
-    let counts2 = counts.clone();
-
-    sim.block_on(async move {
-        for c in &cluster.clients {
-            let c = c.clone();
-            let hh2 = hh.clone();
-            let commits = commits2.clone();
-            let aborts = aborts2.clone();
-            let skewed = skewed2.clone();
-            let stop = stop2.clone();
-            let hot = hot.clone();
-            let zipf = zipf.clone();
-            let mut rng = hh.fork_rng();
-            hh.spawn(async move {
-                let mut next = hh2.now();
-                while !stop.get() {
-                    let key = if skewed.get() && rng.gen_range(0..100u64) < HOT_PCT {
-                        hot[zipf.sample(&mut rng)].clone()
-                    } else {
-                        Key::from(rng.gen_range(0..keyspace))
-                    };
-                    let read_only = rng.gen_range(0..100u64) < READ_ONLY_PCT;
-                    let c2 = c.clone();
-                    let commits = commits.clone();
-                    let aborts = aborts.clone();
-                    hh2.spawn(async move {
-                        let mut t = c2.begin();
-                        if t.get(&key).await.is_err() {
-                            aborts.set(aborts.get() + 1);
-                            return;
-                        }
-                        if read_only {
-                            commits.set(commits.get() + 1);
-                            return;
-                        }
-                        t.put(key, value(&b"resharded"[..]));
-                        match t.commit().await {
-                            Ok(_) => commits.set(commits.get() + 1),
-                            Err(_) => aborts.set(aborts.get() + 1),
-                        }
-                    });
-                    next += interarrival;
-                    hh2.sleep_until(next).await;
-                }
-            });
-        }
-
-        let window = |label: &'static str| {
-            let hh = hh.clone();
-            let commits = commits2.clone();
-            let aborts = aborts2.clone();
-            async move {
-                let (c0, a0) = (commits.get(), aborts.get());
-                hh.sleep(w.measure).await;
-                let got = (commits.get() - c0, aborts.get() - a0);
-                let _ = label;
-                got
-            }
-        };
-
-        hh.sleep(w.warmup).await;
-        let (pre_c, pre_a) = window("pre").await;
-
-        skewed2.set(true);
-        hh.sleep(w.settle).await;
-        let (skew_c, skew_a) = window("skew").await;
-
-        // Split the hot shard live, with the skewed load still running.
-        let engine = RebalanceEngine::new(
-            &hh,
-            MASTER_NODE,
-            cluster.map.clone(),
-            cluster.master.clone(),
-            RebalanceSpec::default(),
-            cluster.config.tuning.obs.clone(),
-        );
-        let from = ShardId(0);
-        let new_shard = ShardId(cluster.map.borrow().len() as u32);
-        let dest = cluster.provision_group(new_shard);
-        let sources: Vec<shardkit::SourceReplica> = cluster.replicas[from.0 as usize]
-            .iter()
-            .map(|s| (s.addr, s.server.backend().clone()))
-            .collect();
-        let report = engine
-            .run(RebalancePlan::Split { from }, dest, sources)
-            .await;
-        out2.set(Some((
-            report.records_copied,
-            report.bytes_copied,
-            report.catchup_rounds,
-            report.final_epoch,
-        )));
-
-        hh.sleep(w.settle).await;
-        let (post_c, post_a) = window("post").await;
-
-        stop2.set(true);
-        hh.sleep(Duration::from_millis(20)).await;
-        counts2.set((pre_c, pre_a, skew_c, skew_a, post_c, post_a));
-    });
-
-    let (pre_c, pre_a, skew_c, skew_a, post_c, post_a) = counts.get();
-    let (records_copied, bytes_copied, catchup_rounds, final_epoch) =
-        out.get().expect("split completed");
-    Run {
-        pre_commits: pre_c,
-        skew_commits: skew_c,
-        post_commits: post_c,
-        pre_aborts: pre_a,
-        skew_aborts: skew_a,
-        post_aborts: post_a,
-        records_copied,
-        bytes_copied,
-        catchup_rounds,
-        final_epoch,
-        map_installs: obs.registry.counter("map_installs").get(),
-        records_moved: obs.registry.counter("migration_records_moved").get(),
-        stale_epoch_prepares: obs.registry.counter("stale_epoch_prepares").get(),
-    }
-}
+use bench::{artifact, rebalance};
 
 fn main() {
     let scale = Scale::from_env();
@@ -295,112 +37,20 @@ fn main() {
     }
 
     eprintln!(
-        "rebalance: seed {seed}, {CLIENTS} clients, zipf s={}.{:02} hot {HOT_PCT}% ...",
-        ZIPF_S_X100 / 100,
-        ZIPF_S_X100 % 100
+        "rebalance: seed {seed}, 4 clients, zipf s={}.{:02} hot {}% ...",
+        rebalance::ZIPF_S_X100 / 100,
+        rebalance::ZIPF_S_X100 % 100,
+        rebalance::HOT_PCT
     );
-    let run = run_once(scale, seed);
-
-    println!("{:>10} {:>9} {:>8}", "window", "commits", "aborts");
-    println!(
-        "{:>10} {:>9} {:>8}",
-        "pre-skew", run.pre_commits, run.pre_aborts
+    let run = rebalance::run_once(scale, seed);
+    let campaign = rebalance::run_fault_campaign(scale, seed);
+    rebalance::print(&run, &campaign);
+    artifact::maybe_write(
+        "rebalance",
+        scale,
+        rebalance::to_json(&run, &campaign, seed),
     );
-    println!(
-        "{:>10} {:>9} {:>8}",
-        "skew", run.skew_commits, run.skew_aborts
-    );
-    println!(
-        "{:>10} {:>9} {:>8}",
-        "post-split", run.post_commits, run.post_aborts
-    );
-    println!(
-        "split: {} records / {} bytes copied, {} catch-up rounds, epoch {}",
-        run.records_copied, run.bytes_copied, run.catchup_rounds, run.final_epoch
-    );
-
-    let recovery_pct = run.post_commits * 100 / run.pre_commits.max(1);
-    let recovery_ok = recovery_pct >= 80;
-    println!(
-        "post-split recovery: {recovery_pct}% of pre-skew committed throughput ({})",
-        if recovery_ok {
-            "ok, >= 80%"
-        } else {
-            "FAILED, < 80%"
-        }
-    );
-
-    // Fault campaign: crash + partition in every migration phase, audited
-    // for write conservation and single-owner-per-epoch.
-    let campaign_seeds: Vec<u64> = match scale {
-        Scale::Quick => vec![seed],
-        Scale::Full => vec![seed, seed + 1],
-    };
-    let campaign = run_rebalance_campaign(&RebalanceCampaignConfig {
-        seeds: campaign_seeds,
-        inject: true,
-        ..RebalanceCampaignConfig::default()
-    });
-    let campaign_clean = campaign.offending_seeds().is_empty();
-    println!(
-        "fault campaign: {} seed(s), {} violation(s) ({})",
-        campaign.outcomes.len(),
-        campaign.violation_count(),
-        if campaign_clean { "ok" } else { "FAILED" }
-    );
-
-    let payload = Json::obj()
-        .field("seed", Json::U64(seed))
-        .field("shards", Json::U64(u64::from(SHARDS)))
-        .field("replicas", Json::U64(u64::from(REPLICAS)))
-        .field("clients", Json::U64(u64::from(CLIENTS)))
-        .field("hot_pct", Json::U64(HOT_PCT))
-        .field("zipf_s_x100", Json::U64(ZIPF_S_X100))
-        .field("read_only_pct", Json::U64(READ_ONLY_PCT))
-        .field(
-            "windows",
-            Json::obj()
-                .field(
-                    "pre",
-                    Json::obj()
-                        .field("commits", Json::U64(run.pre_commits))
-                        .field("aborts", Json::U64(run.pre_aborts)),
-                )
-                .field(
-                    "skew",
-                    Json::obj()
-                        .field("commits", Json::U64(run.skew_commits))
-                        .field("aborts", Json::U64(run.skew_aborts)),
-                )
-                .field(
-                    "post",
-                    Json::obj()
-                        .field("commits", Json::U64(run.post_commits))
-                        .field("aborts", Json::U64(run.post_aborts)),
-                ),
-        )
-        .field(
-            "migration",
-            Json::obj()
-                .field("records_copied", Json::U64(run.records_copied))
-                .field("bytes_copied", Json::U64(run.bytes_copied))
-                .field("catchup_rounds", Json::U64(u64::from(run.catchup_rounds)))
-                .field("final_epoch", Json::U64(run.final_epoch))
-                .field("map_installs", Json::U64(run.map_installs))
-                .field("records_moved", Json::U64(run.records_moved))
-                .field("stale_epoch_prepares", Json::U64(run.stale_epoch_prepares)),
-        )
-        .field("campaign", campaign.to_json())
-        .field(
-            "checks",
-            Json::obj()
-                .field("recovery_pct", Json::U64(recovery_pct))
-                .field("recovery_ok", Json::Bool(recovery_ok))
-                .field("campaign_clean", Json::Bool(campaign_clean)),
-        );
-    artifact::maybe_write("rebalance", scale, payload);
-
-    if !(recovery_ok && campaign_clean) {
+    if !rebalance::ok(&run, &campaign) {
         std::process::exit(1);
     }
 }

@@ -9,6 +9,9 @@
 //! | Figure 7 (aborts vs α, PTP/NTP × backend) | [`fig7`] | `repro_fig7` |
 //! | Figure 8 (latency vs throughput, ±LV) | [`fig8`] | `repro_fig8` |
 //! | Figure 9 (MILANA vs Centiman LV) | [`fig9`] | `repro_fig9` |
+//! | Group commit / RPC coalescing | [`batch`] | `repro_batch` |
+//! | Elastic resharding under load | [`rebalance`] | `repro_rebalance` |
+//! | Read scaling (backup snapshot reads) | [`readscale`] | `repro_readscale` |
 //!
 //! Ablations of the paper's design choices live in [`ablations`]
 //! (`repro_ablations`): relaxed vs ordered replication, the clock-precision
@@ -24,9 +27,12 @@
 
 pub mod ablations;
 pub mod artifact;
+pub mod batch;
 pub mod common;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod readscale;
+pub mod rebalance;
 pub mod table1;

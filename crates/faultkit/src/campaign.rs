@@ -55,6 +55,11 @@ pub struct CampaignConfig {
     /// Admission capacity (cost units) per server. Sized so the steady
     /// counter workload never sheds but nemesis overload bursts do.
     pub admission_capacity: u64,
+    /// Backup snapshot reads: clients route reads power-of-two across
+    /// backups and primaries gossip watermark floors, so the campaign
+    /// exercises the `stale_backup_read` invariant under faults. Off by
+    /// default (primary-only reads, the historical behavior).
+    pub backup_reads: bool,
 }
 
 impl Default for CampaignConfig {
@@ -70,6 +75,7 @@ impl Default for CampaignConfig {
             skip_validation: false,
             overload_only: false,
             admission_capacity: 32,
+            backup_reads: false,
         }
     }
 }
@@ -117,6 +123,8 @@ pub struct SeedOutcome {
     pub server_sheds: u64,
     /// Retry tokens spent by workload clients.
     pub client_retries: u64,
+    /// Snapshot reads served by backup replicas (backup-reads mode).
+    pub replica_reads: u64,
     /// Trace-ring evictions (non-zero = visibility checks were skipped).
     pub trace_dropped: u64,
     /// True when the audit conserved every acknowledged increment.
@@ -193,6 +201,7 @@ impl CampaignReport {
                     .field("net_delay_spiked", Json::U64(o.net_delay_spiked))
                     .field("server_sheds", Json::U64(o.server_sheds))
                     .field("client_retries", Json::U64(o.client_retries))
+                    .field("replica_reads", Json::U64(o.replica_reads))
                     .field("trace_dropped", Json::U64(o.trace_dropped))
                     .field("conservation_ok", Json::Bool(o.conservation_ok))
                     .field("violations", Json::arr(violations)),
@@ -247,6 +256,14 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     cluster_cfg.tuning.skip_validation.set(cfg.skip_validation);
     cluster_cfg.tuning.admission.capacity = cfg.admission_capacity;
     cluster_cfg.client_cfg.obs = obs.clone();
+    if cfg.backup_reads {
+        cluster_cfg.client_cfg.read_route = readkit::ReadRoute::PowerOfTwo;
+        // Fast floor propagation: idle-tick reports every 2ms (a client
+        // dwelling in a scan still pushes its write floor forward) and
+        // backup gossip so floors advance between replication flushes.
+        cluster_cfg.client_cfg.watermark_interval = Duration::from_millis(2);
+        cluster_cfg.tuning.gossip_every = Some(Duration::from_millis(5));
+    }
     let cluster = Rc::new(RefCell::new(MilanaCluster::build(&h, cluster_cfg)));
 
     // Seed the counters.
@@ -268,6 +285,10 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     // occasional read-only sum, one transaction at a time per client.
     let acked = Rc::new(Cell::new(0u64));
     let stop = Rc::new(Cell::new(false));
+    // Backup-reads mode: scans dwell like analytics readers, long enough
+    // for the gossiped floor to pass their `ts_begin` — the window in
+    // which backups may (and must, correctly) serve their reads.
+    let scan_dwell = cfg.backup_reads.then(|| Duration::from_millis(5));
     for c in &cluster.borrow().clients {
         let c = c.clone();
         let acked = acked.clone();
@@ -279,6 +300,9 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
                 let read_only = rng.gen::<f64>() < 0.2;
                 let mut t = c.begin();
                 if read_only {
+                    if let Some(dwell) = scan_dwell {
+                        hh.sleep(dwell).await;
+                    }
                     let mut ok = true;
                     for k in 0..keys {
                         if t.get(&Key::from(k)).await.is_err() {
@@ -436,6 +460,12 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
         })
         .collect();
 
+    let replica_reads: u64 = cluster
+        .clients
+        .iter()
+        .map(|c| c.stats().replica_reads)
+        .sum();
+
     let outcome = SeedOutcome {
         seed,
         acked,
@@ -451,6 +481,7 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
         net_delay_spiked: net.delay_spiked,
         server_sheds,
         client_retries,
+        replica_reads,
         trace_dropped: obs.tracer.dropped(),
         conservation_ok,
         violations,
@@ -483,6 +514,30 @@ mod tests {
         assert!(o.conservation_ok, "audit failed: {o:?}");
         assert!(o.acked > 0, "workload made no progress");
         assert!(o.committed > 0, "trace recorded no commits");
+    }
+
+    #[test]
+    fn backup_reads_campaign_is_clean_under_faults() {
+        // Route snapshot reads across backups while crashing primaries,
+        // partitioning nodes and stepping clocks: the `stale_backup_read`
+        // invariant (and every other check) must stay clean.
+        let cfg = CampaignConfig {
+            seeds: vec![11],
+            faults: 8,
+            backup_reads: true,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        assert_eq!(a.violation_count(), 0, "{:?}", a.outcomes[0].violations);
+        let o = &a.outcomes[0];
+        assert!(o.conservation_ok, "audit failed: {o:?}");
+        assert!(o.acked > 0, "workload made no progress");
+        assert!(
+            o.replica_reads > 0,
+            "backup-reads campaign never exercised a replica read: {o:?}"
+        );
     }
 
     #[test]

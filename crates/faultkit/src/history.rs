@@ -106,6 +106,20 @@ pub struct OwnershipEvent {
     pub owned: bool,
 }
 
+/// One snapshot read a backup replica served, as traced by the server
+/// (`ReadServed` events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadServedObs {
+    /// Trace time (ns).
+    pub at: u64,
+    /// Serving replica's node id.
+    pub replica: u64,
+    /// The replica's applied watermark when it answered.
+    pub watermark: u64,
+    /// The snapshot timestamp it answered for.
+    pub ts_begin: u64,
+}
+
 /// The reconstructed history plus the raw events it came from.
 #[derive(Debug, Clone, Default)]
 pub struct History {
@@ -114,6 +128,9 @@ pub struct History {
     /// Shard-ownership claims in trace order (migrations only; empty for
     /// histories without resharding).
     pub ownership: Vec<OwnershipEvent>,
+    /// Backup-served snapshot reads in trace order (read routing only;
+    /// empty when every read went to a primary).
+    pub reads_served: Vec<ReadServedObs>,
     /// Ring evictions reported by the tracer; non-zero means the history
     /// is a suffix and visibility checks are skipped.
     pub dropped: u64,
@@ -128,6 +145,7 @@ impl History {
         let mut open: HashMap<u64, TxnView> = HashMap::new();
         let mut txns = Vec::new();
         let mut ownership = Vec::new();
+        let mut reads_served = Vec::new();
         let close = |open: &mut HashMap<u64, TxnView>,
                      txns: &mut Vec<TxnView>,
                      client: u64,
@@ -232,6 +250,16 @@ impl History {
                     owner,
                     owned: false,
                 }),
+                TraceEvent::ReadServed {
+                    replica,
+                    watermark,
+                    ts_begin,
+                } => reads_served.push(ReadServedObs {
+                    at,
+                    replica,
+                    watermark,
+                    ts_begin,
+                }),
                 _ => {}
             }
         }
@@ -247,6 +275,7 @@ impl History {
         History {
             txns,
             ownership,
+            reads_served,
             dropped,
             events,
         }
@@ -329,6 +358,9 @@ pub enum ViolationClass {
     /// Two nodes claimed ownership of the same shard at overlapping times
     /// — the epoch fence failed during a live migration.
     DualOwnership,
+    /// A backup replica served a snapshot read at a timestamp its applied
+    /// watermark did not cover — it should have answered `TooStale`.
+    StaleBackupRead,
 }
 
 impl ViolationClass {
@@ -340,6 +372,7 @@ impl ViolationClass {
             ViolationClass::ReplicationLostAck => "replication_lost_ack",
             ViolationClass::PhantomVersion => "phantom_version",
             ViolationClass::DualOwnership => "dual_ownership",
+            ViolationClass::StaleBackupRead => "stale_backup_read",
         }
     }
 }
@@ -525,6 +558,25 @@ impl<'a> Checker<'a> {
                         });
                     }
                 }
+            }
+        }
+
+        // -- Watermark-covered backup reads ----------------------------
+        // A backup may serve a snapshot read only when its applied
+        // watermark covers the snapshot. Each ReadServed event carries
+        // both numbers, so the check is self-contained per event and —
+        // like the per-reader snapshot bound — survives truncation.
+        for (i, rs) in h.reads_served.iter().enumerate() {
+            if rs.watermark < rs.ts_begin {
+                violations.push(Violation {
+                    class: ViolationClass::StaleBackupRead,
+                    description: format!(
+                        "replica {} served a snapshot read at ts {} with applied \
+                         watermark {} (event #{i}) — should have answered TooStale",
+                        rs.replica, rs.ts_begin, rs.watermark
+                    ),
+                    txns: Vec::new(),
+                });
             }
         }
 
@@ -729,6 +781,39 @@ mod tests {
             epoch,
             owner,
         }
+    }
+
+    fn served(replica: u64, watermark: u64, ts_begin: u64) -> TraceEvent {
+        TraceEvent::ReadServed {
+            replica,
+            watermark,
+            ts_begin,
+        }
+    }
+
+    #[test]
+    fn covered_backup_read_passes() {
+        let violations = check(vec![(1, served(3, 50, 40))]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn stale_backup_read_is_detected_even_on_truncated_traces() {
+        let events = vec![(1, served(3, 30, 40))];
+        let complete = History::from_events(events.clone(), 0);
+        assert_eq!(
+            Checker::new(&complete)
+                .check()
+                .iter()
+                .filter(|v| v.class == ViolationClass::StaleBackupRead)
+                .count(),
+            1
+        );
+        let truncated = History::from_events(events, 9);
+        assert!(Checker::new(&truncated)
+            .check()
+            .iter()
+            .any(|v| v.class == ViolationClass::StaleBackupRead));
     }
 
     #[test]

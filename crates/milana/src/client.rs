@@ -14,8 +14,9 @@ use flashsim::{Key, Value};
 use loadkit::{RetryConfig, RetryPolicy};
 use obskit::{Obs, TraceEvent};
 use rand::{rngs::StdRng, SeedableRng};
+use readkit::{ReadRoute, ReplicaView, VersionCache};
 use semel::shard::{ShardId, ShardMap};
-use simkit::net::NodeId;
+use simkit::net::{Addr, NodeId};
 use simkit::rpc::{RpcClient, RpcError};
 use simkit::{SimHandle, SimTime};
 use timesync::{ClientId, Discipline, SyncedClock, Timestamp, Version};
@@ -49,6 +50,22 @@ pub struct TxnClientConfig {
     /// watermark piggybacked on envelopes instead of its own RPC tick.
     /// `BatchConfig::unbatched()` reproduces the one-RPC-per-message plane.
     pub batch: BatchConfig,
+    /// Replica routing for snapshot reads: non-primary policies send the
+    /// read to a backup whose applied watermark covers `ts_begin`, falling
+    /// back to the primary on `TooStale`. Default: primary-only.
+    pub read_route: ReadRoute,
+    /// Capacity (entries) of the client-wide version cache feeding
+    /// [`TxnClient::begin_cached`]; 0 disables it.
+    pub cache_entries: usize,
+    /// Bounded-staleness snapshots (readkit): [`TxnClient::begin_snapshot`]
+    /// opens its snapshot this far behind the client clock. The applied
+    /// floor trails real time by roughly a commit round-trip, so a small
+    /// lag makes a read-only transaction backup-eligible from its *first*
+    /// read instead of only after the floor catches up mid-transaction.
+    /// Zero (the default) reads at `now`. Plain [`TxnClient::begin`]
+    /// ignores the knob — lagging a writer only widens its validation
+    /// window. Serializability is unaffected either way.
+    pub snapshot_lag: Duration,
 }
 
 impl Default for TxnClientConfig {
@@ -62,6 +79,9 @@ impl Default for TxnClientConfig {
             obs: Obs::new(),
             retry: RetryConfig::default(),
             batch: BatchConfig::default(),
+            read_route: ReadRoute::PrimaryOnly,
+            cache_entries: 4096,
+            snapshot_lag: Duration::ZERO,
         }
     }
 }
@@ -77,6 +97,10 @@ pub struct TxnClientStats {
     pub local_validations: u64,
     /// Commit outcomes left unknown (coordinator could not decide).
     pub unknown: u64,
+    /// Snapshot reads served by a backup replica (read routing).
+    pub replica_reads: u64,
+    /// Reads served from the client-wide version cache.
+    pub cached_reads: u64,
 }
 
 /// A MILANA client. Cloning shares the client.
@@ -94,10 +118,23 @@ pub struct TxnClient {
     /// The watermark report must stay below all of them (§4.4), or garbage
     /// collection could discard a long-running reader's snapshot.
     active: Rc<RefCell<BTreeMap<Timestamp, usize>>>,
-    /// Inter-transaction value cache for [`TxnClient::begin_cached`]
-    /// (§4.3 future work). Maps a key to the newest version this client
-    /// has observed.
-    value_cache: Rc<RefCell<HashMap<Key, (Version, Value)>>>,
+    /// Commit stamps drawn but not yet resolved (votes still pending). The
+    /// write-floor promise (readkit) must stay below all of them: a floor
+    /// report is "no future prepare at or below", and these prepares may
+    /// still be on the wire.
+    inflight_commits: Rc<RefCell<std::collections::BTreeSet<Timestamp>>>,
+    /// Inter-transaction value cache (§4.3 future work): the newest version
+    /// this client has observed per key, with the snapshot window a server
+    /// confirmed it for. Bounded LRU; versions are immutable so entries
+    /// only die by eviction, OCC refutation, or the GC floor.
+    value_cache: Rc<RefCell<VersionCache<Key, Value>>>,
+    /// Highest GC watermark observed on any replica reply. Monotone;
+    /// advancing it invalidates cache entries whose confirmed windows fall
+    /// entirely below it (servers may have pruned those versions).
+    wm_floor: Rc<Cell<Timestamp>>,
+    /// Per-replica applied-watermark / queue-depth metadata piggybacked on
+    /// read replies, feeding the read-route policy.
+    view: Rc<RefCell<ReplicaView<Addr>>>,
     stats: Rc<RefCell<TxnClientStats>>,
     /// Retry budget, backoff jitter, and per-shard circuit breakers.
     policy: Rc<RetryPolicy>,
@@ -202,6 +239,26 @@ impl TxnClientBuilder {
         self
     }
 
+    /// Replica routing for snapshot reads (see
+    /// [`TxnClientConfig::read_route`]).
+    pub fn read_route(mut self, route: ReadRoute) -> Self {
+        self.cfg.read_route = route;
+        self
+    }
+
+    /// Client-wide version-cache capacity; 0 disables the cache.
+    pub fn cache_entries(mut self, entries: usize) -> Self {
+        self.cfg.cache_entries = entries;
+        self
+    }
+
+    /// Bounded-staleness snapshots: open transactions this far behind the
+    /// clock so their reads are backup-eligible immediately.
+    pub fn snapshot_lag(mut self, lag: Duration) -> Self {
+        self.cfg.snapshot_lag = lag;
+        self
+    }
+
     /// Creates the client and starts its watermark task.
     pub fn build(self) -> TxnClient {
         TxnClient::build_inner(
@@ -251,6 +308,7 @@ impl TxnClient {
             &cfg.obs,
             id.0 as u64,
         ));
+        let cache_entries = cfg.cache_entries;
         let client = TxnClient {
             handle: handle.clone(),
             id,
@@ -261,7 +319,10 @@ impl TxnClient {
             seq: Rc::new(Cell::new(0)),
             last_decided: Rc::new(Cell::new(Timestamp::ZERO)),
             active: Rc::new(RefCell::new(BTreeMap::new())),
-            value_cache: Rc::new(RefCell::new(HashMap::new())),
+            inflight_commits: Rc::new(RefCell::new(std::collections::BTreeSet::new())),
+            value_cache: Rc::new(RefCell::new(VersionCache::new(cache_entries))),
+            wm_floor: Rc::new(Cell::new(Timestamp::ZERO)),
+            view: Rc::new(RefCell::new(ReplicaView::new())),
             stats: Rc::new(RefCell::new(TxnClientStats::default())),
             policy,
             node,
@@ -332,10 +393,17 @@ impl TxnClient {
                             false
                         }
                     };
-                    let mut wire = Vec::with_capacity(n + 1);
+                    let mut wire = Vec::with_capacity(n + 2);
                     if piggyback {
                         wire.push(TxnRequest::Watermark { client: me.id, ts });
                     }
+                    // The write floor rides every envelope: it moves with
+                    // the clock, so deduplication would never skip it.
+                    wire.push(TxnRequest::FloorReport {
+                        client: me.id,
+                        ts: me.floor_report(),
+                    });
+                    let strip = wire.len();
                     wire.extend(batch);
                     me.last_flush.set(me.handle.now());
                     envelopes.inc();
@@ -347,9 +415,7 @@ impl TxnClient {
                         .await
                     {
                         Ok(mut resps) => {
-                            if piggyback {
-                                resps.remove(0);
-                            }
+                            resps.drain(..strip.min(resps.len()));
                             resps
                         }
                         // Envelope lost or timed out: every waiter resolves
@@ -378,6 +444,7 @@ impl TxnClient {
     /// retain the versions a long-running snapshot reader still needs.
     pub fn broadcast_watermark(&self) {
         let ts = self.watermark_report();
+        let floor = self.floor_report();
         let map = self.map.borrow();
         for (_, group) in map.iter() {
             for addr in group.all() {
@@ -389,6 +456,16 @@ impl TxnClient {
                     },
                 );
             }
+            // The write floor goes to the primary only: backups must learn
+            // it through the primary's in-order `AppliedFloor` stream, or
+            // it would not be a completeness claim.
+            self.rpc.cast(
+                group.primary,
+                TxnRequest::FloorReport {
+                    client: self.id,
+                    ts: floor,
+                },
+            );
         }
     }
 
@@ -414,23 +491,34 @@ impl TxnClient {
 
     /// Begins a transaction at the client's current time (`ts_begin`).
     pub fn begin(&self) -> Txn {
-        self.begin_inner(false)
+        self.begin_inner(false, Duration::ZERO)
+    }
+
+    /// Begins a **bounded-staleness snapshot transaction**: `ts_begin`
+    /// opens [`TxnClientConfig::snapshot_lag`] behind the clock, so the
+    /// snapshot is already below the replicated write floor by the first
+    /// read and backup replicas can serve it immediately (§4.6). Meant
+    /// for transactions known to be read-only up front — a lagged writer
+    /// would just widen its own validation window and abort more.
+    pub fn begin_snapshot(&self) -> Txn {
+        self.begin_inner(false, self.cfg.snapshot_lag)
     }
 
     /// Begins a transaction that may satisfy reads from the client's
     /// **inter-transaction value cache** — the §4.3 future-work mode.
     ///
-    /// Cached reads skip the server entirely, but the transaction loses the
-    /// prepared-flag information that powers local validation, so it always
-    /// validates remotely at commit (even when read-only), as the paper
-    /// prescribes: "any transaction marked as read-write in advance may
-    /// read from its cache, but then must validate remotely."
+    /// Cached reads skip the server entirely, but a speculative hit loses
+    /// the prepared-flag information that powers local validation, so any
+    /// transaction that took one validates remotely at commit (even when
+    /// read-only), as the paper prescribes: "any transaction marked as
+    /// read-write in advance may read from its cache, but then must
+    /// validate remotely."
     pub fn begin_cached(&self) -> Txn {
-        self.begin_inner(true)
+        self.begin_inner(true, Duration::ZERO)
     }
 
-    fn begin_inner(&self, use_client_cache: bool) -> Txn {
-        let ts_begin = self.now();
+    fn begin_inner(&self, use_client_cache: bool, lag: Duration) -> Txn {
+        let ts_begin = Timestamp(self.now().0.saturating_sub(lag.as_nanos() as u64));
         self.register_active(ts_begin);
         self.trace(TraceEvent::TxnBegin {
             client: self.id.0 as u64,
@@ -467,6 +555,20 @@ impl TxnClient {
                 Timestamp(oldest_active.0.saturating_sub(1))
             }
             _ => decided,
+        }
+    }
+
+    /// The write-floor promise (readkit): this client will never submit a
+    /// prepare stamped at or below the returned timestamp. Its clock is
+    /// monotone, so future commit stamps exceed `now`; stamps already
+    /// drawn but still unresolved cap the report from below. Active
+    /// *snapshots* do not hold it back — that is what lets the floor track
+    /// wall time and certify backups for fresh reads.
+    pub fn floor_report(&self) -> Timestamp {
+        let now = self.now();
+        match self.inflight_commits.borrow().iter().next() {
+            Some(&oldest) if oldest <= now => Timestamp(oldest.0.saturating_sub(1)),
+            _ => now,
         }
     }
 
@@ -511,6 +613,27 @@ impl TxnClient {
                 None => return false,
             }
         }
+    }
+
+    /// Records a GC watermark piggybacked on a replica reply. The floor is
+    /// monotone; advancing it drops cache entries whose confirmed windows
+    /// lie entirely below it, since servers may prune those versions.
+    fn observe_floor(&self, wm: Timestamp) {
+        if wm > self.wm_floor.get() {
+            self.wm_floor.set(wm);
+            self.value_cache.borrow_mut().invalidate_below(wm);
+        }
+    }
+
+    /// Highest replica GC watermark this client has observed.
+    pub fn watermark_floor(&self) -> Timestamp {
+        self.wm_floor.get()
+    }
+
+    /// Client-wide version-cache occupancy and lifetime hit/miss counts.
+    pub fn cache_counters(&self) -> (usize, u64, u64) {
+        let vc = self.value_cache.borrow();
+        (vc.len(), vc.hits(), vc.misses())
     }
 
     fn register_active(&self, ts: Timestamp) {
@@ -609,31 +732,76 @@ impl Txn {
         if let Some(v) = self.cache.get(key) {
             return Ok(v.clone());
         }
-        if self.use_client_cache {
-            let hit = self.c.value_cache.borrow().get(key).cloned();
-            if let Some((version, value)) = hit {
-                // Cached read: no server contact, no prepared flag — the
-                // commit-time remote validation checks this version.
-                self.read_set.push((key.clone(), version));
-                self.requires_remote = true;
-                self.cache.insert(key.clone(), value.clone());
+        // Client-wide version cache. A *windowed* hit (a server confirmed
+        // the version newest for some `at' ≥ ts_begin`) is sound as-is and
+        // keeps local-validation eligibility: no later prepare can install
+        // a version at or below the confirmed bound (the read that set the
+        // bound raised `ts_latestRead`, or rode below the GC watermark).
+        // Cached mode additionally takes *speculative* hits — the newest
+        // version the client knows, past its confirmed window — which OCC
+        // must re-validate remotely at commit.
+        {
+            let mut vc = self.c.value_cache.borrow_mut();
+            let hit = if self.use_client_cache {
+                vc.lookup_latest(key, self.ts_begin).cloned()
+            } else {
+                vc.lookup(key, self.ts_begin).cloned()
+            };
+            drop(vc);
+            if let Some(e) = hit {
+                // Cached reads still enter the read-set with their version
+                // stamp so commit-time validation covers them.
+                self.read_set.push((key.clone(), e.version));
+                if self.use_client_cache {
+                    self.requires_remote = true;
+                }
+                self.c.trace(TraceEvent::TxnRead {
+                    client: self.c.id.0 as u64,
+                    key: key.trace_id(),
+                    prepared: false,
+                    ver_ts: e.version.ts.0,
+                    ver_client: e.version.client.0 as u64,
+                });
+                self.cache.insert(key.clone(), e.value.clone());
                 self.cache_hits += 1;
-                return Ok(value);
+                self.c.stats.borrow_mut().cached_reads += 1;
+                return Ok(e.value);
             }
         }
         self.c.policy.on_attempt();
         for attempt in 0..=self.c.cfg.read_retries {
             // Re-resolve the primary each attempt: the shard map may have
             // been updated by a failover while we were retrying.
-            let (shard, primary) = {
+            let (shard, primary, backups) = {
                 let map = self.c.map.borrow();
                 let shard = map.shard_for(key);
-                (shard, map.group(shard).primary)
+                let group = map.group(shard);
+                (shard, group.primary, group.backups.clone())
             };
             // A tripped breaker means the shard is actively shedding; wait
             // out the cooldown (within budget) instead of piling on.
             if !self.c.wait_for_breaker(shard).await {
                 return Err(TxnError::Aborted(AbortReason::Overloaded));
+            }
+            // Read routing: on the first attempt, try a backup whose
+            // applied watermark covers the snapshot. Any miss (TooStale,
+            // timeout, migration fence) falls through to the primary.
+            if attempt == 0 {
+                let now_ns = self.c.sim_ns();
+                let stale_after = 2 * self.c.cfg.watermark_interval.as_nanos() as u64;
+                let picked = self.c.view.borrow().pick(
+                    self.c.cfg.read_route,
+                    &backups,
+                    self.ts_begin,
+                    stale_after,
+                    now_ns,
+                    |n| self.c.handle.rand_range(0, n),
+                );
+                if let Some(replica) = picked {
+                    if let Some(done) = self.read_from_replica(shard, replica, key).await {
+                        return done;
+                    }
+                }
             }
             let r = self
                 .c
@@ -654,27 +822,7 @@ impl Txn {
                     prepared,
                 }) => {
                     self.c.policy.record_ok(shard.0 as u64);
-                    self.read_set.push((key.clone(), version));
-                    self.prepared_seen |= prepared;
-                    self.c.trace(TraceEvent::TxnRead {
-                        client: self.c.id.0 as u64,
-                        key: key.trace_id(),
-                        prepared,
-                        ver_ts: version.ts.0,
-                        ver_client: version.client.0 as u64,
-                    });
-                    self.cache.insert(key.clone(), value.clone());
-                    // Feed the inter-transaction cache (newest version wins).
-                    {
-                        let mut vc = self.c.value_cache.borrow_mut();
-                        match vc.get(key) {
-                            Some(&(cur, _)) if cur >= version => {}
-                            _ => {
-                                vc.insert(key.clone(), (version, value.clone()));
-                            }
-                        }
-                    }
-                    return Ok(value);
+                    return Ok(self.note_value(key, version, value, prepared));
                 }
                 Ok(TxnResponse::NotFound) => return Err(TxnError::KeyNotFound(key.clone())),
                 Ok(TxnResponse::SnapshotUnavailable(_)) => {
@@ -725,6 +873,116 @@ impl Txn {
             }
         }
         Err(TxnError::Timeout)
+    }
+
+    /// Books a server-served snapshot read: read-set entry, prepared flag,
+    /// trace event, txn-local cache, and the client-wide version cache.
+    /// Only unprepared reads feed the shared cache — the prepared flag is
+    /// point-in-time and must not be laundered into later transactions.
+    fn note_value(&mut self, key: &Key, version: Version, value: Value, prepared: bool) -> Value {
+        self.read_set.push((key.clone(), version));
+        self.prepared_seen |= prepared;
+        self.c.trace(TraceEvent::TxnRead {
+            client: self.c.id.0 as u64,
+            key: key.trace_id(),
+            prepared,
+            ver_ts: version.ts.0,
+            ver_client: version.client.0 as u64,
+        });
+        self.cache.insert(key.clone(), value.clone());
+        if !prepared {
+            // The server confirmed `version` newest at ts_begin: that is
+            // the entry's (initial) sound snapshot window.
+            self.c.value_cache.borrow_mut().insert(
+                key.clone(),
+                version,
+                value.clone(),
+                self.ts_begin,
+            );
+        }
+        value
+    }
+
+    /// One routed read attempt against a backup replica. `Some(result)`
+    /// resolves the read (or aborts the snapshot); `None` means the backup
+    /// could not serve it — fall through to the primary.
+    async fn read_from_replica(
+        &mut self,
+        shard: ShardId,
+        replica: Addr,
+        key: &Key,
+    ) -> Option<Result<Value, TxnError>> {
+        let r = self
+            .c
+            .rpc
+            .call::<TxnRequest, TxnResponse>(
+                replica,
+                TxnRequest::ReadAt {
+                    key: key.clone(),
+                    at: self.ts_begin,
+                },
+                self.c.cfg.rpc_timeout,
+            )
+            .await;
+        let now_ns = self.c.sim_ns();
+        match r {
+            Ok(TxnResponse::FromReplica {
+                reply,
+                watermark,
+                depth,
+            }) => {
+                self.c
+                    .view
+                    .borrow_mut()
+                    .observe(replica, watermark, depth, now_ns);
+                self.c.observe_floor(watermark);
+                match *reply {
+                    TxnResponse::Value {
+                        version,
+                        value,
+                        prepared,
+                    } => {
+                        self.c.policy.record_ok(shard.0 as u64);
+                        self.c.stats.borrow_mut().replica_reads += 1;
+                        Some(Ok(self.note_value(key, version, value, prepared)))
+                    }
+                    TxnResponse::NotFound => {
+                        self.c.policy.record_ok(shard.0 as u64);
+                        self.c.stats.borrow_mut().replica_reads += 1;
+                        Some(Err(TxnError::KeyNotFound(key.clone())))
+                    }
+                    TxnResponse::SnapshotUnavailable(_) => {
+                        self.snapshot_lost = true;
+                        Some(Err(TxnError::Aborted(AbortReason::SnapshotUnavailable)))
+                    }
+                    _ => None,
+                }
+            }
+            // The backup has not applied up to ts_begin yet: remember how
+            // far it has, and let the primary serve this read.
+            Ok(TxnResponse::TooStale { watermark }) => {
+                self.c
+                    .view
+                    .borrow_mut()
+                    .observe(replica, watermark, 0, now_ns);
+                self.c.observe_floor(watermark);
+                None
+            }
+            // A promoted ex-backup answers like the primary it now is.
+            Ok(TxnResponse::Value {
+                version,
+                value,
+                prepared,
+            }) => {
+                self.c.policy.record_ok(shard.0 as u64);
+                Some(Ok(self.note_value(key, version, value, prepared)))
+            }
+            Ok(TxnResponse::NotFound) => Some(Err(TxnError::KeyNotFound(key.clone()))),
+            // Anything else — Moved (migration fence), NotReady, Shed, a
+            // lost RPC — falls through to the primary, whose own reply
+            // drives the retry/refresh machinery.
+            _ => None,
+        }
     }
 
     /// Snapshot read served by **any replica** of the owning shard —
@@ -882,11 +1140,7 @@ impl Txn {
             });
             return Err(TxnError::Aborted(AbortReason::SnapshotUnavailable));
         }
-        if self.writes.is_empty()
-            && self.c.cfg.local_validation
-            && !self.use_client_cache
-            && !self.requires_remote
-        {
+        if self.writes.is_empty() && self.c.cfg.local_validation && !self.requires_remote {
             // §4.3: every read already proved it came from a consistent
             // snapshot unless a prepared version was visible at ts_begin.
             self.c.note_decided(self.ts_begin);
@@ -920,6 +1174,7 @@ impl Txn {
             };
         }
         let ts_commit = self.c.now();
+        self.c.inflight_commits.borrow_mut().insert(ts_commit);
         let txid = TxnId {
             client: self.c.id,
             seq: self.c.seq.replace(self.c.seq.get() + 1),
@@ -1019,6 +1274,11 @@ impl Txn {
                 Some(_) | None => any_unreachable = true,
             }
         }
+        // The vote fan-out has resolved: decided prepares are installed at
+        // their primaries, and any straggler from an unreachable one dies
+        // on the server's floor fence — either way the stamp no longer
+        // needs to cap this client's write-floor promise.
+        self.c.inflight_commits.borrow_mut().remove(&ts_commit);
         self.c.note_decided(ts_commit);
         if any_unreachable && all_ok {
             // Some participant may have prepared but we cannot know the
@@ -1049,16 +1309,16 @@ impl Txn {
             self.c.refresh_map().await;
         }
         if commit {
-            // Refresh the inter-transaction cache with our own writes.
+            // Refresh the inter-transaction cache with our own writes: the
+            // write is the newest version up to its own commit stamp.
             let mut vc = self.c.value_cache.borrow_mut();
             for (key, value) in &self.writes {
-                let version = Version::new(ts_commit, self.c.id);
-                match vc.get(key) {
-                    Some(&(cur, _)) if cur >= version => {}
-                    _ => {
-                        vc.insert(key.clone(), (version, value.clone()));
-                    }
-                }
+                vc.insert(
+                    key.clone(),
+                    Version::new(ts_commit, self.c.id),
+                    value.clone(),
+                    ts_commit,
+                );
             }
         } else if self.use_client_cache {
             // Validation failed: our cached reads may be stale. Drop them so

@@ -68,8 +68,11 @@ impl From<semel::ClusterSpec> for MilanaClusterConfig {
         cfg.tuning.admission = spec.admission;
         cfg.tuning.batch = spec.batch;
         cfg.tuning.obs = spec.obs;
+        cfg.tuning.gossip_every = spec.watermark_gossip;
         cfg.client_cfg.batch = spec.batch;
         cfg.client_cfg.obs = cfg.tuning.obs.clone();
+        cfg.client_cfg.read_route = spec.read_route;
+        cfg.client_cfg.cache_entries = spec.cache_entries;
         cfg
     }
 }
@@ -186,6 +189,7 @@ impl MilanaCluster {
                         },
                         is_primary: r == 0,
                         clients: client_ids.clone(),
+                        primary_node: (r != 0).then_some(group.primary.node),
                         tuning,
                     },
                 );
@@ -354,6 +358,7 @@ impl MilanaCluster {
                     },
                     is_primary: r == 0,
                     clients: client_ids.clone(),
+                    primary_node: (r != 0).then(|| addrs[0].node),
                     tuning,
                 },
             );
@@ -463,6 +468,10 @@ impl MilanaCluster {
                 backups: Vec::new(),
                 is_primary: false,
                 clients: client_ids,
+                // A restarted replica missed an unknown stretch of the
+                // floor stream: its applied watermark (persisted in the
+                // table) stays frozen until the next promotion re-syncs it.
+                primary_node: None,
                 tuning,
             },
         );

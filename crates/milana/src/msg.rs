@@ -82,6 +82,34 @@ pub enum TxnRequest {
         /// The reading transaction's `ts_begin`.
         at: Timestamp,
     },
+    /// Snapshot read addressed to a *specific* replica (readkit backup
+    /// reads). A backup answers from its own version chains when its
+    /// applied watermark covers `at`, piggybacking the prepared flag like
+    /// a primary get; otherwise it replies [`TxnResponse::TooStale`] and
+    /// the client falls back to the primary. A primary (or a backup that
+    /// was promoted since the client routed) serves it as a plain `Get`.
+    ReadAt {
+        /// The key.
+        key: Key,
+        /// The reading transaction's `ts_begin`.
+        at: Timestamp,
+    },
+    /// Primary → backups, appended to every replication envelope: "this
+    /// stream has told you everything with a commit stamp below `ts`". A
+    /// backup that has seen *every* envelope (contiguous `seq`) may raise
+    /// its applied watermark to `ts`; on a gap it keeps applying data but
+    /// freezes the watermark — a lost envelope may hold an outcome the
+    /// floor claims to cover. `InstallLog` restarts the stream at seq 0.
+    AppliedFloor {
+        /// Position of this envelope in the primary's flush stream.
+        seq: u64,
+        /// The primary's client watermark at flush time.
+        ts: Timestamp,
+    },
+    /// Primary → backups: an empty envelope payload whose only purpose is
+    /// to carry the appended [`TxnRequest::AppliedFloor`] across idle
+    /// periods (the `watermark_gossip_interval` task submits one).
+    FloorSync,
     /// 2PC phase 1 (§4.2): validate and prepare.
     Prepare {
         /// Transaction id.
@@ -117,6 +145,18 @@ pub enum TxnRequest {
         /// Reporting client.
         client: ClientId,
         /// Its latest decided timestamp.
+        ts: Timestamp,
+    },
+    /// Client → primary (readkit): write-floor promise. The client will
+    /// never submit a prepare with `ts_commit <= ts` after this report —
+    /// its clock is monotone and `ts` is capped below every still-unacked
+    /// commit stamp. Unlike `Watermark`, active snapshot reads do *not*
+    /// hold it back, so the min across clients tracks wall time closely
+    /// and certifies backups to serve fresh snapshot reads.
+    FloorReport {
+        /// Reporting client.
+        client: ClientId,
+        /// No future prepare from `client` carries a stamp at or below.
         ts: Timestamp,
     },
     /// Primary → backup: replicate a prepare record.
@@ -263,6 +303,25 @@ pub enum TxnResponse {
     StaleEpoch {
         /// The server's current map epoch.
         epoch: u64,
+    },
+    /// A backup declined a [`TxnRequest::ReadAt`] because its applied
+    /// watermark does not cover the snapshot. The client records the
+    /// watermark in its routing view and retries on the primary.
+    TooStale {
+        /// The replica's current applied watermark.
+        watermark: Timestamp,
+    },
+    /// A backup-served [`TxnRequest::ReadAt`] answer: the inner read reply
+    /// (`Value`/`NotFound`/`SnapshotUnavailable`) plus routing metadata the
+    /// client feeds to its readkit [`readkit::ReplicaView`].
+    FromReplica {
+        /// The read result proper.
+        reply: Box<TxnResponse>,
+        /// The serving replica's applied watermark.
+        watermark: Timestamp,
+        /// The serving replica's admission queue depth (for
+        /// power-of-two-choices routing).
+        depth: u64,
     },
     /// Storage out of space.
     Capacity,

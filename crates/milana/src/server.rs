@@ -92,6 +92,12 @@ pub struct ServerTuning {
     /// records (plus pending watermark relays) into one backup envelope
     /// per flush. `batch_max = 1` reproduces the per-record fan-out.
     pub batch: BatchConfig,
+    /// Applied-watermark gossip period (readkit). Every replication
+    /// envelope already carries an `AppliedFloor` record; this task keeps
+    /// the floor advancing across *idle* stretches by submitting an empty
+    /// `FloorSync` envelope on this period. `None` disables the task
+    /// (floors then ride only on organic replication traffic).
+    pub gossip_every: Option<Duration>,
 }
 
 impl Default for ServerTuning {
@@ -108,6 +114,7 @@ impl Default for ServerTuning {
             skip_validation: std::rc::Rc::new(std::cell::Cell::new(false)),
             admission: loadkit::AdmissionConfig::default(),
             batch: BatchConfig::default(),
+            gossip_every: None,
         }
     }
 }
@@ -131,6 +138,12 @@ pub struct TxnServerConfig {
     pub is_primary: bool,
     /// Clients feeding the GC watermark.
     pub clients: Vec<ClientId>,
+    /// The node whose `AppliedFloor` stream this backup trusts from birth
+    /// (the shard primary at cluster build). `None` on a restarted or
+    /// provisioned replica: it missed an unknown prefix of the stream, so
+    /// its applied watermark stays frozen until the next promotion's
+    /// `InstallLog` re-syncs it. Irrelevant on primaries.
+    pub primary_node: Option<simkit::net::NodeId>,
     /// Timing knobs.
     pub tuning: ServerTuning,
 }
@@ -159,6 +172,12 @@ struct ServerState {
     /// False while recovering (requests answered `NotReady`).
     serving: bool,
     watermarks: WatermarkTracker,
+    /// Write-floor promises (readkit): per-client "no future prepare at or
+    /// below" reports. Unlike the GC `watermarks`, active snapshots do not
+    /// hold these back, so the min tracks wall time closely — it is the
+    /// `AppliedFloor` a primary streams to its backups, certifying them to
+    /// serve snapshot reads.
+    floors: WatermarkTracker,
     /// As primary: our lease is valid until this true-time instant.
     lease_until: SimTime,
     /// As backup: the latest lease expiry we ever granted.
@@ -182,6 +201,19 @@ struct ServerState {
     /// Source-primary migration state (None when no rebalance touches
     /// this shard).
     migration: Option<MigrationState>,
+    /// Primary: sequence number of the next `AppliedFloor` appended to a
+    /// replication envelope. Reset to 0 by a promotion, whose `InstallLog`
+    /// re-baselines every backup.
+    floor_seq: u64,
+    /// Backup: the node whose floor stream we accept (initial primary or
+    /// the latest `InstallLog` sender). Floors from anyone else — e.g. a
+    /// deposed primary still flushing — are ignored.
+    floor_primary: Option<simkit::net::NodeId>,
+    /// Backup: the next floor `seq` that may advance the applied
+    /// watermark. `None` = the stream has a gap (a lost envelope may hold
+    /// an outcome a later floor claims to cover), so the watermark stays
+    /// frozen until an `InstallLog` re-baselines it.
+    floor_expected: Option<u64>,
 }
 
 /// Counters for observability and the experiment harnesses.
@@ -199,6 +231,11 @@ pub struct TxnServerStats {
     pub aborts: u64,
     /// Transactions resolved by cooperative termination.
     pub ctp_resolutions: u64,
+    /// Snapshot reads served from this replica *as a backup* (readkit).
+    pub replica_reads: u64,
+    /// Backup reads declined because the applied watermark did not cover
+    /// the snapshot.
+    pub too_stale: u64,
 }
 
 /// One MILANA shard replica. Cloning shares the server.
@@ -254,6 +291,7 @@ impl TxnServer {
             backups: cfg.backups.clone(),
             serving: true,
             watermarks: WatermarkTracker::new(cfg.clients.iter().copied()),
+            floors: WatermarkTracker::new(cfg.clients.iter().copied()),
             lease_until: SimTime::ZERO,
             max_granted: SimTime::ZERO,
             known_primary: None,
@@ -261,6 +299,9 @@ impl TxnServer {
             replicating: std::collections::HashSet::new(),
             wm_relay: std::collections::BTreeMap::new(),
             migration: None,
+            floor_seq: 0,
+            floor_primary: cfg.primary_node,
+            floor_expected: Some(0),
         };
         let admission = Rc::new(loadkit::Admission::observed(
             cfg.tuning.admission.clone(),
@@ -332,6 +373,23 @@ impl TxnServer {
                         .map(|(client, ts)| TxnRequest::Watermark { client, ts })
                         .collect();
                     wire.extend(items);
+                    // Append the applied floor: every record with a commit
+                    // stamp below `ts` is in this envelope or an earlier
+                    // one, so a backup that saw the whole stream
+                    // (contiguous seq) owns complete chains below `ts`.
+                    // Appended last so same-envelope outcomes are applied
+                    // by the time the floor covering them is processed; an
+                    // empty tracker reports MAX, which is sent as ZERO (a
+                    // no-op floor) to keep `seq` contiguous.
+                    let floor = st.floors.watermark();
+                    let floor = if floor == Timestamp::MAX {
+                        Timestamp::ZERO
+                    } else {
+                        floor
+                    };
+                    let seq = st.floor_seq;
+                    st.floor_seq += 1;
+                    wire.push(TxnRequest::AppliedFloor { seq, ts: floor });
                     (st.backups.clone(), st.backups.len() / 2, wire)
                 };
                 if !backups.is_empty() {
@@ -370,7 +428,7 @@ impl TxnServer {
                 h.spawn_on(node, async move {
                     match incoming {
                         Incoming::One(req) => me2.handle_request(req, from, resp).await,
-                        Incoming::Batch(items) => me2.handle_batch(items, resp).await,
+                        Incoming::Batch(items) => me2.handle_batch(items, from, resp).await,
                     }
                 });
             }
@@ -411,6 +469,22 @@ impl TxnServer {
                 me.ctp_scan().await;
             }
         });
+        if let Some(every) = self.cfg.tuning.gossip_every {
+            let me = self.clone();
+            self.handle.spawn_on(self.cfg.addr.node, async move {
+                loop {
+                    me.handle.sleep(every).await;
+                    let idle = {
+                        let st = me.state.borrow();
+                        st.is_primary && st.serving && !st.backups.is_empty()
+                    };
+                    if idle {
+                        // An empty payload; the flush appends the floor.
+                        me.repl_batch.submit_nowait(TxnRequest::FloorSync);
+                    }
+                }
+            });
+        }
     }
 
     fn trace(&self, ev: obskit::TraceEvent) {
@@ -565,6 +639,19 @@ impl TxnServer {
                 };
                 resp.reply(r);
             }
+            TxnRequest::ReadAt { key, at } => {
+                let Ok((_permit, resp)) = self.admit(COST_GET, resp) else {
+                    return;
+                };
+                self.handle_read_at(key, at, resp).await
+            }
+            TxnRequest::AppliedFloor { seq, ts } => {
+                self.accept_floor(seq, ts, from);
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::FloorSync => {
+                resp.reply(TxnResponse::Ack);
+            }
             TxnRequest::Prepare {
                 txid,
                 ts_commit,
@@ -593,6 +680,10 @@ impl TxnServer {
             }
             TxnRequest::Watermark { client, ts } => {
                 self.merge_watermark(client, ts);
+                resp.reply(TxnResponse::Ack);
+            }
+            TxnRequest::FloorReport { client, ts } => {
+                self.merge_floor(client, ts);
                 resp.reply(TxnResponse::Ack);
             }
             TxnRequest::ReplPrepare(record) => {
@@ -643,10 +734,19 @@ impl TxnServer {
                         self.table.borrow_mut().mark_applied(r.txid);
                     }
                 }
-                self.state.borrow_mut().known_primary = Some(Addr {
-                    node: from.node,
-                    port: self.cfg.addr.port,
-                });
+                {
+                    let mut st = self.state.borrow_mut();
+                    st.known_primary = Some(Addr {
+                        node: from.node,
+                        port: self.cfg.addr.port,
+                    });
+                    // The merged log plus the committed-delta apply above
+                    // make this replica complete up to the sender's merge
+                    // point, healing any gap in the old floor stream. The
+                    // new primary's stream starts at seq 0; adopt it.
+                    st.floor_primary = Some(from.node);
+                    st.floor_expected = Some(0);
+                }
                 resp.reply(TxnResponse::Ack);
             }
             TxnRequest::LeaseGrant { until } => {
@@ -819,13 +919,13 @@ impl TxnServer {
     /// next replication flush — the piggyback that replaces the standalone
     /// per-replica watermark tick in the steady state.
     fn merge_watermark(&self, client: ClientId, ts: Timestamp) {
-        let mut wm = {
+        let (mut wm, primary) = {
             let mut st = self.state.borrow_mut();
             st.watermarks.update(client, ts);
             if st.is_primary && !st.backups.is_empty() {
                 st.wm_relay.insert(client, ts);
             }
-            st.watermarks.watermark()
+            (st.watermarks.watermark(), st.is_primary)
         };
         // The tunable GC window (§3.1): retain at least `history_window`
         // of versions for analytics readers.
@@ -833,9 +933,128 @@ impl TxnServer {
             let floor = Timestamp::from_sim(self.handle.now()).before(window);
             wm = wm.min(floor);
         }
+        if !primary {
+            // A backup prunes only below its *applied* watermark: a
+            // version above it may still be the newest one a covered
+            // snapshot elsewhere can read, and the chain completeness the
+            // floor promised must survive GC.
+            wm = wm.min(self.table.borrow().applied_watermark());
+        }
         if wm > Timestamp::ZERO && wm < Timestamp::MAX {
             self.backend.set_watermark(wm);
         }
+    }
+
+    /// Merges one client write-floor promise (readkit). On a primary the
+    /// tracker min *is* the applied watermark: its own chains are complete
+    /// by construction (every commit for the shard lands here first), and
+    /// the promise rules out any future stamp at or below the min — the
+    /// `do_prepare` floor fence rejects stragglers that would break it.
+    /// Backups ignore direct reports; their applied watermark only moves
+    /// along the primary's in-order `AppliedFloor` stream, which is what
+    /// makes it a completeness claim.
+    fn merge_floor(&self, client: ClientId, ts: Timestamp) {
+        let (floor, primary) = {
+            let mut st = self.state.borrow_mut();
+            st.floors.update(client, ts);
+            (st.floors.watermark(), st.is_primary)
+        };
+        if primary && floor < Timestamp::MAX {
+            self.table.borrow_mut().advance_applied_watermark(floor);
+        }
+    }
+
+    /// Backup side of an [`TxnRequest::AppliedFloor`] record: advance the
+    /// applied watermark iff the floor extends the contiguous stream from
+    /// the trusted primary (see the `floor_*` state field docs).
+    fn accept_floor(&self, seq: u64, ts: Timestamp, from: Addr) {
+        let mut st = self.state.borrow_mut();
+        if st.is_primary || st.floor_primary != Some(from.node) {
+            return;
+        }
+        match st.floor_expected {
+            Some(e) if seq == e => {
+                st.floor_expected = Some(seq + 1);
+                drop(st);
+                if ts < Timestamp::MAX {
+                    self.table.borrow_mut().advance_applied_watermark(ts);
+                }
+            }
+            // An older (duplicate) floor teaches nothing new; ignore.
+            Some(e) if seq < e => {}
+            // Gap: an envelope this floor covers never arrived. Keep
+            // applying data, but freeze the watermark until an
+            // `InstallLog` re-baselines the stream.
+            _ => st.floor_expected = None,
+        }
+    }
+
+    /// Serves a [`TxnRequest::ReadAt`] — a snapshot read addressed to this
+    /// specific replica. Primaries (including backups promoted since the
+    /// client routed) serve it as a plain get; backups answer from their
+    /// own chains when the applied watermark covers `at`, with the same
+    /// epoch fencing and prepared-flag piggybacking as the primary path.
+    async fn handle_read_at(&self, key: Key, at: Timestamp, resp: Responder) {
+        let primary = {
+            let st = self.state.borrow();
+            if !st.serving {
+                resp.reply(TxnResponse::NotReady);
+                return;
+            }
+            st.is_primary
+        };
+        if primary {
+            return self.handle_get(key, at, resp).await;
+        }
+        {
+            // Backups answer `Moved` exactly like primaries: serving a
+            // frozen pre-cutover copy would miss post-migration commits.
+            let map = self.map.borrow();
+            if self.moved_away(&map, std::iter::once(&key)) {
+                resp.reply(TxnResponse::Moved { epoch: map.epoch() });
+                return;
+            }
+        }
+        let wm = self.table.borrow().applied_watermark();
+        let depth = self.admission.in_flight();
+        if at > wm {
+            self.stats.borrow_mut().too_stale += 1;
+            resp.reply(TxnResponse::TooStale { watermark: wm });
+            return;
+        }
+        // The prepared flag has primary semantics here: `install` keeps
+        // the key markers live on backups, and any commit below the floor
+        // whose outcome this replica missed is still marked Prepared (the
+        // floor is only accepted once the outcome's envelope was), so
+        // local validation is poisoned exactly when it would be on the
+        // primary. Recording `at` in ts_latestRead is harmless: `at ≤ wm`
+        // is below every future commit stamp.
+        let prepared = self.table.borrow_mut().note_read(&key, at);
+        let inner = match self.backend.get_at(&key, at).await {
+            Ok(vv) => TxnResponse::Value {
+                version: vv.version,
+                value: vv.value,
+                prepared,
+            },
+            Err(StoreError::NotFound) => TxnResponse::NotFound,
+            Err(StoreError::SnapshotUnavailable(v)) => TxnResponse::SnapshotUnavailable(v),
+            Err(_) => TxnResponse::Capacity,
+        };
+        if matches!(inner, TxnResponse::Value { .. } | TxnResponse::NotFound) {
+            // Only data replies claim watermark coverage; the checker's
+            // stale_backup_read invariant audits exactly this claim.
+            self.stats.borrow_mut().replica_reads += 1;
+            self.trace(obskit::TraceEvent::ReadServed {
+                replica: self.cfg.addr.node.0 as u64,
+                watermark: wm.as_nanos(),
+                ts_begin: at.as_nanos(),
+            });
+        }
+        resp.reply(TxnResponse::FromReplica {
+            reply: Box::new(inner),
+            watermark: wm,
+            depth,
+        });
     }
 
     /// One coalesced envelope: client coordination traffic (prepares,
@@ -847,7 +1066,7 @@ impl TxnServer {
     /// watermarks, replication records) bypass admission entirely: refusing
     /// them only amplifies recovery. Items run concurrently; replies keep
     /// item order.
-    async fn handle_batch(&self, items: Vec<TxnRequest>, resp: Responder) {
+    async fn handle_batch(&self, items: Vec<TxnRequest>, from: Addr, resp: Responder) {
         let now = self.handle.now();
         let deadline_shed = (items
             .iter()
@@ -908,6 +1127,20 @@ impl TxnServer {
                         me.merge_watermark(client, ts);
                         TxnResponse::Ack
                     }
+                    TxnRequest::FloorReport { client, ts } => {
+                        me.merge_floor(client, ts);
+                        TxnResponse::Ack
+                    }
+                    // Floor acceptance is synchronous, so by the time this
+                    // envelope is acked the watermark is already raised;
+                    // same-envelope outcomes run as detached tasks, but
+                    // until they decide, their records stay Prepared and
+                    // poison reads via the piggybacked flag.
+                    TxnRequest::AppliedFloor { seq, ts } => {
+                        me.accept_floor(seq, ts, from);
+                        TxnResponse::Ack
+                    }
+                    TxnRequest::FloorSync => TxnResponse::Ack,
                     TxnRequest::ReplPrepare(record) => {
                         me.backup_install_prepare(record).await;
                         TxnResponse::Ack
@@ -1044,6 +1277,24 @@ impl TxnServer {
                     .counter("stale_epoch_prepares")
                     .inc();
                 return Some(TxnResponse::StaleEpoch { epoch: map.epoch() });
+            }
+        }
+        // Floor fence (readkit): a stamp at or below the certified write
+        // floor can only be a straggler — a prepare delayed in the network
+        // past its client's later floor reports (the client caps reports
+        // below every unacked commit, so a live commit never trips this).
+        // Installing it would mint a version below an `AppliedFloor`
+        // already streamed to backups, silently invalidating snapshot
+        // reads they served. Definite no-vote, nothing installed.
+        {
+            let floor = self.state.borrow().floors.watermark();
+            if floor < Timestamp::MAX && ts_commit <= floor {
+                self.stats.borrow_mut().prepares_aborted += 1;
+                self.trace(obskit::TraceEvent::PrepareVote {
+                    shard: self.cfg.shard.0 as u64,
+                    ok: false,
+                });
+                return Some(TxnResponse::Vote { ok: false });
             }
         }
         let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
@@ -1307,6 +1558,9 @@ impl TxnServer {
             st.is_primary = true;
             st.serving = false;
             st.backups = backups.clone();
+            // Start a fresh floor stream; the `InstallLog` below (step 5)
+            // re-baselines every backup to expect it from seq 0.
+            st.floor_seq = 0;
         }
         // 1. Merge transaction logs from a majority of replicas (our own
         //    table already holds everything replicated to us).

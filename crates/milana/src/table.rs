@@ -64,6 +64,12 @@ pub struct TxnTable {
     /// instead of replaying the whole committed history (which grows
     /// without bound and would make failover time scale with table size).
     applied: HashSet<TxnId>,
+    /// Applied watermark: the highest timestamp below which this replica's
+    /// version chains are known complete, so a snapshot read at any
+    /// `at < applied_wm` can be served here (readkit). Monotone by
+    /// construction, and stored with the records in persistent memory so
+    /// it survives restarts instead of regressing.
+    applied_wm: Timestamp,
 }
 
 impl TxnTable {
@@ -174,15 +180,48 @@ impl TxnTable {
         self.records.get(&txid)
     }
 
-    /// Inserts or overwrites a record without touching key metadata (used
-    /// by backups, which keep no key metadata, and by log installation).
+    /// Inserts or overwrites a record, maintaining the key `prepared`
+    /// markers (used by backups and by log installation). Backups need the
+    /// markers live — not just rebuilt at recovery — because backup
+    /// snapshot reads piggyback the same prepared flag as primary gets.
     pub fn install(&mut self, record: TxnRecord) {
         match self.records.get_mut(&record.txid) {
             // Never regress a decided status back to Prepared.
             Some(existing) if existing.status != TxnStatus::Prepared => {}
             _ => {
+                match record.status {
+                    TxnStatus::Prepared => {
+                        for (key, _) in &record.writes {
+                            self.keys.entry(key.clone()).or_default().prepared =
+                                Some((record.txid, record.ts_commit));
+                        }
+                    }
+                    _ => {
+                        for (key, _) in &record.writes {
+                            if let Some(meta) = self.keys.get_mut(key) {
+                                if meta.prepared.map(|(t, _)| t) == Some(record.txid) {
+                                    meta.prepared = None;
+                                }
+                            }
+                        }
+                    }
+                }
                 self.records.insert(record.txid, record);
             }
+        }
+    }
+
+    /// This replica's applied watermark (see the field docs).
+    pub fn applied_watermark(&self) -> Timestamp {
+        self.applied_wm
+    }
+
+    /// Raises the applied watermark; lower values are ignored so the
+    /// watermark never regresses (late or replayed floor records must not
+    /// shrink the servable window).
+    pub fn advance_applied_watermark(&mut self, ts: Timestamp) {
+        if ts > self.applied_wm {
+            self.applied_wm = ts;
         }
     }
 
@@ -395,6 +434,34 @@ mod tests {
         t.rebuild_key_meta();
         assert!(!t.validate(&[], &[k(7)], Timestamp(99), lc10).is_success());
         assert!(t.validate(&[], &[k(8)], Timestamp(99), lc10).is_success());
+    }
+
+    #[test]
+    fn applied_watermark_is_monotone() {
+        let mut t = TxnTable::new();
+        assert_eq!(t.applied_watermark(), Timestamp::ZERO);
+        t.advance_applied_watermark(Timestamp(40));
+        assert_eq!(t.applied_watermark(), Timestamp(40));
+        // A late, lower floor (replayed gossip, clock step) is ignored.
+        t.advance_applied_watermark(Timestamp(25));
+        assert_eq!(t.applied_watermark(), Timestamp(40));
+        t.advance_applied_watermark(Timestamp(41));
+        assert_eq!(t.applied_watermark(), Timestamp(41));
+    }
+
+    #[test]
+    fn install_maintains_prepared_markers() {
+        let mut t = TxnTable::new();
+        // A replicated prepare marks the key held immediately (backup reads
+        // must see the prepared flag without waiting for a recovery-time
+        // rebuild) …
+        t.install(record(1, 15, &[7]));
+        assert!(t.note_read(&k(7), Timestamp(20)));
+        // … and the replicated decision releases it.
+        let mut decided = record(1, 15, &[7]);
+        decided.status = TxnStatus::Committed;
+        t.install(decided);
+        assert!(!t.note_read(&k(7), Timestamp(20)));
     }
 
     #[test]

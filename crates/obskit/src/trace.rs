@@ -295,6 +295,18 @@ pub enum TraceEvent {
         /// Releasing node id.
         owner: u64,
     },
+    /// A snapshot read was served by a *backup* replica (readkit). The
+    /// carried watermark is the replica's applied watermark at serve
+    /// time; the checker's `stale_backup_read` invariant requires
+    /// `watermark >= ts_begin` on every such event.
+    ReadServed {
+        /// Serving replica's node id.
+        replica: u64,
+        /// The replica's applied watermark (ns).
+        watermark: u64,
+        /// The snapshot timestamp served (ns).
+        ts_begin: u64,
+    },
 }
 
 impl TraceEvent {
@@ -323,6 +335,7 @@ impl TraceEvent {
             TraceEvent::MigrationCopy { .. } => "migration_copy",
             TraceEvent::ShardOwned { .. } => "shard_owned",
             TraceEvent::ShardReleased { .. } => "shard_released",
+            TraceEvent::ReadServed { .. } => "read_served",
         }
     }
 
@@ -444,6 +457,14 @@ impl TraceEvent {
                 .field("shard", Json::U64(shard))
                 .field("epoch", Json::U64(epoch))
                 .field("owner", Json::U64(owner)),
+            TraceEvent::ReadServed {
+                replica,
+                watermark,
+                ts_begin,
+            } => doc
+                .field("replica", Json::U64(replica))
+                .field("watermark", Json::U64(watermark))
+                .field("ts_begin", Json::U64(ts_begin)),
         }
     }
 
@@ -726,6 +747,11 @@ mod tests {
                 epoch: 3,
                 owner: 0,
             },
+            TraceEvent::ReadServed {
+                replica: 5,
+                watermark: 40,
+                ts_begin: 30,
+            },
         ];
         let n = evs.len();
         for (i, ev) in evs.into_iter().enumerate() {
@@ -756,6 +782,7 @@ mod tests {
             "migration_copy",
             "shard_owned",
             "shard_released",
+            "read_served",
         ] {
             assert!(dump.contains(&format!(r#""ev":"{name}""#)), "{name}");
             assert_eq!(t.count_of(name), 1, "{name}");

@@ -1,0 +1,277 @@
+//! Client-side cache of immutable versions.
+//!
+//! A version `(ts, client)` of a key never changes once written — MVCC
+//! writes only ever *add* versions — so caching `(key, version) → value`
+//! is safe forever. What the cache must get right is *which snapshot* a
+//! cached entry may answer: entry `v` answers a read at `at` only if `v`
+//! is the newest version at or below `at`. Each entry therefore carries a
+//! `known_upper` bound: a server confirmed `v` was the newest version
+//! `≤ known_upper`, so any `at` in `[v.ts, known_upper]` is a sound hit.
+//! New versions always carry stamps above every replica's applied
+//! watermark at write time, so hits at or below the client's observed
+//! watermark floor can never be stale; hits above it are validated by OCC
+//! like any other read (the caller records the version in the read-set).
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+use timesync::{Timestamp, Version};
+
+/// One cached version and the snapshot window it may answer.
+#[derive(Debug, Clone)]
+pub struct CacheEntry<V> {
+    /// The version stamp of the cached value.
+    pub version: Version,
+    /// The cached value (immutable for this version).
+    pub value: V,
+    /// Highest `at` for which a server confirmed `version` is the newest
+    /// version `≤ at`.
+    pub known_upper: Timestamp,
+}
+
+/// A bounded LRU of key → newest-known version.
+///
+/// Capacity 0 disables the cache (lookups miss, inserts drop). Recency is
+/// a logical tick; eviction removes the least recently used entry via a
+/// `BTreeMap` index, keeping behavior deterministic under simulation.
+#[derive(Debug)]
+pub struct VersionCache<K: Hash + Eq + Ord + Clone, V> {
+    cap: usize,
+    tick: u64,
+    entries: HashMap<K, (CacheEntry<V>, u64)>,
+    lru: BTreeMap<u64, K>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Hash + Eq + Ord + Clone, V> VersionCache<K, V> {
+    /// A cache holding at most `cap` entries.
+    pub fn new(cap: usize) -> VersionCache<K, V> {
+        VersionCache {
+            cap,
+            tick: 0,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &K) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, t)) = self.entries.get_mut(key) {
+            self.lru.remove(t);
+            *t = tick;
+            self.lru.insert(tick, key.clone());
+        }
+    }
+
+    /// Looks up `key` for a snapshot read at `at`; a hit requires
+    /// `version.ts ≤ at ≤ known_upper`.
+    pub fn lookup(&mut self, key: &K, at: Timestamp) -> Option<&CacheEntry<V>> {
+        let hit = match self.entries.get(key) {
+            Some((e, _)) => e.version.ts <= at && at <= e.known_upper,
+            None => false,
+        };
+        if !hit {
+            self.misses += 1;
+            return None;
+        }
+        self.hits += 1;
+        self.touch(key);
+        self.entries.get(key).map(|(e, _)| e)
+    }
+
+    /// Looks up the newest cached version of `key` with `version.ts ≤ at`,
+    /// ignoring the confirmed window — a *speculative* hit. The entry may
+    /// have been superseded by a version the client has not seen, so the
+    /// caller must validate the returned version remotely (OCC) before
+    /// trusting the read.
+    pub fn lookup_latest(&mut self, key: &K, at: Timestamp) -> Option<&CacheEntry<V>> {
+        let hit = match self.entries.get(key) {
+            Some((e, _)) => e.version.ts <= at,
+            None => false,
+        };
+        if !hit {
+            self.misses += 1;
+            return None;
+        }
+        self.hits += 1;
+        self.touch(key);
+        self.entries.get(key).map(|(e, _)| e)
+    }
+
+    /// Records that a server confirmed `version` of `key` is the newest
+    /// version `≤ known_upper`. Newer versions replace older ones; a
+    /// re-confirmation of the cached version only widens its window.
+    pub fn insert(&mut self, key: K, version: Version, value: V, known_upper: Timestamp) {
+        if self.cap == 0 || known_upper < version.ts {
+            return;
+        }
+        if let Some((e, _)) = self.entries.get_mut(&key) {
+            if version > e.version {
+                e.version = version;
+                e.value = value;
+                e.known_upper = known_upper;
+            } else if version == e.version {
+                e.known_upper = e.known_upper.max(known_upper);
+            }
+            // An older version teaches us nothing: keep the newer entry.
+            self.touch(&key);
+            return;
+        }
+        while self.entries.len() >= self.cap {
+            let Some((_, victim)) = self.lru.pop_first() else {
+                break;
+            };
+            self.entries.remove(&victim);
+        }
+        self.tick += 1;
+        self.lru.insert(self.tick, key.clone());
+        self.entries.insert(
+            key,
+            (
+                CacheEntry {
+                    version,
+                    value,
+                    known_upper,
+                },
+                self.tick,
+            ),
+        );
+    }
+
+    /// Drops `key` (used when OCC validation proves the entry stale).
+    pub fn remove(&mut self, key: &K) {
+        if let Some((_, t)) = self.entries.remove(key) {
+            self.lru.remove(&t);
+        }
+    }
+
+    /// Drops entries whose window lies entirely below `floor` — the
+    /// watermark-driven GC invalidation hook. Entries at or above the
+    /// floor stay: their versions are still readable on every replica.
+    pub fn invalidate_below(&mut self, floor: Timestamp) {
+        let dead: Vec<K> = self
+            .entries
+            .iter()
+            .filter(|(_, (e, _))| e.known_upper < floor)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in dead {
+            self.remove(&k);
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timesync::ClientId;
+
+    fn ver(ts: u64) -> Version {
+        Version::new(Timestamp(ts), ClientId(1))
+    }
+
+    fn cache() -> VersionCache<u64, &'static str> {
+        VersionCache::new(4)
+    }
+
+    #[test]
+    fn hit_requires_window() {
+        let mut c = cache();
+        c.insert(1, ver(10), "a", Timestamp(20));
+        assert!(c.lookup(&1, Timestamp(5)).is_none(), "below version");
+        assert!(c.lookup(&1, Timestamp(25)).is_none(), "above known_upper");
+        let e = c.lookup(&1, Timestamp(15)).expect("in window");
+        assert_eq!(e.value, "a");
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+    }
+
+    #[test]
+    fn newer_version_replaces_older() {
+        let mut c = cache();
+        c.insert(1, ver(10), "old", Timestamp(20));
+        c.insert(1, ver(30), "new", Timestamp(30));
+        assert!(c.lookup(&1, Timestamp(15)).is_none(), "old window gone");
+        assert_eq!(c.lookup(&1, Timestamp(30)).unwrap().value, "new");
+        // A late re-read of the old version must not clobber the new one.
+        c.insert(1, ver(10), "old", Timestamp(20));
+        assert_eq!(c.lookup(&1, Timestamp(30)).unwrap().value, "new");
+    }
+
+    #[test]
+    fn reconfirmation_widens_window() {
+        let mut c = cache();
+        c.insert(1, ver(10), "a", Timestamp(20));
+        c.insert(1, ver(10), "a", Timestamp(50));
+        assert!(c.lookup(&1, Timestamp(40)).is_some());
+        // Windows never shrink.
+        c.insert(1, ver(10), "a", Timestamp(30));
+        assert!(c.lookup(&1, Timestamp(50)).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = cache();
+        for k in 0..4u64 {
+            c.insert(k, ver(10), "x", Timestamp(20));
+        }
+        c.lookup(&0, Timestamp(15)); // 0 is now most recent
+        c.insert(9, ver(10), "x", Timestamp(20)); // evicts 1
+        assert!(c.lookup(&1, Timestamp(15)).is_none());
+        assert!(c.lookup(&0, Timestamp(15)).is_some());
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn lookup_latest_ignores_the_window() {
+        let mut c = cache();
+        c.insert(1, ver(10), "a", Timestamp(20));
+        // Past the confirmed window: the exact lookup misses, the
+        // speculative one still returns the newest known version.
+        assert!(c.lookup(&1, Timestamp(100)).is_none());
+        assert_eq!(c.lookup_latest(&1, Timestamp(100)).unwrap().value, "a");
+        // But never a version from the snapshot's future.
+        assert!(c.lookup_latest(&1, Timestamp(5)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c: VersionCache<u64, &'static str> = VersionCache::new(0);
+        c.insert(1, ver(10), "a", Timestamp(20));
+        assert!(c.lookup(&1, Timestamp(15)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_below_drops_dead_windows() {
+        let mut c = cache();
+        c.insert(1, ver(10), "a", Timestamp(20));
+        c.insert(2, ver(10), "b", Timestamp(90));
+        c.invalidate_below(Timestamp(50));
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(&2, Timestamp(60)).is_some());
+    }
+}

@@ -1,0 +1,26 @@
+//! readkit — watermark-consistent read scaling.
+//!
+//! The paper's precision-time version stamps make snapshot reads
+//! *location-independent*: a read at `ts_begin` returns the same value from
+//! any replica whose **applied watermark** — the highest timestamp below
+//! which its version chains are complete — covers `ts_begin`. This crate
+//! holds the two client-side building blocks that exploit that property:
+//!
+//! * [`ReadRoute`] / [`ReplicaView`] — a pluggable routing policy over the
+//!   replicas of a shard, fed by the watermark and queue-depth metadata
+//!   that replicas piggyback on read replies.
+//! * [`VersionCache`] — a bounded LRU of `(key → version, value)` entries.
+//!   Versions are immutable by construction (a key's value at version `v`
+//!   never changes; writes create new versions), so a cached entry can
+//!   serve any snapshot `at` that falls inside the window in which the
+//!   entry is known to be the newest version (`version.ts ≤ at ≤
+//!   known_upper`).
+//!
+//! Neither type performs I/O; milana's client owns the RPC plumbing and
+//! consults these as pure policy/state.
+
+mod cache;
+mod route;
+
+pub use cache::{CacheEntry, VersionCache};
+pub use route::{ReadRoute, ReplicaView};

@@ -29,6 +29,13 @@ pub trait TxnSystem: Clone + 'static {
 
     /// Starts a transaction.
     fn begin(&self) -> Self::Handle;
+
+    /// Starts a transaction the workload knows to be read-only, letting
+    /// systems with bounded-staleness snapshot support open it slightly
+    /// in the past (backup-served reads). Defaults to [`TxnSystem::begin`].
+    fn begin_read_only(&self) -> Self::Handle {
+        self.begin()
+    }
 }
 
 /// Operations of an in-flight transaction.
@@ -48,6 +55,10 @@ impl TxnSystem for TxnClient {
 
     fn begin(&self) -> Txn {
         TxnClient::begin(self)
+    }
+
+    fn begin_read_only(&self) -> Txn {
+        TxnClient::begin_snapshot(self)
     }
 }
 
@@ -172,7 +183,11 @@ pub async fn run_instance<S: TxnSystem>(
                 return;
             }
             attempts += 1;
-            let mut txn = sys.begin();
+            let mut txn = if script.writes.is_empty() {
+                sys.begin_read_only()
+            } else {
+                sys.begin()
+            };
             let mut failed: Option<TxnError> = None;
             for key in &script.reads {
                 match txn.get(key).await {
@@ -273,7 +288,11 @@ pub async fn run_open_loop<S: TxnSystem>(
             let mut attempts = 0u32;
             loop {
                 attempts += 1;
-                let mut txn = sys.begin();
+                let mut txn = if script.writes.is_empty() {
+                    sys.begin_read_only()
+                } else {
+                    sys.begin()
+                };
                 let mut failed: Option<TxnError> = None;
                 for key in &script.reads {
                     if let Err(e) = txn.get(key).await {

@@ -103,6 +103,10 @@ pub struct ShardServer {
     admission: Admission,
     rpc: RpcClient,
     watermarks: Rc<std::cell::RefCell<WatermarkTracker>>,
+    /// High-water mark of GC floors this replica has acted on. Explicitly
+    /// monotone: late or regressing reports (clock steps, respawns reusing
+    /// the backend) can never pull it back.
+    applied_wm: Rc<std::cell::Cell<Timestamp>>,
     /// Primary: next sequence number to assign (ordered mode).
     next_seq: Rc<std::cell::Cell<u64>>,
     /// Primary: sequence stamp for [`obskit::TraceEvent::ReplicaAck`]
@@ -154,6 +158,7 @@ impl ShardServer {
             watermarks: Rc::new(std::cell::RefCell::new(WatermarkTracker::new(
                 cfg.clients.iter().copied(),
             ))),
+            applied_wm: Rc::new(std::cell::Cell::new(Timestamp::ZERO)),
             cfg,
             next_seq: Rc::new(std::cell::Cell::new(0)),
             trace_seq,
@@ -390,8 +395,18 @@ impl ShardServer {
             wm = wm.min(floor);
         }
         if wm > Timestamp::ZERO && wm < Timestamp::MAX {
+            if wm > self.applied_wm.get() {
+                self.applied_wm.set(wm);
+            }
             self.backend.set_watermark(wm);
         }
+    }
+
+    /// The highest GC floor this replica has applied. Monotone for the
+    /// lifetime of the server handle — snapshot readers may rely on it
+    /// never regressing.
+    pub fn applied_watermark(&self) -> Timestamp {
+        self.applied_wm.get()
     }
 
     /// Replicates one record to the backups, through the group-commit
@@ -510,5 +525,55 @@ impl ShardServer {
         } else {
             SemelResponse::NoMajority
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim::BackendKind;
+    use simkit::Sim;
+
+    fn test_server(handle: &SimHandle, clients: Vec<ClientId>) -> ShardServer {
+        let backend = Backend::new(BackendKind::Mftl, handle, flashsim::NandConfig::default());
+        ShardServer::spawn(
+            handle,
+            backend,
+            ServerConfig {
+                shard: ShardId(0),
+                addr: Addr::new(simkit::net::NodeId(0), 0),
+                backups: Vec::new(),
+                is_primary: true,
+                repl_timeout: Duration::from_millis(10),
+                clients,
+                replication: ReplicationMode::Inconsistent,
+                history_window: None,
+                admission: AdmissionConfig::default(),
+                batch: BatchConfig::default(),
+                obs: obskit::Obs::new(),
+                map: None,
+            },
+        )
+    }
+
+    #[test]
+    fn applied_watermark_never_regresses() {
+        let mut sim = Sim::new(7);
+        let h = sim.handle();
+        let server = test_server(&h, vec![ClientId(0), ClientId(1)]);
+        sim.block_on(async move {
+            assert_eq!(server.applied_watermark(), Timestamp::ZERO);
+            server.merge_watermark(ClientId(0), Timestamp(30));
+            server.merge_watermark(ClientId(1), Timestamp(10));
+            assert_eq!(server.applied_watermark(), Timestamp(10));
+            // Reports only ever raise the floor, even arriving out of order
+            // (a stepped clock re-sending an old report, say).
+            server.merge_watermark(ClientId(1), Timestamp(5));
+            assert_eq!(server.applied_watermark(), Timestamp(10));
+            server.merge_watermark(ClientId(1), Timestamp(40));
+            assert_eq!(server.applied_watermark(), Timestamp(30));
+            server.merge_watermark(ClientId(0), Timestamp(25));
+            assert_eq!(server.applied_watermark(), Timestamp(30));
+        });
     }
 }

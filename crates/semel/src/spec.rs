@@ -95,6 +95,16 @@ pub struct ClusterSpec {
     pub obs: obskit::Obs,
     /// Live-migration knobs (used when a harness triggers a rebalance).
     pub rebalance: RebalanceSpec,
+    /// Read-scaling hook (`read_route`): which replica serves snapshot
+    /// reads. Non-primary routes are honored by MILANA clients only.
+    pub read_route: readkit::ReadRoute,
+    /// Read-scaling hook (`cache_entries`): capacity of each client's
+    /// version cache; 0 disables it.
+    pub cache_entries: usize,
+    /// Read-scaling hook (`watermark_gossip_interval`): how often an idle
+    /// primary pushes its applied-watermark floor to backups. `None`
+    /// leaves floors riding organic replication traffic only.
+    pub watermark_gossip: Option<Duration>,
 }
 
 impl Default for ClusterSpec {
@@ -129,6 +139,9 @@ impl ClusterSpec {
             batch: batchkit::BatchConfig::default(),
             obs: obskit::Obs::new(),
             rebalance: RebalanceSpec::default(),
+            read_route: readkit::ReadRoute::PrimaryOnly,
+            cache_entries: 4096,
+            watermark_gossip: None,
         }
     }
 
@@ -177,6 +190,24 @@ impl ClusterSpec {
     /// Sets the live-migration knobs.
     pub fn rebalance(mut self, rebalance: RebalanceSpec) -> Self {
         self.rebalance = rebalance;
+        self
+    }
+
+    /// Routes snapshot reads per the given policy (MILANA clients).
+    pub fn read_routed(mut self, route: readkit::ReadRoute) -> Self {
+        self.read_route = route;
+        self
+    }
+
+    /// Sets each client's version-cache capacity (0 disables).
+    pub fn cached_reads(mut self, entries: usize) -> Self {
+        self.cache_entries = entries;
+        self
+    }
+
+    /// Enables idle watermark-floor gossip from primaries to backups.
+    pub fn gossiped_watermarks(mut self, every: Duration) -> Self {
+        self.watermark_gossip = Some(every);
         self
     }
 }

@@ -10,7 +10,9 @@ pub use flashsim;
 pub use loadkit;
 pub use milana;
 pub use obskit;
+pub use readkit;
 pub use retwis;
 pub use semel;
+pub use shardkit;
 pub use simkit;
 pub use timesync;
