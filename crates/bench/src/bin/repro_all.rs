@@ -48,6 +48,11 @@ fn main() {
     let rs_cfg = bench::readscale::ReadScaleConfig::for_scale(scale);
     let rs_out = bench::readscale::run(&rs_cfg, 1);
     bench::readscale::print(&rs_out);
+    println!();
+    let rec_cfg = bench::recovery::RecoveryConfig::for_scale(scale);
+    let rec_trials = bench::recovery::run(&rec_cfg);
+    let rec_campaign = bench::recovery::run_powerfail_campaign(&rec_cfg);
+    bench::recovery::print(&rec_cfg, &rec_trials, &rec_campaign);
     artifact::maybe_write(
         "all",
         scale,
@@ -71,7 +76,11 @@ fn main() {
                 "rebalance",
                 bench::rebalance::to_json(&rb_run, &rb_campaign, 1),
             )
-            .field("readscale", bench::readscale::to_json(&rs_out)),
+            .field("readscale", bench::readscale::to_json(&rs_out))
+            .field(
+                "recovery",
+                bench::recovery::to_json(&rec_cfg, &rec_trials, &rec_campaign),
+            ),
     );
     bench::common::maybe_dump_trace();
 }

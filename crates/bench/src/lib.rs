@@ -12,6 +12,7 @@
 //! | Group commit / RPC coalescing | [`batch`] | `repro_batch` |
 //! | Elastic resharding under load | [`rebalance`] | `repro_rebalance` |
 //! | Read scaling (backup snapshot reads) | [`readscale`] | `repro_readscale` |
+//! | Cold-restart recovery (mount scan + MTTR) | [`recovery`] | `repro_recovery` |
 //!
 //! Ablations of the paper's design choices live in [`ablations`]
 //! (`repro_ablations`): relaxed vs ordered replication, the clock-precision
@@ -35,4 +36,5 @@ pub mod fig8;
 pub mod fig9;
 pub mod readscale;
 pub mod rebalance;
+pub mod recovery;
 pub mod table1;

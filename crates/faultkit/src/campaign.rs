@@ -52,6 +52,17 @@ pub struct CampaignConfig {
     /// [`crate::plan::Fault::Overload`] bursts, exercising the admission
     /// and retry plane specifically.
     pub overload_only: bool,
+    /// Durability campaign: the plan interleaves power failures (cold
+    /// restarts with torn flash state) with warm crashes and partitions
+    /// ([`crate::plan::FaultPlan::random_powerfail`]), exercising mount
+    /// scans, anti-entropy catch-up, and the `lost_acked_write` checker.
+    pub powerfail: bool,
+    /// Seeded-bug mode: cold-restarting replicas adopt the mounted floor
+    /// as their applied watermark and serve immediately, skipping
+    /// anti-entropy catch-up — acked writes that were still in volatile
+    /// flash queues at the power failure silently vanish, and the checker
+    /// must catch it (`lost_acked_write` / `stale_backup_read`).
+    pub skip_durability: bool,
     /// Admission capacity (cost units) per server. Sized so the steady
     /// counter workload never sheds but nemesis overload bursts do.
     pub admission_capacity: u64,
@@ -74,6 +85,8 @@ impl Default for CampaignConfig {
             trace_capacity: 0,
             skip_validation: false,
             overload_only: false,
+            powerfail: false,
+            skip_durability: false,
             admission_capacity: 32,
             backup_reads: false,
         }
@@ -254,6 +267,7 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     };
     cluster_cfg.tuning.obs = obs.clone();
     cluster_cfg.tuning.skip_validation.set(cfg.skip_validation);
+    cluster_cfg.tuning.skip_durability.set(cfg.skip_durability);
     cluster_cfg.tuning.admission.capacity = cfg.admission_capacity;
     cluster_cfg.client_cfg.obs = obs.clone();
     if cfg.backup_reads {
@@ -342,6 +356,8 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     };
     let plan = if cfg.overload_only {
         FaultPlan::random_overload(seed, cfg.faults, shape)
+    } else if cfg.powerfail {
+        FaultPlan::random_powerfail(seed, cfg.faults, shape)
     } else {
         FaultPlan::random(seed, cfg.faults, shape)
     };
@@ -409,12 +425,14 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     // Conservation: every acknowledged increment survived, and nothing
     // appeared out of thin air (unknown-outcome attempts may legitimately
     // commit via CTP; in-flight transactions at stop add at most one per
-    // client). With validation disabled the workload genuinely loses
-    // updates, so conservation is only meaningful in correct mode.
+    // client). With validation or durability disabled the workload
+    // genuinely loses updates, so conservation is only meaningful in
+    // correct mode (the seeded bugs are the *checker's* to catch).
     let conservation_ok = match audit_total {
         None => false,
         Some(total) => {
             cfg.skip_validation
+                || cfg.skip_durability
                 || (total >= acked && total <= acked + unknowns + cluster.clients.len() as u64)
         }
     };
@@ -538,6 +556,75 @@ mod tests {
             o.replica_reads > 0,
             "backup-reads campaign never exercised a replica read: {o:?}"
         );
+    }
+
+    #[test]
+    fn powerfail_campaign_is_clean_and_deterministic() {
+        // Interleave power failures (cold restarts: flash mount scan +
+        // anti-entropy catch-up) with warm crashes and partitions while
+        // backups serve snapshot reads: every durability invariant
+        // (`lost_acked_write`, `stale_backup_read`, conservation) must
+        // hold, and the run must be byte-stable.
+        let cfg = CampaignConfig {
+            seeds: vec![5],
+            faults: 8,
+            // Wide enough that not every key is rewritten within a
+            // recovery window: a skipped catch-up would leave observable
+            // holes (see `durability_skip_is_caught_by_the_checker`, the
+            // seeded-fraud twin of this test).
+            keys: 16,
+            backup_reads: true,
+            powerfail: true,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        assert_eq!(a.violation_count(), 0, "{:?}", a.outcomes[0].violations);
+        let o = &a.outcomes[0];
+        assert!(o.conservation_ok, "audit failed: {o:?}");
+        assert!(o.acked > 0, "workload made no progress");
+        assert!(
+            o.fault_counts.contains_key("power_fail"),
+            "plan never power-failed a primary: {:?}",
+            o.fault_counts
+        );
+    }
+
+    #[test]
+    fn durability_skip_is_caught_by_the_checker() {
+        // Seeded durability fraud: cold-restarting replicas adopt the
+        // mounted floor as their applied watermark, splice blindly into
+        // the live floor stream, and serve immediately without
+        // anti-entropy catch-up. Acked writes still in volatile flash
+        // queues at the power failure (and everything committed during
+        // the outage that retries don't redeliver) vanish from the
+        // replica, and the checker must flag the loss. Same seed, shape,
+        // and keyspace as `powerfail_campaign_is_clean_and_deterministic`
+        // — the only difference is the skipped recovery protocol.
+        let cfg = CampaignConfig {
+            seeds: vec![5],
+            faults: 8,
+            keys: 16,
+            backup_reads: true,
+            powerfail: true,
+            skip_durability: true,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg);
+        let o = &report.outcomes[0];
+        assert!(
+            o.violations.iter().any(|v| v.class == "lost_acked_write"),
+            "checker missed the seeded durability bug: {:?}",
+            o.violations
+        );
+        // The offending slice names the involved transactions.
+        let v = o
+            .violations
+            .iter()
+            .find(|v| v.class == "lost_acked_write")
+            .expect("lost_acked_write violation");
+        assert!(!v.trace_slice.is_empty());
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 
-use obskit::{AbortClass, TraceEvent};
+use obskit::{AbortClass, RecoveryPhase, TraceEvent};
 
 /// The preload version stamp installed by cluster bulk-loading.
 const PRELOAD_TS: u64 = 1;
@@ -44,6 +44,8 @@ const PRELOAD_CLIENT: u64 = u32::MAX as u64;
 /// One observed read: which version of which key a transaction saw.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReadObs {
+    /// Trace time the read was observed (ns).
+    pub at: u64,
     /// Key id (`Key::trace_id`).
     pub key: u64,
     /// Commit timestamp of the observed version.
@@ -120,6 +122,22 @@ pub struct ReadServedObs {
     pub ts_begin: u64,
 }
 
+/// One recovery-lifecycle step a replica traced around a power failure
+/// and cold restart (`RecoveryStep` events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryObs {
+    /// Trace time (ns).
+    pub at: u64,
+    /// Recovering replica's node id.
+    pub node: u64,
+    /// Shard the replica belongs to.
+    pub shard: u64,
+    /// The recovery phase entered.
+    pub phase: RecoveryPhase,
+    /// Phase-specific detail (torn pages, keys fetched, floor ns).
+    pub detail: u64,
+}
+
 /// The reconstructed history plus the raw events it came from.
 #[derive(Debug, Clone, Default)]
 pub struct History {
@@ -131,6 +149,9 @@ pub struct History {
     /// Backup-served snapshot reads in trace order (read routing only;
     /// empty when every read went to a primary).
     pub reads_served: Vec<ReadServedObs>,
+    /// Recovery steps in trace order (power-fail campaigns only; empty
+    /// when no replica ever cold-restarted).
+    pub recovery: Vec<RecoveryObs>,
     /// Ring evictions reported by the tracer; non-zero means the history
     /// is a suffix and visibility checks are skipped.
     pub dropped: u64,
@@ -146,6 +167,7 @@ impl History {
         let mut txns = Vec::new();
         let mut ownership = Vec::new();
         let mut reads_served = Vec::new();
+        let mut recovery = Vec::new();
         let close = |open: &mut HashMap<u64, TxnView>,
                      txns: &mut Vec<TxnView>,
                      client: u64,
@@ -193,6 +215,7 @@ impl History {
                     if let Some(t) = open.get_mut(&client) {
                         t.end_at = at;
                         t.reads.push(ReadObs {
+                            at,
                             key,
                             ver_ts,
                             ver_client,
@@ -260,6 +283,18 @@ impl History {
                     watermark,
                     ts_begin,
                 }),
+                TraceEvent::RecoveryStep {
+                    node,
+                    shard,
+                    phase,
+                    detail,
+                } => recovery.push(RecoveryObs {
+                    at,
+                    node,
+                    shard,
+                    phase,
+                    detail,
+                }),
                 _ => {}
             }
         }
@@ -276,6 +311,7 @@ impl History {
             txns,
             ownership,
             reads_served,
+            recovery,
             dropped,
             events,
         }
@@ -361,6 +397,14 @@ pub enum ViolationClass {
     /// A backup replica served a snapshot read at a timestamp its applied
     /// watermark did not cover — it should have answered `TooStale`.
     StaleBackupRead,
+    /// A read missed an acknowledged commit *after* some replica finished
+    /// a cold restart — the durability invariant: every commit acked
+    /// under f-coverage must survive every subsequent power failure and
+    /// cold restart of up to f replicas. The lost-ack shape is identical
+    /// to [`ViolationClass::ReplicationLostAck`]; the cold restart
+    /// preceding the reader pins the blame on the recovery path (a mount
+    /// scan that resurrected stale state, or a catch-up that was skipped).
+    LostAckedWrite,
 }
 
 impl ViolationClass {
@@ -373,6 +417,7 @@ impl ViolationClass {
             ViolationClass::PhantomVersion => "phantom_version",
             ViolationClass::DualOwnership => "dual_ownership",
             ViolationClass::StaleBackupRead => "stale_backup_read",
+            ViolationClass::LostAckedWrite => "lost_acked_write",
         }
     }
 }
@@ -546,13 +591,36 @@ impl<'a> Checker<'a> {
                     .last();
                 if let Some(&(wts, wclient, wi)) = newest_acked {
                     if wts > r.ver_ts {
+                        // A cold restart that finished (Serving) before the
+                        // read was observed pins the lost ack on the
+                        // recovery path: the acked write did not survive
+                        // the power failure. Without one, it is a plain
+                        // replication lost-ack (e.g. a failover dropped
+                        // the commit).
+                        let cold_restarted = h
+                            .recovery
+                            .iter()
+                            .any(|rs| rs.phase == RecoveryPhase::Serving && rs.at <= r.at);
+                        let class = if cold_restarted {
+                            ViolationClass::LostAckedWrite
+                        } else {
+                            ViolationClass::ReplicationLostAck
+                        };
                         violations.push(Violation {
-                            class: ViolationClass::ReplicationLostAck,
+                            class,
                             description: format!(
                                 "txn #{ri} (client {}) read key {} at version ts {} \
                                  although txn #{wi} (client {wclient}) had its write \
-                                 at ts {wts} acknowledged before the reader began",
-                                reader.client, r.key, r.ver_ts
+                                 at ts {wts} acknowledged before the reader began{}",
+                                reader.client,
+                                r.key,
+                                r.ver_ts,
+                                if cold_restarted {
+                                    " (a cold restart served before the read: the \
+                                     acked write did not survive the power failure)"
+                                } else {
+                                    ""
+                                }
                             ),
                             txns: vec![ri, wi],
                         });
@@ -926,6 +994,70 @@ mod tests {
             violations
                 .iter()
                 .any(|v| v.class == ViolationClass::ReplicationLostAck),
+            "{violations:?}"
+        );
+    }
+
+    fn serving(node: u64) -> TraceEvent {
+        TraceEvent::RecoveryStep {
+            node,
+            shard: 0,
+            phase: RecoveryPhase::Serving,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn lost_ack_after_cold_restart_is_a_durability_violation() {
+        // Identical shape to `lost_acked_commit_is_detected`, but a
+        // replica finished a cold restart (Serving) before the reader
+        // began: the lost ack is the recovery path's fault.
+        let violations = check(vec![
+            (1, begin(1, 10)),
+            (2, write(1, 1)),
+            (4, commit(1, 20)),
+            (6, serving(5)),
+            (10, begin(2, 30)),
+            (11, read(2, 1, PRELOAD_TS, PRELOAD_CLIENT)),
+            (12, commit(2, 30)),
+        ]);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.class == ViolationClass::LostAckedWrite),
+            "{violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .all(|v| v.class != ViolationClass::ReplicationLostAck),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_after_the_read_does_not_reclassify() {
+        // The cold restart finished only after the reader began, so it
+        // cannot have caused the miss: plain replication lost-ack.
+        let violations = check(vec![
+            (1, begin(1, 10)),
+            (2, write(1, 1)),
+            (4, commit(1, 20)),
+            (10, begin(2, 30)),
+            (11, read(2, 1, PRELOAD_TS, PRELOAD_CLIENT)),
+            (12, commit(2, 30)),
+            (20, serving(5)),
+        ]);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.class == ViolationClass::ReplicationLostAck),
+            "{violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .all(|v| v.class != ViolationClass::LostAckedWrite),
             "{violations:?}"
         );
     }

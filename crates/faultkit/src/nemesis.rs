@@ -96,7 +96,16 @@ async fn restart_dead_replicas(
             h.is_dead(c.replicas[shard.0 as usize][idx].addr.node)
         };
         if dead {
-            cluster.borrow_mut().restart_replica(shard, idx);
+            // A power-failed replica has no DRAM to warm-restart from: it
+            // must take the cold path (flash mount scan + anti-entropy
+            // catch-up). Everything else restarts warm, the historical
+            // OS-process-crash model.
+            let mut c = cluster.borrow_mut();
+            if c.is_power_failed(shard, idx) {
+                c.restart_replica_cold(shard, idx);
+            } else {
+                c.restart_replica_warm(shard, idx);
+            }
         }
     }
 }
@@ -192,6 +201,34 @@ async fn apply_one(
                 h.sleep(Duration::from_millis(1)).await;
             }
             true
+        }
+        Fault::PowerFail {
+            shard,
+            restart_after,
+        } => {
+            let shard = ShardId(*shard);
+            let promote = {
+                let c = cluster.borrow();
+                let primary = c.map.borrow().group(shard).primary;
+                let idx = c.replicas[shard.0 as usize]
+                    .iter()
+                    .position(|slot| slot.addr == primary)
+                    .expect("mapped primary has a replica slot");
+                c.power_fail_replica(shard, idx);
+                c.promote_backup(shard)
+            };
+            let ok = match promote.await {
+                Ok(()) => true,
+                Err(PromoteError::NoLiveBackup)
+                | Err(PromoteError::Unreachable)
+                | Err(PromoteError::NotABackup) => {
+                    report.promote_failures += 1;
+                    false
+                }
+            };
+            h.sleep(*restart_after).await;
+            restart_dead_replicas(h, cluster, shard).await;
+            ok
         }
         Fault::FlashDegrade {
             shard,

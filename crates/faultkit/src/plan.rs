@@ -75,6 +75,20 @@ pub enum Fault {
         /// How long the flood lasts.
         restore_after: Duration,
     },
+    /// Power-fail the shard's current primary: kill the node *and* tear
+    /// its storage backend's volatile state (the in-flight page program
+    /// becomes a torn page, RAM queues and mapping tables drop), promote a
+    /// live backup, then cold-restart the failed replica after
+    /// `restart_after` — flash mount scan plus anti-entropy catch-up, not
+    /// the warm §4.5 table-reuse path. Generated only by
+    /// [`FaultPlan::random_powerfail`]: the durability campaign opts in
+    /// explicitly.
+    PowerFail {
+        /// Target shard.
+        shard: u32,
+        /// Delay before the failed replica cold-restarts.
+        restart_after: Duration,
+    },
     /// Degrade one replica's flash device — ECC-recovery retries on
     /// read/program and worn-block retirement on erase — then restore
     /// after `restore_after`.
@@ -100,6 +114,7 @@ impl Fault {
             Fault::NetDegrade { .. } => "net_degrade",
             Fault::ClockStep { .. } => "clock_step",
             Fault::Overload { .. } => "overload",
+            Fault::PowerFail { .. } => "power_fail",
             Fault::FlashDegrade { .. } => "flash_degrade",
         }
     }
@@ -213,6 +228,42 @@ impl FaultPlan {
         FaultPlan { faults }
     }
 
+    /// Generates the durability campaign's schedule from `seed`: a
+    /// randomized interleaving of warm crashes, **power failures** (cold
+    /// restarts with torn flash state), and primary partitions — every
+    /// phase the ISSUE's crash → power-fail → cold-restart cycle needs,
+    /// with the phase order itself randomized per seed. Requires
+    /// `shape.replicas >= 3` for the crash/power-fail cycles to be
+    /// survivable; smaller shapes degrade to partitions.
+    pub fn random_powerfail(seed: u64, n: usize, shape: PlanShape) -> FaultPlan {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xc0_1d_b0_07_c0_1d_b0_07);
+        let mut faults = Vec::with_capacity(n);
+        for _ in 0..n {
+            let after = Duration::from_millis(rng.gen_range(4..24));
+            let shard = rng.gen_range(0..shape.shards as u64) as u32;
+            let mut roll = rng.gen_range(0..100u64);
+            if shape.replicas < 3 && roll < 80 {
+                roll = 80; // no survivable crash or power fail: partition
+            }
+            let fault = match roll {
+                0..=49 => Fault::PowerFail {
+                    shard,
+                    restart_after: Duration::from_millis(rng.gen_range(8..30)),
+                },
+                50..=79 => Fault::CrashPrimary {
+                    shard,
+                    restart_after: Duration::from_millis(rng.gen_range(8..30)),
+                },
+                _ => Fault::PartitionPrimary {
+                    shard,
+                    heal_after: Duration::from_millis(rng.gen_range(5..25)),
+                },
+            };
+            faults.push(TimedFault { after, fault });
+        }
+        FaultPlan { faults }
+    }
+
     /// Number of scheduled faults.
     pub fn len(&self) -> usize {
         self.faults.len()
@@ -283,6 +334,46 @@ mod tests {
             assert!(shard < SHAPE.shards);
             assert!((20_000..80_000).contains(&burst_rps));
         }
+    }
+
+    #[test]
+    fn powerfail_plans_are_deterministic_and_cover_the_cycle() {
+        let a = FaultPlan::random_powerfail(9, 40, SHAPE);
+        let b = FaultPlan::random_powerfail(9, 40, SHAPE);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        for class in ["power_fail", "crash", "partition_primary"] {
+            assert!(
+                a.faults.iter().any(|f| f.fault.class() == class),
+                "missing {class}"
+            );
+        }
+        // Single-replica shapes must never schedule a node kill.
+        let small = FaultPlan::random_powerfail(
+            9,
+            40,
+            PlanShape {
+                shards: 1,
+                replicas: 1,
+                clients: 2,
+            },
+        );
+        assert!(small
+            .faults
+            .iter()
+            .all(|f| f.fault.class() == "partition_primary"));
+    }
+
+    #[test]
+    fn mixed_plans_never_generate_power_failures() {
+        // `random()` is the general campaign: power failures are opt-in
+        // via `random_powerfail` only, so existing campaigns keep their
+        // exact per-seed schedules.
+        let plan = FaultPlan::random(3, 200, SHAPE);
+        assert!(plan
+            .faults
+            .iter()
+            .all(|f| !matches!(f.fault, Fault::PowerFail { .. })));
     }
 
     #[test]

@@ -286,8 +286,9 @@ pub fn run_rebalance_seed(cfg: &RebalanceCampaignConfig, seed: u64) -> Rebalance
                         hh2.sleep(heal).await;
                         // The destination row is the last one; for a split
                         // of a 2-shard cluster its index equals the new
-                        // shard id, which is what restart_replica keys on.
-                        cl2.borrow_mut().restart_replica(ShardId(2), idx);
+                        // shard id, which is what restart_replica_warm
+                        // keys on.
+                        cl2.borrow_mut().restart_replica_warm(ShardId(2), idx);
                     });
                 }
                 MigrationPhase::Copy => {

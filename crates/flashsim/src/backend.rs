@@ -17,6 +17,21 @@ use crate::sftl::SingleVersionStore;
 use crate::types::{Key, StoreError, StoreStats, Value, VersionedValue};
 use crate::vftl::{SplitStore, VftlConfig};
 
+/// What a mount-time recovery scan reconstructed from the durable medium
+/// (see [`Backend::mount`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MountReport {
+    /// Pages whose OOB the scan read.
+    pub pages_scanned: u64,
+    /// Torn (checksum-mismatch) pages discarded.
+    pub torn_pages: u64,
+    /// Distinct keys reconstructed into the mapping table.
+    pub keys: u64,
+    /// Recovered durable write floor: the max floor record over intact
+    /// pages. `Timestamp::ZERO` if the store never noted a floor.
+    pub floor: Timestamp,
+}
+
 /// Which storage backend to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
@@ -284,6 +299,44 @@ impl Backend {
             Backend::Sftl(s) => s.keys(),
             Backend::Vftl(s) => s.keys(),
             Backend::Mftl(s) => s.keys(),
+        }
+    }
+
+    /// Records the replica's durable write floor; subsequently programmed
+    /// pages carry it in their OOB so [`Backend::mount`] can recover it.
+    /// DRAM is battery-backed: the floor survives in a protected register.
+    pub fn note_floor(&self, ts: Timestamp) {
+        match self {
+            Backend::Dram(s) => s.note_floor(ts),
+            Backend::Sftl(s) => s.note_floor(ts),
+            Backend::Vftl(s) => s.note_floor(ts),
+            Backend::Mftl(s) => s.note_floor(ts),
+        }
+    }
+
+    /// Injects a power failure: in-flight page programs are torn and all
+    /// volatile state (mapping tables, packer queues) is dropped. The store
+    /// must be [`Backend::mount`]ed before use. DRAM is battery-backed and
+    /// survives intact. Returns the number of torn pages.
+    pub fn power_fail(&self) -> u64 {
+        match self {
+            Backend::Dram(s) => s.power_fail(),
+            Backend::Sftl(s) => s.power_fail(),
+            Backend::Vftl(s) => s.power_fail(),
+            Backend::Mftl(s) => s.power_fail(),
+        }
+    }
+
+    /// Deterministic mount scan: rebuilds mapping tables and version chains
+    /// from per-page OOB metadata, discarding torn pages, and recovers the
+    /// durable write floor. Charges scan time proportional to programmed
+    /// pages at the device's `mount_scan_rate`.
+    pub async fn mount(&self) -> MountReport {
+        match self {
+            Backend::Dram(s) => s.mount(),
+            Backend::Sftl(s) => s.mount().await,
+            Backend::Vftl(s) => s.mount().await,
+            Backend::Mftl(s) => s.mount().await,
         }
     }
 

@@ -202,6 +202,28 @@ impl DemandMappedStore {
         self.charge(&key, true).await;
         self.inner.put(key, value, version).await
     }
+
+    /// Records the durable write floor on the wrapped store.
+    pub fn note_floor(&self, ts: Timestamp) {
+        self.inner.note_floor(ts);
+    }
+
+    /// Injects a power failure: the wrapped store loses its volatile state
+    /// and the resident translation cache (plain DRAM) is emptied.
+    pub fn power_fail(&self) -> u64 {
+        let torn = self.inner.power_fail();
+        let mut st = self.state.borrow_mut();
+        st.resident.clear();
+        st.order.clear();
+        st.pending_dirty = 0;
+        torn
+    }
+
+    /// Mounts the wrapped store; the translation cache starts cold and
+    /// refills on demand.
+    pub async fn mount(&self) -> crate::backend::MountReport {
+        self.inner.mount().await
+    }
 }
 
 #[cfg(test)]

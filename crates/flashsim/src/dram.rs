@@ -39,6 +39,8 @@ struct DramInner {
     map: HashMap<Key, Vec<(Version, Value)>>,
     watermark: Timestamp,
     stats: StoreStats,
+    /// Durable write-floor record (battery-protected register).
+    floor: Timestamp,
 }
 
 /// Multi-version in-memory store; cloning shares it.
@@ -195,6 +197,33 @@ impl DramStore {
         let mut ks: Vec<Key> = self.inner.borrow().map.keys().cloned().collect();
         ks.sort();
         ks
+    }
+
+    /// Records the durable write floor (battery-protected, so it survives
+    /// power failures as-is). Floors never move backwards.
+    pub fn note_floor(&self, ts: Timestamp) {
+        let mut inner = self.inner.borrow_mut();
+        if ts > inner.floor {
+            inner.floor = ts;
+        }
+    }
+
+    /// Power failure on battery-backed DRAM/NVM: contents survive intact
+    /// (§5's premise for this backend). Nothing is torn.
+    pub fn power_fail(&self) -> u64 {
+        0
+    }
+
+    /// Mount after a power failure: the battery preserved everything, so
+    /// this only reports what is already resident. Zero-time.
+    pub fn mount(&self) -> crate::backend::MountReport {
+        let inner = self.inner.borrow();
+        crate::backend::MountReport {
+            pages_scanned: 0,
+            torn_pages: 0,
+            keys: inner.map.len() as u64,
+            floor: inner.floor,
+        }
     }
 
     /// Zero-time bulk load.

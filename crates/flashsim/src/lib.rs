@@ -19,6 +19,9 @@
 //! - [`dram`] — a battery-backed-DRAM/NVM-speed multi-version store;
 //! - [`dftl`] — the §3.1 future-work extension: demand-paged mapping for
 //!   servers whose DRAM cannot hold the whole table;
+//! - [`oob`] — per-page out-of-band metadata (key, version, epoch, floor,
+//!   checksum) that makes mapping tables reconstructible from flash alone
+//!   after a power failure (§4.5 recovery);
 //! - [`backend`] — one enum over all four so servers swap backends freely.
 //!
 //! All stores share the SEMEL semantics: versions are `(timestamp, client)`
@@ -33,11 +36,13 @@ pub mod dftl;
 pub mod dram;
 pub mod mftl;
 pub mod nand;
+pub mod oob;
 pub mod pftl;
 pub mod sftl;
 pub mod types;
 pub mod vftl;
 
-pub use backend::{Backend, BackendKind};
+pub use backend::{Backend, BackendKind, MountReport};
 pub use nand::{NandConfig, NandDevice, PhysLoc};
+pub use oob::{PageOob, ScannedPage};
 pub use types::{value, Key, StoreError, StoreStats, TupleRecord, Value, VersionedValue};

@@ -23,7 +23,9 @@ use simkit::sync::{mpsc, oneshot, Semaphore};
 use simkit::SimHandle;
 use timesync::{Timestamp, Version};
 
+use crate::backend::MountReport;
 use crate::nand::{NandConfig, NandDevice, PhysLoc};
+use crate::oob::PageOob;
 use crate::types::{Key, StoreError, StoreStats, TupleRecord, Value, VersionedValue};
 
 /// One flash page's payload: the packed tuples.
@@ -87,6 +89,9 @@ struct Batch {
     gen: u64,
     /// Which packing stream (append channel) this page belongs to.
     stream: usize,
+    /// Mount epoch the batch was packed under; a flush completing after a
+    /// power failure (stale epoch) must not touch the rebuilt mapping table.
+    epoch: u64,
     pendings: Vec<Pending>,
     waiters: Vec<oneshot::Sender<Result<(), StoreError>>>,
     page: Page,
@@ -127,6 +132,13 @@ struct MftlInner {
     /// Packer state for zero-time bulk loading.
     load_buf: Vec<TupleRecord>,
     load_bytes: usize,
+    /// Mount epoch: bumped by power-fail and mount so surviving background
+    /// tasks (GC, in-flight flushes — spawned off-node, they outlive the
+    /// server process) cannot corrupt freshly-mounted state.
+    epoch: u64,
+    /// Durable write-floor record stamped into each programmed page's OOB;
+    /// recovered at mount as the max over intact pages.
+    floor: Timestamp,
 }
 
 /// The unified multi-version FTL store. Cloning shares the store.
@@ -184,6 +196,8 @@ impl UnifiedStore {
                 gc_nudge: tx,
                 load_buf: Vec::new(),
                 load_bytes: 0,
+                epoch: 0,
+                floor: Timestamp::ZERO,
             })),
             gc_lock: Semaphore::new(1),
         };
@@ -483,10 +497,27 @@ impl UnifiedStore {
                 return;
             }
         };
+        let oob = {
+            let inner = self.inner.borrow();
+            PageOob::new(
+                batch.page.first().map(|r| r.key.trace_id()).unwrap_or(0),
+                batch.page.iter().map(|r| r.version.ts.0).max().unwrap_or(0),
+                inner.epoch,
+                inner.floor.0,
+            )
+        };
         self.dev
-            .program(loc, batch.page.clone())
+            .program_with_oob(loc, batch.page.clone(), oob)
             .await
             .expect("MFTL program invariant");
+        // A power failure while the program was in flight tore the page and
+        // reset the store; the rebuilt mapping table must not see this batch.
+        if self.inner.borrow().epoch != batch.epoch {
+            for w in batch.waiters {
+                let _ = w.send(Err(StoreError::CapacityExhausted));
+            }
+            return;
+        }
         {
             let mut inner = self.inner.borrow_mut();
             inner.written[loc.block as usize] += batch.page.len() as u32;
@@ -749,8 +780,17 @@ impl UnifiedStore {
                 }
             }
         };
+        let oob = {
+            let inner = self.inner.borrow();
+            PageOob::new(
+                recs.first().map(|r| r.key.trace_id()).unwrap_or(0),
+                recs.iter().map(|r| r.version.ts.0).max().unwrap_or(0),
+                inner.epoch,
+                inner.floor.0,
+            )
+        };
         self.dev
-            .install(loc, Rc::new(recs.clone()))
+            .install_with_oob(loc, Rc::new(recs.clone()), oob)
             .expect("bulk load program order");
         let mut inner = self.inner.borrow_mut();
         inner.written[loc.block as usize] += recs.len() as u32;
@@ -772,10 +812,98 @@ impl UnifiedStore {
         }
     }
 
+    /// Records the replica's durable write floor: every page programmed from
+    /// now on carries `ts` in its OOB floor field, so a future
+    /// [`UnifiedStore::mount`] recovers at least this floor. Floors never
+    /// move backwards.
+    pub fn note_floor(&self, ts: Timestamp) {
+        let mut inner = self.inner.borrow_mut();
+        if ts > inner.floor {
+            inner.floor = ts;
+        }
+    }
+
+    /// Injects a power failure: tears in-flight page programs on the device
+    /// and drops all RAM state (mapping table, packer queues, accounting) —
+    /// the store is unusable until [`UnifiedStore::mount`]. Returns the
+    /// number of torn pages.
+    pub fn power_fail(&self) -> u64 {
+        let torn = self.dev.power_fail();
+        let mut inner = self.inner.borrow_mut();
+        inner.epoch += 1;
+        reset_volatile(&mut inner);
+        torn
+    }
+
+    /// Deterministic mount scan (§4.5 recovery): rebuilds the mapping table
+    /// and version chains from every intact page's OOB + payload, discarding
+    /// torn pages (their programs were never acknowledged, so no acked write
+    /// is lost). Charges `pages / mount_scan_rate` of device time and
+    /// returns what it found, including the recovered durable floor.
+    pub async fn mount(&self) -> MountReport {
+        let _gc = self.gc_lock.acquire().await;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.epoch += 1;
+            reset_volatile(&mut inner);
+        }
+        let scan = self.dev.mount_scan().await;
+        let mut inner = self.inner.borrow_mut();
+        let mut torn = 0u64;
+        let mut floor = Timestamp::ZERO;
+        for sp in &scan {
+            let block = sp.loc.block as usize;
+            let page = self.dev.peek(sp.loc);
+            let intact = sp.oob.map(|o| !o.is_torn()).unwrap_or(false);
+            // The controller knows the page was programmed (write pointer),
+            // so even discarded pages count toward `written`: GC can later
+            // reclaim them as garbage.
+            inner.written[block] += page.as_ref().map(|p| p.len() as u32).unwrap_or(1).max(1);
+            if !intact {
+                torn += 1;
+                continue;
+            }
+            let oob = sp.oob.expect("intact page has OOB");
+            floor = floor.max(Timestamp(oob.floor));
+            let Some(page) = page else { continue };
+            for (slot, rec) in page.iter().enumerate() {
+                let chain = inner.map.entry(rec.key.clone()).or_default();
+                // A GC relocation interrupted before its erase leaves two
+                // identical copies; keep the first in scan order.
+                if chain.iter().any(|e| e.version == rec.version) {
+                    continue;
+                }
+                let pos = chain
+                    .iter()
+                    .position(|e| e.version < rec.version)
+                    .unwrap_or(chain.len());
+                chain.insert(
+                    pos,
+                    MapEntry {
+                        version: rec.version,
+                        loc: Loc::Flash {
+                            loc: sp.loc,
+                            slot: slot as u16,
+                        },
+                    },
+                );
+                inner.live[block] += 1;
+            }
+        }
+        inner.floor = floor;
+        MountReport {
+            pages_scanned: scan.len() as u64,
+            torn_pages: torn,
+            keys: inner.map.len() as u64,
+            floor,
+        }
+    }
+
     /// One unified GC pass: pick the emptiest full block, prune dead
     /// versions, relocate live tuples through the packer, erase.
     async fn collect_once(&self) -> bool {
         let _gc = self.gc_lock.acquire().await;
+        let epoch = self.inner.borrow().epoch;
         let pages_per_block = self.dev.config().pages_per_block;
         let victim = {
             let inner = self.inner.borrow();
@@ -883,6 +1011,12 @@ impl UnifiedStore {
                 _ => return false, // relocation failed; keep victim intact
             }
         }
+        // A power failure reset the store while this pass ran: abort without
+        // erasing. The victim's tuples (and any relocated copies) are both
+        // on flash; the next mount deduplicates them.
+        if self.inner.borrow().epoch != epoch {
+            return false;
+        }
         self.dev.erase(victim).await.expect("GC erase");
         let reclaimed = {
             let mut inner = self.inner.borrow_mut();
@@ -910,10 +1044,41 @@ fn take_open(inner: &mut MftlInner, s: usize) -> Batch {
     Batch {
         gen,
         stream: s,
+        epoch: inner.epoch,
         pendings,
         waiters,
         page,
     }
+}
+
+/// Drops all RAM-resident state (mapping table, packer streams, in-flight
+/// pages, accounting) the way a power failure would. Generations stay
+/// monotone across resets so stale flushes can never alias fresh ones.
+fn reset_volatile(inner: &mut MftlInner) {
+    inner.map.clear();
+    let n = inner.streams.len();
+    for st in &mut inner.streams {
+        st.open.clear();
+        st.open_bytes = 0;
+        st.waiters.clear();
+        st.append = None;
+        st.gen = inner.next_gen;
+        inner.next_gen += 1;
+    }
+    inner.next_stream = 0;
+    inner.flushing.clear();
+    inner.load_append = vec![None; n];
+    inner.next_load_append = 0;
+    for b in &mut inner.live {
+        *b = 0;
+    }
+    for b in &mut inner.written {
+        *b = 0;
+    }
+    inner.watermark = Timestamp::ZERO;
+    inner.load_buf.clear();
+    inner.load_bytes = 0;
+    inner.floor = Timestamp::ZERO;
 }
 
 /// Removes dead versions: everything strictly older than the youngest entry
@@ -982,6 +1147,48 @@ mod tests {
             let got = s.get_at(&Key::from(1u64), Timestamp(10)).await.unwrap();
             assert_eq!(got.version, v(10));
             assert_eq!(got.value, val(100));
+        });
+    }
+
+    #[test]
+    fn mount_recovers_chains_and_floor_after_power_fail() {
+        let mut sim = Sim::new(13);
+        let h = sim.handle();
+        let s = store(&sim, 16);
+        sim.block_on(async move {
+            let k = Key::from(1u64);
+            for ts in [10u64, 20, 30] {
+                s.put(k.clone(), val(100), v(ts)).await.unwrap();
+            }
+            for i in 2..6u64 {
+                s.put(Key::from(i), val(100), v(i + 50)).await.unwrap();
+            }
+            // The floor promise rides in the OOB of every later program.
+            s.note_floor(Timestamp(25));
+            s.put(Key::from(6u64), val(100), v(60)).await.unwrap();
+            // Let the packing windows flush everything durably.
+            h.sleep(Duration::from_millis(5)).await;
+            // A write still buffered at the failure is lost — never acked.
+            let s2 = s.clone();
+            h.spawn(async move {
+                let _ = s2.put(Key::from(9u64), val(100), v(900)).await;
+            });
+            h.sleep(Duration::from_micros(2)).await;
+            s.power_fail();
+            assert!(s.keys().is_empty());
+            let report = s.mount().await;
+            assert_eq!(report.floor, Timestamp(25));
+            assert_eq!(report.keys, 6);
+            // Full version chain survives: snapshot reads still work.
+            assert_eq!(s.versions(&k), vec![v(30), v(20), v(10)]);
+            assert_eq!(s.get_at(&k, Timestamp(25)).await.unwrap().version, v(20));
+            assert!(s.get_latest(&Key::from(9u64)).await.is_err());
+            // The store keeps working after recovery.
+            s.put(Key::from(7u64), val(100), v(700)).await.unwrap();
+            assert_eq!(
+                s.get_latest(&Key::from(7u64)).await.unwrap().version,
+                v(700)
+            );
         });
     }
 

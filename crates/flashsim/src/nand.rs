@@ -21,6 +21,8 @@ use std::collections::BTreeSet;
 use std::rc::Rc;
 use std::time::Duration;
 
+use crate::oob::{PageOob, ScannedPage};
+
 use simkit::sync::Semaphore;
 use simkit::time::SimTime;
 use simkit::SimHandle;
@@ -44,6 +46,10 @@ pub struct NandConfig {
     pub write_latency: Duration,
     /// Block erase latency.
     pub erase_latency: Duration,
+    /// Pages scanned per second by a mount-time recovery scan
+    /// ([`NandDevice::mount_scan`]). Sequential OOB reads pipeline across
+    /// all channels, so this is much faster than random page reads.
+    pub mount_scan_rate: u64,
 }
 
 impl Default for NandConfig {
@@ -60,6 +66,7 @@ impl Default for NandConfig {
             read_latency: Duration::from_micros(50),
             write_latency: Duration::from_micros(100),
             erase_latency: Duration::from_millis(1),
+            mount_scan_rate: 100_000,
         }
     }
 }
@@ -154,6 +161,8 @@ pub struct NandStats {
     pub media_retries: u64,
     /// Blocks retired as worn out instead of returning to the free pool.
     pub retired_blocks: u64,
+    /// Pages whose in-flight program was torn by a power failure.
+    pub torn_pages: u64,
 }
 
 /// Injectable flash media faults (see [`NandDevice::inject_media_faults`]).
@@ -187,6 +196,7 @@ impl MediaFaultConfig {
 #[derive(Debug)]
 struct BlockState<P> {
     pages: Vec<Option<P>>,
+    oob: Vec<Option<PageOob>>,
     next_page: u32,
     erase_count: u32,
 }
@@ -204,6 +214,9 @@ struct NandInner<P> {
     tracer: obskit::Tracer,
     /// Node id stamped on emitted trace events.
     node: u64,
+    /// Pages whose program has been issued but not yet completed; a power
+    /// failure tears exactly these (BTreeSet for deterministic iteration).
+    in_flight: BTreeSet<PhysLoc>,
 }
 
 /// A simulated NAND device holding typed page payloads.
@@ -234,6 +247,7 @@ impl<P: Clone + 'static> NandDevice<P> {
         let blocks = (0..cfg.blocks)
             .map(|_| BlockState {
                 pages: (0..cfg.pages_per_block).map(|_| None).collect(),
+                oob: (0..cfg.pages_per_block).map(|_| None).collect(),
                 next_page: 0,
                 erase_count: 0,
             })
@@ -250,6 +264,7 @@ impl<P: Clone + 'static> NandDevice<P> {
                 faults: None,
                 tracer: obskit::Tracer::disabled(),
                 node: 0,
+                in_flight: BTreeSet::new(),
             })),
             cfg: Rc::new(cfg),
             queue,
@@ -379,6 +394,30 @@ impl<P: Clone + 'static> NandDevice<P> {
     /// next unwritten page — NAND cannot overwrite in place, which is the
     /// remap-on-write property SEMEL exploits.
     pub async fn program(&self, loc: PhysLoc, payload: P) -> Result<(), NandError> {
+        self.program_inner(loc, payload, None).await
+    }
+
+    /// Programs `loc` with `payload` plus OOB metadata written atomically
+    /// with the page, making it recoverable by [`NandDevice::mount_scan`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NandDevice::program`].
+    pub async fn program_with_oob(
+        &self,
+        loc: PhysLoc,
+        payload: P,
+        oob: PageOob,
+    ) -> Result<(), NandError> {
+        self.program_inner(loc, payload, Some(oob)).await
+    }
+
+    async fn program_inner(
+        &self,
+        loc: PhysLoc,
+        payload: P,
+        oob: Option<PageOob>,
+    ) -> Result<(), NandError> {
         self.check_range(loc)?;
         {
             let mut inner = self.inner.borrow_mut();
@@ -390,14 +429,66 @@ impl<P: Clone + 'static> NandDevice<P> {
                 });
             }
             blk.pages[loc.page as usize] = Some(payload);
+            blk.oob[loc.page as usize] = oob;
             blk.next_page += 1;
             inner.stats.page_writes += 1;
+            inner.in_flight.insert(loc);
         }
         self.trace_op(obskit::FlashOpKind::Write);
         let recovery = self.media_recovery(|f| f.program_error_prob);
         self.timed(loc.block, self.cfg.write_latency + recovery)
             .await;
+        self.inner.borrow_mut().in_flight.remove(&loc);
         Ok(())
+    }
+
+    /// Injects a power failure: every program still in flight is torn (its
+    /// OOB checksum is corrupted, so [`NandDevice::mount_scan`] will report
+    /// it torn and the FTL will discard it). Completed programs are durable.
+    /// Returns the number of pages torn.
+    pub fn power_fail(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let torn: Vec<PhysLoc> = inner.in_flight.iter().copied().collect();
+        inner.in_flight.clear();
+        let mut count = 0;
+        for loc in torn {
+            let slot = &mut inner.blocks[loc.block as usize].oob[loc.page as usize];
+            // Raw programs (no OOB) need no marking: mount already treats
+            // metadata-less pages as garbage.
+            if let Some(oob) = slot {
+                oob.tear();
+            }
+            count += 1;
+        }
+        inner.stats.torn_pages += count;
+        count
+    }
+
+    /// Sequentially scans every programmed page's OOB area, charging
+    /// `pages / mount_scan_rate` of device time. Returns one record per
+    /// programmed page in (block, page) order; the FTL rebuilds its mapping
+    /// table from these plus zero-time [`NandDevice::peek`]s of the
+    /// payloads the scan just read.
+    pub async fn mount_scan(&self) -> Vec<ScannedPage> {
+        let mut out = Vec::new();
+        {
+            let inner = self.inner.borrow();
+            for (b, blk) in inner.blocks.iter().enumerate() {
+                for p in 0..blk.next_page {
+                    out.push(ScannedPage {
+                        loc: PhysLoc {
+                            block: b as u32,
+                            page: p,
+                        },
+                        oob: blk.oob[p as usize],
+                    });
+                }
+            }
+        }
+        let rate = self.cfg.mount_scan_rate.max(1);
+        let nanos = (out.len() as u64).saturating_mul(1_000_000_000) / rate;
+        self.handle.sleep(Duration::from_nanos(nanos)).await;
+        out
     }
 
     /// Reads the payload at `loc`.
@@ -441,6 +532,9 @@ impl<P: Clone + 'static> NandDevice<P> {
             for p in &mut blk.pages {
                 *p = None;
             }
+            for o in &mut blk.oob {
+                *o = None;
+            }
             blk.next_page = 0;
             blk.erase_count += 1;
             let count = blk.erase_count;
@@ -479,6 +573,31 @@ impl<P: Clone + 'static> NandDevice<P> {
     ///
     /// Same as [`NandDevice::program`].
     pub fn install(&self, loc: PhysLoc, payload: P) -> Result<(), NandError> {
+        self.install_inner(loc, payload, None)
+    }
+
+    /// Zero-time program with OOB metadata — the bulk-load counterpart of
+    /// [`NandDevice::program_with_oob`], so preloaded datasets survive a
+    /// mount scan.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NandDevice::program`].
+    pub fn install_with_oob(
+        &self,
+        loc: PhysLoc,
+        payload: P,
+        oob: PageOob,
+    ) -> Result<(), NandError> {
+        self.install_inner(loc, payload, Some(oob))
+    }
+
+    fn install_inner(
+        &self,
+        loc: PhysLoc,
+        payload: P,
+        oob: Option<PageOob>,
+    ) -> Result<(), NandError> {
         self.check_range(loc)?;
         let mut inner = self.inner.borrow_mut();
         let blk = &mut inner.blocks[loc.block as usize];
@@ -489,8 +608,15 @@ impl<P: Clone + 'static> NandDevice<P> {
             });
         }
         blk.pages[loc.page as usize] = Some(payload);
+        blk.oob[loc.page as usize] = oob;
         blk.next_page += 1;
         Ok(())
+    }
+
+    /// Zero-time OOB read for recovery logic and tests.
+    pub fn peek_oob(&self, loc: PhysLoc) -> Option<PageOob> {
+        self.check_range(loc).ok()?;
+        self.inner.borrow().blocks[loc.block as usize].oob[loc.page as usize]
     }
 }
 
@@ -738,6 +864,66 @@ mod tests {
             dev.erase(b1).await.unwrap();
             assert_eq!(dev.free_blocks(), free0 - 1);
             assert_eq!(dev.stats().retired_blocks, 1);
+        });
+    }
+
+    #[test]
+    fn power_fail_tears_only_in_flight_programs() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let dev: NandDevice<u32> = NandDevice::new(hh.clone(), small_cfg());
+            let b = dev.alloc_block().unwrap();
+            dev.program_with_oob(PhysLoc { block: b, page: 0 }, 10, PageOob::new(0, 1, 0, 0))
+                .await
+                .unwrap();
+            let d = dev.clone();
+            hh.spawn(async move {
+                // This program is still in its 100us device time when the
+                // power fails 10us in.
+                let _ = d
+                    .program_with_oob(PhysLoc { block: b, page: 1 }, 11, PageOob::new(1, 2, 0, 0))
+                    .await;
+            });
+            hh.sleep(Duration::from_micros(10)).await;
+            assert_eq!(dev.power_fail(), 1);
+            assert_eq!(dev.stats().torn_pages, 1);
+            let scan = dev.mount_scan().await;
+            let torn: Vec<bool> = scan
+                .iter()
+                .filter(|s| s.loc.block == b)
+                .map(|s| s.oob.map(|o| o.is_torn()).unwrap_or(true))
+                .collect();
+            assert_eq!(torn, vec![false, true]);
+        });
+    }
+
+    #[test]
+    fn mount_scan_charges_scan_time() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let hh = h.clone();
+        sim.block_on(async move {
+            let cfg = NandConfig {
+                mount_scan_rate: 1000, // 1ms per page
+                ..small_cfg()
+            };
+            let dev: NandDevice<u32> = NandDevice::new(hh.clone(), cfg);
+            let b = dev.alloc_block().unwrap();
+            for p in 0..3 {
+                dev.install_with_oob(
+                    PhysLoc { block: b, page: p },
+                    p,
+                    PageOob::new(p as u64, 1, 0, 0),
+                )
+                .unwrap();
+            }
+            let t0 = hh.now();
+            let scan = dev.mount_scan().await;
+            assert_eq!(scan.len(), 3);
+            assert_eq!(hh.now() - t0, Duration::from_millis(3));
+            assert!(scan.iter().all(|s| !s.oob.unwrap().is_torn()));
         });
     }
 

@@ -16,8 +16,11 @@ use std::rc::Rc;
 use simkit::sync::mpsc;
 use simkit::SimHandle;
 
+use crate::backend::MountReport;
 use crate::nand::{NandConfig, NandDevice, PhysLoc};
+use crate::oob::PageOob;
 use crate::types::StoreError;
+use timesync::Timestamp;
 
 /// Tuning for a [`PageFtl`].
 #[derive(Debug, Clone)]
@@ -64,6 +67,15 @@ struct PftlInner {
     live: Vec<u32>,
     stats: PageFtlStats,
     gc_nudge: mpsc::Sender<()>,
+    /// Monotone per-write sequence stamped into each page's OOB version
+    /// field; mount orders duplicate LBA copies by it (newest wins).
+    /// Recovered as `max + 1` at mount so stamps never regress.
+    seq: u64,
+    /// Mount epoch; bumped by power-fail and mount so surviving background
+    /// work (GC, stacked-layer flushes) cannot corrupt rebuilt state.
+    epoch: u64,
+    /// Durable write-floor record stamped into each page's OOB.
+    floor: u64,
 }
 
 /// A shareable page-mapped FTL over a [`NandDevice`].
@@ -119,6 +131,9 @@ impl<P: Clone + 'static> PageFtl<P> {
                 live: vec![0; blocks],
                 stats: PageFtlStats::default(),
                 gc_nudge: tx,
+                seq: 1,
+                epoch: 0,
+                floor: 0,
             })),
             gc_lock: simkit::sync::Semaphore::new(1),
         };
@@ -197,12 +212,18 @@ impl<P: Clone + 'static> PageFtl<P> {
                 return Err(StoreError::CapacityExhausted);
             }
         };
+        let (oob, epoch) = self.next_oob(lba);
         self.dev
-            .program(loc, payload)
+            .program_with_oob(loc, payload, oob)
             .await
             .expect("FTL program invariant violated");
         {
             let mut inner = self.inner.borrow_mut();
+            // A power failure reset the mapping table while this program was
+            // in flight; the rebuilt state must not see it.
+            if inner.epoch != epoch {
+                return Err(StoreError::CapacityExhausted);
+            }
             if let Some(old) = inner.map.insert(lba, loc) {
                 inner.rmap.remove(&old);
                 inner.live[old.block as usize] -= 1;
@@ -213,6 +234,18 @@ impl<P: Clone + 'static> PageFtl<P> {
         }
         self.nudge_gc();
         Ok(())
+    }
+
+    /// Stamps OOB for the next program of `lba` and returns it with the
+    /// current mount epoch (for post-program staleness checks).
+    fn next_oob(&self, lba: u32) -> (PageOob, u64) {
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.seq;
+        inner.seq += 1;
+        (
+            PageOob::new(lba as u64, seq, inner.epoch, inner.floor),
+            inner.epoch,
+        )
     }
 
     /// Reads logical page `lba`.
@@ -243,6 +276,22 @@ impl<P: Clone + 'static> PageFtl<P> {
         unreachable!("LBA {lba} kept moving during read; GC livelock");
     }
 
+    /// All currently mapped LBAs in ascending order (deterministic
+    /// iteration for stacked-layer mount rebuilds).
+    pub fn mapped_lbas(&self) -> Vec<u32> {
+        let mut ls: Vec<u32> = self.inner.borrow().map.keys().copied().collect();
+        ls.sort_unstable();
+        ls
+    }
+
+    /// Zero-time payload peek of a mapped LBA (stacked layers rebuild their
+    /// key maps from these after [`PageFtl::mount`]; the mount scan already
+    /// charged the read time).
+    pub fn peek_lba(&self, lba: u32) -> Option<P> {
+        let loc = *self.inner.borrow().map.get(&lba)?;
+        self.dev.peek(loc)
+    }
+
     /// Unmaps `lba`, making its physical page garbage.
     pub fn trim(&self, lba: u32) {
         let mut inner = self.inner.borrow_mut();
@@ -267,8 +316,9 @@ impl<P: Clone + 'static> PageFtl<P> {
         let loc = self
             .alloc_slot(false)
             .expect("device full during bulk load");
+        let (oob, _) = self.next_oob(lba);
         self.dev
-            .install(loc, payload)
+            .install_with_oob(loc, payload, oob)
             .expect("install program order");
         let mut inner = self.inner.borrow_mut();
         if let Some(old) = inner.map.insert(lba, loc) {
@@ -279,11 +329,77 @@ impl<P: Clone + 'static> PageFtl<P> {
         inner.live[loc.block as usize] += 1;
     }
 
+    /// Records the durable write floor; subsequent page programs stamp it
+    /// into their OOB. Floors never move backwards.
+    pub fn note_floor(&self, ts: Timestamp) {
+        let mut inner = self.inner.borrow_mut();
+        if ts.0 > inner.floor {
+            inner.floor = ts.0;
+        }
+    }
+
+    /// Injects a power failure: tears in-flight programs on the device and
+    /// drops the volatile mapping table. Returns the number of torn pages.
+    pub fn power_fail(&self) -> u64 {
+        let torn = self.dev.power_fail();
+        let mut inner = self.inner.borrow_mut();
+        inner.epoch += 1;
+        reset_volatile(&mut inner);
+        torn
+    }
+
+    /// Deterministic mount scan: rebuilds the LBA mapping from per-page OOB
+    /// (newest sequence stamp wins per LBA), discarding torn pages, and
+    /// recovers the durable floor. `keys` in the report counts mapped LBAs.
+    pub async fn mount(&self) -> MountReport {
+        let _gc = self.gc_lock.acquire().await;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.epoch += 1;
+            reset_volatile(&mut inner);
+        }
+        let scan = self.dev.mount_scan().await;
+        let mut torn = 0u64;
+        let mut floor = 0u64;
+        let mut seq_max = 0u64;
+        // Winner per LBA: highest (sequence stamp, location).
+        let mut best: HashMap<u32, (u64, PhysLoc)> = HashMap::new();
+        for sp in &scan {
+            let Some(oob) = sp.oob.filter(|o| !o.is_torn()) else {
+                torn += 1;
+                continue;
+            };
+            floor = floor.max(oob.floor);
+            seq_max = seq_max.max(oob.version);
+            let lba = oob.key as u32;
+            let cand = (oob.version, sp.loc);
+            let e = best.entry(lba).or_insert(cand);
+            if cand > *e {
+                *e = cand;
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        for (&lba, &(_, loc)) in &best {
+            inner.map.insert(lba, loc);
+            inner.rmap.insert(loc, lba);
+            inner.live[loc.block as usize] += 1;
+        }
+        inner.seq = seq_max + 1;
+        inner.floor = floor;
+        MountReport {
+            pages_scanned: scan.len() as u64,
+            torn_pages: torn,
+            keys: best.len() as u64,
+            floor: Timestamp(floor),
+        }
+    }
+
     /// Collects the fullest-garbage block. Returns false if nothing is
     /// collectible (every candidate block is fully live). Only one
     /// collection runs at a time; concurrent callers queue on the GC lock.
     async fn collect_once(&self) -> bool {
         let _gc = self.gc_lock.acquire().await;
+        let epoch = self.inner.borrow().epoch;
         let pages_per_block = self.dev.config().pages_per_block;
         let victim = {
             let inner = self.inner.borrow();
@@ -326,8 +442,9 @@ impl<P: Clone + 'static> PageFtl<P> {
                     Some(l) => l,
                     None => return false, // reserve exhausted
                 };
+                let (oob, _) = me.next_oob(lba);
                 me.dev
-                    .program(new_loc, payload)
+                    .program_with_oob(new_loc, payload, oob)
                     .await
                     .expect("GC program invariant");
                 let mut inner = me.inner.borrow_mut();
@@ -351,12 +468,33 @@ impl<P: Clone + 'static> PageFtl<P> {
         if !all_ok {
             return false; // give up this round; space remains consistent
         }
+        // A power failure interrupted this pass (possibly tearing relocated
+        // copies): abort without erasing so the victim's intact originals
+        // survive for the mount scan to recover.
+        if self.inner.borrow().epoch != epoch {
+            return false;
+        }
         self.dev.erase(victim).await.expect("GC erase");
         debug_assert_eq!(self.inner.borrow().live[victim as usize], 0);
         self.inner.borrow_mut().stats.gc_erases += 1;
         self.dev.trace_gc(reclaimed);
         true
     }
+}
+
+/// Drops RAM-resident FTL state the way a power failure would. The
+/// sequence counter is rebuilt by the mount scan.
+fn reset_volatile(inner: &mut PftlInner) {
+    inner.map.clear();
+    inner.rmap.clear();
+    for a in &mut inner.append {
+        *a = None;
+    }
+    inner.next_append = 0;
+    for b in &mut inner.live {
+        *b = 0;
+    }
+    inner.floor = 0;
 }
 
 #[cfg(test)]
@@ -475,6 +613,36 @@ mod tests {
                 if let Some(round) = latest[lba as usize] {
                     assert_eq!(ftl.read(lba).await.unwrap(), (lba, round));
                 }
+            }
+        });
+    }
+
+    #[test]
+    fn mount_recovers_mapping_after_power_fail() {
+        let mut sim = Sim::new(3);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let ftl: PageFtl<u32> = PageFtl::new(h.clone(), cfg(8), PageFtlConfig::default());
+            for lba in 0..6 {
+                ftl.write(lba, lba + 100).await.unwrap();
+            }
+            // Overwrite leaves two copies of LBA 2; newest must win at mount.
+            ftl.write(2, 999).await.unwrap();
+            // Tear an in-flight overwrite of LBA 5.
+            let f2 = ftl.clone();
+            h.spawn(async move {
+                let _ = f2.write(5, 777).await;
+            });
+            h.sleep(std::time::Duration::from_micros(10)).await;
+            assert_eq!(ftl.power_fail(), 1);
+            let report = ftl.mount().await;
+            assert_eq!(report.torn_pages, 1);
+            assert_eq!(report.keys, 6);
+            assert_eq!(ftl.read(2).await.unwrap(), 999);
+            // The torn overwrite was never acknowledged: old value survives.
+            assert_eq!(ftl.read(5).await.unwrap(), 105);
+            for lba in [0u32, 1, 3, 4] {
+                assert_eq!(ftl.read(lba).await.unwrap(), lba + 100);
             }
         });
     }

@@ -978,9 +978,19 @@ impl Txn {
                 Some(Ok(self.note_value(key, version, value, prepared)))
             }
             Ok(TxnResponse::NotFound) => Some(Err(TxnError::KeyNotFound(key.clone()))),
-            // Anything else — Moved (migration fence), NotReady, Shed, a
-            // lost RPC — falls through to the primary, whose own reply
-            // drives the retry/refresh machinery.
+            // An explicit refusal: the replica is cold-restarting and its
+            // applied watermark regressed to zero. Forget its cached
+            // (pre-restart) watermark — `observe` is monotone, so the old
+            // promise would otherwise keep attracting routed reads that
+            // are guaranteed to bounce until catch-up re-promises the
+            // write floor.
+            Ok(TxnResponse::NotReady) => {
+                self.c.view.borrow_mut().forget(&replica);
+                None
+            }
+            // Anything else — Moved (migration fence), Shed, a lost RPC —
+            // falls through to the primary, whose own reply drives the
+            // retry/refresh machinery.
             _ => None,
         }
     }

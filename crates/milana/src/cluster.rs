@@ -123,6 +123,9 @@ pub struct MilanaCluster {
     pub master_rpc: RpcClient,
     /// Build configuration.
     pub config: MilanaClusterConfig,
+    /// Replicas whose last failure was a power failure (backend volatile
+    /// state torn): these must restart cold, never warm.
+    power_failed: RefCell<std::collections::BTreeSet<(u32, usize)>>,
     handle: SimHandle,
 }
 
@@ -190,6 +193,7 @@ impl MilanaCluster {
                         is_primary: r == 0,
                         clients: client_ids.clone(),
                         primary_node: (r != 0).then_some(group.primary.node),
+                        cold_start: false,
                         tuning,
                     },
                 );
@@ -295,6 +299,7 @@ impl MilanaCluster {
             replicas,
             master_rpc: RpcClient::new(handle, MASTER_NODE, 0),
             config,
+            power_failed: RefCell::new(std::collections::BTreeSet::new()),
             handle: handle.clone(),
         }
     }
@@ -359,6 +364,7 @@ impl MilanaCluster {
                     is_primary: r == 0,
                     clients: client_ids.clone(),
                     primary_node: (r != 0).then(|| addrs[0].node),
+                    cold_start: false,
                     tuning,
                 },
             );
@@ -436,48 +442,133 @@ impl MilanaCluster {
         }
     }
 
-    /// Restarts a previously killed replica as a backup, reusing its
-    /// persistent storage and transaction table.
+    /// Restarts a previously killed replica as a backup after a **warm**
+    /// failure — an OS-process crash/restart that kept the machine (and
+    /// thus the page cache and persistent memory) powered. The replica
+    /// reuses its storage backend *and* its transaction table: only
+    /// volatile per-key metadata and in-flight tasks were lost, exactly
+    /// the state §4.5's protocol rebuilds. Contrast with
+    /// [`MilanaCluster::restart_replica_cold`], which models a power
+    /// failure that erased DRAM.
     ///
     /// # Panics
     ///
     /// Panics if the replica's node is still alive.
-    pub fn restart_replica(&mut self, shard: ShardId, replica_idx: usize) {
+    pub fn restart_replica_warm(&mut self, shard: ShardId, replica_idx: usize) {
         let slot_addr = self.replicas[shard.0 as usize][replica_idx].addr;
         assert!(
             self.handle.is_dead(slot_addr.node),
-            "restart_replica on a live node"
+            "restart_replica_warm on a live node"
+        );
+        assert!(
+            !self.is_power_failed(shard, replica_idx),
+            "replica lost power: it has no DRAM left to warm-restart from \
+             (use restart_replica_cold)"
         );
         self.handle.revive_node(slot_addr.node);
         let old = &self.replicas[shard.0 as usize][replica_idx].server;
         let backend = old.backend().clone();
         let table = old.table().clone();
+        let server = self.respawn(shard, slot_addr, backend, table, false);
+        self.replicas[shard.0 as usize][replica_idx] = ReplicaSlot {
+            server,
+            addr: slot_addr,
+        };
+    }
+
+    /// Power-fails a replica: kills its node *and* tears the storage
+    /// backend's volatile state (in-flight page programs become torn
+    /// pages, RAM queues and mapping tables drop). Pair with
+    /// [`MilanaCluster::restart_replica_cold`].
+    pub fn power_fail_replica(&self, shard: ShardId, replica_idx: usize) {
+        let slot = &self.replicas[shard.0 as usize][replica_idx];
+        self.handle.kill_node(slot.addr.node);
+        slot.server.backend().power_fail();
+        self.power_failed
+            .borrow_mut()
+            .insert((shard.0, replica_idx));
+        self.config.tuning.obs.tracer.record(
+            self.handle.now().as_nanos(),
+            obskit::TraceEvent::RecoveryStep {
+                node: slot.addr.node.0 as u64,
+                shard: shard.0 as u64,
+                phase: obskit::RecoveryPhase::PowerFail,
+                detail: 0,
+            },
+        );
+    }
+
+    /// True when the replica's last failure was a power failure and it has
+    /// not yet been cold-restarted. Restart routing (the nemesis finale,
+    /// recovery harnesses) uses this to pick
+    /// [`MilanaCluster::restart_replica_cold`] over the warm path.
+    pub fn is_power_failed(&self, shard: ShardId, replica_idx: usize) -> bool {
+        self.power_failed.borrow().contains(&(shard.0, replica_idx))
+    }
+
+    /// Restarts a previously killed replica as a backup after a **cold**
+    /// (power-fail) failure: DRAM is gone, so the server gets a *fresh,
+    /// empty* transaction table and mounts its flash backend — a
+    /// deterministic OOB scan that rebuilds the mapping table, discards
+    /// torn pages, and recovers the durable write-floor record — then runs
+    /// anti-entropy catch-up against the current primary before serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica's node is still alive.
+    pub fn restart_replica_cold(&mut self, shard: ShardId, replica_idx: usize) {
+        let slot_addr = self.replicas[shard.0 as usize][replica_idx].addr;
+        assert!(
+            self.handle.is_dead(slot_addr.node),
+            "restart_replica_cold on a live node"
+        );
+        self.handle.revive_node(slot_addr.node);
+        self.power_failed
+            .borrow_mut()
+            .remove(&(shard.0, replica_idx));
+        let old = &self.replicas[shard.0 as usize][replica_idx].server;
+        let backend = old.backend().clone();
+        let table = Rc::new(RefCell::new(TxnTable::new()));
+        let server = self.respawn(shard, slot_addr, backend, table, true);
+        self.replicas[shard.0 as usize][replica_idx] = ReplicaSlot {
+            server,
+            addr: slot_addr,
+        };
+    }
+
+    fn respawn(
+        &self,
+        shard: ShardId,
+        addr: Addr,
+        backend: Backend,
+        table: Rc<RefCell<TxnTable>>,
+        cold_start: bool,
+    ) -> TxnServer {
         let client_ids: Vec<ClientId> = (0..self.config.clients).map(ClientId).collect();
         let mut tuning = self.config.tuning.clone();
         if self.config.auto_failover {
             tuning.master = Some(Addr::new(MASTER_NODE, 4));
         }
-        let server = TxnServer::spawn(
+        TxnServer::spawn(
             &self.handle,
             backend,
             table,
             self.map.clone(),
             TxnServerConfig {
                 shard,
-                addr: slot_addr,
+                addr,
                 backups: Vec::new(),
                 is_primary: false,
                 clients: client_ids,
                 // A restarted replica missed an unknown stretch of the
                 // floor stream: its applied watermark (persisted in the
-                // table) stays frozen until the next promotion re-syncs it.
+                // table on a warm restart, zero on a cold one) stays
+                // frozen until a promotion's `InstallLog` or a cold
+                // catch-up splice re-syncs it.
                 primary_node: None,
+                cold_start,
                 tuning,
             },
-        );
-        self.replicas[shard.0 as usize][replica_idx] = ReplicaSlot {
-            server,
-            addr: slot_addr,
-        };
+        )
     }
 }

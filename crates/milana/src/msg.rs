@@ -236,6 +236,17 @@ pub enum TxnRequest {
     /// Rebalance engine → source primary: forwarding term is over; delete
     /// moved keys from local storage.
     MigrationGc,
+    /// Cold-restarting replica → its shard's current primary: anti-entropy
+    /// catch-up fetch. A cursored sweep of the primary's transaction table
+    /// in [`TxnId`] order; `cursor` is exclusive (`None` starts at the
+    /// beginning). Recovery-plane traffic: never batched into a
+    /// group-commit envelope and never shed by admission control.
+    CatchUpFetch {
+        /// Resume after this transaction id (exclusive); `None` = start.
+        cursor: Option<TxnId>,
+        /// Maximum records per reply page.
+        limit: u64,
+    },
 }
 
 /// Replies from a MILANA shard server.
@@ -322,6 +333,21 @@ pub enum TxnResponse {
         /// The serving replica's admission queue depth (for
         /// power-of-two-choices routing).
         depth: u64,
+    },
+    /// One page of a [`TxnRequest::CatchUpFetch`] sweep.
+    CatchUpRecords {
+        /// Table records in [`TxnId`] order, after the cursor.
+        records: Vec<TxnRecord>,
+        /// Cursor for the next page; `None` when the sweep is complete.
+        next: Option<TxnId>,
+        /// The primary's floor-stream position (the `seq` its *next*
+        /// `AppliedFloor` will carry) at reply time. On the final page the
+        /// replica splices into the live stream here: lower seqs still in
+        /// flight are duplicates of state the sweep already covered.
+        floor_seq: u64,
+        /// The primary's current client write-floor at reply time
+        /// ([`timesync::Timestamp::ZERO`] when no client has promised yet).
+        floor: Timestamp,
     },
     /// Storage out of space.
     Capacity,

@@ -98,6 +98,16 @@ pub struct ServerTuning {
     /// `FloorSync` envelope on this period. `None` disables the task
     /// (floors then ride only on organic replication traffic).
     pub gossip_every: Option<Duration>,
+    /// Records per anti-entropy catch-up page a cold-restarting replica
+    /// pulls from its primary ([`TxnRequest::CatchUpFetch`]).
+    pub catchup_batch: usize,
+    /// Fault-injection hook: when set, a cold restart trusts its mounted
+    /// flash state as-is — no anti-entropy catch-up, and the stale durable
+    /// floor is adopted as the applied watermark. Exists solely so chaos
+    /// harnesses can seed a durability bug (`--inject durability-skip`)
+    /// and prove the `lost_acked_write` / `stale_backup_read` checkers
+    /// catch it. Shared (`Rc`) so one toggle reaches every replica.
+    pub skip_durability: std::rc::Rc<std::cell::Cell<bool>>,
 }
 
 impl Default for ServerTuning {
@@ -115,6 +125,8 @@ impl Default for ServerTuning {
             admission: loadkit::AdmissionConfig::default(),
             batch: BatchConfig::default(),
             gossip_every: None,
+            catchup_batch: 64,
+            skip_durability: std::rc::Rc::new(std::cell::Cell::new(false)),
         }
     }
 }
@@ -144,6 +156,15 @@ pub struct TxnServerConfig {
     /// its applied watermark stays frozen until the next promotion's
     /// `InstallLog` re-syncs it. Irrelevant on primaries.
     pub primary_node: Option<simkit::net::NodeId>,
+    /// True when this replica is coming back from a *power failure*: its
+    /// DRAM — transaction table included — is gone and only flash
+    /// survived. The server boots not-serving, mounts the backend
+    /// (rebuilding the mapping table and discarding torn pages),
+    /// rehydrates the write-floor promises from the durable floor record,
+    /// and runs anti-entropy catch-up against the current primary before
+    /// opening for business. Pass a *fresh, empty* transaction table with
+    /// this flag — whatever the old table held died with the RAM.
+    pub cold_start: bool,
     /// Timing knobs.
     pub tuning: ServerTuning,
 }
@@ -214,6 +235,14 @@ struct ServerState {
     /// an outcome a later floor claims to cover), so the watermark stays
     /// frozen until an `InstallLog` re-baselines it.
     floor_expected: Option<u64>,
+    /// Backup, while no floor stream is trusted (`floor_primary` is
+    /// `None`, i.e. mid cold-restart catch-up): the latest *contiguous*
+    /// run `(start, next)` of floor seqs observed per sender, covering
+    /// `start..next`. The anti-entropy splice consults this: envelopes
+    /// that arrived mid-sweep had their data installed by the live
+    /// replication path, so the stream may resume after them instead of
+    /// freezing on a phantom gap. Cleared once a stream is trusted.
+    floor_runs: std::collections::BTreeMap<simkit::net::NodeId, (u64, u64)>,
 }
 
 /// Counters for observability and the experiment harnesses.
@@ -289,7 +318,9 @@ impl TxnServer {
         let state = ServerState {
             is_primary: cfg.is_primary,
             backups: cfg.backups.clone(),
-            serving: true,
+            // A cold start answers `NotReady` until the mount scan and
+            // anti-entropy catch-up complete.
+            serving: !cfg.cold_start,
             watermarks: WatermarkTracker::new(cfg.clients.iter().copied()),
             floors: WatermarkTracker::new(cfg.clients.iter().copied()),
             lease_until: SimTime::ZERO,
@@ -302,6 +333,7 @@ impl TxnServer {
             floor_seq: 0,
             floor_primary: cfg.primary_node,
             floor_expected: Some(0),
+            floor_runs: std::collections::BTreeMap::new(),
         };
         let admission = Rc::new(loadkit::Admission::observed(
             cfg.tuning.admission.clone(),
@@ -332,6 +364,13 @@ impl TxnServer {
         server.spawn_loop();
         if server.state.borrow().is_primary {
             server.spawn_primary_tasks();
+        }
+        if server.cfg.cold_start {
+            let me = server.clone();
+            let node = server.cfg.addr.node;
+            server.handle.spawn_on(node, async move {
+                me.cold_start().await;
+            });
         }
         server
     }
@@ -544,6 +583,12 @@ impl TxnServer {
         self.state.borrow().is_primary
     }
 
+    /// True once this replica answers requests (false mid-recovery: a
+    /// promotion's log merge or a cold restart's mount + catch-up).
+    pub fn is_serving(&self) -> bool {
+        self.state.borrow().serving
+    }
+
     fn latest_committed(&self, key: &Key) -> Option<Version> {
         self.backend.versions(key).first().copied()
     }
@@ -746,6 +791,7 @@ impl TxnServer {
                     // new primary's stream starts at seq 0; adopt it.
                     st.floor_primary = Some(from.node);
                     st.floor_expected = Some(0);
+                    st.floor_runs.clear();
                 }
                 resp.reply(TxnResponse::Ack);
             }
@@ -911,6 +957,56 @@ impl TxnServer {
                     .add(dropped);
                 resp.reply(TxnResponse::Ack);
             }
+            TxnRequest::CatchUpFetch { cursor, limit } => {
+                // Recovery-plane traffic: never admission-gated (shedding
+                // it only prolongs the outage it is healing). Only a
+                // serving primary answers; a mid-promotion primary replies
+                // NotReady and the cold replica retries.
+                let ready = {
+                    let st = self.state.borrow();
+                    st.is_primary && st.serving
+                };
+                if !ready {
+                    resp.reply(TxnResponse::NotReady);
+                    return;
+                }
+                let all = self.table.borrow().all_records();
+                let start = match cursor {
+                    Some(c) => all.partition_point(|r| r.txid <= c),
+                    None => 0,
+                };
+                let end = start
+                    .saturating_add(limit.clamp(1, 4096) as usize)
+                    .min(all.len());
+                let records: Vec<TxnRecord> = all[start..end].to_vec();
+                let next = if end < all.len() {
+                    records.last().map(|r| r.txid)
+                } else {
+                    None
+                };
+                // One borrow for (seq, floor) so the pair is consistent:
+                // `floor_seq` is where the splice resumes the live stream,
+                // and every outcome `floor` covers was flushed in an
+                // envelope strictly below it.
+                let (floor_seq, floor) = {
+                    let st = self.state.borrow();
+                    let f = st.floors.watermark();
+                    (
+                        st.floor_seq,
+                        if f == Timestamp::MAX {
+                            Timestamp::ZERO
+                        } else {
+                            f
+                        },
+                    )
+                };
+                resp.reply(TxnResponse::CatchUpRecords {
+                    records,
+                    next,
+                    floor_seq,
+                    floor,
+                });
+            }
         }
     }
 
@@ -961,6 +1057,9 @@ impl TxnServer {
         };
         if primary && floor < Timestamp::MAX {
             self.table.borrow_mut().advance_applied_watermark(floor);
+            // Stamp the floor into every subsequent flash page program so a
+            // cold restart can recover the promise from the mount scan.
+            self.backend.note_floor(floor);
         }
     }
 
@@ -969,7 +1068,24 @@ impl TxnServer {
     /// the trusted primary (see the `floor_*` state field docs).
     fn accept_floor(&self, seq: u64, ts: Timestamp, from: Addr) {
         let mut st = self.state.borrow_mut();
-        if st.is_primary || st.floor_primary != Some(from.node) {
+        if st.is_primary {
+            return;
+        }
+        if st.floor_primary.is_none() {
+            // Mid cold-restart catch-up: no stream is trusted yet, but the
+            // envelope's data was installed by the live replication path.
+            // Remember the contiguous run so the splice can resume after
+            // it (see `ServerState::floor_runs`) instead of mistaking
+            // these envelopes for a gap.
+            let run = st.floor_runs.entry(from.node).or_insert((seq, seq));
+            if seq == run.1 {
+                run.1 = seq + 1;
+            } else if seq > run.1 {
+                *run = (seq, seq + 1);
+            }
+            return;
+        }
+        if st.floor_primary != Some(from.node) {
             return;
         }
         match st.floor_expected {
@@ -978,14 +1094,34 @@ impl TxnServer {
                 drop(st);
                 if ts < Timestamp::MAX {
                     self.table.borrow_mut().advance_applied_watermark(ts);
+                    // Make the promise durable: a cold restart rehydrates
+                    // its floor tracker from the mount scan's recovered
+                    // floor (the max over intact page OOB stamps).
+                    self.backend.note_floor(ts);
                 }
             }
             // An older (duplicate) floor teaches nothing new; ignore.
             Some(e) if seq < e => {}
             // Gap: an envelope this floor covers never arrived. Keep
             // applying data, but freeze the watermark until an
-            // `InstallLog` re-baselines the stream.
-            _ => st.floor_expected = None,
+            // `InstallLog` re-baselines the stream — unless the
+            // durability-skip fraud hook is on, in which case the replica
+            // pretends the gap never happened and splices blindly into
+            // the live stream. Its watermark then advances over commits
+            // it never recovered: exactly the bug the `lost_acked_write`
+            // checker exists to catch.
+            _ => {
+                if self.cfg.tuning.skip_durability.get() {
+                    st.floor_expected = Some(seq + 1);
+                    drop(st);
+                    if ts < Timestamp::MAX {
+                        self.table.borrow_mut().advance_applied_watermark(ts);
+                        self.backend.note_floor(ts);
+                    }
+                } else {
+                    st.floor_expected = None;
+                }
+            }
         }
     }
 
@@ -1673,5 +1809,244 @@ impl TxnServer {
         // 7. Open for business.
         self.state.borrow_mut().serving = true;
         self.spawn_primary_tasks();
+    }
+
+    /// Cold-restart recovery driver (spawned when `cfg.cold_start`): mount
+    /// the flash backend, rehydrate the write-floor promises from the
+    /// durable floor record, anti-entropy catch-up from the current
+    /// primary, then open for business. The server answers `NotReady`
+    /// throughout; in particular the fresh table's applied watermark stays
+    /// at zero — the mounted durable floor is a *promise* about client
+    /// clocks, never a completeness claim about local chains, so backup
+    /// snapshot reads resume only once the live floor stream re-promises
+    /// coverage after the catch-up splice.
+    async fn cold_start(&self) {
+        let reg = &self.cfg.tuning.obs.registry;
+        let node = self.cfg.addr.node.0 as u64;
+        let shard = self.cfg.shard.0 as u64;
+        self.trace(obskit::TraceEvent::RecoveryStep {
+            node,
+            shard,
+            phase: obskit::RecoveryPhase::MountStart,
+            detail: 0,
+        });
+        reg.counter("mount_scans").inc();
+        let report = self.backend.mount().await;
+        reg.counter("torn_pages").add(report.torn_pages);
+        self.trace(obskit::TraceEvent::RecoveryStep {
+            node,
+            shard,
+            phase: obskit::RecoveryPhase::MountDone,
+            detail: report.torn_pages,
+        });
+        // The durable floor was only stamped once every client had
+        // promised no future prepare at or below it; client clocks are
+        // monotone, so the promise holds across the power failure. Without
+        // this, a later promotion of this replica would run its floor
+        // fence against an empty tracker and could accept a straggler
+        // prepare below an `AppliedFloor` other backups already served
+        // reads against.
+        if report.floor > Timestamp::ZERO {
+            self.state.borrow_mut().floors.rehydrate(report.floor);
+        }
+        if self.cfg.tuning.skip_durability.get() {
+            // Fault-injection hook (`--inject durability-skip`): trust the
+            // mounted state as-is — no anti-entropy, the stale durable
+            // floor is adopted as the applied watermark, and the replica
+            // splices itself blindly into the live floor stream (see
+            // `accept_floor`) as if the gap never happened. Commits acked
+            // while this replica was down are silently missing; the
+            // campaign checkers must catch the fraud.
+            if report.floor > Timestamp::ZERO {
+                self.table
+                    .borrow_mut()
+                    .advance_applied_watermark(report.floor);
+            }
+            let primary = self
+                .map
+                .borrow()
+                .group_opt(self.cfg.shard)
+                .map(|g| g.primary);
+            if let Some(p) = primary {
+                self.state.borrow_mut().floor_primary = Some(p.node);
+            }
+            let serving = {
+                let mut st = self.state.borrow_mut();
+                if !st.is_primary {
+                    st.serving = true;
+                }
+                st.serving
+            };
+            if serving {
+                self.trace(obskit::TraceEvent::RecoveryStep {
+                    node,
+                    shard,
+                    phase: obskit::RecoveryPhase::Serving,
+                    detail: report.floor.as_nanos(),
+                });
+            }
+            return;
+        }
+        self.catch_up().await;
+        let floor = {
+            let mut st = self.state.borrow_mut();
+            if st.is_primary {
+                // Promoted mid-recovery: `recover_as_primary` merged the
+                // logs majority-wide (superseding this sweep) and owns the
+                // `serving` flip.
+                return;
+            }
+            st.serving = true;
+            st.floors.watermark()
+        };
+        self.trace(obskit::TraceEvent::RecoveryStep {
+            node,
+            shard,
+            phase: obskit::RecoveryPhase::Serving,
+            detail: if floor == Timestamp::MAX {
+                0
+            } else {
+                floor.as_nanos()
+            },
+        });
+    }
+
+    /// Anti-entropy catch-up: a cursored sweep of the current primary's
+    /// transaction table, installing every record and applying committed
+    /// writes the mounted storage is missing (idempotent — the backend
+    /// rejects duplicate versions). Commits decided *during* the sweep
+    /// arrive through the live replication stream, which this replica has
+    /// been receiving since its node revived; the final page's `floor_seq`
+    /// splices the floor stream so the applied watermark resumes with the
+    /// next contiguous envelope. Deliberately conservative: the fetched
+    /// floor itself never advances the applied watermark, because
+    /// envelopes below the splice point may still be in flight with
+    /// outcomes that floor claims to cover.
+    async fn catch_up(&self) {
+        let keys_ctr = self.cfg.tuning.obs.registry.counter("catchup_keys");
+        let node = self.cfg.addr.node.0 as u64;
+        let shard = self.cfg.shard.0 as u64;
+        let limit = self.cfg.tuning.catchup_batch.max(1) as u64;
+        let mut cursor: Option<TxnId> = None;
+        let mut fetched = 0u64;
+        loop {
+            if self.state.borrow().is_primary {
+                return;
+            }
+            let primary = self
+                .map
+                .borrow()
+                .group_opt(self.cfg.shard)
+                .map(|g| g.primary);
+            let primary = match primary {
+                Some(p) if p != self.cfg.addr && !self.handle.is_dead(p.node) => p,
+                // No reachable primary right now (mid-failover); wait for
+                // the map to settle and retry.
+                _ => {
+                    self.handle.sleep(self.cfg.tuning.repl_timeout).await;
+                    continue;
+                }
+            };
+            match self
+                .rpc
+                .call::<TxnRequest, TxnResponse>(
+                    primary,
+                    TxnRequest::CatchUpFetch { cursor, limit },
+                    self.cfg.tuning.repl_timeout * 4,
+                )
+                .await
+            {
+                Ok(TxnResponse::CatchUpRecords {
+                    records,
+                    next,
+                    floor_seq,
+                    floor,
+                }) => {
+                    for r in records {
+                        let applied = self.catchup_install(r).await;
+                        fetched += applied;
+                        keys_ctr.add(applied);
+                    }
+                    self.trace(obskit::TraceEvent::RecoveryStep {
+                        node,
+                        shard,
+                        phase: obskit::RecoveryPhase::CatchUp,
+                        detail: fetched,
+                    });
+                    match next {
+                        Some(c) => cursor = Some(c),
+                        None => {
+                            {
+                                let mut st = self.state.borrow_mut();
+                                if st.is_primary {
+                                    return;
+                                }
+                                // Splice into the live floor stream. Keep a
+                                // further-along position if this stream's
+                                // envelopes already advanced it (an
+                                // `InstallLog` may have re-baselined us
+                                // mid-sweep).
+                                let same = st.floor_primary == Some(primary.node);
+                                if !(same && st.floor_expected.is_some_and(|e| e >= floor_seq)) {
+                                    // Resume after floors that streamed in
+                                    // mid-sweep (their data arrived live;
+                                    // only the floor metadata was dropped
+                                    // while no stream was trusted) — but
+                                    // only when the run reaches back to the
+                                    // sampled position; a disjoint run
+                                    // means envelopes were really lost.
+                                    let resume = match st.floor_runs.get(&primary.node) {
+                                        Some(&(start, next)) if start <= floor_seq => {
+                                            next.max(floor_seq)
+                                        }
+                                        _ => floor_seq,
+                                    };
+                                    st.floor_expected = Some(resume);
+                                }
+                                st.floor_primary = Some(primary.node);
+                                st.floor_runs.clear();
+                                if floor > Timestamp::ZERO {
+                                    st.floors.rehydrate(floor);
+                                }
+                            }
+                            if floor > Timestamp::ZERO {
+                                self.backend.note_floor(floor);
+                            }
+                            return;
+                        }
+                    }
+                }
+                // Primary mid-promotion (NotReady), deposed, or
+                // unreachable: re-resolve from the shared map and retry.
+                Ok(_) | Err(_) => {
+                    self.handle.sleep(self.cfg.tuning.repl_timeout).await;
+                }
+            }
+        }
+    }
+
+    /// Installs one swept record, settling any outcome that raced ahead of
+    /// it and applying committed writes not yet in the mounted backend.
+    /// Returns the number of keys applied.
+    async fn catchup_install(&self, r: TxnRecord) -> u64 {
+        if r.status == TxnStatus::Prepared {
+            self.backup_install_prepare(r).await;
+            return 0;
+        }
+        let apply = r.status == TxnStatus::Committed && !self.table.borrow().is_applied(r.txid);
+        let txid = r.txid;
+        let items: Vec<(Key, Value, Version)> = r
+            .writes
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone(), Version::new(r.ts_commit, txid.client)))
+            .collect();
+        self.table.borrow_mut().install(r);
+        if !apply {
+            return 0;
+        }
+        let n = items.len() as u64;
+        let _ = self.backend.apply_batch_unordered(items).await;
+        self.table.borrow_mut().mark_applied(txid);
+        n
     }
 }

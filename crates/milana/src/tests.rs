@@ -874,7 +874,7 @@ fn install_log_catches_up_a_stale_backup() {
     });
     // Restart the lagging backup, then fail the primary over: the new
     // primary's InstallLog must bring the stale backup's data forward.
-    cluster.restart_replica(ShardId(0), 2);
+    cluster.restart_replica_warm(ShardId(0), 2);
     cluster.fail_primary(ShardId(0));
     sim.block_on(cluster.promote_backup(ShardId(0)))
         .expect("promotion");

@@ -59,7 +59,9 @@ pub use json::Json;
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 pub use series::TimeSeries;
 pub use stats::TxnStats;
-pub use trace::{FlashOpKind, FlushReason, MigrationPhase, ShedReason, TraceEvent, Tracer};
+pub use trace::{
+    FlashOpKind, FlushReason, MigrationPhase, RecoveryPhase, ShedReason, TraceEvent, Tracer,
+};
 
 /// The observability bundle a component is handed: a metric registry plus a
 /// trace sink. Cloning shares both (handles are `Rc`-backed).

@@ -108,6 +108,35 @@ impl MigrationPhase {
     }
 }
 
+/// A cold-restart recovery phase (the recoverkit state machine, mirrored
+/// here so the trace schema stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// Power failed: volatile state lost, in-flight programs torn.
+    PowerFail,
+    /// Mount scan over the durable medium started.
+    MountStart,
+    /// Mount scan finished; mapping table and floor recovered.
+    MountDone,
+    /// Anti-entropy catch-up from the current primary is running.
+    CatchUp,
+    /// Replica is caught up and serving again.
+    Serving,
+}
+
+impl RecoveryPhase {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryPhase::PowerFail => "power_fail",
+            RecoveryPhase::MountStart => "mount_start",
+            RecoveryPhase::MountDone => "mount_done",
+            RecoveryPhase::CatchUp => "catch_up",
+            RecoveryPhase::Serving => "serving",
+        }
+    }
+}
+
 /// One structured event. Identities are plain integers so `obskit` stays
 /// dependency-free: transaction ids are `(client, seq)` pairs, nodes and
 /// shards are their numeric ids, and keys are reported as their `u64` id
@@ -307,6 +336,19 @@ pub enum TraceEvent {
         /// The snapshot timestamp served (ns).
         ts_begin: u64,
     },
+    /// A cold-restarting replica entered a recovery phase. `detail` is
+    /// phase-specific: torn pages for `mount_done`, keys fetched for
+    /// `catch_up`, the recovered floor (ns) for `serving`, else 0.
+    RecoveryStep {
+        /// Recovering replica's node id.
+        node: u64,
+        /// Shard the replica belongs to.
+        shard: u64,
+        /// The phase entered.
+        phase: RecoveryPhase,
+        /// Phase-specific detail value (see above).
+        detail: u64,
+    },
 }
 
 impl TraceEvent {
@@ -336,6 +378,7 @@ impl TraceEvent {
             TraceEvent::ShardOwned { .. } => "shard_owned",
             TraceEvent::ShardReleased { .. } => "shard_released",
             TraceEvent::ReadServed { .. } => "read_served",
+            TraceEvent::RecoveryStep { .. } => "recovery_step",
         }
     }
 
@@ -465,6 +508,16 @@ impl TraceEvent {
                 .field("replica", Json::U64(replica))
                 .field("watermark", Json::U64(watermark))
                 .field("ts_begin", Json::U64(ts_begin)),
+            TraceEvent::RecoveryStep {
+                node,
+                shard,
+                phase,
+                detail,
+            } => doc
+                .field("node", Json::U64(node))
+                .field("shard", Json::U64(shard))
+                .field("phase", Json::str(phase.as_str()))
+                .field("detail", Json::U64(detail)),
         }
     }
 
@@ -752,6 +805,12 @@ mod tests {
                 watermark: 40,
                 ts_begin: 30,
             },
+            TraceEvent::RecoveryStep {
+                node: 5,
+                shard: 1,
+                phase: RecoveryPhase::MountDone,
+                detail: 2,
+            },
         ];
         let n = evs.len();
         for (i, ev) in evs.into_iter().enumerate() {
@@ -783,6 +842,7 @@ mod tests {
             "shard_owned",
             "shard_released",
             "read_served",
+            "recovery_step",
         ] {
             assert!(dump.contains(&format!(r#""ev":"{name}""#)), "{name}");
             assert_eq!(t.count_of(name), 1, "{name}");

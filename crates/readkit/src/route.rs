@@ -90,6 +90,22 @@ impl<A: Ord + Clone> ReplicaView<A> {
         self.stats.get(addr).map(|s| s.watermark)
     }
 
+    /// Drops everything cached about `addr`.
+    ///
+    /// For when the replica *explicitly refused* to serve (`NotReady`): a
+    /// cold-restarting replica regressed its applied watermark to zero and
+    /// will not serve again until anti-entropy catch-up re-promises its
+    /// write floor. [`ReplicaView::observe`] keeps watermarks monotone (a
+    /// defense against reordered gossip), so without this the pre-restart
+    /// watermark would keep advertising coverage the replica no longer
+    /// has, and every read would burn its routed attempt on a guaranteed
+    /// `NotReady`. Forgetting demotes the replica to an unknown
+    /// (probe-eligible) candidate; the first reply after recovery
+    /// re-populates the entry.
+    pub fn forget(&mut self, addr: &A) {
+        self.stats.remove(addr);
+    }
+
     /// Picks the backup that should serve a snapshot read at `at`, or
     /// `None` to use the primary.
     ///
@@ -231,6 +247,27 @@ mod tests {
             draws.next().unwrap()
         });
         assert_eq!(got, Some(2));
+    }
+
+    #[test]
+    fn forget_demotes_a_covering_replica_to_a_probe() {
+        let mut v: ReplicaView<u32> = ReplicaView::new();
+        v.observe(1, ts(120), 0, 0);
+        v.observe(2, ts(80), 0, 0);
+        // Replica 1 is the known-freshest pick …
+        let got = v.pick(ReadRoute::Freshest, &[1, 2], ts(60), 1000, 10, |_| 0);
+        assert_eq!(got, Some(1));
+        // … until it answers NotReady and is forgotten: the monotone
+        // observe max is gone, and 2 (known covering) wins over 1
+        // (mere probe).
+        v.forget(&1);
+        assert_eq!(v.watermark(&1), None);
+        let got = v.pick(ReadRoute::Freshest, &[1, 2], ts(60), 1000, 10, |_| 0);
+        assert_eq!(got, Some(2));
+        // A fresh post-recovery report repopulates the entry from scratch
+        // — no resurrection of the pre-restart watermark.
+        v.observe(1, ts(30), 0, 20);
+        assert_eq!(v.watermark(&1), Some(ts(30)));
     }
 
     #[test]
