@@ -24,7 +24,7 @@ use semel::server::ReplicationMode;
 use simkit::metrics::Histogram;
 use simkit::rng::Zipf;
 use simkit::Sim;
-use timesync::{ClientId, Discipline, Timestamp, Version};
+use timesync::{ClientId, ClockSpec, Discipline, Timestamp, Version};
 
 use crate::common::{run_retwis_on_milana, Scale};
 
@@ -197,7 +197,7 @@ pub fn run_clocks(scale: Scale) -> Json {
                         ..NandConfig::default()
                     }
                     .sized_for(keyspace, 512, 0.08),
-                    discipline: discipline.clone(),
+                    clock: ClockSpec::from(discipline.clone()),
                     preload_keys: keyspace,
                     net: simkit::net::LatencyConfig {
                         one_way: Duration::from_micros(150),
@@ -541,10 +541,14 @@ pub fn run_open_loop(scale: Scale) -> Json {
                         ..NandConfig::default()
                     }
                     .sized_for(keyspace / 3, 512, 0.08),
-                    discipline: Discipline::PtpSoftware,
+                    clock: ClockSpec::ptp_software(),
                     preload_keys: keyspace,
                     client_cfg: milana::client::TxnClientConfig {
-                        local_validation: lv,
+                        validation: if lv {
+                            milana::client::ValidationMode::Local
+                        } else {
+                            milana::client::ValidationMode::Remote
+                        },
                         ..milana::client::TxnClientConfig::default()
                     },
                     net: simkit::net::LatencyConfig {

@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use batchkit::BatchConfig;
 use flashsim::{value, Key};
+use milana::client::TxnOpts;
 use milana::cluster::MilanaCluster;
 use obskit::{Json, Obs};
 use semel::ClusterSpec;
@@ -138,7 +139,7 @@ fn run_point(batch_max: usize, cfg: &BatchSweepConfig, seed: u64) -> BatchPoint 
                         if measured {
                             acc.borrow_mut().2 += 1;
                         }
-                        let mut t = c2.begin();
+                        let mut t = c2.begin_with(TxnOpts::default());
                         if t.get(&key).await.is_err() {
                             return;
                         }

@@ -53,6 +53,12 @@ fn main() {
     let rec_trials = bench::recovery::run(&rec_cfg);
     let rec_campaign = bench::recovery::run_powerfail_campaign(&rec_cfg);
     bench::recovery::print(&rec_cfg, &rec_trials, &rec_campaign);
+    println!();
+    let cf_cfg = bench::clockfault::ClockFaultConfig::for_scale(scale);
+    let cf_sweep = bench::clockfault::run_sweep(&cf_cfg);
+    let cf_degradation = bench::clockfault::run_degradation(&cf_cfg);
+    let cf_campaign = bench::clockfault::run_fault_campaign(&cf_cfg);
+    bench::clockfault::print(&cf_cfg, &cf_sweep, &cf_degradation, &cf_campaign);
     artifact::maybe_write(
         "all",
         scale,
@@ -80,6 +86,10 @@ fn main() {
             .field(
                 "recovery",
                 bench::recovery::to_json(&rec_cfg, &rec_trials, &rec_campaign),
+            )
+            .field(
+                "clockfault",
+                bench::clockfault::to_json(&cf_cfg, &cf_sweep, &cf_degradation, &cf_campaign),
             ),
     );
     bench::common::maybe_dump_trace();

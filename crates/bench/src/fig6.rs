@@ -18,7 +18,7 @@ use obskit::Json;
 use retwis::driver::WorkloadConfig;
 use retwis::mix::Mix;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 use crate::common::{run_retwis_on_milana, Scale};
 
@@ -107,7 +107,7 @@ fn run_point(
             clients,
             backend: kind,
             nand,
-            discipline: Discipline::Perfect, // no clock skew on one VM
+            clock: ClockSpec::perfect(), // no clock skew on one VM
             preload_keys: cfg.keyspace,
             value_size: 472,
             // Single-machine deployment: loopback-ish latencies.

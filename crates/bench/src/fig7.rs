@@ -19,7 +19,7 @@ use obskit::Json;
 use retwis::driver::WorkloadConfig;
 use retwis::mix::Mix;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::{ClockSpec, Discipline};
 
 use crate::common::{run_retwis_on_milana, Scale};
 
@@ -116,7 +116,7 @@ fn run_point(
             clients: cfg.client_vms,
             backend: kind,
             nand,
-            discipline,
+            clock: ClockSpec::from(discipline),
             preload_keys: cfg.keyspace,
             value_size: 472,
             // ExoGENI-style VM networking (~300 us RTT).

@@ -9,13 +9,13 @@
 use std::time::Duration;
 
 use flashsim::{BackendKind, NandConfig};
-use milana::client::TxnClientConfig;
+use milana::client::{TxnClientConfig, ValidationMode};
 use milana::cluster::MilanaClusterConfig;
 use obskit::Json;
 use retwis::driver::WorkloadConfig;
 use retwis::mix::Mix;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 use crate::common::{run_retwis_on_milana, Scale};
 
@@ -103,11 +103,15 @@ fn run_point(kind: BackendKind, lv: bool, clients: u32, cfg: &Fig8Config, seed: 
             clients,
             backend: kind,
             nand,
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: cfg.keyspace,
             value_size: 472,
             client_cfg: TxnClientConfig {
-                local_validation: lv,
+                validation: if lv {
+                    ValidationMode::Local
+                } else {
+                    ValidationMode::Remote
+                },
                 ..TxnClientConfig::default()
             },
             // ExoGENI-style VM networking (~300 us RTT).

@@ -21,7 +21,7 @@ use retwis::mix::Mix;
 use semel::cluster::{ClusterConfig, SemelCluster};
 use simkit::net::{Addr, NodeId};
 use simkit::Sim;
-use timesync::{ClientId, Discipline};
+use timesync::{ClientId, ClockSpec};
 
 use crate::common::{run_retwis_generic, run_retwis_on_milana, Scale};
 
@@ -107,7 +107,7 @@ fn run_milana_point(alpha: f64, cfg: &Fig9Config, seed: u64) -> Fig9Point {
             clients: cfg.client_vms,
             backend: BackendKind::Mftl,
             nand: cfg.nand(),
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: cfg.keyspace,
             value_size: 472,
             // ExoGENI-style VM networking (~300 us RTT).
@@ -161,7 +161,7 @@ fn run_centiman_point(alpha: f64, cfg: &Fig9Config, seed: u64) -> Fig9Point {
             clients: clients_total,
             backend: BackendKind::Mftl,
             nand: cfg.nand(),
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: cfg.keyspace,
             value_size: 472,
             // ExoGENI-style VM networking (~300 us RTT).

@@ -13,6 +13,7 @@
 //! | Elastic resharding under load | [`rebalance`] | `repro_rebalance` |
 //! | Read scaling (backup snapshot reads) | [`readscale`] | `repro_readscale` |
 //! | Cold-restart recovery (mount scan + MTTR) | [`recovery`] | `repro_recovery` |
+//! | Clock-fault robustness (skew, fencing, ε bound) | [`clockfault`] | `repro_clockfault` |
 //!
 //! Ablations of the paper's design choices live in [`ablations`]
 //! (`repro_ablations`): relaxed vs ordered replication, the clock-precision
@@ -29,6 +30,7 @@
 pub mod ablations;
 pub mod artifact;
 pub mod batch;
+pub mod clockfault;
 pub mod common;
 pub mod fig6;
 pub mod fig7;

@@ -25,7 +25,7 @@ use readkit::ReadRoute;
 use retwis::driver::WorkloadConfig;
 use retwis::mix::{GetCount, Mix, TxnType};
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 use crate::common::{run_obs, run_retwis_on_milana, Scale};
 
@@ -162,7 +162,7 @@ fn run_point(route: (&'static str, ReadRoute), cfg: &ReadScaleConfig, seed: u64)
             shards: SHARDS,
             replicas: REPLICAS,
             clients: CLIENTS,
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: cfg.keyspace,
             value_size: 128,
             client_cfg: TxnClientConfig {

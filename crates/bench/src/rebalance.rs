@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use faultkit::{run_rebalance_campaign, RebalanceCampaignConfig, RebalanceCampaignReport};
 use flashsim::{value, Key, NandConfig};
+use milana::client::TxnOpts;
 use milana::cluster::{MilanaCluster, MilanaClusterConfig, MASTER_NODE};
 use obskit::{Json, Obs};
 use rand::Rng;
@@ -34,7 +35,7 @@ use semel::shard::ShardId;
 use shardkit::{RebalanceEngine, RebalancePlan, RebalanceSpec};
 use simkit::rng::Zipf;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 use crate::common::Scale;
 
@@ -127,7 +128,7 @@ pub fn run_once(scale: Scale, seed: u64) -> RebalanceRun {
         clients: CLIENTS,
         nand: nand(),
         preload_keys: keyspace,
-        discipline: Discipline::Perfect,
+        clock: ClockSpec::perfect(),
         ..MilanaClusterConfig::default()
     };
     cfg.tuning.obs = obs.clone();
@@ -184,7 +185,7 @@ pub fn run_once(scale: Scale, seed: u64) -> RebalanceRun {
                     let commits = commits.clone();
                     let aborts = aborts.clone();
                     hh2.spawn(async move {
-                        let mut t = c2.begin();
+                        let mut t = c2.begin_with(TxnOpts::default());
                         if t.get(&key).await.is_err() {
                             aborts.set(aborts.get() + 1);
                             return;

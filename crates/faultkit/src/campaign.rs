@@ -14,11 +14,12 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{value, Key, NandConfig, Value};
+use milana::client::TxnOpts;
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use obskit::{Json, Obs};
 use rand::Rng;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 use crate::history::{Checker, History};
 use crate::nemesis::run_nemesis;
@@ -63,6 +64,24 @@ pub struct CampaignConfig {
     /// flash queues at the power failure silently vanish, and the checker
     /// must catch it (`lost_acked_write` / `stale_backup_read`).
     pub skip_durability: bool,
+    /// Clock-fault campaign: the plan contains only client clock faults —
+    /// steps, persistent drifts, holdover jumps
+    /// ([`crate::plan::FaultPlan::random_clockfault`]) — so every abort is
+    /// attributable to time.
+    pub clockfault: bool,
+    /// Server-side clock-health tracking: primaries estimate each client's
+    /// timestamp-vs-arrival residual, refuse prepares outside the
+    /// uncertainty window, and fence persistent outliers. `None` leaves
+    /// the fence off (the historical behavior).
+    pub clock_health: Option<clockkit::ClockHealthConfig>,
+    /// Seeded-bug mode: primaries track clock health but **ignore the
+    /// verdict** — suspect prepares sail through validation with their
+    /// bogus timestamps, and the checker must flag the resulting
+    /// `clock_bound_breach`.
+    pub skip_uncertainty: bool,
+    /// Promised clock uncertainty handed to the checker
+    /// ([`Checker::with_epsilon`]); `None` skips the clock-bound check.
+    pub clock_epsilon_ns: Option<u64>,
     /// Admission capacity (cost units) per server. Sized so the steady
     /// counter workload never sheds but nemesis overload bursts do.
     pub admission_capacity: u64,
@@ -87,6 +106,10 @@ impl Default for CampaignConfig {
             overload_only: false,
             powerfail: false,
             skip_durability: false,
+            clockfault: false,
+            clock_health: None,
+            skip_uncertainty: false,
+            clock_epsilon_ns: None,
             admission_capacity: 32,
             backup_reads: false,
         }
@@ -138,6 +161,11 @@ pub struct SeedOutcome {
     pub client_retries: u64,
     /// Snapshot reads served by backup replicas (backup-reads mode).
     pub replica_reads: u64,
+    /// Prepares refused as clock-suspect, summed over every replica.
+    pub clock_suspects: u64,
+    /// Clients currently fenced for clock misbehavior at run end (max
+    /// over replicas — each primary tracks its own view).
+    pub clock_fences: u64,
     /// Trace-ring evictions (non-zero = visibility checks were skipped).
     pub trace_dropped: u64,
     /// True when the audit conserved every acknowledged increment.
@@ -215,6 +243,8 @@ impl CampaignReport {
                     .field("server_sheds", Json::U64(o.server_sheds))
                     .field("client_retries", Json::U64(o.client_retries))
                     .field("replica_reads", Json::U64(o.replica_reads))
+                    .field("clock_suspects", Json::U64(o.clock_suspects))
+                    .field("clock_fences", Json::U64(o.clock_fences))
                     .field("trace_dropped", Json::U64(o.trace_dropped))
                     .field("conservation_ok", Json::Bool(o.conservation_ok))
                     .field("violations", Json::arr(violations)),
@@ -261,13 +291,18 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
             pages_per_block: 8,
             ..NandConfig::default()
         },
-        discipline: Discipline::PtpSoftware,
+        clock: ClockSpec::ptp_software(),
         preload_keys: 0,
         ..MilanaClusterConfig::default()
     };
     cluster_cfg.tuning.obs = obs.clone();
     cluster_cfg.tuning.skip_validation.set(cfg.skip_validation);
     cluster_cfg.tuning.skip_durability.set(cfg.skip_durability);
+    cluster_cfg.tuning.clock_health = cfg.clock_health.clone();
+    cluster_cfg
+        .tuning
+        .skip_uncertainty
+        .set(cfg.skip_uncertainty);
     cluster_cfg.tuning.admission.capacity = cfg.admission_capacity;
     cluster_cfg.client_cfg.obs = obs.clone();
     if cfg.backup_reads {
@@ -286,7 +321,7 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
         let clients = cluster.borrow().clients.clone();
         let hh = h.clone();
         sim.block_on(async move {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             for k in 0..keys {
                 t.put(Key::from(k), enc(0));
             }
@@ -312,7 +347,7 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
             let mut rng = hh.fork_rng();
             while !stop.get() {
                 let read_only = rng.gen::<f64>() < 0.2;
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 if read_only {
                     if let Some(dwell) = scan_dwell {
                         hh.sleep(dwell).await;
@@ -356,6 +391,8 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     };
     let plan = if cfg.overload_only {
         FaultPlan::random_overload(seed, cfg.faults, shape)
+    } else if cfg.clockfault {
+        FaultPlan::random_clockfault(seed, cfg.faults, shape)
     } else if cfg.powerfail {
         FaultPlan::random_powerfail(seed, cfg.faults, shape)
     } else {
@@ -390,7 +427,7 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
             if attempts > 500 {
                 return None;
             }
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             let mut sum = 0u64;
             let mut bad = false;
             for k in 0..keys {
@@ -468,7 +505,11 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     }
 
     let history = History::from_events(obs.tracer.events(), obs.tracer.dropped());
-    let violations = Checker::new(&history)
+    let mut checker = Checker::new(&history);
+    if let Some(eps) = cfg.clock_epsilon_ns {
+        checker = checker.with_epsilon(eps);
+    }
+    let violations = checker
         .check()
         .into_iter()
         .map(|v| ViolationSummary {
@@ -483,6 +524,13 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
         .iter()
         .map(|c| c.stats().replica_reads)
         .sum();
+    let mut clock_suspects = 0u64;
+    let mut clock_fences = 0u64;
+    for slot in cluster.replicas.iter().flatten() {
+        let s = slot.server.stats();
+        clock_suspects += s.clock_suspects;
+        clock_fences = clock_fences.max(s.clock_fences);
+    }
 
     let outcome = SeedOutcome {
         seed,
@@ -500,6 +548,8 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
         server_sheds,
         client_retries,
         replica_reads,
+        clock_suspects,
+        clock_fences,
         trace_dropped: obs.tracer.dropped(),
         conservation_ok,
         violations,
@@ -624,6 +674,72 @@ mod tests {
             .iter()
             .find(|v| v.class == "lost_acked_write")
             .expect("lost_acked_write violation");
+        assert!(!v.trace_slice.is_empty());
+    }
+
+    /// Shared shape for the clock-fault twins: tight uncertainty window
+    /// (1 ms ceiling) so the ±multi-ms steps and jumps the plan injects
+    /// are decidedly out of bounds, with the checker holding the cluster
+    /// to exactly the ε the fence promises.
+    fn clockfault_cfg() -> CampaignConfig {
+        let health = clockkit::ClockHealthConfig {
+            max_future_ns: 1_000_000,
+            ..clockkit::ClockHealthConfig::default()
+        };
+        let eps = health.promised_epsilon_ns();
+        CampaignConfig {
+            seeds: vec![17],
+            faults: 10,
+            clockfault: true,
+            clock_health: Some(health),
+            clock_epsilon_ns: Some(eps),
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn clockfault_campaign_is_clean_and_deterministic() {
+        // Steps, drifts, and holdover jumps against client clocks with the
+        // clock-health fence on: suspect prepares are refused (definite
+        // no-votes), so no mis-timestamped commit exists and the history
+        // honors the promised ε. Byte-stable across runs.
+        let cfg = clockfault_cfg();
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        assert_eq!(a.violation_count(), 0, "{:?}", a.outcomes[0].violations);
+        let o = &a.outcomes[0];
+        assert!(o.conservation_ok, "audit failed: {o:?}");
+        assert!(o.acked > 0, "workload made no progress");
+        assert!(
+            o.clock_suspects > 0,
+            "plan never tripped the clock-health fence: {o:?}"
+        );
+    }
+
+    #[test]
+    fn uncertainty_skip_is_caught_by_the_checker() {
+        // Seeded clock fraud: the same plan, health tracking, and promise,
+        // but primaries ignore the verdict — prepares carrying bogus
+        // timestamps sail through validation. A commit minted multi-ms off
+        // true time inverts against real-time order by more than 2ε, and
+        // the checker must flag the breach.
+        let cfg = CampaignConfig {
+            skip_uncertainty: true,
+            ..clockfault_cfg()
+        };
+        let report = run_campaign(&cfg);
+        let o = &report.outcomes[0];
+        assert!(
+            o.violations.iter().any(|v| v.class == "clock_bound_breach"),
+            "checker missed the seeded clock bug: {:?}",
+            o.violations
+        );
+        let v = o
+            .violations
+            .iter()
+            .find(|v| v.class == "clock_bound_breach")
+            .expect("clock_bound_breach violation");
         assert!(!v.trace_slice.is_empty());
     }
 

@@ -405,6 +405,14 @@ pub enum ViolationClass {
     /// preceding the reader pins the blame on the recovery path (a mount
     /// scan that resurrected stale state, or a catch-up that was skipped).
     LostAckedWrite,
+    /// Two remotely-committed transactions have commit timestamps out of
+    /// order with real time by more than the server's promised clock
+    /// uncertainty: T2 began after T1's commit was acknowledged, yet
+    /// `ts_commit(T1) > ts_commit(T2) + 2ε`. The clock-health fence
+    /// promises that no prepare more than ε ahead of server arrival time
+    /// commits, so a larger inversion means a mis-timestamped transaction
+    /// slipped past validation.
+    ClockBoundBreach,
 }
 
 impl ViolationClass {
@@ -418,6 +426,7 @@ impl ViolationClass {
             ViolationClass::DualOwnership => "dual_ownership",
             ViolationClass::StaleBackupRead => "stale_backup_read",
             ViolationClass::LostAckedWrite => "lost_acked_write",
+            ViolationClass::ClockBoundBreach => "clock_bound_breach",
         }
     }
 }
@@ -441,12 +450,26 @@ type VersionId = (u64, u64);
 #[derive(Debug)]
 pub struct Checker<'a> {
     history: &'a History,
+    epsilon_ns: Option<u64>,
 }
 
 impl<'a> Checker<'a> {
     /// A checker over `history`.
     pub fn new(history: &'a History) -> Checker<'a> {
-        Checker { history }
+        Checker {
+            history,
+            epsilon_ns: None,
+        }
+    }
+
+    /// Enables the clock-bound check: the cluster promised that no commit
+    /// timestamp runs more than `epsilon_ns` ahead of server time (see
+    /// `clockkit::ClockHealthConfig::promised_epsilon_ns`). Two
+    /// real-time-ordered commits may then disagree with timestamp order by
+    /// at most 2ε; anything larger is a [`ViolationClass::ClockBoundBreach`].
+    pub fn with_epsilon(mut self, epsilon_ns: u64) -> Checker<'a> {
+        self.epsilon_ns = Some(epsilon_ns);
+        self
     }
 
     /// Runs every check and returns the violations found (empty = clean).
@@ -621,6 +644,71 @@ impl<'a> Checker<'a> {
                                 } else {
                                     ""
                                 }
+                            ),
+                            txns: vec![ri, wi],
+                        });
+                    }
+                }
+            }
+        }
+
+        // -- Clock-bound: commit order vs real time --------------------
+        // With a promised uncertainty ε, a transaction T2 that began after
+        // T1's commit was acknowledged may carry a smaller commit timestamp
+        // only within 2ε (each clock at most ε from server time, promised
+        // by the clock-health fence). Uses only each transaction's own
+        // begin/ack instants, so it survives truncation. Client-local
+        // read-only commits never cross the fence and are excluded.
+        if let Some(eps) = self.epsilon_ns {
+            // Remotely-committed txns by ack time, and all committed
+            // non-local txns by begin time; one merged sweep tracks the
+            // largest already-acked commit timestamp.
+            let mut acked: Vec<(u64, u64, usize)> = h
+                .txns
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t.outcome {
+                    Outcome::Committed {
+                        ts_commit,
+                        local: false,
+                        at,
+                    } => Some((at, ts_commit, i)),
+                    _ => None,
+                })
+                .collect();
+            acked.sort_unstable();
+            let mut next = 0usize;
+            let mut max_acked: Option<(u64, usize)> = None;
+            // h.txns is sorted by begin_at already.
+            for (ri, t) in h.txns.iter().enumerate() {
+                let Outcome::Committed {
+                    ts_commit,
+                    local: false,
+                    ..
+                } = t.outcome
+                else {
+                    continue;
+                };
+                while next < acked.len() && acked[next].0 < t.begin_at {
+                    let (_, ts, wi) = acked[next];
+                    if max_acked.is_none_or(|(m, _)| ts > m) {
+                        max_acked = Some((ts, wi));
+                    }
+                    next += 1;
+                }
+                if let Some((prev_ts, wi)) = max_acked {
+                    if wi != ri && prev_ts > ts_commit.saturating_add(2 * eps) {
+                        violations.push(Violation {
+                            class: ViolationClass::ClockBoundBreach,
+                            description: format!(
+                                "txn #{ri} (client {}) began after txn #{wi} \
+                                 (client {}) was acknowledged, yet committed at \
+                                 ts {} — more than 2ε={} behind txn #{wi}'s ts {}",
+                                t.client,
+                                h.txns[wi].client,
+                                ts_commit,
+                                2 * eps,
+                                prev_ts
                             ),
                             txns: vec![ri, wi],
                         });
@@ -1138,6 +1226,106 @@ mod tests {
         let slice = h.trace_slice(&[idx]);
         assert!(slice.contains(r#""client":1"#));
         assert!(!slice.contains(r#""client":2"#));
+    }
+
+    #[test]
+    fn clock_bound_breach_is_detected_with_epsilon() {
+        // c1 commits at ts 10_000_000 (acked at virtual time 4); c2 then
+        // begins and commits at ts 1_000 — 2ε = 2_000_000 behind. A clock
+        // that far off should have been fenced, so flag it.
+        let events = vec![
+            (1, begin(1, 9_000_000)),
+            (2, write(1, 1)),
+            (4, commit(1, 10_000_000)),
+            (10, begin(2, 500)),
+            (11, write(2, 2)),
+            (12, commit(2, 1_000)),
+        ];
+        let h = History::from_events(events, 0);
+        let violations = Checker::new(&h).with_epsilon(1_000_000).check();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.class == ViolationClass::ClockBoundBreach),
+            "{violations:?}"
+        );
+        // Without the promise, timestamp/real-time inversions are just
+        // skew, not a violation.
+        let unpromised = Checker::new(&h).check();
+        assert!(
+            unpromised
+                .iter()
+                .all(|v| v.class != ViolationClass::ClockBoundBreach),
+            "{unpromised:?}"
+        );
+    }
+
+    #[test]
+    fn inversion_within_two_epsilon_passes() {
+        let events = vec![
+            (1, begin(1, 9_000_000)),
+            (2, write(1, 1)),
+            (4, commit(1, 10_000_000)),
+            (10, begin(2, 8_500_000)),
+            (11, write(2, 2)),
+            (12, commit(2, 8_600_000)), // behind by 1.4ms < 2ε = 2ms
+        ];
+        let h = History::from_events(events, 0);
+        let violations = Checker::new(&h).with_epsilon(1_000_000).check();
+        assert!(
+            violations
+                .iter()
+                .all(|v| v.class != ViolationClass::ClockBoundBreach),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_commits_are_not_clock_bound_checked() {
+        // c2 began before c1's commit was acked: no real-time order, any
+        // timestamp inversion is legitimate.
+        let events = vec![
+            (1, begin(1, 9_000_000)),
+            (2, write(1, 1)),
+            (3, begin(2, 500)),
+            (4, commit(1, 10_000_000)),
+            (5, write(2, 2)),
+            (6, commit(2, 1_000)),
+        ];
+        let h = History::from_events(events, 0);
+        let violations = Checker::new(&h).with_epsilon(1_000_000).check();
+        assert!(
+            violations
+                .iter()
+                .all(|v| v.class != ViolationClass::ClockBoundBreach),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn local_commits_are_exempt_from_the_clock_bound() {
+        let events = vec![
+            (1, begin(1, 9_000_000)),
+            (2, write(1, 1)),
+            (4, commit(1, 10_000_000)),
+            (10, begin(2, 500)),
+            (
+                12,
+                TraceEvent::Commit {
+                    client: 2,
+                    ts_commit: 1_000,
+                    local: true,
+                },
+            ),
+        ];
+        let h = History::from_events(events, 0);
+        let violations = Checker::new(&h).with_epsilon(1_000_000).check();
+        assert!(
+            violations
+                .iter()
+                .all(|v| v.class != ViolationClass::ClockBoundBreach),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //!
 //! - [`plan`]: a seeded, declarative schedule of faults ([`FaultPlan`]) —
 //!   crashes, partitions, network degradation (drop / duplicate / delay
-//!   spikes), clock steps, and flash media faults — with a generator that
+//!   spikes), clock faults (steps, persistent drift, holdover jumps), and
+//!   flash media faults — with a generator that
 //!   only produces *survivable* schedules (every partition heals, every
 //!   crash leaves a quorum).
 //! - [`nemesis`]: a task on the simulation executor that walks a plan

@@ -171,6 +171,40 @@ async fn apply_one(
             c.clients[*client as usize].clock().inject_step(*delta_ns);
             true
         }
+        Fault::ClockDrift {
+            client,
+            rate_ns_per_s,
+            hold,
+        } => {
+            {
+                let c = cluster.borrow();
+                c.clients[*client as usize]
+                    .clock()
+                    .inject_drift(*rate_ns_per_s, h.now());
+            }
+            h.sleep(*hold).await;
+            // Restore the rate; the accrued offset stays until the next
+            // resync corrects it (drift damage is not magically undone).
+            let c = cluster.borrow();
+            c.clients[*client as usize].clock().inject_drift(0, h.now());
+            true
+        }
+        Fault::ClockJump {
+            client,
+            delta_ns,
+            holdover,
+        } => {
+            {
+                let c = cluster.borrow();
+                let clock = c.clients[*client as usize].clock();
+                clock.inject_step(*delta_ns);
+                clock.enter_holdover();
+            }
+            h.sleep(*holdover).await;
+            let c = cluster.borrow();
+            c.clients[*client as usize].clock().exit_holdover(h.now());
+            true
+        }
         Fault::Overload {
             shard,
             burst_rps,

@@ -62,6 +62,30 @@ pub enum Fault {
         /// Offset applied to the clock's correction, ns.
         delta_ns: i64,
     },
+    /// Put one client's clock on a **persistent frequency error**: the
+    /// clock runs fast (positive rate) or slow (negative) between syncs,
+    /// re-accruing error after every correction, for `hold`. The rate is
+    /// then reset to zero; the residual offset decays at the next resync.
+    ClockDrift {
+        /// Target client index.
+        client: u32,
+        /// Frequency error, nanoseconds gained per true second.
+        rate_ns_per_s: i64,
+        /// How long the drift persists before the rate is restored.
+        hold: Duration,
+    },
+    /// Step one client's clock by `delta_ns` and cut it off from its
+    /// reference for `holdover`: no resync corrects the step (or any
+    /// concurrent drift) until holdover ends — the oscillator-in-holdover
+    /// failure mode of a PTP client losing its grandmaster.
+    ClockJump {
+        /// Target client index.
+        client: u32,
+        /// Step applied to the clock's correction, ns.
+        delta_ns: i64,
+        /// How long the clock free-runs before discipline resumes.
+        holdover: Duration,
+    },
     /// Flood one shard's primary with synthetic no-op read load at
     /// `burst_rps` until `restore_after` elapses, driving its admission
     /// gate into shedding. The flood is fire-and-forget (`GetAny` casts),
@@ -113,6 +137,8 @@ impl Fault {
             Fault::PartitionClient { .. } => "partition_client",
             Fault::NetDegrade { .. } => "net_degrade",
             Fault::ClockStep { .. } => "clock_step",
+            Fault::ClockDrift { .. } => "clock_drift",
+            Fault::ClockJump { .. } => "clock_jump",
             Fault::Overload { .. } => "overload",
             Fault::PowerFail { .. } => "power_fail",
             Fault::FlashDegrade { .. } => "flash_degrade",
@@ -223,6 +249,42 @@ impl FaultPlan {
                     burst_rps: rng.gen_range(20_000..80_000),
                     restore_after: Duration::from_millis(rng.gen_range(5..20)),
                 },
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// Generates the clock-fault campaign's schedule from `seed`: steps,
+    /// persistent drifts, and holdover jumps against client clocks — no
+    /// node, network, or media faults, so every abort the campaign sees is
+    /// attributable to time. Like power failures, the heavier clock faults
+    /// are opt-in via this dedicated generator: [`FaultPlan::random`] keeps
+    /// its exact per-seed schedules.
+    pub fn random_clockfault(seed: u64, n: usize, shape: PlanShape) -> FaultPlan {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xc1_0c_fa_17_c1_0c_fa_17);
+        let faults = (0..n)
+            .map(|_| {
+                let after = Duration::from_millis(rng.gen_range(4..24));
+                let client = rng.gen_range(0..shape.clients as u64) as u32;
+                let fault = match rng.gen_range(0..100u64) {
+                    0..=39 => Fault::ClockStep {
+                        client,
+                        delta_ns: rng.gen_range(-5_000_000i64..5_000_000),
+                    },
+                    40..=74 => Fault::ClockDrift {
+                        client,
+                        // Up to ±2 ms/s: far outside any disciplined
+                        // oscillator, squarely in broken-hardware land.
+                        rate_ns_per_s: rng.gen_range(-2_000_000i64..2_000_000),
+                        hold: Duration::from_millis(rng.gen_range(10..40)),
+                    },
+                    _ => Fault::ClockJump {
+                        client,
+                        delta_ns: rng.gen_range(-8_000_000i64..8_000_000),
+                        holdover: Duration::from_millis(rng.gen_range(10..40)),
+                    },
+                };
+                TimedFault { after, fault }
             })
             .collect();
         FaultPlan { faults }
@@ -362,6 +424,47 @@ mod tests {
             .faults
             .iter()
             .all(|f| f.fault.class() == "partition_primary"));
+    }
+
+    #[test]
+    fn clockfault_plans_are_pure_and_deterministic() {
+        let a = FaultPlan::random_clockfault(13, 60, SHAPE);
+        let b = FaultPlan::random_clockfault(13, 60, SHAPE);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+        for f in &a.faults {
+            assert!(
+                matches!(
+                    f.fault,
+                    Fault::ClockStep { .. } | Fault::ClockDrift { .. } | Fault::ClockJump { .. }
+                ),
+                "non-clock fault in clockfault plan: {:?}",
+                f.fault
+            );
+        }
+        for class in ["clock_step", "clock_drift", "clock_jump"] {
+            assert!(
+                a.faults.iter().any(|f| f.fault.class() == class),
+                "missing {class}"
+            );
+        }
+        assert!(a
+            .faults
+            .iter()
+            .all(|f| matches!(f.fault, Fault::ClockStep { client, .. }
+                | Fault::ClockDrift { client, .. }
+                | Fault::ClockJump { client, .. } if client < SHAPE.clients)));
+    }
+
+    #[test]
+    fn mixed_plans_never_generate_clock_drift_or_jump() {
+        // Drift and holdover jumps are opt-in via `random_clockfault`, so
+        // pre-existing campaigns keep their exact per-seed schedules.
+        let plan = FaultPlan::random(3, 200, SHAPE);
+        assert!(plan
+            .faults
+            .iter()
+            .all(|f| !matches!(f.fault, Fault::ClockDrift { .. } | Fault::ClockJump { .. })));
     }
 
     #[test]

@@ -18,13 +18,14 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{value, Key, NandConfig, Value};
+use milana::client::TxnOpts;
 use milana::cluster::{MilanaCluster, MilanaClusterConfig, MASTER_NODE};
 use obskit::{Json, MigrationPhase, Obs};
 use rand::Rng;
 use semel::shard::ShardId;
 use shardkit::{RebalanceEngine, RebalancePlan};
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 use crate::campaign::ViolationSummary;
 use crate::history::{Checker, History};
@@ -185,7 +186,7 @@ pub fn run_rebalance_seed(cfg: &RebalanceCampaignConfig, seed: u64) -> Rebalance
             pages_per_block: 8,
             ..NandConfig::default()
         },
-        discipline: Discipline::PtpSoftware,
+        clock: ClockSpec::ptp_software(),
         preload_keys: 0,
         ..MilanaClusterConfig::default()
     };
@@ -199,7 +200,7 @@ pub fn run_rebalance_seed(cfg: &RebalanceCampaignConfig, seed: u64) -> Rebalance
         let clients = cluster.borrow().clients.clone();
         let hh = h.clone();
         sim.block_on(async move {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             for k in 0..keys {
                 t.put(Key::from(k), enc(0));
             }
@@ -221,7 +222,7 @@ pub fn run_rebalance_seed(cfg: &RebalanceCampaignConfig, seed: u64) -> Rebalance
             let mut rng = hh.fork_rng();
             while !stop.get() {
                 let k = Key::from(rng.gen_range(0..keys));
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 let n = match t.get(&k).await {
                     Ok(v) if v.len() >= 8 => dec(&v),
                     _ => {
@@ -351,7 +352,7 @@ pub fn run_rebalance_seed(cfg: &RebalanceCampaignConfig, seed: u64) -> Rebalance
             if attempts > 500 {
                 return None;
             }
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             let mut sum = 0u64;
             let mut bad = false;
             for k in 0..keys {

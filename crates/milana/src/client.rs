@@ -19,9 +19,38 @@ use semel::shard::{ShardId, ShardMap};
 use simkit::net::{Addr, NodeId};
 use simkit::rpc::{RpcClient, RpcError};
 use simkit::{SimHandle, SimTime};
-use timesync::{ClientId, Discipline, SyncedClock, Timestamp, Version};
+use timesync::{ClientId, ClockSpec, Discipline, SyncedClock, Timestamp, Version};
 
 use crate::msg::{AbortReason, TxnError, TxnId, TxnRequest, TxnResponse};
+
+/// Where transaction validation runs — the one knob that used to be
+/// scattered across `local_validation` booleans and per-harness validator
+/// flags. Shared by the client builder, cluster configs, and bench configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationMode {
+    /// Every transaction — read-only included — validates remotely through
+    /// 2PC at the shard primaries. The "w/o LV" configuration of Figure 8.
+    Remote,
+    /// Read-only transactions validate **client-locally** from the
+    /// prepared-version flags piggybacked on reads (§4.3); read-write
+    /// transactions still run 2PC. The paper's MILANA default.
+    #[default]
+    Local,
+    /// Validation is delegated to a Centiman-style sharded validator tier
+    /// ([`crate::centiman`]). A [`TxnClient`] carrying this mode behaves
+    /// like [`ValidationMode::Remote`] (the validator tier lives in the
+    /// comparison harness, not behind the MILANA wire protocol); the
+    /// variant exists so cluster and bench configs can name all three
+    /// designs in one vocabulary.
+    Centiman,
+}
+
+impl ValidationMode {
+    /// Whether read-only transactions may commit client-locally.
+    pub fn is_local(self) -> bool {
+        matches!(self, ValidationMode::Local)
+    }
+}
 
 /// Client tuning.
 #[derive(Debug, Clone)]
@@ -33,10 +62,10 @@ pub struct TxnClientConfig {
     pub master: Option<simkit::net::Addr>,
     /// Retries for reads that hit a recovering/leaseless primary.
     pub read_retries: u32,
-    /// Client-local validation of read-only transactions (§4.3). Disabling
-    /// it forces read-only transactions through 2PC, the "w/o LV"
-    /// configuration of Figure 8.
-    pub local_validation: bool,
+    /// Where validation runs (§4.3). [`ValidationMode::Remote`] forces
+    /// read-only transactions through 2PC, the "w/o LV" configuration of
+    /// Figure 8.
+    pub validation: ValidationMode,
     /// Watermark broadcast period (§4.4).
     pub watermark_interval: Duration,
     /// Observability: metric registry plus (optionally enabled) structured
@@ -74,7 +103,7 @@ impl Default for TxnClientConfig {
             rpc_timeout: Duration::from_millis(50),
             master: None,
             read_retries: 8,
-            local_validation: true,
+            validation: ValidationMode::Local,
             watermark_interval: Duration::from_millis(100),
             obs: Obs::new(),
             retry: RetryConfig::default(),
@@ -101,6 +130,66 @@ pub struct TxnClientStats {
     pub replica_reads: u64,
     /// Reads served from the client-wide version cache.
     pub cached_reads: u64,
+}
+
+/// How a transaction opens its snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxnMode {
+    /// `ts_begin` = the client clock now. The right mode for anything that
+    /// might write: lagging a writer only widens its validation window.
+    #[default]
+    ReadWrite,
+    /// **Bounded-staleness snapshot** (§4.6): `ts_begin` opens behind the
+    /// clock (the configured or per-transaction lag), so the snapshot is
+    /// already below the replicated write floor by the first read and
+    /// backup replicas can serve it immediately. Meant for transactions
+    /// known to be read-only up front.
+    Snapshot,
+}
+
+/// Typed options for [`TxnClient::begin_with`] — mode, snapshot lag, and
+/// cache participation as fields instead of three near-identical methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TxnOpts {
+    /// Snapshot placement (see [`TxnMode`]).
+    pub mode: TxnMode,
+    /// Snapshot lag override for [`TxnMode::Snapshot`]; `None` uses
+    /// [`TxnClientConfig::snapshot_lag`]. Ignored in read-write mode.
+    pub snapshot_lag: Option<Duration>,
+    /// §4.3 cached mode: serve reads speculatively from the client-wide
+    /// value cache. A transaction that took a speculative hit loses the
+    /// prepared-flag information that powers local validation, so it
+    /// validates remotely at commit even when read-only — as the paper
+    /// prescribes: "any transaction marked as read-write in advance may
+    /// read from its cache, but then must validate remotely."
+    pub cached: bool,
+}
+
+impl TxnOpts {
+    /// Bounded-staleness snapshot at the configured lag.
+    pub fn snapshot() -> TxnOpts {
+        TxnOpts {
+            mode: TxnMode::Snapshot,
+            ..TxnOpts::default()
+        }
+    }
+
+    /// Snapshot opened exactly `lag` behind the clock.
+    pub fn snapshot_lagged(lag: Duration) -> TxnOpts {
+        TxnOpts {
+            mode: TxnMode::Snapshot,
+            snapshot_lag: Some(lag),
+            ..TxnOpts::default()
+        }
+    }
+
+    /// Cache-speculating read-write transaction (§4.3 future-work mode).
+    pub fn cached() -> TxnOpts {
+        TxnOpts {
+            cached: true,
+            ..TxnOpts::default()
+        }
+    }
 }
 
 /// A MILANA client. Cloning shares the client.
@@ -173,15 +262,22 @@ pub struct TxnClientBuilder {
     node: NodeId,
     id: ClientId,
     map: Rc<RefCell<ShardMap>>,
-    discipline: Discipline,
+    clock: ClockSpec,
     cfg: TxnClientConfig,
 }
 
 impl TxnClientBuilder {
-    /// Clock skew model (default: [`Discipline::Perfect`]).
-    pub fn discipline(mut self, discipline: Discipline) -> Self {
-        self.discipline = discipline;
+    /// Clock model: discipline plus fault knobs, in one spec (default:
+    /// [`ClockSpec::perfect`]). Accepts a bare [`Discipline`] via `Into`.
+    pub fn clock(mut self, clock: impl Into<ClockSpec>) -> Self {
+        self.clock = clock.into();
         self
+    }
+
+    /// Clock skew model.
+    #[deprecated(note = "use `clock(ClockSpec)` — a `Discipline` converts with `.into()`")]
+    pub fn discipline(self, discipline: Discipline) -> Self {
+        self.clock(discipline)
     }
 
     /// Replaces the whole config in one call (escape hatch for callers
@@ -209,10 +305,20 @@ impl TxnClientBuilder {
         self
     }
 
-    /// Client-local validation of read-only transactions (§4.3).
-    pub fn local_validation(mut self, on: bool) -> Self {
-        self.cfg.local_validation = on;
+    /// Where validation runs (§4.3) — see [`ValidationMode`].
+    pub fn validation(mut self, mode: ValidationMode) -> Self {
+        self.cfg.validation = mode;
         self
+    }
+
+    /// Client-local validation of read-only transactions (§4.3).
+    #[deprecated(note = "use `validation(ValidationMode::Local / ::Remote)`")]
+    pub fn local_validation(self, on: bool) -> Self {
+        self.validation(if on {
+            ValidationMode::Local
+        } else {
+            ValidationMode::Remote
+        })
     }
 
     /// Watermark broadcast period (§4.4).
@@ -265,7 +371,7 @@ impl TxnClientBuilder {
             &self.handle,
             self.node,
             self.id,
-            self.discipline,
+            self.clock,
             self.map,
             self.cfg,
         )
@@ -286,7 +392,7 @@ impl TxnClient {
             node,
             id,
             map,
-            discipline: Discipline::Perfect,
+            clock: ClockSpec::perfect(),
             cfg: TxnClientConfig::default(),
         }
     }
@@ -295,7 +401,7 @@ impl TxnClient {
         handle: &SimHandle,
         node: NodeId,
         id: ClientId,
-        discipline: Discipline,
+        clock: ClockSpec,
         map: Rc<RefCell<ShardMap>>,
         cfg: TxnClientConfig,
     ) -> TxnClient {
@@ -312,7 +418,7 @@ impl TxnClient {
         let client = TxnClient {
             handle: handle.clone(),
             id,
-            clock: Rc::new(SyncedClock::new(discipline, clock_seed)),
+            clock: Rc::new(SyncedClock::from_spec(&clock, clock_seed)),
             map,
             rpc: RpcClient::new(handle, node, TXN_CLIENT_RPC_PORT),
             cfg: Rc::new(cfg),
@@ -489,32 +595,39 @@ impl TxnClient {
         *self.stats.borrow()
     }
 
-    /// Begins a transaction at the client's current time (`ts_begin`).
-    pub fn begin(&self) -> Txn {
-        self.begin_inner(false, Duration::ZERO)
-    }
-
-    /// Begins a **bounded-staleness snapshot transaction**: `ts_begin`
-    /// opens [`TxnClientConfig::snapshot_lag`] behind the clock, so the
-    /// snapshot is already below the replicated write floor by the first
-    /// read and backup replicas can serve it immediately (§4.6). Meant
-    /// for transactions known to be read-only up front — a lagged writer
-    /// would just widen its own validation window and abort more.
-    pub fn begin_snapshot(&self) -> Txn {
-        self.begin_inner(false, self.cfg.snapshot_lag)
-    }
-
-    /// Begins a transaction that may satisfy reads from the client's
-    /// **inter-transaction value cache** — the §4.3 future-work mode.
+    /// Begins a transaction described by `opts` — the single entry point
+    /// the historical `begin` / `begin_snapshot` / `begin_cached` trio
+    /// collapsed into.
     ///
-    /// Cached reads skip the server entirely, but a speculative hit loses
-    /// the prepared-flag information that powers local validation, so any
-    /// transaction that took one validates remotely at commit (even when
-    /// read-only), as the paper prescribes: "any transaction marked as
-    /// read-write in advance may read from its cache, but then must
-    /// validate remotely."
+    /// ```ignore
+    /// let txn = client.begin_with(TxnOpts::default());          // read-write
+    /// let ro  = client.begin_with(TxnOpts::snapshot());          // lagged snapshot
+    /// let spec = client.begin_with(TxnOpts::cached());           // cache-speculating
+    /// ```
+    pub fn begin_with(&self, opts: TxnOpts) -> Txn {
+        let lag = match opts.mode {
+            TxnMode::ReadWrite => Duration::ZERO,
+            TxnMode::Snapshot => opts.snapshot_lag.unwrap_or(self.cfg.snapshot_lag),
+        };
+        self.begin_inner(opts.cached, lag)
+    }
+
+    /// Begins a transaction at the client's current time (`ts_begin`).
+    #[deprecated(note = "use `begin_with(TxnOpts::default())`")]
+    pub fn begin(&self) -> Txn {
+        self.begin_with(TxnOpts::default())
+    }
+
+    /// Begins a **bounded-staleness snapshot transaction** (§4.6).
+    #[deprecated(note = "use `begin_with(TxnOpts::snapshot())`")]
+    pub fn begin_snapshot(&self) -> Txn {
+        self.begin_with(TxnOpts::snapshot())
+    }
+
+    /// Begins a transaction that may read from the client-wide value cache.
+    #[deprecated(note = "use `begin_with(TxnOpts::cached())`")]
     pub fn begin_cached(&self) -> Txn {
-        self.begin_inner(true, Duration::ZERO)
+        self.begin_with(TxnOpts::cached())
     }
 
     fn begin_inner(&self, use_client_cache: bool, lag: Duration) -> Txn {
@@ -811,6 +924,7 @@ impl Txn {
                     TxnRequest::Get {
                         key: key.clone(),
                         at: self.ts_begin,
+                        client: self.c.id,
                     },
                     self.c.cfg.rpc_timeout,
                 )
@@ -830,6 +944,13 @@ impl Txn {
                     // backend); the transaction cannot serialize at ts_begin.
                     self.snapshot_lost = true;
                     return Err(TxnError::Aborted(AbortReason::SnapshotUnavailable));
+                }
+                Ok(TxnResponse::ClockSuspect) => {
+                    // The server judged our ts_begin too far past its own
+                    // clock to honor the read's snapshot promise. Retrying
+                    // with the same clock would be refused again — abort and
+                    // let the app-level retry mint a fresh timestamp.
+                    return Err(TxnError::Aborted(AbortReason::ClockSuspect));
                 }
                 Ok(TxnResponse::Shed(shed)) => {
                     self.c.policy.record_shed(shard.0 as u64, self.c.sim_ns());
@@ -920,6 +1041,7 @@ impl Txn {
                 TxnRequest::ReadAt {
                     key: key.clone(),
                     at: self.ts_begin,
+                    client: self.c.id,
                 },
                 self.c.cfg.rpc_timeout,
             )
@@ -1150,7 +1272,7 @@ impl Txn {
             });
             return Err(TxnError::Aborted(AbortReason::SnapshotUnavailable));
         }
-        if self.writes.is_empty() && self.c.cfg.local_validation && !self.requires_remote {
+        if self.writes.is_empty() && self.c.cfg.validation.is_local() && !self.requires_remote {
             // §4.3: every read already proved it came from a consistent
             // snapshot unless a prepared version was visible at ts_begin.
             self.c.note_decided(self.ts_begin);
@@ -1255,6 +1377,7 @@ impl Txn {
         let mut any_vote_no = false;
         let mut any_shed = false;
         let mut any_stale = false;
+        let mut any_clock = false;
         for (v, &shard) in votes.into_iter().zip(&shards_sorted) {
             match v.await {
                 Some(TxnResponse::Vote { ok }) => {
@@ -1270,6 +1393,15 @@ impl Txn {
                     self.c.policy.record_ok(shard.0 as u64);
                     all_ok = false;
                     any_stale = true;
+                }
+                // A clock-suspect refusal is a definite no-vote: the
+                // server's clock-health tracker judged our ts_commit
+                // outside the uncertainty window (or we are fenced).
+                // Nothing was validated or installed.
+                Some(TxnResponse::ClockSuspect) => {
+                    self.c.policy.record_ok(shard.0 as u64);
+                    all_ok = false;
+                    any_clock = true;
                 }
                 // A shed prepare is a *definite* no-vote: the participant
                 // refused before validating or installing anything, so the
@@ -1355,10 +1487,13 @@ impl Txn {
             stats.aborts += 1;
             drop(stats);
             // Any real validation rejection takes precedence as the reason;
-            // then epoch fencing (retry after the map refresh above), then
-            // pure overload shedding.
+            // then a clock-health refusal (the timestamp itself was
+            // rejected), then epoch fencing (retry after the map refresh
+            // above), then pure overload shedding.
             let reason = if any_vote_no {
                 AbortReason::Validation
+            } else if any_clock {
+                AbortReason::ClockSuspect
             } else if any_stale {
                 AbortReason::StaleEpoch
             } else if any_shed {

@@ -12,7 +12,7 @@ use semel::shard::{ReplicaGroup, ShardId, ShardMap};
 use simkit::net::{Addr, NodeId};
 use simkit::rpc::RpcClient;
 use simkit::SimHandle;
-use timesync::{ClientId, Discipline, Timestamp, Version};
+use timesync::{ClientId, ClockSpec, Timestamp, Version};
 
 use crate::client::{TxnClient, TxnClientConfig};
 use crate::msg::{PromoteError, TxnRequest, TxnResponse};
@@ -32,8 +32,8 @@ pub struct MilanaClusterConfig {
     pub backend: BackendKind,
     /// Device geometry for flash backends.
     pub nand: NandConfig,
-    /// Client clock discipline.
-    pub discipline: Discipline,
+    /// Client clock model (discipline plus fault knobs).
+    pub clock: ClockSpec,
     /// Keys preloaded as ids `0..preload_keys`.
     pub preload_keys: u64,
     /// Preloaded value size.
@@ -59,7 +59,7 @@ impl From<semel::ClusterSpec> for MilanaClusterConfig {
             clients: spec.clients,
             backend: spec.backend,
             nand: spec.nand,
-            discipline: spec.discipline,
+            clock: spec.clock,
             preload_keys: spec.preload_keys,
             value_size: spec.value_size,
             net: spec.net,
@@ -85,7 +85,7 @@ impl Default for MilanaClusterConfig {
             clients: 2,
             backend: BackendKind::Mftl,
             nand: NandConfig::default(),
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: 0,
             value_size: 472,
             client_cfg: TxnClientConfig::default(),
@@ -286,7 +286,7 @@ impl MilanaCluster {
                     client_cfg.master = Some(master_addr);
                 }
                 TxnClient::builder(handle, client_node(i), ClientId(i), client_map)
-                    .discipline(config.discipline.clone())
+                    .clock(config.clock.clone())
                     .config(client_cfg)
                     .build()
             })

@@ -36,7 +36,7 @@
 //! });
 //! sim.block_on(async move {
 //!     let client = &cluster.clients[0];
-//!     let mut txn = client.begin();
+//!     let mut txn = client.begin_with(milana::TxnOpts::default());
 //!     let _ = txn.get(&Key::from(1u64)).await?;
 //!     txn.put(Key::from(2u64), value(&b"updated"[..]));
 //!     txn.commit().await?;
@@ -56,7 +56,23 @@ pub mod table;
 #[cfg(test)]
 mod tests;
 
-pub use client::{CommitInfo, MilanaClient, Txn, TxnClient, TxnClientBuilder, TxnClientConfig};
+pub use client::{
+    CommitInfo, MilanaClient, Txn, TxnClient, TxnClientBuilder, TxnClientConfig, TxnMode, TxnOpts,
+    ValidationMode,
+};
 pub use cluster::{MilanaCluster, MilanaClusterConfig};
 pub use msg::{AbortReason, PromoteError, TxnError, TxnId, TxnRequest, TxnResponse};
 pub use server::{LeaseConfig, ServerTuning, TxnServer, TxnServerConfig};
+
+/// One-stop imports for driving a MILANA cluster: the client handle and
+/// its begin/validation options, the cluster harness, the error type, and
+/// the clock profile used to configure client clocks — without reaching
+/// into simulator internals.
+pub mod prelude {
+    pub use crate::client::{
+        CommitInfo, Txn, TxnClient, TxnClientConfig, TxnMode, TxnOpts, ValidationMode,
+    };
+    pub use crate::cluster::{MilanaCluster, MilanaClusterConfig};
+    pub use crate::msg::{AbortReason, TxnError};
+    pub use timesync::{ClockSpec, Discipline};
+}

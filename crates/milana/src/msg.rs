@@ -72,6 +72,9 @@ pub enum TxnRequest {
         key: Key,
         /// The reading transaction's `ts_begin`.
         at: Timestamp,
+        /// The reading client, so the clock-health tracker can attribute
+        /// (and fence) far-future `ts_begin` values per client.
+        client: ClientId,
     },
     /// Snapshot read served by **any** replica (§4.6's relaxation for
     /// read-write transactions). No prepared flag, no `ts_latestRead`
@@ -93,6 +96,9 @@ pub enum TxnRequest {
         key: Key,
         /// The reading transaction's `ts_begin`.
         at: Timestamp,
+        /// The reading client, so the clock-health tracker can attribute
+        /// (and fence) far-future `ts_begin` values per client.
+        client: ClientId,
     },
     /// Primary → backups, appended to every replication envelope: "this
     /// stream has told you everything with a commit stamp below `ts`". A
@@ -349,6 +355,12 @@ pub enum TxnResponse {
         /// ([`timesync::Timestamp::ZERO`] when no client has promised yet).
         floor: Timestamp,
     },
+    /// Definite no-vote on a prepare whose `ts_commit` the server's
+    /// clock-health tracker judged inconsistent with its own clock (inside
+    /// the uncertainty window or too far in the future), or whose client is
+    /// fenced as a persistent clock outlier. Nothing was validated or
+    /// installed.
+    ClockSuspect,
     /// Storage out of space.
     Capacity,
     /// The server refused the request instead of doing the work (admission
@@ -395,6 +407,11 @@ pub enum AbortReason {
     /// prepare is a definite no-vote; the client refetches the map and
     /// retries under the new epoch.
     StaleEpoch,
+    /// A server's clock-health tracker refused the prepare: `ts_commit`
+    /// was inconsistent with the server's clock beyond the uncertainty
+    /// bound ε, or the client is fenced as a persistent outlier. A
+    /// definite no-vote; retrying helps only after the clock recovers.
+    ClockSuspect,
 }
 
 impl AbortReason {
@@ -409,6 +426,7 @@ impl AbortReason {
             AbortReason::UserRequested => obskit::AbortClass::UserRequested,
             AbortReason::Overloaded => obskit::AbortClass::Shed,
             AbortReason::StaleEpoch => obskit::AbortClass::StaleEpoch,
+            AbortReason::ClockSuspect => obskit::AbortClass::ClockSuspect,
         }
     }
 }

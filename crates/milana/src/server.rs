@@ -108,6 +108,19 @@ pub struct ServerTuning {
     /// and prove the `lost_acked_write` / `stale_backup_read` checkers
     /// catch it. Shared (`Rc`) so one toggle reaches every replica.
     pub skip_durability: std::rc::Rc<std::cell::Cell<bool>>,
+    /// Clock-health tracking: when set, primaries estimate each client's
+    /// timestamp-vs-arrival residual, refuse prepares whose `ts_commit`
+    /// leaves the client's uncertainty window ε (a definite
+    /// [`crate::msg::TxnResponse::ClockSuspect`] no-vote), and fence
+    /// persistent outliers so one runaway clock cannot inflate everyone's
+    /// abort rate. `None` (the default) disables tracking entirely.
+    pub clock_health: Option<clockkit::ClockHealthConfig>,
+    /// Fault-injection hook: when set, primaries keep *estimating* clock
+    /// health but stop *enforcing* it — suspect prepares sail through.
+    /// Exists solely so chaos harnesses can seed the `uncertainty-skip`
+    /// fraud and prove the `clock_bound_breach` checker catches it. Shared
+    /// (`Rc`) so one toggle reaches every replica built from this tuning.
+    pub skip_uncertainty: std::rc::Rc<std::cell::Cell<bool>>,
 }
 
 impl Default for ServerTuning {
@@ -127,6 +140,8 @@ impl Default for ServerTuning {
             gossip_every: None,
             catchup_batch: 64,
             skip_durability: std::rc::Rc::new(std::cell::Cell::new(false)),
+            clock_health: None,
+            skip_uncertainty: std::rc::Rc::new(std::cell::Cell::new(false)),
         }
     }
 }
@@ -265,6 +280,13 @@ pub struct TxnServerStats {
     /// Backup reads declined because the applied watermark did not cover
     /// the snapshot.
     pub too_stale: u64,
+    /// Prepares refused by the clock-health tracker (suspect residual or
+    /// fenced client). A subset of `prepares_aborted`-style no-votes but
+    /// counted separately: these never reached Algorithm-1 validation.
+    pub clock_suspects: u64,
+    /// Clients this replica fenced as persistent clock outliers (fence
+    /// transitions, not currently-fenced count).
+    pub clock_fences: u64,
 }
 
 /// One MILANA shard replica. Cloning shares the server.
@@ -284,6 +306,9 @@ pub struct TxnServer {
     /// Latched by the first `MigrationCutover` this replica processes, so
     /// engine retries cannot re-emit ownership trace events.
     cutover_seen: Rc<std::cell::Cell<bool>>,
+    /// Per-client clock-health estimates (`None` when
+    /// [`ServerTuning::clock_health`] is unset).
+    clock_health: Option<Rc<RefCell<clockkit::ClockHealth>>>,
     cfg: Rc<TxnServerConfig>,
     /// Group-commit replication batcher: coalesces `ReplPrepare` /
     /// `ReplOutcome` records (plus pending watermark relays) into one
@@ -356,6 +381,11 @@ impl TxnServer {
             repl_seq,
             admission,
             cutover_seen: Rc::new(std::cell::Cell::new(false)),
+            clock_health: cfg
+                .tuning
+                .clock_health
+                .clone()
+                .map(|c| Rc::new(RefCell::new(clockkit::ClockHealth::new(c)))),
             cfg,
             repl_batch,
         };
@@ -645,11 +675,11 @@ impl TxnServer {
 
     async fn handle_request(&self, req: TxnRequest, from: Addr, resp: Responder) {
         match req {
-            TxnRequest::Get { key, at } => {
+            TxnRequest::Get { key, at, client } => {
                 let Ok((_permit, resp)) = self.admit(COST_GET, resp) else {
                     return;
                 };
-                self.handle_get(key, at, resp).await
+                self.handle_get(key, at, client, resp).await
             }
             TxnRequest::GetAny { key, at } => {
                 let Ok((_permit, resp)) = self.admit(COST_GET, resp) else {
@@ -684,11 +714,11 @@ impl TxnServer {
                 };
                 resp.reply(r);
             }
-            TxnRequest::ReadAt { key, at } => {
+            TxnRequest::ReadAt { key, at, client } => {
                 let Ok((_permit, resp)) = self.admit(COST_GET, resp) else {
                     return;
                 };
-                self.handle_read_at(key, at, resp).await
+                self.handle_read_at(key, at, client, resp).await
             }
             TxnRequest::AppliedFloor { seq, ts } => {
                 self.accept_floor(seq, ts, from);
@@ -1130,7 +1160,7 @@ impl TxnServer {
     /// client routed) serve it as a plain get; backups answer from their
     /// own chains when the applied watermark covers `at`, with the same
     /// epoch fencing and prepared-flag piggybacking as the primary path.
-    async fn handle_read_at(&self, key: Key, at: Timestamp, resp: Responder) {
+    async fn handle_read_at(&self, key: Key, at: Timestamp, client: ClientId, resp: Responder) {
         let primary = {
             let st = self.state.borrow();
             if !st.serving {
@@ -1140,7 +1170,7 @@ impl TxnServer {
             st.is_primary
         };
         if primary {
-            return self.handle_get(key, at, resp).await;
+            return self.handle_get(key, at, client, resp).await;
         }
         {
             // Backups answer `Moved` exactly like primaries: serving a
@@ -1316,7 +1346,7 @@ impl TxnServer {
         }
     }
 
-    async fn handle_get(&self, key: Key, at: Timestamp, resp: Responder) {
+    async fn handle_get(&self, key: Key, at: Timestamp, client: ClientId, resp: Responder) {
         {
             let st = self.state.borrow();
             if !st.serving || !st.is_primary {
@@ -1337,6 +1367,48 @@ impl TxnServer {
         if !self.lease_valid_for(at) {
             resp.reply(TxnResponse::NotReady);
             return;
+        }
+        // Clock-health ceiling on the read path: noting a read at `at`
+        // promises that no write below `at` commits on this key, and the
+        // prepare fence refuses any `ts_commit` more than `max_future_ns`
+        // past this server's clock — so a read beyond that ceiling would
+        // extract a promise honest writers are then held to indefinitely
+        // (a broken client could poison hot keys by merely *reading* them
+        // with a far-future ts_begin). Refuse it instead; the fence on the
+        // prepare path guarantees nothing commits above the ceiling, so
+        // every admitted read's promise stays enforceable. Breaches feed
+        // the same per-client fence state as suspect prepares.
+        if let Some(health) = &self.clock_health {
+            let arrival_ns = self.handle.now().as_nanos();
+            let verdict = health
+                .borrow_mut()
+                .observe_read(client, at.as_nanos(), arrival_ns);
+            self.stats.borrow_mut().clock_fences = health.borrow().fence_count();
+            let refused = match verdict {
+                clockkit::ClockVerdict::Ok => None,
+                clockkit::ClockVerdict::Suspect {
+                    residual_ns,
+                    epsilon_ns,
+                } => Some((residual_ns, epsilon_ns, false)),
+                clockkit::ClockVerdict::Fenced => Some((
+                    at.as_nanos() as i64 - arrival_ns as i64,
+                    health.borrow().epsilon_ns(client),
+                    true,
+                )),
+            };
+            if let Some((residual_ns, epsilon_ns, fenced)) = refused {
+                self.trace(obskit::TraceEvent::ClockFence {
+                    client: client.0 as u64,
+                    residual_ns,
+                    epsilon_ns,
+                    fenced,
+                });
+                if !self.cfg.tuning.skip_uncertainty.get() {
+                    self.stats.borrow_mut().clock_suspects += 1;
+                    resp.reply(TxnResponse::ClockSuspect);
+                    return;
+                }
+            }
         }
         let prepared = self.table.borrow_mut().note_read(&key, at);
         let r = match self.backend.get_at(&key, at).await {
@@ -1431,6 +1503,45 @@ impl TxnServer {
                     ok: false,
                 });
                 return Some(TxnResponse::Vote { ok: false });
+            }
+        }
+        // Clock-health fence (clockkit): judge the client-minted `ts_commit`
+        // against this server's own arrival clock before spending
+        // validation work on it. A residual outside the client's
+        // uncertainty window ε is a definite no-vote (nothing validated or
+        // installed); a persistently suspect client is fenced until its
+        // residuals return to the window. The `skip_uncertainty` fraud hook
+        // keeps the estimates updating but lets suspect prepares through,
+        // so the history checker's clock-bound invariant can prove it
+        // notices.
+        if let Some(health) = &self.clock_health {
+            let arrival_ns = self.handle.now().as_nanos();
+            let raw_residual = ts_commit.0 as i64 - arrival_ns as i64;
+            let verdict = health
+                .borrow_mut()
+                .observe(txid.client, ts_commit.0, arrival_ns);
+            self.stats.borrow_mut().clock_fences = health.borrow().fence_count();
+            let refused = match verdict {
+                clockkit::ClockVerdict::Ok => None,
+                clockkit::ClockVerdict::Suspect {
+                    residual_ns,
+                    epsilon_ns,
+                } => Some((residual_ns, epsilon_ns, false)),
+                clockkit::ClockVerdict::Fenced => {
+                    Some((raw_residual, health.borrow().epsilon_ns(txid.client), true))
+                }
+            };
+            if let Some((residual_ns, epsilon_ns, fenced)) = refused {
+                self.trace(obskit::TraceEvent::ClockFence {
+                    client: txid.client.0 as u64,
+                    residual_ns,
+                    epsilon_ns,
+                    fenced,
+                });
+                if !self.cfg.tuning.skip_uncertainty.get() {
+                    self.stats.borrow_mut().clock_suspects += 1;
+                    return Some(TxnResponse::ClockSuspect);
+                }
             }
         }
         let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();

@@ -5,8 +5,9 @@ use std::time::Duration;
 use flashsim::{value, BackendKind, Key, NandConfig};
 use semel::shard::ShardId;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
+use crate::client::{TxnOpts, ValidationMode};
 use crate::cluster::{MilanaCluster, MilanaClusterConfig};
 use crate::msg::{AbortReason, TxnError};
 
@@ -25,7 +26,7 @@ fn base_cfg() -> MilanaClusterConfig {
         clients: 3,
         nand: nand(),
         preload_keys: 200,
-        discipline: Discipline::Perfect,
+        clock: ClockSpec::perfect(),
         ..MilanaClusterConfig::default()
     }
 }
@@ -41,14 +42,14 @@ fn read_write_transaction_commits() {
     let cluster = MilanaCluster::build(&h, base_cfg());
     sim.block_on(async move {
         let c = &cluster.clients[0];
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(1)).await.unwrap();
         t.put(k(1), value(&b"new"[..]));
         let info = t.commit().await.unwrap();
         assert!(info.ts_commit.is_some());
         assert!(!info.local);
         // A later transaction sees the write.
-        let mut t2 = c.begin();
+        let mut t2 = c.begin_with(TxnOpts::default());
         assert_eq!(&t2.get(&k(1)).await.unwrap()[..], b"new");
         t2.commit().await.unwrap();
     });
@@ -62,7 +63,7 @@ fn read_only_transaction_validates_locally_with_zero_messages() {
     let cluster = MilanaCluster::build(&h, base_cfg());
     sim.block_on(async move {
         let c = &cluster.clients[0];
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(1)).await.unwrap();
         let _ = t.get(&k(2)).await.unwrap();
         let sent_before = hh.net_stats().sent;
@@ -82,7 +83,7 @@ fn own_writes_read_back_within_transaction() {
     let cluster = MilanaCluster::build(&h, base_cfg());
     sim.block_on(async move {
         let c = &cluster.clients[0];
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         t.put(k(5), value(&b"mine"[..]));
         assert_eq!(&t.get(&k(5)).await.unwrap()[..], b"mine");
         t.commit().await.unwrap();
@@ -100,7 +101,7 @@ fn conflicting_writers_one_aborts() {
         let c1 = cluster.clients[1].clone();
         // Both read key 1 then write it: classic write-write/read conflict.
         let run = |c: crate::client::TxnClient, tag: &'static [u8]| async move {
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let _ = t.get(&k(1)).await.unwrap();
             t.put(k(1), value(tag));
             t.commit().await
@@ -124,10 +125,10 @@ fn snapshot_reads_ignore_later_commits() {
         let c0 = cluster.clients[0].clone();
         let c1 = cluster.clients[1].clone();
         // t_old begins, reads one key.
-        let mut t_old = c0.begin();
+        let mut t_old = c0.begin_with(TxnOpts::default());
         let before = t_old.get(&k(1)).await.unwrap();
         // Meanwhile a writer commits a new version of both keys.
-        let mut w = c1.begin();
+        let mut w = c1.begin_with(TxnOpts::default());
         let _ = w.get(&k(1)).await.unwrap();
         w.put(k(1), value(&b"later"[..]));
         w.put(k(2), value(&b"later"[..]));
@@ -153,10 +154,10 @@ fn stale_read_write_transaction_aborts() {
     sim.block_on(async move {
         let c0 = cluster.clients[0].clone();
         let c1 = cluster.clients[1].clone();
-        let mut t = c0.begin();
+        let mut t = c0.begin_with(TxnOpts::default());
         let _ = t.get(&k(1)).await.unwrap();
         // Another client overwrites key 1 and commits.
-        let mut w = c1.begin();
+        let mut w = c1.begin_with(TxnOpts::default());
         let _ = w.get(&k(1)).await.unwrap();
         w.put(k(1), value(&b"sneak"[..]));
         w.commit().await.unwrap();
@@ -186,14 +187,14 @@ fn multi_shard_transaction_is_atomic() {
             .map(k)
             .find(|key| map.shard_for(key) != shard_a)
             .expect("a key on another shard");
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&key_a).await.unwrap();
         let _ = t.get(&key_b).await.unwrap();
         t.put(key_a.clone(), value(&b"both"[..]));
         t.put(key_b.clone(), value(&b"both"[..]));
         t.commit().await.unwrap();
         hh.sleep(Duration::from_millis(5)).await;
-        let mut t2 = c.begin();
+        let mut t2 = c.begin_with(TxnOpts::default());
         assert_eq!(&t2.get(&key_a).await.unwrap()[..], b"both");
         assert_eq!(&t2.get(&key_b).await.unwrap()[..], b"both");
         t2.commit().await.unwrap();
@@ -215,7 +216,7 @@ fn read_only_aborts_when_prepared_version_visible() {
         // by starting commit and reading in parallel.
         let hh2 = hh.clone();
         let wj = hh.spawn(async move {
-            let mut w = writer.begin();
+            let mut w = writer.begin_with(TxnOpts::default());
             let _ = w.get(&k(1)).await.unwrap();
             w.put(k(1), value(&b"w"[..]));
             // Stretch the window a little so the reader lands mid-2PC.
@@ -224,7 +225,7 @@ fn read_only_aborts_when_prepared_version_visible() {
         });
         // Give the writer time to reach the prepared state.
         hh.sleep(Duration::from_micros(400)).await;
-        let mut r = reader.begin();
+        let mut r = reader.begin_with(TxnOpts::default());
         match r.get(&k(1)).await {
             Ok(_) => {
                 // Either we read before the prepare (commit fine) or the
@@ -255,8 +256,8 @@ fn single_version_backend_aborts_tardy_readers() {
         let reader = cluster.clients[0].clone();
         let writer = cluster.clients[1].clone();
         // Reader begins (fixing ts_begin), writer then overwrites the key.
-        let mut r = reader.begin();
-        let mut w = writer.begin();
+        let mut r = reader.begin_with(TxnOpts::default());
+        let mut w = writer.begin_with(TxnOpts::default());
         let _ = w.get(&k(1)).await.unwrap();
         w.put(k(1), value(&b"clobber"[..]));
         w.commit().await.unwrap();
@@ -279,7 +280,7 @@ fn primary_failover_preserves_committed_data() {
     let cluster = MilanaCluster::build(&h, cfg);
     sim.block_on(async move {
         let c = cluster.clients[0].clone();
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(1)).await.unwrap();
         t.put(k(1), value(&b"survives"[..]));
         t.commit().await.unwrap();
@@ -287,11 +288,11 @@ fn primary_failover_preserves_committed_data() {
         cluster.fail_primary(ShardId(0));
         cluster.promote_backup(ShardId(0)).await.expect("promotion");
         // New primary serves the committed value.
-        let mut t2 = c.begin();
+        let mut t2 = c.begin_with(TxnOpts::default());
         assert_eq!(&t2.get(&k(1)).await.unwrap()[..], b"survives");
         t2.commit().await.unwrap();
         // And accepts new writes.
-        let mut t3 = c.begin();
+        let mut t3 = c.begin_with(TxnOpts::default());
         let _ = t3.get(&k(2)).await.unwrap();
         t3.put(k(2), value(&b"post-failover"[..]));
         t3.commit().await.unwrap();
@@ -337,12 +338,12 @@ fn failover_commits_prepared_single_shard_transaction() {
         // Algorithm 2: a prepared single-shard transaction is committed by
         // the new primary (the coordinator could only have decided commit).
         let c = cluster.clients[0].clone();
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let got = t.get(&k(1)).await.unwrap();
         t.commit().await.unwrap();
         assert_eq!(&got[..], b"limbo");
         // And the shard accepts new writes afterwards.
-        let mut t2 = c.begin();
+        let mut t2 = c.begin_with(TxnOpts::default());
         let _ = t2.get(&k(2)).await.unwrap();
         t2.put(k(2), value(&b"post-failover"[..]));
         t2.commit().await.unwrap();
@@ -400,7 +401,7 @@ fn ctp_resolves_transaction_after_client_crash() {
         }
         // While prepared, the keys are blocked: a conflicting writer aborts.
         let other = cluster.clients[1].clone();
-        let mut blocked = other.begin();
+        let mut blocked = other.begin_with(TxnOpts::default());
         let _ = blocked.get(&key_a).await; // may see prepared flag
         blocked.put(key_a.clone(), value(&b"blocked"[..]));
         let err = blocked.commit().await.unwrap_err();
@@ -408,7 +409,7 @@ fn ctp_resolves_transaction_after_client_crash() {
         // CTP: the designated coordinator sees all participants prepared and
         // commits the transaction on both shards.
         hh.sleep(Duration::from_millis(200)).await;
-        let mut t = other.begin();
+        let mut t = other.begin_with(TxnOpts::default());
         let va = t.get(&key_a).await.unwrap();
         let vb = t.get(&key_b).await.unwrap();
         t.commit().await.unwrap();
@@ -426,7 +427,7 @@ fn ctp_resolves_transaction_after_client_crash() {
             }
         }
         // And the keys accept new writes again.
-        let mut t2 = other.begin();
+        let mut t2 = other.begin_with(TxnOpts::default());
         let _ = t2.get(&key_a).await.unwrap();
         t2.put(key_a.clone(), value(&b"after"[..]));
         t2.commit().await.unwrap();
@@ -439,11 +440,11 @@ fn without_local_validation_read_only_goes_remote() {
     let h = sim.handle();
     let hh = h.clone();
     let mut cfg = base_cfg();
-    cfg.client_cfg.local_validation = false;
+    cfg.client_cfg.validation = ValidationMode::Remote;
     let cluster = MilanaCluster::build(&h, cfg);
     sim.block_on(async move {
         let c = &cluster.clients[0];
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(1)).await.unwrap();
         let sent_before = hh.net_stats().sent;
         let info = t.commit().await.unwrap();
@@ -465,7 +466,7 @@ fn watermark_advances_and_prunes_under_transactions() {
     sim.block_on(async move {
         let c = cluster.clients[0].clone();
         for i in 0..8u64 {
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let _ = t.get(&k(1)).await.unwrap();
             t.put(k(1), value(vec![i as u8; 16]));
             t.commit().await.unwrap();
@@ -473,7 +474,7 @@ fn watermark_advances_and_prunes_under_transactions() {
         }
         hh.sleep(Duration::from_millis(300)).await;
         // One more write triggers pruning below the advanced watermark.
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(1)).await.unwrap();
         t.put(k(1), value(&b"last"[..]));
         t.commit().await.unwrap();
@@ -494,7 +495,7 @@ fn skewed_clocks_still_serializable() {
     let h = sim.handle();
     let hh = h.clone();
     let mut cfg = base_cfg();
-    cfg.discipline = Discipline::Ntp;
+    cfg.clock = ClockSpec::ntp();
     cfg.clients = 3;
     cfg.shards = 1;
     let cluster = MilanaCluster::build(&h, cfg);
@@ -503,7 +504,7 @@ fn skewed_clocks_still_serializable() {
         let mut commits = 0u64;
         for round in 0..30 {
             let c = cluster.clients[round % 3].clone();
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let cur = t.get(&k(1)).await;
             let n = match cur {
                 Ok(v) if v.len() == 8 => u64::from_be_bytes(v[..8].try_into().unwrap()),
@@ -517,7 +518,7 @@ fn skewed_clocks_still_serializable() {
         }
         hh.sleep(Duration::from_millis(10)).await;
         let c = cluster.clients[0].clone();
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let v = t.get(&k(1)).await.unwrap();
         t.commit().await.unwrap();
         let n = u64::from_be_bytes(v[..8].try_into().unwrap());
@@ -542,14 +543,14 @@ fn long_running_reader_survives_watermark_churn() {
         let reader = cluster.clients[0].clone();
         let writer = cluster.clients[1].clone();
         // The long-running transaction reads one key, fixing its snapshot.
-        let mut long_txn = reader.begin();
+        let mut long_txn = reader.begin_with(TxnOpts::default());
         let first = long_txn.get(&k(1)).await.unwrap();
         // While it dawdles, the writer overwrites keys 1 and 2 many times,
         // with plenty of watermark broadcasts in between.
         for round in 0..10u64 {
             for key in [1u64, 2] {
                 loop {
-                    let mut w = writer.begin();
+                    let mut w = writer.begin_with(TxnOpts::default());
                     let _ = w.get(&k(key)).await.unwrap();
                     w.put(k(key), value(vec![round as u8; 16]));
                     match w.commit().await {
@@ -586,13 +587,13 @@ fn cached_transactions_skip_the_server_on_warm_keys() {
     sim.block_on(async move {
         let c = &cluster.clients[0];
         // Warm the cache with a normal transaction.
-        let mut warm = c.begin();
+        let mut warm = c.begin_with(TxnOpts::default());
         let _ = warm.get(&k(1)).await.unwrap();
         let _ = warm.get(&k(2)).await.unwrap();
         warm.commit().await.unwrap();
         // A cached transaction now reads both keys without any messages.
         let sent_before = hh.net_stats().sent;
-        let mut t = c.begin_cached();
+        let mut t = c.begin_with(TxnOpts::cached());
         let _ = t.get(&k(1)).await.unwrap();
         let _ = t.get(&k(2)).await.unwrap();
         assert_eq!(t.cache_hits(), 2);
@@ -614,18 +615,18 @@ fn stale_cache_aborts_then_recovers() {
         let reader = cluster.clients[0].clone();
         let writer = cluster.clients[1].clone();
         // Reader caches key 1.
-        let mut warm = reader.begin();
+        let mut warm = reader.begin_with(TxnOpts::default());
         let _ = warm.get(&k(1)).await.unwrap();
         warm.commit().await.unwrap();
         // Writer overwrites key 1 behind the reader's back.
-        let mut w = writer.begin();
+        let mut w = writer.begin_with(TxnOpts::default());
         let _ = w.get(&k(1)).await.unwrap();
         w.put(k(1), value(&b"fresh"[..]));
         w.commit().await.unwrap();
         hh.sleep(Duration::from_millis(5)).await;
         // The reader's cached transaction reads the stale version and must
         // fail remote validation...
-        let mut t = reader.begin_cached();
+        let mut t = reader.begin_with(TxnOpts::cached());
         let _ = t.get(&k(1)).await.unwrap();
         assert_eq!(t.cache_hits(), 1);
         t.put(k(2), value(&b"dep"[..]));
@@ -633,7 +634,7 @@ fn stale_cache_aborts_then_recovers() {
         assert_eq!(err, TxnError::Aborted(AbortReason::Validation));
         // ...which invalidates the stale entry, so the retry refetches and
         // succeeds.
-        let mut t2 = reader.begin_cached();
+        let mut t2 = reader.begin_with(TxnOpts::cached());
         let v1 = t2.get(&k(1)).await.unwrap();
         assert_eq!(t2.cache_hits(), 0, "stale entry must have been dropped");
         assert_eq!(&v1[..], b"fresh");
@@ -649,12 +650,12 @@ fn own_commits_refresh_the_client_cache() {
     let cluster = MilanaCluster::build(&h, base_cfg());
     sim.block_on(async move {
         let c = &cluster.clients[0];
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(5)).await.unwrap();
         t.put(k(5), value(&b"mine"[..]));
         t.commit().await.unwrap();
         // The cached read now returns our own committed write, serverlessly.
-        let mut t2 = c.begin_cached();
+        let mut t2 = c.begin_with(TxnOpts::cached());
         let v = t2.get(&k(5)).await.unwrap();
         assert_eq!(&v[..], b"mine");
         assert_eq!(t2.cache_hits(), 1);
@@ -678,7 +679,7 @@ fn automatic_failover_without_harness_intervention() {
     sim.block_on(async move {
         let c = cluster.clients[0].clone();
         // Commit something against the original primary.
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(1)).await.unwrap();
         t.put(k(1), value(&b"pre-crash"[..]));
         t.commit().await.unwrap();
@@ -692,11 +693,11 @@ fn automatic_failover_without_harness_intervention() {
         assert_eq!(master.stats().failovers, 1, "master drove the failover");
         assert!(master.map().epoch() >= 1);
         // Clients recover purely through map refresh + retries.
-        let mut t2 = c.begin();
+        let mut t2 = c.begin_with(TxnOpts::default());
         let got = t2.get(&k(1)).await.unwrap();
         assert_eq!(&got[..], b"pre-crash");
         t2.commit().await.unwrap();
-        let mut t3 = c.begin();
+        let mut t3 = c.begin_with(TxnOpts::default());
         let _ = t3.get(&k(2)).await.unwrap();
         t3.put(k(2), value(&b"post-crash"[..]));
         t3.commit().await.unwrap();
@@ -718,14 +719,14 @@ fn history_window_retains_old_versions_for_analytics() {
     sim.block_on(async move {
         let c = cluster.clients[0].clone();
         for i in 0..6u64 {
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let _ = t.get(&k(1)).await.unwrap();
             t.put(k(1), value(vec![i as u8; 16]));
             t.commit().await.unwrap();
             hh.sleep(Duration::from_millis(120)).await; // watermark rounds
         }
         // Force one more write so lazy pruning would run if allowed.
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(1)).await.unwrap();
         t.put(k(1), value(&b"last"[..]));
         t.commit().await.unwrap();
@@ -756,7 +757,7 @@ fn replica_reads_spread_load_and_validate_remotely() {
         let c = cluster.clients[0].clone();
         // Many replica-read transactions: gets spread across all 3 replicas.
         for i in 0..12u64 {
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let _ = t.get_any(&k(i % 4)).await.unwrap();
             t.put(k(i % 4), value(vec![i as u8; 8]));
             loop {
@@ -766,7 +767,7 @@ fn replica_reads_spread_load_and_validate_remotely() {
                         break;
                     }
                     Err(TxnError::Aborted(_)) => {
-                        t = c.begin();
+                        t = c.begin_with(TxnOpts::default());
                         let _ = t.get_any(&k(i % 4)).await.unwrap();
                         t.put(k(i % 4), value(vec![i as u8; 8]));
                     }
@@ -782,7 +783,7 @@ fn replica_reads_spread_load_and_validate_remotely() {
             .sum();
         assert!(backup_gets > 0, "no reads reached the backups");
         // And even a read-ONLY transaction using get_any validates remotely.
-        let mut ro = c.begin();
+        let mut ro = c.begin_with(TxnOpts::default());
         let _ = ro.get_any(&k(1)).await.unwrap();
         let info = ro.commit().await.unwrap();
         assert!(!info.local);
@@ -805,7 +806,7 @@ fn partitioned_old_primary_stops_serving_after_lease_expiry() {
     sim.block_on(async move {
         let c = cluster.clients[0].clone();
         // Warm up: normal reads succeed against the original primary.
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(1)).await.unwrap();
         t.commit().await.unwrap();
         // Partition the primary from its backups (it stays reachable from
@@ -818,7 +819,7 @@ fn partitioned_old_primary_stops_serving_after_lease_expiry() {
         hh.sleep(Duration::from_millis(250)).await;
         // The client still routes to the old primary (map unchanged), but
         // the primary must answer NotReady — surfacing as a read timeout.
-        let mut t2 = c.begin();
+        let mut t2 = c.begin_with(TxnOpts::default());
         let err = t2.get(&k(1)).await.unwrap_err();
         assert_eq!(err, TxnError::Timeout, "stale primary served a read!");
     });
@@ -841,7 +842,7 @@ fn install_log_catches_up_a_stale_backup() {
         let hh2 = hh.clone();
         async move {
             // Commit once so everyone has data, then nothing more.
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let _ = t.get(&k(1)).await.unwrap();
             t.put(k(1), value(&b"epoch-0"[..]));
             t.commit().await.unwrap();
@@ -857,7 +858,7 @@ fn install_log_catches_up_a_stale_backup() {
         async move {
             for i in 0..5u64 {
                 loop {
-                    let mut t = c.begin();
+                    let mut t = c.begin_with(TxnOpts::default());
                     let _ = t.get(&k(1)).await.unwrap();
                     t.put(k(1), value(format!("missed-{i}").into_bytes()));
                     match t.commit().await {
@@ -912,7 +913,7 @@ fn backup_reads_serve_covered_snapshots() {
         let c = cluster.clients[0].clone();
         // Commit known values so reads have something to check.
         for i in 0..4u64 {
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let _ = t.get(&k(i)).await.unwrap();
             t.put(k(i), value(vec![i as u8; 8]));
             t.commit().await.unwrap();
@@ -921,7 +922,7 @@ fn backup_reads_serve_covered_snapshots() {
         // floor reports push every replica's applied watermark past its
         // `ts_begin`, so the later reads inside it route to backups.
         for _ in 0..8 {
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             hh.sleep(Duration::from_millis(12)).await;
             for i in 0..4u64 {
                 let got = t.get(&k(i)).await.unwrap();
@@ -940,5 +941,31 @@ fn backup_reads_serve_covered_snapshots() {
             .map(|s| s.server.stats().replica_reads)
             .sum();
         assert!(served > 0, "server-side replica_reads stayed zero");
+    });
+}
+
+/// The deprecated `begin` / `begin_snapshot` / `begin_cached` trio must
+/// keep working (they forward to `begin_with`) until the next major bump.
+#[test]
+#[allow(deprecated)]
+fn deprecated_begin_shims_still_work() {
+    let mut sim = Sim::new(91);
+    let h = sim.handle();
+    let cluster = MilanaCluster::build(&h, base_cfg());
+    sim.block_on(async move {
+        let c = &cluster.clients[0];
+        let mut t = c.begin();
+        let _ = t.get(&k(1)).await.unwrap();
+        t.put(k(1), value(&b"shim"[..]));
+        t.commit().await.unwrap();
+        // Let replication land so the lagged snapshot sits under the
+        // write floor before reading.
+        h.sleep(Duration::from_millis(50)).await;
+        let mut snap = c.begin_snapshot();
+        let _ = snap.get(&k(1)).await.unwrap();
+        snap.commit().await.unwrap();
+        let mut cached = c.begin_cached();
+        let _ = cached.get(&k(1)).await.unwrap();
+        cached.commit().await.unwrap();
     });
 }

@@ -15,11 +15,12 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{value, BackendKind, Key, NandConfig};
+use milana::client::TxnOpts;
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana::msg::TxnError;
 use proptest::prelude::*;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::{ClockSpec, Discipline};
 
 fn enc(n: u64) -> flashsim::Value {
     value(Vec::from(n.to_be_bytes()))
@@ -85,7 +86,7 @@ fn run_counters(shape: Shape) -> Result<(), TestCaseError> {
                 ..NandConfig::default()
             }
             .sized_for(2_000, 512, 0.10),
-            discipline: shape.discipline.clone(),
+            clock: ClockSpec::from(shape.discipline.clone()),
             preload_keys: 0,
             ..MilanaClusterConfig::default()
         },
@@ -99,7 +100,7 @@ fn run_counters(shape: Shape) -> Result<(), TestCaseError> {
     sim.block_on(async move {
         // Seed the counters from one transaction.
         {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             for k in 0..keys {
                 t.put(Key::from(k), enc(0));
             }
@@ -118,7 +119,7 @@ fn run_counters(shape: Shape) -> Result<(), TestCaseError> {
                     let key = Key::from(key_id);
                     // Bounded retries: contention may abort us repeatedly.
                     for _ in 0..64 {
-                        let mut t = c.begin();
+                        let mut t = c.begin_with(TxnOpts::default());
                         let n = match t.get(&key).await {
                             Ok(v) => dec(&v),
                             Err(_) => continue,
@@ -142,7 +143,7 @@ fn run_counters(shape: Shape) -> Result<(), TestCaseError> {
         hh.sleep(Duration::from_millis(10)).await;
         // Audit every counter from a consistent snapshot.
         let finals: Vec<u64> = loop {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             let mut vals = Vec::new();
             let mut retry = false;
             for k in 0..keys {

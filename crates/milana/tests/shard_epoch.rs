@@ -7,10 +7,10 @@ use std::time::Duration;
 
 use flashsim::{value, Key, NandConfig, Value};
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
-use milana::{AbortReason, TxnError};
+use milana::{AbortReason, TxnError, TxnOpts};
 use semel::shard::ShardId;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 fn k(i: u64) -> Key {
     Key::from(i)
@@ -28,7 +28,7 @@ fn cfg() -> MilanaClusterConfig {
             ..NandConfig::default()
         },
         preload_keys: 64,
-        discipline: Discipline::Perfect,
+        clock: ClockSpec::perfect(),
         ..MilanaClusterConfig::default()
     }
 }
@@ -84,7 +84,7 @@ fn stale_client_refetches_and_commits_exactly_once() {
     sim.block_on(async move {
         let c = cluster.clients[0].clone();
         // Baseline commit so the moved key has a pre-split version.
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let _ = t.get(&k(3)).await.unwrap();
         t.put(k(3), value(&b"pre-split"[..]));
         t.commit().await.unwrap();
@@ -115,7 +115,7 @@ fn stale_client_refetches_and_commits_exactly_once() {
 
         // Blind write with the stale map: the prepare lands on the old
         // primary, which fences it with a definite StaleEpoch no-vote.
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         t.put(moved_key.clone(), value(&b"post-split"[..]));
         let first = t.commit().await;
         assert_eq!(
@@ -126,7 +126,7 @@ fn stale_client_refetches_and_commits_exactly_once() {
 
         // The stale abort triggered a map refetch; the retry must land on
         // the new owner and commit exactly once.
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         t.put(moved_key.clone(), value(&b"post-split"[..]));
         t.commit().await.expect("retry after refetch");
         h.sleep(Duration::from_millis(10)).await;
@@ -144,7 +144,7 @@ fn stale_client_refetches_and_commits_exactly_once() {
         );
 
         // Reads through the refreshed map see the new value.
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let got = t.get(&moved_key).await.unwrap();
         assert_eq!(got, value(&b"post-split"[..]));
     });
@@ -173,7 +173,7 @@ fn stale_reader_is_redirected_by_moved() {
             .registry
             .counter("map_fetches")
             .get();
-        let mut t = c.begin();
+        let mut t = c.begin_with(TxnOpts::default());
         let got = t.get(&moved_key).await.expect("redirected read");
         assert!(!got.is_empty());
         let fetches_after = cluster

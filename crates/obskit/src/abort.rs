@@ -38,11 +38,15 @@ pub enum AbortClass {
     /// server's — the key moved to another owner in a newer epoch. The
     /// client must refetch the map and retry against the new owner.
     StaleEpoch,
+    /// The server's clock-health tracker judged the client's `ts_commit`
+    /// inconsistent with its own clock beyond the promised uncertainty
+    /// bound ε — a definite no-vote, not a validation conflict.
+    ClockSuspect,
 }
 
 impl AbortClass {
     /// Every class, in the canonical (serialization) order.
-    pub const ALL: [AbortClass; 10] = [
+    pub const ALL: [AbortClass; 11] = [
         AbortClass::Validation,
         AbortClass::PreparedRead,
         AbortClass::SnapshotUnavailable,
@@ -53,6 +57,7 @@ impl AbortClass {
         AbortClass::Abandoned,
         AbortClass::Shed,
         AbortClass::StaleEpoch,
+        AbortClass::ClockSuspect,
     ];
 
     /// Stable machine-readable name (used as JSON keys).
@@ -68,6 +73,7 @@ impl AbortClass {
             AbortClass::Abandoned => "abandoned",
             AbortClass::Shed => "shed",
             AbortClass::StaleEpoch => "stale_epoch",
+            AbortClass::ClockSuspect => "clock_suspect",
         }
     }
 
@@ -167,7 +173,7 @@ mod tests {
         let s = b.to_json().to_string();
         assert_eq!(
             s,
-            r#"{"validation":0,"prepared_read":0,"snapshot_unavailable":0,"participant_unreachable":0,"watermark_stale":1,"user_requested":0,"unknown_outcome":0,"abandoned":0,"shed":0,"stale_epoch":0}"#
+            r#"{"validation":0,"prepared_read":0,"snapshot_unavailable":0,"participant_unreachable":0,"watermark_stale":1,"user_requested":0,"unknown_outcome":0,"abandoned":0,"shed":0,"stale_epoch":0,"clock_suspect":0}"#
         );
     }
 

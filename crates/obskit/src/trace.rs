@@ -237,6 +237,18 @@ pub enum TraceEvent {
         /// New offset from true time, ns.
         offset_ns: i64,
     },
+    /// A server's clock-health tracker flagged a client's prepare timestamp
+    /// as inconsistent with its own clock (and possibly fenced the client).
+    ClockFence {
+        /// The suspected client id.
+        client: u64,
+        /// Observed timestamp-vs-arrival residual, ns.
+        residual_ns: i64,
+        /// The uncertainty bound ε the residual was judged against, ns.
+        epsilon_ns: u64,
+        /// Whether the client is now fenced (persistent outlier).
+        fenced: bool,
+    },
     /// A server refused a request instead of doing the work.
     Shed {
         /// Shedding node id.
@@ -367,6 +379,7 @@ impl TraceEvent {
             TraceEvent::GcRun { .. } => "gc_run",
             TraceEvent::FlashOp { .. } => "flash_op",
             TraceEvent::ClockSync { .. } => "clock_sync",
+            TraceEvent::ClockFence { .. } => "clock_fence",
             TraceEvent::Shed { .. } => "shed",
             TraceEvent::QueueDepth { .. } => "queue_depth",
             TraceEvent::RetryBudgetExhausted { .. } => "retry_budget_exhausted",
@@ -437,6 +450,16 @@ impl TraceEvent {
             TraceEvent::ClockSync { client, offset_ns } => doc
                 .field("client", Json::U64(client))
                 .field("offset_ns", Json::I64(offset_ns)),
+            TraceEvent::ClockFence {
+                client,
+                residual_ns,
+                epsilon_ns,
+                fenced,
+            } => doc
+                .field("client", Json::U64(client))
+                .field("residual_ns", Json::I64(residual_ns))
+                .field("epsilon_ns", Json::U64(epsilon_ns))
+                .field("fenced", Json::Bool(fenced)),
             TraceEvent::Shed { node, reason } => doc
                 .field("node", Json::U64(node))
                 .field("reason", Json::str(reason.as_str())),
@@ -754,6 +777,12 @@ mod tests {
                 client: 1,
                 offset_ns: -250,
             },
+            TraceEvent::ClockFence {
+                client: 1,
+                residual_ns: 2_000_000,
+                epsilon_ns: 500_000,
+                fenced: true,
+            },
             TraceEvent::Shed {
                 node: 4,
                 reason: ShedReason::Overloaded,
@@ -831,6 +860,7 @@ mod tests {
             "gc_run",
             "flash_op",
             "clock_sync",
+            "clock_fence",
             "shed",
             "queue_depth",
             "retry_budget_exhausted",

@@ -26,11 +26,12 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{value, BackendKind, Key, NandConfig, Value};
+use milana::client::TxnOpts;
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use obskit::{Json, Obs, RecoveryPhase, TraceEvent};
 use semel::shard::ShardId;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 #[cfg(test)]
 mod tests;
@@ -173,7 +174,7 @@ fn cluster_config(spec: &RecoverySpec, obs: &Obs) -> MilanaClusterConfig {
         clients: spec.clients,
         backend: spec.backend,
         nand,
-        discipline: Discipline::PtpSoftware,
+        clock: ClockSpec::ptp_software(),
         preload_keys: spec.store_keys,
         value_size: spec.value_size,
         ..MilanaClusterConfig::default()
@@ -202,7 +203,7 @@ async fn commit_increments(
         let key = Key::from(id);
         let c = &clients[(i % clients.len() as u64) as usize];
         for attempt in 0..200u32 {
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let cur = match t.get(&key).await {
                 Ok(v) => dec(&v),
                 Err(_) => {

@@ -6,6 +6,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use flashsim::{value, Key};
+use milana::client::TxnOpts;
 use milana::cluster::MilanaCluster;
 use milana::msg::{TxnRequest, TxnResponse};
 use obskit::{Obs, RecoveryPhase, TraceEvent};
@@ -145,7 +146,7 @@ fn cold_backup_gates_read_at_until_floor_repromised() {
         sim.block_on(async move {
             let c = cl.borrow().clients[0].clone();
             loop {
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 let cur = match t.get(&k).await {
                     Ok(v) => dec(&v),
                     Err(_) => {
@@ -178,6 +179,7 @@ fn cold_backup_gates_read_at_until_floor_repromised() {
                         TxnRequest::ReadAt {
                             key: k.clone(),
                             at: Timestamp(1),
+                            client: timesync::ClientId(0),
                         },
                         Duration::from_millis(50),
                     )
@@ -224,7 +226,7 @@ fn cold_backup_gates_read_at_until_floor_repromised() {
         sim.block_on(async move {
             let c = cl.borrow().clients[0].clone();
             loop {
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 let cur = match t.get(&k).await {
                     Ok(v) => dec(&v),
                     Err(_) => {
@@ -250,6 +252,7 @@ fn cold_backup_gates_read_at_until_floor_repromised() {
                     TxnRequest::ReadAt {
                         key: key.clone(),
                         at: fresh_ts,
+                        client: timesync::ClientId(0),
                     },
                     Duration::from_millis(50),
                 )
@@ -329,7 +332,7 @@ fn recover_as_primary_races_prepares_during_cold_catchup() {
         let clients = cluster.borrow().clients.clone();
         let hh = h.clone();
         sim.block_on(async move {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             for k in 0..keys {
                 t.put(Key::from(k), enc(0));
             }
@@ -346,7 +349,7 @@ fn recover_as_primary_races_prepares_during_cold_catchup() {
             let mut rng = hh.fork_rng();
             while !stop.get() {
                 let k = Key::from(rng.gen_range(0..keys));
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 let n = match t.get(&k).await {
                     Ok(v) if v.len() >= 8 => dec(&v),
                     _ => {
@@ -459,7 +462,7 @@ fn recover_as_primary_races_prepares_during_cold_catchup() {
     let hh = h.clone();
     let total = sim.block_on(async move {
         'outer: for _ in 0..500u32 {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             let mut sum = 0u64;
             for k in 0..keys {
                 match t.get(&Key::from(k)).await {

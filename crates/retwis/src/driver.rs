@@ -10,7 +10,7 @@ use std::rc::Rc;
 
 use flashsim::{value, Key, Value};
 use milana::centiman::{CentTxn, CentimanClient};
-use milana::client::{CommitInfo, Txn, TxnClient};
+use milana::client::{CommitInfo, Txn, TxnClient, TxnOpts};
 use milana::msg::TxnError;
 use obskit::TxnStats;
 use rand::rngs::StdRng;
@@ -54,11 +54,11 @@ impl TxnSystem for TxnClient {
     type Handle = Txn;
 
     fn begin(&self) -> Txn {
-        TxnClient::begin(self)
+        self.begin_with(TxnOpts::default())
     }
 
     fn begin_read_only(&self) -> Txn {
-        TxnClient::begin_snapshot(self)
+        self.begin_with(TxnOpts::snapshot())
     }
 }
 
@@ -345,7 +345,7 @@ mod tests {
     use flashsim::NandConfig;
     use milana::cluster::{MilanaCluster, MilanaClusterConfig};
     use simkit::Sim;
-    use timesync::Discipline;
+    use timesync::ClockSpec;
 
     #[test]
     fn plans_respect_mix_shape() {
@@ -385,7 +385,7 @@ mod tests {
                     pages_per_block: 8,
                     ..NandConfig::default()
                 },
-                discipline: Discipline::PtpSoftware,
+                clock: ClockSpec::ptp_software(),
                 ..MilanaClusterConfig::default()
             },
         );
@@ -434,7 +434,7 @@ mod open_loop_tests {
     use flashsim::NandConfig;
     use milana::cluster::{MilanaCluster, MilanaClusterConfig};
     use simkit::Sim;
-    use timesync::Discipline;
+    use timesync::ClockSpec;
 
     #[test]
     fn open_loop_throughput_tracks_offered_rate_below_saturation() {
@@ -452,7 +452,7 @@ mod open_loop_tests {
                     pages_per_block: 8,
                     ..NandConfig::default()
                 },
-                discipline: Discipline::PtpSoftware,
+                clock: ClockSpec::ptp_software(),
                 ..MilanaClusterConfig::default()
             },
         );

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use simkit::net::NodeId;
 use simkit::rpc::{RpcClient, RpcError};
 use simkit::SimHandle;
-use timesync::{ClientId, Discipline, SyncedClock, Timestamp, Version};
+use timesync::{ClientId, ClockSpec, Discipline, SyncedClock, Timestamp, Version};
 
 use crate::msg::{SemelError, SemelRequest, SemelResponse};
 use crate::shard::{ShardId, ShardMap};
@@ -78,14 +78,22 @@ pub struct SemelClientBuilder {
     node: NodeId,
     id: ClientId,
     map: Rc<RefCell<ShardMap>>,
-    discipline: Discipline,
+    clock: ClockSpec,
     cfg: ClientConfig,
 }
 
 impl SemelClientBuilder {
+    /// Clock profile (default: [`ClockSpec::perfect`]). A bare
+    /// [`Discipline`] converts via `Into`.
+    pub fn clock(mut self, clock: impl Into<ClockSpec>) -> Self {
+        self.clock = clock.into();
+        self
+    }
+
     /// Clock skew model (default: [`Discipline::Perfect`]).
+    #[deprecated(since = "0.9.0", note = "use `clock(ClockSpec)` instead")]
     pub fn discipline(mut self, discipline: Discipline) -> Self {
-        self.discipline = discipline;
+        self.clock = ClockSpec::from(discipline);
         self
     }
 
@@ -132,7 +140,7 @@ impl SemelClientBuilder {
             &self.handle,
             self.node,
             self.id,
-            self.discipline,
+            self.clock,
             self.map,
             self.cfg,
         )
@@ -153,7 +161,7 @@ impl SemelClient {
             node,
             id,
             map,
-            discipline: Discipline::Perfect,
+            clock: ClockSpec::perfect(),
             cfg: ClientConfig::default(),
         }
     }
@@ -162,7 +170,7 @@ impl SemelClient {
         handle: &SimHandle,
         node: NodeId,
         id: ClientId,
-        discipline: Discipline,
+        clock: ClockSpec,
         map: Rc<RefCell<ShardMap>>,
         cfg: ClientConfig,
     ) -> SemelClient {
@@ -176,7 +184,7 @@ impl SemelClient {
         let client = SemelClient {
             handle: handle.clone(),
             id,
-            clock: Rc::new(SyncedClock::new(discipline, clock_seed)),
+            clock: Rc::new(SyncedClock::from_spec(&clock, clock_seed)),
             map,
             rpc: RpcClient::new(handle, node, CLIENT_RPC_PORT),
             cfg: Rc::new(cfg),

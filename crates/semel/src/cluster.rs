@@ -8,7 +8,7 @@ use std::rc::Rc;
 use flashsim::{value, Backend, BackendKind, Key, NandConfig};
 use simkit::net::{Addr, NodeId};
 use simkit::SimHandle;
-use timesync::{ClientId, Discipline, Timestamp, Version};
+use timesync::{ClientId, ClockSpec, Timestamp, Version};
 
 use crate::client::{ClientConfig, SemelClient};
 use crate::server::{ServerConfig, ShardServer};
@@ -27,8 +27,8 @@ pub struct ClusterConfig {
     pub backend: BackendKind,
     /// Device geometry for flash backends.
     pub nand: NandConfig,
-    /// Clock synchronization discipline for client clocks.
-    pub discipline: Discipline,
+    /// Clock profile for client clocks (discipline plus fault model).
+    pub clock: ClockSpec,
     /// Keys preloaded before the run (ids `0..preload_keys`).
     pub preload_keys: u64,
     /// Value size for preloaded keys (and a sensible default for writes).
@@ -56,7 +56,7 @@ impl Default for ClusterConfig {
             clients: 2,
             backend: BackendKind::Mftl,
             nand: NandConfig::default(),
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: 0,
             value_size: 472,
             client_cfg: ClientConfig::default(),
@@ -182,7 +182,7 @@ impl SemelCluster {
                 let mut client_cfg = config.client_cfg.clone();
                 client_cfg.obs = config.obs.clone();
                 SemelClient::builder(handle, client_node(i), ClientId(i), map.clone())
-                    .discipline(config.discipline.clone())
+                    .clock(config.clock.clone())
                     .config(client_cfg)
                     .build()
             })

@@ -16,7 +16,7 @@
 use std::time::Duration;
 
 use flashsim::{BackendKind, NandConfig};
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 use crate::cluster::ClusterConfig;
 
@@ -78,8 +78,8 @@ pub struct ClusterSpec {
     pub backend: BackendKind,
     /// Device geometry for flash backends.
     pub nand: NandConfig,
-    /// Clock synchronization discipline for client clocks.
-    pub discipline: Discipline,
+    /// Clock profile for client clocks (discipline plus fault model).
+    pub clock: ClockSpec,
     /// Keys preloaded before the run (ids `0..preload_keys`).
     pub preload_keys: u64,
     /// Value size for preloaded keys.
@@ -131,7 +131,7 @@ impl ClusterSpec {
             clients,
             backend: BackendKind::Mftl,
             nand: NandConfig::default(),
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: 0,
             value_size: 472,
             net: simkit::net::LatencyConfig::default(),
@@ -151,9 +151,9 @@ impl ClusterSpec {
         self.replicas / 2
     }
 
-    /// Sets the clock discipline.
-    pub fn clocks(mut self, discipline: Discipline) -> Self {
-        self.discipline = discipline;
+    /// Sets the clock profile (a bare [`timesync::Discipline`] converts).
+    pub fn clocks(mut self, clock: impl Into<ClockSpec>) -> Self {
+        self.clock = clock.into();
         self
     }
 
@@ -220,7 +220,7 @@ impl From<ClusterSpec> for ClusterConfig {
             clients: spec.clients,
             backend: spec.backend,
             nand: spec.nand,
-            discipline: spec.discipline,
+            clock: spec.clock,
             preload_keys: spec.preload_keys,
             value_size: spec.value_size,
             net: spec.net,

@@ -1,10 +1,11 @@
 //! End-to-end resharding tests on a simulated MILANA cluster.
 
 use flashsim::{value, Key, NandConfig};
+use milana::client::TxnOpts;
 use milana::cluster::{MilanaCluster, MilanaClusterConfig, MASTER_NODE};
 use semel::shard::ShardId;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 use crate::{RebalanceEngine, RebalancePlan, RebalanceSpec, SourceReplica};
 
@@ -23,7 +24,7 @@ fn base_cfg() -> MilanaClusterConfig {
         clients: 2,
         nand: nand(),
         preload_keys: 200,
-        discipline: Discipline::Perfect,
+        clock: ClockSpec::perfect(),
         ..MilanaClusterConfig::default()
     }
 }
@@ -60,7 +61,7 @@ fn split_preserves_data_and_reroutes() {
         let c = cluster.clients[0].clone();
         // Commit fresh versions over a spread of preloaded keys.
         for i in 0..40u64 {
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let _ = t.get(&k(i)).await.unwrap();
             t.put(k(i), value(vec![i as u8; 16]));
             t.commit().await.unwrap();
@@ -88,7 +89,7 @@ fn split_preserves_data_and_reroutes() {
 
         // Every committed value reads back correctly through the new map.
         for i in 0..40u64 {
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let got = t.get(&k(i)).await.unwrap();
             assert_eq!(got, value(vec![i as u8; 16]), "key {i} lost its value");
         }
@@ -130,7 +131,7 @@ fn concurrent_writes_survive_split() {
             let mut committed = vec![None::<u64>; 8];
             for round in 0..60u64 {
                 let i = round % 8;
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 let _ = t.get(&k(i)).await;
                 t.put(k(i), value(round.to_le_bytes().to_vec()));
                 if t.commit().await.is_ok() {
@@ -147,7 +148,7 @@ fn concurrent_writes_survive_split() {
         let c = cluster.clients[1].clone();
         for (i, want) in committed.iter().enumerate() {
             let Some(round) = want else { continue };
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let got = t.get(&k(i as u64)).await.unwrap();
             assert_eq!(
                 got,
@@ -187,7 +188,7 @@ fn move_shard_evicts_source_group() {
             if map.shard_for(&k(i)) != shard {
                 continue;
             }
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             t.get(&k(i)).await.unwrap();
             found += 1;
         }
@@ -240,7 +241,7 @@ fn auto_failover_clients_refetch_across_split() {
         for (n, i) in moved.iter().enumerate() {
             let mut ok = false;
             for _ in 0..4 {
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 if t.get(&k(*i)).await.is_err() {
                     continue;
                 }
@@ -254,7 +255,7 @@ fn auto_failover_clients_refetch_across_split() {
             // The commit outcome is cast fire-and-forget; give the backend
             // apply a moment before asserting read-your-writes.
             hh.sleep(std::time::Duration::from_millis(5)).await;
-            let mut t = c.begin();
+            let mut t = c.begin_with(TxnOpts::default());
             let got = t.get(&k(*i)).await.unwrap();
             assert_eq!(got, value(vec![n as u8 + 1; 8]));
         }

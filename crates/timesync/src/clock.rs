@@ -81,10 +81,38 @@ struct ClockState {
     offset_ns: i64,
     next_sync: SimTime,
     last_issued: Timestamp,
+    /// Active discipline; starts as the constructed one and changes only
+    /// through [`SyncedClock::downgrade`].
+    discipline: Discipline,
+    /// Persistent oscillator drift (ns of error accrued per second of true
+    /// time). `0` for an honest clock.
+    drift_ns_per_s: i64,
+    /// True time the current drift segment started (ns).
+    drift_anchor_ns: u64,
+    /// Holdover: the sync source is lost, so offsets are never redrawn and
+    /// the oscillator free-runs at `drift_ns_per_s`.
+    holdover: bool,
     /// Trace sink for resync events; disabled by default.
     tracer: obskit::Tracer,
     /// Client id stamped on emitted trace events.
     trace_client: u64,
+}
+
+impl ClockState {
+    /// Total correction at true time `now_ns`: the sampled offset plus
+    /// whatever the drift segment has accrued since its anchor.
+    fn offset_at(&self, now_ns: u64) -> i64 {
+        let elapsed = now_ns.saturating_sub(self.drift_anchor_ns) as i128;
+        let drifted = elapsed * self.drift_ns_per_s as i128 / 1_000_000_000;
+        self.offset_ns.saturating_add(drifted as i64)
+    }
+
+    /// Folds accrued drift into the base offset and re-anchors at `now_ns`
+    /// — called whenever the drift rate changes so past error is kept.
+    fn rebase(&mut self, now_ns: u64) {
+        self.offset_ns = self.offset_at(now_ns);
+        self.drift_anchor_ns = now_ns;
+    }
 }
 
 /// A per-client clock: skewed against true time, strictly monotonic in what
@@ -130,12 +158,26 @@ impl SyncedClock {
                 offset_ns,
                 next_sync: SimTime::ZERO + discipline.sync_interval(),
                 last_issued: Timestamp::ZERO,
+                discipline: discipline.clone(),
+                drift_ns_per_s: 0,
+                drift_anchor_ns: 0,
+                holdover: false,
                 tracer: obskit::Tracer::disabled(),
                 trace_client: 0,
             }),
             discipline,
             rng: RefCell::new(rng),
         }
+    }
+
+    /// Builds a clock from a [`crate::ClockSpec`]: the spec's discipline plus
+    /// any baked-in oscillator drift.
+    pub fn from_spec(spec: &crate::ClockSpec, seed: u64) -> SyncedClock {
+        let clock = SyncedClock::new(spec.discipline.clone(), seed);
+        if spec.drift_ns_per_s != 0 {
+            clock.inject_drift(spec.drift_ns_per_s, SimTime::ZERO);
+        }
+        clock
     }
 
     /// The discipline this clock follows.
@@ -157,12 +199,19 @@ impl SyncedClock {
     /// offset resample would move the clock backwards.
     pub fn now(&self, true_now: SimTime) -> Timestamp {
         let mut st = self.state.borrow_mut();
-        if true_now >= st.next_sync {
-            let std = self.discipline.offset_std_ns();
+        if !st.holdover && true_now >= st.next_sync {
+            let std = st.discipline.offset_std_ns();
             if std > 0.0 {
                 st.offset_ns = normal(&mut *self.rng.borrow_mut(), 0.0, std) as i64;
+            } else if st.drift_ns_per_s != 0 {
+                // A perfect-discipline sync still corrects the error the
+                // drifting oscillator accrued since the last exchange.
+                st.offset_ns = 0;
             }
-            let interval = self.discipline.sync_interval();
+            // The sync exchange corrects accrued drift; the (faulty) rate
+            // itself survives, so error re-grows until the next boundary.
+            st.drift_anchor_ns = true_now.as_nanos();
+            let interval = st.discipline.sync_interval();
             while st.next_sync <= true_now {
                 st.next_sync += interval;
             }
@@ -174,7 +223,11 @@ impl SyncedClock {
                 },
             );
         }
-        let raw = Timestamp(true_now.offset_by(st.offset_ns).as_nanos());
+        let raw = Timestamp(
+            true_now
+                .offset_by(st.offset_at(true_now.as_nanos()))
+                .as_nanos(),
+        );
         let issued = if raw <= st.last_issued {
             Timestamp(st.last_issued.0 + 1)
         } else {
@@ -210,6 +263,62 @@ impl SyncedClock {
                 offset_ns: st.offset_ns,
             },
         );
+    }
+
+    /// Fault injection: gives the oscillator a persistent drift of
+    /// `rate_ns_per_s` nanoseconds of error per second of true time,
+    /// starting at true time `now`. Error accrued under any previous rate is
+    /// folded into the offset so the clock never snaps. Each sync exchange
+    /// corrects the accrued error (the rate itself survives), so a synced
+    /// drifting clock strays by at most `rate × sync_interval` — combine
+    /// with [`SyncedClock::enter_holdover`] for unbounded runaway.
+    pub fn inject_drift(&self, rate_ns_per_s: i64, now: SimTime) {
+        let mut st = self.state.borrow_mut();
+        st.rebase(now.as_nanos());
+        st.drift_ns_per_s = rate_ns_per_s;
+    }
+
+    /// Fault injection: the sync source is lost (holdover). Offsets are no
+    /// longer redrawn and accrued drift is never corrected, so the clock
+    /// free-runs at whatever [`SyncedClock::inject_drift`] rate is active.
+    pub fn enter_holdover(&self) {
+        self.state.borrow_mut().holdover = true;
+    }
+
+    /// Ends holdover at true time `now`; the next read resynchronizes.
+    pub fn exit_holdover(&self, now: SimTime) {
+        let mut st = self.state.borrow_mut();
+        if !st.holdover {
+            return;
+        }
+        st.holdover = false;
+        st.next_sync = now;
+    }
+
+    /// Fault injection: swaps the active discipline mid-run (e.g. the PTP
+    /// daemon dies and NTP takes over). Takes effect at the next read, which
+    /// immediately resamples from the new discipline's offset distribution.
+    pub fn downgrade(&self, to: Discipline) {
+        let mut st = self.state.borrow_mut();
+        st.discipline = to;
+        st.next_sync = SimTime::ZERO;
+    }
+
+    /// The discipline currently in effect — differs from
+    /// [`SyncedClock::discipline`] after a [`SyncedClock::downgrade`].
+    pub fn active_discipline(&self) -> Discipline {
+        self.state.borrow().discipline.clone()
+    }
+
+    /// The active oscillator drift rate (ns of error per second), `0` unless
+    /// [`SyncedClock::inject_drift`] was called.
+    pub fn drift_ns_per_s(&self) -> i64 {
+        self.state.borrow().drift_ns_per_s
+    }
+
+    /// Whether the clock is in holdover (sync source lost).
+    pub fn is_holdover(&self) -> bool {
+        self.state.borrow().holdover
     }
 }
 
@@ -322,6 +431,104 @@ mod tests {
         c.inject_step(-50_000_000); // far backwards
         let t3 = c.now(SimTime::from_millis(2));
         assert!(t3 > t2, "monotonic clamp holds across negative step");
+    }
+
+    #[test]
+    fn drift_accrues_between_syncs_and_is_corrected_at_boundaries() {
+        let c = SyncedClock::new(Discipline::Perfect, 9);
+        c.inject_drift(1_000_000, SimTime::ZERO); // +1ms per second
+                                                  // 1s in: half a sync interval elapsed, ~1ms of error accrued.
+        let t = c.now(SimTime::from_secs(1));
+        assert_eq!(t, Timestamp(1_000_000_000 + 1_000_000));
+        // Just past the 2s sync boundary the exchange corrected the error.
+        let t = c.now(SimTime::from_millis(2_001));
+        assert!(
+            t.0 - 2_001_000_000 < 10_000,
+            "sync should wipe accrued drift, got {t:?}"
+        );
+    }
+
+    #[test]
+    fn holdover_drift_runs_away_uncorrected() {
+        let c = SyncedClock::new(Discipline::Perfect, 9);
+        c.enter_holdover();
+        c.inject_drift(1_000_000, SimTime::ZERO);
+        let t = c.now(SimTime::from_secs(10)); // 5 sync boundaries skipped
+        assert_eq!(t, Timestamp(10_000_000_000 + 10_000_000));
+        // Exiting holdover resyncs at the next read. The clock ran ~10ms
+        // ahead, so the monotonic clamp makes it stand still (slew) instead
+        // of snapping back: reads barely advance until true time catches up.
+        c.exit_holdover(SimTime::from_secs(10));
+        let clamped = c.now(SimTime::from_millis(10_001));
+        assert_eq!(clamped, Timestamp(t.0 + 1), "clamp holds after resync");
+        // True time catches the clamp; only drift re-accrued since the
+        // resync (19ms × 1ms/s = 19µs) remains.
+        let caught_up = c.now(SimTime::from_millis(10_020));
+        assert_eq!(caught_up, Timestamp(10_020_000_000 + 19_000));
+    }
+
+    #[test]
+    fn drift_rate_change_keeps_accrued_error() {
+        let c = SyncedClock::new(Discipline::Perfect, 9);
+        c.enter_holdover();
+        c.inject_drift(1_000_000, SimTime::ZERO);
+        let _ = c.now(SimTime::from_secs(1));
+        c.inject_drift(0, SimTime::from_secs(1)); // stop drifting; error stays
+        let t = c.now(SimTime::from_secs(2));
+        assert_eq!(t, Timestamp(2_000_000_000 + 1_000_000));
+    }
+
+    #[test]
+    fn downgrade_switches_offset_distribution() {
+        let c = SyncedClock::new(Discipline::PtpHardware, 11);
+        let _ = c.now(SimTime::from_millis(1));
+        assert!(c.offset_ns().abs() < 2_000, "hw-grade offset");
+        c.downgrade(Discipline::Ntp);
+        assert_eq!(c.active_discipline(), Discipline::Ntp);
+        assert_eq!(*c.discipline(), Discipline::PtpHardware);
+        // Next read resamples from the NTP distribution (σ ≈ 1.3ms); over a
+        // few seeds at least one draw must be far outside hw range.
+        let t = c.now(SimTime::from_millis(2));
+        assert!(t > Timestamp::ZERO);
+        let mut saw_large = c.offset_ns().abs() > 100_000;
+        for seed in 0..10 {
+            let c = SyncedClock::new(Discipline::PtpHardware, seed);
+            c.downgrade(Discipline::Ntp);
+            let _ = c.now(SimTime::from_millis(1));
+            saw_large |= c.offset_ns().abs() > 100_000;
+        }
+        assert!(saw_large, "downgraded clocks should draw NTP-scale offsets");
+    }
+
+    #[test]
+    fn monotonic_under_combined_faults() {
+        for seed in 0..10 {
+            let c = SyncedClock::new(Discipline::PtpSoftware, seed);
+            let mut last = Timestamp::ZERO;
+            for ms in (0..20_000u64).step_by(100) {
+                match ms {
+                    3_000 => c.inject_drift(-2_000_000, SimTime::from_millis(ms)),
+                    6_000 => c.inject_step(-10_000_000),
+                    9_000 => c.enter_holdover(),
+                    12_000 => c.downgrade(Discipline::Ntp),
+                    15_000 => c.exit_holdover(SimTime::from_millis(ms)),
+                    _ => {}
+                }
+                let ts = c.now(SimTime::from_millis(ms));
+                assert!(ts > last, "seed {seed} regressed at {ms}ms");
+                last = ts;
+            }
+        }
+    }
+
+    #[test]
+    fn from_spec_applies_drift() {
+        let spec = crate::ClockSpec::perfect().with_drift(500_000);
+        let c = SyncedClock::from_spec(&spec, 3);
+        assert_eq!(c.drift_ns_per_s(), 500_000);
+        let honest = SyncedClock::from_spec(&crate::ClockSpec::perfect(), 3);
+        assert_eq!(honest.drift_ns_per_s(), 0);
+        assert_eq!(honest.now(SimTime::from_secs(1)), Timestamp(1_000_000_000));
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //!   stamps SEMEL orders all writes by (§3);
 //! - [`Discipline`] — calibrated skew models (`Perfect`, `PtpHardware`,
 //!   `PtpSoftware`, `Ntp`) matching the magnitudes measured in §5.2;
+//! - [`ClockSpec`] — a discipline plus fault knobs (drift rate), the single
+//!   clock selection carried through cluster configs;
 //! - [`SyncedClock`] — a per-client clock that maps *true* simulation time to
-//!   that client's skewed-but-monotonic local time;
+//!   that client's skewed-but-monotonic local time, with fault hooks for
+//!   steps, persistent drift, holdover, and discipline downgrade;
 //! - [`WatermarkTracker`] — the watermark lower bound on client clocks used
 //!   for garbage collection (§3.1, §4.4).
 
@@ -20,9 +23,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod clock;
+pub mod spec;
 pub mod version;
 pub mod watermark;
 
 pub use clock::{Discipline, SyncedClock};
+pub use spec::ClockSpec;
 pub use version::{ClientId, Timestamp, Version};
 pub use watermark::WatermarkTracker;

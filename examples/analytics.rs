@@ -16,10 +16,11 @@
 use std::time::Duration;
 
 use flashsim::{value, Key, NandConfig, Value};
+use milana::client::TxnOpts;
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana::msg::TxnError;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 const ACCOUNTS: u64 = 64;
 const TOTAL: u64 = 64_000; // money supply; transfers preserve it
@@ -49,7 +50,7 @@ fn main() -> Result<(), TxnError> {
                 blocks: 1024,
                 ..NandConfig::default()
             },
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             ..MilanaClusterConfig::default()
         },
     );
@@ -57,7 +58,7 @@ fn main() -> Result<(), TxnError> {
     sim.block_on(async move {
         // Seed the ledger: TOTAL spread evenly.
         {
-            let mut t = cluster.clients[0].begin();
+            let mut t = cluster.clients[0].begin_with(TxnOpts::default());
             for a in 0..ACCOUNTS {
                 t.put(key(a), enc(TOTAL / ACCOUNTS));
             }
@@ -78,7 +79,7 @@ fn main() -> Result<(), TxnError> {
                 while !stop.get() {
                     let from = rand::Rng::gen_range(&mut rng, 0..ACCOUNTS);
                     let to = (from + 1 + rand::Rng::gen_range(&mut rng, 0..ACCOUNTS - 1)) % ACCOUNTS;
-                    let mut t = c.begin();
+                    let mut t = c.begin_with(TxnOpts::default());
                     let (bf, bt) = match (t.get(&key(from)).await, t.get(&key(to)).await) {
                         (Ok(f), Ok(t)) => (dec(&f), dec(&t)),
                         _ => continue,
@@ -101,7 +102,7 @@ fn main() -> Result<(), TxnError> {
         // "think time" per account, ~128ms total, while hundreds of
         // transfers commit underneath.
         let analyst = cluster.clients[0].clone();
-        let mut scan = analyst.begin();
+        let mut scan = analyst.begin_with(TxnOpts::default());
         println!("analytics scan begins at ts {}", scan.ts_begin());
         let mut sum = 0u64;
         for a in 0..ACCOUNTS {
@@ -129,7 +130,7 @@ fn main() -> Result<(), TxnError> {
         );
 
         // A fresh scan (fast this time) still balances, post-churn.
-        let mut verify = cluster.clients[0].begin();
+        let mut verify = cluster.clients[0].begin_with(TxnOpts::default());
         let mut sum2 = 0u64;
         for a in 0..ACCOUNTS {
             sum2 += dec(&verify.get(&key(a)).await?);

@@ -9,11 +9,12 @@
 use std::time::Duration;
 
 use flashsim::{value, Key, NandConfig};
+use milana::client::TxnOpts;
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana::msg::TxnError;
 use semel::shard::ShardId;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 fn main() -> Result<(), TxnError> {
     let mut sim = Sim::new(99);
@@ -28,7 +29,7 @@ fn main() -> Result<(), TxnError> {
                 blocks: 512,
                 ..NandConfig::default()
             },
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: 100,
             ..MilanaClusterConfig::default()
         },
@@ -39,7 +40,7 @@ fn main() -> Result<(), TxnError> {
 
         // Commit a few transactions against the original primary.
         for i in 0..5u64 {
-            let mut txn = client.begin();
+            let mut txn = client.begin_with(TxnOpts::default());
             let _ = txn.get(&Key::from(i)).await?;
             txn.put(Key::from(i), value(format!("v{i}").into_bytes()));
             txn.commit().await?;
@@ -69,7 +70,7 @@ fn main() -> Result<(), TxnError> {
         );
 
         // All committed data is still there...
-        let mut audit = cluster.clients[1].begin();
+        let mut audit = cluster.clients[1].begin_with(TxnOpts::default());
         for i in 0..5u64 {
             let v = audit.get(&Key::from(i)).await?;
             assert_eq!(&v[..], format!("v{i}").as_bytes());
@@ -81,7 +82,7 @@ fn main() -> Result<(), TxnError> {
         );
 
         // ...and the shard accepts new transactions.
-        let mut txn = client.begin();
+        let mut txn = client.begin_with(TxnOpts::default());
         let _ = txn.get(&Key::from(50u64)).await?;
         txn.put(Key::from(50u64), value(&b"business as usual"[..]));
         txn.commit().await?;

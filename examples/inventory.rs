@@ -13,11 +13,11 @@
 use std::time::Duration;
 
 use flashsim::{value, Key, NandConfig, Value};
-use milana::client::TxnClient;
+use milana::client::{TxnClient, TxnOpts};
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana::msg::TxnError;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 const ITEMS: u64 = 8;
 const INITIAL_STOCK: u64 = 40;
@@ -44,7 +44,7 @@ fn dec(v: &Value) -> u64 {
 /// Returns `Ok(false)` when sold out. Retries OCC aborts internally.
 async fn order_one(client: &TxnClient, item: u64) -> Result<bool, TxnError> {
     loop {
-        let mut txn = client.begin();
+        let mut txn = client.begin_with(TxnOpts::default());
         let stock = dec(&txn.get(&stock_key(item)).await?);
         if stock == 0 {
             txn.commit().await?; // read-only: local validation
@@ -74,7 +74,7 @@ fn main() -> Result<(), TxnError> {
                 blocks: 512,
                 ..NandConfig::default()
             },
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             ..MilanaClusterConfig::default()
         },
     );
@@ -83,7 +83,7 @@ fn main() -> Result<(), TxnError> {
         // Seed the stock, then let the asynchronous commit notification land
         // so the keys leave the prepared state before workers pile in.
         {
-            let mut txn = cluster.clients[0].begin();
+            let mut txn = cluster.clients[0].begin_with(TxnOpts::default());
             for item in 0..ITEMS {
                 txn.put(stock_key(item), enc(INITIAL_STOCK));
                 txn.put(orders_key(item), enc(0));
@@ -118,7 +118,7 @@ fn main() -> Result<(), TxnError> {
         // consistent snapshot (retrying if a straggler was still prepared).
         hh.sleep(Duration::from_millis(5)).await;
         let (remaining, recorded) = loop {
-            let mut audit = cluster.clients[0].begin();
+            let mut audit = cluster.clients[0].begin_with(TxnOpts::default());
             let mut remaining = 0u64;
             let mut recorded = 0u64;
             for item in 0..ITEMS {

@@ -6,10 +6,11 @@
 //! ```
 
 use flashsim::{value, Key, NandConfig};
+use milana::client::TxnOpts;
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana::msg::TxnError;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 fn main() -> Result<(), TxnError> {
     // A deterministic simulation: same seed, same run — always.
@@ -28,7 +29,7 @@ fn main() -> Result<(), TxnError> {
                 blocks: 512,
                 ..NandConfig::default()
             },
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: 1_000,
             ..MilanaClusterConfig::default()
         },
@@ -39,7 +40,7 @@ fn main() -> Result<(), TxnError> {
         let bob = &cluster.clients[1];
 
         // A read-write transaction: read two keys, update one, 2PC commit.
-        let mut txn = alice.begin();
+        let mut txn = alice.begin_with(TxnOpts::default());
         let before = txn.get(&Key::from(7u64)).await?;
         println!("alice read key 7: {} bytes", before.len());
         txn.put(Key::from(7u64), value(&b"hello from alice"[..]));
@@ -58,7 +59,7 @@ fn main() -> Result<(), TxnError> {
         // a purely client-local commit decision — zero validation messages.
         // Like any OCC application, retry if the snapshot was contended.
         let v = loop {
-            let mut ro = bob.begin();
+            let mut ro = bob.begin_with(TxnOpts::default());
             let v = ro.get(&Key::from(7u64)).await?;
             match ro.commit().await {
                 Ok(info) => {

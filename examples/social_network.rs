@@ -10,11 +10,11 @@
 //! ```
 
 use flashsim::{value, Key, NandConfig, Value};
-use milana::client::TxnClient;
+use milana::client::{TxnClient, TxnOpts};
 use milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana::msg::TxnError;
 use simkit::Sim;
-use timesync::Discipline;
+use timesync::ClockSpec;
 
 /// Key layout helpers: each user has a profile key and a timeline key.
 fn profile(user: u32) -> Key {
@@ -49,7 +49,7 @@ async fn post(
     msg: &str,
 ) -> Result<(), TxnError> {
     loop {
-        let mut txn = client.begin();
+        let mut txn = client.begin_with(TxnOpts::default());
         let mut ok = true;
         for &user in [author].iter().chain(followers) {
             let tl = timeline(user);
@@ -80,7 +80,7 @@ async fn post(
 /// locally, no validation round trips).
 async fn read_timeline(client: &TxnClient, user: u32) -> Result<Vec<String>, TxnError> {
     loop {
-        let mut txn = client.begin();
+        let mut txn = client.begin_with(TxnOpts::default());
         let posts = match txn.get(&timeline(user)).await {
             Ok(v) => decode_timeline(&v),
             Err(TxnError::KeyNotFound(_)) => Vec::new(),
@@ -108,7 +108,7 @@ fn main() -> Result<(), TxnError> {
                 blocks: 512,
                 ..NandConfig::default()
             },
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             ..MilanaClusterConfig::default()
         },
     );
@@ -118,7 +118,7 @@ fn main() -> Result<(), TxnError> {
 
         // Create three users.
         for user in 0..3u32 {
-            let mut txn = api.begin();
+            let mut txn = api.begin_with(TxnOpts::default());
             txn.put(profile(user), value(format!("user-{user}").into_bytes()));
             txn.put(timeline(user), value(&b""[..]));
             txn.commit().await?;

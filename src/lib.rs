@@ -5,6 +5,7 @@
 //! the system inventory.
 
 pub use batchkit;
+pub use clockkit;
 pub use faultkit;
 pub use flashsim;
 pub use loadkit;

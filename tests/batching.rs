@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use milana_repro::batchkit::BatchConfig;
 use milana_repro::flashsim::{value, Key};
+use milana_repro::milana::client::TxnOpts;
 use milana_repro::milana::cluster::MilanaCluster;
 use milana_repro::obskit::Obs;
 use milana_repro::semel::shard::ShardId;
@@ -117,7 +118,7 @@ fn flush_deadline_bounds_commit_latency() {
                     for i in 0..30u64 {
                         let key = Key::from(ci as u64 * 1000 + i); // disjoint: no conflicts
                         let t0 = hh2.now();
-                        let mut t = c.begin();
+                        let mut t = c.begin_with(TxnOpts::default());
                         t.put(key, value(&b"v"[..]));
                         t.commit().await.expect("conflict-free commit");
                         lat.borrow_mut().push((hh2.now() - t0).as_nanos() as u64);
@@ -186,7 +187,7 @@ fn registry_snapshot_is_byte_identical_per_seed() {
                 joins.push(hh.spawn(async move {
                     for i in 0..25u64 {
                         let key = Key::from((ci as u64 * 53 + i * 7) % 128);
-                        let mut t = c.begin();
+                        let mut t = c.begin_with(TxnOpts::default());
                         let _ = t.get(&key).await;
                         t.put(key, value(Vec::from(i.to_be_bytes())));
                         let _ = t.commit().await;

@@ -10,12 +10,13 @@ use std::time::Duration;
 
 use milana_repro::faultkit::{run_nemesis, Checker, Fault, FaultPlan, History, TimedFault};
 use milana_repro::flashsim::{value, Key, NandConfig};
+use milana_repro::milana::client::TxnOpts;
 use milana_repro::milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana_repro::milana::msg::TxnError;
 use milana_repro::obskit::Obs;
 use milana_repro::semel::shard::ShardId;
 use milana_repro::simkit::Sim;
-use milana_repro::timesync::Discipline;
+use milana_repro::timesync::ClockSpec;
 
 fn enc(n: u64) -> milana_repro::flashsim::Value {
     value(Vec::from(n.to_be_bytes()))
@@ -42,7 +43,7 @@ fn survives_repeated_failover_cycles() {
             pages_per_block: 8,
             ..NandConfig::default()
         },
-        discipline: Discipline::PtpSoftware,
+        clock: ClockSpec::ptp_software(),
         preload_keys: 0,
         ..MilanaClusterConfig::default()
     };
@@ -58,7 +59,7 @@ fn survives_repeated_failover_cycles() {
         let clients = cluster.borrow().clients.clone();
         let hh2 = hh.clone();
         sim.block_on(async move {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             for k in 0..keys {
                 t.put(Key::from(k), enc(0));
             }
@@ -76,7 +77,7 @@ fn survives_repeated_failover_cycles() {
             let mut rng = hh2.fork_rng();
             while !stop.get() {
                 let k = Key::from(rand::Rng::gen_range(&mut rng, 0..keys));
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 let n = match t.get(&k).await {
                     Ok(v) if v.len() == 8 => dec(&v),
                     _ => {
@@ -129,7 +130,7 @@ fn survives_repeated_failover_cycles() {
     let clients = cluster.borrow().clients.clone();
     let total = sim.block_on(async move {
         loop {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             let mut sum = 0u64;
             let mut bad = false;
             for k in 0..keys {

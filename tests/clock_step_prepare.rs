@@ -1,0 +1,134 @@
+//! Regression test: a clock step landing *inside* the 2PC window — after a
+//! transaction's reads but before its prepare — must be a definite no-vote
+//! when clock health is on, and must never break the client's timestamp
+//! monotonicity promise.
+//!
+//! The forward case is the dangerous one: `ts_commit` is minted at commit
+//! time, so a step between the reads and the prepare sends a timestamp far
+//! past the server's clock into validation. Without the clock-health fence
+//! the prepare would commit a version stamped in the future, poisoning
+//! every later read/validate on those keys; with it the server refuses the
+//! prepare outright (`AbortReason::ClockSuspect`) and installs nothing.
+//!
+//! The backward case exercises `SyncedClock`'s monotonic clamp: after a
+//! negative step the client's next timestamp still moves forward (one tick
+//! past the last issued), so the commit stays above `ts_begin` and inside
+//! the server's envelope, and the transaction commits normally.
+
+use std::time::Duration;
+
+use milana_repro::clockkit::ClockHealthConfig;
+use milana_repro::flashsim::{value, Key};
+use milana_repro::milana::client::TxnOpts;
+use milana_repro::milana::cluster::{MilanaCluster, MilanaClusterConfig};
+use milana_repro::milana::msg::AbortReason;
+use milana_repro::milana::server::ServerTuning;
+use milana_repro::milana::TxnError;
+use milana_repro::semel::shard::ShardId;
+use milana_repro::simkit::Sim;
+use milana_repro::timesync::ClockSpec;
+
+fn build_cfg() -> MilanaClusterConfig {
+    MilanaClusterConfig {
+        shards: 1,
+        replicas: 3,
+        clients: 2,
+        // Perfect clocks: the injected step is the only clock error, so
+        // the assertions are about the step handling and nothing else.
+        clock: ClockSpec::perfect(),
+        preload_keys: 16,
+        tuning: ServerTuning {
+            clock_health: Some(ClockHealthConfig::default()),
+            ..ServerTuning::default()
+        },
+        ..MilanaClusterConfig::default()
+    }
+}
+
+/// Commits `n` small read-write transactions from `client`, so the
+/// server's clock-health track for it is past its warmup window.
+async fn warm(cluster: &MilanaCluster, client: usize, n: u64) {
+    let c = &cluster.clients[client];
+    for i in 0..n {
+        let mut t = c.begin_with(TxnOpts::default());
+        let key = Key::from(i % 16);
+        t.get(&key).await.expect("warm read");
+        t.put(key, value(&b"warm"[..]));
+        t.commit().await.expect("warm commit");
+    }
+}
+
+#[test]
+fn forward_step_inside_the_prepare_window_is_a_definite_no_vote() {
+    let mut sim = Sim::new(7001);
+    let h = sim.handle();
+    let cluster = MilanaCluster::build(&h, build_cfg());
+    sim.block_on(async move {
+        warm(&cluster, 0, 12).await;
+        warm(&cluster, 1, 12).await;
+
+        // Reads happen on an honest clock; the step lands before the
+        // commit, so only `ts_commit` is minted 25ms in the future
+        // (far past the 10ms envelope).
+        let c = &cluster.clients[0];
+        let mut t = c.begin_with(TxnOpts::default());
+        let key = Key::from(3u64);
+        t.get(&key).await.expect("read before the step");
+        c.clock().inject_step(25_000_000);
+        t.put(key.clone(), value(&b"stepped"[..]));
+        let r = t.commit().await;
+        assert!(
+            matches!(r, Err(TxnError::Aborted(AbortReason::ClockSuspect))),
+            "a +25ms ts_commit must be refused by the clock fence: {r:?}"
+        );
+
+        // Definite no-vote: nothing was installed, so an honest client
+        // can immediately read and overwrite the same key.
+        h.sleep(Duration::from_millis(5)).await;
+        let c1 = &cluster.clients[1];
+        let mut t = c1.begin_with(TxnOpts::default());
+        let got = t.get(&key).await.expect("key must stay readable");
+        assert_eq!(&got[..], b"warm", "refused prepare left residue");
+        t.put(key, value(&b"honest"[..]));
+        t.commit().await.expect("honest client must still commit");
+
+        let s = cluster.primary(ShardId(0)).stats();
+        assert!(
+            s.clock_suspects > 0,
+            "the refusal must be accounted as a suspect"
+        );
+    });
+}
+
+#[test]
+fn backward_step_inside_the_prepare_window_keeps_timestamps_monotonic() {
+    let mut sim = Sim::new(7002);
+    let h = sim.handle();
+    let cluster = MilanaCluster::build(&h, build_cfg());
+    sim.block_on(async move {
+        warm(&cluster, 0, 12).await;
+
+        let c = &cluster.clients[0];
+        let mut t = c.begin_with(TxnOpts::default());
+        let ts_begin = t.ts_begin();
+        let key = Key::from(5u64);
+        t.get(&key).await.expect("read before the step");
+        c.clock().inject_step(-25_000_000);
+        t.put(key, value(&b"rewound"[..]));
+        // The monotonic clamp floors the commit stamp just past the last
+        // issued timestamp: still above ts_begin, still within the
+        // server's envelope — the transaction commits normally.
+        let info = t
+            .commit()
+            .await
+            .expect("a rewound clock must not lose the transaction");
+        let ts_commit = info.ts_commit.expect("read-write commit carries a stamp");
+        assert!(
+            ts_commit > ts_begin,
+            "monotonicity broken: ts_commit {ts_commit:?} <= ts_begin {ts_begin:?}"
+        );
+
+        let s = cluster.primary(ShardId(0)).stats();
+        assert_eq!(s.clock_suspects, 0, "no refusal expected on the rewind");
+    });
+}

@@ -5,11 +5,12 @@
 use std::time::Duration;
 
 use milana_repro::flashsim::{value, BackendKind, Key, NandConfig};
+use milana_repro::milana::client::TxnOpts;
 use milana_repro::milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana_repro::milana::msg::TxnError;
 use milana_repro::semel::shard::ShardId;
 use milana_repro::simkit::Sim;
-use milana_repro::timesync::Discipline;
+use milana_repro::timesync::{ClockSpec, Discipline};
 
 fn nand() -> NandConfig {
     NandConfig {
@@ -26,7 +27,7 @@ fn cfg() -> MilanaClusterConfig {
         clients: 4,
         nand: nand(),
         preload_keys: 500,
-        discipline: Discipline::PtpSoftware,
+        clock: ClockSpec::ptp_software(),
         ..MilanaClusterConfig::default()
     }
 }
@@ -44,7 +45,7 @@ fn bank_transfers_conserve_money_across_shards() {
         let initial = 1000u64;
         // Seed accounts.
         {
-            let mut t = cluster.clients[0].begin();
+            let mut t = cluster.clients[0].begin_with(TxnOpts::default());
             for a in 0..accounts {
                 t.put(Key::from(a), value(Vec::from(initial.to_be_bytes())));
             }
@@ -64,7 +65,7 @@ fn bank_transfers_conserve_money_across_shards() {
                         (from + 1 + rand::Rng::gen_range(&mut rng, 0..accounts - 1)) % accounts;
                     let amt = rand::Rng::gen_range(&mut rng, 1..50u64);
                     loop {
-                        let mut t = c.begin();
+                        let mut t = c.begin_with(TxnOpts::default());
                         let bf = match t.get(&Key::from(from)).await {
                             Ok(v) => u64::from_be_bytes(v[..8].try_into().unwrap()),
                             Err(_) => break,
@@ -93,7 +94,7 @@ fn bank_transfers_conserve_money_across_shards() {
         hh.sleep(Duration::from_millis(10)).await;
         // Audit total from a consistent snapshot.
         let total = loop {
-            let mut t = cluster.clients[0].begin();
+            let mut t = cluster.clients[0].begin_with(TxnOpts::default());
             let mut sum = 0u64;
             let mut failed = false;
             for a in 0..accounts {
@@ -126,7 +127,7 @@ fn failover_during_contended_workload_preserves_invariants() {
     let h = sim.handle();
     let mut c = cfg();
     c.shards = 1;
-    c.discipline = Discipline::Ntp;
+    c.clock = ClockSpec::ntp();
     let cluster = MilanaCluster::build(&h, c);
     let hh = h.clone();
     sim.block_on(async move {
@@ -142,7 +143,7 @@ fn failover_during_contended_workload_preserves_invariants() {
             let stop = stop.clone();
             joins.push(hh.spawn(async move {
                 while !stop.get() {
-                    let mut t = c.begin();
+                    let mut t = c.begin_with(TxnOpts::default());
                     let n = match t.get(&key).await {
                         Ok(v) if v.len() == 8 => u64::from_be_bytes(v[..8].try_into().unwrap()),
                         Ok(_) => 0,
@@ -171,7 +172,7 @@ fn failover_during_contended_workload_preserves_invariants() {
         // *acknowledged* count by at most the number of in-flight
         // transactions — but it must never be lower.
         let final_n = loop {
-            let mut t = cluster.clients[0].begin();
+            let mut t = cluster.clients[0].begin_with(TxnOpts::default());
             match t.get(&counter).await {
                 Ok(v) if v.len() == 8 => {
                     if t.commit().await.is_ok() {
@@ -217,7 +218,7 @@ fn every_backend_supports_transactions() {
             let client = cluster.clients[0].clone();
             for i in 0..10u64 {
                 loop {
-                    let mut t = client.begin();
+                    let mut t = client.begin_with(TxnOpts::default());
                     let _ = t.get(&Key::from(i)).await.unwrap();
                     t.put(Key::from(i), value(Vec::from(i.to_be_bytes())));
                     match t.commit().await {
@@ -228,7 +229,7 @@ fn every_backend_supports_transactions() {
                 }
             }
             hh.sleep(Duration::from_millis(10)).await;
-            let mut t = client.begin();
+            let mut t = client.begin_with(TxnOpts::default());
             for i in 0..10u64 {
                 let v = t.get(&Key::from(i)).await.unwrap();
                 assert_eq!(v[..8], i.to_be_bytes(), "{kind:?}");
@@ -251,7 +252,7 @@ fn simulations_are_reproducible() {
         sim.block_on(async move {
             for i in 0..20u64 {
                 let c = &cluster.clients[(i % 4) as usize];
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 let _ = t.get(&Key::from(i % 7)).await;
                 t.put(Key::from(i % 7), value(Vec::from(i.to_be_bytes())));
                 let _ = t.commit().await;
@@ -285,7 +286,7 @@ fn ntp_aborts_more_than_ptp() {
                 clients: 6,
                 nand: nand(),
                 preload_keys: 64, // tiny keyspace: heavy contention
-                discipline,
+                clock: ClockSpec::from(discipline),
                 backend: BackendKind::Dram, // fastest writes: most skew-sensitive
                 ..MilanaClusterConfig::default()
             },
@@ -301,7 +302,7 @@ fn ntp_aborts_more_than_ptp() {
                     let mut rng = hh2.fork_rng();
                     for _ in 0..150 {
                         let key = Key::from(rand::Rng::gen_range(&mut rng, 0..64u64));
-                        let mut t = c.begin();
+                        let mut t = c.begin_with(TxnOpts::default());
                         if t.get(&key).await.is_err() {
                             continue;
                         }

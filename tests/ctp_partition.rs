@@ -13,12 +13,13 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use milana_repro::flashsim::{value, Key, NandConfig};
+use milana_repro::milana::client::TxnOpts;
 use milana_repro::milana::cluster::{MilanaCluster, MilanaClusterConfig};
 use milana_repro::milana::msg::{TxnId, TxnStatus};
 use milana_repro::semel::shard::ShardId;
 use milana_repro::simkit::net::NodeId;
 use milana_repro::simkit::Sim;
-use milana_repro::timesync::Discipline;
+use milana_repro::timesync::ClockSpec;
 
 fn enc(n: u64) -> milana_repro::flashsim::Value {
     value(Vec::from(n.to_be_bytes()))
@@ -43,7 +44,7 @@ fn build(sim: &Sim) -> MilanaCluster {
                 pages_per_block: 8,
                 ..NandConfig::default()
             },
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: 0,
             ..MilanaClusterConfig::default()
         },
@@ -107,7 +108,7 @@ fn missing_prepare_aborts_consistently_after_heal() {
         let (ka, kb) = (ka.clone(), kb.clone());
         let hh = h.clone();
         sim.block_on(async move {
-            let mut t = client.begin();
+            let mut t = client.begin_with(TxnOpts::default());
             t.put(ka, enc(1));
             t.put(kb, enc(1));
             t.commit().await.expect("seed commit");
@@ -125,7 +126,7 @@ fn missing_prepare_aborts_consistently_after_heal() {
         let outcome = outcome.clone();
         let hh = h.clone();
         sim.block_on(async move {
-            let mut t = client.begin();
+            let mut t = client.begin_with(TxnOpts::default());
             t.put(ka, enc(2));
             t.put(kb, enc(2));
             outcome.set(Some(t.commit().await.is_ok()));
@@ -167,7 +168,7 @@ fn missing_prepare_aborts_consistently_after_heal() {
 
     // The aborted write must not be visible anywhere.
     let total = sim.block_on(async move {
-        let mut t = client.begin();
+        let mut t = client.begin_with(TxnOpts::default());
         let a = dec(&t.get(&ka).await.expect("read ka"));
         let b = dec(&t.get(&kb).await.expect("read kb"));
         t.commit().await.expect("read-only commit");
@@ -196,7 +197,7 @@ fn lost_votes_commit_consistently_after_heal() {
         let (ka, kb) = (ka.clone(), kb.clone());
         let hh = h.clone();
         sim.block_on(async move {
-            let mut t = client.begin();
+            let mut t = client.begin_with(TxnOpts::default());
             t.put(ka, enc(1));
             t.put(kb, enc(1));
             t.commit().await.expect("seed commit");
@@ -222,7 +223,7 @@ fn lost_votes_commit_consistently_after_heal() {
             .collect();
         let hh = h.clone();
         h.spawn(async move {
-            let mut t = client.begin();
+            let mut t = client.begin_with(TxnOpts::default());
             t.put(ka, enc(2));
             t.put(kb, enc(2));
             outcome.set(Some(t.commit().await.is_ok()));
@@ -269,7 +270,7 @@ fn lost_votes_commit_consistently_after_heal() {
 
     // The CTP-committed write is visible on both shards.
     let total = sim.block_on(async move {
-        let mut t = client.begin();
+        let mut t = client.begin_with(TxnOpts::default());
         let a = dec(&t.get(&ka).await.expect("read ka"));
         let b = dec(&t.get(&kb).await.expect("read kb"));
         t.commit().await.expect("read-only commit");

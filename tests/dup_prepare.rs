@@ -19,7 +19,7 @@ use milana_repro::semel::shard::ShardId;
 use milana_repro::simkit::net::NodeId;
 use milana_repro::simkit::rpc::{RpcClient, RpcError};
 use milana_repro::simkit::Sim;
-use milana_repro::timesync::{ClientId, Discipline, Timestamp};
+use milana_repro::timesync::{ClientId, ClockSpec, Timestamp};
 
 #[test]
 fn duplicate_prepare_mid_replication_gets_no_early_vote() {
@@ -36,7 +36,7 @@ fn duplicate_prepare_mid_replication_gets_no_early_vote() {
                 pages_per_block: 8,
                 ..NandConfig::default()
             },
-            discipline: Discipline::PtpSoftware,
+            clock: ClockSpec::ptp_software(),
             preload_keys: 0,
             ..MilanaClusterConfig::default()
         },

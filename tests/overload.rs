@@ -20,7 +20,7 @@ use milana_repro::retwis::driver::{run_open_loop, WorkloadConfig};
 use milana_repro::retwis::mix::Mix;
 use milana_repro::simkit::rng::Zipf;
 use milana_repro::simkit::Sim;
-use milana_repro::timesync::Discipline;
+use milana_repro::timesync::ClockSpec;
 
 /// Offered load defined as saturating for the cluster below (calibrated
 /// once: ~the throughput knee of a 1-shard cluster with admission capacity
@@ -64,7 +64,7 @@ fn soak_with_capacity(seed: u64, rate: f64, capacity: u64) -> SoakOutcome {
             pages_per_block: 8,
             ..NandConfig::default()
         },
-        discipline: Discipline::PtpSoftware,
+        clock: ClockSpec::ptp_software(),
         ..MilanaClusterConfig::default()
     };
     cfg.tuning.obs = obs.clone();

@@ -17,13 +17,14 @@ use std::time::Duration;
 
 use milana_repro::faultkit::{run_nemesis, Checker, Fault, FaultPlan, History, TimedFault};
 use milana_repro::flashsim::{value, Key, NandConfig};
+use milana_repro::milana::client::TxnOpts;
 use milana_repro::milana::cluster::{MilanaCluster, MilanaClusterConfig, MASTER_NODE};
 use milana_repro::obskit::Obs;
 use milana_repro::readkit::ReadRoute;
 use milana_repro::semel::shard::ShardId;
 use milana_repro::shardkit::{RebalanceEngine, RebalancePlan, RebalanceSpec, SourceReplica};
 use milana_repro::simkit::Sim;
-use milana_repro::timesync::{Discipline, Timestamp};
+use milana_repro::timesync::{ClockSpec, Timestamp};
 
 fn enc(n: u64) -> milana_repro::flashsim::Value {
     value(Vec::from(n.to_be_bytes()))
@@ -43,7 +44,7 @@ fn backup_read_cfg(shards: u32) -> MilanaClusterConfig {
             pages_per_block: 8,
             ..NandConfig::default()
         },
-        discipline: Discipline::PtpSoftware,
+        clock: ClockSpec::ptp_software(),
         preload_keys: 0,
         ..MilanaClusterConfig::default()
     };
@@ -77,7 +78,7 @@ fn applied_watermarks_survive_failover_and_clock_steps() {
         let clients = cluster.borrow().clients.clone();
         let hh2 = hh.clone();
         sim.block_on(async move {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             for k in 0..keys {
                 t.put(Key::from(k), enc(0));
             }
@@ -119,7 +120,7 @@ fn applied_watermarks_survive_failover_and_clock_steps() {
             let mut rng = hh2.fork_rng();
             while !stop.get() {
                 if rand::Rng::gen_range(&mut rng, 0..100u32) < 40 {
-                    let mut t = c.begin();
+                    let mut t = c.begin_with(TxnOpts::default());
                     hh2.sleep(Duration::from_millis(5)).await;
                     let mut fine = true;
                     for k in 0..keys {
@@ -134,7 +135,7 @@ fn applied_watermarks_survive_failover_and_clock_steps() {
                     continue;
                 }
                 let k = Key::from(rand::Rng::gen_range(&mut rng, 0..keys));
-                let mut t = c.begin();
+                let mut t = c.begin_with(TxnOpts::default());
                 let n = match t.get(&k).await {
                     Ok(v) if v.len() == 8 => dec(&v),
                     _ => {
@@ -246,7 +247,7 @@ fn backup_reads_during_migration_never_tear_snapshots() {
         let clients = cluster.borrow().clients.clone();
         let hh2 = hh.clone();
         sim.block_on(async move {
-            let mut t = clients[0].begin();
+            let mut t = clients[0].begin_with(TxnOpts::default());
             for k in 0..pairs * 2 {
                 t.put(Key::from(k), enc(0));
             }
@@ -267,7 +268,7 @@ fn backup_reads_during_migration_never_tear_snapshots() {
                 if ci == 0 {
                     // Writer: bump one pair atomically.
                     let k = rand::Rng::gen_range(&mut rng, 0..pairs);
-                    let mut t = c.begin();
+                    let mut t = c.begin_with(TxnOpts::default());
                     let n = match t.get(&Key::from(k)).await {
                         Ok(v) if v.len() == 8 => dec(&v),
                         _ => {
@@ -282,7 +283,7 @@ fn backup_reads_during_migration_never_tear_snapshots() {
                     }
                 } else {
                     // Reader: dwell past the floor lag, then scan pairs.
-                    let mut t = c.begin();
+                    let mut t = c.begin_with(TxnOpts::default());
                     hh2.sleep(Duration::from_millis(5)).await;
                     let mut vals = Vec::with_capacity((pairs * 2) as usize);
                     let mut fine = true;
