@@ -44,8 +44,8 @@ fn bench_prepare_decide(c: &mut Criterion) {
             table.prepare(TxnRecord {
                 txid,
                 ts_commit: Timestamp(seq),
-                writes: vec![(Key::from(seq % 64), flashsim::value(&b"v"[..]))],
-                participants: vec![ShardId(0)],
+                writes: vec![(Key::from(seq % 64), flashsim::value(&b"v"[..]))].into(),
+                participants: vec![ShardId(0)].into(),
                 status: TxnStatus::Prepared,
             });
             std::hint::black_box(table.decide(txid, true));

@@ -116,16 +116,21 @@ pub fn run_replication(scale: Scale) -> Json {
         "{:>14} {:>10} {:>12} {:>12}",
         "mode", "jitter us", "mean us", "p99 us"
     );
-    let mut rows = Vec::new();
+    let mut items = Vec::new();
     for &jitter in &[5u64, 30, 80, 150] {
         for mode in [ReplicationMode::Inconsistent, ReplicationMode::Ordered] {
-            let p = run_repl_point(mode, jitter, 4_000 + jitter, scale);
-            println!(
-                "{:>14} {:>10} {:>12.1} {:>12.1}",
-                p.mode, p.jitter_us, p.mean_us, p.p99_us
-            );
-            rows.push(p);
+            items.push((mode, jitter));
         }
+    }
+    // Compute every point on the worker pool, then print in sweep order.
+    let rows = perfkit::pool::run_ordered_auto(items, |(mode, jitter)| {
+        run_repl_point(mode, jitter, 4_000 + jitter, scale)
+    });
+    for p in &rows {
+        println!(
+            "{:>14} {:>10} {:>12.1} {:>12.1}",
+            p.mode, p.jitter_us, p.mean_us, p.p99_us
+        );
     }
     for &jitter in &[5u64, 30, 80, 150] {
         let find = |m: &str| {
@@ -174,71 +179,82 @@ pub fn run_clocks(scale: Scale) -> Json {
     }
     println!();
     let keyspace = 5_000u64;
-    let mut rows = Vec::new();
+    let mut items = Vec::new();
     for (discipline, name) in [
         (Discipline::Perfect, "Perfect"),
         (Discipline::PtpHardware, "PTP-HW"),
         (Discipline::PtpSoftware, "PTP-SW"),
         (Discipline::Ntp, "NTP"),
     ] {
-        print!("{name:>12}");
         for &alpha in &alphas {
-            let mut sim = Sim::new(1_700 + (alpha * 100.0) as u64);
-            let h = sim.handle();
-            let cluster = milana::cluster::MilanaCluster::build(
-                &h,
-                MilanaClusterConfig {
-                    shards: 1,
-                    replicas: 3,
-                    clients: 5,
-                    backend: BackendKind::Mftl,
-                    nand: NandConfig {
-                        channels: 8,
-                        ..NandConfig::default()
-                    }
-                    .sized_for(keyspace, 512, 0.08),
-                    clock: ClockSpec::from(discipline.clone()),
-                    preload_keys: keyspace,
-                    net: simkit::net::LatencyConfig {
-                        one_way: Duration::from_micros(150),
-                        jitter_std: Duration::from_micros(30),
-                        ..simkit::net::LatencyConfig::default()
-                    },
-                    tuning: milana::server::ServerTuning {
-                        obs: crate::common::run_obs(),
-                        ..Default::default()
-                    },
-                    ..MilanaClusterConfig::default()
+            items.push((discipline.clone(), name, alpha));
+        }
+    }
+    // Every (discipline, α) cell is an independent sim: fan the grid out
+    // on the worker pool and print the table rows afterwards in order.
+    let cells = perfkit::pool::run_ordered_auto(items, |(discipline, name, alpha)| {
+        let mut sim = Sim::new(1_700 + (alpha * 100.0) as u64);
+        let h = sim.handle();
+        let cluster = milana::cluster::MilanaCluster::build(
+            &h,
+            MilanaClusterConfig {
+                shards: 1,
+                replicas: 3,
+                clients: 5,
+                backend: BackendKind::Mftl,
+                nand: NandConfig {
+                    channels: 8,
+                    ..NandConfig::default()
+                }
+                .sized_for(keyspace, 512, 0.08),
+                clock: ClockSpec::from(discipline.clone()),
+                preload_keys: keyspace,
+                net: simkit::net::LatencyConfig {
+                    one_way: Duration::from_micros(150),
+                    jitter_std: Duration::from_micros(30),
+                    ..simkit::net::LatencyConfig::default()
                 },
-            );
-            let outcome = run_retwis_on_milana(
-                &mut sim,
-                &cluster,
-                WorkloadConfig {
-                    mix: Mix::retwis(),
-                    keyspace,
-                    zipf_alpha: alpha,
-                    value_size: 472,
-                    max_retries: 1000,
+                tuning: milana::server::ServerTuning {
+                    obs: crate::common::run_obs(),
+                    ..Default::default()
                 },
-                4,
-                Duration::from_millis(200),
-                scale.measure() / 2,
+                ..MilanaClusterConfig::default()
+            },
+        );
+        let outcome = run_retwis_on_milana(
+            &mut sim,
+            &cluster,
+            WorkloadConfig {
+                mix: Mix::retwis(),
+                keyspace,
+                zipf_alpha: alpha,
+                value_size: 472,
+                max_retries: 1000,
+            },
+            4,
+            Duration::from_millis(200),
+            scale.measure() / 2,
+        );
+        let rate = outcome.stats.abort_rate();
+        let row = Json::obj()
+            .field("clock", Json::str(name))
+            .field("alpha", Json::F64(alpha))
+            .field("abort_rate", Json::F64(rate))
+            .field("abort_reasons", outcome.stats.abort_reasons.to_json())
+            .field(
+                "latency_ns",
+                outcome.stats.latency.snapshot().summary_json(),
             );
-            print!(" {:>7.2}", outcome.stats.abort_rate() * 100.0);
-            rows.push(
-                Json::obj()
-                    .field("clock", Json::str(name))
-                    .field("alpha", Json::F64(alpha))
-                    .field("abort_rate", Json::F64(outcome.stats.abort_rate()))
-                    .field("abort_reasons", outcome.stats.abort_reasons.to_json())
-                    .field(
-                        "latency_ns",
-                        outcome.stats.latency.snapshot().summary_json(),
-                    ),
-            );
+        (name, rate, row)
+    });
+    let mut rows = Vec::new();
+    for chunk in cells.chunks(alphas.len()) {
+        print!("{:>12}", chunk[0].0);
+        for (_, rate, _) in chunk {
+            print!(" {:>7.2}", rate * 100.0);
         }
         println!();
+        rows.extend(chunk.iter().map(|(_, _, row)| row.clone()));
     }
     println!(
         "(the knee: once skew drops below the request latency — PTP-SW and better — \
@@ -264,8 +280,9 @@ pub fn run_dftl(scale: Scale) -> Json {
         Scale::Quick => 10_000,
         Scale::Full => 50_000,
     };
-    let mut rows = Vec::new();
-    for &fraction in &[1.0f64, 0.5, 0.25, 0.05] {
+    // One independent sim per residency fraction: compute on the worker
+    // pool, print the table rows afterwards in sweep order.
+    let cells = perfkit::pool::run_ordered_auto(vec![1.0f64, 0.5, 0.25, 0.05], |fraction| {
         let mut sim = Sim::new(1_800);
         let h = sim.handle();
         let inner = UnifiedStore::new(
@@ -345,23 +362,27 @@ pub fn run_dftl(scale: Scale) -> Json {
             translation_writes: total.translation_writes - warm_stats.translation_writes,
         };
         let hist = hist.borrow();
-        println!(
+        let line = format!(
             "{:>12.0} {:>10.1} {:>12.1} {:>14.1}",
             fraction * 100.0,
             st.hit_rate() * 100.0,
             hist.mean() / 1e3,
             st.translation_writes as f64 / measure.as_secs_f64(),
         );
-        rows.push(
-            Json::obj()
-                .field("resident_fraction", Json::F64(fraction))
-                .field("hit_rate", Json::F64(st.hit_rate()))
-                .field("get_mean_us", Json::F64(hist.mean() / 1e3))
-                .field(
-                    "translation_writes_per_s",
-                    Json::F64(st.translation_writes as f64 / measure.as_secs_f64()),
-                ),
-        );
+        let row = Json::obj()
+            .field("resident_fraction", Json::F64(fraction))
+            .field("hit_rate", Json::F64(st.hit_rate()))
+            .field("get_mean_us", Json::F64(hist.mean() / 1e3))
+            .field(
+                "translation_writes_per_s",
+                Json::F64(st.translation_writes as f64 / measure.as_secs_f64()),
+            );
+        (line, row)
+    });
+    let mut rows = Vec::new();
+    for (line, row) in cells {
+        println!("{line}");
+        rows.push(row);
     }
     println!("(the paper's all-mapping-in-DRAM assumption is the 100% row)");
     Json::obj().field("rows", Json::Arr(rows))
@@ -384,8 +405,9 @@ pub fn run_packing(scale: Scale) -> Json {
         Scale::Quick => 10_000,
         Scale::Full => 50_000,
     };
-    let mut rows = Vec::new();
-    for &window_us in &[0u64, 250, 500, 1_000, 2_000] {
+    // One independent sim per packing window: compute on the worker pool,
+    // print the table rows afterwards in sweep order.
+    let cells = perfkit::pool::run_ordered_auto(vec![0u64, 250, 500, 1_000, 2_000], |window_us| {
         let mut sim = Sim::new(1_900 + window_us);
         let h = sim.handle();
         let store = UnifiedStore::new(
@@ -479,7 +501,7 @@ pub fn run_packing(scale: Scale) -> Json {
         } else {
             puts.count() as f64 / pages as f64
         };
-        println!(
+        let line = format!(
             "{:>10} {:>10.0} {:>12.1} {:>12.1} {:>14.2}",
             window_us,
             (gets.count() + puts.count()) as f64 / measure.as_secs_f64() / 1e3,
@@ -487,17 +509,21 @@ pub fn run_packing(scale: Scale) -> Json {
             puts.mean() / 1e3,
             tuples_per_page,
         );
-        rows.push(
-            Json::obj()
-                .field("window_us", Json::U64(window_us))
-                .field(
-                    "kiops",
-                    Json::F64((gets.count() + puts.count()) as f64 / measure.as_secs_f64() / 1e3),
-                )
-                .field("get_mean_us", Json::F64(gets.mean() / 1e3))
-                .field("put_mean_us", Json::F64(puts.mean() / 1e3))
-                .field("tuples_per_page", Json::F64(tuples_per_page)),
-        );
+        let row = Json::obj()
+            .field("window_us", Json::U64(window_us))
+            .field(
+                "kiops",
+                Json::F64((gets.count() + puts.count()) as f64 / measure.as_secs_f64() / 1e3),
+            )
+            .field("get_mean_us", Json::F64(gets.mean() / 1e3))
+            .field("put_mean_us", Json::F64(puts.mean() / 1e3))
+            .field("tuples_per_page", Json::F64(tuples_per_page));
+        (line, row)
+    });
+    let mut rows = Vec::new();
+    for (line, row) in cells {
+        println!("{line}");
+        rows.push(row);
     }
     println!(
         "(window 0 flushes every tuple as its own page — lowest put latency, worst \
@@ -524,9 +550,16 @@ pub fn run_open_loop(scale: Scale) -> Json {
         Scale::Quick => 12_000,
         Scale::Full => 60_000,
     };
-    let mut rows = Vec::new();
+    let mut items = Vec::new();
     for &rate in &[2_000.0f64, 8_000.0, 16_000.0] {
         for lv in [true, false] {
+            items.push((rate, lv));
+        }
+    }
+    // Every (rate, LV) pair is an independent sim: compute on the worker
+    // pool, print the table rows afterwards in sweep order.
+    let cells = perfkit::pool::run_ordered_auto(items, |(rate, lv)| {
+        {
             let mut sim = Sim::new(2_000 + rate as u64);
             let h = sim.handle();
             let cluster = milana::cluster::MilanaCluster::build(
@@ -595,7 +628,7 @@ pub fn run_open_loop(scale: Scale) -> Json {
                 }
             });
             let lat = stats.latency.snapshot();
-            println!(
+            let line = format!(
                 "{:>10.0} {:>4} {:>12.1} {:>12.1} {:>12.1} {:>10}",
                 rate,
                 if lv { "on" } else { "off" },
@@ -604,19 +637,23 @@ pub fn run_open_loop(scale: Scale) -> Json {
                 lat.quantile(0.99) as f64 / 1e3,
                 stats.timeouts.get(),
             );
-            rows.push(
-                Json::obj()
-                    .field("offered_rate", Json::F64(rate))
-                    .field("lv", Json::Bool(lv))
-                    .field(
-                        "throughput",
-                        Json::F64(stats.commits.get() as f64 / measure.as_secs_f64()),
-                    )
-                    .field("shed", Json::U64(stats.timeouts.get()))
-                    .field("abort_reasons", stats.abort_reasons.to_json())
-                    .field("latency_ns", lat.summary_json()),
-            );
+            let row = Json::obj()
+                .field("offered_rate", Json::F64(rate))
+                .field("lv", Json::Bool(lv))
+                .field(
+                    "throughput",
+                    Json::F64(stats.commits.get() as f64 / measure.as_secs_f64()),
+                )
+                .field("shed", Json::U64(stats.timeouts.get()))
+                .field("abort_reasons", stats.abort_reasons.to_json())
+                .field("latency_ns", lat.summary_json());
+            (line, row)
         }
+    });
+    let mut rows = Vec::new();
+    for (line, row) in cells {
+        println!("{line}");
+        rows.push(row);
     }
     println!(
         "(LV's saved round trips matter more as load rises: without LV the \

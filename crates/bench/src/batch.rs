@@ -198,12 +198,11 @@ fn env_per_commit(p: &BatchPoint) -> f64 {
     p.repl_envelopes as f64 / p.total_commits.max(1) as f64
 }
 
-/// Runs the full sweep, one point per `batch_max`, all from `seed`.
+/// Runs the full sweep, one point per `batch_max`, all from `seed`, on
+/// the `perfkit` worker pool (each point is an independent sim; results
+/// merge back in sweep order).
 pub fn run(cfg: &BatchSweepConfig, seed: u64) -> Vec<BatchPoint> {
-    cfg.batch_maxes
-        .iter()
-        .map(|&b| run_point(b, cfg, seed))
-        .collect()
+    perfkit::pool::run_ordered_auto(cfg.batch_maxes.clone(), |b| run_point(b, cfg, seed))
 }
 
 /// Acceptance verdicts; see the module docs.

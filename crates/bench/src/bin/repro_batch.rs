@@ -2,7 +2,7 @@
 //! experiment design and acceptance checks.
 //!
 //! ```text
-//! repro_batch [--seed S] [--json PATH]
+//! repro_batch [--seed S] [--json PATH] [--threads N]
 //! ```
 //!
 //! Exits non-zero on a failed check. With `--json PATH` the sweep is
@@ -27,10 +27,10 @@ fn main() {
                     .parse()
                     .expect("--seed")
             }
-            "--json" => {
+            "--json" | "--threads" => {
                 it.next();
             }
-            other if other.starts_with("--json=") => {}
+            other if other.starts_with("--json=") || other.starts_with("--threads=") => {}
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);

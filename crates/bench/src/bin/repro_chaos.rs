@@ -6,7 +6,7 @@
 //! same seed always reproduces the same campaign byte for byte.
 //!
 //! ```text
-//! repro_chaos [--seed S]... [--seeds N] [--faults M] [--shards K]
+//! repro_chaos [--seed S]... [--seeds N] [--faults M] [--shards K] [--threads N]
 //!             [--inject validation-skip|overload] [--json PATH] [--trace PATH]
 //! ```
 //!
@@ -62,6 +62,10 @@ fn parse_args(scale: Scale) -> Args {
             "--json" => {
                 take("--json");
             }
+            "--threads" => {
+                take("--threads");
+            }
+            other if other.starts_with("--json=") || other.starts_with("--threads=") => {}
             "--trace" => trace = Some(take("--trace").into()),
             other => {
                 if let Some(rest) = other.strip_prefix("--trace=") {

@@ -3,7 +3,7 @@
 //! clock-fault campaign with the external-consistency bound checked.
 //!
 //! ```text
-//! repro_clockfault [--seed S] [--inject uncertainty-skip] [--json PATH]
+//! repro_clockfault [--seed S] [--inject uncertainty-skip] [--json PATH] [--threads N]
 //! ```
 //!
 //! - `--seed S` fixes the simulation seed (default 1). The same seed and
@@ -38,6 +38,10 @@ fn main() {
             "--json" => {
                 take("--json");
             }
+            "--threads" => {
+                take("--threads");
+            }
+            other if other.starts_with("--json=") || other.starts_with("--threads=") => {}
             other => {
                 if !other.starts_with("--json=") {
                     eprintln!("unknown argument {other}");

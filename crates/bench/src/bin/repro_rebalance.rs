@@ -2,7 +2,7 @@
 //! experiment design and acceptance checks.
 //!
 //! ```text
-//! repro_rebalance [--seed S] [--json PATH]
+//! repro_rebalance [--seed S] [--json PATH] [--threads N]
 //! ```
 //!
 //! Exits non-zero on a failed check. With `--json PATH` the run is
@@ -25,10 +25,10 @@ fn main() {
                     .parse()
                     .expect("--seed")
             }
-            "--json" => {
+            "--json" | "--threads" => {
                 it.next();
             }
-            other if other.starts_with("--json=") => {}
+            other if other.starts_with("--json=") || other.starts_with("--threads=") => {}
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);

@@ -2,7 +2,7 @@
 //! size, plus a power-fail fault campaign with durability checking.
 //!
 //! ```text
-//! repro_recovery [--seed S] [--inject durability-skip] [--json PATH]
+//! repro_recovery [--seed S] [--inject durability-skip] [--json PATH] [--threads N]
 //! ```
 //!
 //! - `--seed S` fixes the simulation seed (default 1). The same seed and
@@ -35,6 +35,10 @@ fn main() {
             "--json" => {
                 take("--json");
             }
+            "--threads" => {
+                take("--threads");
+            }
+            other if other.starts_with("--json=") || other.starts_with("--threads=") => {}
             other => {
                 if !other.starts_with("--json=") {
                     eprintln!("unknown argument {other}");

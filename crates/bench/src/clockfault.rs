@@ -193,44 +193,65 @@ fn suspects_and_fences(cluster: &MilanaCluster) -> (u64, u64) {
 /// Runs the skew sweep: abort rate per discipline with health tracking on,
 /// `sub_seeds` paired runs each.
 pub fn run_sweep(cfg: &ClockFaultConfig) -> Vec<SweepPoint> {
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for (discipline, name) in [
         (Discipline::Perfect, "Perfect"),
         (Discipline::PtpHardware, "PTP-HW"),
         (Discipline::PtpSoftware, "PTP-SW"),
         (Discipline::Ntp, "NTP"),
     ] {
-        let mut rate_sum = 0.0;
-        let mut commits = 0u64;
-        let mut suspects = 0u64;
         for sub in 0..cfg.sub_seeds {
-            // The same sim seed across disciplines pairs the comparison:
-            // identical arrivals and key choices, only the clocks differ.
-            let mut sim = Sim::new(cfg.seed * 1_000 + sub);
-            let h = sim.handle();
-            let cluster =
-                MilanaCluster::build(&h, cluster_config(5, ClockSpec::from(discipline.clone())));
-            // Moderate contention: saturated hot keys abort on conflicts
-            // regardless of clocks, which would bury the skew signal.
-            let outcome = run_retwis_on_milana(
-                &mut sim,
-                &cluster,
-                workload(0.7),
-                2,
-                Duration::from_millis(200),
-                cfg.measure,
-            );
-            rate_sum += outcome.stats.abort_rate();
-            commits += outcome.stats.commits.get();
-            suspects += suspects_and_fences(&cluster).0;
+            items.push((discipline.clone(), name, sub));
         }
-        points.push(SweepPoint {
-            clock: name,
-            skew_ns: discipline.expected_skew().as_nanos() as u64,
-            abort_rate: rate_sum / cfg.sub_seeds as f64,
-            commits,
-            suspects,
-        });
+    }
+    // Each (discipline, sub-seed) pair is an independent sim, so the
+    // whole grid fans out on the worker pool; per-discipline sums fold
+    // back in sweep order below.
+    let runs = perfkit::pool::run_ordered_auto(items, |(discipline, name, sub)| {
+        // The same sim seed across disciplines pairs the comparison:
+        // identical arrivals and key choices, only the clocks differ.
+        let mut sim = Sim::new(cfg.seed * 1_000 + sub);
+        let h = sim.handle();
+        let cluster =
+            MilanaCluster::build(&h, cluster_config(5, ClockSpec::from(discipline.clone())));
+        // Moderate contention: saturated hot keys abort on conflicts
+        // regardless of clocks, which would bury the skew signal.
+        let outcome = run_retwis_on_milana(
+            &mut sim,
+            &cluster,
+            workload(0.7),
+            2,
+            Duration::from_millis(200),
+            cfg.measure,
+        );
+        let skew_ns = discipline.expected_skew().as_nanos() as u64;
+        (
+            name,
+            skew_ns,
+            outcome.stats.abort_rate(),
+            outcome.stats.commits.get(),
+            suspects_and_fences(&cluster).0,
+        )
+    });
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for (name, skew_ns, rate, commits, suspects) in runs {
+        match points.last_mut() {
+            Some(p) if p.clock == name => {
+                p.abort_rate += rate;
+                p.commits += commits;
+                p.suspects += suspects;
+            }
+            _ => points.push(SweepPoint {
+                clock: name,
+                skew_ns,
+                abort_rate: rate,
+                commits,
+                suspects,
+            }),
+        }
+    }
+    for p in &mut points {
+        p.abort_rate /= cfg.sub_seeds as f64;
     }
     points
 }
@@ -277,8 +298,11 @@ fn degradation_run(cfg: &ClockFaultConfig, break_client: bool) -> (f64, u64, u64
 /// same seed. The broken client must be fenced during warmup and the
 /// measured goodput must recover to ≥ 80 % of clean.
 pub fn run_degradation(cfg: &ClockFaultConfig) -> Degradation {
-    let (clean_goodput, _, clean_fences) = degradation_run(cfg, false);
-    let (degraded_goodput, suspects, fences) = degradation_run(cfg, true);
+    // The clean and broken twins are independent sims; run both sides on
+    // the worker pool.
+    let runs = perfkit::pool::run_ordered_auto(vec![false, true], |b| degradation_run(cfg, b));
+    let (clean_goodput, _, clean_fences) = runs[0];
+    let (degraded_goodput, suspects, fences) = runs[1];
     Degradation {
         clean_goodput,
         degraded_goodput,

@@ -33,8 +33,9 @@ pub struct Fig6Point {
     pub clients: u32,
     /// Abort rate (aborted attempts / all attempts).
     pub abort_rate: f64,
-    /// Workload counters, merged across the averaged seeds.
-    pub stats: obskit::TxnStats,
+    /// Workload counters, merged across the averaged seeds (frozen so
+    /// points can be returned from worker threads).
+    pub stats: obskit::FrozenTxnStats,
 }
 
 /// Parameters for the sweep.
@@ -145,40 +146,47 @@ fn run_point(
         alpha,
         clients,
         abort_rate: outcome.stats.abort_rate(),
-        stats: outcome.stats,
+        stats: outcome.stats.freeze(),
     }
 }
 
 /// Runs the full sweep, averaging each point over three seeds (the no-wait
 /// retry policy makes single runs noisy on the single-version backend).
+/// Points run on the `perfkit` worker pool (one sim per thread); the
+/// three averaged seeds stay inside one worker so each point is a single
+/// unit of deterministic work, and results merge back in sweep order.
 pub fn run(cfg: &Fig6Config) -> Vec<Fig6Point> {
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for kind in [BackendKind::Sftl, BackendKind::Mftl] {
         for &alpha in &cfg.alphas {
             for &clients in &cfg.client_counts {
-                let mut acc = 0.0;
-                let merged = obskit::TxnStats::new();
-                const SEEDS: u64 = 3;
-                for r in 0..SEEDS {
-                    let seed = 600 + (alpha * 100.0) as u64 + clients as u64 + r * 7919;
-                    let p = run_point(kind, alpha, clients, cfg, seed);
-                    acc += p.abort_rate;
-                    merged.merge_from(&p.stats);
-                }
-                points.push(Fig6Point {
-                    ftl: match kind {
-                        BackendKind::Sftl => "SFTL",
-                        _ => "MFTL",
-                    },
-                    alpha,
-                    clients,
-                    abort_rate: acc / SEEDS as f64,
-                    stats: merged,
-                });
+                items.push((kind, alpha, clients));
             }
         }
     }
-    points
+    perfkit::pool::run_ordered_auto(items, |(kind, alpha, clients)| {
+        let mut acc = 0.0;
+        let merged = obskit::TxnStats::new();
+        const SEEDS: u64 = 3;
+        for r in 0..SEEDS {
+            let seed = 600 + (alpha * 100.0) as u64 + clients as u64 + r * 7919;
+            let p = run_point(kind, alpha, clients, cfg, seed);
+            acc += p.abort_rate;
+            // Re-inflate is unnecessary: fold the frozen per-seed stats
+            // into a live accumulator, then freeze once for the point.
+            merged.merge_frozen(&p.stats);
+        }
+        Fig6Point {
+            ftl: match kind {
+                BackendKind::Sftl => "SFTL",
+                _ => "MFTL",
+            },
+            alpha,
+            clients,
+            abort_rate: acc / SEEDS as f64,
+            stats: merged.freeze(),
+        }
+    })
 }
 
 /// Deterministic JSON payload: one object per (FTL, α, clients) point
@@ -201,8 +209,8 @@ pub fn to_json(cfg: &Fig6Config, points: &[Fig6Point]) -> Json {
                     .field("alpha", Json::F64(p.alpha))
                     .field("clients", Json::U64(p.clients as u64))
                     .field("abort_rate", Json::F64(p.abort_rate))
-                    .field("abort_reasons", p.stats.abort_reasons.to_json())
-                    .field("latency_ns", p.stats.latency.snapshot().summary_json())
+                    .field("abort_reasons", p.stats.abort_reasons_json())
+                    .field("latency_ns", p.stats.latency.summary_json())
             })),
         )
 }

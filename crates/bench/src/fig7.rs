@@ -34,8 +34,9 @@ pub struct Fig7Point {
     pub alpha: f64,
     /// Abort rate.
     pub abort_rate: f64,
-    /// Full workload counters for the run (abort reasons, latency).
-    pub stats: obskit::TxnStats,
+    /// Full workload counters for the run (abort reasons, latency),
+    /// frozen so points can cross the worker-pool boundary.
+    pub stats: obskit::FrozenTxnStats,
 }
 
 /// Sweep parameters.
@@ -151,22 +152,25 @@ fn run_point(
         backend: backend_name(kind),
         alpha,
         abort_rate: outcome.stats.abort_rate(),
-        stats: outcome.stats,
+        stats: outcome.stats.freeze(),
     }
 }
 
-/// Runs the full sweep.
+/// Runs the full sweep on the `perfkit` worker pool (one sim per point,
+/// merged back in sweep order).
 pub fn run(cfg: &Fig7Config) -> Vec<Fig7Point> {
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for (discipline, sync) in [(Discipline::PtpSoftware, "PTP"), (Discipline::Ntp, "NTP")] {
         for &kind in &cfg.backends {
             for &alpha in &cfg.alphas {
-                let seed = 700 + (alpha * 100.0) as u64;
-                points.push(run_point(discipline.clone(), sync, kind, alpha, cfg, seed));
+                items.push((discipline.clone(), sync, kind, alpha));
             }
         }
     }
-    points
+    perfkit::pool::run_ordered_auto(items, |(discipline, sync, kind, alpha)| {
+        let seed = 700 + (alpha * 100.0) as u64;
+        run_point(discipline, sync, kind, alpha, cfg, seed)
+    })
 }
 
 /// Deterministic JSON payload: every point with its abort-reason
@@ -179,14 +183,14 @@ pub fn to_json(cfg: &Fig7Config, points: &[Fig7Point]) -> Json {
             .field("backend", Json::str(p.backend))
             .field("alpha", Json::F64(p.alpha))
             .field("abort_rate", Json::F64(p.abort_rate))
-            .field("abort_reasons", p.stats.abort_reasons.to_json())
-            .field("latency_ns", p.stats.latency.snapshot().summary_json())
+            .field("abort_reasons", p.stats.abort_reasons_json())
+            .field("latency_ns", p.stats.latency.summary_json())
     });
     let mut by_clock = Json::obj();
     for sync in ["PTP", "NTP"] {
         let merged = obskit::TxnStats::new();
         for p in points.iter().filter(|p| p.sync == sync) {
-            merged.merge_from(&p.stats);
+            merged.merge_frozen(&p.stats);
         }
         by_clock = by_clock.field(
             sync,

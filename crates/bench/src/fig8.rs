@@ -32,8 +32,9 @@ pub struct Fig8Point {
     pub throughput: f64,
     /// Mean transaction latency (first begin to commit), µs.
     pub latency_us: f64,
-    /// Full workload counters for the run.
-    pub stats: obskit::TxnStats,
+    /// Full workload counters for the run, frozen so points can cross
+    /// the worker-pool boundary.
+    pub stats: obskit::FrozenTxnStats,
 }
 
 /// Sweep parameters.
@@ -147,22 +148,25 @@ fn run_point(kind: BackendKind, lv: bool, clients: u32, cfg: &Fig8Config, seed: 
         clients,
         throughput: outcome.stats.throughput(outcome.elapsed),
         latency_us: outcome.stats.latency.snapshot().mean() / 1e3,
-        stats: outcome.stats,
+        stats: outcome.stats.freeze(),
     }
 }
 
-/// Runs the full sweep.
+/// Runs the full sweep on the `perfkit` worker pool (one sim per point,
+/// merged back in sweep order).
 pub fn run(cfg: &Fig8Config) -> Vec<Fig8Point> {
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for &kind in &cfg.backends {
         for lv in [true, false] {
             for &clients in &cfg.client_counts {
-                let seed = 800 + clients as u64;
-                points.push(run_point(kind, lv, clients, cfg, seed));
+                items.push((kind, lv, clients));
             }
         }
     }
-    points
+    perfkit::pool::run_ordered_auto(items, |(kind, lv, clients)| {
+        let seed = 800 + clients as u64;
+        run_point(kind, lv, clients, cfg, seed)
+    })
 }
 
 /// Deterministic JSON payload: one object per curve point with full
@@ -183,8 +187,8 @@ pub fn to_json(cfg: &Fig8Config, points: &[Fig8Point]) -> Json {
                     .field("clients", Json::U64(p.clients as u64))
                     .field("throughput", Json::F64(p.throughput))
                     .field("latency_us", Json::F64(p.latency_us))
-                    .field("abort_reasons", p.stats.abort_reasons.to_json())
-                    .field("latency_ns", p.stats.latency.snapshot().summary_json())
+                    .field("abort_reasons", p.stats.abort_reasons_json())
+                    .field("latency_ns", p.stats.latency.summary_json())
             })),
         )
 }

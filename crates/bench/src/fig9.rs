@@ -38,8 +38,9 @@ pub struct Fig9Point {
     pub local_fraction: f64,
     /// Abort rate.
     pub abort_rate: f64,
-    /// Full workload counters for the run.
-    pub stats: obskit::TxnStats,
+    /// Full workload counters for the run, frozen so points can cross
+    /// the worker-pool boundary.
+    pub stats: obskit::FrozenTxnStats,
 }
 
 /// Sweep parameters.
@@ -145,7 +146,7 @@ fn run_milana_point(alpha: f64, cfg: &Fig9Config, seed: u64) -> Fig9Point {
         // MILANA validates every read-only transaction locally by design.
         local_fraction: if ro_commits > 0 { 1.0 } else { 0.0 },
         abort_rate: outcome.stats.abort_rate(),
-        stats: outcome.stats,
+        stats: outcome.stats.freeze(),
     }
 }
 
@@ -236,19 +237,26 @@ fn run_centiman_point(alpha: f64, cfg: &Fig9Config, seed: u64) -> Fig9Point {
             local as f64 / (local + remote) as f64
         },
         abort_rate: stats.abort_rate(),
-        stats,
+        stats: stats.freeze(),
     }
 }
 
-/// Runs the full comparison.
+/// Runs the full comparison on the `perfkit` worker pool. Each (system,
+/// α) pair is one unit of work so the two systems' sims stay fully
+/// independent; results merge back in sweep order.
 pub fn run(cfg: &Fig9Config) -> Vec<Fig9Point> {
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for &alpha in &cfg.alphas {
-        let seed = 900 + (alpha * 100.0) as u64;
-        points.push(run_milana_point(alpha, cfg, seed));
-        points.push(run_centiman_point(alpha, cfg, seed));
+        items.push(("MILANA", alpha));
+        items.push(("Centiman", alpha));
     }
-    points
+    perfkit::pool::run_ordered_auto(items, |(system, alpha)| {
+        let seed = 900 + (alpha * 100.0) as u64;
+        match system {
+            "MILANA" => run_milana_point(alpha, cfg, seed),
+            _ => run_centiman_point(alpha, cfg, seed),
+        }
+    })
 }
 
 /// Deterministic JSON payload: one object per (system, α) point with the
@@ -270,8 +278,8 @@ pub fn to_json(cfg: &Fig9Config, points: &[Fig9Point]) -> Json {
                     .field("throughput", Json::F64(p.throughput))
                     .field("local_fraction", Json::F64(p.local_fraction))
                     .field("abort_rate", Json::F64(p.abort_rate))
-                    .field("abort_reasons", p.stats.abort_reasons.to_json())
-                    .field("latency_ns", p.stats.latency.snapshot().summary_json())
+                    .field("abort_reasons", p.stats.abort_reasons_json())
+                    .field("latency_ns", p.stats.latency.summary_json())
             })),
         )
 }

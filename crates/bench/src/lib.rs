@@ -36,6 +36,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod perf;
 pub mod readscale;
 pub mod rebalance;
 pub mod recovery;

@@ -231,13 +231,10 @@ pub struct ReadScaleOutcome {
     pub campaign: CampaignReport,
 }
 
-/// Runs the route sweep and the backup-reads chaos campaign.
+/// Runs the route sweep (on the `perfkit` worker pool, one sim per
+/// route) and the backup-reads chaos campaign.
 pub fn run(cfg: &ReadScaleConfig, seed: u64) -> ReadScaleOutcome {
-    let points = cfg
-        .routes
-        .iter()
-        .map(|&r| run_point(r, cfg, seed))
-        .collect();
+    let points = perfkit::pool::run_ordered_auto(cfg.routes.clone(), |r| run_point(r, cfg, seed));
     let campaign = run_campaign(&CampaignConfig {
         seeds: cfg.campaign_seeds.clone(),
         faults: 8,

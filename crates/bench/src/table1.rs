@@ -92,8 +92,15 @@ impl Table1Config {
     }
 }
 
-/// Runs one (FTL, get%) cell.
-pub fn run_cell(kind: BackendKind, get_pct: u32, cfg: &Table1Config, seed: u64) -> Table1Row {
+/// Runs one (FTL, get%) cell. The optional string is a stderr note about
+/// puts that hit capacity backpressure — returned instead of printed so
+/// parallel sweeps emit notes in deterministic (sweep) order.
+pub fn run_cell(
+    kind: BackendKind,
+    get_pct: u32,
+    cfg: &Table1Config,
+    seed: u64,
+) -> (Table1Row, Option<String>) {
     assert!(matches!(kind, BackendKind::Vftl | BackendKind::Mftl));
     let mut sim = Sim::new(seed);
     let h = sim.handle();
@@ -199,24 +206,22 @@ pub fn run_cell(kind: BackendKind, get_pct: u32, cfg: &Table1Config, seed: u64) 
     });
     let gets = get_hist.borrow();
     let puts = put_hist.borrow();
-    if put_errors.get() > 0 {
-        eprintln!(
+    let ftl = match kind {
+        BackendKind::Vftl => "VFTL",
+        _ => "MFTL",
+    };
+    let note = (put_errors.get() > 0).then(|| {
+        format!(
             "  note: {} {}% {} puts hit capacity backpressure (excluded from stats)",
             put_errors.get(),
             get_pct,
-            match kind {
-                BackendKind::Vftl => "VFTL",
-                _ => "MFTL",
-            }
-        );
-    }
+            ftl
+        )
+    });
     let total_ops = gets.count() + puts.count();
-    Table1Row {
+    let row = Table1Row {
         get_pct,
-        ftl: match kind {
-            BackendKind::Vftl => "VFTL",
-            _ => "MFTL",
-        },
+        ftl,
         kiops: total_ops as f64 / cfg.measure.as_secs_f64() / 1e3,
         get_us: gets.mean() / 1e3,
         put_us: if puts.count() == 0 {
@@ -224,18 +229,31 @@ pub fn run_cell(kind: BackendKind, get_pct: u32, cfg: &Table1Config, seed: u64) 
         } else {
             puts.mean() / 1e3
         },
-    }
+    };
+    (row, note)
 }
 
-/// Runs the full table.
+/// Runs the full table on the `perfkit` worker pool (one sim per cell,
+/// merged back — and backpressure notes printed — in sweep order).
 pub fn run(cfg: &Table1Config) -> Vec<Table1Row> {
-    let mut rows = Vec::new();
+    let mut items = Vec::new();
     for &get_pct in &[100u32, 75, 50, 25] {
         for kind in [BackendKind::Vftl, BackendKind::Mftl] {
-            rows.push(run_cell(kind, get_pct, cfg, 1000 + get_pct as u64));
+            items.push((kind, get_pct));
         }
     }
-    rows
+    let cells = perfkit::pool::run_ordered_auto(items, |(kind, get_pct)| {
+        run_cell(kind, get_pct, cfg, 1000 + get_pct as u64)
+    });
+    cells
+        .into_iter()
+        .map(|(row, note)| {
+            if let Some(note) = note {
+                eprintln!("{note}");
+            }
+            row
+        })
+        .collect()
 }
 
 /// Deterministic JSON payload: one object per measured cell (`put_us` is

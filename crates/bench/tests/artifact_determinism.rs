@@ -57,7 +57,7 @@ fn fig7_artifact_reports_reasons_and_percentiles_per_clock() {
     // The tiny run still commits transactions under both disciplines.
     for p in &points {
         assert!(
-            p.stats.commits.get() > 0,
+            p.stats.commits > 0,
             "{}/{} committed nothing",
             p.sync,
             p.backend

@@ -1,0 +1,122 @@
+//! Serial-vs-parallel determinism: the `--threads`/`PERF_THREADS` knob
+//! must never leak into an artifact. One suite per pooled family — group
+//! commit, resharding campaigns, read scaling, and chaos campaigns —
+//! each rendered at 1 worker and at 4 workers, asserting byte-identical
+//! JSON.
+//!
+//! The in-process checks flip `PERF_THREADS` around small library runs
+//! (a mutex serializes them — the knob is process-global env state). The
+//! chaos check additionally spawns the real `repro_chaos` binary with
+//! `--threads`, covering the CLI surface end to end: flag parsing, pool
+//! scheduling, ordered merge, and serialization.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serializes tests that mutate the process-global `PERF_THREADS`.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("PERF_THREADS", threads);
+    let out = f();
+    std::env::remove_var("PERF_THREADS");
+    out
+}
+
+fn assert_thread_invariant(name: &str, render: impl Fn() -> String) {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let serial = with_threads("1", &render);
+    let parallel = with_threads("4", &render);
+    assert!(!serial.is_empty(), "{name} rendered an empty artifact");
+    assert_eq!(
+        serial, parallel,
+        "{name}: 1-worker and 4-worker artifacts must be byte-identical"
+    );
+}
+
+#[test]
+fn batch_artifact_is_thread_invariant() {
+    let cfg = bench::batch::BatchSweepConfig {
+        // The full ladder: batch::to_json runs the acceptance checks,
+        // which expect the 1/4/8/16 points.
+        batch_maxes: vec![1, 4, 8, 16],
+        keyspace: 1_000,
+        warmup: Duration::from_millis(20),
+        measure: Duration::from_millis(80),
+    };
+    assert_thread_invariant("batch", || {
+        bench::batch::to_json(&bench::batch::run(&cfg, 3), 3).to_pretty_string()
+    });
+}
+
+#[test]
+fn rebalance_campaign_artifact_is_thread_invariant() {
+    let cfg = faultkit::RebalanceCampaignConfig {
+        seeds: vec![1, 2, 3, 4],
+        ..faultkit::RebalanceCampaignConfig::default()
+    };
+    assert_thread_invariant("rebalance", || {
+        faultkit::run_rebalance_campaign(&cfg)
+            .to_json()
+            .to_pretty_string()
+    });
+}
+
+#[test]
+fn readscale_artifact_is_thread_invariant() {
+    let cfg = bench::readscale::ReadScaleConfig {
+        keyspace: 1_000,
+        warmup: Duration::from_millis(20),
+        measure: Duration::from_millis(80),
+        campaign_seeds: vec![11],
+        ..bench::readscale::ReadScaleConfig::for_scale(bench::common::Scale::Quick)
+    };
+    assert_thread_invariant("readscale", || {
+        bench::readscale::to_json(&bench::readscale::run(&cfg, 3)).to_pretty_string()
+    });
+}
+
+#[test]
+fn chaos_artifact_is_thread_invariant() {
+    let cfg = faultkit::CampaignConfig {
+        seeds: vec![5, 6, 7, 8],
+        faults: 10,
+        ..faultkit::CampaignConfig::default()
+    };
+    assert_thread_invariant("chaos", || {
+        faultkit::run_campaign(&cfg).to_json().to_pretty_string()
+    });
+}
+
+/// End-to-end CLI check: the real binary, the real `--threads` flag.
+#[test]
+fn chaos_binary_threads_flag_is_artifact_invariant() {
+    let run = |threads: &str| {
+        let path = std::env::temp_dir().join(format!(
+            "thread-determinism-{}-chaos-t{threads}.json",
+            std::process::id()
+        ));
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro_chaos"))
+            .args(["--seeds", "2", "--faults", "20", "--threads", threads])
+            .arg("--json")
+            .arg(&path)
+            .env("REPRO_SCALE", "quick")
+            .env_remove("PERF_THREADS")
+            .output()
+            .expect("spawn repro_chaos");
+        assert!(
+            out.status.success(),
+            "repro_chaos --threads {threads} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let bytes = std::fs::read(&path).expect("artifact written");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(
+        serial, parallel,
+        "repro_chaos: --threads 1 and --threads 4 artifacts must be byte-identical"
+    );
+}

@@ -557,9 +557,12 @@ pub fn run_seed_with_trace(cfg: &CampaignConfig, seed: u64) -> (SeedOutcome, Str
     (outcome, obs.tracer.dump_jsonl())
 }
 
-/// Runs every seed in `cfg` and collects the outcomes.
+/// Runs every seed in `cfg` and collects the outcomes. Seeds run on the
+/// `perfkit` worker pool (one sim per seed, each fully independent);
+/// outcomes come back in seed order, so the report is identical to a
+/// serial campaign's.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
-    let outcomes = cfg.seeds.iter().map(|&s| run_seed(cfg, s)).collect();
+    let outcomes = perfkit::pool::run_ordered_auto(cfg.seeds.clone(), |s| run_seed(cfg, s));
     CampaignReport { outcomes }
 }
 

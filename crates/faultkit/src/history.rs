@@ -33,7 +33,9 @@
 //! trace ring to the fault schedule so real runs never drop.
 
 use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use perfkit::FastMap;
 
 use obskit::{AbortClass, RecoveryPhase, TraceEvent};
 
@@ -163,12 +165,12 @@ impl History {
     /// [`obskit::Tracer::events`]) and its drop count.
     pub fn from_events(events: Vec<(u64, TraceEvent)>, dropped: u64) -> History {
         // Per-client open transaction; clients run one txn at a time.
-        let mut open: HashMap<u64, TxnView> = HashMap::new();
+        let mut open: FastMap<u64, TxnView> = FastMap::default();
         let mut txns = Vec::new();
         let mut ownership = Vec::new();
         let mut reads_served = Vec::new();
         let mut recovery = Vec::new();
-        let close = |open: &mut HashMap<u64, TxnView>,
+        let close = |open: &mut FastMap<u64, TxnView>,
                      txns: &mut Vec<TxnView>,
                      client: u64,
                      outcome: Outcome,
@@ -481,8 +483,8 @@ impl<'a> Checker<'a> {
         // Committed txns keep their traced ts_commit. Unknown-outcome
         // txns whose version some read observed were CTP-committed: adopt
         // the observed timestamp.
-        let mut ts_of: HashMap<usize, u64> = HashMap::new();
-        let mut by_version: HashMap<VersionId, usize> = HashMap::new();
+        let mut ts_of: FastMap<usize, u64> = FastMap::default();
+        let mut by_version: FastMap<VersionId, usize> = FastMap::default();
         for (i, t) in h.txns.iter().enumerate() {
             if let Outcome::Committed { ts_commit, .. } = t.outcome {
                 ts_of.insert(i, ts_commit);
@@ -786,7 +788,7 @@ impl<'a> Checker<'a> {
         if h.dropped > 0 {
             return violations;
         }
-        let mut edges: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut edges: FastMap<usize, Vec<usize>> = FastMap::default();
         let mut add_edge = |from: usize, to: usize| {
             if from != to {
                 let list = edges.entry(from).or_default();
@@ -838,14 +840,14 @@ impl<'a> Checker<'a> {
 
 /// Iterative DFS over `edges`; returns the first cycle found (as the list
 /// of nodes on it), or `None` when the graph is acyclic.
-fn find_cycle(edges: &HashMap<usize, Vec<usize>>) -> Option<Vec<usize>> {
+fn find_cycle(edges: &FastMap<usize, Vec<usize>>) -> Option<Vec<usize>> {
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         White,
         Gray,
         Black,
     }
-    let mut color: HashMap<usize, Color> = HashMap::new();
+    let mut color: FastMap<usize, Color> = FastMap::default();
     let mut roots: Vec<usize> = edges.keys().copied().collect();
     roots.sort_unstable();
     for &root in &roots {

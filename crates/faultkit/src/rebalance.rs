@@ -417,13 +417,12 @@ pub fn run_rebalance_seed(cfg: &RebalanceCampaignConfig, seed: u64) -> Rebalance
     }
 }
 
-/// Runs every seed in `cfg` and collects the outcomes.
+/// Runs every seed in `cfg` and collects the outcomes. Seeds run on the
+/// `perfkit` worker pool (one independent sim per seed); outcomes come
+/// back in seed order, identical to a serial campaign's.
 pub fn run_rebalance_campaign(cfg: &RebalanceCampaignConfig) -> RebalanceCampaignReport {
-    let outcomes = cfg
-        .seeds
-        .iter()
-        .map(|&s| run_rebalance_seed(cfg, s))
-        .collect();
+    let outcomes =
+        perfkit::pool::run_ordered_auto(cfg.seeds.clone(), |s| run_rebalance_seed(cfg, s));
     RebalanceCampaignReport { outcomes }
 }
 

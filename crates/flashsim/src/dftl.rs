@@ -18,7 +18,9 @@
 //! the paper's all-in-DRAM assumption is worth.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use perfkit::FastMap;
 use std::rc::Rc;
 
 use simkit::SimHandle;
@@ -71,7 +73,7 @@ impl DftlStats {
 
 struct DftlState {
     /// key -> (lru sequence, dirty)
-    resident: HashMap<Key, (u64, bool)>,
+    resident: FastMap<Key, (u64, bool)>,
     /// lru sequence -> key (eviction order)
     order: BTreeMap<u64, Key>,
     next_seq: u64,
@@ -112,7 +114,7 @@ impl DemandMappedStore {
             inner,
             cfg: Rc::new(cfg),
             state: Rc::new(RefCell::new(DftlState {
-                resident: HashMap::new(),
+                resident: FastMap::default(),
                 order: BTreeMap::new(),
                 next_seq: 0,
                 pending_dirty: 0,

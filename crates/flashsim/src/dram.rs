@@ -5,8 +5,8 @@
 //! instantly, this backend is the *most* sensitive to clock skew — under NTP
 //! it shows the highest abort rates, which is exactly Figure 7's point.
 
+use perfkit::FastMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -36,7 +36,7 @@ impl Default for DramConfig {
 #[derive(Debug, Default)]
 struct DramInner {
     /// Per-key version chains, youngest first.
-    map: HashMap<Key, Vec<(Version, Value)>>,
+    map: FastMap<Key, Vec<(Version, Value)>>,
     watermark: Timestamp,
     stats: StoreStats,
     /// Durable write-floor record (battery-protected register).

@@ -14,8 +14,8 @@
 //! - one unified garbage collector relocates live tuples and discards
 //!   versions that fell below the watermark (§3.1) in the same pass.
 
+use perfkit::FastMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -111,13 +111,13 @@ struct Stream {
 }
 
 struct MftlInner {
-    map: HashMap<Key, Vec<MapEntry>>,
+    map: FastMap<Key, Vec<MapEntry>>,
     streams: Vec<Stream>,
     next_stream: usize,
     next_gen: u64,
     /// Pages taken from the packer whose program is still in flight,
     /// readable by generation.
-    flushing: HashMap<u64, Page>,
+    flushing: FastMap<u64, Page>,
     /// Append points used only by the zero-time bulk loader (striped across
     /// channels like the runtime packing streams).
     load_append: Vec<Option<(u32, u32)>>,
@@ -182,11 +182,11 @@ impl UnifiedStore {
             dev,
             cfg: Rc::new(cfg),
             inner: Rc::new(RefCell::new(MftlInner {
-                map: HashMap::new(),
+                map: FastMap::default(),
                 next_gen: n_streams as u64,
                 next_stream: 0,
                 streams,
-                flushing: HashMap::new(),
+                flushing: FastMap::default(),
                 load_append: vec![None; n_streams],
                 next_load_append: 0,
                 live: vec![0; blocks],

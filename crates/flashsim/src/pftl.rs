@@ -9,8 +9,8 @@
 //! top of this FTL — the configuration the paper calls **VFTL** — and the
 //! single-version store ([`crate::sftl`]) uses it directly (**SFTL**).
 
+use perfkit::FastMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use simkit::sync::mpsc;
@@ -58,8 +58,8 @@ pub struct PageFtlStats {
 
 #[derive(Debug)]
 struct PftlInner {
-    map: HashMap<u32, PhysLoc>,
-    rmap: HashMap<PhysLoc, u32>,
+    map: FastMap<u32, PhysLoc>,
+    rmap: FastMap<PhysLoc, u32>,
     /// Parallel append points (super-page striping): consecutive writes
     /// rotate across points, whose blocks land on different channels.
     append: Vec<Option<(u32, u32)>>,
@@ -124,8 +124,8 @@ impl<P: Clone + 'static> PageFtl<P> {
             cfg: Rc::new(cfg),
             logical_pages,
             inner: Rc::new(RefCell::new(PftlInner {
-                map: HashMap::new(),
-                rmap: HashMap::new(),
+                map: FastMap::default(),
+                rmap: FastMap::default(),
                 append: vec![None; points],
                 next_append: 0,
                 live: vec![0; blocks],
@@ -363,7 +363,7 @@ impl<P: Clone + 'static> PageFtl<P> {
         let mut floor = 0u64;
         let mut seq_max = 0u64;
         // Winner per LBA: highest (sequence stamp, location).
-        let mut best: HashMap<u32, (u64, PhysLoc)> = HashMap::new();
+        let mut best: FastMap<u32, (u64, PhysLoc)> = FastMap::default();
         for sp in &scan {
             let Some(oob) = sp.oob.filter(|o| !o.is_torn()) else {
                 torn += 1;

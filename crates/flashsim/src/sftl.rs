@@ -7,8 +7,8 @@
 //! fail with [`StoreError::SnapshotUnavailable`], which is what forces tardy
 //! read-only transactions to abort on this backend.
 
+use perfkit::FastMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use simkit::SimHandle;
@@ -24,7 +24,7 @@ type Page = Rc<TupleRecord>;
 struct SftlInner {
     /// key -> (LBA, latest version). The version lives in DRAM so staleness
     /// checks don't cost a flash read.
-    map: HashMap<Key, (u32, Version)>,
+    map: FastMap<Key, (u32, Version)>,
     next_lba: u32,
     free_lbas: Vec<u32>,
     stats: StoreStats,
@@ -44,7 +44,7 @@ impl SingleVersionStore {
         SingleVersionStore {
             ftl,
             inner: Rc::new(RefCell::new(SftlInner {
-                map: HashMap::new(),
+                map: FastMap::default(),
                 next_lba: 0,
                 free_lbas: Vec::new(),
                 stats: StoreStats::default(),

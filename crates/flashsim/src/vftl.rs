@@ -14,7 +14,9 @@
 //! Table 1's experiment measures exactly this overhead against MFTL.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use perfkit::FastMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -101,11 +103,11 @@ struct Stream {
 }
 
 struct VftlInner {
-    map: HashMap<Key, Vec<MapEntry>>,
+    map: FastMap<Key, Vec<MapEntry>>,
     streams: Vec<Stream>,
     next_stream: usize,
     next_gen: u64,
-    flushing: HashMap<u64, Segment>,
+    flushing: FastMap<u64, Segment>,
     free_lbas: Vec<u32>,
     /// Deterministically ordered so GC victim ties never depend on hash
     /// iteration order.
@@ -171,11 +173,11 @@ impl SplitStore {
             ftl,
             cfg: Rc::new(cfg),
             inner: Rc::new(RefCell::new(VftlInner {
-                map: HashMap::new(),
+                map: FastMap::default(),
                 next_gen: n_streams as u64,
                 next_stream: 0,
                 streams,
-                flushing: HashMap::new(),
+                flushing: FastMap::default(),
                 free_lbas: (0..usable).rev().collect(),
                 live: BTreeMap::new(),
                 written: BTreeMap::new(),

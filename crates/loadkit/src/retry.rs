@@ -19,8 +19,8 @@
 //!    network; after `breaker_cooldown` one probe is let through
 //!    (half-open) and its outcome closes or re-opens the circuit.
 
+use perfkit::FastMap;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::time::Duration;
 
 use obskit::{Counter, Obs, TraceEvent, Tracer};
@@ -84,7 +84,7 @@ pub struct RetryPolicy {
     /// Previous jitter draw, nanoseconds (decorrelated-jitter state).
     prev_ns: Cell<u64>,
     tokens: Cell<f64>,
-    breakers: RefCell<HashMap<u64, Breaker>>,
+    breakers: RefCell<FastMap<u64, Breaker>>,
     client: u64,
     retries: Counter,
     budget_exhausted: Counter,
@@ -124,7 +124,7 @@ impl RetryPolicy {
             tokens: Cell::new(burst),
             cfg,
             rng: RefCell::new(rng),
-            breakers: RefCell::new(HashMap::new()),
+            breakers: RefCell::new(FastMap::default()),
             client,
             retries,
             budget_exhausted,

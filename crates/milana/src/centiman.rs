@@ -18,8 +18,8 @@
 //! globally aborted transaction may leave tentative writes behind, which is
 //! conservative — it can only cause extra aborts, never lost conflicts).
 
+use perfkit::FastMap;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -88,7 +88,7 @@ pub struct Validator {
 
 struct ValidatorInner {
     /// Latest committed (or optimistically applied) write per key.
-    writes: HashMap<Key, Timestamp>,
+    writes: FastMap<Key, Timestamp>,
     watermarks: WatermarkTracker,
     handle: SimHandle,
     /// Trace sink for validation verdicts; disabled by default.
@@ -110,7 +110,7 @@ impl Validator {
     pub fn spawn(handle: &SimHandle, addr: Addr, clients: Vec<ClientId>) -> Validator {
         let v = Validator {
             inner: Rc::new(RefCell::new(ValidatorInner {
-                writes: HashMap::new(),
+                writes: FastMap::default(),
                 watermarks: WatermarkTracker::new(clients),
                 handle: handle.clone(),
                 tracer: obskit::Tracer::disabled(),
@@ -305,8 +305,8 @@ impl CentimanClient {
             ts_begin,
             read_set: Vec::new(),
             writes: Vec::new(),
-            write_idx: HashMap::new(),
-            cache: HashMap::new(),
+            write_idx: FastMap::default(),
+            cache: FastMap::default(),
             finished: false,
         }
     }
@@ -355,8 +355,8 @@ pub struct CentTxn {
     ts_begin: Timestamp,
     read_set: Vec<(Key, Version)>,
     writes: Vec<(Key, Value)>,
-    write_idx: HashMap<Key, usize>,
-    cache: HashMap<Key, Value>,
+    write_idx: FastMap<Key, usize>,
+    cache: FastMap<Key, Value>,
     finished: bool,
 }
 
@@ -455,8 +455,8 @@ impl CentTxn {
             seq: self.c.seq.replace(self.c.seq.get() + 1),
         };
         // Partition by shard and validate at each shard's validator.
-        type ShardSets = HashMap<usize, (Vec<(Key, Version)>, Vec<Key>)>;
-        let mut by_shard: ShardSets = HashMap::new();
+        type ShardSets = FastMap<usize, (Vec<(Key, Version)>, Vec<Key>)>;
+        let mut by_shard: ShardSets = FastMap::default();
         {
             let map = self.c.map.borrow();
             for (key, version) in &self.read_set {

@@ -5,7 +5,9 @@
 //! round trips at all (§4.3).
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use perfkit::FastMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -19,7 +21,7 @@ use semel::shard::{ShardId, ShardMap};
 use simkit::net::{Addr, NodeId};
 use simkit::rpc::{RpcClient, RpcError};
 use simkit::{SimHandle, SimTime};
-use timesync::{ClientId, ClockSpec, Discipline, SyncedClock, Timestamp, Version};
+use timesync::{ClientId, ClockSpec, SyncedClock, Timestamp, Version};
 
 use crate::msg::{AbortReason, TxnError, TxnId, TxnRequest, TxnResponse};
 
@@ -84,9 +86,9 @@ pub struct TxnClientConfig {
     /// back to the primary on `TooStale`. Default: primary-only.
     pub read_route: ReadRoute,
     /// Capacity (entries) of the client-wide version cache feeding
-    /// [`TxnClient::begin_cached`]; 0 disables it.
+    /// cached transactions ([`TxnOpts::cached`]); 0 disables it.
     pub cache_entries: usize,
-    /// Bounded-staleness snapshots (readkit): [`TxnClient::begin_snapshot`]
+    /// Bounded-staleness snapshots (readkit): [`TxnOpts::snapshot`]
     /// opens its snapshot this far behind the client clock. The applied
     /// floor trails real time by roughly a commit round-trip, so a small
     /// lag makes a read-only transaction backup-eligible from its *first*
@@ -231,9 +233,9 @@ pub struct TxnClient {
     node: NodeId,
     /// Per-shard coordinator planes: Prepares and Outcomes bound for the
     /// same shard primary coalesce into one envelope per flush window.
-    planes: Rc<RefCell<HashMap<ShardId, Batcher<TxnRequest, TxnResponse>>>>,
+    planes: Rc<RefCell<FastMap<ShardId, Batcher<TxnRequest, TxnResponse>>>>,
     /// Last watermark piggybacked per shard, to skip redundant items.
-    wm_sent: Rc<RefCell<HashMap<ShardId, Timestamp>>>,
+    wm_sent: Rc<RefCell<FastMap<ShardId, Timestamp>>>,
     /// When any plane last flushed. The periodic watermark broadcast stands
     /// down while envelopes are flowing (piggybacking covers it).
     last_flush: Rc<Cell<SimTime>>,
@@ -268,16 +270,10 @@ pub struct TxnClientBuilder {
 
 impl TxnClientBuilder {
     /// Clock model: discipline plus fault knobs, in one spec (default:
-    /// [`ClockSpec::perfect`]). Accepts a bare [`Discipline`] via `Into`.
+    /// [`ClockSpec::perfect`]). Accepts a bare [`timesync::Discipline`] via `Into`.
     pub fn clock(mut self, clock: impl Into<ClockSpec>) -> Self {
         self.clock = clock.into();
         self
-    }
-
-    /// Clock skew model.
-    #[deprecated(note = "use `clock(ClockSpec)` — a `Discipline` converts with `.into()`")]
-    pub fn discipline(self, discipline: Discipline) -> Self {
-        self.clock(discipline)
     }
 
     /// Replaces the whole config in one call (escape hatch for callers
@@ -309,16 +305,6 @@ impl TxnClientBuilder {
     pub fn validation(mut self, mode: ValidationMode) -> Self {
         self.cfg.validation = mode;
         self
-    }
-
-    /// Client-local validation of read-only transactions (§4.3).
-    #[deprecated(note = "use `validation(ValidationMode::Local / ::Remote)`")]
-    pub fn local_validation(self, on: bool) -> Self {
-        self.validation(if on {
-            ValidationMode::Local
-        } else {
-            ValidationMode::Remote
-        })
     }
 
     /// Watermark broadcast period (§4.4).
@@ -432,8 +418,8 @@ impl TxnClient {
             stats: Rc::new(RefCell::new(TxnClientStats::default())),
             policy,
             node,
-            planes: Rc::new(RefCell::new(HashMap::new())),
-            wm_sent: Rc::new(RefCell::new(HashMap::new())),
+            planes: Rc::new(RefCell::new(FastMap::default())),
+            wm_sent: Rc::new(RefCell::new(FastMap::default())),
             last_flush: Rc::new(Cell::new(SimTime::ZERO)),
         };
         client
@@ -612,24 +598,6 @@ impl TxnClient {
         self.begin_inner(opts.cached, lag)
     }
 
-    /// Begins a transaction at the client's current time (`ts_begin`).
-    #[deprecated(note = "use `begin_with(TxnOpts::default())`")]
-    pub fn begin(&self) -> Txn {
-        self.begin_with(TxnOpts::default())
-    }
-
-    /// Begins a **bounded-staleness snapshot transaction** (§4.6).
-    #[deprecated(note = "use `begin_with(TxnOpts::snapshot())`")]
-    pub fn begin_snapshot(&self) -> Txn {
-        self.begin_with(TxnOpts::snapshot())
-    }
-
-    /// Begins a transaction that may read from the client-wide value cache.
-    #[deprecated(note = "use `begin_with(TxnOpts::cached())`")]
-    pub fn begin_cached(&self) -> Txn {
-        self.begin_with(TxnOpts::cached())
-    }
-
     fn begin_inner(&self, use_client_cache: bool, lag: Duration) -> Txn {
         let ts_begin = Timestamp(self.now().0.saturating_sub(lag.as_nanos() as u64));
         self.register_active(ts_begin);
@@ -644,8 +612,8 @@ impl TxnClient {
             prepared_seen: false,
             snapshot_lost: false,
             writes: Vec::new(),
-            write_idx: HashMap::new(),
-            cache: HashMap::new(),
+            write_idx: FastMap::default(),
+            cache: FastMap::default(),
             use_client_cache,
             requires_remote: false,
             cache_hits: 0,
@@ -780,8 +748,8 @@ pub struct Txn {
     prepared_seen: bool,
     snapshot_lost: bool,
     writes: Vec<(Key, Value)>,
-    write_idx: HashMap<Key, usize>,
-    cache: HashMap<Key, Value>,
+    write_idx: FastMap<Key, usize>,
+    cache: FastMap<Key, Value>,
     /// §4.3 cached mode: serve reads from the client-wide value cache and
     /// validate remotely at commit.
     use_client_cache: bool,
@@ -1314,8 +1282,8 @@ impl Txn {
         // Group read and write sets by shard, remembering which map epoch
         // the routing came from — servers fence prepares routed under an
         // epoch older than a migration cutover.
-        type ShardSets = HashMap<ShardId, (Vec<(Key, Version)>, Vec<(Key, Value)>)>;
-        let mut by_shard: ShardSets = HashMap::new();
+        type ShardSets = FastMap<ShardId, (Vec<(Key, Version)>, Vec<(Key, Value)>)>;
+        let mut by_shard: ShardSets = FastMap::default();
         let epoch = {
             let map = self.c.map.borrow();
             for (key, version) in &self.read_set {
@@ -1338,6 +1306,7 @@ impl Txn {
         };
         let mut participants: Vec<ShardId> = by_shard.keys().copied().collect();
         participants.sort();
+        let participants: Rc<[ShardId]> = participants.into();
         self.c.trace(TraceEvent::ValidateRemote {
             client: self.c.id.0 as u64,
             participants: participants.len() as u64,
@@ -1357,12 +1326,12 @@ impl Txn {
         shards_sorted.sort();
         let shards_sorted: Vec<ShardId> = shards_sorted.into_iter().copied().collect();
         for &shard in &shards_sorted {
-            let (reads, writes) = &by_shard[&shard];
+            let (reads, writes) = by_shard.remove(&shard).unwrap_or_default();
             let req = TxnRequest::Prepare {
                 txid,
                 ts_commit,
-                reads: reads.clone(),
-                writes: writes.clone(),
+                reads: reads.into(),
+                writes: writes.into(),
                 participants: participants.clone(),
                 epoch,
             };
@@ -1439,7 +1408,7 @@ impl Txn {
         // before returning: a read this client issues right after commit()
         // must not overtake the decision on the wire.
         let commit = all_ok;
-        for &shard in &participants {
+        for &shard in participants.iter() {
             let plane = self.c.plane(shard);
             plane.submit_nowait(TxnRequest::Outcome { txid, commit });
             plane.flush_now();

@@ -1,6 +1,8 @@
 //! MILANA wire protocol: transactional storage requests, 2PC, replication
 //! records, recovery, and lease management (§4).
 
+use std::rc::Rc;
+
 use flashsim::{Key, Value};
 use semel::shard::ShardId;
 use simkit::net::Addr;
@@ -41,10 +43,14 @@ pub struct TxnRecord {
     pub txid: TxnId,
     /// The client-assigned commit timestamp (its writes' version stamp).
     pub ts_commit: Timestamp,
-    /// The writes this shard must apply on commit.
-    pub writes: Vec<(Key, Value)>,
+    /// The writes this shard must apply on commit. Shared, not owned:
+    /// a record is cloned at every replication, log-install, and catch-up
+    /// hop, and the payload never mutates after prepare — one refcount
+    /// bump instead of a fresh vector per hop.
+    pub writes: Rc<[(Key, Value)]>,
     /// Every shard participating in the transaction (for recovery/CTP).
-    pub participants: Vec<ShardId>,
+    /// Shared for the same reason as `writes`.
+    pub participants: Rc<[ShardId]>,
     /// Current status.
     pub status: TxnStatus,
 }
@@ -122,12 +128,15 @@ pub enum TxnRequest {
         txid: TxnId,
         /// Commit timestamp chosen by the client.
         ts_commit: Timestamp,
-        /// `(key, version read)` pairs owned by this shard.
-        reads: Vec<(Key, Version)>,
-        /// `(key, new value)` pairs owned by this shard.
-        writes: Vec<(Key, Value)>,
-        /// All participant shards (passed for recovery, §4.5).
-        participants: Vec<ShardId>,
+        /// `(key, version read)` pairs owned by this shard. Shared:
+        /// the coordinator builds each set once and the prepare is
+        /// re-enveloped (batch plane, retransmits) without deep copies.
+        reads: Rc<[(Key, Version)]>,
+        /// `(key, new value)` pairs owned by this shard (shared).
+        writes: Rc<[(Key, Value)]>,
+        /// All participant shards (passed for recovery, §4.5); one shared
+        /// allocation across the whole fan-out.
+        participants: Rc<[ShardId]>,
         /// The shard-map epoch the client routed with. A prepare touching
         /// mid-migration keys while carrying an epoch older than the
         /// server's shared map — i.e. routed from a view that predates the

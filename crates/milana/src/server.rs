@@ -221,14 +221,14 @@ struct ServerState {
     /// As backup: the primary we currently accept lease requests from.
     known_primary: Option<Addr>,
     /// Outcomes that arrived before their prepare record (backup side).
-    pending_outcomes: std::collections::HashMap<TxnId, bool>,
+    pending_outcomes: perfkit::FastMap<TxnId, bool>,
     /// Prepares whose replication is still in flight. A retransmitted
     /// Prepare for one of these must NOT be answered from the table: the
     /// record is installed before replication completes, and an early
     /// `Vote{ok}` would acknowledge a prepare that may yet fail
     /// replication and abort — the coordinator could then commit a
     /// transaction recorded on no backup, which a primary crash erases.
-    replicating: std::collections::HashSet<TxnId>,
+    replicating: perfkit::FastSet<TxnId>,
     /// Primary: per-client watermark reports received since the last
     /// replication flush, relayed to backups by piggybacking on the next
     /// batched envelope (a `BTreeMap` so the piggyback order — and hence
@@ -316,6 +316,10 @@ pub struct TxnServer {
     /// submit to it; the target backup set is read from the live state at
     /// flush time so promotion keeps working.
     repl_batch: Batcher<TxnRequest, bool>,
+    /// Scratch buffer for the validate hot loop: the write-key list is
+    /// rebuilt per prepare but never escapes it, so the allocation is
+    /// reused across prepares. Never held across an await.
+    scratch_write_keys: Rc<RefCell<Vec<Key>>>,
 }
 
 impl std::fmt::Debug for TxnServer {
@@ -351,8 +355,8 @@ impl TxnServer {
             lease_until: SimTime::ZERO,
             max_granted: SimTime::ZERO,
             known_primary: None,
-            pending_outcomes: std::collections::HashMap::new(),
-            replicating: std::collections::HashSet::new(),
+            pending_outcomes: perfkit::FastMap::default(),
+            replicating: perfkit::FastSet::default(),
             wm_relay: std::collections::BTreeMap::new(),
             migration: None,
             floor_seq: 0,
@@ -388,6 +392,7 @@ impl TxnServer {
                 .map(|c| Rc::new(RefCell::new(clockkit::ClockHealth::new(c)))),
             cfg,
             repl_batch,
+            scratch_write_keys: Rc::new(RefCell::new(Vec::new())),
         };
         // A restarted replica must not reuse stale volatile key metadata.
         server.table.borrow_mut().rebuild_key_meta();
@@ -1436,9 +1441,9 @@ impl TxnServer {
         &self,
         txid: TxnId,
         ts_commit: Timestamp,
-        reads: Vec<(Key, Version)>,
-        writes: Vec<(Key, Value)>,
-        participants: Vec<ShardId>,
+        reads: Rc<[(Key, Version)]>,
+        writes: Rc<[(Key, Value)]>,
+        participants: Rc<[ShardId]>,
         epoch: u64,
     ) -> Option<TxnResponse> {
         {
@@ -1544,7 +1549,6 @@ impl TxnServer {
                 }
             }
         }
-        let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
         // The chaos harness can disable read validation to seed a known
         // serializability bug (lost updates slip through); write-conflict
         // checks stay on so the table's exclusivity invariants hold.
@@ -1553,12 +1557,16 @@ impl TxnServer {
         } else {
             &reads
         };
-        let verdict = self
-            .table
-            .borrow()
-            .validate(checked_reads, &write_keys, ts_commit, |k| {
-                self.latest_committed(k)
-            });
+        let verdict = {
+            let mut write_keys = self.scratch_write_keys.borrow_mut();
+            write_keys.clear();
+            write_keys.extend(writes.iter().map(|(k, _)| k.clone()));
+            self.table
+                .borrow()
+                .validate(checked_reads, &write_keys, ts_commit, |k| {
+                    self.latest_committed(k)
+                })
+        };
         if !verdict.is_success() {
             self.stats.borrow_mut().prepares_aborted += 1;
             self.trace(obskit::TraceEvent::PrepareVote {
@@ -1618,8 +1626,8 @@ impl TxnServer {
                     table.install(TxnRecord {
                         txid,
                         ts_commit: Timestamp::ZERO,
-                        writes: Vec::new(),
-                        participants: Vec::new(),
+                        writes: Vec::new().into(),
+                        participants: Vec::new().into(),
                         status: if commit {
                             TxnStatus::Committed
                         } else {
@@ -1751,7 +1759,7 @@ impl TxnServer {
             self.apply_outcome(record.txid, decision).await;
             // Notify the other participants.
             let map = self.map.borrow().clone();
-            for &shard in &record.participants {
+            for &shard in record.participants.iter() {
                 if shard == self.cfg.shard {
                     continue;
                 }
@@ -1774,7 +1782,7 @@ impl TxnServer {
     /// `None` when a participant is unreachable and no definite answer was
     /// seen — the transaction stays blocked, as 2PC requires.
     async fn resolve_by_query(&self, record: &TxnRecord) -> Option<bool> {
-        for &shard in &record.participants {
+        for &shard in record.participants.iter() {
             if shard == self.cfg.shard {
                 continue;
             }
@@ -1836,7 +1844,7 @@ impl TxnServer {
             .filter(|r| r.status == TxnStatus::Prepared)
             .collect();
         for record in prepared {
-            let commit = if record.participants == vec![self.cfg.shard] {
+            let commit = if *record.participants == [self.cfg.shard] {
                 // Single-shard: a prepared single-participant transaction
                 // would have been committed by the coordinator.
                 Some(true)

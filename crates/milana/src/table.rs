@@ -11,7 +11,7 @@
 //!
 //! None of this is persisted; §4.5 recovers it (or shields it with leases).
 
-use std::collections::{HashMap, HashSet};
+use perfkit::{FastMap, FastSet};
 
 use flashsim::Key;
 use timesync::{Timestamp, Version};
@@ -56,14 +56,14 @@ impl Verdict {
 /// The transaction table plus key metadata for one shard primary.
 #[derive(Debug, Default)]
 pub struct TxnTable {
-    records: HashMap<TxnId, TxnRecord>,
-    keys: HashMap<Key, KeyMeta>,
+    records: FastMap<TxnId, TxnRecord>,
+    keys: FastMap<Key, KeyMeta>,
     /// Committed transactions whose writes this replica has already made
     /// durable in its own backend. Lives in persistent memory with the
     /// records, so recovery and log installation apply only the delta
     /// instead of replaying the whole committed history (which grows
     /// without bound and would make failover time scale with table size).
-    applied: HashSet<TxnId>,
+    applied: FastSet<TxnId>,
     /// Applied watermark: the highest timestamp below which this replica's
     /// version chains are known complete, so a snapshot read at any
     /// `at < applied_wm` can be served here (readkit). Monotone by
@@ -135,7 +135,7 @@ impl TxnTable {
     /// Panics if the transaction is already in the table.
     pub fn prepare(&mut self, record: TxnRecord) {
         assert_eq!(record.status, TxnStatus::Prepared);
-        for (key, _) in &record.writes {
+        for (key, _) in record.writes.iter() {
             let meta = self.keys.entry(key.clone()).or_default();
             debug_assert!(meta.prepared.is_none(), "double prepare on {key}");
             meta.prepared = Some((record.txid, record.ts_commit));
@@ -160,7 +160,7 @@ impl TxnTable {
             TxnStatus::Aborted
         };
         let record = record.clone();
-        for (key, _) in &record.writes {
+        for (key, _) in record.writes.iter() {
             if let Some(meta) = self.keys.get_mut(key) {
                 if meta.prepared.map(|(t, _)| t) == Some(txid) {
                     meta.prepared = None;
@@ -191,13 +191,13 @@ impl TxnTable {
             _ => {
                 match record.status {
                     TxnStatus::Prepared => {
-                        for (key, _) in &record.writes {
+                        for (key, _) in record.writes.iter() {
                             self.keys.entry(key.clone()).or_default().prepared =
                                 Some((record.txid, record.ts_commit));
                         }
                     }
                     _ => {
-                        for (key, _) in &record.writes {
+                        for (key, _) in record.writes.iter() {
                             if let Some(meta) = self.keys.get_mut(key) {
                                 if meta.prepared.map(|(t, _)| t) == Some(record.txid) {
                                     meta.prepared = None;
@@ -321,8 +321,9 @@ mod tests {
             writes: write_keys
                 .iter()
                 .map(|&i| (k(i), flashsim::value(&b"w"[..])))
-                .collect(),
-            participants: vec![ShardId(0)],
+                .collect::<Vec<_>>()
+                .into(),
+            participants: vec![ShardId(0)].into(),
             status: TxnStatus::Prepared,
         }
     }

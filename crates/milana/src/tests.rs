@@ -322,9 +322,9 @@ fn failover_commits_prepared_single_shard_transaction() {
                 crate::msg::TxnRequest::Prepare {
                     txid,
                     ts_commit: timesync::Timestamp(1_000_000),
-                    reads: Vec::new(),
-                    writes: vec![(k(1), value(&b"limbo"[..]))],
-                    participants: vec![ShardId(0)],
+                    reads: Vec::new().into(),
+                    writes: vec![(k(1), value(&b"limbo"[..]))].into(),
+                    participants: vec![ShardId(0)].into(),
                     epoch: 0,
                 },
                 Duration::from_millis(50),
@@ -388,9 +388,9 @@ fn ctp_resolves_transaction_after_client_crash() {
                     crate::msg::TxnRequest::Prepare {
                         txid,
                         ts_commit: timesync::Timestamp(1_000_000),
-                        reads: Vec::new(),
-                        writes: vec![(key, value(&b"ctp"[..]))],
-                        participants: participants.clone(),
+                        reads: Vec::new().into(),
+                        writes: vec![(key, value(&b"ctp"[..]))].into(),
+                        participants: participants.clone().into(),
                         epoch: 0,
                     },
                     Duration::from_millis(50),
@@ -941,31 +941,5 @@ fn backup_reads_serve_covered_snapshots() {
             .map(|s| s.server.stats().replica_reads)
             .sum();
         assert!(served > 0, "server-side replica_reads stayed zero");
-    });
-}
-
-/// The deprecated `begin` / `begin_snapshot` / `begin_cached` trio must
-/// keep working (they forward to `begin_with`) until the next major bump.
-#[test]
-#[allow(deprecated)]
-fn deprecated_begin_shims_still_work() {
-    let mut sim = Sim::new(91);
-    let h = sim.handle();
-    let cluster = MilanaCluster::build(&h, base_cfg());
-    sim.block_on(async move {
-        let c = &cluster.clients[0];
-        let mut t = c.begin();
-        let _ = t.get(&k(1)).await.unwrap();
-        t.put(k(1), value(&b"shim"[..]));
-        t.commit().await.unwrap();
-        // Let replication land so the lagged snapshot sits under the
-        // write floor before reading.
-        h.sleep(Duration::from_millis(50)).await;
-        let mut snap = c.begin_snapshot();
-        let _ = snap.get(&k(1)).await.unwrap();
-        snap.commit().await.unwrap();
-        let mut cached = c.begin_cached();
-        let _ = cached.get(&k(1)).await.unwrap();
-        cached.commit().await.unwrap();
     });
 }

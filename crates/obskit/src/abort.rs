@@ -118,9 +118,21 @@ impl AbortBreakdown {
         self.counts.borrow().iter().sum()
     }
 
+    /// A plain copy of the per-class counts, indexed like
+    /// [`AbortClass::ALL`] (the `Send` snapshot worker threads hand back
+    /// to the merge step).
+    pub fn snapshot(&self) -> [u64; AbortClass::ALL.len()] {
+        *self.counts.borrow()
+    }
+
     /// Adds another breakdown's counts into this one.
     pub fn merge_from(&self, other: &AbortBreakdown) {
-        let other = *other.counts.borrow();
+        self.merge_counts(&other.counts.borrow());
+    }
+
+    /// Adds a plain count array (a [`AbortBreakdown::snapshot`]) into
+    /// this one — the re-inflation half of the worker-thread handoff.
+    pub fn merge_counts(&self, other: &[u64; AbortClass::ALL.len()]) {
         let mut mine = self.counts.borrow_mut();
         for (a, b) in mine.iter_mut().zip(other) {
             *a += b;

@@ -58,7 +58,7 @@ pub use hist::Histogram;
 pub use json::Json;
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 pub use series::TimeSeries;
-pub use stats::TxnStats;
+pub use stats::{FrozenTxnStats, TxnStats};
 pub use trace::{
     FlashOpKind, FlushReason, MigrationPhase, RecoveryPhase, ShedReason, TraceEvent, Tracer,
 };

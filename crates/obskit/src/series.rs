@@ -55,6 +55,11 @@ impl TimeSeries {
         self.inner.borrow().window_ns
     }
 
+    /// A plain copy of the per-window counts.
+    pub fn counts(&self) -> Vec<u64> {
+        self.inner.borrow().counts.clone()
+    }
+
     /// Deterministic JSON: `{"window_ns": ..., "counts": [...]}` with one
     /// entry per window from virtual time zero to the last event.
     pub fn to_json(&self) -> Json {

@@ -6,6 +6,7 @@
 use std::time::Duration;
 
 use crate::abort::{AbortBreakdown, AbortClass};
+use crate::hist::Histogram;
 use crate::json::Json;
 use crate::registry::{Counter, HistogramHandle, Registry};
 use crate::series::TimeSeries;
@@ -148,6 +149,21 @@ impl TxnStats {
         // window width).
     }
 
+    /// Folds a frozen snapshot back into this live bundle — the same
+    /// aggregation as [`TxnStats::merge_from`] (the commit series is
+    /// deliberately left alone there too), for accumulating results that
+    /// crossed a worker-thread boundary.
+    pub fn merge_frozen(&self, other: &FrozenTxnStats) {
+        self.commits.add(other.commits);
+        self.aborts.add(other.aborts);
+        self.timeouts.add(other.timeouts);
+        self.abandoned.add(other.abandoned);
+        self.arrivals.add(other.arrivals);
+        self.sheds.add(other.sheds);
+        self.latency.merge_from(&other.latency);
+        self.abort_reasons.merge_counts(&other.abort_counts);
+    }
+
     /// Deterministic JSON summary of the whole bundle.
     pub fn to_json(&self) -> Json {
         Json::obj()
@@ -161,6 +177,135 @@ impl TxnStats {
             .field("abort_reasons", self.abort_reasons.to_json())
             .field("latency_ns", self.latency.snapshot().summary_json())
             .field("commit_series", self.commit_series.to_json())
+    }
+
+    /// A plain (`Send`) copy of the whole bundle, for handing results out
+    /// of a worker thread. Every derived value and JSON surface of
+    /// [`FrozenTxnStats`] is byte-identical to the live bundle's.
+    pub fn freeze(&self) -> FrozenTxnStats {
+        FrozenTxnStats {
+            commits: self.commits.get(),
+            aborts: self.aborts.get(),
+            timeouts: self.timeouts.get(),
+            abandoned: self.abandoned.get(),
+            arrivals: self.arrivals.get(),
+            sheds: self.sheds.get(),
+            latency: self.latency.snapshot(),
+            abort_counts: self.abort_reasons.snapshot(),
+            series_window_ns: self.commit_series.window_ns(),
+            series_counts: self.commit_series.counts(),
+        }
+    }
+}
+
+/// A [`TxnStats`] snapshot with no shared interior — plain counters, an
+/// owned [`Histogram`], owned abort and series counts — so a worker
+/// thread can return it across the pool boundary (`TxnStats` is
+/// `Rc`-backed and `!Send`). Mirrors the live bundle's derived metrics
+/// and JSON byte for byte.
+#[derive(Debug, Clone)]
+pub struct FrozenTxnStats {
+    /// Transactions that eventually committed.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Attempts that ended in transport timeouts / unknown outcomes.
+    pub timeouts: u64,
+    /// Transactions abandoned after `max_retries`.
+    pub abandoned: u64,
+    /// Transactions the workload offered (open-loop arrivals).
+    pub arrivals: u64,
+    /// Transactions terminated by load shedding.
+    pub sheds: u64,
+    /// Commit latency samples, nanoseconds.
+    pub latency: Histogram,
+    abort_counts: [u64; AbortClass::ALL.len()],
+    series_window_ns: u64,
+    series_counts: Vec<u64>,
+}
+
+impl FrozenTxnStats {
+    /// Abort rate: aborted attempts over all attempts.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Committed transactions per virtual second over `elapsed`.
+    pub fn throughput(&self, elapsed: Duration) -> f64 {
+        self.commits as f64 / elapsed.as_secs_f64()
+    }
+
+    /// Count for one abort class.
+    pub fn abort_count(&self, class: AbortClass) -> u64 {
+        let idx = AbortClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("in ALL");
+        self.abort_counts[idx]
+    }
+
+    /// Adds another snapshot's counts and samples into this one (the
+    /// ordered-merge step after a parallel sweep; same aggregation as
+    /// [`TxnStats::merge_from`]).
+    pub fn merge_from(&mut self, other: &FrozenTxnStats) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.timeouts += other.timeouts;
+        self.abandoned += other.abandoned;
+        self.arrivals += other.arrivals;
+        self.sheds += other.sheds;
+        self.latency.merge(&other.latency);
+        for (a, b) in self.abort_counts.iter_mut().zip(other.abort_counts) {
+            *a += b;
+        }
+        if self.series_counts.len() < other.series_counts.len() {
+            self.series_counts.resize(other.series_counts.len(), 0);
+        }
+        for (a, b) in self.series_counts.iter_mut().zip(&other.series_counts) {
+            *a += b;
+        }
+    }
+
+    /// The abort breakdown as JSON — byte-identical to
+    /// [`AbortBreakdown::to_json`] for the same counts.
+    pub fn abort_reasons_json(&self) -> Json {
+        let mut doc = Json::obj();
+        for (class, &count) in AbortClass::ALL.iter().zip(&self.abort_counts) {
+            doc = doc.field(class.as_str(), Json::U64(count));
+        }
+        doc
+    }
+
+    /// The commit series as JSON — byte-identical to
+    /// [`TimeSeries::to_json`] for the same counts.
+    pub fn commit_series_json(&self) -> Json {
+        Json::obj()
+            .field("window_ns", Json::U64(self.series_window_ns))
+            .field(
+                "counts",
+                Json::arr(self.series_counts.iter().map(|&c| Json::U64(c))),
+            )
+    }
+
+    /// Deterministic JSON summary — byte-identical to
+    /// [`TxnStats::to_json`] for the same recorded values.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("commits", Json::U64(self.commits))
+            .field("aborts", Json::U64(self.aborts))
+            .field("timeouts", Json::U64(self.timeouts))
+            .field("abandoned", Json::U64(self.abandoned))
+            .field("arrivals", Json::U64(self.arrivals))
+            .field("sheds", Json::U64(self.sheds))
+            .field("abort_rate", Json::F64(self.abort_rate()))
+            .field("abort_reasons", self.abort_reasons_json())
+            .field("latency_ns", self.latency.summary_json())
+            .field("commit_series", self.commit_series_json())
     }
 }
 
@@ -220,6 +365,60 @@ mod tests {
         assert_eq!(a.aborts.get(), 1);
         assert_eq!(a.latency.count(), 2);
         assert_eq!(a.abort_reasons.get(AbortClass::PreparedRead), 1);
+    }
+
+    #[test]
+    fn freeze_mirrors_live_bundle_byte_for_byte() {
+        let s = TxnStats::new();
+        s.record_commit(50_000_000, 1_000);
+        s.record_commit(350_000_000, 9_000);
+        s.record_abort(AbortClass::Validation);
+        s.record_abort(AbortClass::ClockSuspect);
+        s.record_timeout();
+        s.record_arrival();
+        s.record_shed();
+        let f = s.freeze();
+        assert_eq!(f.to_json().to_string(), s.to_json().to_string());
+        assert_eq!(
+            f.abort_reasons_json().to_string(),
+            s.abort_reasons.to_json().to_string()
+        );
+        assert_eq!(
+            f.commit_series_json().to_string(),
+            s.commit_series.to_json().to_string()
+        );
+        assert_eq!(f.abort_rate(), s.abort_rate());
+        assert_eq!(
+            f.abort_count(AbortClass::Validation),
+            s.abort_reasons.get(AbortClass::Validation)
+        );
+    }
+
+    #[test]
+    fn frozen_merge_matches_live_merge() {
+        let a = TxnStats::new();
+        let b = TxnStats::new();
+        a.record_commit(0, 100);
+        b.record_commit(250_000_000, 300);
+        b.record_abort(AbortClass::PreparedRead);
+        b.record_timeout();
+        let mut fa = a.freeze();
+        let fb = b.freeze();
+        a.merge_from(&b);
+        fa.merge_from(&fb);
+        // The live merge drops series counts (documented); the frozen
+        // merge keeps them positionally, so compare everything else.
+        assert_eq!(fa.commits, a.commits.get());
+        assert_eq!(fa.aborts, a.aborts.get());
+        assert_eq!(fa.timeouts, a.timeouts.get());
+        assert_eq!(
+            fa.abort_reasons_json().to_string(),
+            a.abort_reasons.to_json().to_string()
+        );
+        assert_eq!(
+            fa.latency.summary_json().to_string(),
+            a.latency.snapshot().summary_json().to_string()
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! watermark floor can never be stale; hits above it are validated by OCC
 //! like any other read (the caller records the version in the read-set).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use perfkit::FastMap;
 use std::hash::Hash;
 
 use timesync::{Timestamp, Version};
@@ -38,7 +40,7 @@ pub struct CacheEntry<V> {
 pub struct VersionCache<K: Hash + Eq + Ord + Clone, V> {
     cap: usize,
     tick: u64,
-    entries: HashMap<K, (CacheEntry<V>, u64)>,
+    entries: FastMap<K, (CacheEntry<V>, u64)>,
     lru: BTreeMap<u64, K>,
     hits: u64,
     misses: u64,
@@ -50,7 +52,7 @@ impl<K: Hash + Eq + Ord + Clone, V> VersionCache<K, V> {
         VersionCache {
             cap,
             tick: 0,
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             lru: BTreeMap::new(),
             hits: 0,
             misses: 0,

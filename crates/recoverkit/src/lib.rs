@@ -372,13 +372,12 @@ pub fn run_recovery_trial(spec: &RecoverySpec) -> RecoveryTrial {
 /// Runs one trial per store size, reusing `spec` for everything else.
 /// This is the MTTR-vs-store-size sweep `repro_recovery` plots.
 pub fn run_recovery_sweep(spec: &RecoverySpec, store_sizes: &[u64]) -> Vec<RecoveryTrial> {
-    store_sizes
-        .iter()
-        .map(|&store_keys| {
-            run_recovery_trial(&RecoverySpec {
-                store_keys,
-                ..spec.clone()
-            })
+    // Each trial is an independent sim, so the sweep fans out on the
+    // `perfkit` worker pool; trials come back in store-size order.
+    perfkit::pool::run_ordered_auto(store_sizes.to_vec(), |store_keys| {
+        run_recovery_trial(&RecoverySpec {
+            store_keys,
+            ..spec.clone()
         })
-        .collect()
+    })
 }

@@ -139,8 +139,8 @@ fn plan(mix: &Mix, zipf: &Zipf, rng: &mut StdRng, cfg: &WorkloadConfig) -> KeySc
     let n_gets = t.gets.sample(rng);
     let mut reads = Vec::with_capacity(n_gets as usize);
     let mut writes = Vec::with_capacity(t.puts as usize);
-    let mut used = std::collections::HashSet::new();
-    let draw = |rng: &mut StdRng, used: &mut std::collections::HashSet<u64>| {
+    let mut used = perfkit::FastSet::default();
+    let draw = |rng: &mut StdRng, used: &mut perfkit::FastSet<u64>| {
         // Reject duplicates so each key appears once per transaction.
         for _ in 0..16 {
             let id = zipf.sample(rng) as u64;

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use simkit::net::NodeId;
 use simkit::rpc::{RpcClient, RpcError};
 use simkit::SimHandle;
-use timesync::{ClientId, ClockSpec, Discipline, SyncedClock, Timestamp, Version};
+use timesync::{ClientId, ClockSpec, SyncedClock, Timestamp, Version};
 
 use crate::msg::{SemelError, SemelRequest, SemelResponse};
 use crate::shard::{ShardId, ShardMap};
@@ -87,13 +87,6 @@ impl SemelClientBuilder {
     /// [`Discipline`] converts via `Into`.
     pub fn clock(mut self, clock: impl Into<ClockSpec>) -> Self {
         self.clock = clock.into();
-        self
-    }
-
-    /// Clock skew model (default: [`Discipline::Perfect`]).
-    #[deprecated(since = "0.9.0", note = "use `clock(ClockSpec)` instead")]
-    pub fn discipline(mut self, discipline: Discipline) -> Self {
-        self.clock = ClockSpec::from(discipline);
         self
     }
 

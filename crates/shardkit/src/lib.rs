@@ -33,8 +33,8 @@
 //! faultkit's checker prove no two primaries ever served the same shard
 //! at overlapping times.
 
+use perfkit::FastMap;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -109,7 +109,7 @@ pub struct RebalanceEngine {
     spec: RebalanceSpec,
     obs: Obs,
     hook: RefCell<Option<PhaseHook>>,
-    planes: RefCell<HashMap<Addr, Batcher<TxnRequest, TxnResponse>>>,
+    planes: RefCell<FastMap<Addr, Batcher<TxnRequest, TxnResponse>>>,
     node: NodeId,
     next_plan: Cell<u64>,
 }
@@ -146,7 +146,7 @@ impl RebalanceEngine {
             spec,
             obs,
             hook: RefCell::new(None),
-            planes: RefCell::new(HashMap::new()),
+            planes: RefCell::new(FastMap::default()),
             node,
             next_plan: Cell::new(0),
         }

@@ -185,6 +185,10 @@ pub(crate) struct Inner {
     tasks: TaskSlab,
     rng: StdRng,
     pub(crate) net: NetState,
+    /// Task polls executed so far. Deterministic for a given seed and
+    /// workload, so perf baselines can report sim-events/sec with a
+    /// byte-stable numerator.
+    polls: u64,
 }
 
 impl Inner {
@@ -227,6 +231,7 @@ impl Sim {
             tasks: TaskSlab::default(),
             rng: StdRng::seed_from_u64(seed),
             net: NetState::new(),
+            polls: 0,
         };
         Sim {
             handle: SimHandle {
@@ -341,7 +346,11 @@ impl Sim {
     }
 
     fn poll_task(&mut self, tid: TaskId) {
-        let task = self.handle.inner.borrow_mut().tasks.take_for_poll(tid);
+        let task = {
+            let mut inner = self.handle.inner.borrow_mut();
+            inner.polls += 1;
+            inner.tasks.take_for_poll(tid)
+        };
         let Some(mut task) = task else { return };
         let waker = Waker::from(Arc::new(TaskWaker {
             id: tid,
@@ -388,6 +397,13 @@ impl SimHandle {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.inner.borrow().now
+    }
+
+    /// Task polls executed so far — the discrete-event "work" counter.
+    /// Deterministic for a given seed and workload, so perf baselines can
+    /// report sim-events/sec with a byte-stable numerator.
+    pub fn polls(&self) -> u64 {
+        self.inner.borrow().polls
     }
 
     /// Spawns a task not owned by any simulated node.

@@ -11,7 +11,9 @@
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use perfkit::{FastMap, FastSet};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -155,9 +157,9 @@ struct MailboxInner {
 }
 
 pub(crate) struct NetState {
-    mailboxes: HashMap<Addr, Rc<RefCell<MailboxInner>>>,
-    dead: HashSet<NodeId>,
-    blocked: HashSet<(NodeId, NodeId)>,
+    mailboxes: FastMap<Addr, Rc<RefCell<MailboxInner>>>,
+    dead: FastSet<NodeId>,
+    blocked: FastSet<(NodeId, NodeId)>,
     latency: LatencyConfig,
     faults: Option<NetFaultConfig>,
     stats: NetStats,
@@ -174,9 +176,9 @@ fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 impl NetState {
     pub(crate) fn new() -> NetState {
         NetState {
-            mailboxes: HashMap::new(),
-            dead: HashSet::new(),
-            blocked: HashSet::new(),
+            mailboxes: FastMap::default(),
+            dead: FastSet::default(),
+            blocked: FastSet::default(),
             latency: LatencyConfig::default(),
             faults: None,
             stats: NetStats::default(),

@@ -7,9 +7,9 @@
 //! Calls to dead or partitioned nodes never complete, so every call carries
 //! a timeout — exactly the failure surface distributed protocols must handle.
 
+use perfkit::FastMap;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -126,7 +126,7 @@ impl std::fmt::Display for RpcError {
 impl std::error::Error for RpcError {}
 
 /// Reply-routing table shared between a client and its demux task.
-type PendingReplies = Rc<RefCell<HashMap<u64, oneshot::Sender<Rc<dyn Any>>>>>;
+type PendingReplies = Rc<RefCell<FastMap<u64, oneshot::Sender<Rc<dyn Any>>>>>;
 
 /// Client half of the RPC layer; lives on one node and may call any address.
 ///
@@ -144,7 +144,7 @@ impl RpcClient {
     /// spawning its demultiplexer task there.
     pub fn new(handle: &SimHandle, node: NodeId, reply_port: u16) -> RpcClient {
         let mailbox = handle.bind(Addr::new(node, reply_port));
-        let pending: PendingReplies = Rc::new(RefCell::new(HashMap::new()));
+        let pending: PendingReplies = Rc::new(RefCell::new(FastMap::default()));
         let pending2 = pending.clone();
         handle.spawn_on(node, async move {
             while let Some(pkt) = mailbox.recv().await {

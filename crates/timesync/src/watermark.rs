@@ -7,7 +7,7 @@
 //! discard every version of a key older than the youngest version at or
 //! below the watermark.
 
-use std::collections::HashMap;
+use perfkit::FastMap;
 
 use crate::version::{ClientId, Timestamp};
 
@@ -30,7 +30,7 @@ use crate::version::{ClientId, Timestamp};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WatermarkTracker {
-    latest: HashMap<ClientId, Timestamp>,
+    latest: FastMap<ClientId, Timestamp>,
 }
 
 impl WatermarkTracker {

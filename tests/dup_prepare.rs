@@ -59,9 +59,9 @@ fn duplicate_prepare_mid_replication_gets_no_early_vote() {
     let prepare = move |ts_commit: Timestamp| TxnRequest::Prepare {
         txid,
         ts_commit,
-        reads: Vec::new(),
-        writes: vec![(Key::from(0u64), value(b"v".to_vec()))],
-        participants: vec![ShardId(0)],
+        reads: Vec::new().into(),
+        writes: vec![(Key::from(0u64), value(b"v".to_vec()))].into(),
+        participants: vec![ShardId(0)].into(),
         epoch,
     };
 
